@@ -1,0 +1,97 @@
+/// \file bench_ablation_pipeline_window.cpp
+/// Ablation of the parser-buffer window (Fig. 9's per-parser output
+/// buffers). §IV.B: "the time during which the indexers are waiting for
+/// results from the parsers ... is due to the fluctuations between the two
+/// pipeline stages, which are very hard to fully control since they are
+/// input dependent. Note that this gap can be occasionally severe during
+/// some runs." Buffering absorbs those fluctuations: this bench replays
+/// real measured per-run costs (which carry natural per-file variance)
+/// under window sizes from 1 to 8 buffers per parser.
+
+#include <cstdio>
+#include <filesystem>
+
+#include "bench_common.hpp"
+#include "pipeline/engine.hpp"
+#include "sim/pipeline_sim.hpp"
+
+using namespace hetindex;
+using namespace hetindex::bench;
+
+int main() {
+  banner("Ablation — parser buffer window (pipeline fluctuations)",
+         "Wei & JaJa 2011, §IV.B indexer-wait discussion");
+
+  auto spec = clueweb_like(scale());
+  spec.total_bytes = static_cast<std::uint64_t>(24.0 * scale() * (1 << 20));
+  spec.file_bytes = 1u << 20;  // many small runs → visible fluctuations
+  const auto coll = cached_collection(spec);
+
+  PipelineConfig pc;
+  pc.parsers = 2;
+  pc.cpu_indexers = 2;
+  pc.gpus = 2;
+  const auto report = measured_report(coll, pc);  // best-of-2 stage costs
+
+  PipelineSimulator sim;
+  std::printf("\n%-10s %14s %18s %16s\n", "Buffers", "Total (s)", "IndexerWait (s)",
+              "Throughput MB/s");
+  row_sep(64);
+  std::vector<double> totals;
+  for (const std::size_t buffers : {1u, 2u, 3u, 4u, 6u, 8u}) {
+    SimPipelineConfig sc;
+    sc.parsers = 6;
+    sc.cpu_indexers = 2;
+    sc.gpus = 2;
+    sc.buffers_per_parser = buffers;
+    const auto r = sim.simulate(report.runs, sc);
+    totals.push_back(r.total_seconds);
+    std::printf("%-10zu %14.3f %18.3f %16.2f\n", buffers, r.total_seconds,
+                r.indexer_wait_seconds, r.throughput_mb_s());
+  }
+
+  const bool monotone_helpful = totals.back() <= totals.front() * 1.001;
+
+  // The window only binds when stage rates fluctuate around parity; the
+  // measured corpus may be firmly one-sided, so stress the mechanism with
+  // alternating heavy-parse / heavy-index runs (out of phase — exactly the
+  // "fluctuations between the two pipeline stages" of §IV.B).
+  std::vector<RunRecord> stress(60);
+  for (std::size_t r = 0; r < stress.size(); ++r) {
+    auto& run = stress[r];
+    run.run_id = r;
+    run.compressed_bytes = 1 << 20;
+    run.source_bytes = 4 << 20;
+    run.decompress_seconds = 0.01;
+    run.parse_seconds = (r % 8 < 4) ? 0.40 : 0.05;  // bursts of slow parsing
+    run.cpu_index_seconds.assign(2, (r % 8 < 4) ? 0.05 : 0.38);  // ...then slow indexing
+    run.gpu_timings.resize(2);
+    run.flush_seconds = 0.01;
+  }
+  std::printf("\nFluctuation stress (alternating slow-parse / slow-index phases):\n");
+  std::printf("%-10s %14s %18s\n", "Buffers", "Total (s)", "IndexerWait (s)");
+  row_sep(48);
+  std::vector<double> stress_totals;
+  for (const std::size_t buffers : {1u, 2u, 3u, 4u, 6u, 8u}) {
+    SimPipelineConfig sc;
+    sc.parsers = 2;
+    sc.cpu_indexers = 2;
+    sc.gpus = 2;
+    sc.buffers_per_parser = buffers;
+    const auto r = sim.simulate(stress, sc);
+    stress_totals.push_back(r.total_seconds);
+    std::printf("%-10zu %14.3f %18.3f\n", buffers, r.total_seconds,
+                r.indexer_wait_seconds);
+  }
+
+  const bool buffering_absorbs = stress_totals.back() < stress_totals.front() * 0.97;
+  const bool diminishing = (stress_totals[1] - stress_totals.back()) <
+                           (stress_totals[0] - stress_totals[1]) + 1e-9 ||
+                           stress_totals[0] > stress_totals[1];
+  std::printf("\nShape checks: larger windows never hurt on the real corpus: %s;\n"
+              "buffering absorbs out-of-phase stage fluctuations (stress): %s;\n"
+              "returns diminish after a few buffers: %s\n",
+              monotone_helpful ? "PASS" : "MISS", buffering_absorbs ? "PASS" : "MISS",
+              diminishing ? "PASS" : "MISS");
+  return 0;
+}

@@ -1,0 +1,72 @@
+/// \file bench_ablation_regroup.cpp
+/// Ablation of the parser's Step 5 (regrouping by trie index), §III.C:
+///  (a) "the overhead of this regrouping step is relatively small, about
+///      5% of the total running time of the whole parser";
+///  (b) "even in the case when indexing is carried out by a serial CPU
+///      thread, regrouping results in approximately 15-fold speedup"
+///      (cache locality: consecutive inserts hit the same small B-tree).
+/// The measured speedup on this host depends on its cache hierarchy; the
+/// check is that regrouping wins clearly, not the exact 15×.
+
+#include <cstdio>
+
+#include "baseline/baselines.hpp"
+#include "bench_common.hpp"
+#include "corpus/container.hpp"
+#include "parse/parser.hpp"
+#include "util/timer.hpp"
+
+using namespace hetindex;
+using namespace hetindex::bench;
+
+int main() {
+  banner("Ablation — Step 5 regrouping (overhead and serial-indexing speedup)",
+         "Wei & JaJa 2011, §III.C");
+
+  auto spec = clueweb_like(scale());
+  spec.total_bytes = static_cast<std::uint64_t>(32.0 * scale() * (1 << 20));
+  spec.file_bytes = 2u << 20;
+  const auto coll = cached_collection(spec);
+
+  // (a) Regrouping overhead within the whole parser (Fig. 3: Step 1 read +
+  // decompress through Step 5 regroup — the paper's ~5% is of this total).
+  ParseTimes times;
+  double step1_seconds = 0;
+  Parser parser;
+  for (const auto& file : coll.paths()) {
+    WallTimer t;
+    const auto docs = container_read(file);  // read + decompress + doc ids
+    step1_seconds += t.seconds();
+    parser.parse(docs, 0, 0, 0, &times);
+  }
+  const double whole_parser = step1_seconds + times.total();
+  const double regroup_pct = times.regroup / whole_parser * 100.0;
+  std::printf("\nParser step breakdown over %s:\n",
+              format_bytes(coll.total_uncompressed()).c_str());
+  std::printf("  read+decompress:%7.3f s\n  tokenize+strip: %7.3f s\n"
+              "  stem:           %7.3f s\n"
+              "  stop words:     %7.3f s\n  regroup:        %7.3f s  (%.1f%% of parser)\n",
+              step1_seconds, times.tokenize, times.stem, times.stopword, times.regroup,
+              regroup_pct);
+
+  // (b) Serial indexing with vs without regrouped input.
+  const auto grouped = serial_trie_index(coll.paths(), /*regrouped=*/true);
+  const auto ungrouped = serial_trie_index(coll.paths(), /*regrouped=*/false);
+  const double speedup = ungrouped.index_seconds / grouped.index_seconds;
+  std::printf("\nSerial indexing over the same parsed stream:\n");
+  std::printf("  regrouped (Step 5 on):   %8.3f s\n", grouped.index_seconds);
+  std::printf("  stream order (Step 5 off):%7.3f s\n", ungrouped.index_seconds);
+  std::printf("  speedup from regrouping: %8.2fx  (paper: ~15x on ClueWeb-scale\n"
+              "  dictionaries; the gap grows with dictionary size vs cache size)\n",
+              speedup);
+  std::printf("  terms agree: %s (%llu)\n",
+              grouped.terms() == ungrouped.terms() ? "yes" : "NO",
+              static_cast<unsigned long long>(grouped.terms()));
+
+  std::printf("\nShape checks: regroup overhead a small fraction of the parser (<20%%;\n"
+              "the paper reports ~5%% — its per-MB parse cost on real web documents is\n"
+              "several times ours on synthetic text, diluting the share): %s;\n"
+              "regrouped indexing faster: %s\n",
+              regroup_pct < 20.0 ? "PASS" : "MISS", speedup > 1.15 ? "PASS" : "MISS");
+  return 0;
+}

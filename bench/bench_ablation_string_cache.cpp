@@ -1,0 +1,77 @@
+/// \file bench_ablation_string_cache.cpp
+/// Ablation of the 4-byte string caches inside B-tree nodes (§III.B.2,
+/// Table II): with caches, most key comparisons resolve without
+/// dereferencing the term-string pointer; the paper argues ~2× faster
+/// string comparisons after prefix stripping (average stemmed token 6.6
+/// chars → 3 stripped by the trie → ~4 remain, usually fully cached).
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "dict/btree.hpp"
+#include "util/timer.hpp"
+#include "util/zipf.hpp"
+
+using namespace hetindex;
+using namespace hetindex::bench;
+
+int main() {
+  banner("Ablation — B-tree node string caches (Table II)", "Wei & JaJa 2011, §III.B.2");
+
+  // Key workload: Zipf-distributed suffixes with realistic lengths.
+  const Vocabulary vocab(200000, 0.03, 0.01, 77);
+  ZipfSampler zipf(vocab.size(), 1.0);
+  Rng rng(5);
+  std::vector<std::string> stream;
+  stream.reserve(2000000);
+  for (int i = 0; i < 2000000; ++i) {
+    const auto& w = vocab.word(zipf(rng));
+    stream.push_back(w.size() > 3 ? w.substr(3) : w);  // post-trie suffixes
+  }
+
+  // Best-of-three per variant: single-shot wall times on a shared host
+  // carry enough noise to flip a ~10% effect.
+  auto run = [&](bool use_cache) {
+    double best = 1e30;
+    BTreeStats stats{};
+    for (int rep = 0; rep < 3; ++rep) {
+      Arena arena;
+      BTree tree(arena, use_cache);
+      WallTimer t;
+      for (const auto& key : stream) tree.find_or_insert(key);
+      const double secs = t.seconds();
+      if (secs < best) {
+        best = secs;
+        stats = tree.stats();
+      }
+    }
+    return std::tuple<double, BTreeStats>(best, stats);
+  };
+
+  const auto [cached_s, cached_stats] = run(true);
+  const auto [plain_s, plain_stats] = run(false);
+
+  std::printf("\n%zu inserts (%llu distinct terms):\n", stream.size(),
+              static_cast<unsigned long long>(cached_stats.keys));
+  std::printf("  with 4-byte caches:    %7.3f s   cache-resolved cmps: %llu, string reads: %llu\n",
+              cached_s, static_cast<unsigned long long>(cached_stats.cache_hits),
+              static_cast<unsigned long long>(cached_stats.string_reads));
+  std::printf("  without caches:        %7.3f s   string reads: %llu\n", plain_s,
+              static_cast<unsigned long long>(plain_stats.string_reads));
+  const double speedup = plain_s / cached_s;
+  const double resolved = static_cast<double>(cached_stats.cache_hits) /
+                          static_cast<double>(cached_stats.cache_hits +
+                                              cached_stats.string_reads) *
+                          100.0;
+  std::printf("  speedup: %.2fx; comparisons resolved by cache: %.1f%%\n", speedup, resolved);
+  std::printf("\nShape checks: cache resolves the vast majority of comparisons (>90%%): %s;\n"
+              "caches do not slow insertion down and usually speed it up: %s\n"
+              "(paper: ~2x faster string comparisons on its 8 MB-L3 Xeons; this host's\n"
+              "much larger cache hierarchy absorbs most pointer dereferences, so the\n"
+              "wall-clock gap narrows even though the cache answers %.1f%% of compares)\n",
+              resolved > 90.0 ? "PASS" : "MISS", speedup > 1.02 ? "PASS" : "MISS",
+              resolved);
+  return 0;
+}

@@ -1,0 +1,98 @@
+/// \file bench_ablation_trie_height.cpp
+/// Ablation of the trie height (§III.B.1): "The height of three for the
+/// trie seems to work best since a smaller height will lead to a wide
+/// variety of trie collections, some very large and some very small ...
+/// A larger value for the trie height will generate many small trie
+/// collections, which will be again hard to manage."
+/// For heights 1–4 this bench groups a realistic token stream by the
+/// generalized prefix, builds per-collection B-trees, and reports: number
+/// of collections, the largest collection's token share (the load-balance
+/// bound for one warp/thread), per-collection size dispersion, serial
+/// insert time, and memory overhead of the trees.
+
+#include <cstdio>
+#include <unordered_map>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "dict/btree.hpp"
+#include "text/tokenizer.hpp"
+#include "util/timer.hpp"
+#include "util/zipf.hpp"
+
+using namespace hetindex;
+using namespace hetindex::bench;
+
+namespace {
+
+/// Generalized trie key of height h: the first min(h, len) characters.
+std::string prefix_key(const std::string& term, std::size_t h) {
+  return term.substr(0, std::min(h, term.size()));
+}
+
+}  // namespace
+
+int main() {
+  banner("Ablation — trie height (1, 2, 3, 4)", "Wei & JaJa 2011, §III.B.1");
+
+  const Vocabulary vocab(150000, 0.03, 0.01, 99);
+  ZipfSampler zipf(vocab.size(), 1.0);
+  Rng rng(8);
+  std::vector<std::string> stream;
+  stream.reserve(1500000);
+  for (int i = 0; i < 1500000; ++i) stream.push_back(vocab.word(zipf(rng)));
+
+  std::printf("\n%-8s %12s %14s %14s %12s %14s\n", "Height", "Collections",
+              "MaxShare(%)", "Top8Share(%)", "Insert(s)", "TreeMem");
+  row_sep(80);
+
+  std::vector<double> max_share, insert_secs;
+  std::vector<std::size_t> coll_counts;
+  for (std::size_t h = 1; h <= 4; ++h) {
+    std::unordered_map<std::string, std::uint64_t> collection_tokens;
+    for (const auto& term : stream) ++collection_tokens[prefix_key(term, h)];
+    std::vector<std::uint64_t> sizes;
+    sizes.reserve(collection_tokens.size());
+    for (const auto& [key, n] : collection_tokens) sizes.push_back(n);
+    std::sort(sizes.rbegin(), sizes.rend());
+    const double total = static_cast<double>(stream.size());
+    double top8 = 0;
+    for (std::size_t i = 0; i < std::min<std::size_t>(8, sizes.size()); ++i)
+      top8 += static_cast<double>(sizes[i]);
+
+    // Serial insert into per-collection trees with h-prefix stripping.
+    Arena arena;
+    std::unordered_map<std::string, std::unique_ptr<BTree>> trees;
+    WallTimer t;
+    for (const auto& term : stream) {
+      const std::string key = prefix_key(term, h);
+      auto& tree = trees[key];
+      if (!tree) tree = std::make_unique<BTree>(arena);
+      tree->find_or_insert(term.size() > key.size()
+                               ? std::string_view(term).substr(key.size())
+                               : std::string_view());
+    }
+    const double secs = t.seconds();
+
+    coll_counts.push_back(collection_tokens.size());
+    max_share.push_back(static_cast<double>(sizes[0]) / total * 100.0);
+    insert_secs.push_back(secs);
+    std::printf("%-8zu %12zu %14.2f %14.2f %12.3f %14s\n", h, collection_tokens.size(),
+                max_share.back(), top8 / total * 100.0, secs,
+                format_bytes(arena.reserved_bytes()).c_str());
+  }
+
+  // Shape checks mirroring the paper's argument.
+  const bool h1_imbalanced = max_share[0] > 2.5 * max_share[2];
+  const bool h4_fragmented = coll_counts[3] > 3 * coll_counts[2];
+  const bool h3_reasonable = insert_secs[2] <= insert_secs[0] * 1.15;
+  std::printf("\nShape checks: height 1 has a far heavier largest collection than\n"
+              "height 3 (load imbalance): %s; height 4 fragments into many more\n"
+              "collections (management overhead): %s; height-3 insert time is\n"
+              "competitive with the best: %s\n",
+              h1_imbalanced ? "PASS" : "MISS", h4_fragmented ? "PASS" : "MISS",
+              h3_reasonable ? "PASS" : "MISS");
+  std::printf("Paper: height 3 balances collection granularity (17,613 buckets)\n"
+              "against fragmentation; it also strips 3 of ~6.6 chars per term.\n");
+  return 0;
+}

@@ -1,0 +1,119 @@
+#pragma once
+/// \file bench_common.hpp
+/// Shared plumbing for the table/figure reproduction harnesses: corpus
+/// caching (collections are generated once per scale and reused across
+/// bench binaries), table formatting, and the scale knob.
+///
+/// Environment:
+///   HETINDEX_SCALE      multiplier on the default corpus sizes (default 1;
+///                       the paper's corpora are TB-scale — scale up on
+///                       bigger machines to tighten the curves)
+///   HETINDEX_BENCH_DIR  corpus cache directory (default /tmp/hetindex_bench)
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "corpus/container.hpp"
+#include "corpus/synthetic.hpp"
+#include "pipeline/engine.hpp"
+#include "util/binary_io.hpp"
+#include "util/stats.hpp"
+
+namespace hetindex::bench {
+
+inline double scale() {
+  if (const char* env = std::getenv("HETINDEX_SCALE")) return std::atof(env);
+  return 1.0;
+}
+
+inline std::string bench_dir() {
+  if (const char* env = std::getenv("HETINDEX_BENCH_DIR")) return env;
+  return "/tmp/hetindex_bench";
+}
+
+/// Generates (or reuses a cached copy of) a collection. The cache key is
+/// the spec name + total size, so different scales regenerate.
+inline constexpr int kCorpusFormatVersion = 4;
+
+inline Collection cached_collection(const CollectionSpec& spec) {
+  const std::string dir = bench_dir() + "/" + spec.name + "_" +
+                          std::to_string(spec.total_bytes) + "_v" +
+                          std::to_string(kCorpusFormatVersion);
+  const std::string stamp = dir + "/.complete";
+  if (file_exists(stamp)) {
+    // Rebuild the manifest from the directory.
+    Collection coll;
+    coll.spec = spec;
+    for (std::size_t f = 0;; ++f) {
+      GeneratedFile gf;
+      gf.path = dir + "/" + spec.name + "_" + std::to_string(f) + ".hdc";
+      if (!file_exists(gf.path)) break;
+      const auto file = read_file(gf.path);
+      gf.compressed_bytes = file.size();
+      gf.doc_count = container_header_doc_count(file.data(), file.size());
+      gf.uncompressed_bytes = container_uncompressed_size(gf.path);
+      coll.files.push_back(std::move(gf));
+    }
+    if (!coll.files.empty()) return coll;
+  }
+  std::filesystem::create_directories(dir);
+  auto coll = generate_collection(spec, dir);
+  write_file(stamp, {});
+  return coll;
+}
+
+/// Builds the pipeline `repeats` times over the same collection and keeps
+/// the element-wise minimum of every measured stage cost. Shared-host
+/// timing noise (scheduler preemption, page-cache flushes) only ever
+/// inflates wall times, so the per-run minimum is the best estimator of
+/// the true cost; simulated GPU timings are deterministic and taken from
+/// the first build.
+inline PipelineReport measured_report(const Collection& coll, PipelineConfig config,
+                                      int repeats = 2) {
+  PipelineReport best;
+  for (int r = 0; r < repeats; ++r) {
+    config.output_dir = bench_dir() + "/probe_out";
+    PipelineEngine engine(config);
+    auto report = engine.build(coll.paths());
+    std::filesystem::remove_all(config.output_dir);
+    if (r == 0) {
+      best = std::move(report);
+      continue;
+    }
+    best.sampling_seconds = std::min(best.sampling_seconds, report.sampling_seconds);
+    best.dict_combine_seconds =
+        std::min(best.dict_combine_seconds, report.dict_combine_seconds);
+    best.dict_write_seconds = std::min(best.dict_write_seconds, report.dict_write_seconds);
+    for (std::size_t i = 0; i < best.runs.size() && i < report.runs.size(); ++i) {
+      auto& b = best.runs[i];
+      const auto& n = report.runs[i];
+      b.read_seconds = std::min(b.read_seconds, n.read_seconds);
+      b.decompress_seconds = std::min(b.decompress_seconds, n.decompress_seconds);
+      b.parse_seconds = std::min(b.parse_seconds, n.parse_seconds);
+      b.flush_seconds = std::min(b.flush_seconds, n.flush_seconds);
+      for (std::size_t j = 0;
+           j < b.cpu_index_seconds.size() && j < n.cpu_index_seconds.size(); ++j) {
+        b.cpu_index_seconds[j] = std::min(b.cpu_index_seconds[j], n.cpu_index_seconds[j]);
+      }
+    }
+  }
+  return best;
+}
+
+/// Section header in the bench output.
+inline void banner(const std::string& title, const std::string& paper_ref) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("Reproduces: %s\n", paper_ref.c_str());
+  std::printf("================================================================\n");
+}
+
+inline void row_sep(int width = 72) {
+  for (int i = 0; i < width; ++i) std::putchar('-');
+  std::putchar('\n');
+}
+
+}  // namespace hetindex::bench

@@ -1,0 +1,105 @@
+/// \file bench_dictionary.cpp
+/// Dictionary micro-benchmarks (google-benchmark): trie-table index
+/// computation (Table I), B-tree insert/find throughput with and without
+/// the node string caches (Table II), and hybrid-dictionary insert
+/// throughput vs a single global B-tree — the §III.B design points as
+/// numbers rather than end-to-end shapes.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "dict/btree.hpp"
+#include "dict/dictionary.hpp"
+#include "dict/trie_table.hpp"
+#include "corpus/synthetic.hpp"
+#include "util/rng.hpp"
+#include "util/zipf.hpp"
+
+namespace hetindex {
+namespace {
+
+const std::vector<std::string>& term_stream() {
+  static const std::vector<std::string> terms = [] {
+    const Vocabulary vocab(100000, 0.03, 0.01, 21);
+    ZipfSampler zipf(vocab.size(), 1.0);
+    Rng rng(4);
+    std::vector<std::string> out;
+    out.reserve(500000);
+    for (int i = 0; i < 500000; ++i) out.push_back(vocab.word(zipf(rng)));
+    return out;
+  }();
+  return terms;
+}
+
+void BM_TrieIndex(benchmark::State& state) {
+  const auto& terms = term_stream();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(trie_index(terms[i]));
+    if (++i == terms.size()) i = 0;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TrieIndex);
+
+void BM_BTreeInsert(benchmark::State& state) {
+  const bool use_cache = state.range(0) != 0;
+  const auto& terms = term_stream();
+  for (auto _ : state) {
+    Arena arena;
+    BTree tree(arena, use_cache);
+    for (std::size_t i = 0; i < 50000; ++i) {
+      const auto& t = terms[i];
+      tree.find_or_insert(t.size() > 3 ? std::string_view(t).substr(3) : std::string_view(t));
+    }
+    benchmark::DoNotOptimize(tree.size());
+  }
+  state.SetItemsProcessed(state.iterations() * 50000);
+  state.SetLabel(use_cache ? "string caches ON" : "string caches OFF");
+}
+BENCHMARK(BM_BTreeInsert)->Arg(1)->Arg(0)->Unit(benchmark::kMillisecond);
+
+void BM_HybridDictionaryInsert(benchmark::State& state) {
+  const auto& terms = term_stream();
+  for (auto _ : state) {
+    DictionaryShard shard;
+    for (std::size_t i = 0; i < 50000; ++i) shard.insert_term(terms[i]);
+    benchmark::DoNotOptimize(shard.term_count());
+  }
+  state.SetItemsProcessed(state.iterations() * 50000);
+  state.SetLabel("trie + per-collection B-trees");
+}
+BENCHMARK(BM_HybridDictionaryInsert)->Unit(benchmark::kMillisecond);
+
+void BM_SingleBTreeInsert(benchmark::State& state) {
+  const auto& terms = term_stream();
+  for (auto _ : state) {
+    Arena arena;
+    BTree tree(arena);
+    for (std::size_t i = 0; i < 50000; ++i) tree.find_or_insert(terms[i]);
+    benchmark::DoNotOptimize(tree.size());
+  }
+  state.SetItemsProcessed(state.iterations() * 50000);
+  state.SetLabel("one global B-tree, full terms");
+}
+BENCHMARK(BM_SingleBTreeInsert)->Unit(benchmark::kMillisecond);
+
+void BM_DictionaryFind(benchmark::State& state) {
+  const auto& terms = term_stream();
+  DictionaryShard shard;
+  for (std::size_t i = 0; i < 100000; ++i) shard.insert_term(terms[i]);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(shard.find_term(terms[i]));
+    if (++i == terms.size()) i = 0;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DictionaryFind);
+
+}  // namespace
+}  // namespace hetindex
+
+BENCHMARK_MAIN();

@@ -1,0 +1,106 @@
+/// \file bench_fig11_per_file_throughput.cpp
+/// Reproduces Fig. 11: "Scalability of Parallel Indexers" — per-file
+/// indexing throughput over the file sequence for scenarios (ii) 1 CPU,
+/// (iii) 2 CPU, (iv) 2 CPU + 2 GPU. Expected shape (paper): a sharp
+/// decrease near the beginning that flattens (the inverse of B-tree depth:
+/// trees deepen as the dictionary grows), and a visible drop after ~80% of
+/// the files where the collection switches to Wikipedia-like content whose
+/// characteristics the pre-sampled CPU/GPU parameters do not reflect.
+
+#include <cstdio>
+#include <filesystem>
+
+#include "bench_common.hpp"
+#include "pipeline/engine.hpp"
+#include "sim/pipeline_sim.hpp"
+
+using namespace hetindex;
+using namespace hetindex::bench;
+
+int main() {
+  banner("Fig. 11 — Per-file indexing throughput over the collection",
+         "Wei & JaJa 2011, Fig. 11");
+
+  auto spec = clueweb_like(scale());
+  spec.total_bytes = static_cast<std::uint64_t>(48.0 * scale() * (1 << 20));
+  spec.file_bytes = 1u << 20;  // many files → a usable x-axis
+  spec.shift_fraction = 0.2;   // the Wikipedia tail (files 1200–1492 / 1492)
+  const auto coll = cached_collection(spec);
+  std::printf("Corpus: %s over %zu files; last 20%% are Wikipedia-like\n",
+              format_bytes(coll.total_uncompressed()).c_str(), coll.files.size());
+
+  struct Scenario {
+    const char* label;
+    std::size_t cpus, gpus;
+  };
+  const Scenario scenarios[] = {
+      {"(ii)  1 CPU", 1, 0}, {"(iii) 2 CPU", 2, 0}, {"(iv)  2 CPU + 2 GPU", 2, 2}};
+
+  std::vector<std::vector<double>> series;  // per scenario: MB/s per file
+  for (const auto& sc : scenarios) {
+    PipelineConfig pc;
+    pc.parsers = 2;
+    pc.cpu_indexers = sc.cpus;
+    pc.gpus = sc.gpus;
+    const auto report = measured_report(coll, pc);  // best-of-2 stage costs
+
+    PipelineSimulator sim;
+    SimPipelineConfig cfg;
+    cfg.parsers = 6;
+    cfg.cpu_indexers = sc.cpus;
+    cfg.gpus = sc.gpus;
+    const auto result = sim.simulate(report.runs, cfg);
+
+    std::vector<double> mb_s;
+    for (std::size_t r = 0; r < report.runs.size(); ++r) {
+      const double secs = result.per_run_index_seconds[r];
+      mb_s.push_back(secs > 0 ? static_cast<double>(report.runs[r].source_bytes) /
+                                    (1024.0 * 1024.0) / secs
+                              : 0.0);
+    }
+    series.push_back(std::move(mb_s));
+  }
+
+  // Table of the series (bucketed to keep the output readable).
+  const std::size_t files = series[0].size();
+  const std::size_t bucket = std::max<std::size_t>(1, files / 16);
+  std::printf("\n%-12s %16s %16s %20s\n", "File index", scenarios[0].label,
+              scenarios[1].label, scenarios[2].label);
+  row_sep(70);
+  for (std::size_t start = 0; start < files; start += bucket) {
+    const std::size_t end = std::min(files, start + bucket);
+    double avg[3] = {0, 0, 0};
+    for (int s = 0; s < 3; ++s) {
+      for (std::size_t i = start; i < end; ++i) avg[s] += series[s][i];
+      avg[s] /= static_cast<double>(end - start);
+    }
+    std::printf("%4zu-%-6zu %14.1f %16.1f %20.1f\n", start, end - 1, avg[0], avg[1],
+                avg[2]);
+  }
+
+  // Shape checks.
+  auto mean_range = [&](int s, double lo, double hi) {
+    const auto a = static_cast<std::size_t>(lo * static_cast<double>(files));
+    const auto b = static_cast<std::size_t>(hi * static_cast<double>(files));
+    double m = 0;
+    for (std::size_t i = a; i < b; ++i) m += series[s][i];
+    return m / static_cast<double>(b - a);
+  };
+  // 1) Early decline: first 5% of files faster than the 40–60% plateau.
+  const bool early_decline = mean_range(2, 0.0, 0.05) > mean_range(2, 0.4, 0.6) * 1.1;
+  // 2) Wikipedia-tail drop for the heterogeneous scenario.
+  const double before = mean_range(2, 0.6, 0.78);
+  const double after = mean_range(2, 0.82, 1.0);
+  const bool tail_drop = after < before * 0.9;
+  // 3) Ordering: (iv) ≥ (iii) ≥ (ii) on the main body.
+  const bool ordering = mean_range(2, 0.2, 0.7) > mean_range(1, 0.2, 0.7) &&
+                        mean_range(1, 0.2, 0.7) > mean_range(0, 0.2, 0.7);
+  std::printf("\nShape checks: sharp early decrease then plateau: %s; throughput drop\n"
+              "at the Wikipedia tail (%.1f → %.1f MB/s): %s; (iv) > (iii) > (ii): %s\n",
+              early_decline ? "PASS" : "MISS", before, after, tail_drop ? "PASS" : "MISS",
+              ordering ? "PASS" : "MISS");
+  std::printf("Paper: slope follows the inverse of B-tree depth; files 1200+ (Wikipedia)\n"
+              "show a significant drop, hitting the CPU+GPU configuration hardest because\n"
+              "the sampled split no longer reflects the data.\n");
+  return 0;
+}

@@ -1,0 +1,92 @@
+/// \file bench_fig12_mapreduce_comparison.cpp
+/// Reproduces Fig. 12 / Table VII: throughput of this paper's pipeline
+/// (with and without GPUs, single node) against Ivory MapReduce (99 × 2
+/// cores) and Single-Pass MapReduce (8 × 3 cores), all building the same
+/// logical index over the same collection. Expected shape (paper): the
+/// architecture-aware single-node pipeline beats both cluster MapReduce
+/// systems in raw throughput; GPUs widen the margin.
+
+#include <cstdio>
+#include <filesystem>
+
+#include "bench_common.hpp"
+#include "mapreduce/mr_indexers.hpp"
+#include "mapreduce/remote_lists.hpp"
+#include "pipeline/engine.hpp"
+#include "sim/pipeline_sim.hpp"
+
+using namespace hetindex;
+using namespace hetindex::bench;
+
+int main() {
+  banner("Fig. 12 / Table VII — Comparison to MapReduce indexers",
+         "Wei & JaJa 2011, Fig. 12");
+
+  auto spec = clueweb_like(scale());
+  spec.total_bytes = static_cast<std::uint64_t>(24.0 * scale() * (1 << 20));
+  spec.file_bytes = 2u << 20;
+  const auto coll = cached_collection(spec);
+  std::printf("Corpus: %s uncompressed, %zu files (all systems index it fully)\n",
+              format_bytes(coll.total_uncompressed()).c_str(), coll.files.size());
+
+  struct Entry {
+    std::string label;
+    double mb_s;
+    std::string platform;
+  };
+  std::vector<Entry> entries;
+
+  // Our pipeline, with and without GPUs, on the paper's single node.
+  PipelineSimulator sim;
+  for (const std::size_t gpus : {std::size_t{2}, std::size_t{0}}) {
+    PipelineConfig pc;
+    pc.parsers = 2;
+    pc.cpu_indexers = 2;
+    pc.gpus = gpus;
+    const auto report = measured_report(coll, pc);  // best-of-2 stage costs
+    SimPipelineConfig sc;
+    sc.parsers = 6;
+    sc.cpu_indexers = 2;
+    sc.gpus = gpus;
+    const auto des = sim.simulate(report.runs, sc);
+    const double total = report.sampling_seconds + des.total_seconds +
+                         report.dict_combine_seconds + report.dict_write_seconds;
+    entries.push_back({gpus ? "This work (6P+2C+2GPU)" : "This work (no GPU)",
+                       static_cast<double>(report.uncompressed_bytes) / (1024.0 * 1024.0) /
+                           total,
+                       "1 node, 8 cores" + std::string(gpus ? " + 2 C1060" : "")});
+  }
+
+  // The two MapReduce baselines on their modelled clusters, plus the
+  // pre-MapReduce distributed state of the art ([6], §II).
+  {
+    const auto ivory = ivory_mr_index(coll.paths(), ivory_cluster(), 64);
+    entries.push_back({"Ivory MapReduce", ivory.stats.throughput_mb_s(), "99 nodes, 198 cores"});
+    const auto sp = singlepass_mr_index(coll.paths(), sp_cluster(), 16);
+    entries.push_back({"Single-Pass MapReduce", sp.stats.throughput_mb_s(), "8 nodes, 24 cores"});
+    const auto rl = remote_lists_index(coll.paths(), sp_cluster());
+    entries.push_back({"Remote-Lists (R-N et al.)", rl.stats.throughput_mb_s(), "8 nodes, 24 cores"});
+  }
+
+  std::printf("\n%-26s %12s   %s\n", "System", "MB/s", "Platform (modelled)");
+  row_sep(72);
+  double peak = 0;
+  for (const auto& e : entries) peak = std::max(peak, e.mb_s);
+  for (const auto& e : entries) {
+    std::printf("%-26s %12.2f   %-24s |", e.label.c_str(), e.mb_s, e.platform.c_str());
+    const int bar = static_cast<int>(e.mb_s / peak * 30);
+    for (int i = 0; i < bar; ++i) std::putchar('#');
+    std::putchar('\n');
+  }
+
+  std::printf("\nPaper (full-scale): this work 262.8 MB/s (GPU) / 204.3 MB/s (no GPU);\n"
+              "Ivory ≈ 130 MB/s on 99 nodes; SP-MR ≈ 60 MB/s on 8 nodes.\n");
+  const bool ours_wins = entries[0].mb_s > entries[2].mb_s && entries[0].mb_s > entries[3].mb_s;
+  const bool no_gpu_wins = entries[1].mb_s > entries[3].mb_s;
+  const bool gpu_margin = entries[0].mb_s > entries[1].mb_s;
+  std::printf("\nShape checks: pipeline beats both MR systems: %s; even without GPUs it\n"
+              "beats SP-MR: %s; GPUs widen the margin: %s\n",
+              ours_wins ? "PASS" : "MISS", no_gpu_wins ? "PASS" : "MISS",
+              gpu_margin ? "PASS" : "MISS");
+  return 0;
+}

@@ -1,0 +1,51 @@
+/// \file bench_table3_collections.cpp
+/// Reproduces Table III: "Statistics of Document Collections" for the
+/// three synthetic stand-ins (ClueWeb09-like, Wikipedia01-07-like, Library
+/// of Congress-like). Statistics are measured through the real parse path
+/// (tokenize → Porter stem → stop-word removal), exactly the token/term
+/// definitions the paper uses.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using namespace hetindex;
+using namespace hetindex::bench;
+
+int main() {
+  banner("Table III — Statistics of Document Collections (synthetic stand-ins)",
+         "Wei & JaJa 2011, Table III (scaled by HETINDEX_SCALE)");
+
+  struct Row {
+    const char* label;
+    CollectionSpec spec;
+  };
+  const double s = scale();
+  const Row rows[] = {
+      {"ClueWeb09-like", clueweb_like(s)},
+      {"Wikipedia-like", wikipedia_like(s)},
+      {"Congress-like", congress_like(s)},
+  };
+
+  std::printf("%-18s %12s %14s %10s %12s %14s %8s\n", "Collection", "Compressed",
+              "Uncompressed", "Docs", "Terms", "Tokens", "AvgTokLen");
+  row_sep(96);
+  for (const auto& row : rows) {
+    const auto coll = cached_collection(row.spec);
+    const auto stats = analyze_collection(coll.paths());
+    std::printf("%-18s %12s %14s %10llu %12llu %14llu %8.2f\n", row.label,
+                format_bytes(stats.compressed_bytes).c_str(),
+                format_bytes(stats.uncompressed_bytes).c_str(),
+                static_cast<unsigned long long>(stats.documents),
+                static_cast<unsigned long long>(stats.terms),
+                static_cast<unsigned long long>(stats.tokens), stats.mean_token_length);
+  }
+  std::printf(
+      "\nPaper (full-scale): ClueWeb09 230GB/1422GB, 50.2M docs, 84.8M terms,\n"
+      "32.6G tokens; Wikipedia 29GB/79GB, 16.6M docs, 9.4M terms, 9.4G tokens;\n"
+      "Congress 96GB/507GB, 29.2M docs, 7.5M terms, 16.9G tokens.\n"
+      "Shape checks: ClueWeb has the largest vocabulary and token count; the\n"
+      "Wikipedia stand-in is plain text (higher tokens/byte); compression is\n"
+      "several-fold on all three. Mean stemmed token length ~6.6 (§III.B.1).\n");
+  return 0;
+}

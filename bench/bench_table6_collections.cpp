@@ -1,0 +1,106 @@
+/// \file bench_table6_collections.cpp
+/// Reproduces Table VI: "Performance Comparison on Different Document
+/// Collections" — sampling, parallel-parser and parallel-indexer times,
+/// dictionary combine/write, total time and throughput for: ClueWeb-like
+/// (2 CPU + 2 GPU), ClueWeb-like without GPUs, Wikipedia-like and
+/// Congress-like (best config each). Stage wall times come from the DES
+/// on the paper platform (6 parsers). Expected shape: ClueWeb with GPUs
+/// beats ClueWeb without GPUs by ~25-30%; parser and indexer stage times
+/// are closely matched (the pipeline is rate-balanced); dictionary phases
+/// are negligible.
+
+#include <cstdio>
+#include <filesystem>
+
+#include "bench_common.hpp"
+#include "pipeline/engine.hpp"
+#include "sim/pipeline_sim.hpp"
+
+using namespace hetindex;
+using namespace hetindex::bench;
+
+int main() {
+  banner("Table VI — Performance on different document collections",
+         "Wei & JaJa 2011, Table VI (DES on measured stage costs)");
+
+  struct Column {
+    const char* label;
+    CollectionSpec spec;
+    std::size_t gpus;
+  };
+  const double s = scale();
+  std::vector<Column> columns = {
+      {"ClueWeb", clueweb_like(s), 2},
+      {"ClueWeb w/o GPU", clueweb_like(s), 0},
+      {"Wikipedia", wikipedia_like(s), 2},
+      {"Congress", congress_like(s), 2},
+  };
+
+  struct Result {
+    double sampling, parsers, indexers, combine, write, total, throughput;
+  };
+  std::vector<Result> results;
+  PipelineSimulator sim;
+
+  for (const auto& col : columns) {
+    const auto coll = cached_collection(col.spec);
+    PipelineConfig pc;
+    pc.parsers = 2;
+    pc.cpu_indexers = 2;
+    pc.gpus = col.gpus;
+    const auto report = measured_report(coll, pc);  // best-of-2 stage costs
+
+    SimPipelineConfig sc;
+    sc.parsers = 6;
+    sc.cpu_indexers = 2;
+    sc.gpus = col.gpus;
+    const auto des = sim.simulate(report.runs, sc);
+
+    Result r;
+    r.sampling = report.sampling_seconds;
+    r.parsers = des.parse_stage_seconds;
+    r.indexers = des.index_stage_seconds;
+    r.combine = report.dict_combine_seconds;
+    r.write = report.dict_write_seconds;
+    r.total = r.sampling + std::max(r.parsers, r.indexers) + r.combine + r.write;
+    r.throughput =
+        static_cast<double>(report.uncompressed_bytes) / (1024.0 * 1024.0) / r.total;
+    results.push_back(r);
+  }
+
+  std::printf("\n%-24s", "Time (s)");
+  for (const auto& col : columns) std::printf(" %16s", col.label);
+  std::printf("\n");
+  row_sep(92);
+  auto row = [&](const char* label, auto getter, const char* fmt = " %16.3f") {
+    std::printf("%-24s", label);
+    for (const auto& r : results) std::printf(fmt, getter(r));
+    std::printf("\n");
+  };
+  row("Sampling", [](const Result& r) { return r.sampling; });
+  row("Parallel Parsers", [](const Result& r) { return r.parsers; });
+  row("Parallel Indexers", [](const Result& r) { return r.indexers; });
+  row("Dictionary Combine", [](const Result& r) { return r.combine; });
+  row("Dictionary Write", [](const Result& r) { return r.write; });
+  row("Total Time", [](const Result& r) { return r.total; });
+  row("Throughput (MB/s)", [](const Result& r) { return r.throughput; }, " %16.2f");
+
+  std::printf("\nPaper (full-scale): ClueWeb 262.76 MB/s, ClueWeb w/o GPU 204.32 MB/s,\n"
+              "Wikipedia 78.29 MB/s, Congress 208.06 MB/s.\n");
+  const double gpu_gain = results[1].indexers / results[0].indexers;
+  std::printf("\nShape checks: GPU acceleration of the indexer stage on ClueWeb: %.2fx\n"
+              "(paper 1.30x on total indexer time; our corpus is ~1000x smaller so the\n"
+              "stage is less indexing-bound): %s;\n"
+              "parser and indexer stages rate-matched on ClueWeb (within 2x; the paper\n"
+              "tunes the worker split to equalize them on its own hardware): %s;\n"
+              "dictionary phases small (<15%% of total; ours also fold in the doc-map\n"
+              "write, and the paper's corpus:dictionary ratio is ~1000x larger): %s\n",
+              gpu_gain, gpu_gain > 1.03 ? "PASS" : "MISS",
+              std::abs(results[0].parsers - results[0].indexers) <
+                      0.5 * std::max(results[0].parsers, results[0].indexers)
+                  ? "PASS"
+                  : "MISS",
+              (results[0].combine + results[0].write) < 0.15 * results[0].total ? "PASS"
+                                                                                : "MISS");
+  return 0;
+}

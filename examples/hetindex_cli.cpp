@@ -1,0 +1,197 @@
+/// \file hetindex_cli.cpp
+/// Command-line front end — the operational tool a downstream team would
+/// actually run. Subcommands:
+///
+///   hetindex_cli generate <dir> [--preset clueweb|wikipedia|congress] [--mb N]
+///   hetindex_cli build <corpus_dir> <index_dir> [--parsers N] [--cpus N]
+///                      [--gpus N] [--positions] [--merge]
+///   hetindex_cli query <index_dir> <term...>          (AND semantics)
+///   hetindex_cli search <index_dir> <term...>         (BM25 top-10, with URLs)
+///   hetindex_cli phrase <index_dir> <term...>         (adjacent positions)
+///   hetindex_cli stats <index_dir>
+///   hetindex_cli verify <index_dir>
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "core/hetindex.hpp"
+#include "corpus/synthetic.hpp"
+#include "postings/boolean_ops.hpp"
+#include "postings/doc_map.hpp"
+#include "postings/ranking.hpp"
+#include "postings/verify.hpp"
+#include "util/stats.hpp"
+
+using namespace hetindex;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: hetindex_cli <generate|build|query|phrase|stats|verify> ...\n"
+               "  generate <dir> [--preset clueweb|wikipedia|congress] [--mb N]\n"
+               "  build <corpus_dir> <index_dir> [--parsers N] [--cpus N] [--gpus N]\n"
+               "        [--positions] [--merge]\n"
+               "  query <index_dir> <term...>\n"
+               "  phrase <index_dir> <term...>\n"
+               "  stats <index_dir>\n"
+               "  verify <index_dir>\n");
+  return 2;
+}
+
+std::vector<std::string> corpus_files(const std::string& dir) {
+  std::vector<std::string> files;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().extension() == ".hdc") files.push_back(entry.path().string());
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+int cmd_generate(int argc, char** argv) {
+  if (argc < 1) return usage();
+  const std::string dir = argv[0];
+  std::string preset = "wikipedia";
+  double mb = 16;
+  for (int i = 1; i + 1 < argc + 1; ++i) {
+    if (i + 1 <= argc - 1 && std::strcmp(argv[i], "--preset") == 0) preset = argv[++i];
+    else if (i + 1 <= argc - 1 && std::strcmp(argv[i], "--mb") == 0) mb = std::atof(argv[++i]);
+  }
+  CollectionSpec spec = preset == "clueweb"    ? clueweb_like()
+                        : preset == "congress" ? congress_like()
+                                               : wikipedia_like();
+  spec.total_bytes = static_cast<std::uint64_t>(mb * (1 << 20));
+  const auto coll = generate_collection(spec, dir);
+  std::printf("generated %zu files, %s compressed / %s raw, %llu docs\n",
+              coll.files.size(), format_bytes(coll.total_compressed()).c_str(),
+              format_bytes(coll.total_uncompressed()).c_str(),
+              static_cast<unsigned long long>(coll.total_docs()));
+  return 0;
+}
+
+int cmd_build(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string corpus_dir = argv[0];
+  const std::string index_dir = argv[1];
+  IndexBuilder builder;
+  builder.parsers(2).cpu_indexers(2).gpus(2);
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--parsers") == 0 && i + 1 < argc) {
+      builder.parsers(static_cast<std::size_t>(std::atoi(argv[++i])));
+    } else if (std::strcmp(argv[i], "--cpus") == 0 && i + 1 < argc) {
+      builder.cpu_indexers(static_cast<std::size_t>(std::atoi(argv[++i])));
+    } else if (std::strcmp(argv[i], "--gpus") == 0 && i + 1 < argc) {
+      builder.gpus(static_cast<std::size_t>(std::atoi(argv[++i])));
+    } else if (std::strcmp(argv[i], "--positions") == 0) {
+      builder.config().parser.record_positions = true;
+    } else if (std::strcmp(argv[i], "--merge") == 0) {
+      builder.merge_output(true);
+    }
+  }
+  const auto files = corpus_files(corpus_dir);
+  if (files.empty()) {
+    std::fprintf(stderr, "no .hdc container files under %s\n", corpus_dir.c_str());
+    return 1;
+  }
+  const auto report = builder.build(files, index_dir);
+  std::printf("indexed %llu docs / %llu tokens into %llu terms across %zu runs\n",
+              static_cast<unsigned long long>(report.documents),
+              static_cast<unsigned long long>(report.tokens),
+              static_cast<unsigned long long>(report.terms), report.runs.size());
+  std::printf("wall %.2f s (%.1f MB/s on this host); CPU/GPU token split %llu / %llu\n",
+              report.total_seconds, report.throughput_mb_s(),
+              static_cast<unsigned long long>(report.cpu_total().tokens),
+              static_cast<unsigned long long>(report.gpu_total().tokens));
+  return 0;
+}
+
+int cmd_query(int argc, char** argv, bool phrase) {
+  if (argc < 2) return usage();
+  const auto index = InvertedIndex::open(argv[0]);
+  std::vector<std::string> terms;
+  for (int i = 1; i < argc; ++i) terms.push_back(normalize_term(argv[i]));
+  const auto hits = phrase ? phrase_query(index, terms) : conjunctive_query(index, terms);
+  if (!hits) {
+    std::printf("no results (a term is absent%s)\n",
+                phrase ? " or the index has no positions" : "");
+    return 0;
+  }
+  std::printf("%zu matching documents\n", hits->doc_ids.size());
+  for (std::size_t i = 0; i < hits->doc_ids.size() && i < 20; ++i) {
+    std::printf("  doc %-10u score %u\n", hits->doc_ids[i], hits->tfs[i]);
+  }
+  if (hits->doc_ids.size() > 20) std::printf("  ... (%zu more)\n", hits->doc_ids.size() - 20);
+  return 0;
+}
+
+int cmd_search(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const auto index = InvertedIndex::open(argv[0]);
+  const auto docs = DocMap::open(doc_map_path(argv[0]));
+  std::vector<std::string> terms;
+  for (int i = 1; i < argc; ++i) terms.push_back(normalize_term(argv[i]));
+  const auto hits = bm25_query(index, docs, terms, 10);
+  if (hits.empty()) {
+    std::printf("no results\n");
+    return 0;
+  }
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    std::printf("%2zu. %-48s  (doc %u, score %.3f)\n", i + 1,
+                docs.location(hits[i].doc_id).url.c_str(), hits[i].doc_id,
+                hits[i].score);
+  }
+  return 0;
+}
+
+int cmd_stats(int argc, char** argv) {
+  if (argc < 1) return usage();
+  const auto index = InvertedIndex::open(argv[0]);
+  std::printf("terms: %llu, runs: %zu\n",
+              static_cast<unsigned long long>(index.term_count()), index.run_count());
+  // Top-10 longest postings lists.
+  std::vector<std::pair<std::size_t, std::string>> top;
+  for (const auto& e : index.entries()) {
+    const auto p = index.lookup(e.term);
+    top.emplace_back(p->doc_ids.size(), e.term);
+  }
+  std::sort(top.rbegin(), top.rend());
+  std::printf("most frequent terms:\n");
+  for (std::size_t i = 0; i < top.size() && i < 10; ++i) {
+    std::printf("  %-20s %zu docs\n", top[i].second.c_str(), top[i].first);
+  }
+  return 0;
+}
+
+int cmd_verify(int argc, char** argv) {
+  if (argc < 1) return usage();
+  const auto report = verify_index(argv[0]);
+  std::printf("terms %llu, runs %llu, postings %llu, encoded %s\n",
+              static_cast<unsigned long long>(report.terms),
+              static_cast<unsigned long long>(report.runs),
+              static_cast<unsigned long long>(report.postings),
+              format_bytes(report.encoded_bytes).c_str());
+  if (report.ok) {
+    std::printf("index OK\n");
+    return 0;
+  }
+  for (const auto& e : report.errors) std::printf("ERROR: %s\n", e.c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  if (cmd == "generate") return cmd_generate(argc - 2, argv + 2);
+  if (cmd == "build") return cmd_build(argc - 2, argv + 2);
+  if (cmd == "query") return cmd_query(argc - 2, argv + 2, false);
+  if (cmd == "search") return cmd_search(argc - 2, argv + 2);
+  if (cmd == "phrase") return cmd_query(argc - 2, argv + 2, true);
+  if (cmd == "stats") return cmd_stats(argc - 2, argv + 2);
+  if (cmd == "verify") return cmd_verify(argc - 2, argv + 2);
+  return usage();
+}

@@ -1,0 +1,264 @@
+#include "baseline/baselines.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <unordered_map>
+
+#include "corpus/container.hpp"
+#include "dict/dictionary.hpp"
+#include "parse/parser.hpp"
+#include "util/timer.hpp"
+
+namespace hetindex {
+namespace {
+
+/// Shared front end: parse all files into flat token streams, one vector
+/// per file, so every baseline pays an identical text-processing cost and
+/// differences isolate the index structure.
+struct ParsedInput {
+  std::vector<std::vector<Parser::FlatToken>> per_file;
+  std::vector<std::uint32_t> doc_base;
+  double parse_seconds = 0;
+  std::uint64_t tokens = 0;
+  std::uint64_t uncompressed_bytes = 0;
+};
+
+ParsedInput parse_all(const std::vector<std::string>& files) {
+  ParsedInput input;
+  Parser parser;
+  WallTimer t;
+  std::uint32_t base = 0;
+  for (const auto& file : files) {
+    const auto docs = container_read(file);
+    input.doc_base.push_back(base);
+    base += static_cast<std::uint32_t>(docs.size());
+    for (const auto& d : docs) input.uncompressed_bytes += d.body.size() + d.url.size() + 8;
+    input.per_file.push_back(parser.parse_flat(docs));
+    input.tokens += input.per_file.back().size();
+  }
+  input.parse_seconds = t.seconds();
+  return input;
+}
+
+void append_posting(PostingsList& list, std::uint32_t doc) {
+  if (!list.doc_ids.empty() && list.doc_ids.back() == doc) {
+    ++list.tfs.back();
+  } else {
+    list.doc_ids.push_back(doc);
+    list.tfs.push_back(1);
+  }
+}
+
+/// Extracts the final sorted index from a dictionary + postings store.
+std::map<std::string, PostingsList> extract(const DictionaryShard& shard,
+                                            const PostingsStore& store) {
+  std::map<std::string, PostingsList> out;
+  shard.for_each_tree([&](std::uint32_t idx, const BTree& tree) {
+    const std::string prefix = trie_prefix(idx);
+    tree.for_each([&](std::string_view suffix, std::uint32_t handle) {
+      out[prefix + std::string(suffix)] = store.list(handle);
+    });
+  });
+  return out;
+}
+
+}  // namespace
+
+BaselineResult hash_index(const std::vector<std::string>& files) {
+  BaselineResult result;
+  auto input = parse_all(files);
+  result.parse_seconds = input.parse_seconds;
+  result.tokens = input.tokens;
+  result.uncompressed_bytes = input.uncompressed_bytes;
+
+  WallTimer t;
+  std::unordered_map<std::string, PostingsList> index;
+  for (std::size_t f = 0; f < input.per_file.size(); ++f) {
+    for (const auto& tok : input.per_file[f]) {
+      append_posting(index[tok.term], input.doc_base[f] + tok.local_doc);
+    }
+  }
+  for (auto& [term, list] : index) result.index[term] = std::move(list);
+  result.index_seconds = t.seconds();
+  return result;
+}
+
+BaselineResult serial_trie_index(const std::vector<std::string>& files, bool regrouped) {
+  BaselineResult result;
+  auto input = parse_all(files);
+  result.parse_seconds = input.parse_seconds;
+  result.tokens = input.tokens;
+  result.uncompressed_bytes = input.uncompressed_bytes;
+
+  // Step 5's effect: group by collection so consecutive inserts hit the
+  // same small B-tree (cache-resident). Regrouping is a *parser* step
+  // (§III.C charges it ~5% of parse time), so it is performed before the
+  // indexing timer starts.
+  if (regrouped) {
+    for (auto& toks : input.per_file) {
+      std::stable_sort(toks.begin(), toks.end(),
+                       [](const Parser::FlatToken& a, const Parser::FlatToken& b) {
+                         return a.trie_idx < b.trie_idx;
+                       });
+    }
+  }
+  WallTimer t;
+  DictionaryShard shard;
+  PostingsStore store;
+  for (std::size_t f = 0; f < input.per_file.size(); ++f) {
+    auto& toks = input.per_file[f];
+    for (const auto& tok : toks) {
+      auto res = shard.tree(tok.trie_idx)
+                     .find_or_insert(trie_suffix(tok.term, tok.trie_idx));
+      if (res.created) *res.postings_slot = store.create();
+      // Regrouped order is per-collection doc-sorted, so PostingsStore's
+      // monotone-append invariant still holds within each list.
+      store.add(*res.postings_slot, input.doc_base[f] + tok.local_doc);
+    }
+  }
+  result.index = extract(shard, store);
+  result.index_seconds = t.seconds();
+  return result;
+}
+
+BaselineResult single_btree_index(const std::vector<std::string>& files) {
+  BaselineResult result;
+  auto input = parse_all(files);
+  result.parse_seconds = input.parse_seconds;
+  result.tokens = input.tokens;
+  result.uncompressed_bytes = input.uncompressed_bytes;
+
+  WallTimer t;
+  Arena arena;
+  BTree tree(arena);
+  PostingsStore store;
+  for (std::size_t f = 0; f < input.per_file.size(); ++f) {
+    for (const auto& tok : input.per_file[f]) {
+      auto res = tree.find_or_insert(tok.term);  // full term, no prefix strip
+      if (res.created) *res.postings_slot = store.create();
+      store.add(*res.postings_slot, input.doc_base[f] + tok.local_doc);
+    }
+  }
+  tree.for_each([&](std::string_view term, std::uint32_t handle) {
+    result.index[std::string(term)] = store.list(handle);
+  });
+  result.index_seconds = t.seconds();
+  return result;
+}
+
+BaselineResult sort_based_index(const std::vector<std::string>& files,
+                                std::size_t run_budget_tuples) {
+  BaselineResult result;
+  auto input = parse_all(files);
+  result.parse_seconds = input.parse_seconds;
+  result.tokens = input.tokens;
+  result.uncompressed_bytes = input.uncompressed_bytes;
+
+  WallTimer t;
+  using Tuple = std::pair<std::string, std::uint32_t>;  // (term, doc)
+  std::vector<std::vector<std::pair<Tuple, std::uint32_t>>> runs;  // sorted, tf-agg
+  std::vector<Tuple> buffer;
+
+  auto flush = [&] {
+    if (buffer.empty()) return;
+    std::sort(buffer.begin(), buffer.end());
+    std::vector<std::pair<Tuple, std::uint32_t>> run;
+    for (const auto& tup : buffer) {
+      if (!run.empty() && run.back().first == tup) {
+        ++run.back().second;
+      } else {
+        run.emplace_back(tup, 1);
+      }
+    }
+    runs.push_back(std::move(run));
+    buffer.clear();
+  };
+
+  for (std::size_t f = 0; f < input.per_file.size(); ++f) {
+    for (const auto& tok : input.per_file[f]) {
+      buffer.emplace_back(tok.term, input.doc_base[f] + tok.local_doc);
+      if (buffer.size() >= run_budget_tuples) flush();
+    }
+  }
+  flush();
+
+  // K-way merge of sorted runs into final postings lists.
+  using Cursor = std::pair<std::pair<Tuple, std::uint32_t>, std::size_t>;  // (entry, run)
+  auto cmp = [](const Cursor& a, const Cursor& b) { return a.first > b.first; };
+  std::priority_queue<Cursor, std::vector<Cursor>, decltype(cmp)> heap(cmp);
+  std::vector<std::size_t> pos(runs.size(), 0);
+  for (std::size_t r = 0; r < runs.size(); ++r) {
+    if (!runs[r].empty()) heap.push({runs[r][0], r});
+  }
+  while (!heap.empty()) {
+    auto [entry, r] = heap.top();
+    heap.pop();
+    const auto& [tuple, tf] = entry;
+    auto& list = result.index[tuple.first];
+    if (!list.doc_ids.empty() && list.doc_ids.back() == tuple.second) {
+      list.tfs.back() += tf;  // same (term, doc) split across runs
+    } else {
+      list.doc_ids.push_back(tuple.second);
+      list.tfs.push_back(tf);
+    }
+    if (++pos[r] < runs[r].size()) heap.push({runs[r][pos[r]], r});
+  }
+  result.index_seconds = t.seconds();
+  return result;
+}
+
+BaselineResult spimi_index(const std::vector<std::string>& files,
+                           std::size_t run_budget_postings) {
+  BaselineResult result;
+  auto input = parse_all(files);
+  result.parse_seconds = input.parse_seconds;
+  result.tokens = input.tokens;
+  result.uncompressed_bytes = input.uncompressed_bytes;
+
+  WallTimer t;
+  std::vector<std::vector<std::pair<std::string, PostingsList>>> runs;  // term-sorted
+  std::unordered_map<std::string, PostingsList> current;
+  std::size_t current_postings = 0;
+
+  auto flush = [&] {
+    if (current.empty()) return;
+    std::vector<std::pair<std::string, PostingsList>> run;
+    run.reserve(current.size());
+    for (auto& [term, list] : current) run.emplace_back(term, std::move(list));
+    // Heinz–Zobel write the run's dictionary in lexicographic order (it is
+    // what makes front-coding and the final merge cheap).
+    std::sort(run.begin(), run.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    runs.push_back(std::move(run));
+    current.clear();
+    current_postings = 0;
+  };
+
+  for (std::size_t f = 0; f < input.per_file.size(); ++f) {
+    for (const auto& tok : input.per_file[f]) {
+      auto& list = current[tok.term];
+      append_posting(list, input.doc_base[f] + tok.local_doc);
+      if (++current_postings >= run_budget_postings) flush();
+    }
+  }
+  flush();
+
+  // Merge runs (runs are in temporal order → doc ids increase across runs).
+  for (auto& run : runs) {
+    for (auto& [term, list] : run) {
+      auto& target = result.index[term];
+      for (std::size_t i = 0; i < list.size(); ++i) {
+        if (!target.doc_ids.empty() && target.doc_ids.back() == list.doc_ids[i]) {
+          target.tfs.back() += list.tfs[i];
+        } else {
+          target.doc_ids.push_back(list.doc_ids[i]);
+          target.tfs.push_back(list.tfs[i]);
+        }
+      }
+    }
+  }
+  result.index_seconds = t.seconds();
+  return result;
+}
+
+}  // namespace hetindex

@@ -1,0 +1,56 @@
+#pragma once
+/// \file baselines.hpp
+/// Single-node baseline indexers:
+///  - hash_index: std::unordered_map reference (ground truth for tests);
+///  - serial_trie_index: one CPU thread over the hybrid trie + B-tree
+///    dictionary, with regrouping ON or OFF — the §III.C ablation ("even
+///    in the case when indexing is carried out by a serial CPU thread,
+///    regrouping results in approximately 15-fold speedup");
+///  - single_btree_index: one global B-tree, no trie — isolates the trie's
+///    contribution (§III.B.1's "many small B-trees" argument);
+///  - sort_based_index: Moffat & Bell [3] (accumulate runs, sort, merge);
+///  - spimi_index: Heinz & Zobel single-pass in-memory indexing [4].
+/// All produce the same logical index so they are cross-checkable.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "postings/postings_store.hpp"
+
+namespace hetindex {
+
+struct BaselineResult {
+  std::map<std::string, PostingsList> index;
+  double parse_seconds = 0;  ///< shared text processing cost
+  double index_seconds = 0;  ///< data-structure construction cost
+  std::uint64_t tokens = 0;
+  std::uint64_t uncompressed_bytes = 0;
+
+  [[nodiscard]] std::uint64_t terms() const { return index.size(); }
+  [[nodiscard]] double total_seconds() const { return parse_seconds + index_seconds; }
+};
+
+/// Reference indexer over container files.
+BaselineResult hash_index(const std::vector<std::string>& files);
+
+/// Serial hybrid trie + B-tree indexer. With `regrouped` false the token
+/// stream is consumed in raw document order (cache-hostile); with true it
+/// is consumed collection-by-collection as the parser's Step 5 emits it.
+BaselineResult serial_trie_index(const std::vector<std::string>& files, bool regrouped);
+
+/// One global degree-16 B-tree over full terms (no trie, no prefix strip).
+BaselineResult single_btree_index(const std::vector<std::string>& files);
+
+/// Moffat–Bell sort-based inversion: buffer <term, doc, tf> tuples until
+/// `run_budget_tuples`, sort each run, k-way merge the runs at the end.
+BaselineResult sort_based_index(const std::vector<std::string>& files,
+                                std::size_t run_budget_tuples = 1 << 20);
+
+/// Heinz–Zobel SPIMI: per-run hash dictionary with postings, runs flushed
+/// in sorted term order and merged at the end.
+BaselineResult spimi_index(const std::vector<std::string>& files,
+                           std::size_t run_budget_postings = 1 << 20);
+
+}  // namespace hetindex

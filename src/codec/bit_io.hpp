@@ -1,0 +1,93 @@
+#pragma once
+/// \file bit_io.hpp
+/// MSB-first bit stream reader/writer backing the Elias-γ and Golomb posting
+/// codecs (§II: "γ encoding and Golomb compression").
+
+#include <cstdint>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace hetindex {
+
+/// Appends bits MSB-first into a byte vector.
+class BitWriter {
+ public:
+  explicit BitWriter(std::vector<std::uint8_t>& out) : out_(out) {}
+
+  /// Writes the low `count` bits of `bits` (MSB of that field first).
+  void write(std::uint64_t bits, unsigned count) {
+    HET_DCHECK(count <= 64);
+    for (unsigned i = count; i-- > 0;) put_bit((bits >> i) & 1u);
+  }
+
+  /// Writes `n` one-bits followed by a zero (unary code of n).
+  void write_unary(std::uint64_t n) {
+    for (std::uint64_t i = 0; i < n; ++i) put_bit(1);
+    put_bit(0);
+  }
+
+  /// Pads the final partial byte with zeros. Must be called before the
+  /// underlying buffer is consumed.
+  void flush() {
+    if (fill_ > 0) {
+      out_.push_back(static_cast<std::uint8_t>(current_ << (8 - fill_)));
+      current_ = 0;
+      fill_ = 0;
+    }
+  }
+
+  /// Total bits written so far (excluding flush padding).
+  [[nodiscard]] std::uint64_t bit_count() const { return bit_count_; }
+
+ private:
+  void put_bit(unsigned b) {
+    current_ = static_cast<std::uint8_t>((current_ << 1) | (b & 1u));
+    if (++fill_ == 8) {
+      out_.push_back(current_);
+      current_ = 0;
+      fill_ = 0;
+    }
+    ++bit_count_;
+  }
+  std::vector<std::uint8_t>& out_;
+  std::uint8_t current_ = 0;
+  unsigned fill_ = 0;
+  std::uint64_t bit_count_ = 0;
+};
+
+/// Reads bits MSB-first from a byte range.
+class BitReader {
+ public:
+  BitReader(const std::uint8_t* data, std::size_t bytes) : data_(data), bytes_(bytes) {}
+
+  [[nodiscard]] std::uint64_t read(unsigned count) {
+    HET_DCHECK(count <= 64);
+    std::uint64_t v = 0;
+    for (unsigned i = 0; i < count; ++i) v = (v << 1) | get_bit();
+    return v;
+  }
+
+  /// Counts one-bits until the terminating zero.
+  [[nodiscard]] std::uint64_t read_unary() {
+    std::uint64_t n = 0;
+    while (get_bit()) ++n;
+    return n;
+  }
+
+  [[nodiscard]] std::uint64_t bits_consumed() const { return bit_pos_; }
+
+ private:
+  unsigned get_bit() {
+    const std::size_t byte = bit_pos_ >> 3;
+    HET_CHECK_MSG(byte < bytes_, "bit stream overrun");
+    const unsigned bit = 7 - (bit_pos_ & 7);
+    ++bit_pos_;
+    return (data_[byte] >> bit) & 1u;
+  }
+  const std::uint8_t* data_;
+  std::size_t bytes_;
+  std::uint64_t bit_pos_ = 0;
+};
+
+}  // namespace hetindex

@@ -1,0 +1,240 @@
+#include "codec/lz.hpp"
+
+#include <cstring>
+
+#include "util/check.hpp"
+#include "util/crc32.hpp"
+
+namespace hetindex {
+namespace {
+
+constexpr std::uint32_t kMagic = 0x485A4C31;  // "1LZH"
+constexpr std::size_t kBlockSize = 1u << 20;
+constexpr std::size_t kMinMatch = 4;
+constexpr std::size_t kHashBits = 16;
+constexpr std::size_t kMaxOffset = 0xFFFF;
+
+inline std::uint32_t hash4(const std::uint8_t* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, 4);
+  return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  const auto n = out.size();
+  out.resize(n + 4);
+  std::memcpy(out.data() + n, &v, 4);
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  const auto n = out.size();
+  out.resize(n + 8);
+  std::memcpy(out.data() + n, &v, 8);
+}
+
+std::uint32_t get_u32(const std::uint8_t* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+
+std::uint64_t get_u64(const std::uint8_t* p) {
+  std::uint64_t v;
+  std::memcpy(&v, p, 8);
+  return v;
+}
+
+void put_length_ext(std::vector<std::uint8_t>& out, std::size_t extra) {
+  // LZ4-style length extension: bytes of 255 then a final byte < 255.
+  while (extra >= 255) {
+    out.push_back(255);
+    extra -= 255;
+  }
+  out.push_back(static_cast<std::uint8_t>(extra));
+}
+
+std::size_t get_length_ext(const std::uint8_t* data, std::size_t size, std::size_t& pos) {
+  std::size_t extra = 0;
+  while (true) {
+    HET_CHECK_MSG(pos < size, "lz length extension overrun");
+    const std::uint8_t b = data[pos++];
+    extra += b;
+    if (b != 255) return extra;
+  }
+}
+
+/// Compresses one block; returns empty when the block is incompressible
+/// (compressed form would not be smaller).
+std::vector<std::uint8_t> compress_block(const std::uint8_t* src, std::size_t n) {
+  std::vector<std::uint8_t> out;
+  out.reserve(n / 2 + 64);
+  std::vector<std::uint32_t> table(std::size_t{1} << kHashBits, 0xFFFFFFFFu);
+
+  std::size_t pos = 0;
+  std::size_t literal_start = 0;
+
+  auto emit_sequence = [&](std::size_t lit_end, std::size_t match_len, std::size_t offset) {
+    const std::size_t lit_len = lit_end - literal_start;
+    const std::size_t ml_field = match_len == 0 ? 0 : match_len - kMinMatch;
+    const std::uint8_t token =
+        static_cast<std::uint8_t>((std::min<std::size_t>(lit_len, 15) << 4) |
+                                  std::min<std::size_t>(ml_field, 15));
+    out.push_back(token);
+    if (lit_len >= 15) put_length_ext(out, lit_len - 15);
+    out.insert(out.end(), src + literal_start, src + lit_end);
+    // offset 0 is the end-of-block marker (no match follows).
+    out.push_back(static_cast<std::uint8_t>(offset & 0xFF));
+    out.push_back(static_cast<std::uint8_t>(offset >> 8));
+    if (match_len > 0 && ml_field >= 15) put_length_ext(out, ml_field - 15);
+  };
+
+  while (pos + kMinMatch <= n) {
+    const std::uint32_t h = hash4(src + pos);
+    const std::uint32_t cand = table[h];
+    table[h] = static_cast<std::uint32_t>(pos);
+    if (cand != 0xFFFFFFFFu && pos - cand <= kMaxOffset &&
+        std::memcmp(src + cand, src + pos, kMinMatch) == 0) {
+      std::size_t len = kMinMatch;
+      while (pos + len < n && src[cand + len] == src[pos + len]) ++len;
+      emit_sequence(pos, len, pos - cand);
+      // Insert a few positions inside the match to keep the table fresh.
+      const std::size_t end = pos + len;
+      for (std::size_t i = pos + 1; i + kMinMatch <= end && i < pos + 16; ++i) {
+        table[hash4(src + i)] = static_cast<std::uint32_t>(i);
+      }
+      pos = end;
+      literal_start = pos;
+    } else {
+      ++pos;
+    }
+    if (out.size() + (pos - literal_start) >= n) return {};  // not compressing
+  }
+  emit_sequence(n, 0, 0);
+  if (out.size() >= n) return {};
+  return out;
+}
+
+void decompress_block(const std::uint8_t* data, std::size_t size, std::uint8_t* dst,
+                      std::size_t raw_len) {
+  std::size_t pos = 0;
+  std::size_t out = 0;
+  while (true) {
+    HET_CHECK_MSG(pos < size, "lz block truncated");
+    const std::uint8_t token = data[pos++];
+    std::size_t lit_len = token >> 4;
+    if (lit_len == 15) lit_len += get_length_ext(data, size, pos);
+    HET_CHECK_MSG(pos + lit_len <= size && out + lit_len <= raw_len, "lz literal overrun");
+    std::memcpy(dst + out, data + pos, lit_len);
+    pos += lit_len;
+    out += lit_len;
+    HET_CHECK_MSG(pos + 2 <= size, "lz offset truncated");
+    const std::size_t offset = data[pos] | (static_cast<std::size_t>(data[pos + 1]) << 8);
+    pos += 2;
+    if (offset == 0) {
+      HET_CHECK_MSG(out == raw_len, "lz block raw length mismatch");
+      return;
+    }
+    std::size_t match_len = (token & 0x0F);
+    if (match_len == 15) match_len += get_length_ext(data, size, pos);
+    match_len += kMinMatch;
+    HET_CHECK_MSG(offset <= out && out + match_len <= raw_len, "lz match overrun");
+    // Byte-by-byte copy: matches may overlap their own output (RLE case).
+    const std::uint8_t* from = dst + out - offset;
+    for (std::size_t i = 0; i < match_len; ++i) dst[out + i] = from[i];
+    out += match_len;
+  }
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> lz_compress(const std::uint8_t* input, std::size_t size) {
+  std::vector<std::uint8_t> out;
+  out.reserve(size / 2 + 64);
+  put_u32(out, kMagic);
+  put_u64(out, size);
+  for (std::size_t off = 0; off < size || off == 0; off += kBlockSize) {
+    const std::size_t raw_len = std::min(kBlockSize, size - off);
+    const auto block = compress_block(input + off, raw_len);
+    put_u32(out, static_cast<std::uint32_t>(raw_len));
+    put_u32(out, static_cast<std::uint32_t>(block.size()));
+    put_u32(out, crc32(input + off, raw_len));
+    if (block.empty()) {
+      out.insert(out.end(), input + off, input + off + raw_len);  // stored
+    } else {
+      out.insert(out.end(), block.begin(), block.end());
+    }
+    if (size == 0) break;
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> lz_compress(const std::vector<std::uint8_t>& input) {
+  return lz_compress(input.data(), input.size());
+}
+
+std::uint64_t lz_raw_size(const std::uint8_t* input, std::size_t size) {
+  HET_CHECK_MSG(size >= 12 && get_u32(input) == kMagic, "bad lz frame header");
+  return get_u64(input + 4);
+}
+
+std::vector<std::uint8_t> lz_decompress(const std::uint8_t* input, std::size_t size) {
+  const std::uint64_t raw_size = lz_raw_size(input, size);
+  std::vector<std::uint8_t> out(raw_size);
+  std::size_t pos = 12;
+  std::size_t produced = 0;
+  while (produced < raw_size || (raw_size == 0 && pos < size)) {
+    HET_CHECK_MSG(pos + 12 <= size, "lz frame truncated");
+    const std::uint32_t raw_len = get_u32(input + pos);
+    const std::uint32_t comp_len = get_u32(input + pos + 4);
+    const std::uint32_t crc = get_u32(input + pos + 8);
+    pos += 12;
+    HET_CHECK_MSG(produced + raw_len <= raw_size, "lz frame raw size mismatch");
+    if (comp_len == 0) {
+      HET_CHECK_MSG(pos + raw_len <= size, "lz stored block truncated");
+      std::memcpy(out.data() + produced, input + pos, raw_len);
+      pos += raw_len;
+    } else {
+      HET_CHECK_MSG(pos + comp_len <= size, "lz compressed block truncated");
+      decompress_block(input + pos, comp_len, out.data() + produced, raw_len);
+      pos += comp_len;
+    }
+    HET_CHECK_MSG(crc32(out.data() + produced, raw_len) == crc, "lz block crc mismatch");
+    produced += raw_len;
+    if (raw_size == 0) break;
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> lz_decompress(const std::vector<std::uint8_t>& input) {
+  return lz_decompress(input.data(), input.size());
+}
+
+std::vector<std::uint8_t> lz_decompress_prefix(const std::uint8_t* input, std::size_t size,
+                                               std::uint64_t max_raw) {
+  const std::uint64_t raw_size = lz_raw_size(input, size);
+  const std::uint64_t want = std::min(raw_size, max_raw);
+  std::vector<std::uint8_t> out;
+  out.reserve(want + kBlockSize);
+  std::size_t pos = 12;
+  while (out.size() < want && pos + 12 <= size) {
+    const std::uint32_t raw_len = get_u32(input + pos);
+    const std::uint32_t comp_len = get_u32(input + pos + 4);
+    const std::uint32_t crc = get_u32(input + pos + 8);
+    pos += 12;
+    const std::size_t at = out.size();
+    out.resize(at + raw_len);
+    if (comp_len == 0) {
+      HET_CHECK_MSG(pos + raw_len <= size, "lz stored block truncated");
+      std::memcpy(out.data() + at, input + pos, raw_len);
+      pos += raw_len;
+    } else {
+      HET_CHECK_MSG(pos + comp_len <= size, "lz compressed block truncated");
+      decompress_block(input + pos, comp_len, out.data() + at, raw_len);
+      pos += comp_len;
+    }
+    HET_CHECK_MSG(crc32(out.data() + at, raw_len) == crc, "lz block crc mismatch");
+  }
+  return out;
+}
+
+}  // namespace hetindex

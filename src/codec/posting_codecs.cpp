@@ -1,0 +1,271 @@
+#include "codec/posting_codecs.hpp"
+
+#include <bit>
+#include <cmath>
+
+#include "codec/bit_io.hpp"
+#include "util/check.hpp"
+
+namespace hetindex {
+
+void vbyte_encode(std::uint64_t value, std::vector<std::uint8_t>& out) {
+  while (value >= 0x80) {
+    out.push_back(static_cast<std::uint8_t>(value) | 0x80u);
+    value >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(value));
+}
+
+std::uint64_t vbyte_decode(const std::uint8_t* data, std::size_t size, std::size_t& pos) {
+  std::uint64_t value = 0;
+  unsigned shift = 0;
+  while (true) {
+    HET_CHECK_MSG(pos < size, "vbyte stream overrun");
+    const std::uint8_t byte = data[pos++];
+    value |= static_cast<std::uint64_t>(byte & 0x7Fu) << shift;
+    if ((byte & 0x80u) == 0) return value;
+    shift += 7;
+    HET_CHECK_MSG(shift < 64, "vbyte value overflow");
+  }
+}
+
+namespace {
+
+void gamma_put(BitWriter& bw, std::uint64_t v) {
+  HET_DCHECK(v >= 1);
+  const unsigned bits = 63 - static_cast<unsigned>(std::countl_zero(v));
+  bw.write_unary(bits);
+  bw.write(v & ((std::uint64_t{1} << bits) - 1), bits);
+}
+
+std::uint64_t gamma_get(BitReader& br) {
+  const auto bits = static_cast<unsigned>(br.read_unary());
+  HET_CHECK_MSG(bits < 64, "gamma code overflow");
+  return (std::uint64_t{1} << bits) | br.read(bits);
+}
+
+void golomb_put(BitWriter& bw, std::uint64_t v, std::uint64_t b) {
+  HET_DCHECK(v >= 1 && b >= 1);
+  const std::uint64_t x = v - 1;  // Golomb codes non-negative residuals
+  bw.write_unary(x / b);
+  const std::uint64_t r = x % b;
+  // Truncated binary encoding of the remainder.
+  const unsigned k = (b == 1) ? 0 : 64 - static_cast<unsigned>(std::countl_zero(b - 1));
+  const std::uint64_t cutoff = (std::uint64_t{1} << k) - b;
+  if (r < cutoff) {
+    if (k > 0) bw.write(r, k - 1);
+  } else {
+    bw.write(r + cutoff, k);
+  }
+}
+
+std::uint64_t golomb_get(BitReader& br, std::uint64_t b) {
+  const std::uint64_t q = br.read_unary();
+  const unsigned k = (b == 1) ? 0 : 64 - static_cast<unsigned>(std::countl_zero(b - 1));
+  const std::uint64_t cutoff = (std::uint64_t{1} << k) - b;
+  std::uint64_t r = 0;
+  if (b > 1) {
+    r = br.read(k - 1);
+    if (r >= cutoff) r = ((r << 1) | br.read(1)) - cutoff;
+  }
+  return q * b + r + 1;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_postings(PostingCodec codec,
+                                          const std::vector<std::uint32_t>& doc_ids,
+                                          const std::vector<std::uint32_t>& tfs,
+                                          const std::vector<std::uint32_t>* positions) {
+  HET_CHECK(doc_ids.size() == tfs.size());
+  const bool positional = positions != nullptr && !positions->empty();
+  std::vector<std::uint8_t> out;
+  out.reserve(doc_ids.size() * 2 + 16);
+  // Common header: count, codec byte (high bit = positional), and for
+  // Golomb the parameter b.
+  vbyte_encode(doc_ids.size(), out);
+  out.push_back(static_cast<std::uint8_t>(codec) |
+                static_cast<std::uint8_t>(positional ? 0x80 : 0));
+  if (doc_ids.empty()) return out;
+
+  // Gaps: first doc_id + 1 (so every symbol is >= 1), then deltas. In
+  // positional mode, each posting's tf in-document positions follow as
+  // +1-shifted gaps relative to the previous position in the same doc.
+  std::vector<std::uint64_t> symbols;
+  symbols.reserve(doc_ids.size() * 2);
+  std::uint32_t prev = 0;
+  std::size_t pos_cursor = 0;
+  for (std::size_t i = 0; i < doc_ids.size(); ++i) {
+    const std::uint64_t gap = (i == 0) ? std::uint64_t{doc_ids[0]} + 1
+                                       : std::uint64_t{doc_ids[i]} - prev;
+    HET_CHECK_MSG(i == 0 || doc_ids[i] > prev, "postings doc ids must be strictly increasing");
+    HET_CHECK_MSG(tfs[i] >= 1, "term frequency must be positive");
+    symbols.push_back(gap);
+    symbols.push_back(tfs[i]);
+    if (positional) {
+      HET_CHECK_MSG(pos_cursor + tfs[i] <= positions->size(),
+                    "positions shorter than sum of term frequencies");
+      std::uint32_t prev_pos = 0;
+      for (std::uint32_t k = 0; k < tfs[i]; ++k) {
+        const std::uint32_t p = (*positions)[pos_cursor++];
+        const std::uint64_t pgap =
+            k == 0 ? std::uint64_t{p} + 1 : std::uint64_t{p} - prev_pos + 1;
+        HET_CHECK_MSG(k == 0 || p >= prev_pos, "positions must be non-decreasing in a doc");
+        symbols.push_back(pgap);
+        prev_pos = p;
+      }
+    }
+    prev = doc_ids[i];
+  }
+  if (positional) {
+    HET_CHECK_MSG(pos_cursor == positions->size(),
+                  "positions longer than sum of term frequencies");
+  }
+
+  switch (codec) {
+    case PostingCodec::kVByte:
+      for (auto s : symbols) vbyte_encode(s, out);
+      break;
+    case PostingCodec::kGamma: {
+      BitWriter bw(out);
+      for (auto s : symbols) gamma_put(bw, s);
+      bw.flush();
+      break;
+    }
+    case PostingCodec::kGolomb: {
+      // Parameter from the mean of all symbols (dominated by doc gaps).
+      double mean = 0;
+      for (const auto sym : symbols) mean += static_cast<double>(sym);
+      mean /= static_cast<double>(symbols.size());
+      const std::uint64_t b = golomb_optimal_b(mean);
+      vbyte_encode(b, out);
+      BitWriter bw(out);
+      for (auto s : symbols) golomb_put(bw, s, b);
+      bw.flush();
+      break;
+    }
+  }
+  return out;
+}
+
+std::size_t decode_postings(PostingCodec codec, const std::vector<std::uint8_t>& data,
+                            std::vector<std::uint32_t>& doc_ids,
+                            std::vector<std::uint32_t>& tfs,
+                            std::vector<std::uint32_t>* positions, std::size_t start) {
+  std::size_t pos = start;
+  const std::uint64_t count = vbyte_decode(data.data(), data.size(), pos);
+  HET_CHECK_MSG(pos < data.size() || count == 0, "truncated postings header");
+  if (count == 0) {
+    ++pos;  // codec byte
+    return pos - start;
+  }
+  const std::uint8_t codec_byte = data[pos++];
+  const bool positional = (codec_byte & 0x80) != 0;
+  const auto stored = static_cast<PostingCodec>(codec_byte & 0x7F);
+  HET_CHECK_MSG(stored == codec, "postings codec mismatch");
+
+  auto emit = [&](std::uint64_t gap, std::uint64_t tf, bool first, std::uint32_t& prev) {
+    const std::uint64_t id = first ? gap - 1 : prev + gap;
+    HET_CHECK(id <= 0xFFFFFFFFull && tf <= 0xFFFFFFFFull);
+    doc_ids.push_back(static_cast<std::uint32_t>(id));
+    tfs.push_back(static_cast<std::uint32_t>(tf));
+    prev = static_cast<std::uint32_t>(id);
+  };
+  auto emit_pos = [&](std::uint64_t pgap, bool first, std::uint32_t& prev_pos) {
+    const std::uint64_t p = first ? pgap - 1 : prev_pos + pgap - 1;
+    HET_CHECK(p <= 0xFFFFFFFFull);
+    if (positions != nullptr) positions->push_back(static_cast<std::uint32_t>(p));
+    prev_pos = static_cast<std::uint32_t>(p);
+  };
+
+  std::uint32_t prev = 0;
+  switch (codec) {
+    case PostingCodec::kVByte:
+      for (std::uint64_t i = 0; i < count; ++i) {
+        const auto gap = vbyte_decode(data.data(), data.size(), pos);
+        const auto tf = vbyte_decode(data.data(), data.size(), pos);
+        emit(gap, tf, i == 0, prev);
+        if (positional) {
+          std::uint32_t prev_pos = 0;
+          for (std::uint64_t k = 0; k < tf; ++k)
+            emit_pos(vbyte_decode(data.data(), data.size(), pos), k == 0, prev_pos);
+        }
+      }
+      break;
+    case PostingCodec::kGamma: {
+      BitReader br(data.data() + pos, data.size() - pos);
+      for (std::uint64_t i = 0; i < count; ++i) {
+        const auto gap = gamma_get(br);
+        const auto tf = gamma_get(br);
+        emit(gap, tf, i == 0, prev);
+        if (positional) {
+          std::uint32_t prev_pos = 0;
+          for (std::uint64_t k = 0; k < tf; ++k) emit_pos(gamma_get(br), k == 0, prev_pos);
+        }
+      }
+      pos += (br.bits_consumed() + 7) / 8;  // encoder flushes to a byte edge
+      break;
+    }
+    case PostingCodec::kGolomb: {
+      const std::uint64_t b = vbyte_decode(data.data(), data.size(), pos);
+      BitReader br(data.data() + pos, data.size() - pos);
+      for (std::uint64_t i = 0; i < count; ++i) {
+        const auto gap = golomb_get(br, b);
+        const auto tf = golomb_get(br, b);
+        emit(gap, tf, i == 0, prev);
+        if (positional) {
+          std::uint32_t prev_pos = 0;
+          for (std::uint64_t k = 0; k < tf; ++k)
+            emit_pos(golomb_get(br, b), k == 0, prev_pos);
+        }
+      }
+      pos += (br.bits_consumed() + 7) / 8;
+      break;
+    }
+  }
+  return pos - start;
+}
+
+std::vector<std::uint8_t> gamma_encode_sequence(const std::vector<std::uint64_t>& values) {
+  std::vector<std::uint8_t> out;
+  BitWriter bw(out);
+  for (auto v : values) gamma_put(bw, v);
+  bw.flush();
+  return out;
+}
+
+std::vector<std::uint64_t> gamma_decode_sequence(const std::vector<std::uint8_t>& data,
+                                                 std::size_t count) {
+  std::vector<std::uint64_t> values;
+  values.reserve(count);
+  BitReader br(data.data(), data.size());
+  for (std::size_t i = 0; i < count; ++i) values.push_back(gamma_get(br));
+  return values;
+}
+
+std::vector<std::uint8_t> golomb_encode_sequence(const std::vector<std::uint64_t>& values,
+                                                 std::uint64_t b) {
+  HET_CHECK(b >= 1);
+  std::vector<std::uint8_t> out;
+  BitWriter bw(out);
+  for (auto v : values) golomb_put(bw, v, b);
+  bw.flush();
+  return out;
+}
+
+std::vector<std::uint64_t> golomb_decode_sequence(const std::vector<std::uint8_t>& data,
+                                                  std::size_t count, std::uint64_t b) {
+  HET_CHECK(b >= 1);
+  std::vector<std::uint64_t> values;
+  values.reserve(count);
+  BitReader br(data.data(), data.size());
+  for (std::size_t i = 0; i < count; ++i) values.push_back(golomb_get(br, b));
+  return values;
+}
+
+std::uint64_t golomb_optimal_b(double mean_gap) {
+  const double b = 0.69 * mean_gap;
+  return b < 1.0 ? 1 : static_cast<std::uint64_t>(b);
+}
+
+}  // namespace hetindex

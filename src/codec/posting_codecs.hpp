@@ -1,0 +1,61 @@
+#pragma once
+/// \file posting_codecs.hpp
+/// Gap compression codecs for postings lists. Document IDs within a postings
+/// list are sorted, so each codec encodes the sequence of gaps
+/// (first value absolute, then deltas ≥ 1) — the standard scheme the paper
+/// references in §II. The pipeline default is variable-byte (§III.E:
+/// "compress them with variable bytes encoding"); γ and Golomb are provided
+/// for the codec comparison bench.
+
+#include <cstdint>
+#include <vector>
+
+namespace hetindex {
+
+/// Variable-byte: 7 data bits per byte, high bit marks continuation.
+void vbyte_encode(std::uint64_t value, std::vector<std::uint8_t>& out);
+/// Decodes one value starting at `pos`, advancing `pos`.
+std::uint64_t vbyte_decode(const std::uint8_t* data, std::size_t size, std::size_t& pos);
+
+/// Codec identifiers persisted in run-file headers.
+enum class PostingCodec : std::uint8_t { kVByte = 0, kGamma = 1, kGolomb = 2 };
+
+/// Encodes a strictly-increasing docid sequence with per-doc term
+/// frequencies as gaps under the chosen codec. `tfs` must be the same length
+/// as `doc_ids`; each tf ≥ 1.
+///
+/// Positional mode: when `positions` is non-null it must hold Σtfs in-doc
+/// token positions (posting i owns the next tfs[i] entries, non-decreasing
+/// within the document); they are stored as per-document position gaps.
+/// The mode is recorded in the stream, so decoders detect it.
+std::vector<std::uint8_t> encode_postings(PostingCodec codec,
+                                          const std::vector<std::uint32_t>& doc_ids,
+                                          const std::vector<std::uint32_t>& tfs,
+                                          const std::vector<std::uint32_t>* positions = nullptr);
+
+/// Inverse of encode_postings. Appends into the output vectors; positions
+/// are appended into `positions` (if non-null) when the stream is
+/// positional. Returns the number of bytes consumed, so several encoded
+/// lists concatenated back to back (the §III.F merge pass concatenates
+/// partial lists byte-wise — each segment's first doc id is absolute) can
+/// be decoded in sequence.
+std::size_t decode_postings(PostingCodec codec, const std::vector<std::uint8_t>& data,
+                            std::vector<std::uint32_t>& doc_ids,
+                            std::vector<std::uint32_t>& tfs,
+                            std::vector<std::uint32_t>* positions = nullptr,
+                            std::size_t start = 0);
+
+/// White-box hooks for tests and the codec bench: round-trip raw value
+/// sequences through each bit-level code. Values must be ≥ 1 for γ.
+std::vector<std::uint8_t> gamma_encode_sequence(const std::vector<std::uint64_t>& values);
+std::vector<std::uint64_t> gamma_decode_sequence(const std::vector<std::uint8_t>& data,
+                                                 std::size_t count);
+/// Golomb with explicit parameter b ≥ 1. Values must be ≥ 1.
+std::vector<std::uint8_t> golomb_encode_sequence(const std::vector<std::uint64_t>& values,
+                                                 std::uint64_t b);
+std::vector<std::uint64_t> golomb_decode_sequence(const std::vector<std::uint8_t>& data,
+                                                  std::size_t count, std::uint64_t b);
+/// The classic optimal Golomb parameter b ≈ 0.69 · mean_gap (≥ 1).
+std::uint64_t golomb_optimal_b(double mean_gap);
+
+}  // namespace hetindex

@@ -1,0 +1,30 @@
+#include "core/hetindex.hpp"
+
+#include "text/porter.hpp"
+#include "text/tokenizer.hpp"
+
+namespace hetindex {
+
+std::string normalize_term(std::string_view raw) {
+  // Run the single token through the same path the parser uses.
+  std::string result;
+  tokenize(raw, [&](std::string_view tok) {
+    if (result.empty()) result = porter_stem(tok);
+  });
+  return result;
+}
+
+PipelineReport IndexBuilder::build(const std::vector<std::string>& files,
+                                   const std::string& output_dir) {
+  PipelineConfig config = config_;
+  config.output_dir = output_dir;
+  PipelineEngine engine(config);
+  return engine.build(files);
+}
+
+std::string version_string() {
+  return std::to_string(Version::major) + "." + std::to_string(Version::minor) + "." +
+         std::to_string(Version::patch);
+}
+
+}  // namespace hetindex

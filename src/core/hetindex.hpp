@@ -1,0 +1,76 @@
+#pragma once
+/// \file hetindex.hpp
+/// Public facade of the hetindex library — the one header downstream users
+/// include. Reproduces "A Fast Algorithm for Constructing Inverted Files on
+/// Heterogeneous Platforms" (Wei & JaJa, IPDPS 2011): a pipelined
+/// parser/indexer system with a hybrid trie + B-tree dictionary, CPU/GPU
+/// work splitting by term popularity, and per-run compressed postings
+/// output.
+///
+/// Quick start:
+///   hetindex::IndexBuilder builder;                 // paper defaults
+///   auto report = builder.build(files, "out_dir");  // construct index
+///   auto index = hetindex::InvertedIndex::open("out_dir");
+///   auto postings = index.lookup(hetindex::normalize_term("Parallelism"));
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "pipeline/config.hpp"
+#include "pipeline/engine.hpp"
+#include "pipeline/report.hpp"
+#include "postings/query.hpp"
+
+namespace hetindex {
+
+/// Applies the parser's term normalization (lowercase, Porter stem) to a
+/// query string so lookups match indexed terms.
+std::string normalize_term(std::string_view raw);
+
+/// High-level builder over PipelineEngine with ergonomic defaults.
+class IndexBuilder {
+ public:
+  IndexBuilder() = default;
+  explicit IndexBuilder(PipelineConfig config) : config_(std::move(config)) {}
+
+  /// Fluent knobs for the common parameters.
+  IndexBuilder& parsers(std::size_t m) {
+    config_.parsers = m;
+    return *this;
+  }
+  IndexBuilder& cpu_indexers(std::size_t n) {
+    config_.cpu_indexers = n;
+    return *this;
+  }
+  IndexBuilder& gpus(std::size_t n) {
+    config_.gpus = n;
+    return *this;
+  }
+  IndexBuilder& codec(PostingCodec codec) {
+    config_.codec = codec;
+    return *this;
+  }
+  IndexBuilder& merge_output(bool merge) {
+    config_.merge_after_build = merge;
+    return *this;
+  }
+  [[nodiscard]] PipelineConfig& config() { return config_; }
+
+  /// Builds inverted files for the container files under `output_dir`.
+  PipelineReport build(const std::vector<std::string>& files, const std::string& output_dir);
+
+ private:
+  PipelineConfig config_;
+};
+
+/// Library version.
+struct Version {
+  static constexpr int major = 1;
+  static constexpr int minor = 0;
+  static constexpr int patch = 0;
+};
+std::string version_string();
+
+}  // namespace hetindex

@@ -1,0 +1,110 @@
+#include "corpus/container.hpp"
+
+#include "codec/lz.hpp"
+#include "util/binary_io.hpp"
+#include "util/check.hpp"
+
+namespace hetindex {
+namespace {
+constexpr std::uint32_t kContainerMagic = 0x43444548;   // "HEDC"
+constexpr std::uint32_t kFileMagic = 0x46444548;        // "HEDF"
+}
+
+std::vector<std::uint8_t> container_pack(const std::vector<Document>& docs) {
+  std::vector<std::uint8_t> raw;
+  ByteWriter w(raw);
+  w.u32(kContainerMagic);
+  w.u32(static_cast<std::uint32_t>(docs.size()));
+  for (const auto& d : docs) {
+    w.str(d.url);
+    w.str(d.body);
+  }
+  return raw;
+}
+
+std::vector<Document> container_unpack(const std::vector<std::uint8_t>& raw) {
+  ByteReader r(raw);
+  HET_CHECK_MSG(r.u32() == kContainerMagic, "not a hetindex container payload");
+  const std::uint32_t count = r.u32();
+  std::vector<Document> docs(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    docs[i].local_id = i;
+    docs[i].url = r.str();
+    docs[i].body = r.str();
+  }
+  return docs;
+}
+
+ContainerSizes container_write(const std::string& path, const std::vector<Document>& docs) {
+  const auto raw = container_pack(docs);
+  auto compressed = lz_compress(raw);
+  // Uncompressed 8-byte file header: magic + doc count. The read scheduler
+  // assigns global doc-ID bases inside its serialized disk section, before
+  // decompression, so the count must be readable without inflating.
+  std::vector<std::uint8_t> out;
+  ByteWriter w(out);
+  w.u32(kFileMagic);
+  w.u32(static_cast<std::uint32_t>(docs.size()));
+  out.insert(out.end(), compressed.begin(), compressed.end());
+  write_file(path, out);
+  return {out.size(), raw.size()};
+}
+
+std::uint32_t container_header_doc_count(const std::uint8_t* file_bytes, std::size_t size) {
+  HET_CHECK_MSG(size >= 8, "container file too small");
+  ByteReader r(file_bytes, size);
+  HET_CHECK_MSG(r.u32() == kFileMagic, "not a hetindex container file");
+  return r.u32();
+}
+
+std::vector<Document> container_decompress(const std::uint8_t* file_bytes, std::size_t size) {
+  HET_CHECK_MSG(size >= 8, "container file too small");
+  const auto docs = container_unpack(lz_decompress(file_bytes + 8, size - 8));
+  HET_CHECK_MSG(docs.size() == container_header_doc_count(file_bytes, size),
+                "container header doc count mismatch");
+  return docs;
+}
+
+std::vector<Document> container_sample(const std::uint8_t* file_bytes, std::size_t size,
+                                       std::uint64_t max_raw_bytes) {
+  HET_CHECK_MSG(size >= 8, "container file too small");
+  const auto raw = lz_decompress_prefix(file_bytes + 8, size - 8, max_raw_bytes);
+  // Tolerant unpack: read whole documents while the prefix holds them.
+  std::vector<Document> docs;
+  if (raw.size() < 8) return docs;
+  ByteReader r(raw);
+  if (r.u32() != kContainerMagic) return docs;
+  const std::uint32_t count = r.u32();
+  for (std::uint32_t i = 0; i < count; ++i) {
+    if (r.remaining() < 4) break;
+    const std::size_t mark = r.position();
+    const std::uint32_t url_len = r.u32();
+    if (r.remaining() < url_len + 4) {
+      r.seek(mark);
+      break;
+    }
+    Document d;
+    d.local_id = i;
+    d.url.resize(url_len);
+    if (url_len) r.bytes(d.url.data(), url_len);
+    const std::uint32_t body_len = r.u32();
+    if (r.remaining() < body_len) break;
+    d.body.resize(body_len);
+    if (body_len) r.bytes(d.body.data(), body_len);
+    docs.push_back(std::move(d));
+  }
+  return docs;
+}
+
+std::vector<Document> container_read(const std::string& path) {
+  const auto file = read_file(path);
+  return container_decompress(file.data(), file.size());
+}
+
+std::uint64_t container_uncompressed_size(const std::string& path) {
+  const auto file = read_file(path);
+  HET_CHECK_MSG(file.size() >= 8, "container file too small");
+  return lz_raw_size(file.data() + 8, file.size() - 8);
+}
+
+}  // namespace hetindex

@@ -1,0 +1,51 @@
+#pragma once
+/// \file container.hpp
+/// The WARC-like collection container: one file packs many documents and is
+/// stored LZ-compressed, mirroring ClueWeb09's gzipped files ("a typical
+/// file ... is about 160MB compressed and 1GB uncompressed", §IV.A). The
+/// parser pipeline reads the compressed bytes from disk and decompresses in
+/// memory — the exact trade-off §IV.A analyzes.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "corpus/document.hpp"
+
+namespace hetindex {
+
+/// Serializes documents into an (uncompressed) record buffer.
+std::vector<std::uint8_t> container_pack(const std::vector<Document>& docs);
+/// Parses a record buffer back into documents (local ids = record order).
+std::vector<Document> container_unpack(const std::vector<std::uint8_t>& raw);
+
+/// Writes documents as an LZ-compressed container file; returns
+/// {compressed_bytes, uncompressed_bytes}.
+struct ContainerSizes {
+  std::uint64_t compressed = 0;
+  std::uint64_t uncompressed = 0;
+};
+ContainerSizes container_write(const std::string& path, const std::vector<Document>& docs);
+
+/// Reads a container file written by container_write.
+std::vector<Document> container_read(const std::string& path);
+
+/// Doc count from the uncompressed 8-byte file header (readable before
+/// decompression — the read scheduler needs it to assign doc-ID bases in
+/// file order).
+std::uint32_t container_header_doc_count(const std::uint8_t* file_bytes, std::size_t size);
+
+/// Decompresses an in-memory container file (header + LZ frame).
+std::vector<Document> container_decompress(const std::uint8_t* file_bytes, std::size_t size);
+
+/// Decompresses only the leading documents of a container file, stopping
+/// once ~`max_raw_bytes` of payload have been inflated (§III.E's "1MB out
+/// of every 1GB" sampling). Documents cut by the prefix boundary are
+/// dropped.
+std::vector<Document> container_sample(const std::uint8_t* file_bytes, std::size_t size,
+                                       std::uint64_t max_raw_bytes);
+
+/// Decompressed payload size recorded in the file without reading bodies.
+std::uint64_t container_uncompressed_size(const std::string& path);
+
+}  // namespace hetindex

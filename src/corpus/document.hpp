@@ -1,0 +1,20 @@
+#pragma once
+/// \file document.hpp
+/// Document model shared by the container format, the synthetic generator
+/// and the parsers.
+
+#include <cstdint>
+#include <string>
+
+namespace hetindex {
+
+/// One document inside a collection file. `local_id` is the position within
+/// its file (Fig. 3 Step 1 assigns local IDs; indexers add the global
+/// offset).
+struct Document {
+  std::uint32_t local_id = 0;
+  std::string url;
+  std::string body;
+};
+
+}  // namespace hetindex

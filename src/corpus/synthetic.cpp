@@ -1,0 +1,318 @@
+#include "corpus/synthetic.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <filesystem>
+#include <unordered_set>
+
+#include "codec/lz.hpp"
+#include "corpus/container.hpp"
+#include "text/html_strip.hpp"
+#include "text/porter.hpp"
+#include "text/stopwords.hpp"
+#include "text/tokenizer.hpp"
+#include "util/binary_io.hpp"
+#include "util/check.hpp"
+
+namespace hetindex {
+namespace {
+
+/// English-ish letter frequency table (per mille, roughly) used so the
+/// synthetic vocabulary's first-three-letter distribution is skewed the way
+/// Table I anticipates ("there are many words with prefix 'the' and hardly
+/// any terms with prefix 'zzz'").
+constexpr double kLetterWeight[26] = {
+    8.2, 1.5, 2.8, 4.3, 12.7, 2.2, 2.0, 6.1, 7.0, 0.15, 0.77, 4.0, 2.4,
+    6.7, 7.5, 1.9, 0.095, 6.0, 6.3, 9.1, 2.8, 0.98, 2.4, 0.15, 2.0, 0.074};
+
+char sample_letter(Rng& rng) {
+  static const double total = [] {
+    double t = 0;
+    for (double w : kLetterWeight) t += w;
+    return t;
+  }();
+  double x = rng.uniform() * total;
+  for (int i = 0; i < 26; ++i) {
+    x -= kLetterWeight[i];
+    if (x <= 0) return static_cast<char>('a' + i);
+  }
+  return 'z';
+}
+
+}  // namespace
+
+Vocabulary::Vocabulary(std::uint64_t size, double numeric_fraction, double special_fraction,
+                       std::uint64_t seed) {
+  HET_CHECK(size >= 1);
+  words_.reserve(size);
+  std::unordered_set<std::string> seen;
+  seen.reserve(size * 2);
+  const auto stopwords = default_stopword_list();
+  Rng rng(seed);
+
+  for (std::uint64_t rank = 1; rank <= size; ++rank) {
+    std::string w;
+    // Odd top ranks are the actual stop words (the most frequent words of
+    // real text), interleaved with strong non-stop head terms so that the
+    // post-stop-word token mass keeps a heavy head — on ClueWeb the ~100
+    // popular trie collections hold ~44% of indexed tokens (Table V).
+    const bool is_stop_rank = rank % 2 == 1 && (rank - 1) / 2 < stopwords.size();
+    if (is_stop_rank) {
+      w = std::string(stopwords[(rank - 1) / 2]);
+    } else {
+      std::uint64_t h = seed ^ (rank * 0x9E3779B97F4A7C15ull);
+      const double kind = static_cast<double>(splitmix64(h) >> 11) * 0x1.0p-53;
+      if (kind < numeric_fraction) {
+        const std::size_t digits = 1 + rng.below(6);
+        for (std::size_t i = 0; i < digits; ++i)
+          w.push_back(static_cast<char>('0' + rng.below(10)));
+      } else {
+        // Word length grows ~logarithmically with rank (common words are
+        // short), centering the mean near the paper's 6.6 chars.
+        const double base = 2.0 + std::log(static_cast<double>(rank)) / 1.7;
+        const std::size_t len = std::clamp<std::size_t>(
+            static_cast<std::size_t>(base + rng.below(3)), 2, 14);
+        for (std::size_t i = 0; i < len; ++i) w.push_back(sample_letter(rng));
+        if (kind < numeric_fraction + special_fraction) {
+          // Replace one letter with a two-byte UTF-8 char ("zoé" class).
+          const std::size_t at = rng.below(w.size());
+          w[at] = '\xC3';
+          w.insert(w.begin() + static_cast<std::ptrdiff_t>(at) + 1, '\xA9');
+        }
+      }
+    }
+    // Deterministic de-duplication: extend with letters until unique.
+    while (seen.contains(w)) w.push_back(sample_letter(rng));
+    seen.insert(w);
+    words_.push_back(std::move(w));
+  }
+}
+
+const std::string& Vocabulary::word(std::uint64_t rank) const {
+  HET_DCHECK(rank >= 1 && rank <= words_.size());
+  return words_[rank - 1];
+}
+
+double Vocabulary::mean_length() const {
+  double total = 0;
+  for (const auto& w : words_) total += static_cast<double>(w.size());
+  return total / static_cast<double>(words_.size());
+}
+
+CollectionSpec clueweb_like(double scale) {
+  CollectionSpec spec;
+  spec.name = "clueweb";
+  spec.total_bytes = static_cast<std::uint64_t>(64.0 * scale * (1 << 20));
+  spec.file_bytes = 4ull << 20;
+  spec.vocabulary = 300000;
+  spec.zipf_s = 1.0;
+  spec.avg_doc_tokens = 650;
+  spec.html_markup = true;
+  spec.numeric_fraction = 0.04;
+  spec.special_fraction = 0.015;
+  // Files 1,200–1,492 of the ClueWeb09 first English segment are
+  // Wikipedia.org pages with "totally different behavior" (Fig. 11).
+  spec.shift_fraction = 0.2;
+  spec.seed = 0xC1CEB09;
+  return spec;
+}
+
+CollectionSpec wikipedia_like(double scale) {
+  CollectionSpec spec;
+  spec.name = "wikipedia";
+  spec.total_bytes = static_cast<std::uint64_t>(16.0 * scale * (1 << 20));
+  spec.file_bytes = 4ull << 20;
+  spec.vocabulary = 60000;  // Table III: far smaller vocabulary than ClueWeb
+  spec.zipf_s = 1.05;
+  spec.avg_doc_tokens = 560;
+  spec.html_markup = false;  // §IV.C: "the HTML tags were removed"
+  spec.numeric_fraction = 0.02;
+  spec.special_fraction = 0.02;
+  spec.shift_fraction = 0.0;
+  spec.seed = 0x31C1;
+  return spec;
+}
+
+CollectionSpec congress_like(double scale) {
+  CollectionSpec spec;
+  spec.name = "congress";
+  spec.total_bytes = static_cast<std::uint64_t>(32.0 * scale * (1 << 20));
+  spec.file_bytes = 4ull << 20;
+  spec.vocabulary = 90000;
+  spec.zipf_s = 1.1;  // weekly snapshots of the same sites: heavy repetition
+  spec.avg_doc_tokens = 580;
+  spec.html_markup = true;
+  spec.numeric_fraction = 0.05;
+  spec.special_fraction = 0.005;
+  spec.shift_fraction = 0.0;
+  spec.seed = 0x10C0;
+  return spec;
+}
+
+std::vector<Document> generate_documents(const CollectionSpec& spec, const Vocabulary& vocab,
+                                         std::uint64_t target_bytes, std::size_t file_index,
+                                         std::size_t file_count, Rng& rng) {
+  const bool shifted =
+      spec.shift_fraction > 0.0 &&
+      static_cast<double>(file_index) >=
+          (1.0 - spec.shift_fraction) * static_cast<double>(file_count);
+  // The shifted regime models the Wikipedia tail: plain text, different
+  // skew, and a disjoint region of the vocabulary (new terms → B-tree
+  // growth → the Fig. 11 throughput drop).
+  const double zipf_s = shifted ? spec.zipf_s * 0.9 : spec.zipf_s;
+  const bool html = shifted ? false : spec.html_markup;
+  const std::uint64_t rank_rotation = shifted ? vocab.size() / 2 : 0;
+  ZipfSampler zipf(vocab.size(), zipf_s);
+
+  std::vector<Document> docs;
+  std::uint64_t bytes = 0;
+  std::uint32_t local_id = 0;
+  while (bytes < target_bytes) {
+    Document doc;
+    doc.local_id = local_id;
+    doc.url = "http://" + std::string(shifted ? "wikipedia.org" : spec.name + ".example") +
+              "/doc/" + std::to_string(file_index) + "/" + std::to_string(local_id);
+    // Exponential document length with the configured mean.
+    const double u = std::max(rng.uniform(), 1e-12);
+    const auto tokens = static_cast<std::size_t>(
+        std::clamp(-spec.avg_doc_tokens * std::log(u), 16.0, spec.avg_doc_tokens * 20));
+
+    std::string& body = doc.body;
+    body.reserve(tokens * (html ? 24 : 8));
+    if (html) {
+      // Web pages are mostly markup: ClueWeb averages ~4 bytes of HTML per
+      // byte of visible text (Table III: 0.023 tokens/byte vs Wikipedia's
+      // 0.119 after tag removal). The boilerplate and per-span attributes
+      // below reproduce that ratio; html_strip removes all of it.
+      body += "<!DOCTYPE html><html lang=\"en\"><head><meta charset=\"utf-8\"/>"
+              "<meta name=\"viewport\" content=\"width=device-width, initial-scale=1\"/>"
+              "<link rel=\"stylesheet\" type=\"text/css\" href=\"/static/css/site.css\"/>"
+              "<script type=\"text/javascript\" src=\"/static/js/frame.js\"></script>"
+              "<title>";
+    }
+    for (std::size_t t = 0; t < tokens; ++t) {
+      std::uint64_t rank = zipf(rng);
+      // Shifted regime: the mid/tail vocabulary is disjoint (new topical
+      // terms → dictionary growth), but the universal English head words
+      // (rank ≤ 512) appear in any English text, Wikipedia included.
+      if (rank_rotation != 0 && rank > 512) {
+        const std::uint64_t span = vocab.size() - 512;
+        rank = 513 + (rank - 513 + rank_rotation) % span;
+      }
+      const std::string& w = vocab.word(rank);
+      if (html) {
+        if (t == 8) {
+          body += "</title></head><body class=\"page\"><div id=\"wrap\">"
+                  "<div class=\"nav\"><!-- navigation chrome --></div>"
+                  "<div class=\"content\" role=\"main\"><p>";
+        }
+        if (t > 8 && t % 48 == 0) {
+          body += "</p><p class=\"para\" id=\"p";
+          body += std::to_string(t / 48);
+          body += "\" style=\"margin:0 0 1em 0\">";
+        }
+        if (t > 8 && t % 9 == 0) {
+          body += "<span class=\"w s";
+          body += std::to_string(t % 7);
+          body += "\">" + w + "</span> ";
+          continue;
+        }
+        if (t > 8 && rng.below(24) == 0) {
+          body += "<a href=\"/link/" + std::to_string(rank) + "\" rel=\"nofollow\">" + w +
+                  "</a> ";
+          continue;
+        }
+      }
+      body += w;
+      body += (t % 13 == 12) ? ". " : " ";
+    }
+    if (html) {
+      body += "</p></div><div class=\"footer\"><!-- footer chrome -->"
+              "<ul class=\"links\"><li><a href=\"/about\">about</a></li>"
+              "<li><a href=\"/contact\">contact</a></li>"
+              "<li><a href=\"/terms\">terms</a></li></ul>"
+              "</div></div><script>trackPageView();</script></body></html>";
+    }
+    bytes += body.size() + doc.url.size() + 8;
+    docs.push_back(std::move(doc));
+    ++local_id;
+  }
+  return docs;
+}
+
+Collection generate_collection(const CollectionSpec& spec, const std::string& dir) {
+  std::filesystem::create_directories(dir);
+  Collection collection;
+  collection.spec = spec;
+  const Vocabulary vocab(spec.vocabulary, spec.numeric_fraction, spec.special_fraction,
+                         spec.seed);
+  const std::size_t file_count = std::max<std::size_t>(
+      1, static_cast<std::size_t>((spec.total_bytes + spec.file_bytes - 1) / spec.file_bytes));
+  Rng rng(spec.seed ^ 0xD0C5);
+  for (std::size_t f = 0; f < file_count; ++f) {
+    const auto docs = generate_documents(spec, vocab, spec.file_bytes, f, file_count, rng);
+    GeneratedFile gf;
+    gf.path = dir + "/" + spec.name + "_" + std::to_string(f) + ".hdc";
+    const auto sizes = container_write(gf.path, docs);
+    gf.doc_count = static_cast<std::uint32_t>(docs.size());
+    gf.compressed_bytes = sizes.compressed;
+    gf.uncompressed_bytes = sizes.uncompressed;
+    collection.files.push_back(std::move(gf));
+  }
+  return collection;
+}
+
+std::uint64_t Collection::total_compressed() const {
+  std::uint64_t t = 0;
+  for (const auto& f : files) t += f.compressed_bytes;
+  return t;
+}
+
+std::uint64_t Collection::total_uncompressed() const {
+  std::uint64_t t = 0;
+  for (const auto& f : files) t += f.uncompressed_bytes;
+  return t;
+}
+
+std::uint64_t Collection::total_docs() const {
+  std::uint64_t t = 0;
+  for (const auto& f : files) t += f.doc_count;
+  return t;
+}
+
+std::vector<std::string> Collection::paths() const {
+  std::vector<std::string> out;
+  out.reserve(files.size());
+  for (const auto& f : files) out.push_back(f.path);
+  return out;
+}
+
+CollectionStats analyze_collection(const std::vector<std::string>& paths) {
+  CollectionStats stats;
+  std::unordered_set<std::string> terms;
+  const auto& stop = default_stopwords();
+  std::uint64_t token_chars = 0;
+  for (const auto& path : paths) {
+    const auto compressed = read_file(path);
+    stats.compressed_bytes += compressed.size();
+    const auto docs = container_decompress(compressed.data(), compressed.size());
+    stats.documents += docs.size();
+    for (const auto& doc : docs) {
+      stats.uncompressed_bytes += doc.body.size() + doc.url.size() + 8;
+      const std::string text = html_strip(doc.body);
+      tokenize(text, [&](std::string_view tok) {
+        const std::string stemmed = porter_stem(tok);
+        if (stop.contains(stemmed)) return;
+        ++stats.tokens;
+        token_chars += stemmed.size();
+        terms.insert(stemmed);
+      });
+    }
+  }
+  stats.terms = terms.size();
+  stats.mean_token_length =
+      stats.tokens ? static_cast<double>(token_chars) / static_cast<double>(stats.tokens) : 0;
+  return stats;
+}
+
+}  // namespace hetindex

@@ -1,0 +1,118 @@
+#pragma once
+/// \file synthetic.hpp
+/// Synthetic document-collection generator. Substitutes for the paper's
+/// three corpora (Table III) with Zipf-distributed vocabularies whose
+/// statistical fingerprints — token frequency skew, average stemmed token
+/// length (~6.6), tokens per document, HTML overhead, compressibility —
+/// drive the same code paths and load-balancing behaviour the real corpora
+/// exercise. See DESIGN.md §2 for the substitution rationale.
+///
+/// Determinism: everything derives from `spec.seed`, so CPU-vs-GPU
+/// differential tests and repeated bench runs see identical corpora.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "corpus/document.hpp"
+#include "util/rng.hpp"
+#include "util/zipf.hpp"
+
+namespace hetindex {
+
+/// Parameters of one synthetic collection.
+struct CollectionSpec {
+  std::string name = "synthetic";
+  /// Target total uncompressed size across all files.
+  std::uint64_t total_bytes = 16ull << 20;
+  /// Target uncompressed bytes per container file (ClueWeb files are ~1 GB;
+  /// scaled down by default for laptop-scale runs).
+  std::uint64_t file_bytes = 4ull << 20;
+  /// Vocabulary size (surface forms, pre-stemming).
+  std::uint64_t vocabulary = 200000;
+  /// Zipf skew of term frequencies (web text ≈ 1.0).
+  double zipf_s = 1.0;
+  /// Mean tokens per document (geometric document length distribution).
+  double avg_doc_tokens = 600;
+  /// Wrap bodies in HTML markup (ClueWeb-like) or plain text (Wikipedia-
+  /// like after tag removal, §IV.C).
+  bool html_markup = true;
+  /// Fraction of vocabulary ranks that are pure-number tokens.
+  double numeric_fraction = 0.03;
+  /// Fraction of vocabulary ranks that contain a non-ASCII byte.
+  double special_fraction = 0.01;
+  /// When > 0, the last `shift_fraction` of files are generated from a
+  /// disjoint vocabulary region with different document shape — models the
+  /// Wikipedia tail of the ClueWeb collection that causes the Fig. 11
+  /// throughput drop after file index 1,200.
+  double shift_fraction = 0.0;
+  std::uint64_t seed = 0x9E1D;
+};
+
+/// Scaled presets for the paper's three collections (Table III). `scale`
+/// multiplies total_bytes; 1.0 gives the laptop default (64 MB), not the
+/// paper's TB-scale inputs.
+CollectionSpec clueweb_like(double scale = 1.0);
+CollectionSpec wikipedia_like(double scale = 1.0);
+CollectionSpec congress_like(double scale = 1.0);
+
+/// Deterministic rank→surface-form vocabulary. Low ranks are short common
+/// words (the first ~130 ranks are the actual English stop words, so
+/// stop-word removal has realistic impact); higher ranks get longer tails.
+class Vocabulary {
+ public:
+  Vocabulary(std::uint64_t size, double numeric_fraction, double special_fraction,
+             std::uint64_t seed);
+
+  [[nodiscard]] const std::string& word(std::uint64_t rank) const;  // rank in [1, size]
+  [[nodiscard]] std::uint64_t size() const { return words_.size(); }
+  /// Mean word length — Table III fingerprint check.
+  [[nodiscard]] double mean_length() const;
+
+ private:
+  std::vector<std::string> words_;
+};
+
+/// One generated container file on disk.
+struct GeneratedFile {
+  std::string path;
+  std::uint32_t doc_count = 0;
+  std::uint64_t compressed_bytes = 0;
+  std::uint64_t uncompressed_bytes = 0;
+};
+
+/// The manifest of a generated collection.
+struct Collection {
+  CollectionSpec spec;
+  std::vector<GeneratedFile> files;
+
+  [[nodiscard]] std::uint64_t total_compressed() const;
+  [[nodiscard]] std::uint64_t total_uncompressed() const;
+  [[nodiscard]] std::uint64_t total_docs() const;
+  [[nodiscard]] std::vector<std::string> paths() const;
+};
+
+/// Generates the collection under `dir` (created if needed). File names are
+/// `<name>_<index>.hdc`.
+Collection generate_collection(const CollectionSpec& spec, const std::string& dir);
+
+/// Generates documents in memory (used by tests and by benches that skip
+/// the disk). `file_index` selects the pre/post-shift regime.
+std::vector<Document> generate_documents(const CollectionSpec& spec, const Vocabulary& vocab,
+                                         std::uint64_t target_bytes, std::size_t file_index,
+                                         std::size_t file_count, Rng& rng);
+
+/// Table III row: statistics of a collection measured through the real
+/// parsing path (tokenize → stem → stop-word removal).
+struct CollectionStats {
+  std::uint64_t compressed_bytes = 0;
+  std::uint64_t uncompressed_bytes = 0;
+  std::uint64_t documents = 0;
+  std::uint64_t tokens = 0;  ///< post-stop-word tokens (what gets indexed)
+  std::uint64_t terms = 0;   ///< distinct stemmed terms
+  double mean_token_length = 0.0;
+};
+
+CollectionStats analyze_collection(const std::vector<std::string>& paths);
+
+}  // namespace hetindex

@@ -1,0 +1,216 @@
+#include "dict/btree.hpp"
+
+namespace hetindex {
+
+BTree::BTree(Arena& arena, bool use_cache) : arena_(&arena), use_cache_(use_cache) {
+  root_ = allocate_node(/*leaf=*/true);
+}
+
+ArenaOffset BTree::allocate_node(bool leaf) {
+  // 64-byte alignment: a node spans exactly 8 cache lines / 32 coalesced
+  // words, matching the paper's coalesced 512 B chunk loads (§III.D.2).
+  const ArenaOffset off = arena_->allocate(sizeof(BTreeNode), 64);
+  auto* n = node(off);
+  std::memset(n, 0, sizeof(BTreeNode));
+  n->leaf = leaf ? 1 : 0;
+  ++node_count_;
+  return off;
+}
+
+std::string_view BTree::key_at(const BTreeNode& nd, std::uint32_t i) const {
+  HET_DCHECK(i < nd.valid);
+  if (nd.term_ptr[i] == kArenaNull) {
+    // Fully cached: the suffix is the non-zero prefix of the cache word.
+    const auto* bytes = reinterpret_cast<const char*>(&nd.cache[i]);
+    std::size_t len = 0;
+    while (len < 4 && bytes[len] != '\0') ++len;
+    return {bytes, len};
+  }
+  const std::uint8_t* rec = arena_->pointer(nd.term_ptr[i]);
+  return {reinterpret_cast<const char*>(rec + 1), rec[0]};
+}
+
+int BTree::compare_key(const BTreeNode& nd, std::uint32_t i, std::string_view suffix,
+                       std::uint32_t probe_cache) const {
+  if (use_cache_) {
+    const int d = compare_cache_words(nd.cache[i], probe_cache);
+    if (d != 0) {
+      ++cache_hits_;
+      return d;
+    }
+    if (nd.term_ptr[i] == kArenaNull) {
+      // Key is fully cached (length ≤ 4) and its bytes match the probe's
+      // first bytes exactly, padding included: equal unless the probe
+      // continues past the cache.
+      ++cache_hits_;
+      return suffix.size() > 4 ? -1 : 0;
+    }
+    if (suffix.size() <= 4) {
+      // Stored key is longer than 4, probe is not: probe is a strict prefix.
+      ++cache_hits_;
+      return 1;
+    }
+  }
+  ++string_reads_;
+  const std::string_view key = key_at(nd, i);
+  const std::size_t n = std::min(key.size(), suffix.size());
+  const int d = n == 0 ? 0 : std::memcmp(key.data(), suffix.data(), n);
+  if (d != 0) return d;
+  if (key.size() == suffix.size()) return 0;
+  return key.size() < suffix.size() ? -1 : 1;
+}
+
+void BTree::store_key(BTreeNode& nd, std::uint32_t i, std::string_view suffix) {
+  nd.cache[i] = make_cache_word(suffix);
+  if (suffix.size() > 4 || !use_cache_) {
+    HET_CHECK_MSG(suffix.size() <= 255, "Fig. 6 stores term length in one byte");
+    const ArenaOffset rec = arena_->allocate(1 + suffix.size());
+    std::uint8_t* p = arena_->pointer(rec);
+    p[0] = static_cast<std::uint8_t>(suffix.size());
+    if (!suffix.empty()) std::memcpy(p + 1, suffix.data(), suffix.size());
+    nd.term_ptr[i] = rec;
+  } else {
+    nd.term_ptr[i] = kArenaNull;
+  }
+  nd.postings[i] = 0;
+}
+
+void BTree::split_child(BTreeNode& parent, std::uint32_t ci) {
+  auto* child = node(parent.child[ci]);
+  HET_CHECK(child->valid == kBTreeMaxKeys);
+  const ArenaOffset right_off = allocate_node(child->leaf != 0);
+  auto* right = node(right_off);
+  // `child` may have been invalidated by the arena growing during
+  // allocate_node — re-resolve. (Arena chunks never move, but be explicit.)
+  child = node(parent.child[ci]);
+
+  constexpr std::uint32_t t = kBTreeDegree;  // median index = t - 1 = 15
+  right->valid = t - 1;
+  for (std::uint32_t k = 0; k < t - 1; ++k) {
+    right->term_ptr[k] = child->term_ptr[k + t];
+    right->postings[k] = child->postings[k + t];
+    right->cache[k] = child->cache[k + t];
+  }
+  if (!child->leaf) {
+    for (std::uint32_t k = 0; k < t; ++k) right->child[k] = child->child[k + t];
+  }
+  child->valid = t - 1;
+
+  // Shift the parent's keys/children right to open slot ci.
+  for (std::uint32_t k = parent.valid; k > ci; --k) {
+    parent.term_ptr[k] = parent.term_ptr[k - 1];
+    parent.postings[k] = parent.postings[k - 1];
+    parent.cache[k] = parent.cache[k - 1];
+    parent.child[k + 1] = parent.child[k];
+  }
+  parent.term_ptr[ci] = child->term_ptr[t - 1];
+  parent.postings[ci] = child->postings[t - 1];
+  parent.cache[ci] = child->cache[t - 1];
+  parent.child[ci + 1] = right_off;
+  ++parent.valid;
+}
+
+BTreeInsertResult BTree::find_or_insert(std::string_view suffix) {
+  const std::uint32_t probe_cache = make_cache_word(suffix);
+
+  if (node(root_)->valid == kBTreeMaxKeys) {
+    const ArenaOffset new_root = allocate_node(/*leaf=*/false);
+    node(new_root)->child[0] = root_;
+    root_ = new_root;
+    split_child(*node(new_root), 0);
+  }
+
+  ArenaOffset cur = root_;
+  while (true) {
+    auto* nd = node(cur);
+    // Binary search for the first key >= suffix. (The CUDA kernel does this
+    // comparison across all 31 keys in one warp-parallel step instead.)
+    std::uint32_t lo = 0, hi = nd->valid;
+    bool found = false;
+    while (lo < hi) {
+      const std::uint32_t mid = (lo + hi) / 2;
+      const int d = compare_key(*nd, mid, suffix, probe_cache);
+      if (d == 0) {
+        lo = mid;
+        found = true;
+        break;
+      }
+      if (d < 0)
+        lo = mid + 1;
+      else
+        hi = mid;
+    }
+    if (found) return {&nd->postings[lo], false};
+
+    if (nd->leaf) {
+      // Shift keys right of position lo and insert.
+      for (std::uint32_t k = nd->valid; k > lo; --k) {
+        nd->term_ptr[k] = nd->term_ptr[k - 1];
+        nd->postings[k] = nd->postings[k - 1];
+        nd->cache[k] = nd->cache[k - 1];
+      }
+      store_key(*nd, lo, suffix);
+      ++nd->valid;
+      ++key_count_;
+      return {&nd->postings[lo], true};
+    }
+
+    if (node(nd->child[lo])->valid == kBTreeMaxKeys) {
+      split_child(*nd, lo);
+      const int d = compare_key(*nd, lo, suffix, probe_cache);
+      if (d == 0) return {&nd->postings[lo], false};
+      if (d < 0) ++lo;  // probe is greater than the promoted median
+    }
+    cur = nd->child[lo];
+  }
+}
+
+const std::uint32_t* BTree::find(std::string_view suffix) const {
+  const std::uint32_t probe_cache = make_cache_word(suffix);
+  ArenaOffset cur = root_;
+  while (true) {
+    const auto* nd = node(cur);
+    std::uint32_t lo = 0, hi = nd->valid;
+    while (lo < hi) {
+      const std::uint32_t mid = (lo + hi) / 2;
+      const int d = compare_key(*nd, mid, suffix, probe_cache);
+      if (d == 0) return &nd->postings[mid];
+      if (d < 0)
+        lo = mid + 1;
+      else
+        hi = mid;
+    }
+    if (nd->leaf) return nullptr;
+    cur = nd->child[lo];
+  }
+}
+
+void BTree::for_each_node(ArenaOffset off,
+                          const std::function<void(std::string_view, std::uint32_t)>& fn) const {
+  const auto* nd = node(off);
+  for (std::uint32_t i = 0; i < nd->valid; ++i) {
+    if (!nd->leaf) for_each_node(nd->child[i], fn);
+    fn(key_at(*nd, i), nd->postings[i]);
+  }
+  if (!nd->leaf) for_each_node(nd->child[nd->valid], fn);
+}
+
+void BTree::for_each(const std::function<void(std::string_view, std::uint32_t)>& fn) const {
+  if (key_count_ > 0) for_each_node(root_, fn);
+}
+
+std::size_t BTree::height() const {
+  std::size_t h = 1;
+  ArenaOffset cur = root_;
+  while (!node(cur)->leaf) {
+    cur = node(cur)->child[0];
+    ++h;
+  }
+  return h;
+}
+
+BTreeStats BTree::stats() const {
+  return {node_count_, key_count_, height(), cache_hits_, string_reads_};
+}
+
+}  // namespace hetindex

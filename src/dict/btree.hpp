@@ -1,0 +1,143 @@
+#pragma once
+/// \file btree.hpp
+/// Degree-16 B-tree with the exact 512-byte node layout of Table II. One
+/// B-tree per trie collection; each tree is only ever touched by a single
+/// indexer (CPU thread or GPU warp), which is how the hybrid structure gets
+/// lock-free parallelism (§III.B).
+///
+/// Node capacity is 31 keys "selected to match the CUDA warp size": a warp
+/// of 32 threads compares a probe term against all 31 keys in one parallel
+/// step (Fig. 7). Keys are the *suffixes* of terms after trie-prefix
+/// removal; each key slot carries a 4-byte cache of the suffix's first
+/// bytes so most comparisons never dereference the string pointer.
+///
+/// All "pointers" in the node are 32-bit arena offsets (that is what makes
+/// the 512-byte layout of Table II work on a 64-bit host): term strings and
+/// child nodes live in a per-shard Arena, postings slots hold opaque
+/// 32-bit handles owned by the caller.
+
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <string_view>
+
+#include "util/arena.hpp"
+#include "util/check.hpp"
+
+namespace hetindex {
+
+/// B-tree minimum degree t (CLRS convention): nodes hold t-1..2t-1 keys.
+inline constexpr std::uint32_t kBTreeDegree = 16;
+/// Maximum keys per node = 2t - 1 = 31 (Table II).
+inline constexpr std::uint32_t kBTreeMaxKeys = 2 * kBTreeDegree - 1;
+
+/// Table II, field for field. 4 + 124 + 4 + 124 + 128 + 124 + 4 = 512.
+struct BTreeNode {
+  std::uint32_t valid;                      ///< number of keys in use
+  ArenaOffset term_ptr[kBTreeMaxKeys];      ///< Fig. 6 string records (0 = fully cached)
+  std::uint32_t leaf;                       ///< 1 when the node is a leaf
+  std::uint32_t postings[kBTreeMaxKeys];    ///< opaque postings handles
+  ArenaOffset child[kBTreeMaxKeys + 1];     ///< child node offsets
+  std::uint32_t cache[kBTreeMaxKeys];       ///< first 4 suffix bytes, zero-padded
+  std::uint32_t padding;
+};
+static_assert(sizeof(BTreeNode) == 512, "Table II mandates 512-byte nodes");
+
+/// Packs up to the first 4 bytes of `s` into a cache word, zero-padded.
+/// Token bytes are never zero, so the padding is unambiguous.
+[[nodiscard]] inline std::uint32_t make_cache_word(std::string_view s) {
+  std::uint8_t bytes[4] = {0, 0, 0, 0};
+  const std::size_t n = s.size() < 4 ? s.size() : 4;
+  std::memcpy(bytes, s.data(), n);
+  std::uint32_t w;
+  std::memcpy(&w, bytes, 4);
+  return w;
+}
+
+/// Three-way comparison of two cache words as 4-byte big-endian strings
+/// (memcmp order). Returns <0, 0, >0.
+[[nodiscard]] inline int compare_cache_words(std::uint32_t a, std::uint32_t b) {
+  std::uint8_t ab[4], bb[4];
+  std::memcpy(ab, &a, 4);
+  std::memcpy(bb, &b, 4);
+  return std::memcmp(ab, bb, 4);
+}
+
+/// Per-insert outcome used by indexers to decide whether to allocate a new
+/// postings list.
+struct BTreeInsertResult {
+  std::uint32_t* postings_slot;  ///< slot to read/write the postings handle
+  bool created;                  ///< true when the term was newly inserted
+};
+
+/// Counters reported by the ablation/scaling benches.
+struct BTreeStats {
+  std::size_t nodes = 0;
+  std::size_t keys = 0;
+  std::size_t height = 0;
+  std::uint64_t cache_hits = 0;    ///< comparisons resolved by the 4-byte cache
+  std::uint64_t string_reads = 0;  ///< comparisons that dereferenced the arena
+};
+
+/// A single B-tree over term suffixes. Not thread-safe by design — the
+/// paper's parallelism comes from tree-per-collection ownership, not locks.
+class BTree {
+ public:
+  /// \param arena   backing store for nodes and string records; must
+  ///                outlive the tree.
+  /// \param use_cache when false, the 4-byte caches are ignored and every
+  ///                comparison reads the full string — the ablation mode of
+  ///                bench_ablation_string_cache.
+  explicit BTree(Arena& arena, bool use_cache = true);
+
+  /// Finds `suffix`, inserting it if absent. The returned postings slot
+  /// stays valid for the tree's lifetime (nodes never move in the arena;
+  /// key shifts within a node move slot *contents* along with the key, so
+  /// the slot must be consumed before the next insert).
+  BTreeInsertResult find_or_insert(std::string_view suffix);
+
+  /// Looks up `suffix`; returns nullptr when absent.
+  [[nodiscard]] const std::uint32_t* find(std::string_view suffix) const;
+
+  /// In-order traversal: fn(suffix, postings_handle). Suffix views point
+  /// into the arena / node caches and are valid only during the call.
+  void for_each(const std::function<void(std::string_view, std::uint32_t)>& fn) const;
+
+  [[nodiscard]] std::size_t size() const { return key_count_; }
+  [[nodiscard]] bool empty() const { return key_count_ == 0; }
+  [[nodiscard]] std::size_t height() const;
+  [[nodiscard]] BTreeStats stats() const;
+
+  /// Reconstructs the suffix stored at key slot i of a node (helper shared
+  /// with the GPU indexer kernel and tests).
+  [[nodiscard]] std::string_view key_at(const BTreeNode& node, std::uint32_t i) const;
+
+ private:
+  friend class GpuBTreeKernel;
+
+  [[nodiscard]] BTreeNode* node(ArenaOffset off) { return arena_->object<BTreeNode>(off); }
+  [[nodiscard]] const BTreeNode* node(ArenaOffset off) const {
+    return arena_->object<BTreeNode>(off);
+  }
+  ArenaOffset allocate_node(bool leaf);
+  /// Compares probe `suffix` with key i of `node`; counts cache efficacy.
+  [[nodiscard]] int compare_key(const BTreeNode& node, std::uint32_t i,
+                                std::string_view suffix, std::uint32_t probe_cache) const;
+  /// Writes key `suffix` into slot i of `node` (allocating the Fig. 6
+  /// string record when it does not fit the cache).
+  void store_key(BTreeNode& node, std::uint32_t i, std::string_view suffix);
+  /// Splits full child c of `parent` at child index ci (CLRS split-child).
+  void split_child(BTreeNode& parent, std::uint32_t ci);
+  void for_each_node(ArenaOffset off,
+                     const std::function<void(std::string_view, std::uint32_t)>& fn) const;
+
+  Arena* arena_;
+  bool use_cache_;
+  ArenaOffset root_;
+  std::size_t key_count_ = 0;
+  std::size_t node_count_ = 0;
+  mutable std::uint64_t cache_hits_ = 0;
+  mutable std::uint64_t string_reads_ = 0;
+};
+
+}  // namespace hetindex

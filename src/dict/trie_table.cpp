@@ -1,0 +1,21 @@
+#include "dict/trie_table.hpp"
+
+#include "util/check.hpp"
+
+namespace hetindex {
+
+std::string trie_prefix(std::uint32_t index) {
+  HET_CHECK(index < kTrieCollections);
+  if (index == 0) return "";
+  if (index <= 10) return std::string(1, static_cast<char>('0' + index - 1));
+  if (index < kTrieThreeLetterBase)
+    return std::string(1, static_cast<char>('a' + index - 11));
+  const std::uint32_t v = index - kTrieThreeLetterBase;
+  std::string prefix(3, 'a');
+  prefix[0] = static_cast<char>('a' + v / (26 * 26));
+  prefix[1] = static_cast<char>('a' + (v / 26) % 26);
+  prefix[2] = static_cast<char>('a' + v % 26);
+  return prefix;
+}
+
+}  // namespace hetindex

@@ -1,0 +1,125 @@
+#include "gpusim/gpu_btree.hpp"
+
+namespace hetindex {
+
+void GpuBTreeKernel::charge_stage_strings(std::uint64_t bytes, WarpContext& ctx) {
+  // Coalesced 512 B chunk loads: each chunk is 8 segments; lanes then read
+  // their words from shared memory conflict-free.
+  const std::uint64_t chunks = (bytes + 511) / 512;
+  ctx.load_global(chunks * 512, /*coalesced=*/true);
+  ctx.cycles(static_cast<double>(chunks));  // issue overhead per chunk
+  for (std::uint64_t c = 0; c < chunks; ++c) ctx.shared_access(1);
+}
+
+std::pair<std::uint32_t, bool> GpuBTreeKernel::warp_compare(BTree& tree, const BTreeNode& nd,
+                                                            std::string_view suffix,
+                                                            std::uint32_t probe_cache,
+                                                            WarpContext& ctx) {
+  // One SIMD step: every lane i < valid compares its key's 4-byte cache
+  // with the broadcast probe cache (shared-memory broadcast, stride 0).
+  ctx.shared_access(0);  // broadcast probe
+  ctx.shared_access(1);  // lanes read their cache words
+  ctx.simd_step(2);      // compare + predicate write
+
+  // Lanes whose cache comparison ties must dereference the string pointer:
+  // scattered (uncoalesced) global reads, serialized by the memory system
+  // but overlapping one latency.
+  std::uint64_t scattered_bytes = 0;
+  std::uint32_t ties = 0;
+  for (std::uint32_t i = 0; i < nd.valid; ++i) {
+    if (compare_cache_words(nd.cache[i], probe_cache) == 0 && nd.term_ptr[i] != kArenaNull) {
+      const std::uint8_t* rec = tree.arena_->pointer(nd.term_ptr[i]);
+      scattered_bytes += 1u + rec[0];
+      ++ties;
+    }
+  }
+  if (ties > 0) {
+    ctx.latency_stall();
+    ctx.load_global(scattered_bytes, /*coalesced=*/false);
+    ctx.divergent(2);  // byte-wise compare loop runs on the tying lanes only
+  }
+
+  // Functional lower bound (the warp's parallel predicate + reduction).
+  std::uint32_t lo = 0;
+  bool found = false;
+  for (std::uint32_t i = 0; i < nd.valid; ++i) {
+    const int d = tree.compare_key(nd, i, suffix, probe_cache);
+    if (d == 0) {
+      lo = i;
+      found = true;
+      break;
+    }
+    if (d < 0) lo = i + 1;  // key < probe
+  }
+  ctx.reduce_step();  // Fig. 7: parallel reduction locates the position
+  return {lo, found};
+}
+
+BTreeInsertResult GpuBTreeKernel::insert(BTree& tree, std::string_view suffix,
+                                         WarpContext& ctx) {
+  const std::uint32_t probe_cache = make_cache_word(suffix);
+
+  // Preemptive root split (§III.D.2 "Splitting: before accessing a B-Tree
+  // node, we check to determine whether this node is full").
+  if (tree.node(tree.root_)->valid == kBTreeMaxKeys) {
+    const ArenaOffset new_root = tree.allocate_node(/*leaf=*/false);
+    tree.node(new_root)->child[0] = tree.root_;
+    tree.root_ = new_root;
+    tree.split_child(*tree.node(new_root), 0);
+    // Split cost: read the full child, write two halves + new parent.
+    ctx.load_global(512, true);
+    ctx.store_global(3 * 512, true);
+    ctx.simd_step(4);
+  }
+
+  ArenaOffset cur = tree.root_;
+  while (true) {
+    // Fetch the node into shared memory: 512 B coalesced (32 lanes × 16 B).
+    // The fetch depends on the previous level's comparison outcome, so its
+    // device-memory latency is on the warp's critical path (the C1060 has
+    // no cache to absorb it — §III.E's reason to keep hot paths on the CPU).
+    ctx.latency_stall();
+    ctx.load_global(512, /*coalesced=*/true);
+    auto* nd = tree.node(cur);
+
+    auto [lo, found] = warp_compare(tree, *nd, suffix, probe_cache, ctx);
+    if (found) return {&nd->postings[lo], false};
+
+    if (nd->leaf) {
+      // Parallel shift: lanes holding keys > probe move one slot right
+      // (term_ptr, postings and cache arrays move together), then one lane
+      // writes the new key.
+      if (nd->valid > lo) {
+        ctx.shared_access(1);
+        ctx.simd_step(3);
+      }
+      for (std::uint32_t k = nd->valid; k > lo; --k) {
+        nd->term_ptr[k] = nd->term_ptr[k - 1];
+        nd->postings[k] = nd->postings[k - 1];
+        nd->cache[k] = nd->cache[k - 1];
+      }
+      tree.store_key(*nd, lo, suffix);
+      ++nd->valid;
+      ++tree.key_count_;
+      if (suffix.size() > 4) {
+        // The remainder of the string goes to device memory (Fig. 6 record).
+        ctx.store_global(1 + suffix.size(), /*coalesced=*/false);
+      }
+      ctx.store_global(512, /*coalesced=*/true);  // write the node back
+      return {&nd->postings[lo], true};
+    }
+
+    if (tree.node(nd->child[lo])->valid == kBTreeMaxKeys) {
+      tree.split_child(*nd, lo);
+      ctx.load_global(512, true);
+      ctx.store_global(3 * 512, true);
+      ctx.simd_step(4);
+      const int d = tree.compare_key(*nd, lo, suffix, probe_cache);
+      if (d == 0) return {&nd->postings[lo], false};
+      if (d < 0) ++lo;
+    }
+    cur = nd->child[lo];  // the dependent fetch latency is charged above
+  }
+}
+
+}  // namespace hetindex

@@ -1,0 +1,49 @@
+#pragma once
+/// \file gpu_btree.hpp
+/// The warp-parallel B-tree insertion kernel of §III.D.2 (Figs. 6 & 7),
+/// executed on the SIMT engine. One thread block (one 32-lane warp) owns
+/// one trie collection's B-tree; the node's 31 keys are compared against
+/// the probe term by 31 lanes in a single SIMD step followed by a parallel
+/// reduction, and shifts/splits move keys with parallel lanes.
+///
+/// The kernel operates on the *same* 512-byte node layout and arena as the
+/// CPU B-tree, and must produce byte-identical dictionaries — the
+/// differential test in tests/test_gpusim.cpp enforces this. Costs are
+/// charged to the WarpContext per the paper's description:
+///   - node fetch: one coalesced 512 B load into shared memory (8 segments,
+///     32 lanes × 4 B each — Table II's layout makes this exact);
+///   - parallel compare: one SIMD step on the 4-byte caches; lanes whose
+///     cache ties dereference term-string pointers (scattered loads);
+///   - reduction to find the insert position: log2(32) steps;
+///   - descent: a dependent-pointer latency stall per level;
+///   - shift/split: SIMD steps plus coalesced write-backs.
+
+#include <string_view>
+
+#include "dict/btree.hpp"
+#include "gpusim/simt.hpp"
+
+namespace hetindex {
+
+class GpuBTreeKernel {
+ public:
+  /// Warp-parallel find-or-insert. Functionally equivalent to
+  /// BTree::find_or_insert; charges SIMT costs to `ctx`.
+  static BTreeInsertResult insert(BTree& tree, std::string_view suffix, WarpContext& ctx);
+
+  /// Charges the cost of staging `bytes` of length-prefixed term strings
+  /// (Fig. 6) from device memory into shared memory in coalesced 512 B
+  /// chunks (§III.D.2: "We read these term strings in contiguous chunks
+  /// (512B) and store them into the shared memory").
+  static void charge_stage_strings(std::uint64_t bytes, WarpContext& ctx);
+
+ private:
+  /// Warp compare of probe vs. all valid keys of a node: returns the
+  /// lower-bound position and whether an exact match was found.
+  static std::pair<std::uint32_t, bool> warp_compare(BTree& tree, const BTreeNode& nd,
+                                                     std::string_view suffix,
+                                                     std::uint32_t probe_cache,
+                                                     WarpContext& ctx);
+};
+
+}  // namespace hetindex

@@ -1,0 +1,159 @@
+#pragma once
+/// \file simt.hpp
+/// SIMT execution engine: runs warp-level kernels functionally on the host
+/// while charging cycles under the GpuSpec cost model. This substitutes for
+/// real CUDA hardware (see DESIGN.md §2): kernels are written against the
+/// WarpContext API, which exposes exactly the performance-relevant events
+/// the paper optimizes — coalesced vs. scattered device-memory traffic,
+/// shared-memory bank conflicts, warp-parallel compare/reduce steps and
+/// divergent execution.
+///
+/// Scheduling model: thread blocks are dispatched to the SM that becomes
+/// free first (list scheduling), which is what the hardware's block
+/// scheduler approximates and what the paper's "dynamic round-robin" work
+/// assignment relies on. Kernel time = latest SM finish time; per-SM busy
+/// times are reported so load imbalance (§IV.B "possibility of load
+/// imbalance among the CUDA threads") is measurable.
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "gpusim/gpu_spec.hpp"
+
+namespace hetindex {
+
+/// Aggregate counters of one kernel launch.
+struct KernelStats {
+  double sim_seconds = 0;            ///< simulated wall time of the launch
+  double total_cycles = 0;           ///< sum of cycles over all blocks
+  std::uint64_t blocks = 0;
+  std::uint64_t global_load_transactions = 0;
+  std::uint64_t global_store_transactions = 0;
+  std::uint64_t uncoalesced_transactions = 0;  ///< subset that was scattered
+  std::uint64_t shared_accesses = 0;
+  std::uint64_t bank_conflict_cycles = 0;
+  std::uint64_t simd_steps = 0;
+  /// max SM busy time / mean SM busy time (1.0 = perfect balance).
+  double load_imbalance = 1.0;
+};
+
+/// Per-block execution context handed to kernels. All cost-charging calls
+/// accumulate into the block's cycle count; the functional work itself is
+/// plain host C++.
+class WarpContext {
+ public:
+  WarpContext(const GpuSpec& spec, std::uint32_t block_id, KernelStats& stats)
+      : spec_(&spec), block_id_(block_id), stats_(&stats) {}
+
+  [[nodiscard]] std::uint32_t block_id() const { return block_id_; }
+  [[nodiscard]] std::uint32_t warp_size() const { return spec_->warp_size; }
+
+  /// Charges `n` ALU cycles (one SIMD instruction across the warp ≈ 4
+  /// cycles on the C1060's 8-SP SMs).
+  void cycles(double n) { cycles_ += n; }
+
+  /// One warp-wide SIMD step (e.g. 32 parallel 4-byte comparisons).
+  void simd_step(double instructions = 1) {
+    cycles_ += 4.0 * instructions;  // 32 lanes / 8 SPs = 4 cycles per instr
+    stats_->simd_steps += static_cast<std::uint64_t>(instructions);
+  }
+
+  /// Warp-parallel reduction over 32 lanes (Fig. 7's "parallel reduction
+  /// step", [11]): log2(32) = 5 SIMD steps.
+  void reduce_step() { simd_step(5); }
+
+  /// Loads `bytes` from device memory. Coalesced: ceil(bytes/64)
+  /// transactions streamed at peak bandwidth after one latency. Scattered:
+  /// one 64-byte transaction per 4-byte word touched (the paper's motive
+  /// for staging strings through shared memory).
+  void load_global(std::uint64_t bytes, bool coalesced) {
+    charge_global(bytes, coalesced, /*store=*/false);
+  }
+  void store_global(std::uint64_t bytes, bool coalesced) {
+    charge_global(bytes, coalesced, /*store=*/true);
+  }
+
+  /// Shared-memory access of the warp with a given word stride between
+  /// lanes. Stride 1 (or broadcast) is conflict-free; stride s costs the
+  /// maximum bank multiplicity across the 16 banks per half-warp.
+  void shared_access(std::uint32_t stride_words = 1) {
+    // Bank multiplicity of a strided half-warp access: 16 lanes hit
+    // banks/gcd(stride,banks) distinct banks, so gcd(stride,16) lanes share
+    // each bank and the access serializes that many times. Stride 0 is a
+    // broadcast (conflict-free by hardware).
+    const std::uint32_t banks = spec_->shared_banks;
+    const std::uint32_t conflict = stride_words == 0 ? 1 : gcd(stride_words, banks);
+    // Two half-warps per warp; each conflict-free access = 1 cycle.
+    cycles_ += 2.0 * conflict;
+    stats_->shared_accesses += 1;
+    if (conflict > 1) stats_->bank_conflict_cycles += 2ull * (conflict - 1);
+  }
+
+  /// Serialized divergent section: `active_fraction` of lanes execute
+  /// `steps` SIMD steps while the rest idle (costs the same as full warp —
+  /// that is the cost of divergence).
+  void divergent(double steps) { simd_step(steps); }
+
+  /// Device-memory latency stall that could not be hidden by other warps
+  /// (dependent pointer chase, e.g. descending the B-tree).
+  void latency_stall() { cycles_ += spec_->global_latency_cycles; }
+
+  [[nodiscard]] double block_cycles() const { return cycles_; }
+
+ private:
+  static std::uint32_t gcd(std::uint32_t a, std::uint32_t b) {
+    while (b != 0) {
+      const std::uint32_t t = a % b;
+      a = b;
+      b = t;
+    }
+    return a;
+  }
+
+  void charge_global(std::uint64_t bytes, bool coalesced, bool store) {
+    if (bytes == 0) return;
+    std::uint64_t transactions;
+    if (coalesced) {
+      transactions = (bytes + spec_->coalesce_segment_bytes - 1) / spec_->coalesce_segment_bytes;
+    } else {
+      transactions = (bytes + 3) / 4;  // one segment per scattered word
+      stats_->uncoalesced_transactions += transactions;
+    }
+    cycles_ += static_cast<double>(transactions) * spec_->cycles_per_segment();
+    if (store)
+      stats_->global_store_transactions += transactions;
+    else
+      stats_->global_load_transactions += transactions;
+  }
+
+  const GpuSpec* spec_;
+  std::uint32_t block_id_;
+  KernelStats* stats_;
+  double cycles_ = 0;
+};
+
+/// The engine: owns the spec and runs launches.
+class SimtEngine {
+ public:
+  explicit SimtEngine(GpuSpec spec = {}) : spec_(spec) {}
+
+  [[nodiscard]] const GpuSpec& spec() const { return spec_; }
+
+  /// Executes `fn(ctx)` once per thread block (block ids 0..num_blocks-1),
+  /// then schedules the measured block costs onto the SMs.
+  KernelStats launch(std::uint32_t num_blocks,
+                     const std::function<void(WarpContext&)>& fn) const;
+
+  /// Simulated host→device / device→host copy times (pre/post-processing
+  /// of Fig. 8 — these phases are serialized with indexing).
+  [[nodiscard]] double copy_seconds(std::uint64_t bytes) const {
+    return spec_.pcie_latency_s +
+           static_cast<double>(bytes) / (spec_.pcie_bandwidth_gb_s * 1e9);
+  }
+
+ private:
+  GpuSpec spec_;
+};
+
+}  // namespace hetindex

@@ -1,0 +1,112 @@
+#pragma once
+/// \file indexer.hpp
+/// The indexers of §III.D: each owns an exclusive set of trie collections,
+/// a dictionary shard and a postings store, and consumes parsed blocks.
+/// CpuIndexer runs the standard serial B-tree procedure per collection;
+/// GpuIndexer runs the warp-parallel kernel on the SIMT engine with the
+/// paper's dynamic round-robin collection scheduling and reports simulated
+/// device time plus the serialized pre/post-processing transfer times
+/// (Fig. 8).
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "dict/dictionary.hpp"
+#include "gpusim/gpu_btree.hpp"
+#include "gpusim/simt.hpp"
+#include "parse/parsed_block.hpp"
+#include "postings/postings_store.hpp"
+
+namespace hetindex {
+
+/// Table V counters: what an indexer processed.
+struct IndexerWorkStats {
+  std::uint64_t tokens = 0;      ///< postings inserted (token occurrences)
+  std::uint64_t new_terms = 0;   ///< terms first seen by this indexer
+  std::uint64_t chars = 0;       ///< suffix bytes processed
+  std::uint64_t collections_touched = 0;
+
+  IndexerWorkStats& operator+=(const IndexerWorkStats& o) {
+    tokens += o.tokens;
+    new_terms += o.new_terms;
+    chars += o.chars;
+    collections_touched += o.collections_touched;
+    return *this;
+  }
+};
+
+/// Ownership filter shared by both indexer kinds: true when this indexer
+/// owns the collection.
+class CollectionSet {
+ public:
+  CollectionSet() : member_(kTrieCollections, false) {}
+  explicit CollectionSet(const std::vector<std::uint32_t>& collections) : CollectionSet() {
+    for (auto c : collections) member_[c] = true;
+  }
+  void add(std::uint32_t trie_idx) { member_[trie_idx] = true; }
+  [[nodiscard]] bool contains(std::uint32_t trie_idx) const { return member_[trie_idx]; }
+
+ private:
+  std::vector<bool> member_;
+};
+
+/// CPU indexer (§III.D.1): one thread, serial B-tree inserts, relying on
+/// the node string caches and the cache residency of popular collections.
+class CpuIndexer {
+ public:
+  /// The shard and store must outlive the indexer; both are exclusively
+  /// owned by it during the build (no locking, per the paper's design).
+  CpuIndexer(DictionaryShard& shard, PostingsStore& store,
+             const std::vector<std::uint32_t>& collections);
+
+  /// Indexes the owned groups of one parsed block; doc IDs are globalized
+  /// with the block's base. Returns the work processed.
+  IndexerWorkStats index_block(const ParsedBlock& block);
+
+  [[nodiscard]] const IndexerWorkStats& lifetime_stats() const { return lifetime_; }
+  [[nodiscard]] const CollectionSet& collections() const { return owned_; }
+
+ private:
+  DictionaryShard* shard_;
+  PostingsStore* store_;
+  CollectionSet owned_;
+  IndexerWorkStats lifetime_;
+};
+
+/// GPU indexer (§III.D.2): 480 thread blocks × 32 threads on one simulated
+/// Tesla C1060; trie collections are pulled by thread blocks in dynamic
+/// round-robin order. Functionally it builds the same dictionary/postings
+/// as a CpuIndexer over the same input.
+class GpuIndexer {
+ public:
+  struct Timing {
+    double pre_seconds = 0;    ///< H2D copy of the owned parsed groups
+    double index_seconds = 0;  ///< simulated kernel time
+    double post_seconds = 0;   ///< D2H copy of new postings
+    KernelStats kernel;
+  };
+
+  GpuIndexer(DictionaryShard& shard, PostingsStore& store,
+             const std::vector<std::uint32_t>& collections, GpuSpec spec = {},
+             std::uint32_t thread_blocks = 480);
+
+  /// Indexes the owned groups of one block; returns work stats and fills
+  /// `timing` (when non-null) with the simulated device-side times.
+  IndexerWorkStats index_block(const ParsedBlock& block, Timing* timing = nullptr);
+
+  [[nodiscard]] const IndexerWorkStats& lifetime_stats() const { return lifetime_; }
+  [[nodiscard]] const CollectionSet& collections() const { return owned_; }
+  [[nodiscard]] const SimtEngine& engine() const { return engine_; }
+  [[nodiscard]] std::uint32_t thread_blocks() const { return thread_blocks_; }
+
+ private:
+  DictionaryShard* shard_;
+  PostingsStore* store_;
+  CollectionSet owned_;
+  SimtEngine engine_;
+  std::uint32_t thread_blocks_;
+  IndexerWorkStats lifetime_;
+};
+
+}  // namespace hetindex

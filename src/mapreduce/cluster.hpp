@@ -1,0 +1,46 @@
+#pragma once
+/// \file cluster.hpp
+/// Cluster cost model for the MapReduce baselines of §IV.D / Table VII.
+/// Map/reduce functions run functionally on the host; task work is
+/// measured and scheduled onto the modelled cluster, with Hadoop-style
+/// per-task overheads and a network-bound shuffle. Presets mirror the two
+/// comparison systems.
+
+#include <cstddef>
+
+namespace hetindex {
+
+struct ClusterModel {
+  std::size_t nodes = 8;
+  std::size_t cores_per_node = 3;
+  /// Per-node network bandwidth for shuffle (1 Gb/s Ethernet).
+  double network_mb_s = 110.0;
+  /// HDFS sequential read bandwidth per map task.
+  double hdfs_read_mb_s = 60.0;
+  /// Task launch overhead (JVM start, scheduling) — a big part of why
+  /// high-level MapReduce indexing loses to an architecture-aware pipeline.
+  double task_overhead_s = 1.5;
+  /// Host-measured work seconds × ratio = cluster-core seconds.
+  double core_speed_ratio = 1.0;
+
+  [[nodiscard]] std::size_t total_workers() const { return nodes * cores_per_node; }
+};
+
+/// Table VII "Ivory MapReduce": 99 nodes, two single-core 2.8 GHz CPUs.
+inline ClusterModel ivory_cluster() {
+  ClusterModel c;
+  c.nodes = 99;
+  c.cores_per_node = 2;
+  return c;
+}
+
+/// Table VII "SP MapReduce": 8 nodes, one quad-core with one core reserved
+/// for HDFS → 3 usable cores.
+inline ClusterModel sp_cluster() {
+  ClusterModel c;
+  c.nodes = 8;
+  c.cores_per_node = 3;
+  return c;
+}
+
+}  // namespace hetindex

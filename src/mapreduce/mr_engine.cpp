@@ -1,0 +1,101 @@
+#include "mapreduce/mr_engine.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/check.hpp"
+#include "util/timer.hpp"
+
+namespace hetindex {
+namespace {
+
+/// Schedules task durations onto `workers` identical workers (list
+/// scheduling in submission order, like a Hadoop wave); returns makespan.
+double schedule(const std::vector<double>& tasks, std::size_t workers) {
+  HET_CHECK(workers >= 1);
+  std::priority_queue<double, std::vector<double>, std::greater<>> free;
+  for (std::size_t w = 0; w < workers; ++w) free.push(0.0);
+  double makespan = 0.0;
+  for (const double t : tasks) {
+    const double start = free.top();
+    free.pop();
+    const double end = start + t;
+    free.push(end);
+    makespan = std::max(makespan, end);
+  }
+  return makespan;
+}
+
+class CollectingEmitter final : public MiniMapReduce::Emitter {
+ public:
+  void emit(std::string key, std::vector<std::uint32_t> value) override {
+    bytes += key.size() + value.size() * 4 + 8;
+    pairs.emplace_back(std::move(key), std::move(value));
+  }
+  std::vector<std::pair<std::string, std::vector<std::uint32_t>>> pairs;
+  std::uint64_t bytes = 0;
+};
+
+}  // namespace
+
+MrPhaseStats MiniMapReduce::run(const std::vector<std::string>& splits, const MapFn& map_fn,
+                                const ReduceFn& reduce_fn,
+                                const PartitionFn& partition_fn) const {
+  HET_CHECK(reducers_ >= 1);
+  MrPhaseStats stats;
+
+  // ---- Map phase: functional execution + measured work per task.
+  std::vector<double> map_task_seconds;
+  map_task_seconds.reserve(splits.size());
+  // Partition buffers: reducer → (key → values in emission order).
+  std::vector<std::map<std::string, std::vector<std::vector<std::uint32_t>>>> partitions(
+      reducers_);
+  std::vector<std::uint64_t> reducer_bytes(reducers_, 0);
+
+  for (const auto& split : splits) {
+    CollectingEmitter emitter;
+    WallTimer t;
+    const std::uint64_t split_bytes = map_fn(split, emitter);
+    const double work = t.seconds() * cluster_.core_speed_ratio;
+    stats.input_bytes += split_bytes;
+    stats.emitted_records += emitter.pairs.size();
+    stats.shuffled_bytes += emitter.bytes;
+    const double read_time =
+        static_cast<double>(split_bytes) / (cluster_.hdfs_read_mb_s * 1024 * 1024);
+    map_task_seconds.push_back(cluster_.task_overhead_s + read_time + work);
+    for (auto& [key, value] : emitter.pairs) {
+      const std::size_t r = partition_fn(key, reducers_);
+      reducer_bytes[r] += key.size() + value.size() * 4 + 8;
+      partitions[r][std::move(key)].push_back(std::move(value));
+    }
+  }
+  stats.map_seconds = schedule(map_task_seconds, cluster_.total_workers());
+
+  // ---- Shuffle: network-bound. Aggregate bandwidth is nodes × NIC, but
+  // the slowest reducer's inbound link bounds completion.
+  const double aggregate_mb_s =
+      cluster_.network_mb_s * static_cast<double>(std::min(cluster_.nodes, reducers_));
+  const std::uint64_t max_reducer_bytes =
+      *std::max_element(reducer_bytes.begin(), reducer_bytes.end());
+  stats.shuffle_seconds =
+      std::max(static_cast<double>(stats.shuffled_bytes) / (aggregate_mb_s * 1024 * 1024),
+               static_cast<double>(max_reducer_bytes) /
+                   (cluster_.network_mb_s * 1024 * 1024));
+
+  // ---- Reduce phase: sorted key order per reducer (std::map gives it),
+  // functional execution + measured work.
+  std::vector<double> reduce_task_seconds;
+  reduce_task_seconds.reserve(reducers_);
+  for (std::size_t r = 0; r < reducers_; ++r) {
+    WallTimer t;
+    for (const auto& [key, values] : partitions[r]) reduce_fn(key, values);
+    reduce_task_seconds.push_back(cluster_.task_overhead_s +
+                                  t.seconds() * cluster_.core_speed_ratio);
+  }
+  stats.reduce_seconds = schedule(reduce_task_seconds, cluster_.total_workers());
+
+  stats.total_seconds = stats.map_seconds + stats.shuffle_seconds + stats.reduce_seconds;
+  return stats;
+}
+
+}  // namespace hetindex

@@ -1,0 +1,82 @@
+#pragma once
+/// \file mr_engine.hpp
+/// A miniature MapReduce runtime (Dean & Ghemawat [7]) sufficient to host
+/// the two baseline indexers the paper compares against. Map and reduce
+/// functions execute for real on the host (so the baselines produce real,
+/// checkable inverted indexes); phase times are modelled on a ClusterModel
+/// from the measured task work.
+///
+/// Data model: keys are byte strings; values are uint32 vectors. The
+/// framework guarantees reducers see keys in sorted order and, per key,
+/// values in map-task emission order (the property Lin et al. [9] exploit
+/// to append postings without post-processing).
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "mapreduce/cluster.hpp"
+
+namespace hetindex {
+
+struct MrPhaseStats {
+  double map_seconds = 0;      ///< modelled map phase (incl. read + overhead)
+  double shuffle_seconds = 0;  ///< network-bound grouping
+  double reduce_seconds = 0;   ///< modelled reduce phase
+  double total_seconds = 0;
+  std::uint64_t input_bytes = 0;       ///< uncompressed input
+  std::uint64_t shuffled_bytes = 0;    ///< key+value bytes crossing the network
+  std::uint64_t emitted_records = 0;
+
+  [[nodiscard]] double throughput_mb_s() const {
+    return total_seconds > 0
+               ? static_cast<double>(input_bytes) / (1024.0 * 1024.0) / total_seconds
+               : 0.0;
+  }
+};
+
+class MiniMapReduce {
+ public:
+  /// Emit interface handed to map functions.
+  class Emitter {
+   public:
+    virtual ~Emitter() = default;
+    virtual void emit(std::string key, std::vector<std::uint32_t> value) = 0;
+  };
+
+  /// A map function consumes one input split (here: one container file
+  /// path) and emits key/value pairs; it must report the split's
+  /// uncompressed size via the return value.
+  using MapFn = std::function<std::uint64_t(const std::string& split, Emitter& out)>;
+  /// A reduce function receives one key and all its values (emission
+  /// order preserved per key).
+  using ReduceFn =
+      std::function<void(const std::string& key,
+                         const std::vector<std::vector<std::uint32_t>>& values)>;
+  /// Maps a key to its reduce partition (Hadoop's Partitioner). Defaults
+  /// to hashing the whole key; jobs with composite keys (Ivory's
+  /// (term, docid)) partition on the natural key only so one reducer sees
+  /// all of a term's postings.
+  using PartitionFn = std::function<std::size_t(const std::string& key, std::size_t reducers)>;
+
+  static std::size_t default_partition(const std::string& key, std::size_t reducers) {
+    return std::hash<std::string>{}(key) % reducers;
+  }
+
+  MiniMapReduce(ClusterModel cluster, std::size_t reducers)
+      : cluster_(cluster), reducers_(reducers) {}
+
+  /// Runs the job: one map task per split, hash partitioning onto
+  /// `reducers` reduce tasks, sorted keys within each reducer.
+  MrPhaseStats run(const std::vector<std::string>& splits, const MapFn& map_fn,
+                   const ReduceFn& reduce_fn,
+                   const PartitionFn& partition_fn = default_partition) const;
+
+ private:
+  ClusterModel cluster_;
+  std::size_t reducers_;
+};
+
+}  // namespace hetindex

@@ -1,0 +1,153 @@
+#include "mapreduce/mr_indexers.hpp"
+
+#include <cstring>
+
+#include "corpus/container.hpp"
+#include "parse/parser.hpp"
+#include "util/binary_io.hpp"
+#include "util/check.hpp"
+
+namespace hetindex {
+namespace {
+
+/// Encodes docid into a big-endian suffix so lexicographic key order is
+/// (term, docid) order — the Ivory trick that makes postings arrive sorted.
+std::string ivory_key(const std::string& term, std::uint32_t doc) {
+  std::string key = term;
+  key.push_back('\0');
+  for (int shift = 24; shift >= 0; shift -= 8)
+    key.push_back(static_cast<char>((doc >> shift) & 0xFF));
+  return key;
+}
+
+void ivory_key_decode(const std::string& key, std::string& term, std::uint32_t& doc) {
+  HET_CHECK(key.size() >= 5);
+  term.assign(key, 0, key.size() - 5);
+  doc = 0;
+  for (std::size_t i = key.size() - 4; i < key.size(); ++i)
+    doc = (doc << 8) | static_cast<std::uint8_t>(key[i]);
+}
+
+/// Per-file doc-id bases so both baselines number documents like the core
+/// pipeline (file order).
+std::vector<std::uint32_t> doc_bases(const std::vector<std::string>& files) {
+  std::vector<std::uint32_t> bases(files.size(), 0);
+  std::uint32_t base = 0;
+  for (std::size_t f = 0; f < files.size(); ++f) {
+    bases[f] = base;
+    const auto file = read_file(files[f]);
+    base += container_header_doc_count(file.data(), file.size());
+  }
+  return bases;
+}
+
+}  // namespace
+
+MrIndexResult ivory_mr_index(const std::vector<std::string>& files,
+                             const ClusterModel& cluster, std::size_t reducers) {
+  MrIndexResult result;
+  const auto bases = doc_bases(files);
+  std::map<std::string, std::size_t> file_of;
+  for (std::size_t f = 0; f < files.size(); ++f) file_of[files[f]] = f;
+
+  MiniMapReduce mr(cluster, reducers);
+  result.stats = mr.run(
+      files,
+      // Map: parse the file; emit <(term, docid), tf> per distinct
+      // (term, doc) pair.
+      [&](const std::string& split, MiniMapReduce::Emitter& out) -> std::uint64_t {
+        const std::uint32_t base = bases[file_of.at(split)];
+        const auto docs = container_read(split);
+        Parser parser;
+        std::uint64_t bytes = 8;
+        for (const auto& d : docs) bytes += d.body.size() + d.url.size() + 8;
+        // Aggregate tf within each document before emitting.
+        std::map<std::pair<std::string, std::uint32_t>, std::uint32_t> tf;
+        for (const auto& tok : parser.parse_flat(docs)) {
+          ++tf[{tok.term, base + tok.local_doc}];
+        }
+        for (const auto& [key, count] : tf) out.emit(ivory_key(key.first, key.second), {count});
+        return bytes;
+      },
+      // Reduce: keys arrive in (term, docid) order — append directly.
+      [&](const std::string& key, const std::vector<std::vector<std::uint32_t>>& values) {
+        HET_CHECK_MSG(values.size() == 1, "Ivory keys are unique per (term, doc)");
+        std::string term;
+        std::uint32_t doc = 0;
+        ivory_key_decode(key, term, doc);
+        auto& list = result.index[term];
+        HET_CHECK_MSG(list.doc_ids.empty() || list.doc_ids.back() < doc,
+                      "framework sort must deliver docids in order");
+        list.doc_ids.push_back(doc);
+        list.tfs.push_back(values[0].at(0));
+      },
+      // Partition on the term only (the natural key), so every posting of
+      // a term reaches the same reducer in docid order.
+      [](const std::string& key, std::size_t reducers) {
+        const auto cut = key.find('\0');
+        return std::hash<std::string_view>{}(std::string_view(key).substr(0, cut)) % reducers;
+      });
+  return result;
+}
+
+MrIndexResult singlepass_mr_index(const std::vector<std::string>& files,
+                                  const ClusterModel& cluster, std::size_t reducers) {
+  MrIndexResult result;
+  const auto bases = doc_bases(files);
+  std::map<std::string, std::size_t> file_of;
+  for (std::size_t f = 0; f < files.size(); ++f) file_of[files[f]] = f;
+
+  MiniMapReduce mr(cluster, reducers);
+  result.stats = mr.run(
+      files,
+      // Map: build the task-local partial postings list per term, then
+      // emit it once — far fewer, larger records than Ivory.
+      [&](const std::string& split, MiniMapReduce::Emitter& out) -> std::uint64_t {
+        const std::uint32_t base = bases[file_of.at(split)];
+        const auto docs = container_read(split);
+        Parser parser;
+        std::uint64_t bytes = 8;
+        for (const auto& d : docs) bytes += d.body.size() + d.url.size() + 8;
+        std::map<std::string, PostingsList> local;
+        for (const auto& tok : parser.parse_flat(docs)) {
+          auto& list = local[tok.term];
+          const std::uint32_t doc = base + tok.local_doc;
+          if (!list.doc_ids.empty() && list.doc_ids.back() == doc) {
+            ++list.tfs.back();
+          } else {
+            list.doc_ids.push_back(doc);
+            list.tfs.push_back(1);
+          }
+        }
+        for (auto& [term, list] : local) {
+          std::vector<std::uint32_t> flat;
+          flat.reserve(list.size() * 2);
+          for (std::size_t i = 0; i < list.size(); ++i) {
+            flat.push_back(list.doc_ids[i]);
+            flat.push_back(list.tfs[i]);
+          }
+          out.emit(term, std::move(flat));
+        }
+        return bytes;
+      },
+      // Reduce: merge the partial lists of a term by leading docid.
+      [&](const std::string& term, const std::vector<std::vector<std::uint32_t>>& values) {
+        std::vector<std::pair<std::uint32_t, std::uint32_t>> postings;
+        for (const auto& flat : values) {
+          HET_CHECK(flat.size() % 2 == 0);
+          for (std::size_t i = 0; i < flat.size(); i += 2)
+            postings.emplace_back(flat[i], flat[i + 1]);
+        }
+        std::sort(postings.begin(), postings.end());
+        auto& list = result.index[term];
+        for (const auto& [doc, tf] : postings) {
+          HET_CHECK_MSG(list.doc_ids.empty() || list.doc_ids.back() < doc,
+                        "duplicate docid across partial lists");
+          list.doc_ids.push_back(doc);
+          list.tfs.push_back(tf);
+        }
+      });
+  return result;
+}
+
+}  // namespace hetindex

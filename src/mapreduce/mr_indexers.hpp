@@ -1,0 +1,39 @@
+#pragma once
+/// \file mr_indexers.hpp
+/// The two fastest published MapReduce indexers the paper compares against
+/// (§IV.D, Fig. 12), implemented on the mini MapReduce runtime:
+///
+///  - Ivory-style (Lin et al. [9]): map emits <(term, docid), tf> so each
+///    key has exactly one value and the framework's sort delivers postings
+///    in docid order — reducers append without post-processing.
+///  - Single-pass-style (McCreadie et al. [8]): map emits
+///    <term, partial postings list> per map task, cutting emit count and
+///    shuffle volume; reducers merge the partial lists.
+///
+/// Both produce a real in-memory inverted index so tests can check logical
+/// equivalence with the core pipeline's output.
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "mapreduce/cluster.hpp"
+#include "mapreduce/mr_engine.hpp"
+#include "postings/postings_store.hpp"
+
+namespace hetindex {
+
+struct MrIndexResult {
+  std::map<std::string, PostingsList> index;
+  MrPhaseStats stats;
+};
+
+/// Ivory-style MapReduce indexing over container files.
+MrIndexResult ivory_mr_index(const std::vector<std::string>& files,
+                             const ClusterModel& cluster, std::size_t reducers);
+
+/// Single-pass (per-map-task partial lists) MapReduce indexing.
+MrIndexResult singlepass_mr_index(const std::vector<std::string>& files,
+                                  const ClusterModel& cluster, std::size_t reducers);
+
+}  // namespace hetindex

@@ -1,0 +1,110 @@
+#include "mapreduce/remote_lists.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "corpus/container.hpp"
+#include "parse/parser.hpp"
+#include "util/binary_io.hpp"
+#include "util/check.hpp"
+#include "util/timer.hpp"
+
+namespace hetindex {
+
+RemoteListsResult remote_lists_index(const std::vector<std::string>& files,
+                                     const ClusterModel& cluster) {
+  RemoteListsResult result;
+  auto& stats = result.stats;
+  const std::size_t nodes = cluster.nodes;
+  HET_CHECK(nodes >= 1);
+
+  // Doc-id bases in file order (global numbering, same as the core system).
+  std::vector<std::uint32_t> bases(files.size(), 0);
+  {
+    std::uint32_t base = 0;
+    for (std::size_t f = 0; f < files.size(); ++f) {
+      bases[f] = base;
+      const auto file = read_file(files[f]);
+      base += container_header_doc_count(file.data(), file.size());
+    }
+  }
+
+  // ---- Pass 1: global vocabulary. Each node scans its partition; the
+  // union is built at a coordinator and the term→owner assignment is
+  // broadcast. Work is measured and scheduled per node partition.
+  Parser parser;
+  std::unordered_set<std::string> vocabulary;
+  std::vector<double> node_scan_seconds(nodes, 0.0);
+  std::vector<std::vector<Parser::FlatToken>> parsed(files.size());
+  for (std::size_t f = 0; f < files.size(); ++f) {
+    WallTimer t;
+    const auto docs = container_read(files[f]);
+    for (const auto& d : docs) stats.input_bytes += d.body.size() + d.url.size() + 8;
+    parsed[f] = parser.parse_flat(docs);
+    for (const auto& tok : parsed[f]) vocabulary.insert(tok.term);
+    node_scan_seconds[f % nodes] += t.seconds() * cluster.core_speed_ratio;
+  }
+  stats.vocabulary_seconds =
+      *std::max_element(node_scan_seconds.begin(), node_scan_seconds.end()) +
+      // Broadcast of the vocabulary table to every node.
+      static_cast<double>(vocabulary.size()) * 12.0 /
+          (cluster.network_mb_s * 1024 * 1024);
+
+  // Term → owner node.
+  auto owner_of = [&](const std::string& term) {
+    return std::hash<std::string>{}(term) % nodes;
+  };
+
+  // ---- Pass 2: parse again on each node (the algorithm re-reads; we
+  // reuse the parsed tokens but charge the measured scan time again),
+  // ship tuples to owners, insert into sorted lists.
+  stats.parse_seconds = stats.vocabulary_seconds -
+                        static_cast<double>(vocabulary.size()) * 12.0 /
+                            (cluster.network_mb_s * 1024 * 1024);
+
+  std::vector<std::uint64_t> node_in_bytes(nodes, 0);
+  std::vector<double> node_insert_seconds(nodes, 0.0);
+  std::vector<std::unordered_map<std::string, PostingsList>> node_lists(nodes);
+  for (std::size_t f = 0; f < files.size(); ++f) {
+    const std::uint32_t base = bases[f];
+    // Tuples from file f's node arrive at owners in this node's document
+    // order, but interleaved with other nodes' tuples — which is why the
+    // algorithm needs *insertion* into a sorted list rather than append.
+    for (const auto& tok : parsed[f]) {
+      const std::size_t owner = owner_of(tok.term);
+      const std::uint32_t doc = base + tok.local_doc;
+      node_in_bytes[owner] += tok.term.size() + 8;
+      ++stats.tuples_shipped;
+      WallTimer t;
+      auto& list = node_lists[owner][tok.term];
+      // Sorted insert (tuples for a term arrive out of global doc order
+      // across source nodes).
+      auto it = std::lower_bound(list.doc_ids.begin(), list.doc_ids.end(), doc);
+      if (it != list.doc_ids.end() && *it == doc) {
+        ++list.tfs[static_cast<std::size_t>(it - list.doc_ids.begin())];
+      } else {
+        const auto at = static_cast<std::size_t>(it - list.doc_ids.begin());
+        list.doc_ids.insert(it, doc);
+        list.tfs.insert(list.tfs.begin() + static_cast<std::ptrdiff_t>(at), 1);
+      }
+      node_insert_seconds[owner] += t.seconds() * cluster.core_speed_ratio;
+    }
+  }
+  std::uint64_t max_in = 0;
+  for (const auto b : node_in_bytes) max_in = std::max(max_in, b);
+  stats.network_seconds =
+      static_cast<double>(max_in) / (cluster.network_mb_s * 1024 * 1024);
+  stats.insert_seconds =
+      *std::max_element(node_insert_seconds.begin(), node_insert_seconds.end());
+  stats.total_seconds = stats.vocabulary_seconds + stats.parse_seconds +
+                        stats.network_seconds + stats.insert_seconds;
+
+  // Final logical index (union across owners).
+  for (auto& node : node_lists) {
+    for (auto& [term, list] : node) result.index[term] = std::move(list);
+  }
+  return result;
+}
+
+}  // namespace hetindex

@@ -1,0 +1,46 @@
+#pragma once
+/// \file remote_lists.hpp
+/// The "Remote-Buffer and Remote-Lists" distributed indexer of
+/// Ribeiro-Neto et al. [6] (§II): a first pass computes the global
+/// vocabulary and assigns each term to an owner processor; in the indexing
+/// pass every ⟨term, docid⟩ tuple is sent to its owner, which inserts it
+/// directly into the destination postings list kept in sorted order.
+/// Implemented functionally on a ClusterModel so Fig. 12-style comparisons
+/// can include the pre-MapReduce state of the art.
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "mapreduce/cluster.hpp"
+#include "postings/postings_store.hpp"
+
+namespace hetindex {
+
+struct RemoteListsStats {
+  double vocabulary_seconds = 0;  ///< pass 1: global vocabulary build + broadcast
+  double parse_seconds = 0;       ///< pass 2: parsing on the owning nodes
+  double network_seconds = 0;     ///< tuple traffic to owner processors
+  double insert_seconds = 0;      ///< sorted-list insertion at the owners
+  double total_seconds = 0;
+  std::uint64_t input_bytes = 0;
+  std::uint64_t tuples_shipped = 0;
+
+  [[nodiscard]] double throughput_mb_s() const {
+    return total_seconds > 0
+               ? static_cast<double>(input_bytes) / (1024.0 * 1024.0) / total_seconds
+               : 0.0;
+  }
+};
+
+struct RemoteListsResult {
+  std::map<std::string, PostingsList> index;
+  RemoteListsStats stats;
+};
+
+/// Runs the two-pass algorithm over container files on the modelled
+/// cluster. Files are partitioned across nodes round-robin.
+RemoteListsResult remote_lists_index(const std::vector<std::string>& files,
+                                     const ClusterModel& cluster);
+
+}  // namespace hetindex

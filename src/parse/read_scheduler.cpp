@@ -1,0 +1,53 @@
+#include "parse/read_scheduler.hpp"
+
+#include "corpus/container.hpp"
+#include "util/binary_io.hpp"
+#include "util/timer.hpp"
+
+namespace hetindex {
+
+ReadScheduler::ReadScheduler(std::vector<std::string> files) : files_(std::move(files)) {}
+
+std::optional<ScheduledRead> ReadScheduler::next() {
+  ScheduledRead result;
+  std::vector<std::uint8_t> compressed;
+  {
+    // Serialized disk section: claim the next file and read it while
+    // holding the disk. The container's uncompressed header carries the
+    // doc count, so the global doc-ID base is assigned here, in file
+    // order; decompression happens outside so other parsers can start
+    // their reads (§IV.A scheme 2).
+    std::scoped_lock disk(disk_mutex_);
+    {
+      std::scoped_lock state(state_mutex_);
+      if (next_file_ >= files_.size()) return std::nullopt;
+      result.seq = next_file_++;
+    }
+    WallTimer t;
+    compressed = read_file(files_[result.seq]);
+    result.read_seconds = t.seconds();
+    result.compressed_bytes = compressed.size();
+    const std::uint32_t doc_count =
+        container_header_doc_count(compressed.data(), compressed.size());
+    {
+      std::scoped_lock state(state_mutex_);
+      result.doc_id_base = next_doc_base_;
+      next_doc_base_ += doc_count;
+    }
+  }
+
+  WallTimer t;
+  result.docs = container_decompress(compressed.data(), compressed.size());
+  result.decompress_seconds = t.seconds();
+  std::uint64_t raw = 0;
+  for (const auto& d : result.docs) raw += d.body.size() + d.url.size() + 8;
+  result.uncompressed_bytes = raw + 8;
+  return result;
+}
+
+std::uint32_t ReadScheduler::docs_assigned() const {
+  std::scoped_lock state(const_cast<std::mutex&>(state_mutex_));
+  return next_doc_base_;
+}
+
+}  // namespace hetindex

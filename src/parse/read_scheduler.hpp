@@ -1,0 +1,52 @@
+#pragma once
+/// \file read_scheduler.hpp
+/// Step 1 of the parser (Fig. 3) plus the disk-access discipline of §III.F:
+/// "To avoid several parsers from trying to read from the same disk at the
+/// same time, a scheduler is used to organize the reads of the different
+/// parsers, one at a time." Reads hand out files in order together with
+/// the global doc-ID base so downstream postings stay globally sorted, and
+/// decompression happens *after* the full file is in memory (§IV.A's second
+/// scheme, the one the paper chooses).
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "corpus/document.hpp"
+
+namespace hetindex {
+
+/// One scheduled read: a fully decompressed file plus its identity.
+struct ScheduledRead {
+  std::uint64_t seq = 0;            ///< file index in collection order
+  std::uint32_t doc_id_base = 0;    ///< global doc id of the file's doc 0
+  std::vector<Document> docs;
+  std::uint64_t compressed_bytes = 0;
+  std::uint64_t uncompressed_bytes = 0;
+  double read_seconds = 0;        ///< time inside the serialized disk section
+  double decompress_seconds = 0;  ///< in-memory decompression (parallel)
+};
+
+class ReadScheduler {
+ public:
+  explicit ReadScheduler(std::vector<std::string> files);
+
+  /// Thread-safe: blocks while another parser holds the disk, then reads
+  /// the next file. nullopt when the collection is exhausted.
+  std::optional<ScheduledRead> next();
+
+  [[nodiscard]] std::size_t file_count() const { return files_.size(); }
+  /// Total docs handed out so far (== next doc_id_base).
+  [[nodiscard]] std::uint32_t docs_assigned() const;
+
+ private:
+  std::vector<std::string> files_;
+  std::mutex disk_mutex_;        // the single disk
+  std::mutex state_mutex_;       // seq/doc-base counters
+  std::size_t next_file_ = 0;
+  std::uint32_t next_doc_base_ = 0;
+};
+
+}  // namespace hetindex

@@ -1,0 +1,41 @@
+#pragma once
+/// \file config.hpp
+/// Pipeline configuration: the knobs of Fig. 9/10 — number of parallel
+/// parsers (M), CPU indexers (N1), GPUs (N2) — plus output and ablation
+/// options.
+
+#include <cstddef>
+#include <string>
+
+#include "codec/posting_codecs.hpp"
+#include "gpusim/gpu_spec.hpp"
+#include "index/sampler.hpp"
+#include "parse/parser.hpp"
+
+namespace hetindex {
+
+struct PipelineConfig {
+  /// M parallel parsers (paper's optimum on 8 cores: 6).
+  std::size_t parsers = 2;
+  /// N1 CPU indexers (paper's optimum with GPUs: 2).
+  std::size_t cpu_indexers = 2;
+  /// N2 GPU indexers (0 disables the GPU path entirely).
+  std::size_t gpus = 2;
+  /// Thread blocks per GPU (§IV.B: 480 is optimal on the C1060).
+  std::uint32_t gpu_thread_blocks = 480;
+  GpuSpec gpu_spec{};
+  /// Postings compression (§III.E: variable-byte by default).
+  PostingCodec codec = PostingCodec::kVByte;
+  /// B-tree node string caches (ablation hook, §III.B.2).
+  bool use_string_cache = true;
+  /// Run the <10% post-pass that merges partial postings lists (§III.F).
+  bool merge_after_build = false;
+  /// Parsed-block buffers per parser before back-pressure stalls it.
+  std::size_t buffers_per_parser = 2;
+  SamplerConfig sampler{};
+  ParserConfig parser{};
+  /// Where run files, dictionary and directory are written.
+  std::string output_dir = "hetindex_out";
+};
+
+}  // namespace hetindex

@@ -1,0 +1,249 @@
+#include "pipeline/engine.hpp"
+
+#include <filesystem>
+#include <thread>
+
+#include "index/indexer.hpp"
+#include "parse/read_scheduler.hpp"
+#include "pipeline/reorder_buffer.hpp"
+#include "postings/doc_map.hpp"
+#include "postings/merger.hpp"
+#include "postings/query.hpp"
+#include "postings/run_file.hpp"
+#include "util/check.hpp"
+#include "util/timer.hpp"
+
+namespace hetindex {
+namespace {
+
+/// What a parser thread hands to the indexing stage.
+struct ParsedWork {
+  ParsedBlock block;
+  std::vector<std::string> urls;  ///< Fig. 3 Step 1 doc table rows
+  std::uint32_t doc_count = 0;
+  std::uint64_t compressed_bytes = 0;
+  std::uint64_t uncompressed_bytes = 0;
+  double read_seconds = 0;
+  double decompress_seconds = 0;
+  double parse_seconds = 0;
+};
+
+/// Builds the collection→shard ownership map per §III.E. Shards
+/// [0, n_cpu) belong to CPU indexers, [n_cpu, n_cpu + n_gpu) to GPUs.
+struct Ownership {
+  std::vector<std::vector<std::uint32_t>> cpu_sets;
+  std::vector<std::vector<std::uint32_t>> gpu_sets;
+};
+
+Ownership assign_collections(const WorkSplit& split, std::size_t n_cpu, std::size_t n_gpu) {
+  HET_CHECK_MSG(n_cpu + n_gpu >= 1, "need at least one indexer");
+  Ownership own;
+  own.cpu_sets.resize(n_cpu);
+  own.gpu_sets.resize(n_gpu);
+
+  // Popular collections → CPU indexers, token-balanced. Without CPU
+  // indexers (GPU-only scenario (i) of §IV.B) they fall through to GPUs.
+  if (n_cpu > 0) {
+    own.cpu_sets = balance_popular(split.popular, split.sampled_tokens, n_cpu);
+  }
+
+  // Everything else — sampled-unpopular plus never-sampled — goes to the
+  // GPUs by the paper's `i mod N2` rule; with no GPUs they join the CPU
+  // sets round-robin.
+  std::vector<bool> is_popular(kTrieCollections, false);
+  if (n_cpu > 0) {
+    for (const auto& set : own.cpu_sets)
+      for (auto idx : set) is_popular[idx] = true;
+  }
+  for (std::uint32_t idx = 0; idx < kTrieCollections; ++idx) {
+    if (is_popular[idx]) continue;
+    if (n_gpu > 0) {
+      own.gpu_sets[idx % n_gpu].push_back(idx);
+    } else {
+      own.cpu_sets[idx % n_cpu].push_back(idx);
+    }
+  }
+  return own;
+}
+
+}  // namespace
+
+PipelineEngine::PipelineEngine(PipelineConfig config) : config_(std::move(config)) {
+  HET_CHECK_MSG(config_.parsers >= 1, "need at least one parser");
+}
+
+PipelineReport PipelineEngine::build(const std::vector<std::string>& files) {
+  PipelineReport report;
+  report.config = config_;
+  std::filesystem::create_directories(config_.output_dir);
+  WallTimer total_timer;
+
+  // ---- Sampling phase (Table VI "Sampling Time").
+  const WorkSplit split = sample_and_split(files, config_.sampler);
+  report.sampling_seconds = split.sampling_seconds;
+
+  // ---- Dictionary + stores, one shard per indexer.
+  const std::size_t n_cpu = config_.cpu_indexers;
+  const std::size_t n_gpu = config_.gpus;
+  const Ownership own = assign_collections(split, n_cpu, n_gpu);
+
+  Dictionary dict(config_.use_string_cache);
+  std::vector<PostingsStore> stores(n_cpu + n_gpu);
+  std::vector<CpuIndexer> cpu_indexers;
+  std::vector<GpuIndexer> gpu_indexers;
+  cpu_indexers.reserve(n_cpu);
+  gpu_indexers.reserve(n_gpu);
+  // All shards are created before any indexer takes a reference — the
+  // shard vector must not reallocate once indexers point into it.
+  for (std::size_t i = 0; i < n_cpu + n_gpu; ++i) dict.add_shard();
+  for (std::size_t i = 0; i < n_cpu; ++i) {
+    for (auto idx : own.cpu_sets[i]) dict.assign(idx, i);
+    cpu_indexers.emplace_back(dict.shard(i), stores[i], own.cpu_sets[i]);
+  }
+  for (std::size_t g = 0; g < n_gpu; ++g) {
+    const std::size_t shard = n_cpu + g;
+    for (auto idx : own.gpu_sets[g]) dict.assign(idx, shard);
+    gpu_indexers.emplace_back(dict.shard(shard), stores[shard], own.gpu_sets[g],
+                              config_.gpu_spec, config_.gpu_thread_blocks);
+  }
+
+  // ---- Parse stage: M parser threads feeding the sequence-ordered buffer.
+  ReadScheduler scheduler(files);
+  ReorderBuffer<ParsedWork> buffer(
+      std::max(config_.parsers + 1, config_.parsers * config_.buffers_per_parser));
+  std::mutex parse_wall_mutex;
+  double parse_stage_wall = 0;  // max over parsers of their busy span
+
+  WallTimer stage_timer;
+  std::vector<std::jthread> parser_threads;
+  parser_threads.reserve(config_.parsers);
+  for (std::size_t p = 0; p < config_.parsers; ++p) {
+    parser_threads.emplace_back([&, p] {
+      Parser parser(config_.parser);
+      WallTimer busy;
+      while (auto read = scheduler.next()) {
+        ParsedWork work;
+        work.doc_count = static_cast<std::uint32_t>(read->docs.size());
+        work.compressed_bytes = read->compressed_bytes;
+        work.uncompressed_bytes = read->uncompressed_bytes;
+        work.read_seconds = read->read_seconds;
+        work.decompress_seconds = read->decompress_seconds;
+        work.urls.reserve(read->docs.size());
+        for (const auto& doc : read->docs) work.urls.push_back(doc.url);
+        ParseTimes times;
+        WallTimer t;
+        work.block = parser.parse(read->docs, read->seq, static_cast<std::uint32_t>(p),
+                                  read->doc_id_base, &times);
+        work.parse_seconds = t.seconds();
+        if (!buffer.push(read->seq, std::move(work))) break;
+      }
+      std::scoped_lock lock(parse_wall_mutex);
+      parse_stage_wall = std::max(parse_stage_wall, busy.seconds());
+    });
+  }
+  // Close the buffer once all parsers are done (watchdog thread keeps the
+  // consumer below simple).
+  std::jthread closer([&] {
+    for (auto& t : parser_threads) t.join();
+    buffer.close();
+  });
+
+  // ---- Index stage: single runs in sequence order (Fig. 8).
+  std::vector<IndexDirectoryEntry> directory;
+  DocMapBuilder doc_map;  // Fig. 3 Step 1's <doc ID, location> table
+  WallTimer index_stage_timer;
+  while (auto work = buffer.pop_next()) {
+    RunRecord run;
+    run.run_id = work->block.seq;
+    run.doc_count = work->doc_count;
+    run.compressed_bytes = work->compressed_bytes;
+    run.source_bytes = work->uncompressed_bytes;
+    run.payload_bytes = work->block.payload_bytes();
+    run.tokens = work->block.tokens;
+    run.read_seconds = work->read_seconds;
+    run.decompress_seconds = work->decompress_seconds;
+    run.parse_seconds = work->parse_seconds;
+    doc_map.add_file(work->block.doc_id_base, static_cast<std::uint32_t>(work->block.seq),
+                     work->urls, work->block.doc_tokens);
+
+    // Parallel indexing: each CPU indexer's work is measured individually
+    // (the DES schedules them onto dedicated cores).
+    run.cpu_index_seconds.resize(n_cpu);
+    for (std::size_t i = 0; i < n_cpu; ++i) {
+      WallTimer t;
+      cpu_indexers[i].index_block(work->block);
+      run.cpu_index_seconds[i] = t.seconds();
+    }
+    run.gpu_timings.resize(n_gpu);
+    for (std::size_t g = 0; g < n_gpu; ++g) {
+      gpu_indexers[g].index_block(work->block, &run.gpu_timings[g]);
+    }
+
+    // Post-processing: flush every store's lists into this run's file.
+    {
+      WallTimer t;
+      const auto run_id = static_cast<std::uint32_t>(run.run_id);
+      RunFileWriter writer(IndexLayout::run_path(config_.output_dir, run_id), run_id,
+                           config_.codec);
+      std::uint32_t min_doc = 0xFFFFFFFFu, max_doc = 0;
+      bool any = false;
+      for (std::size_t s = 0; s < stores.size(); ++s) {
+        for (std::uint32_t h = 1; h <= stores[s].list_count(); ++h) {
+          const auto& list = stores[s].list(h);
+          if (list.empty()) continue;
+          any = true;
+          min_doc = std::min(min_doc, list.doc_ids.front());
+          max_doc = std::max(max_doc, list.doc_ids.back());
+          writer.add_list({static_cast<std::uint32_t>(s), h}, list);
+        }
+        stores[s].clear_lists();
+      }
+      writer.finalize();
+      if (!any) min_doc = 0;
+      directory.push_back({"run_" + std::to_string(run_id) + ".post", run_id, min_doc,
+                           max_doc});
+      run.flush_seconds = t.seconds();
+    }
+
+    report.documents += run.doc_count;
+    report.tokens += run.tokens;
+    report.uncompressed_bytes += run.source_bytes;
+    report.compressed_bytes += run.compressed_bytes;
+    report.runs.push_back(std::move(run));
+  }
+  report.index_stage_seconds = index_stage_timer.seconds();
+  closer.join();
+  report.parse_stage_seconds = std::max(parse_stage_wall, stage_timer.seconds());
+
+  // ---- Dictionary combine + write (Table VI rows).
+  {
+    WallTimer t;
+    const auto entries = dict.combine();
+    report.terms = entries.size();
+    report.dict_combine_seconds = t.seconds();
+  }
+  {
+    WallTimer t;
+    dictionary_write(dict, IndexLayout::dictionary_path(config_.output_dir));
+    index_directory_write(IndexLayout::directory_path(config_.output_dir), directory);
+    doc_map.write(doc_map_path(config_.output_dir));
+    report.dict_write_seconds = t.seconds();
+  }
+
+  if (config_.merge_after_build) {
+    WallTimer t;
+    std::vector<std::string> run_paths;
+    run_paths.reserve(directory.size());
+    for (const auto& e : directory) run_paths.push_back(config_.output_dir + "/" + e.file);
+    merge_runs(run_paths, IndexLayout::merged_path(config_.output_dir), config_.codec);
+    report.merge_seconds = t.seconds();
+  }
+
+  for (const auto& ind : cpu_indexers) report.cpu_work.push_back(ind.lifetime_stats());
+  for (const auto& ind : gpu_indexers) report.gpu_work.push_back(ind.lifetime_stats());
+  for (const auto& store : stores) report.postings += store.postings_added();
+  report.total_seconds = total_timer.seconds();
+  return report;
+}
+
+}  // namespace hetindex

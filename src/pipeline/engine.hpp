@@ -1,0 +1,32 @@
+#pragma once
+/// \file engine.hpp
+/// The overall pipelined indexing system of Fig. 9: sampling →
+/// {M parallel parsers | reorder buffer | N1 CPU + N2 GPU indexers per
+/// single run} → dictionary combine/write. This is the *real-thread*
+/// execution backend: it builds a correct, queryable on-disk index and
+/// measures every stage's work, producing the RunRecords the DES platform
+/// model replays for the scaling figures.
+
+#include <string>
+#include <vector>
+
+#include "pipeline/config.hpp"
+#include "pipeline/report.hpp"
+
+namespace hetindex {
+
+class PipelineEngine {
+ public:
+  explicit PipelineEngine(PipelineConfig config);
+
+  /// Builds the inverted files for `files` (container files, collection
+  /// order) under config.output_dir and returns the full report. The
+  /// output directory is created; it will contain run_<k>.post files,
+  /// dictionary.bin, runs.dir and (optionally) merged.post.
+  PipelineReport build(const std::vector<std::string>& files);
+
+ private:
+  PipelineConfig config_;
+};
+
+}  // namespace hetindex

@@ -1,0 +1,84 @@
+#pragma once
+/// \file reorder_buffer.hpp
+/// Sequence-ordered hand-off between parsers and the indexing stage. The
+/// paper enforces "(buffer of Parser 0, buffer of Parser 1, …)" round-robin
+/// consumption so documents are indexed in disk order and postings stay
+/// doc-ID-sorted (§III.F). With a dynamic read scheduler the equivalent
+/// discipline is: release parsed blocks strictly in file-sequence order.
+/// Capacity bounds the window and provides the parser back-pressure of the
+/// bounded per-parser buffers.
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+
+#include "util/check.hpp"
+
+namespace hetindex {
+
+template <typename T>
+class ReorderBuffer {
+ public:
+  /// \param capacity max in-flight items; must be ≥ the number of
+  ///        producers or a producer holding a far-ahead seq could deadlock
+  ///        the consumer waiting on an earlier seq.
+  explicit ReorderBuffer(std::size_t capacity) : capacity_(capacity) {
+    HET_CHECK(capacity >= 1);
+  }
+
+  /// Blocks until there is room in the window, then files item `seq`. The
+  /// next-expected sequence is always admitted even when the window is
+  /// full — otherwise a slow producer holding the head sequence could
+  /// deadlock against a full buffer of later sequences. Returns false if
+  /// the buffer was closed.
+  bool push(std::uint64_t seq, T item) {
+    std::unique_lock lock(mu_);
+    HET_CHECK_MSG(seq >= next_, "sequence pushed twice");
+    cv_space_.wait(lock,
+                   [&] { return items_.size() < capacity_ || seq == next_ || closed_; });
+    if (closed_) return false;
+    items_.emplace(seq, std::move(item));
+    cv_ready_.notify_all();
+    return true;
+  }
+
+  /// Blocks until the next-in-sequence item arrives; nullopt after close()
+  /// once the remaining in-order prefix has drained.
+  std::optional<T> pop_next() {
+    std::unique_lock lock(mu_);
+    cv_ready_.wait(lock, [&] { return items_.contains(next_) || closed_; });
+    const auto it = items_.find(next_);
+    if (it == items_.end()) return std::nullopt;  // closed and next_ missing
+    T item = std::move(it->second);
+    items_.erase(it);
+    ++next_;
+    cv_space_.notify_all();
+    return item;
+  }
+
+  /// Producers call this when the input is exhausted.
+  void close() {
+    std::scoped_lock lock(mu_);
+    closed_ = true;
+    cv_ready_.notify_all();
+    cv_space_.notify_all();
+  }
+
+  [[nodiscard]] std::uint64_t next_sequence() const {
+    std::scoped_lock lock(mu_);
+    return next_;
+  }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_ready_;
+  std::condition_variable cv_space_;
+  std::map<std::uint64_t, T> items_;
+  std::uint64_t next_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace hetindex

@@ -1,0 +1,81 @@
+#pragma once
+/// \file report.hpp
+/// Instrumentation produced by a pipeline build. Each "single run" (Fig. 8:
+/// one parsed block through pre-processing → parallel indexing →
+/// post-processing) yields a RunRecord carrying the measured per-stage
+/// work; the DES platform model (src/sim) replays these records on the
+/// paper's 8-core + 2-GPU node to regenerate Fig. 10/11 and Tables IV/VI.
+
+#include <cstdint>
+#include <vector>
+
+#include "gpusim/simt.hpp"
+#include "index/indexer.hpp"
+#include "pipeline/config.hpp"
+
+namespace hetindex {
+
+/// Measured costs of one single run (one parsed block / source file).
+struct RunRecord {
+  std::uint64_t run_id = 0;
+  std::uint32_t doc_count = 0;
+  std::uint64_t compressed_bytes = 0;
+  std::uint64_t source_bytes = 0;  ///< uncompressed input represented
+  std::uint64_t payload_bytes = 0; ///< parsed-group bytes (pre-proc ships these)
+  std::uint64_t tokens = 0;
+
+  // Parse stage (per-block, measured on one host core).
+  double read_seconds = 0;        ///< serialized disk section
+  double decompress_seconds = 0;  ///< in-memory, parallel across parsers
+  double parse_seconds = 0;       ///< steps 2–5
+
+  // Index stage.
+  std::vector<double> cpu_index_seconds;           ///< per CPU indexer (work time)
+  std::vector<GpuIndexer::Timing> gpu_timings;     ///< per GPU (simulated)
+  double flush_seconds = 0;  ///< post-processing: encode + write run file
+};
+
+struct PipelineReport {
+  PipelineConfig config;
+
+  // Table VI rows (measured on this host; see sim/ for platform-modelled
+  // equivalents).
+  double sampling_seconds = 0;
+  double parse_stage_seconds = 0;   ///< wall time of the parser stage
+  double index_stage_seconds = 0;   ///< wall time of the indexing stage
+  double dict_combine_seconds = 0;
+  double dict_write_seconds = 0;
+  double merge_seconds = 0;
+  double total_seconds = 0;
+
+  std::vector<RunRecord> runs;
+
+  // Table V: lifetime work split.
+  std::vector<IndexerWorkStats> cpu_work;
+  std::vector<IndexerWorkStats> gpu_work;
+
+  std::uint64_t documents = 0;
+  std::uint64_t terms = 0;
+  std::uint64_t postings = 0;
+  std::uint64_t tokens = 0;
+  std::uint64_t uncompressed_bytes = 0;
+  std::uint64_t compressed_bytes = 0;
+
+  [[nodiscard]] double throughput_mb_s() const {
+    return total_seconds > 0
+               ? static_cast<double>(uncompressed_bytes) / (1024.0 * 1024.0) / total_seconds
+               : 0.0;
+  }
+  [[nodiscard]] IndexerWorkStats cpu_total() const {
+    IndexerWorkStats t;
+    for (const auto& w : cpu_work) t += w;
+    return t;
+  }
+  [[nodiscard]] IndexerWorkStats gpu_total() const {
+    IndexerWorkStats t;
+    for (const auto& w : gpu_work) t += w;
+    return t;
+  }
+};
+
+}  // namespace hetindex

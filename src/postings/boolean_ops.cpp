@@ -1,0 +1,204 @@
+#include "postings/boolean_ops.hpp"
+
+#include <algorithm>
+
+namespace hetindex {
+
+QueryPostings postings_and(const QueryPostings& a, const QueryPostings& b) {
+  QueryPostings out;
+  std::size_t i = 0, j = 0;
+  while (i < a.doc_ids.size() && j < b.doc_ids.size()) {
+    if (a.doc_ids[i] < b.doc_ids[j]) {
+      ++i;
+    } else if (a.doc_ids[i] > b.doc_ids[j]) {
+      ++j;
+    } else {
+      out.doc_ids.push_back(a.doc_ids[i]);
+      out.tfs.push_back(a.tfs[i] + b.tfs[j]);
+      ++i;
+      ++j;
+    }
+  }
+  return out;
+}
+
+QueryPostings postings_or(const QueryPostings& a, const QueryPostings& b) {
+  QueryPostings out;
+  out.doc_ids.reserve(a.doc_ids.size() + b.doc_ids.size());
+  std::size_t i = 0, j = 0;
+  while (i < a.doc_ids.size() || j < b.doc_ids.size()) {
+    if (j >= b.doc_ids.size() || (i < a.doc_ids.size() && a.doc_ids[i] < b.doc_ids[j])) {
+      out.doc_ids.push_back(a.doc_ids[i]);
+      out.tfs.push_back(a.tfs[i]);
+      ++i;
+    } else if (i >= a.doc_ids.size() || b.doc_ids[j] < a.doc_ids[i]) {
+      out.doc_ids.push_back(b.doc_ids[j]);
+      out.tfs.push_back(b.tfs[j]);
+      ++j;
+    } else {
+      out.doc_ids.push_back(a.doc_ids[i]);
+      out.tfs.push_back(a.tfs[i] + b.tfs[j]);
+      ++i;
+      ++j;
+    }
+  }
+  return out;
+}
+
+QueryPostings postings_and_not(const QueryPostings& a, const QueryPostings& b) {
+  QueryPostings out;
+  std::size_t j = 0;
+  for (std::size_t i = 0; i < a.doc_ids.size(); ++i) {
+    while (j < b.doc_ids.size() && b.doc_ids[j] < a.doc_ids[i]) ++j;
+    if (j < b.doc_ids.size() && b.doc_ids[j] == a.doc_ids[i]) continue;
+    out.doc_ids.push_back(a.doc_ids[i]);
+    out.tfs.push_back(a.tfs[i]);
+  }
+  return out;
+}
+
+QueryPostings postings_and_galloping(const QueryPostings& a, const QueryPostings& b) {
+  // Iterate the shorter list, gallop in the longer one.
+  const QueryPostings& small = a.doc_ids.size() <= b.doc_ids.size() ? a : b;
+  const QueryPostings& large = a.doc_ids.size() <= b.doc_ids.size() ? b : a;
+  QueryPostings out;
+  std::size_t lo = 0;
+  for (std::size_t i = 0; i < small.doc_ids.size(); ++i) {
+    const std::uint32_t target = small.doc_ids[i];
+    // Exponential probe from lo.
+    std::size_t step = 1, hi = lo;
+    while (hi < large.doc_ids.size() && large.doc_ids[hi] < target) {
+      lo = hi;
+      hi += step;
+      step <<= 1;
+    }
+    hi = std::min(hi + 1, large.doc_ids.size());
+    const auto it = std::lower_bound(large.doc_ids.begin() + static_cast<std::ptrdiff_t>(lo),
+                                     large.doc_ids.begin() + static_cast<std::ptrdiff_t>(hi),
+                                     target);
+    lo = static_cast<std::size_t>(it - large.doc_ids.begin());
+    if (lo < large.doc_ids.size() && large.doc_ids[lo] == target) {
+      out.doc_ids.push_back(target);
+      out.tfs.push_back(small.tfs[i] + large.tfs[lo]);
+    }
+  }
+  return out;
+}
+
+std::optional<QueryPostings> conjunctive_query(const InvertedIndex& index,
+                                               const std::vector<std::string>& terms) {
+  if (terms.empty()) return std::nullopt;
+  std::vector<QueryPostings> lists;
+  lists.reserve(terms.size());
+  for (const auto& term : terms) {
+    auto postings = index.lookup(term);
+    if (!postings) return std::nullopt;
+    lists.push_back(std::move(*postings));
+  }
+  // Intersect rarest-first to keep intermediates small.
+  std::sort(lists.begin(), lists.end(), [](const QueryPostings& x, const QueryPostings& y) {
+    return x.doc_ids.size() < y.doc_ids.size();
+  });
+  QueryPostings acc = std::move(lists.front());
+  for (std::size_t i = 1; i < lists.size(); ++i) {
+    acc = postings_and_galloping(acc, lists[i]);
+    if (acc.doc_ids.empty()) break;
+  }
+  return acc;
+}
+
+namespace {
+
+/// Positions of a term inside one document: the slice of the flattened
+/// position stream owned by posting `i`.
+struct PosSlice {
+  const std::uint32_t* begin;
+  const std::uint32_t* end;
+};
+
+/// Builds a doc → slice resolver over a positional QueryPostings.
+std::vector<std::size_t> position_offsets(const QueryPostings& p) {
+  std::vector<std::size_t> offsets(p.doc_ids.size() + 1, 0);
+  for (std::size_t i = 0; i < p.tfs.size(); ++i) offsets[i + 1] = offsets[i] + p.tfs[i];
+  return offsets;
+}
+
+}  // namespace
+
+std::optional<QueryPostings> phrase_query(const InvertedIndex& index,
+                                          const std::vector<std::string>& terms) {
+  if (terms.empty()) return std::nullopt;
+  std::vector<QueryPostings> lists;
+  lists.reserve(terms.size());
+  for (const auto& term : terms) {
+    auto postings = index.lookup_positional(term);
+    if (!postings) return std::nullopt;
+    if (postings->positions.empty() && !postings->doc_ids.empty()) {
+      return std::nullopt;  // index built without positions
+    }
+    lists.push_back(std::move(*postings));
+  }
+  std::vector<std::vector<std::size_t>> offsets;
+  offsets.reserve(lists.size());
+  for (const auto& list : lists) offsets.push_back(position_offsets(list));
+
+  // Walk documents present in every list (terms stay in phrase order — no
+  // rarest-first trick here since adjacency is order-sensitive anyway).
+  QueryPostings out;
+  std::vector<std::size_t> cursor(lists.size(), 0);
+  while (true) {
+    // Align all cursors on the same doc id: advance everyone to the max of
+    // the current heads until they agree (or some list ends).
+    bool done = false;
+    bool aligned = false;
+    std::uint32_t doc = 0;
+    while (!done && !aligned) {
+      doc = 0;
+      for (std::size_t t = 0; t < lists.size(); ++t) {
+        if (cursor[t] >= lists[t].doc_ids.size()) {
+          done = true;
+          break;
+        }
+        doc = std::max(doc, lists[t].doc_ids[cursor[t]]);
+      }
+      if (done) break;
+      aligned = true;
+      for (std::size_t t = 0; t < lists.size(); ++t) {
+        while (cursor[t] < lists[t].doc_ids.size() && lists[t].doc_ids[cursor[t]] < doc)
+          ++cursor[t];
+        if (cursor[t] >= lists[t].doc_ids.size()) {
+          done = true;
+          break;
+        }
+        if (lists[t].doc_ids[cursor[t]] != doc) aligned = false;
+      }
+    }
+    if (done) break;
+
+    // All cursors sit on `doc`: count phrase starts. For each position p of
+    // term 0, the phrase matches when term k has position p + k.
+    std::uint32_t matches = 0;
+    const auto& first = lists[0];
+    const std::size_t f0 = offsets[0][cursor[0]], f1 = offsets[0][cursor[0] + 1];
+    for (std::size_t i = f0; i < f1; ++i) {
+      const std::uint32_t p = first.positions[i];
+      bool all = true;
+      for (std::size_t t = 1; t < lists.size() && all; ++t) {
+        const auto& lt = lists[t];
+        const std::size_t a = offsets[t][cursor[t]], b = offsets[t][cursor[t] + 1];
+        all = std::binary_search(lt.positions.begin() + static_cast<std::ptrdiff_t>(a),
+                                 lt.positions.begin() + static_cast<std::ptrdiff_t>(b),
+                                 p + static_cast<std::uint32_t>(t));
+      }
+      if (all) ++matches;
+    }
+    if (matches > 0) {
+      out.doc_ids.push_back(doc);
+      out.tfs.push_back(matches);
+    }
+    for (std::size_t t = 0; t < lists.size(); ++t) ++cursor[t];
+  }
+  return out;
+}
+
+}  // namespace hetindex

@@ -1,0 +1,40 @@
+#pragma once
+/// \file boolean_ops.hpp
+/// Boolean retrieval primitives over decoded postings lists — the standard
+/// consumer of inverted files (conjunctive/disjunctive web queries). Lists
+/// are doc-ID sorted, so AND/OR/NOT are linear merges; AND additionally
+/// offers a galloping variant for asymmetric list sizes.
+
+#include <vector>
+
+#include "postings/query.hpp"
+
+namespace hetindex {
+
+/// docs(a) ∩ docs(b); tf of a match is the sum of both sides' tfs (a
+/// simple proximity-free relevance signal).
+QueryPostings postings_and(const QueryPostings& a, const QueryPostings& b);
+
+/// docs(a) ∪ docs(b), tfs summed on overlap.
+QueryPostings postings_or(const QueryPostings& a, const QueryPostings& b);
+
+/// docs(a) \ docs(b), tfs taken from a.
+QueryPostings postings_and_not(const QueryPostings& a, const QueryPostings& b);
+
+/// Galloping (exponential-search) intersection: O(min·log(max/min)), the
+/// right tool when one term is rare and the other common (Zipf makes this
+/// the typical case).
+QueryPostings postings_and_galloping(const QueryPostings& a, const QueryPostings& b);
+
+/// Convenience: conjunctive multi-term query against an index. Terms must
+/// already be normalized. Returns nullopt when any term is absent.
+std::optional<QueryPostings> conjunctive_query(const InvertedIndex& index,
+                                               const std::vector<std::string>& terms);
+
+/// Phrase query over a positional index: documents where the normalized
+/// terms appear at consecutive token positions. Returns nullopt when any
+/// term is absent or the index carries no positions.
+std::optional<QueryPostings> phrase_query(const InvertedIndex& index,
+                                          const std::vector<std::string>& terms);
+
+}  // namespace hetindex

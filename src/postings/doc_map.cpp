@@ -1,0 +1,98 @@
+#include "postings/doc_map.hpp"
+
+#include <algorithm>
+
+#include "codec/lz.hpp"
+#include "util/binary_io.hpp"
+#include "util/check.hpp"
+
+namespace hetindex {
+namespace {
+constexpr std::uint32_t kDocMapMagic = 0x4D434F44;  // "DOCM"
+}
+
+void DocMapBuilder::add_file(std::uint32_t doc_id_base, std::uint32_t file_seq,
+                             const std::vector<std::string>& urls,
+                             const std::vector<std::uint32_t>& token_counts) {
+  HET_CHECK(urls.size() == token_counts.size());
+  spans_.push_back({doc_id_base, file_seq, urls, token_counts});
+}
+
+std::uint32_t DocMapBuilder::doc_count() const {
+  std::uint32_t n = 0;
+  for (const auto& s : spans_) {
+    n = std::max(n, s.doc_id_base + static_cast<std::uint32_t>(s.urls.size()));
+  }
+  return n;
+}
+
+void DocMapBuilder::write(const std::string& path) const {
+  auto spans = spans_;
+  std::sort(spans.begin(), spans.end(),
+            [](const FileSpan& a, const FileSpan& b) { return a.doc_id_base < b.doc_id_base; });
+  // Doc ids must tile [0, doc_count) without gaps or overlaps.
+  std::uint32_t expected = 0;
+  std::vector<std::uint8_t> raw;
+  ByteWriter w(raw);
+  w.u32(static_cast<std::uint32_t>(spans.size()));
+  for (const auto& s : spans) {
+    HET_CHECK_MSG(s.doc_id_base == expected, "doc map spans must be dense and disjoint");
+    expected += static_cast<std::uint32_t>(s.urls.size());
+    w.u32(s.doc_id_base);
+    w.u32(s.file_seq);
+    w.u32(static_cast<std::uint32_t>(s.urls.size()));
+    for (std::size_t i = 0; i < s.urls.size(); ++i) {
+      w.str(s.urls[i]);
+      w.u32(s.token_counts[i]);
+    }
+  }
+  const auto compressed = lz_compress(raw);
+  std::vector<std::uint8_t> out;
+  ByteWriter header(out);
+  header.u32(kDocMapMagic);
+  header.u32(expected);
+  out.insert(out.end(), compressed.begin(), compressed.end());
+  write_file(path, out);
+}
+
+DocMap DocMap::open(const std::string& path) {
+  const auto file = read_file(path);
+  ByteReader header(file);
+  HET_CHECK_MSG(header.u32() == kDocMapMagic, "not a hetindex doc map");
+  const std::uint32_t total = header.u32();
+  const auto raw = lz_decompress(file.data() + 8, file.size() - 8);
+  ByteReader r(raw);
+  DocMap map;
+  map.locations_.resize(total);
+  const std::uint32_t spans = r.u32();
+  for (std::uint32_t s = 0; s < spans; ++s) {
+    const std::uint32_t base = r.u32();
+    const std::uint32_t file_seq = r.u32();
+    const std::uint32_t count = r.u32();
+    for (std::uint32_t i = 0; i < count; ++i) {
+      HET_CHECK(base + i < total);
+      auto& loc = map.locations_[base + i];
+      loc.url = r.str();
+      loc.token_count = r.u32();
+      loc.file_seq = file_seq;
+      loc.local_id = i;
+    }
+  }
+  return map;
+}
+
+double DocMap::average_doc_tokens() const {
+  if (locations_.empty()) return 0.0;
+  double total = 0;
+  for (const auto& loc : locations_) total += loc.token_count;
+  return total / static_cast<double>(locations_.size());
+}
+
+const DocLocation& DocMap::location(std::uint32_t doc_id) const {
+  HET_CHECK_MSG(doc_id < locations_.size(), "doc id out of range");
+  return locations_[doc_id];
+}
+
+std::string doc_map_path(const std::string& index_dir) { return index_dir + "/docmap.bin"; }
+
+}  // namespace hetindex

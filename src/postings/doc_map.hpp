@@ -1,0 +1,67 @@
+#pragma once
+/// \file doc_map.hpp
+/// The ⟨document ID, document location on disk⟩ table of Fig. 3 Step 1:
+/// maps every global doc id back to its URL and source container file, so
+/// query results can be resolved to actual documents. Stored LZ-compressed
+/// (URLs share long prefixes).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hetindex {
+
+/// Location of one document.
+struct DocLocation {
+  std::string url;
+  std::uint32_t file_seq = 0;     ///< source container file index
+  std::uint32_t local_id = 0;     ///< record index within that file
+  std::uint32_t token_count = 0;  ///< indexed tokens (BM25 length norm)
+};
+
+/// Build-side accumulator; doc ids are assigned densely from 0.
+class DocMapBuilder {
+ public:
+  /// Registers a file's documents starting at `doc_id_base` (ids within a
+  /// file are consecutive). Thread-safe for distinct, non-overlapping
+  /// ranges; the pipeline calls it once per run in sequence order.
+  void add_file(std::uint32_t doc_id_base, std::uint32_t file_seq,
+                const std::vector<std::string>& urls,
+                const std::vector<std::uint32_t>& token_counts);
+
+  [[nodiscard]] std::uint32_t doc_count() const;
+
+  /// Writes the map to `path` (format: header + LZ frame of records).
+  void write(const std::string& path) const;
+
+ private:
+  struct FileSpan {
+    std::uint32_t doc_id_base;
+    std::uint32_t file_seq;
+    std::vector<std::string> urls;
+    std::vector<std::uint32_t> token_counts;
+  };
+  std::vector<FileSpan> spans_;
+};
+
+/// Read-side map.
+class DocMap {
+ public:
+  static DocMap open(const std::string& path);
+
+  [[nodiscard]] std::uint32_t doc_count() const {
+    return static_cast<std::uint32_t>(locations_.size());
+  }
+  /// Location of a doc id; hard-fails when out of range.
+  [[nodiscard]] const DocLocation& location(std::uint32_t doc_id) const;
+  /// Mean indexed tokens per document (BM25's avgdl).
+  [[nodiscard]] double average_doc_tokens() const;
+
+ private:
+  std::vector<DocLocation> locations_;
+};
+
+/// Canonical file name inside an index directory.
+std::string doc_map_path(const std::string& index_dir);
+
+}  // namespace hetindex

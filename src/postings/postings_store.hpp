@@ -1,0 +1,95 @@
+#pragma once
+/// \file postings_store.hpp
+/// Per-shard in-memory postings accumulation for the current run. The
+/// dictionary's B-tree slots hold handles into this store; at the end of a
+/// run the non-empty lists are flushed to a run file and the in-memory
+/// lists reset, while handles stay stable for the program lifetime so later
+/// runs extend the same logical postings list (§III.F).
+///
+/// Because the indexers consume parser buffers in round-robin document
+/// order, documents arrive in increasing doc-ID order and a posting is a
+/// pure append (or a term-frequency bump when the same document mentions
+/// the term again) — the property the paper engineers the pipeline around
+/// ("the postings lists are intrinsically in sorted order").
+
+#include <cstdint>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace hetindex {
+
+/// One in-memory postings list: parallel doc-id / term-frequency arrays,
+/// plus (in positional mode) a flattened position stream — posting i owns
+/// the next tfs[i] entries, in increasing order within a document.
+struct PostingsList {
+  std::vector<std::uint32_t> doc_ids;
+  std::vector<std::uint32_t> tfs;
+  std::vector<std::uint32_t> positions;  ///< empty unless positional mode
+
+  [[nodiscard]] std::size_t size() const { return doc_ids.size(); }
+  [[nodiscard]] bool empty() const { return doc_ids.empty(); }
+  [[nodiscard]] bool positional() const { return !positions.empty(); }
+};
+
+class PostingsStore {
+ public:
+  /// Creates a new empty list; handles start at 1 (0 is the B-tree slot's
+  /// "no postings yet" value).
+  std::uint32_t create() {
+    lists_.emplace_back();
+    return static_cast<std::uint32_t>(lists_.size());
+  }
+
+  /// Records one occurrence of the term with handle `h` in `doc_id`.
+  /// doc_id must be ≥ the list's current tail (monotone stream).
+  void add(std::uint32_t h, std::uint32_t doc_id) {
+    PostingsList& list = resolve(h);
+    if (!list.doc_ids.empty() && list.doc_ids.back() == doc_id) {
+      ++list.tfs.back();
+      return;
+    }
+    HET_DCHECK(list.doc_ids.empty() || list.doc_ids.back() < doc_id);
+    list.doc_ids.push_back(doc_id);
+    list.tfs.push_back(1);
+    ++postings_added_;
+  }
+
+  /// Positional variant: also records the in-document token position
+  /// (positions must be non-decreasing within a document). A store must be
+  /// used consistently — either always with or always without positions.
+  void add(std::uint32_t h, std::uint32_t doc_id, std::uint32_t position) {
+    add(h, doc_id);
+    resolve(h).positions.push_back(position);
+  }
+
+  [[nodiscard]] const PostingsList& list(std::uint32_t h) const {
+    HET_CHECK(h >= 1 && h <= lists_.size());
+    return lists_[h - 1];
+  }
+  [[nodiscard]] PostingsList& resolve(std::uint32_t h) {
+    HET_CHECK(h >= 1 && h <= lists_.size());
+    return lists_[h - 1];
+  }
+
+  [[nodiscard]] std::uint32_t list_count() const {
+    return static_cast<std::uint32_t>(lists_.size());
+  }
+  /// Postings appended since construction (not reset by clear_lists).
+  [[nodiscard]] std::uint64_t postings_added() const { return postings_added_; }
+
+  /// Empties every list (keeping handles and capacity) after a run flush.
+  void clear_lists() {
+    for (auto& l : lists_) {
+      l.doc_ids.clear();
+      l.tfs.clear();
+      l.positions.clear();
+    }
+  }
+
+ private:
+  std::vector<PostingsList> lists_;
+  std::uint64_t postings_added_ = 0;
+};
+
+}  // namespace hetindex

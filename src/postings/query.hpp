@@ -1,0 +1,77 @@
+#pragma once
+/// \file query.hpp
+/// Read path over a built index: dictionary lookup + partial-postings
+/// retrieval across run files, including the doc-ID-range narrowing that
+/// §III.F highlights as a benefit of the per-run output layout (only runs
+/// whose ranges overlap the query range are touched).
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "dict/dictionary.hpp"
+#include "postings/run_file.hpp"
+
+namespace hetindex {
+
+/// Canonical on-disk layout of an index directory.
+struct IndexLayout {
+  static std::string dictionary_path(const std::string& dir) { return dir + "/dictionary.bin"; }
+  static std::string directory_path(const std::string& dir) { return dir + "/runs.dir"; }
+  static std::string run_path(const std::string& dir, std::uint32_t run_id) {
+    return dir + "/run_" + std::to_string(run_id) + ".post";
+  }
+  static std::string merged_path(const std::string& dir) { return dir + "/merged.post"; }
+};
+
+/// A decoded postings list. `positions` is filled only by positional
+/// lookups over positional indexes: posting i owns the next tfs[i]
+/// entries.
+struct QueryPostings {
+  std::vector<std::uint32_t> doc_ids;
+  std::vector<std::uint32_t> tfs;
+  std::vector<std::uint32_t> positions;
+};
+
+/// Memory-resident queryable view of an index directory.
+class InvertedIndex {
+ public:
+  /// Loads dictionary, run directory and all run files under `dir`.
+  static InvertedIndex open(const std::string& dir);
+
+  /// Full postings list of `term` (stemmed form); nullopt when the term is
+  /// not in the dictionary.
+  [[nodiscard]] std::optional<QueryPostings> lookup(std::string_view term) const;
+
+  /// Like lookup() but also decodes in-document token positions (empty
+  /// when the index was not built with record_positions).
+  [[nodiscard]] std::optional<QueryPostings> lookup_positional(std::string_view term) const;
+
+  /// Postings restricted to doc ids in [min_doc, max_doc]; only run files
+  /// whose ranges overlap are decoded. `runs_touched` (optional out)
+  /// reports how many runs were actually read — the quantity the §III.F
+  /// range-narrowing claim is about.
+  [[nodiscard]] std::optional<QueryPostings> lookup_range(
+      std::string_view term, std::uint32_t min_doc, std::uint32_t max_doc,
+      std::size_t* runs_touched = nullptr) const;
+
+  /// All dictionary terms starting with `prefix`, in lexicographic order —
+  /// a by-product of the sorted dictionary (and of the trie + B-tree
+  /// in-order layout that produced it). Useful for query expansion and
+  /// spell-out tooling.
+  [[nodiscard]] std::vector<std::string_view> terms_with_prefix(std::string_view prefix) const;
+
+  [[nodiscard]] const std::vector<DictionaryEntry>& entries() const { return entries_; }
+  [[nodiscard]] std::size_t run_count() const { return runs_.size(); }
+  [[nodiscard]] std::uint64_t term_count() const { return entries_.size(); }
+
+ private:
+  [[nodiscard]] const DictionaryEntry* find_entry(std::string_view term) const;
+
+  std::vector<DictionaryEntry> entries_;  // sorted by term
+  std::vector<RunFile> runs_;             // ascending run id
+};
+
+}  // namespace hetindex

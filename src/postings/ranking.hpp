@@ -1,0 +1,38 @@
+#pragma once
+/// \file ranking.hpp
+/// Ranked retrieval over the inverted files: Okapi BM25 scoring using the
+/// term/doc statistics the index already stores (postings + tf) and the
+/// per-document token counts from the doc map. This is the standard
+/// downstream consumer of the inverted files the paper builds.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "postings/doc_map.hpp"
+#include "postings/query.hpp"
+
+namespace hetindex {
+
+struct Bm25Params {
+  double k1 = 1.2;
+  double b = 0.75;
+};
+
+/// One ranked hit.
+struct ScoredDoc {
+  std::uint32_t doc_id = 0;
+  double score = 0;
+};
+
+/// Top-k BM25-ranked documents for a bag of normalized terms (disjunctive
+/// semantics: any matching term contributes). Ties break by doc id.
+std::vector<ScoredDoc> bm25_query(const InvertedIndex& index, const DocMap& docs,
+                                  const std::vector<std::string>& terms, std::size_t k,
+                                  const Bm25Params& params = {});
+
+/// The BM25 idf of a term with document frequency df over N documents
+/// (Robertson-Sparck Jones with +1 smoothing, non-negative).
+double bm25_idf(std::uint64_t df, std::uint64_t n_docs);
+
+}  // namespace hetindex

@@ -1,0 +1,171 @@
+#include "postings/run_file.hpp"
+
+#include <limits>
+
+#include "util/binary_io.hpp"
+#include "util/check.hpp"
+#include "util/crc32.hpp"
+
+namespace hetindex {
+namespace {
+constexpr std::uint32_t kRunMagic = 0x4E555248;  // "HRUN"
+constexpr std::uint32_t kDirMagic = 0x52494448;  // "HDIR"
+}  // namespace
+
+RunFileWriter::RunFileWriter(std::string path, std::uint32_t run_id, PostingCodec codec)
+    : path_(std::move(path)), run_id_(run_id), codec_(codec) {}
+
+void RunFileWriter::add_list(PostingKey key, const PostingsList& list) {
+  HET_CHECK(!finalized_);
+  if (list.empty()) return;
+  const auto encoded = encode_postings(codec_, list.doc_ids, list.tfs,
+                                       list.positional() ? &list.positions : nullptr);
+  RunTableEntry entry;
+  entry.key = key;
+  entry.offset = blobs_.size();
+  entry.bytes = static_cast<std::uint32_t>(encoded.size());
+  entry.count = static_cast<std::uint32_t>(list.size());
+  entry.min_doc = list.doc_ids.front();
+  entry.max_doc = list.doc_ids.back();
+  table_.push_back(entry);
+  blobs_.insert(blobs_.end(), encoded.begin(), encoded.end());
+}
+
+void RunFileWriter::add_raw(PostingKey key, const std::vector<std::uint8_t>& encoded,
+                            std::uint32_t count, std::uint32_t min_doc,
+                            std::uint32_t max_doc) {
+  HET_CHECK(!finalized_);
+  if (encoded.empty() || count == 0) return;
+  RunTableEntry entry;
+  entry.key = key;
+  entry.offset = blobs_.size();
+  entry.bytes = static_cast<std::uint32_t>(encoded.size());
+  entry.count = count;
+  entry.min_doc = min_doc;
+  entry.max_doc = max_doc;
+  table_.push_back(entry);
+  blobs_.insert(blobs_.end(), encoded.begin(), encoded.end());
+}
+
+std::uint64_t RunFileWriter::finalize() {
+  HET_CHECK(!finalized_);
+  finalized_ = true;
+  std::vector<std::uint8_t> out;
+  ByteWriter w(out);
+  w.u32(kRunMagic);
+  w.u32(run_id_);
+  w.u8(static_cast<std::uint8_t>(codec_));
+  std::uint32_t min_doc = std::numeric_limits<std::uint32_t>::max();
+  std::uint32_t max_doc = 0;
+  for (const auto& e : table_) {
+    min_doc = std::min(min_doc, e.min_doc);
+    max_doc = std::max(max_doc, e.max_doc);
+  }
+  if (table_.empty()) min_doc = 0;
+  w.u32(min_doc);
+  w.u32(max_doc);
+  w.u32(static_cast<std::uint32_t>(table_.size()));
+  w.u64(blobs_.size());
+  w.u32(crc32(blobs_.data(), blobs_.size()));
+  for (const auto& e : table_) {
+    w.u32(e.key.shard);
+    w.u32(e.key.handle);
+    w.u64(e.offset);
+    w.u32(e.bytes);
+    w.u32(e.count);
+    w.u32(e.min_doc);
+    w.u32(e.max_doc);
+  }
+  w.bytes(blobs_.data(), blobs_.size());
+  write_file(path_, out);
+  return out.size();
+}
+
+RunFile RunFile::open(const std::string& path) {
+  const auto data = read_file(path);
+  ByteReader r(data);
+  HET_CHECK_MSG(r.u32() == kRunMagic, "not a hetindex run file");
+  RunFile rf;
+  rf.run_id_ = r.u32();
+  rf.codec_ = static_cast<PostingCodec>(r.u8());
+  rf.min_doc_ = r.u32();
+  rf.max_doc_ = r.u32();
+  const std::uint32_t count = r.u32();
+  const std::uint64_t blob_bytes = r.u64();
+  const std::uint32_t blob_crc = r.u32();
+  rf.table_.resize(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    auto& e = rf.table_[i];
+    e.key.shard = r.u32();
+    e.key.handle = r.u32();
+    e.offset = r.u64();
+    e.bytes = r.u32();
+    e.count = r.u32();
+    e.min_doc = r.u32();
+    e.max_doc = r.u32();
+    rf.by_key_.emplace(e.key, i);
+  }
+  rf.blobs_.resize(blob_bytes);
+  r.bytes(rf.blobs_.data(), blob_bytes);
+  HET_CHECK_MSG(crc32(rf.blobs_.data(), rf.blobs_.size()) == blob_crc,
+                "run file blob corruption");
+  return rf;
+}
+
+bool RunFile::fetch(PostingKey key, std::vector<std::uint32_t>& doc_ids,
+                    std::vector<std::uint32_t>& tfs,
+                    std::vector<std::uint32_t>* positions) const {
+  const auto* e = entry(key);
+  if (e == nullptr) return false;
+  const auto blob = raw_blob(*e);
+  // A merged blob is a byte-wise concatenation of per-run segments; decode
+  // them all (a single-run blob is the one-segment case).
+  std::size_t pos = 0;
+  while (pos < blob.size()) {
+    pos += decode_postings(codec_, blob, doc_ids, tfs, positions, pos);
+  }
+  return true;
+}
+
+const RunTableEntry* RunFile::entry(PostingKey key) const {
+  const auto it = by_key_.find(key);
+  return it == by_key_.end() ? nullptr : &table_[it->second];
+}
+
+std::vector<std::uint8_t> RunFile::raw_blob(const RunTableEntry& e) const {
+  HET_CHECK(e.offset + e.bytes <= blobs_.size());
+  return {blobs_.begin() + static_cast<std::ptrdiff_t>(e.offset),
+          blobs_.begin() + static_cast<std::ptrdiff_t>(e.offset + e.bytes)};
+}
+
+void index_directory_write(const std::string& path,
+                           const std::vector<IndexDirectoryEntry>& entries) {
+  std::vector<std::uint8_t> out;
+  ByteWriter w(out);
+  w.u32(kDirMagic);
+  w.u32(static_cast<std::uint32_t>(entries.size()));
+  for (const auto& e : entries) {
+    w.str(e.file);
+    w.u32(e.run_id);
+    w.u32(e.min_doc);
+    w.u32(e.max_doc);
+  }
+  write_file(path, out);
+}
+
+std::vector<IndexDirectoryEntry> index_directory_read(const std::string& path) {
+  const auto data = read_file(path);
+  ByteReader r(data);
+  HET_CHECK_MSG(r.u32() == kDirMagic, "not a hetindex index directory");
+  const std::uint32_t count = r.u32();
+  std::vector<IndexDirectoryEntry> entries(count);
+  for (auto& e : entries) {
+    e.file = r.str();
+    e.run_id = r.u32();
+    e.min_doc = r.u32();
+    e.max_doc = r.u32();
+  }
+  return entries;
+}
+
+}  // namespace hetindex

@@ -1,0 +1,125 @@
+#pragma once
+/// \file run_file.hpp
+/// Per-run postings output files (§III.F): each single run produces one
+/// file whose header is a mapping table from (shard, handle) — the pointer
+/// stored in the dictionary — to the location/length of the compressed
+/// partial postings list inside the file. Each entry also records the
+/// doc-ID range it covers, enabling the paper's "faster search when
+/// narrowed down to a range of document IDs" benefit.
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "codec/posting_codecs.hpp"
+#include "postings/postings_store.hpp"
+
+namespace hetindex {
+
+/// Key of a postings list within a run: which shard's store and which
+/// handle inside that store.
+struct PostingKey {
+  std::uint32_t shard;
+  std::uint32_t handle;
+
+  bool operator==(const PostingKey&) const = default;
+};
+
+struct PostingKeyHash {
+  std::size_t operator()(const PostingKey& k) const {
+    return (static_cast<std::size_t>(k.shard) << 32) ^ k.handle;
+  }
+};
+
+/// One mapping-table row.
+struct RunTableEntry {
+  PostingKey key;
+  std::uint64_t offset;  ///< byte offset of the encoded list in the blob area
+  std::uint32_t bytes;   ///< encoded length
+  std::uint32_t count;   ///< number of postings
+  std::uint32_t min_doc;
+  std::uint32_t max_doc;
+};
+
+/// Builds one run file in memory and writes it out on finalize().
+class RunFileWriter {
+ public:
+  RunFileWriter(std::string path, std::uint32_t run_id,
+                PostingCodec codec = PostingCodec::kVByte);
+
+  /// Appends one term's partial postings list (already globally-doc-id'd,
+  /// strictly increasing). Empty lists are skipped.
+  void add_list(PostingKey key, const PostingsList& list);
+
+  /// Appends pre-encoded segments verbatim (the §III.F merge pass: partial
+  /// lists concatenate byte-wise because every segment's first doc id is
+  /// absolute). Caller supplies the already-known table metadata.
+  void add_raw(PostingKey key, const std::vector<std::uint8_t>& encoded,
+               std::uint32_t count, std::uint32_t min_doc, std::uint32_t max_doc);
+
+  /// Writes header + mapping table + blobs. Returns total bytes written.
+  std::uint64_t finalize();
+
+  [[nodiscard]] std::uint32_t run_id() const { return run_id_; }
+  [[nodiscard]] std::size_t list_count() const { return table_.size(); }
+
+ private:
+  std::string path_;
+  std::uint32_t run_id_;
+  PostingCodec codec_;
+  std::vector<RunTableEntry> table_;
+  std::vector<std::uint8_t> blobs_;
+  bool finalized_ = false;
+};
+
+/// Memory-resident reader of a run file.
+class RunFile {
+ public:
+  static RunFile open(const std::string& path);
+
+  [[nodiscard]] std::uint32_t run_id() const { return run_id_; }
+  [[nodiscard]] PostingCodec codec() const { return codec_; }
+  [[nodiscard]] const std::vector<RunTableEntry>& table() const { return table_; }
+  /// Overall doc-id range covered by this run (for range narrowing).
+  [[nodiscard]] std::uint32_t min_doc() const { return min_doc_; }
+  [[nodiscard]] std::uint32_t max_doc() const { return max_doc_; }
+
+  /// Decodes the (possibly multi-segment) list for `key`; returns false
+  /// when the run has no postings for it. Appends to the output vectors.
+  /// `positions` (optional) receives in-doc token positions when the run
+  /// was built positionally.
+  bool fetch(PostingKey key, std::vector<std::uint32_t>& doc_ids,
+             std::vector<std::uint32_t>& tfs,
+             std::vector<std::uint32_t>* positions = nullptr) const;
+
+  /// Raw encoded bytes of `key`'s list (for byte-level merging); nullptr
+  /// table entry when absent.
+  [[nodiscard]] const RunTableEntry* entry(PostingKey key) const;
+  [[nodiscard]] std::vector<std::uint8_t> raw_blob(const RunTableEntry& entry) const;
+
+ private:
+  std::uint32_t run_id_ = 0;
+  PostingCodec codec_ = PostingCodec::kVByte;
+  std::uint32_t min_doc_ = 0;
+  std::uint32_t max_doc_ = 0;
+  std::vector<RunTableEntry> table_;
+  std::unordered_map<PostingKey, std::size_t, PostingKeyHash> by_key_;
+  std::vector<std::uint8_t> blobs_;
+};
+
+/// The auxiliary "mapping of document IDs to output file names" of §III.F:
+/// a directory of run files with their doc ranges, written next to the
+/// dictionary.
+struct IndexDirectoryEntry {
+  std::string file;
+  std::uint32_t run_id;
+  std::uint32_t min_doc;
+  std::uint32_t max_doc;
+};
+
+void index_directory_write(const std::string& path,
+                           const std::vector<IndexDirectoryEntry>& entries);
+std::vector<IndexDirectoryEntry> index_directory_read(const std::string& path);
+
+}  // namespace hetindex

@@ -1,0 +1,85 @@
+#pragma once
+/// \file pipeline_sim.hpp
+/// Discrete-event simulator of the Fig. 9 pipeline on a PlatformModel. It
+/// replays the per-run stage costs measured by a real PipelineEngine build
+/// (RunRecords) under a chosen worker configuration, reproducing the
+/// pipeline dynamics the paper evaluates:
+///   - the serialized disk (one parser reads at a time, §III.F);
+///   - in-memory decompression and parsing on dedicated parser cores;
+///   - bounded parser buffers (back-pressure window);
+///   - the indexing stage consuming runs strictly in sequence, each run
+///     being serialized pre-processing → parallel indexing (max over CPU
+///     indexers and GPUs) → serialized post-processing (Fig. 8);
+///   - indexer idle time when parsers fall behind (§IV.B's "waiting for
+///     results from the parsers").
+///
+/// Constraint: the RunRecords must have been measured with the same
+/// (cpu_indexers, gpus) split being simulated — the popularity partition
+/// changes per-indexer work, so benches run the real pipeline once per
+/// indexer configuration and use the DES to vary M and the platform.
+
+#include <cstdint>
+#include <vector>
+
+#include "pipeline/report.hpp"
+#include "sim/platform.hpp"
+
+namespace hetindex {
+
+struct SimPipelineConfig {
+  std::size_t parsers = 6;       ///< M
+  std::size_t cpu_indexers = 2;  ///< N1 (must match the records)
+  std::size_t gpus = 2;          ///< N2 (must match the records; 0 = ignore GPU timings)
+  std::size_t buffers_per_parser = 2;
+  /// Fig. 10 scenario (3): run the parse stage only, discard parsed data.
+  bool indexing_enabled = true;
+};
+
+/// Table IV / Table VI style outcome of one simulated build.
+struct SimResult {
+  double total_seconds = 0;          ///< last pipeline event (excl. dict phases)
+  double parse_stage_seconds = 0;    ///< when the last block became ready
+  double index_stage_seconds = 0;    ///< when the last run finished
+  double pre_seconds = 0;            ///< Σ per-run pre-processing (Table IV)
+  double indexing_seconds = 0;       ///< Σ per-run parallel indexing time
+  double post_seconds = 0;           ///< Σ per-run post-processing
+  double indexer_wait_seconds = 0;   ///< idle gaps waiting on parsers
+  std::uint64_t uncompressed_bytes = 0;
+  std::vector<double> per_run_index_seconds;  ///< Fig. 11 series
+  std::vector<double> per_run_end_seconds;
+
+  [[nodiscard]] double throughput_mb_s() const {
+    return total_seconds > 0
+               ? static_cast<double>(uncompressed_bytes) / (1024.0 * 1024.0) / total_seconds
+               : 0.0;
+  }
+  /// "Indexing Throughput" of Table IV (excludes pre/post, §IV.B).
+  [[nodiscard]] double indexing_throughput_mb_s() const {
+    return indexing_seconds > 0
+               ? static_cast<double>(uncompressed_bytes) / (1024.0 * 1024.0) / indexing_seconds
+               : 0.0;
+  }
+  /// "Total Indexer Throughput" of Table IV.
+  [[nodiscard]] double indexer_throughput_mb_s() const {
+    return index_stage_seconds > 0 ? static_cast<double>(uncompressed_bytes) /
+                                         (1024.0 * 1024.0) / index_stage_seconds
+                                   : 0.0;
+  }
+};
+
+class PipelineSimulator {
+ public:
+  explicit PipelineSimulator(PlatformModel platform = {}) : platform_(platform) {}
+
+  [[nodiscard]] const PlatformModel& platform() const { return platform_; }
+
+  /// Replays `runs` under `config`. Checks that the records carry the
+  /// worker counts the config asks for.
+  [[nodiscard]] SimResult simulate(const std::vector<RunRecord>& runs,
+                                   const SimPipelineConfig& config) const;
+
+ private:
+  PlatformModel platform_;
+};
+
+}  // namespace hetindex

@@ -1,0 +1,25 @@
+#pragma once
+/// \file platform.hpp
+/// The target-platform model for the discrete-event pipeline simulator:
+/// the paper's evaluation node (two Xeon X5560 quad-cores = 8 cores, 24 GB
+/// RAM, input on a remote disk behind 1 Gb/s Ethernet, two Tesla C1060s).
+/// Per-stage CPU work comes from RunRecords measured on the host running
+/// this library; `core_speed_ratio` rescales host-core seconds to
+/// platform-core seconds (1.0 = assume equal per-core speed — only the
+/// *shape* of the scaling curves is claimed, not absolute numbers).
+
+#include <cstddef>
+
+namespace hetindex {
+
+struct PlatformModel {
+  std::size_t cores = 8;
+  /// §IV.A: "it takes around 1.6 seconds to read such a compressed
+  /// [160 MB] file" → ~100 MB/s effective sequential read.
+  double disk_read_mb_s = 100.0;
+  /// Host-measured seconds × ratio = platform seconds.
+  double core_speed_ratio = 1.0;
+  std::size_t gpus = 2;
+};
+
+}  // namespace hetindex

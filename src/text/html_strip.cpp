@@ -1,0 +1,111 @@
+#include "text/html_strip.hpp"
+
+#include <array>
+#include <cctype>
+
+namespace hetindex {
+namespace {
+
+bool iequals_prefix(std::string_view text, std::size_t pos, std::string_view lower) {
+  if (pos + lower.size() > text.size()) return false;
+  for (std::size_t i = 0; i < lower.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(text[pos + i])) != lower[i]) return false;
+  }
+  return true;
+}
+
+/// Finds the matching close tag (e.g. "</script") starting at or after pos;
+/// returns the index just past its '>' or npos.
+std::size_t skip_element_body(std::string_view text, std::size_t pos, std::string_view close) {
+  while (pos < text.size()) {
+    if (text[pos] == '<' && iequals_prefix(text, pos, close)) {
+      const std::size_t gt = text.find('>', pos);
+      return gt == std::string_view::npos ? text.size() : gt + 1;
+    }
+    ++pos;
+  }
+  return text.size();
+}
+
+struct Entity {
+  std::string_view name;
+  char replacement;
+};
+constexpr std::array<Entity, 6> kEntities{{{"&amp;", '&'},
+                                           {"&lt;", '<'},
+                                           {"&gt;", '>'},
+                                           {"&quot;", '"'},
+                                           {"&#39;", '\''},
+                                           {"&nbsp;", ' '}}};
+
+}  // namespace
+
+std::string html_strip(std::string_view html) {
+  std::string out;
+  out.reserve(html.size());
+  std::size_t i = 0;
+  while (i < html.size()) {
+    const char c = html[i];
+    if (c == '<') {
+      if (iequals_prefix(html, i, "<!--")) {
+        const std::size_t end = html.find("-->", i);
+        i = end == std::string_view::npos ? html.size() : end + 3;
+        out.push_back(' ');
+        continue;
+      }
+      if (iequals_prefix(html, i, "<script")) {
+        const std::size_t gt = html.find('>', i);
+        i = gt == std::string_view::npos ? html.size()
+                                         : skip_element_body(html, gt + 1, "</script");
+        out.push_back(' ');
+        continue;
+      }
+      if (iequals_prefix(html, i, "<style")) {
+        const std::size_t gt = html.find('>', i);
+        i = gt == std::string_view::npos ? html.size()
+                                         : skip_element_body(html, gt + 1, "</style");
+        out.push_back(' ');
+        continue;
+      }
+      const std::size_t gt = html.find('>', i);
+      if (gt == std::string_view::npos) {
+        // Unterminated tag: treat the '<' as text to avoid eating the rest.
+        out.push_back('<');
+        ++i;
+        continue;
+      }
+      i = gt + 1;
+      out.push_back(' ');
+      continue;
+    }
+    if (c == '&') {
+      bool replaced = false;
+      for (const auto& e : kEntities) {
+        if (html.substr(i, e.name.size()) == e.name) {
+          out.push_back(e.replacement);
+          i += e.name.size();
+          replaced = true;
+          break;
+        }
+      }
+      if (replaced) continue;
+      // Numeric entity &#NNN; → space (token separator) to stay simple.
+      if (i + 1 < html.size() && html[i + 1] == '#') {
+        const std::size_t semi = html.find(';', i);
+        if (semi != std::string_view::npos && semi - i <= 8) {
+          out.push_back(' ');
+          i = semi + 1;
+          continue;
+        }
+      }
+      out.push_back('&');
+      ++i;
+      continue;
+    }
+    out.push_back(c);
+    ++i;
+  }
+  return out;
+}
+
+}  // namespace hetindex

@@ -1,0 +1,18 @@
+#pragma once
+/// \file html_strip.hpp
+/// HTML tag removal. The Wikipedia01-07 collection in the paper had "the
+/// HTML tags ... removed, and the remainder is just pure text" (§IV.C); the
+/// ClueWeb-like collection keeps raw HTML and the parser strips it inline.
+/// Handles tags, comments, script/style element bodies and the common
+/// character entities.
+
+#include <string>
+#include <string_view>
+
+namespace hetindex {
+
+/// Returns `html` with markup removed; tags are replaced by a space so that
+/// adjacent words do not merge into one token.
+std::string html_strip(std::string_view html);
+
+}  // namespace hetindex

@@ -1,0 +1,305 @@
+#include "text/porter.hpp"
+
+#include <cstring>
+
+namespace hetindex {
+namespace {
+
+/// Direct transcription of the original algorithm definition. The word
+/// lives in b[0..k]; j marks the end of the stem a condition applies to.
+class PorterState {
+ public:
+  PorterState(char* buf, std::size_t len) : b_(buf), k_(static_cast<int>(len) - 1) {}
+
+  std::size_t run() {
+    if (k_ <= 1) return static_cast<std::size_t>(k_ + 1);  // length <= 2
+    step1ab();
+    if (k_ > 0) {
+      step1c();
+      step2();
+      step3();
+      step4();
+      step5();
+    }
+    return static_cast<std::size_t>(k_ + 1);
+  }
+
+ private:
+  /// True when b_[i] is a consonant. 'y' is a consonant at position 0 and
+  /// after a vowel is a consonant; after a consonant it acts as a vowel.
+  bool cons(int i) const {
+    switch (b_[i]) {
+      case 'a':
+      case 'e':
+      case 'i':
+      case 'o':
+      case 'u':
+        return false;
+      case 'y':
+        return i == 0 ? true : !cons(i - 1);
+      default:
+        return true;
+    }
+  }
+
+  /// Number of VC sequences in b_[0..j_]: the "measure" m of the stem.
+  int m() const {
+    int n = 0;
+    int i = 0;
+    while (true) {
+      if (i > j_) return n;
+      if (!cons(i)) break;
+      ++i;
+    }
+    ++i;
+    while (true) {
+      while (true) {
+        if (i > j_) return n;
+        if (cons(i)) break;
+        ++i;
+      }
+      ++i;
+      ++n;
+      while (true) {
+        if (i > j_) return n;
+        if (!cons(i)) break;
+        ++i;
+      }
+      ++i;
+    }
+  }
+
+  bool vowel_in_stem() const {
+    for (int i = 0; i <= j_; ++i)
+      if (!cons(i)) return true;
+    return false;
+  }
+
+  /// b_[i-1..i] is a double consonant.
+  bool doublec(int i) const {
+    if (i < 1) return false;
+    if (b_[i] != b_[i - 1]) return false;
+    return cons(i);
+  }
+
+  /// b_[i-2..i] is consonant-vowel-consonant and the final consonant is not
+  /// w, x or y — the *o condition that e.g. restores "-e" (hop → hope).
+  bool cvc(int i) const {
+    if (i < 2 || !cons(i) || cons(i - 1) || !cons(i - 2)) return false;
+    const char ch = b_[i];
+    return ch != 'w' && ch != 'x' && ch != 'y';
+  }
+
+  bool ends(const char* s) {
+    const int len = static_cast<int>(std::strlen(s));
+    if (len > k_ + 1) return false;
+    if (std::memcmp(b_ + k_ - len + 1, s, static_cast<std::size_t>(len)) != 0) return false;
+    j_ = k_ - len;
+    return true;
+  }
+
+  void setto(const char* s) {
+    const int len = static_cast<int>(std::strlen(s));
+    std::memcpy(b_ + j_ + 1, s, static_cast<std::size_t>(len));
+    k_ = j_ + len;
+  }
+
+  void r(const char* s) {
+    if (m() > 0) setto(s);
+  }
+
+  /// Plurals and -ed/-ing: caresses→caress, ponies→poni, feed→feed,
+  /// agreed→agree, plastered→plaster, motoring→motor.
+  void step1ab() {
+    if (b_[k_] == 's') {
+      if (ends("sses")) {
+        k_ -= 2;
+      } else if (ends("ies")) {
+        setto("i");
+      } else if (b_[k_ - 1] != 's') {
+        --k_;
+      }
+    }
+    if (ends("eed")) {
+      if (m() > 0) --k_;
+    } else if ((ends("ed") || ends("ing")) && vowel_in_stem()) {
+      k_ = j_;
+      if (ends("at")) {
+        setto("ate");
+      } else if (ends("bl")) {
+        setto("ble");
+      } else if (ends("iz")) {
+        setto("ize");
+      } else if (doublec(k_)) {
+        const char ch = b_[k_];
+        if (ch != 'l' && ch != 's' && ch != 'z') --k_;
+      } else if (m() == 1 && cvc(k_)) {
+        j_ = k_;
+        setto("e");
+      }
+    }
+  }
+
+  /// Terminal y → i when there is another vowel in the stem.
+  void step1c() {
+    if (ends("y") && vowel_in_stem()) b_[k_] = 'i';
+  }
+
+  /// Double suffixes → single ones: -ization → -ize etc, when m > 0.
+  void step2() {
+    switch (b_[k_ - 1]) {
+      case 'a':
+        if (ends("ational")) { r("ate"); break; }
+        if (ends("tional")) { r("tion"); break; }
+        break;
+      case 'c':
+        if (ends("enci")) { r("ence"); break; }
+        if (ends("anci")) { r("ance"); break; }
+        break;
+      case 'e':
+        if (ends("izer")) { r("ize"); break; }
+        break;
+      case 'l':
+        if (ends("bli")) { r("ble"); break; }  // (revised; was abli→able)
+        if (ends("alli")) { r("al"); break; }
+        if (ends("entli")) { r("ent"); break; }
+        if (ends("eli")) { r("e"); break; }
+        if (ends("ousli")) { r("ous"); break; }
+        break;
+      case 'o':
+        if (ends("ization")) { r("ize"); break; }
+        if (ends("ation")) { r("ate"); break; }
+        if (ends("ator")) { r("ate"); break; }
+        break;
+      case 's':
+        if (ends("alism")) { r("al"); break; }
+        if (ends("iveness")) { r("ive"); break; }
+        if (ends("fulness")) { r("ful"); break; }
+        if (ends("ousness")) { r("ous"); break; }
+        break;
+      case 't':
+        if (ends("aliti")) { r("al"); break; }
+        if (ends("iviti")) { r("ive"); break; }
+        if (ends("biliti")) { r("ble"); break; }
+        break;
+      case 'g':
+        if (ends("logi")) { r("log"); break; }  // (revised addition)
+        break;
+      default:
+        break;
+    }
+  }
+
+  /// -icate, -ative, -alize, -iciti, -ical, -ful, -ness.
+  void step3() {
+    switch (b_[k_]) {
+      case 'e':
+        if (ends("icate")) { r("ic"); break; }
+        if (ends("ative")) { r(""); break; }
+        if (ends("alize")) { r("al"); break; }
+        break;
+      case 'i':
+        if (ends("iciti")) { r("ic"); break; }
+        break;
+      case 'l':
+        if (ends("ical")) { r("ic"); break; }
+        if (ends("ful")) { r(""); break; }
+        break;
+      case 's':
+        if (ends("ness")) { r(""); break; }
+        break;
+      default:
+        break;
+    }
+  }
+
+  /// Strips -ant, -ence, etc when m > 1.
+  void step4() {
+    switch (b_[k_ - 1]) {
+      case 'a':
+        if (ends("al")) break;
+        return;
+      case 'c':
+        if (ends("ance")) break;
+        if (ends("ence")) break;
+        return;
+      case 'e':
+        if (ends("er")) break;
+        return;
+      case 'i':
+        if (ends("ic")) break;
+        return;
+      case 'l':
+        if (ends("able")) break;
+        if (ends("ible")) break;
+        return;
+      case 'n':
+        if (ends("ant")) break;
+        if (ends("ement")) break;
+        if (ends("ment")) break;
+        if (ends("ent")) break;
+        return;
+      case 'o':
+        if (ends("ion") && j_ >= 0 && (b_[j_] == 's' || b_[j_] == 't')) break;
+        if (ends("ou")) break;  // takes care of -ous
+        return;
+      case 's':
+        if (ends("ism")) break;
+        return;
+      case 't':
+        if (ends("ate")) break;
+        if (ends("iti")) break;
+        return;
+      case 'u':
+        if (ends("ous")) break;
+        return;
+      case 'v':
+        if (ends("ive")) break;
+        return;
+      case 'z':
+        if (ends("ize")) break;
+        return;
+      default:
+        return;
+    }
+    if (m() > 1) k_ = j_;
+  }
+
+  /// Removes a final -e if m > 1, and changes -ll to -l if m > 1.
+  void step5() {
+    j_ = k_;
+    if (b_[k_] == 'e') {
+      const int a = m();
+      if (a > 1 || (a == 1 && !cvc(k_ - 1))) --k_;
+    }
+    if (b_[k_] == 'l' && doublec(k_) && m() > 1) --k_;
+  }
+
+  char* b_;
+  int k_;
+  int j_ = 0;
+};
+
+bool all_lower_alpha(std::string_view word) {
+  for (const char c : word)
+    if (c < 'a' || c > 'z') return false;
+  return true;
+}
+
+}  // namespace
+
+std::size_t porter_stem_inplace(char* buf, std::size_t len) {
+  if (len < 3 || !all_lower_alpha({buf, len})) return len;
+  PorterState state(buf, len);
+  return state.run();
+}
+
+std::string porter_stem(std::string_view word) {
+  std::string out(word);
+  out.push_back('\0');  // spare byte; rules may transiently lengthen
+  const std::size_t n = porter_stem_inplace(out.data(), word.size());
+  out.resize(n);
+  return out;
+}
+
+}  // namespace hetindex

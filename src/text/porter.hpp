@@ -1,0 +1,27 @@
+#pragma once
+/// \file porter.hpp
+/// The Porter stemming algorithm (Porter 1980), Step 3 of the parser
+/// (Fig. 3). This is a from-scratch implementation of the original
+/// definition (steps 1a–5b) operating on lowercase ASCII words.
+///
+/// Words shorter than 3 characters or containing non [a-z] characters are
+/// returned unchanged — the paper's tokenizer lowercases ASCII and routes
+/// "special" terms (numbers, diacritics) through trie collection 0, which
+/// are not stemmable English anyway.
+
+#include <string>
+#include <string_view>
+
+namespace hetindex {
+
+/// Stems `word` in place; returns the new length (the buffer is never
+/// grown beyond its original size + 1, and callers using std::string get a
+/// resized string back via porter_stem()).
+std::string porter_stem(std::string_view word);
+
+/// In-place variant over a char buffer; returns the stemmed length
+/// (≤ len + 1; callers must provide one spare byte of capacity, because
+/// rules like AT→ATE lengthen the word before later rules shorten it).
+std::size_t porter_stem_inplace(char* buf, std::size_t len);
+
+}  // namespace hetindex

@@ -1,0 +1,36 @@
+#include "text/tokenizer.hpp"
+
+#include <vector>
+
+namespace hetindex {
+
+void tokenize(std::string_view text, const std::function<void(std::string_view)>& sink) {
+  char buf[kMaxTokenBytes];
+  std::size_t len = 0;
+  bool truncating = false;
+  for (const char ch : text) {
+    const auto c = static_cast<unsigned char>(ch);
+    if (is_token_char(c)) {
+      if (len < kMaxTokenBytes) {
+        buf[len++] = (c >= 'A' && c <= 'Z') ? static_cast<char>(c - 'A' + 'a')
+                                            : static_cast<char>(c);
+      } else {
+        truncating = true;  // swallow the tail of an over-long token
+      }
+    } else if (len > 0) {
+      sink(std::string_view(buf, len));
+      len = 0;
+      truncating = false;
+    }
+  }
+  (void)truncating;
+  if (len > 0) sink(std::string_view(buf, len));
+}
+
+std::vector<std::string> tokenize_to_vector(std::string_view text) {
+  std::vector<std::string> tokens;
+  tokenize(text, [&](std::string_view t) { tokens.emplace_back(t); });
+  return tokens;
+}
+
+}  // namespace hetindex

@@ -1,0 +1,94 @@
+#pragma once
+/// \file arena.hpp
+/// Chunked byte arena addressed by 32-bit offsets. Table II of the paper
+/// stores term-string and postings "pointers" in 4 bytes inside a 512-byte
+/// B-tree node; on a 64-bit host that only works if they are offsets into a
+/// per-dictionary-shard arena, which is what this provides. Allocation never
+/// moves existing data, so offsets stay valid for the dictionary lifetime.
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace hetindex {
+
+/// Offset handle into an Arena. 0 is reserved as the null handle; the first
+/// real allocation starts at offset 1.
+using ArenaOffset = std::uint32_t;
+inline constexpr ArenaOffset kArenaNull = 0;
+
+class Arena {
+ public:
+  /// \param chunk_bytes granularity of backing allocations.
+  explicit Arena(std::size_t chunk_bytes = 1u << 20) : chunk_bytes_(chunk_bytes) {
+    HET_CHECK(chunk_bytes >= 64);
+  }
+
+  Arena(Arena&&) noexcept = default;
+  Arena& operator=(Arena&&) noexcept = default;
+
+  /// Allocates `n` bytes (n may be 0 → returns a unique non-null offset of an
+  /// empty region) with the given alignment (power of two, ≤ chunk size).
+  ArenaOffset allocate(std::size_t n, std::size_t alignment = 1) {
+    HET_CHECK((alignment & (alignment - 1)) == 0);
+    std::size_t base = used_;
+    base = (base + alignment - 1) & ~(alignment - 1);
+    if (chunks_.empty() || base - chunk_base_ + n > chunk_bytes_) {
+      // Start a fresh chunk; the logical offset space stays contiguous by
+      // advancing `used_` to the next chunk boundary.
+      chunk_base_ = (used_ + chunk_bytes_ - 1) / chunk_bytes_ * chunk_bytes_;
+      if (chunks_.empty()) chunk_base_ = 0;
+      HET_CHECK_MSG(n <= chunk_bytes_, "allocation larger than arena chunk");
+      chunks_.push_back(std::make_unique<std::uint8_t[]>(chunk_bytes_));
+      base = chunk_base_;
+      if (base == 0) base = 1;  // reserve 0 as null
+      base = (base + alignment - 1) & ~(alignment - 1);
+    }
+    used_ = base + n;
+    HET_CHECK_MSG(used_ <= (std::size_t{1} << 32) - 1, "arena exceeded 32-bit offset space");
+    return static_cast<ArenaOffset>(base);
+  }
+
+  /// Copies `n` bytes into the arena and returns the offset.
+  ArenaOffset store(const void* data, std::size_t n, std::size_t alignment = 1) {
+    const ArenaOffset off = allocate(n, alignment);
+    if (n) std::memcpy(pointer(off), data, n);
+    return off;
+  }
+
+  /// Resolves an offset to a raw pointer. Valid until the Arena dies.
+  [[nodiscard]] std::uint8_t* pointer(ArenaOffset off) {
+    HET_DCHECK(off != kArenaNull);
+    return chunks_[off / chunk_bytes_].get() + off % chunk_bytes_;
+  }
+  [[nodiscard]] const std::uint8_t* pointer(ArenaOffset off) const {
+    HET_DCHECK(off != kArenaNull);
+    return chunks_[off / chunk_bytes_].get() + off % chunk_bytes_;
+  }
+
+  /// Typed resolution for POD object storage.
+  template <typename T>
+  [[nodiscard]] T* object(ArenaOffset off) {
+    return reinterpret_cast<T*>(pointer(off));
+  }
+  template <typename T>
+  [[nodiscard]] const T* object(ArenaOffset off) const {
+    return reinterpret_cast<const T*>(pointer(off));
+  }
+
+  /// Total logical bytes consumed (including alignment/chunk padding).
+  [[nodiscard]] std::size_t used_bytes() const { return used_; }
+  /// Total bytes of backing memory held.
+  [[nodiscard]] std::size_t reserved_bytes() const { return chunks_.size() * chunk_bytes_; }
+
+ private:
+  std::size_t chunk_bytes_;
+  std::vector<std::unique_ptr<std::uint8_t[]>> chunks_;
+  std::size_t used_ = 0;        // next logical offset to try
+  std::size_t chunk_base_ = 0;  // logical offset of current chunk start
+};
+
+}  // namespace hetindex

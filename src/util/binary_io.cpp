@@ -1,0 +1,39 @@
+#include "util/binary_io.hpp"
+
+#include <cstdio>
+#include <filesystem>
+
+namespace hetindex {
+
+std::vector<std::uint8_t> read_file(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  HET_CHECK_MSG(f != nullptr, "cannot open file for reading");
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  HET_CHECK(size >= 0);
+  std::fseek(f, 0, SEEK_SET);
+  std::vector<std::uint8_t> data(static_cast<std::size_t>(size));
+  if (size > 0) {
+    const std::size_t got = std::fread(data.data(), 1, data.size(), f);
+    HET_CHECK_MSG(got == data.size(), "short read");
+  }
+  std::fclose(f);
+  return data;
+}
+
+void write_file(const std::string& path, const std::vector<std::uint8_t>& data) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  HET_CHECK_MSG(f != nullptr, "cannot open file for writing");
+  if (!data.empty()) {
+    const std::size_t put = std::fwrite(data.data(), 1, data.size(), f);
+    HET_CHECK_MSG(put == data.size(), "short write");
+  }
+  HET_CHECK(std::fclose(f) == 0);
+}
+
+bool file_exists(const std::string& path) {
+  std::error_code ec;
+  return std::filesystem::is_regular_file(path, ec);
+}
+
+}  // namespace hetindex

@@ -1,0 +1,39 @@
+#pragma once
+/// \file check.hpp
+/// Lightweight runtime invariant checking that stays on in release builds.
+/// Indexing correctness bugs (dictionary corruption, postings misorder) are
+/// silent-data-corruption class failures, so the cost of a predictable branch
+/// is always worth it on non-inner-loop paths.
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace hetindex {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file, int line,
+                                      const char* msg) {
+  std::fprintf(stderr, "hetindex: check failed: %s at %s:%d%s%s\n", expr, file, line,
+               msg[0] ? " — " : "", msg);
+  std::abort();
+}
+
+}  // namespace hetindex
+
+/// Always-on invariant check. Use on control paths, not per-token hot loops.
+#define HET_CHECK(expr)                                             \
+  do {                                                              \
+    if (!(expr)) ::hetindex::check_failed(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+/// Always-on invariant check with an explanatory message.
+#define HET_CHECK_MSG(expr, msg)                                      \
+  do {                                                                \
+    if (!(expr)) ::hetindex::check_failed(#expr, __FILE__, __LINE__, msg); \
+  } while (0)
+
+/// Debug-only check for per-element hot loops.
+#ifndef NDEBUG
+#define HET_DCHECK(expr) HET_CHECK(expr)
+#else
+#define HET_DCHECK(expr) ((void)0)
+#endif

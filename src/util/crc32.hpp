@@ -1,0 +1,16 @@
+#pragma once
+/// \file crc32.hpp
+/// CRC-32 (IEEE 802.3 polynomial) used to checksum run-file sections and the
+/// WARC-like container records, so corpus corruption is detected instead of
+/// silently producing a wrong index.
+
+#include <cstddef>
+#include <cstdint>
+
+namespace hetindex {
+
+/// Computes CRC-32 of a byte range; `seed` allows incremental chaining
+/// (pass the previous result).
+std::uint32_t crc32(const void* data, std::size_t n, std::uint32_t seed = 0);
+
+}  // namespace hetindex

@@ -1,0 +1,65 @@
+#pragma once
+/// \file rng.hpp
+/// Deterministic, fast pseudo-random generation. All synthetic-corpus and
+/// simulation randomness flows through these so runs are reproducible from a
+/// single seed (required for the differential CPU-vs-GPU indexer tests).
+
+#include <cstdint>
+
+namespace hetindex {
+
+/// splitmix64: used to expand a user seed into generator state.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ull;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** — fast, high-quality, copyable PRNG.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit constexpr Rng(std::uint64_t seed = 0x853C49E6748FEA9Bull) {
+    std::uint64_t sm = seed;
+    for (auto& word : s_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ull; }
+
+  constexpr std::uint64_t operator()() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, n). n must be > 0.
+  constexpr std::uint64_t below(std::uint64_t n) {
+    // Lemire's multiply-shift rejection-free variant is overkill here; a
+    // 128-bit multiply keeps bias < 2^-64 which is fine for workloads.
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(operator()()) * n) >> 64);
+  }
+
+  /// Uniform double in [0, 1).
+  constexpr double uniform() {
+    return static_cast<double>(operator()() >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4]{};
+};
+
+}  // namespace hetindex

@@ -1,0 +1,84 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "util/check.hpp"
+
+namespace hetindex {
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), hi_(hi), counts_(buckets, 0) {
+  HET_CHECK(hi > lo && buckets > 0);
+}
+
+void Histogram::add(double x) {
+  const double t = (x - lo_) / (hi_ - lo_);
+  auto idx = static_cast<std::int64_t>(t * static_cast<double>(counts_.size()));
+  idx = std::clamp<std::int64_t>(idx, 0, static_cast<std::int64_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(idx)];
+  ++total_;
+}
+
+double Histogram::quantile(double q) const {
+  HET_CHECK(q >= 0.0 && q <= 1.0);
+  if (total_ == 0) return lo_;
+  const auto target = static_cast<std::uint64_t>(q * static_cast<double>(total_));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    seen += counts_[i];
+    if (seen >= target) {
+      const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+      return lo_ + (static_cast<double>(i) + 0.5) * width;
+    }
+  }
+  return hi_;
+}
+
+std::string Histogram::ascii(int width) const {
+  std::uint64_t peak = 1;
+  for (auto c : counts_) peak = std::max(peak, c);
+  std::string out;
+  const double bucket_width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    char line[64];
+    std::snprintf(line, sizeof line, "%10.3g | ", lo_ + static_cast<double>(i) * bucket_width);
+    out += line;
+    const auto bar = static_cast<int>(static_cast<double>(counts_[i]) /
+                                      static_cast<double>(peak) * width);
+    out.append(static_cast<std::size_t>(bar), '#');
+    std::snprintf(line, sizeof line, " %llu\n",
+                  static_cast<unsigned long long>(counts_[i]));
+    out += line;
+  }
+  return out;
+}
+
+std::string format_bytes(std::uint64_t bytes) {
+  const char* units[] = {"B", "KB", "MB", "GB", "TB"};
+  double v = static_cast<double>(bytes);
+  int u = 0;
+  while (v >= 1024.0 && u < 4) {
+    v /= 1024.0;
+    ++u;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.2f %s", v, units[u]);
+  return buf;
+}
+
+std::string format_si(double value) {
+  const char* units[] = {"", "K", "M", "G", "T"};
+  double v = std::abs(value);
+  int u = 0;
+  while (v >= 1000.0 && u < 4) {
+    v /= 1000.0;
+    ++u;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.3g%s", value < 0 ? -v : v, units[u]);
+  return buf;
+}
+
+}  // namespace hetindex

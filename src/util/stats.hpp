@@ -1,0 +1,71 @@
+#pragma once
+/// \file stats.hpp
+/// Streaming statistics accumulators used by corpus analysis (Table III),
+/// pipeline instrumentation (Table IV/VI) and the GPU cost model reports.
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace hetindex {
+
+/// Welford single-pass mean/variance plus min/max.
+class OnlineStats {
+ public:
+  void add(double x) {
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+    sum_ += x;
+  }
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] double sum() const { return sum_; }
+  [[nodiscard]] double mean() const { return count_ ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const {
+    return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+  }
+  [[nodiscard]] double min() const { return count_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return count_ ? max_ : 0.0; }
+
+ private:
+  std::uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Fixed-bucket histogram over [lo, hi); values outside clamp to edge
+/// buckets. Used for B-tree depth distributions and per-file throughput
+/// profiles (Fig. 11).
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t buckets);
+
+  void add(double x);
+  [[nodiscard]] std::uint64_t bucket_count(std::size_t i) const { return counts_.at(i); }
+  [[nodiscard]] std::size_t buckets() const { return counts_.size(); }
+  [[nodiscard]] std::uint64_t total() const { return total_; }
+  /// Value below which the given fraction q in [0,1] of samples fall
+  /// (bucket-midpoint approximation).
+  [[nodiscard]] double quantile(double q) const;
+  /// Render as a fixed-width ASCII bar chart for bench output.
+  [[nodiscard]] std::string ascii(int width = 40) const;
+
+ private:
+  double lo_, hi_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+/// Pretty-print helpers shared by the bench harnesses.
+std::string format_bytes(std::uint64_t bytes);
+std::string format_si(double value);
+
+}  // namespace hetindex

@@ -1,0 +1,66 @@
+#pragma once
+/// \file thread_pool.hpp
+/// Minimal task-based thread pool (CP.4: think in tasks, not threads). Used
+/// by the real-thread pipeline backend for parser/indexer workers and by the
+/// SIMT engine to spread simulated SMs across host cores when available.
+
+#include <functional>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "util/bounded_queue.hpp"
+
+namespace hetindex {
+
+class ThreadPool {
+ public:
+  /// \param threads worker count; 0 means hardware_concurrency (min 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Schedules a task; the future resolves with the task's result.
+  template <typename F>
+  auto submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    auto fut = task->get_future();
+    const bool ok = tasks_.push([task] { (*task)(); });
+    HET_CHECK_MSG(ok, "submit() on a stopped ThreadPool");
+    return fut;
+  }
+
+  /// Runs fn(i) for i in [0, n) across the pool and waits for all.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  [[nodiscard]] std::size_t size() const { return workers_.size(); }
+
+ private:
+  BoundedQueue<std::function<void()>> tasks_;
+  std::vector<std::jthread> workers_;
+};
+
+inline ThreadPool::ThreadPool(std::size_t threads) : tasks_(1024) {
+  if (threads == 0) threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] {
+      while (auto task = tasks_.pop()) (*task)();
+    });
+  }
+}
+
+inline ThreadPool::~ThreadPool() { tasks_.close(); }
+
+inline void ThreadPool::parallel_for(std::size_t n,
+                                     const std::function<void(std::size_t)>& fn) {
+  std::vector<std::future<void>> futs;
+  futs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) futs.push_back(submit([&fn, i] { fn(i); }));
+  for (auto& f : futs) f.get();
+}
+
+}  // namespace hetindex

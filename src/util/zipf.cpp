@@ -1,0 +1,61 @@
+#include "util/zipf.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace hetindex {
+
+ZipfSampler::ZipfSampler(std::uint64_t n, double s) : n_(n), s_(s) {
+  HET_CHECK_MSG(n >= 1, "Zipf vocabulary must be non-empty");
+  HET_CHECK_MSG(s >= 0.0, "Zipf exponent must be non-negative");
+  h_x1_ = h(1.5) - 1.0;
+  h_n_ = h(static_cast<double>(n) + 0.5);
+  if (n <= (1u << 20)) {
+    double z = 0.0;
+    for (std::uint64_t k = 1; k <= n; ++k) z += std::pow(static_cast<double>(k), -s);
+    normalization_ = z;
+  } else {
+    // Euler–Maclaurin style approximation of the generalized harmonic number.
+    const double nd = static_cast<double>(n);
+    double z;
+    if (std::abs(s - 1.0) < 1e-12) {
+      z = std::log(nd) + 0.5772156649015329 + 0.5 / nd;
+    } else {
+      z = (std::pow(nd, 1.0 - s) - 1.0) / (1.0 - s) + 0.5 * (1.0 + std::pow(nd, -s));
+    }
+    normalization_ = z;
+  }
+}
+
+double ZipfSampler::h(double x) const {
+  // Integral of x^-s: log for s == 1, power form otherwise.
+  if (std::abs(s_ - 1.0) < 1e-12) return std::log(x);
+  return (std::pow(x, 1.0 - s_) - 1.0) / (1.0 - s_);
+}
+
+double ZipfSampler::h_inverse(double x) const {
+  if (std::abs(s_ - 1.0) < 1e-12) return std::exp(x);
+  return std::pow(1.0 + x * (1.0 - s_), 1.0 / (1.0 - s_));
+}
+
+std::uint64_t ZipfSampler::operator()(Rng& rng) const {
+  if (n_ == 1) return 1;
+  // Rejection-inversion over the continuous envelope of the discrete pmf.
+  while (true) {
+    const double u = h_n_ + rng.uniform() * (h_x1_ - h_n_);
+    const double x = h_inverse(u);
+    std::uint64_t k = static_cast<std::uint64_t>(x + 0.5);
+    if (k < 1) k = 1;
+    if (k > n_) k = n_;
+    const double kd = static_cast<double>(k);
+    if (u >= h(kd + 0.5) - std::pow(kd, -s_)) return k;
+  }
+}
+
+double ZipfSampler::probability(std::uint64_t k) const {
+  HET_CHECK(k >= 1 && k <= n_);
+  return std::pow(static_cast<double>(k), -s_) / normalization_;
+}
+
+}  // namespace hetindex

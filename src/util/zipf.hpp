@@ -1,0 +1,48 @@
+#pragma once
+/// \file zipf.hpp
+/// Zipf-distributed sampling over ranks 1..n. The paper's CPU/GPU load split
+/// (§III.E) is justified entirely by Zipf's law, so the synthetic corpus
+/// generator and the popularity classifier tests both need a faithful and
+/// fast Zipfian source.
+///
+/// Implementation: rejection-inversion sampling (Hörmann & Derflinger 1996),
+/// O(1) per sample with no O(n) table, so vocabularies of 10^7+ ranks are
+/// cheap to instantiate.
+
+#include <cstdint>
+
+#include "util/rng.hpp"
+
+namespace hetindex {
+
+/// Samples ranks from a Zipf(s) distribution over {1, ..., n}:
+/// P(k) ∝ 1 / k^s.
+class ZipfSampler {
+ public:
+  /// \param n number of ranks (vocabulary size), n >= 1
+  /// \param s skew exponent, s >= 0 (s=0 is uniform; web text ≈ 1.0)
+  ZipfSampler(std::uint64_t n, double s);
+
+  /// Draws one rank in [1, n].
+  std::uint64_t operator()(Rng& rng) const;
+
+  [[nodiscard]] std::uint64_t n() const { return n_; }
+  [[nodiscard]] double s() const { return s_; }
+
+  /// Exact probability of rank k (computed via the normalization constant
+  /// accumulated at construction when n is small, else approximated); used
+  /// by tests to validate the sampler against expected frequencies.
+  [[nodiscard]] double probability(std::uint64_t k) const;
+
+ private:
+  [[nodiscard]] double h(double x) const;          // integral of 1/x^s
+  [[nodiscard]] double h_inverse(double x) const;  // inverse of h
+
+  std::uint64_t n_;
+  double s_;
+  double h_x1_;           // h(1.5) - 1
+  double h_n_;            // h(n + 0.5)
+  double normalization_;  // sum over 1/k^s (exact for small n, approx else)
+};
+
+}  // namespace hetindex

@@ -1,0 +1,144 @@
+// Tests for the single-node baselines and the MapReduce baselines: all of
+// them must produce the same logical inverted index as the hash reference
+// (and therefore as the core pipeline, which test_pipeline checks against
+// the same reference path).
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "baseline/baselines.hpp"
+#include "corpus/synthetic.hpp"
+#include "mapreduce/mr_indexers.hpp"
+#include "mapreduce/remote_lists.hpp"
+
+namespace hetindex {
+namespace {
+
+class BaselineFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    dir_ = (std::filesystem::temp_directory_path() / "hetindex_baseline").string();
+    std::filesystem::create_directories(dir_);
+    auto spec = wikipedia_like();
+    spec.total_bytes = 1u << 20;
+    spec.file_bytes = 256u << 10;
+    spec.vocabulary = 4000;
+    spec.avg_doc_tokens = 150;
+    collection_ = new Collection(generate_collection(spec, dir_));
+    reference_ = new BaselineResult(hash_index(collection_->paths()));
+  }
+  static void TearDownTestSuite() {
+    delete reference_;
+    delete collection_;
+    std::filesystem::remove_all(dir_);
+  }
+
+  static void expect_same_index(const std::map<std::string, PostingsList>& got) {
+    const auto& ref = reference_->index;
+    ASSERT_EQ(got.size(), ref.size());
+    auto it = ref.begin();
+    for (const auto& [term, list] : got) {
+      ASSERT_EQ(term, it->first);
+      ASSERT_EQ(list.doc_ids, it->second.doc_ids) << term;
+      ASSERT_EQ(list.tfs, it->second.tfs) << term;
+      ++it;
+    }
+  }
+
+  static inline std::string dir_;
+  static inline Collection* collection_ = nullptr;
+  static inline BaselineResult* reference_ = nullptr;
+};
+
+TEST_F(BaselineFixture, HashReferenceIsSane) {
+  EXPECT_GT(reference_->terms(), 500u);
+  EXPECT_GT(reference_->tokens, 10000u);
+  // Every postings list is sorted and non-empty.
+  for (const auto& [term, list] : reference_->index) {
+    ASSERT_FALSE(list.empty()) << term;
+    for (std::size_t i = 1; i < list.size(); ++i)
+      ASSERT_LT(list.doc_ids[i - 1], list.doc_ids[i]) << term;
+  }
+}
+
+TEST_F(BaselineFixture, SerialTrieRegroupedMatchesReference) {
+  expect_same_index(serial_trie_index(collection_->paths(), true).index);
+}
+
+TEST_F(BaselineFixture, SerialTrieUngroupedMatchesReference) {
+  expect_same_index(serial_trie_index(collection_->paths(), false).index);
+}
+
+TEST_F(BaselineFixture, SingleBTreeMatchesReference) {
+  expect_same_index(single_btree_index(collection_->paths()).index);
+}
+
+TEST_F(BaselineFixture, SortBasedMatchesReference) {
+  // Small run budget forces multiple runs + k-way merge.
+  expect_same_index(sort_based_index(collection_->paths(), 10000).index);
+}
+
+TEST_F(BaselineFixture, SpimiMatchesReference) {
+  expect_same_index(spimi_index(collection_->paths(), 10000).index);
+}
+
+TEST_F(BaselineFixture, IvoryMapReduceMatchesReference) {
+  const auto result = ivory_mr_index(collection_->paths(), ivory_cluster(), 8);
+  expect_same_index(result.index);
+  EXPECT_GT(result.stats.map_seconds, 0.0);
+  EXPECT_GT(result.stats.shuffle_seconds, 0.0);
+  EXPECT_GT(result.stats.reduce_seconds, 0.0);
+  EXPECT_GT(result.stats.emitted_records, reference_->terms());
+}
+
+TEST_F(BaselineFixture, SinglePassMapReduceMatchesReference) {
+  const auto result = singlepass_mr_index(collection_->paths(), sp_cluster(), 8);
+  expect_same_index(result.index);
+  EXPECT_GT(result.stats.total_seconds, 0.0);
+}
+
+TEST_F(BaselineFixture, SinglePassShufflesLessThanIvory) {
+  // McCreadie et al.'s point: emitting partial postings lists cuts the
+  // number of emits and the shuffle volume versus per-posting emits.
+  const auto ivory = ivory_mr_index(collection_->paths(), ivory_cluster(), 8);
+  const auto sp = singlepass_mr_index(collection_->paths(), sp_cluster(), 8);
+  EXPECT_LT(sp.stats.emitted_records, ivory.stats.emitted_records / 2);
+  EXPECT_LT(sp.stats.shuffled_bytes, ivory.stats.shuffled_bytes);
+}
+
+TEST_F(BaselineFixture, RemoteListsMatchesReference) {
+  const auto result = remote_lists_index(collection_->paths(), sp_cluster());
+  expect_same_index(result.index);
+  EXPECT_GT(result.stats.vocabulary_seconds, 0.0);
+  EXPECT_GT(result.stats.network_seconds, 0.0);
+  EXPECT_GT(result.stats.tuples_shipped, reference_->tokens / 2);
+  EXPECT_GT(result.stats.total_seconds,
+            result.stats.vocabulary_seconds + result.stats.parse_seconds);
+}
+
+TEST_F(BaselineFixture, RemoteListsPaysTwoParsePasses) {
+  // The algorithm's defining cost: the vocabulary pass scans everything
+  // before indexing starts, so parse-class work is paid twice — the
+  // second-pass parse time matches the vocabulary pass minus its broadcast
+  // overhead.
+  const auto result = remote_lists_index(collection_->paths(), sp_cluster());
+  EXPECT_GT(result.stats.parse_seconds, 0.0);
+  EXPECT_LE(result.stats.parse_seconds, result.stats.vocabulary_seconds);
+  EXPECT_GT(result.stats.parse_seconds, result.stats.vocabulary_seconds * 0.3);
+  // Total includes both passes.
+  EXPECT_GE(result.stats.total_seconds,
+            result.stats.parse_seconds + result.stats.vocabulary_seconds);
+}
+
+TEST_F(BaselineFixture, MapReduceOverheadsMakeItSlowerThanLocalBaselines) {
+  // Fig. 12's qualitative claim on equal input: the task overheads and
+  // network shuffle make high-level MR indexing slower end-to-end than an
+  // architecture-aware single-node build of the same index.
+  const auto sp = singlepass_mr_index(collection_->paths(), sp_cluster(), 8);
+  const auto local = serial_trie_index(collection_->paths(), true);
+  EXPECT_GT(sp.stats.total_seconds, local.total_seconds());
+}
+
+}  // namespace
+}  // namespace hetindex

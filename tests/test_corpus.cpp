@@ -1,0 +1,190 @@
+// Tests for the corpus substrate: container round trips and the synthetic
+// generator's statistical fingerprints (Table III inputs).
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <set>
+
+#include "corpus/container.hpp"
+#include "corpus/synthetic.hpp"
+#include "dict/trie_table.hpp"
+#include "text/stopwords.hpp"
+
+namespace hetindex {
+namespace {
+
+class TempDir {
+ public:
+  TempDir() {
+    path_ = (std::filesystem::temp_directory_path() /
+             ("hetindex_corpus_" + std::to_string(counter_++)))
+                .string();
+    std::filesystem::create_directories(path_);
+  }
+  ~TempDir() { std::filesystem::remove_all(path_); }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  static inline int counter_ = 0;
+  std::string path_;
+};
+
+TEST(Container, PackUnpackRoundTrip) {
+  std::vector<Document> docs(3);
+  docs[0].url = "http://a";
+  docs[0].body = "first body";
+  docs[1].url = "http://b";
+  docs[1].body = "second";
+  docs[2].url = "";
+  docs[2].body = "";
+  const auto unpacked = container_unpack(container_pack(docs));
+  ASSERT_EQ(unpacked.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(unpacked[i].local_id, i);
+    EXPECT_EQ(unpacked[i].url, docs[i].url);
+    EXPECT_EQ(unpacked[i].body, docs[i].body);
+  }
+}
+
+TEST(Container, FileRoundTripAndCompression) {
+  TempDir dir;
+  std::vector<Document> docs;
+  for (int i = 0; i < 50; ++i) {
+    Document d;
+    d.url = "http://site/" + std::to_string(i);
+    d.body = std::string(2000, 'w');  // highly compressible
+    docs.push_back(std::move(d));
+  }
+  const auto path = dir.path() + "/c.hdc";
+  const auto sizes = container_write(path, docs);
+  EXPECT_LT(sizes.compressed, sizes.uncompressed / 4);
+  EXPECT_EQ(container_uncompressed_size(path), sizes.uncompressed);
+  const auto loaded = container_read(path);
+  ASSERT_EQ(loaded.size(), docs.size());
+  EXPECT_EQ(loaded[17].body, docs[17].body);
+}
+
+TEST(Vocabulary, DeterministicAndUnique) {
+  const Vocabulary a(5000, 0.03, 0.01, 42);
+  const Vocabulary b(5000, 0.03, 0.01, 42);
+  std::set<std::string> seen;
+  for (std::uint64_t r = 1; r <= 5000; ++r) {
+    EXPECT_EQ(a.word(r), b.word(r));
+    EXPECT_TRUE(seen.insert(a.word(r)).second) << "duplicate " << a.word(r);
+  }
+}
+
+TEST(Vocabulary, OddTopRanksAreStopWords) {
+  // Stop words interleave with strong head terms (see synthetic.cpp): odd
+  // top ranks are stop words, even ranks are indexable head terms.
+  const Vocabulary v(1000, 0.0, 0.0, 1);
+  const auto& stop = default_stopwords();
+  EXPECT_TRUE(stop.contains(v.word(1)));
+  EXPECT_TRUE(stop.contains(v.word(3)));
+  EXPECT_TRUE(stop.contains(v.word(51)));
+  EXPECT_FALSE(stop.contains(v.word(2)));
+}
+
+TEST(Vocabulary, MeanLengthNearPaperFingerprint) {
+  // §III.B.1: average stemmed token length 6.6 on ClueWeb09; surface forms
+  // are slightly longer. Accept a generous band.
+  const Vocabulary v(100000, 0.03, 0.01, 7);
+  EXPECT_GT(v.mean_length(), 4.5);
+  EXPECT_LT(v.mean_length(), 10.0);
+}
+
+TEST(Vocabulary, CoversManyTrieCollections) {
+  const Vocabulary v(50000, 0.03, 0.01, 3);
+  std::set<std::uint32_t> collections;
+  for (std::uint64_t r = 1; r <= v.size(); ++r) collections.insert(trie_index(v.word(r)));
+  // Real vocabularies spread across thousands of three-letter prefixes.
+  EXPECT_GT(collections.size(), 2000u);
+  EXPECT_TRUE(collections.contains(0u) || true);
+}
+
+TEST(Generator, ProducesRequestedVolume) {
+  TempDir dir;
+  auto spec = wikipedia_like();
+  spec.total_bytes = 2u << 20;
+  spec.file_bytes = 1u << 20;
+  spec.vocabulary = 20000;
+  const auto coll = generate_collection(spec, dir.path());
+  EXPECT_EQ(coll.files.size(), 2u);
+  EXPECT_GT(coll.total_uncompressed(), spec.total_bytes * 9 / 10);
+  EXPECT_GT(coll.total_docs(), 100u);
+  EXPECT_LT(coll.total_compressed(), coll.total_uncompressed());
+  for (const auto& f : coll.files) EXPECT_TRUE(std::filesystem::exists(f.path));
+}
+
+TEST(Generator, DeterministicAcrossRuns) {
+  TempDir d1, d2;
+  auto spec = wikipedia_like();
+  spec.total_bytes = 1u << 20;
+  spec.vocabulary = 10000;
+  const auto c1 = generate_collection(spec, d1.path());
+  const auto c2 = generate_collection(spec, d2.path());
+  ASSERT_EQ(c1.files.size(), c2.files.size());
+  for (std::size_t i = 0; i < c1.files.size(); ++i) {
+    EXPECT_EQ(c1.files[i].uncompressed_bytes, c2.files[i].uncompressed_bytes);
+    EXPECT_EQ(c1.files[i].doc_count, c2.files[i].doc_count);
+  }
+  const auto docs1 = container_read(c1.files[0].path);
+  const auto docs2 = container_read(c2.files[0].path);
+  EXPECT_EQ(docs1[0].body, docs2[0].body);
+}
+
+TEST(Generator, HtmlMarkupToggle) {
+  TempDir dir;
+  auto spec = clueweb_like();
+  spec.total_bytes = 1u << 20;
+  spec.file_bytes = 1u << 20;
+  spec.vocabulary = 10000;
+  spec.shift_fraction = 0;
+  const auto coll = generate_collection(spec, dir.path());
+  const auto docs = container_read(coll.files[0].path);
+  EXPECT_NE(docs[0].body.find("<html"), std::string::npos);
+
+  auto plain = wikipedia_like();
+  plain.total_bytes = 1u << 20;
+  plain.vocabulary = 10000;
+  TempDir dir2;
+  const auto coll2 = generate_collection(plain, dir2.path());
+  const auto docs2 = container_read(coll2.files[0].path);
+  EXPECT_EQ(docs2[0].body.find("<html"), std::string::npos);
+}
+
+TEST(Generator, ShiftedTailUsesDifferentRegime) {
+  TempDir dir;
+  auto spec = clueweb_like();
+  spec.total_bytes = 4u << 20;
+  spec.file_bytes = 1u << 20;
+  spec.vocabulary = 20000;
+  spec.shift_fraction = 0.25;  // last of 4 files shifted
+  const auto coll = generate_collection(spec, dir.path());
+  ASSERT_EQ(coll.files.size(), 4u);
+  const auto head = container_read(coll.files[0].path);
+  const auto tail = container_read(coll.files[3].path);
+  EXPECT_NE(head[0].body.find("<html"), std::string::npos);
+  EXPECT_EQ(tail[0].body.find("<html"), std::string::npos);  // wiki-like tail
+  EXPECT_NE(tail[0].url.find("wikipedia"), std::string::npos);
+}
+
+TEST(Analyze, StatsReflectParsePath) {
+  TempDir dir;
+  auto spec = wikipedia_like();
+  spec.total_bytes = 1u << 20;
+  spec.vocabulary = 5000;
+  const auto coll = generate_collection(spec, dir.path());
+  const auto stats = analyze_collection(coll.paths());
+  EXPECT_EQ(stats.documents, coll.total_docs());
+  EXPECT_GT(stats.tokens, 10000u);
+  EXPECT_GT(stats.terms, 500u);
+  EXPECT_LT(stats.terms, stats.tokens);
+  EXPECT_GT(stats.mean_token_length, 3.0);
+  EXPECT_LT(stats.mean_token_length, 12.0);
+  EXPECT_EQ(stats.compressed_bytes, coll.total_compressed());
+}
+
+}  // namespace
+}  // namespace hetindex

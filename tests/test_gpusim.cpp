@@ -1,0 +1,244 @@
+// Tests for the SIMT engine cost model and the warp-parallel B-tree kernel,
+// including the CPU-vs-GPU differential correctness property.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "dict/btree.hpp"
+#include "gpusim/gpu_btree.hpp"
+#include "gpusim/simt.hpp"
+#include "util/rng.hpp"
+
+namespace hetindex {
+namespace {
+
+TEST(GpuSpec, C1060Parameters) {
+  const GpuSpec spec;
+  EXPECT_EQ(spec.sm_count, 30u);           // §I: 30 SMs
+  EXPECT_EQ(spec.warp_size, 32u);          // warps of 32 threads
+  EXPECT_EQ(spec.shared_mem_bytes, 16u * 1024);  // 16 KB shared memory
+  EXPECT_EQ(spec.shared_banks, 16u);       // 16 banks
+  EXPECT_EQ(spec.device_mem_bytes, 4ull << 30);  // 4 GB device memory
+  EXPECT_NEAR(spec.device_bandwidth_gb_s, 102.0, 1e-9);  // 102 GB/s peak
+  EXPECT_GE(spec.global_latency_cycles, 400u);  // 400–600 cycle latency
+  EXPECT_LE(spec.global_latency_cycles, 600u);
+}
+
+TEST(SimtEngine, EmptyLaunch) {
+  const SimtEngine engine;
+  const auto stats = engine.launch(0, [](WarpContext&) {});
+  EXPECT_EQ(stats.blocks, 0u);
+  EXPECT_EQ(stats.sim_seconds, 0.0);
+}
+
+TEST(SimtEngine, UniformBlocksScaleWithBlockCount) {
+  const SimtEngine engine;
+  auto kernel = [](WarpContext& ctx) { ctx.cycles(1e6); };
+  const auto s30 = engine.launch(30, kernel);    // one wave
+  const auto s300 = engine.launch(300, kernel);  // ten waves
+  EXPECT_NEAR(s300.sim_seconds / s30.sim_seconds, 10.0, 0.5);
+}
+
+TEST(SimtEngine, MoreSmsShortenKernels) {
+  GpuSpec half;
+  half.sm_count = 15;
+  const SimtEngine big;   // 30 SMs
+  const SimtEngine small(half);
+  auto kernel = [](WarpContext& ctx) { ctx.cycles(1e5); };
+  const auto fast = big.launch(120, kernel);
+  const auto slow = small.launch(120, kernel);
+  EXPECT_NEAR(slow.sim_seconds / fast.sim_seconds, 2.0, 0.2);
+}
+
+TEST(SimtEngine, ListSchedulingBalancesSkewedBlocks) {
+  const SimtEngine engine;
+  // One giant block plus many small ones: the critical path is the giant
+  // block, not the sum.
+  const auto stats = engine.launch(100, [](WarpContext& ctx) {
+    ctx.cycles(ctx.block_id() == 0 ? 1e7 : 1e3);
+  });
+  const double giant_seconds =
+      engine.spec().seconds_from_cycles(1e7 / engine.spec().kernel_efficiency);
+  EXPECT_LT(stats.sim_seconds, giant_seconds * 1.1);
+  EXPECT_GT(stats.load_imbalance, 5.0);  // imbalance is visible in the stats
+}
+
+TEST(WarpContext, CoalescedLoadsCostLessThanScattered) {
+  const SimtEngine engine;
+  KernelStats s;
+  WarpContext a(engine.spec(), 0, s);
+  a.load_global(512, /*coalesced=*/true);
+  WarpContext b(engine.spec(), 0, s);
+  b.load_global(512, /*coalesced=*/false);
+  // 8 segments vs 128 scattered words: a 16× transaction blow-up.
+  EXPECT_GT(b.block_cycles(), a.block_cycles() * 10);
+  EXPECT_EQ(s.uncoalesced_transactions, 128u);
+}
+
+TEST(WarpContext, BankConflictsSerializeSharedAccess) {
+  const SimtEngine engine;
+  KernelStats s;
+  WarpContext ctx(engine.spec(), 0, s);
+  ctx.shared_access(1);  // conflict-free
+  const double clean = ctx.block_cycles();
+  ctx.shared_access(16);  // all lanes hit one bank
+  EXPECT_NEAR(ctx.block_cycles() - clean, clean * 16, 1e-9);
+  EXPECT_GT(s.bank_conflict_cycles, 0u);
+}
+
+TEST(WarpContext, BroadcastIsConflictFree) {
+  const SimtEngine engine;
+  KernelStats s;
+  WarpContext ctx(engine.spec(), 0, s);
+  ctx.shared_access(0);
+  EXPECT_EQ(s.bank_conflict_cycles, 0u);
+}
+
+TEST(SimtEngine, CopySecondsModelPcie) {
+  const SimtEngine engine;
+  const double one_gb = engine.copy_seconds(1ull << 30);
+  EXPECT_GT(one_gb, 0.1);  // ≥ 100 ms at ~5 GB/s
+  EXPECT_LT(one_gb, 1.0);
+  EXPECT_GT(engine.copy_seconds(0), 0.0);  // latency floor
+}
+
+class BankStrideParam : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(BankStrideParam, ConflictMultiplicityIsGcdWithBanks) {
+  const SimtEngine engine;
+  KernelStats s;
+  WarpContext ctx(engine.spec(), 0, s);
+  const std::uint32_t stride = GetParam();
+  ctx.shared_access(stride);
+  // Expected serialization: gcd(stride, 16) per half-warp, 2 half-warps.
+  std::uint32_t a = stride, b = 16;
+  while (b) { const auto t = a % b; a = b; b = t; }
+  const double expected = 2.0 * (stride == 0 ? 1 : a);
+  EXPECT_DOUBLE_EQ(ctx.block_cycles(), expected) << "stride " << stride;
+}
+
+INSTANTIATE_TEST_SUITE_P(Strides, BankStrideParam,
+                         ::testing::Values(0u, 1u, 2u, 3u, 4u, 5u, 8u, 16u, 32u));
+
+TEST(WarpContextCosts, StagingScalesLinearlyWithBytes) {
+  const SimtEngine engine;
+  KernelStats s;
+  WarpContext a(engine.spec(), 0, s), b(engine.spec(), 0, s);
+  GpuBTreeKernel::charge_stage_strings(512, a);
+  GpuBTreeKernel::charge_stage_strings(512 * 64, b);
+  EXPECT_NEAR(b.block_cycles() / a.block_cycles(), 64.0, 2.0);
+}
+
+TEST(WarpContextCosts, PositionalPostingStoreCostsMore) {
+  const SimtEngine engine;
+  KernelStats s;
+  WarpContext plain(engine.spec(), 0, s), positional(engine.spec(), 0, s);
+  // The per-posting charges used by GpuIndexer::index_block.
+  plain.latency_stall();
+  plain.store_global(8, false);
+  plain.simd_step(3);
+  positional.latency_stall();
+  positional.store_global(12, false);
+  positional.simd_step(4);
+  EXPECT_GT(positional.block_cycles(), plain.block_cycles());
+}
+
+TEST(SimtEngineCosts, KernelEfficiencyRescalesTime) {
+  GpuSpec fast;
+  fast.kernel_efficiency = 0.5;
+  GpuSpec slow = fast;
+  slow.kernel_efficiency = 0.1;
+  const SimtEngine fast_engine(fast), slow_engine(slow);
+  auto kernel = [](WarpContext& ctx) { ctx.cycles(1e6); };
+  const double tf = fast_engine.launch(30, kernel).sim_seconds;
+  const double ts = slow_engine.launch(30, kernel).sim_seconds;
+  EXPECT_NEAR(ts / tf, 5.0, 0.2);
+}
+
+// ------------------------------------------------- GPU B-tree kernel
+
+class GpuBTreeFixture : public ::testing::Test {
+ protected:
+  SimtEngine engine_;
+  KernelStats stats_;
+};
+
+TEST_F(GpuBTreeFixture, InsertAndFind) {
+  Arena arena;
+  BTree tree(arena);
+  WarpContext ctx(engine_.spec(), 0, stats_);
+  auto res = GpuBTreeKernel::insert(tree, "lication", ctx);
+  EXPECT_TRUE(res.created);
+  *res.postings_slot = 5;
+  auto again = GpuBTreeKernel::insert(tree, "lication", ctx);
+  EXPECT_FALSE(again.created);
+  EXPECT_EQ(*again.postings_slot, 5u);
+  EXPECT_GT(ctx.block_cycles(), 0.0);
+}
+
+TEST_F(GpuBTreeFixture, DifferentialAgainstCpuBTree) {
+  // The paper's GPU indexer must build exactly the dictionary a CPU
+  // indexer builds. Insert an identical random stream into both and
+  // compare the full in-order traversals.
+  Arena cpu_arena, gpu_arena;
+  BTree cpu(cpu_arena);
+  BTree gpu(gpu_arena);
+  WarpContext ctx(engine_.spec(), 0, stats_);
+  Rng rng(12345);
+  for (int i = 0; i < 5000; ++i) {
+    std::string key;
+    const std::size_t len = rng.below(12);
+    for (std::size_t j = 0; j < len; ++j)
+      key.push_back(static_cast<char>('a' + rng.below(6)));
+    const auto a = cpu.find_or_insert(key);
+    const auto b = GpuBTreeKernel::insert(gpu, key, ctx);
+    ASSERT_EQ(a.created, b.created) << "key " << key << " iter " << i;
+  }
+  ASSERT_EQ(cpu.size(), gpu.size());
+  std::vector<std::string> cpu_terms, gpu_terms;
+  cpu.for_each([&](std::string_view s, std::uint32_t) { cpu_terms.emplace_back(s); });
+  gpu.for_each([&](std::string_view s, std::uint32_t) { gpu_terms.emplace_back(s); });
+  EXPECT_EQ(cpu_terms, gpu_terms);
+  EXPECT_EQ(cpu.height(), gpu.height());
+}
+
+TEST_F(GpuBTreeFixture, DeeperTreesCostMoreCycles) {
+  Arena arena;
+  BTree tree(arena);
+  WarpContext ctx(engine_.spec(), 0, stats_);
+  double shallow_cost = 0, deep_cost = 0;
+  for (int i = 0; i < 2000; ++i) {
+    char buf[16];
+    std::snprintf(buf, sizeof buf, "%06d", i);
+    const double before = ctx.block_cycles();
+    GpuBTreeKernel::insert(tree, buf, ctx);
+    const double cost = ctx.block_cycles() - before;
+    if (i < 20) shallow_cost += cost / 20;
+    if (i >= 1980) deep_cost += cost / 20;
+  }
+  // Fig. 11's "inverse of the depth of B-tree" slope: deeper trees → more
+  // per-insert work.
+  EXPECT_GT(deep_cost, shallow_cost);
+}
+
+TEST_F(GpuBTreeFixture, StagingCostIsCoalesced) {
+  WarpContext ctx(engine_.spec(), 0, stats_);
+  GpuBTreeKernel::charge_stage_strings(4096, ctx);
+  EXPECT_EQ(stats_.uncoalesced_transactions, 0u);
+  EXPECT_EQ(stats_.global_load_transactions, 4096u / 64);
+}
+
+TEST_F(GpuBTreeFixture, NodeFetchesAreCoalesced512B) {
+  Arena arena;
+  BTree tree(arena);
+  WarpContext ctx(engine_.spec(), 0, stats_);
+  GpuBTreeKernel::insert(tree, "zzzz", ctx);  // fully-cached short key
+  // A single root access: 8 coalesced load segments, no scattered reads.
+  EXPECT_EQ(stats_.uncoalesced_transactions, 0u);
+  EXPECT_GE(stats_.global_load_transactions, 8u);
+}
+
+}  // namespace
+}  // namespace hetindex

@@ -1,0 +1,163 @@
+// Unit tests for the mini MapReduce runtime itself (engine semantics and
+// cluster cost model) — the baseline indexers built on it are covered by
+// test_baselines.cpp.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <map>
+#include <set>
+
+#include "corpus/container.hpp"
+#include "mapreduce/mr_engine.hpp"
+
+namespace hetindex {
+namespace {
+
+/// Writes trivial one-doc container files to use as splits.
+class SplitFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (std::filesystem::temp_directory_path() / "hetindex_mr_engine").string();
+    std::filesystem::create_directories(dir_);
+    for (int i = 0; i < 4; ++i) {
+      Document d;
+      d.url = "u" + std::to_string(i);
+      d.body = "body " + std::to_string(i);
+      const auto path = dir_ + "/split_" + std::to_string(i) + ".hdc";
+      container_write(path, {d});
+      splits_.push_back(path);
+    }
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string dir_;
+  std::vector<std::string> splits_;
+};
+
+TEST_F(SplitFixture, MapSeesEverySplitOnce) {
+  std::set<std::string> seen;
+  MiniMapReduce mr(sp_cluster(), 2);
+  mr.run(
+      splits_,
+      [&](const std::string& split, MiniMapReduce::Emitter&) -> std::uint64_t {
+        EXPECT_TRUE(seen.insert(split).second);
+        return 100;
+      },
+      [](const std::string&, const auto&) {});
+  EXPECT_EQ(seen.size(), splits_.size());
+}
+
+TEST_F(SplitFixture, ReducerKeysAreSortedAndGrouped) {
+  std::vector<std::string> reduce_order;
+  std::map<std::string, std::size_t> value_counts;
+  MiniMapReduce mr(sp_cluster(), 1);  // one reducer → global sorted order
+  mr.run(
+      splits_,
+      [&](const std::string&, MiniMapReduce::Emitter& out) -> std::uint64_t {
+        out.emit("b", {2});
+        out.emit("a", {1});
+        out.emit("c", {3});
+        return 10;
+      },
+      [&](const std::string& key, const std::vector<std::vector<std::uint32_t>>& values) {
+        reduce_order.push_back(key);
+        value_counts[key] = values.size();
+      });
+  ASSERT_EQ(reduce_order, (std::vector<std::string>{"a", "b", "c"}));
+  // 4 map tasks × 1 emit per key → 4 values per key, grouped.
+  EXPECT_EQ(value_counts["a"], 4u);
+  EXPECT_EQ(value_counts["b"], 4u);
+  EXPECT_EQ(value_counts["c"], 4u);
+}
+
+TEST_F(SplitFixture, CustomPartitionerRoutesKeys) {
+  std::vector<std::set<std::string>> reducer_keys(2);
+  MiniMapReduce mr(sp_cluster(), 2);
+  mr.run(
+      splits_,
+      [&](const std::string&, MiniMapReduce::Emitter& out) -> std::uint64_t {
+        out.emit("even0", {});
+        out.emit("odd1", {});
+        return 1;
+      },
+      [&](const std::string& key, const auto&) {
+        // Partition function sends keys ending in '0' to reducer 0: keys
+        // observed per reducer must respect it. We detect reducer identity
+        // by the partition rule itself (the engine runs reducers serially).
+        const std::size_t r = key.back() == '0' ? 0 : 1;
+        reducer_keys[r].insert(key);
+      },
+      [](const std::string& key, std::size_t) -> std::size_t {
+        return key.back() == '0' ? 0 : 1;
+      });
+  EXPECT_TRUE(reducer_keys[0].contains("even0"));
+  EXPECT_TRUE(reducer_keys[1].contains("odd1"));
+  EXPECT_FALSE(reducer_keys[0].contains("odd1"));
+}
+
+TEST_F(SplitFixture, StatsAccumulateBytesAndRecords) {
+  MiniMapReduce mr(sp_cluster(), 2);
+  const auto stats = mr.run(
+      splits_,
+      [&](const std::string&, MiniMapReduce::Emitter& out) -> std::uint64_t {
+        out.emit("key", {1, 2, 3});
+        return 1000;
+      },
+      [](const std::string&, const auto&) {});
+  EXPECT_EQ(stats.input_bytes, 4000u);
+  EXPECT_EQ(stats.emitted_records, 4u);
+  EXPECT_GT(stats.shuffled_bytes, 4u * (3 + 12));
+  EXPECT_GT(stats.map_seconds, 0.0);
+  EXPECT_GT(stats.total_seconds, stats.map_seconds);
+}
+
+TEST_F(SplitFixture, MoreWorkersShortenMapPhase) {
+  ClusterModel small = sp_cluster();
+  small.nodes = 1;
+  small.cores_per_node = 1;
+  ClusterModel big = sp_cluster();
+  big.nodes = 4;
+  big.cores_per_node = 1;
+  auto run = [&](const ClusterModel& c) {
+    MiniMapReduce mr(c, 1);
+    return mr
+        .run(
+            splits_,
+            [](const std::string&, MiniMapReduce::Emitter&) -> std::uint64_t {
+              return 50 << 20;  // 50 MB split → read time dominates
+            },
+            [](const std::string&, const auto&) {})
+        .map_seconds;
+  };
+  // 4 tasks on 1 worker vs 4 workers: ~4× difference.
+  EXPECT_NEAR(run(small) / run(big), 4.0, 0.8);
+}
+
+TEST_F(SplitFixture, ShuffleTimeScalesWithEmittedBytes) {
+  auto shuffle_of = [&](std::size_t values_per_emit) {
+    MiniMapReduce mr(sp_cluster(), 2);
+    return mr
+        .run(
+            splits_,
+            [&](const std::string& s, MiniMapReduce::Emitter& out) -> std::uint64_t {
+              out.emit("k" + s, std::vector<std::uint32_t>(values_per_emit, 7));
+              return 1;
+            },
+            [](const std::string&, const auto&) {})
+        .shuffle_seconds;
+  };
+  EXPECT_GT(shuffle_of(100000), shuffle_of(10) * 100);
+}
+
+TEST(ClusterModel, PresetsMatchTableVII) {
+  const auto ivory = ivory_cluster();
+  EXPECT_EQ(ivory.nodes, 99u);              // Table VII: 99 nodes
+  EXPECT_EQ(ivory.total_workers(), 198u);   // two single-core CPUs each
+  const auto sp = sp_cluster();
+  EXPECT_EQ(sp.nodes, 8u);                  // Table VII: 8 nodes
+  EXPECT_EQ(sp.total_workers(), 24u);       // quad-core minus 1 for HDFS
+}
+
+}  // namespace
+}  // namespace hetindex

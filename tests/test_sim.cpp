@@ -1,0 +1,159 @@
+// Tests for the DES pipeline simulator: stage serialization, back-pressure
+// and the qualitative behaviours behind Fig. 10 and Table IV.
+
+#include <gtest/gtest.h>
+
+#include "sim/pipeline_sim.hpp"
+
+namespace hetindex {
+namespace {
+
+/// Builds synthetic run records with uniform per-stage costs.
+std::vector<RunRecord> make_runs(std::size_t count, double parse_s, double cpu_index_s,
+                                 double gpu_index_s, std::size_t n_cpu, std::size_t n_gpu,
+                                 std::uint64_t compressed_mb = 4,
+                                 std::uint64_t source_mb = 16) {
+  std::vector<RunRecord> runs(count);
+  for (std::size_t r = 0; r < count; ++r) {
+    auto& run = runs[r];
+    run.run_id = r;
+    run.compressed_bytes = compressed_mb << 20;
+    run.source_bytes = source_mb << 20;
+    run.decompress_seconds = parse_s * 0.25;
+    run.parse_seconds = parse_s;
+    run.cpu_index_seconds.assign(n_cpu, cpu_index_s);
+    run.gpu_timings.resize(n_gpu);
+    for (auto& g : run.gpu_timings) {
+      g.pre_seconds = 0.01;
+      g.index_seconds = gpu_index_s;
+      g.post_seconds = 0.01;
+    }
+    run.flush_seconds = 0.02;
+  }
+  return runs;
+}
+
+TEST(PipelineSim, EmptyInput) {
+  PipelineSimulator sim;
+  const auto result = sim.simulate({}, {});
+  EXPECT_EQ(result.total_seconds, 0.0);
+}
+
+TEST(PipelineSim, ParserScalingIsLinearUntilDiskBound) {
+  // Parse-dominated records: more parsers → proportionally faster, until
+  // the serialized disk becomes the bottleneck (Fig. 10's "almost linear
+  // scalability ... major limitation ... sequential access to our single
+  // disk").
+  PipelineSimulator sim;
+  const auto runs = make_runs(64, /*parse_s=*/2.0, 0.1, 0.1, 8, 0);
+  SimPipelineConfig cfg;
+  cfg.indexing_enabled = false;
+  std::vector<double> totals;
+  for (std::size_t m = 1; m <= 7; ++m) {
+    cfg.parsers = m;
+    totals.push_back(sim.simulate(runs, cfg).total_seconds);
+  }
+  EXPECT_NEAR(totals[0] / totals[1], 2.0, 0.2);  // 1→2 parsers ≈ 2×
+  EXPECT_NEAR(totals[0] / totals[3], 4.0, 0.5);  // 1→4 parsers ≈ 4×
+  // Monotone improvement throughout.
+  for (std::size_t i = 1; i < totals.size(); ++i) EXPECT_LE(totals[i], totals[i - 1] * 1.01);
+}
+
+TEST(PipelineSim, DiskSerializationCapsParserScaling) {
+  // Read-dominated records: beyond ~read/parse ratio parsers add nothing.
+  PipelineSimulator sim;  // 100 MB/s disk
+  // 100 MB compressed per run → 1 s read; 0.5 s parse work.
+  const auto runs = make_runs(32, /*parse_s=*/0.4, 0.1, 0.1, 8, 0, /*compressed_mb=*/100);
+  SimPipelineConfig cfg;
+  cfg.indexing_enabled = false;
+  cfg.parsers = 1;
+  const double t1 = sim.simulate(runs, cfg).total_seconds;
+  cfg.parsers = 4;
+  const double t4 = sim.simulate(runs, cfg).total_seconds;
+  cfg.parsers = 7;
+  const double t7 = sim.simulate(runs, cfg).total_seconds;
+  EXPECT_LT(t4, t1);
+  // Disk-bound floor: 32 reads × 1 s ≈ 32 s no matter the parser count.
+  EXPECT_NEAR(t7, 32.0, 3.0);
+  EXPECT_NEAR(t4, t7, 2.0);
+}
+
+TEST(PipelineSim, IndexersWaitWhenParsersAreSlow) {
+  PipelineSimulator sim;
+  const auto runs = make_runs(16, /*parse_s=*/1.0, /*cpu=*/0.05, 0.0, 2, 0);
+  SimPipelineConfig cfg;
+  cfg.parsers = 1;
+  cfg.cpu_indexers = 2;
+  cfg.gpus = 0;
+  const auto result = sim.simulate(runs, cfg);
+  EXPECT_GT(result.indexer_wait_seconds, result.indexing_seconds);
+  EXPECT_NEAR(result.total_seconds, result.parse_stage_seconds,
+              result.total_seconds * 0.2);
+}
+
+TEST(PipelineSim, BackPressureStallsParsersWhenIndexingIsSlow) {
+  PipelineSimulator sim;
+  const auto runs = make_runs(16, /*parse_s=*/0.05, /*cpu=*/1.0, 0.0, 1, 0);
+  SimPipelineConfig cfg;
+  cfg.parsers = 4;
+  cfg.cpu_indexers = 1;
+  cfg.gpus = 0;
+  cfg.buffers_per_parser = 1;
+  const auto result = sim.simulate(runs, cfg);
+  // Total is pinned to the indexing stage: ~16 × 1 s.
+  EXPECT_NEAR(result.total_seconds, 16.0, 2.0);
+  // The parse stage cannot finish arbitrarily early because the window
+  // blocks it behind consumption.
+  EXPECT_GT(result.parse_stage_seconds, 10.0);
+}
+
+TEST(PipelineSim, GpuOffloadShortensRunIndexing) {
+  PipelineSimulator sim;
+  // CPU indexers take 1.0 s without GPUs; with GPUs the same records show
+  // CPU 0.6 s (popular only) and GPU 0.5 s — runs finish in max(0.6, 0.5).
+  const auto without_gpu = make_runs(16, 0.05, 1.0, 0.0, 2, 0);
+  const auto with_gpu = make_runs(16, 0.05, 0.6, 0.5, 2, 2);
+  SimPipelineConfig cfg;
+  cfg.parsers = 6;
+  cfg.cpu_indexers = 2;
+  cfg.gpus = 0;
+  const double t_cpu = sim.simulate(without_gpu, cfg).total_seconds;
+  cfg.gpus = 2;
+  const double t_het = sim.simulate(with_gpu, cfg).total_seconds;
+  EXPECT_LT(t_het, t_cpu * 0.75);
+}
+
+TEST(PipelineSim, TableIvAccountingSumsPerRun) {
+  PipelineSimulator sim;
+  const auto runs = make_runs(10, 0.05, 0.3, 0.2, 2, 2);
+  SimPipelineConfig cfg;
+  cfg.parsers = 6;
+  cfg.cpu_indexers = 2;
+  cfg.gpus = 2;
+  const auto result = sim.simulate(runs, cfg);
+  EXPECT_NEAR(result.pre_seconds, 10 * 0.01, 1e-6);
+  EXPECT_NEAR(result.indexing_seconds, 10 * 0.3, 1e-6);  // max(cpu 0.3, gpu 0.2)
+  EXPECT_NEAR(result.post_seconds, 10 * (0.01 + 0.02), 1e-6);
+  EXPECT_EQ(result.per_run_index_seconds.size(), 10u);
+  // Indexer stage ≥ sum of the three phases (waiting adds the rest).
+  EXPECT_GE(result.index_stage_seconds + 1e-9,
+            result.pre_seconds + result.indexing_seconds + result.post_seconds);
+  EXPECT_GT(result.throughput_mb_s(), 0.0);
+  EXPECT_GE(result.indexing_throughput_mb_s(), result.indexer_throughput_mb_s());
+}
+
+TEST(PipelineSim, CoreSpeedRatioRescalesCpuWork) {
+  PlatformModel slow;
+  slow.core_speed_ratio = 2.0;  // platform cores half as fast
+  PipelineSimulator fast_sim, slow_sim(slow);
+  const auto runs = make_runs(8, 0.5, 0.5, 0.0, 1, 0);
+  SimPipelineConfig cfg;
+  cfg.parsers = 2;
+  cfg.cpu_indexers = 1;
+  cfg.gpus = 0;
+  EXPECT_GT(slow_sim.simulate(runs, cfg).total_seconds,
+            fast_sim.simulate(runs, cfg).total_seconds * 1.5);
+}
+
+}  // namespace
+}  // namespace hetindex
