@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_positional.dir/bench_ablation_positional.cpp.o"
+  "CMakeFiles/bench_ablation_positional.dir/bench_ablation_positional.cpp.o.d"
+  "bench_ablation_positional"
+  "bench_ablation_positional.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_positional.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_thread_blocks.dir/bench_ablation_thread_blocks.cpp.o"
+  "CMakeFiles/bench_ablation_thread_blocks.dir/bench_ablation_thread_blocks.cpp.o.d"
+  "bench_ablation_thread_blocks"
+  "bench_ablation_thread_blocks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_thread_blocks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_trie_height.dir/bench_ablation_trie_height.cpp.o"
+  "CMakeFiles/bench_ablation_trie_height.dir/bench_ablation_trie_height.cpp.o.d"
+  "bench_ablation_trie_height"
+  "bench_ablation_trie_height.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_trie_height.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_merge_cost.dir/bench_merge_cost.cpp.o"
+  "CMakeFiles/bench_merge_cost.dir/bench_merge_cost.cpp.o.d"
+  "bench_merge_cost"
+  "bench_merge_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_merge_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_collections.dir/bench_table3_collections.cpp.o"
+  "CMakeFiles/bench_table3_collections.dir/bench_table3_collections.cpp.o.d"
+  "bench_table3_collections"
+  "bench_table3_collections.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_collections.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_collections.dir/bench_table6_collections.cpp.o"
+  "CMakeFiles/bench_table6_collections.dir/bench_table6_collections.cpp.o.d"
+  "bench_table6_collections"
+  "bench_table6_collections.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_collections.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

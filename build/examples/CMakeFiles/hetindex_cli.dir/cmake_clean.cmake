@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetindex_cli.dir/hetindex_cli.cpp.o"
+  "CMakeFiles/hetindex_cli.dir/hetindex_cli.cpp.o.d"
+  "hetindex_cli"
+  "hetindex_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetindex_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

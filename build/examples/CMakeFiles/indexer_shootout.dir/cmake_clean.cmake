@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/indexer_shootout.dir/indexer_shootout.cpp.o"
+  "CMakeFiles/indexer_shootout.dir/indexer_shootout.cpp.o.d"
+  "indexer_shootout"
+  "indexer_shootout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/indexer_shootout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

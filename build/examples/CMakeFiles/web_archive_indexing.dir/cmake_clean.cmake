@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/web_archive_indexing.dir/web_archive_indexing.cpp.o"
+  "CMakeFiles/web_archive_indexing.dir/web_archive_indexing.cpp.o.d"
+  "web_archive_indexing"
+  "web_archive_indexing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/web_archive_indexing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

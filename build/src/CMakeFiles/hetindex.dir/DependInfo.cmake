@@ -1,0 +1,55 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/baselines.cpp" "src/CMakeFiles/hetindex.dir/baseline/baselines.cpp.o" "gcc" "src/CMakeFiles/hetindex.dir/baseline/baselines.cpp.o.d"
+  "/root/repo/src/codec/front_coding.cpp" "src/CMakeFiles/hetindex.dir/codec/front_coding.cpp.o" "gcc" "src/CMakeFiles/hetindex.dir/codec/front_coding.cpp.o.d"
+  "/root/repo/src/codec/lz.cpp" "src/CMakeFiles/hetindex.dir/codec/lz.cpp.o" "gcc" "src/CMakeFiles/hetindex.dir/codec/lz.cpp.o.d"
+  "/root/repo/src/codec/posting_codecs.cpp" "src/CMakeFiles/hetindex.dir/codec/posting_codecs.cpp.o" "gcc" "src/CMakeFiles/hetindex.dir/codec/posting_codecs.cpp.o.d"
+  "/root/repo/src/core/hetindex.cpp" "src/CMakeFiles/hetindex.dir/core/hetindex.cpp.o" "gcc" "src/CMakeFiles/hetindex.dir/core/hetindex.cpp.o.d"
+  "/root/repo/src/corpus/container.cpp" "src/CMakeFiles/hetindex.dir/corpus/container.cpp.o" "gcc" "src/CMakeFiles/hetindex.dir/corpus/container.cpp.o.d"
+  "/root/repo/src/corpus/synthetic.cpp" "src/CMakeFiles/hetindex.dir/corpus/synthetic.cpp.o" "gcc" "src/CMakeFiles/hetindex.dir/corpus/synthetic.cpp.o.d"
+  "/root/repo/src/dict/btree.cpp" "src/CMakeFiles/hetindex.dir/dict/btree.cpp.o" "gcc" "src/CMakeFiles/hetindex.dir/dict/btree.cpp.o.d"
+  "/root/repo/src/dict/dictionary.cpp" "src/CMakeFiles/hetindex.dir/dict/dictionary.cpp.o" "gcc" "src/CMakeFiles/hetindex.dir/dict/dictionary.cpp.o.d"
+  "/root/repo/src/dict/trie_table.cpp" "src/CMakeFiles/hetindex.dir/dict/trie_table.cpp.o" "gcc" "src/CMakeFiles/hetindex.dir/dict/trie_table.cpp.o.d"
+  "/root/repo/src/gpusim/gpu_btree.cpp" "src/CMakeFiles/hetindex.dir/gpusim/gpu_btree.cpp.o" "gcc" "src/CMakeFiles/hetindex.dir/gpusim/gpu_btree.cpp.o.d"
+  "/root/repo/src/gpusim/simt.cpp" "src/CMakeFiles/hetindex.dir/gpusim/simt.cpp.o" "gcc" "src/CMakeFiles/hetindex.dir/gpusim/simt.cpp.o.d"
+  "/root/repo/src/index/indexer.cpp" "src/CMakeFiles/hetindex.dir/index/indexer.cpp.o" "gcc" "src/CMakeFiles/hetindex.dir/index/indexer.cpp.o.d"
+  "/root/repo/src/index/sampler.cpp" "src/CMakeFiles/hetindex.dir/index/sampler.cpp.o" "gcc" "src/CMakeFiles/hetindex.dir/index/sampler.cpp.o.d"
+  "/root/repo/src/mapreduce/mr_engine.cpp" "src/CMakeFiles/hetindex.dir/mapreduce/mr_engine.cpp.o" "gcc" "src/CMakeFiles/hetindex.dir/mapreduce/mr_engine.cpp.o.d"
+  "/root/repo/src/mapreduce/mr_indexers.cpp" "src/CMakeFiles/hetindex.dir/mapreduce/mr_indexers.cpp.o" "gcc" "src/CMakeFiles/hetindex.dir/mapreduce/mr_indexers.cpp.o.d"
+  "/root/repo/src/mapreduce/remote_lists.cpp" "src/CMakeFiles/hetindex.dir/mapreduce/remote_lists.cpp.o" "gcc" "src/CMakeFiles/hetindex.dir/mapreduce/remote_lists.cpp.o.d"
+  "/root/repo/src/parse/parsed_block.cpp" "src/CMakeFiles/hetindex.dir/parse/parsed_block.cpp.o" "gcc" "src/CMakeFiles/hetindex.dir/parse/parsed_block.cpp.o.d"
+  "/root/repo/src/parse/parser.cpp" "src/CMakeFiles/hetindex.dir/parse/parser.cpp.o" "gcc" "src/CMakeFiles/hetindex.dir/parse/parser.cpp.o.d"
+  "/root/repo/src/parse/read_scheduler.cpp" "src/CMakeFiles/hetindex.dir/parse/read_scheduler.cpp.o" "gcc" "src/CMakeFiles/hetindex.dir/parse/read_scheduler.cpp.o.d"
+  "/root/repo/src/pipeline/engine.cpp" "src/CMakeFiles/hetindex.dir/pipeline/engine.cpp.o" "gcc" "src/CMakeFiles/hetindex.dir/pipeline/engine.cpp.o.d"
+  "/root/repo/src/postings/boolean_ops.cpp" "src/CMakeFiles/hetindex.dir/postings/boolean_ops.cpp.o" "gcc" "src/CMakeFiles/hetindex.dir/postings/boolean_ops.cpp.o.d"
+  "/root/repo/src/postings/doc_map.cpp" "src/CMakeFiles/hetindex.dir/postings/doc_map.cpp.o" "gcc" "src/CMakeFiles/hetindex.dir/postings/doc_map.cpp.o.d"
+  "/root/repo/src/postings/merger.cpp" "src/CMakeFiles/hetindex.dir/postings/merger.cpp.o" "gcc" "src/CMakeFiles/hetindex.dir/postings/merger.cpp.o.d"
+  "/root/repo/src/postings/query.cpp" "src/CMakeFiles/hetindex.dir/postings/query.cpp.o" "gcc" "src/CMakeFiles/hetindex.dir/postings/query.cpp.o.d"
+  "/root/repo/src/postings/ranking.cpp" "src/CMakeFiles/hetindex.dir/postings/ranking.cpp.o" "gcc" "src/CMakeFiles/hetindex.dir/postings/ranking.cpp.o.d"
+  "/root/repo/src/postings/run_file.cpp" "src/CMakeFiles/hetindex.dir/postings/run_file.cpp.o" "gcc" "src/CMakeFiles/hetindex.dir/postings/run_file.cpp.o.d"
+  "/root/repo/src/postings/verify.cpp" "src/CMakeFiles/hetindex.dir/postings/verify.cpp.o" "gcc" "src/CMakeFiles/hetindex.dir/postings/verify.cpp.o.d"
+  "/root/repo/src/sim/pipeline_sim.cpp" "src/CMakeFiles/hetindex.dir/sim/pipeline_sim.cpp.o" "gcc" "src/CMakeFiles/hetindex.dir/sim/pipeline_sim.cpp.o.d"
+  "/root/repo/src/text/html_strip.cpp" "src/CMakeFiles/hetindex.dir/text/html_strip.cpp.o" "gcc" "src/CMakeFiles/hetindex.dir/text/html_strip.cpp.o.d"
+  "/root/repo/src/text/porter.cpp" "src/CMakeFiles/hetindex.dir/text/porter.cpp.o" "gcc" "src/CMakeFiles/hetindex.dir/text/porter.cpp.o.d"
+  "/root/repo/src/text/stopwords.cpp" "src/CMakeFiles/hetindex.dir/text/stopwords.cpp.o" "gcc" "src/CMakeFiles/hetindex.dir/text/stopwords.cpp.o.d"
+  "/root/repo/src/text/tokenizer.cpp" "src/CMakeFiles/hetindex.dir/text/tokenizer.cpp.o" "gcc" "src/CMakeFiles/hetindex.dir/text/tokenizer.cpp.o.d"
+  "/root/repo/src/util/binary_io.cpp" "src/CMakeFiles/hetindex.dir/util/binary_io.cpp.o" "gcc" "src/CMakeFiles/hetindex.dir/util/binary_io.cpp.o.d"
+  "/root/repo/src/util/crc32.cpp" "src/CMakeFiles/hetindex.dir/util/crc32.cpp.o" "gcc" "src/CMakeFiles/hetindex.dir/util/crc32.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "src/CMakeFiles/hetindex.dir/util/stats.cpp.o" "gcc" "src/CMakeFiles/hetindex.dir/util/stats.cpp.o.d"
+  "/root/repo/src/util/zipf.cpp" "src/CMakeFiles/hetindex.dir/util/zipf.cpp.o" "gcc" "src/CMakeFiles/hetindex.dir/util/zipf.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

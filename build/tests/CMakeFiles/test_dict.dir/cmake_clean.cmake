@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dict.dir/test_dict.cpp.o"
+  "CMakeFiles/test_dict.dir/test_dict.cpp.o.d"
+  "test_dict"
+  "test_dict.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dict.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

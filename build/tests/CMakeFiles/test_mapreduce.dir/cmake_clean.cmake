@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mapreduce.dir/test_mapreduce.cpp.o"
+  "CMakeFiles/test_mapreduce.dir/test_mapreduce.cpp.o.d"
+  "test_mapreduce"
+  "test_mapreduce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mapreduce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_positional.dir/test_positional.cpp.o"
+  "CMakeFiles/test_positional.dir/test_positional.cpp.o.d"
+  "test_positional"
+  "test_positional.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_positional.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_postings.dir/test_postings.cpp.o"
+  "CMakeFiles/test_postings.dir/test_postings.cpp.o.d"
+  "test_postings"
+  "test_postings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_postings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

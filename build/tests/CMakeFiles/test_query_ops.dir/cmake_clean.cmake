@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_query_ops.dir/test_query_ops.cpp.o"
+  "CMakeFiles/test_query_ops.dir/test_query_ops.cpp.o.d"
+  "test_query_ops"
+  "test_query_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_query_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
