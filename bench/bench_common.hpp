@@ -16,11 +16,10 @@
 #include <string>
 #include <vector>
 
-#include "corpus/container.hpp"
-#include "corpus/synthetic.hpp"
-#include "pipeline/engine.hpp"
+// The benches program against the public facade like any downstream tool;
+// binary_io stays an internal include (file-cache helpers, not index API).
+#include "core/hetindex.hpp"
 #include "util/binary_io.hpp"
-#include "util/stats.hpp"
 
 namespace hetindex::bench {
 

@@ -19,8 +19,6 @@
 #include <filesystem>
 
 #include "bench_common.hpp"
-#include "pipeline/engine.hpp"
-#include "sim/pipeline_sim.hpp"
 
 using namespace hetindex;
 using namespace hetindex::bench;

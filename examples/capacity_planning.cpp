@@ -13,8 +13,6 @@
 #include <filesystem>
 
 #include "core/hetindex.hpp"
-#include "corpus/synthetic.hpp"
-#include "sim/pipeline_sim.hpp"
 
 using namespace hetindex;
 

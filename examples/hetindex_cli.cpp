@@ -4,7 +4,8 @@
 ///
 ///   hetindex_cli generate <dir> [--preset clueweb|wikipedia|congress] [--mb N]
 ///   hetindex_cli build <corpus_dir> <index_dir> [--parsers N] [--cpus N]
-///                      [--gpus N] [--positions] [--merge]
+///                      [--gpus N] [--positions] [--merge] [--progress]
+///                      [--metrics] [--report-json <path>]
 ///   hetindex_cli query <index_dir> <term...>          (AND semantics)
 ///   hetindex_cli search <index_dir> <term...>         (BM25 top-10, with URLs)
 ///   hetindex_cli phrase <index_dir> <term...>         (adjacent positions)
@@ -14,16 +15,11 @@
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
+#include <fstream>
 #include <string>
 #include <vector>
 
 #include "core/hetindex.hpp"
-#include "corpus/synthetic.hpp"
-#include "postings/boolean_ops.hpp"
-#include "postings/doc_map.hpp"
-#include "postings/ranking.hpp"
-#include "postings/verify.hpp"
-#include "util/stats.hpp"
 
 using namespace hetindex;
 
@@ -34,7 +30,8 @@ int usage() {
                "usage: hetindex_cli <generate|build|query|phrase|stats|verify> ...\n"
                "  generate <dir> [--preset clueweb|wikipedia|congress] [--mb N]\n"
                "  build <corpus_dir> <index_dir> [--parsers N] [--cpus N] [--gpus N]\n"
-               "        [--positions] [--merge]\n"
+               "        [--positions] [--merge] [--progress] [--metrics]\n"
+               "        [--report-json <path>]\n"
                "  query <index_dir> <term...>\n"
                "  phrase <index_dir> <term...>\n"
                "  stats <index_dir>\n"
@@ -78,6 +75,8 @@ int cmd_build(int argc, char** argv) {
   const std::string index_dir = argv[1];
   IndexBuilder builder;
   builder.parsers(2).cpu_indexers(2).gpus(2);
+  bool dump_metrics = false;
+  std::string report_json_path;
   for (int i = 2; i < argc; ++i) {
     if (std::strcmp(argv[i], "--parsers") == 0 && i + 1 < argc) {
       builder.parsers(static_cast<std::size_t>(std::atoi(argv[++i])));
@@ -89,7 +88,28 @@ int cmd_build(int argc, char** argv) {
       builder.config().parser.record_positions = true;
     } else if (std::strcmp(argv[i], "--merge") == 0) {
       builder.merge_output(true);
+    } else if (std::strcmp(argv[i], "--progress") == 0) {
+      builder.progress([](const PipelineProgress& p) {
+        std::fprintf(stderr, "\rrun %llu/%llu  %llu docs  %.1f MB/s",
+                     static_cast<unsigned long long>(p.runs_completed),
+                     static_cast<unsigned long long>(p.files_total),
+                     static_cast<unsigned long long>(p.documents), p.throughput_mb_s());
+        if (p.runs_completed == p.files_total) std::fputc('\n', stderr);
+      });
+    } else if (std::strcmp(argv[i], "--metrics") == 0) {
+      dump_metrics = true;
+    } else if (std::strcmp(argv[i], "--report-json") == 0 && i + 1 < argc) {
+      report_json_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "unknown or incomplete option: %s\n", argv[i]);
+      return usage();
     }
+  }
+  // Refuse contradictory configurations up front with the full error list
+  // instead of aborting mid-build.
+  if (const auto errors = builder.validate(); !errors.empty()) {
+    for (const auto& e : errors) std::fprintf(stderr, "config error: %s\n", e.c_str());
+    return 2;
   }
   const auto files = corpus_files(corpus_dir);
   if (files.empty()) {
@@ -105,6 +125,16 @@ int cmd_build(int argc, char** argv) {
               report.total_seconds, report.throughput_mb_s(),
               static_cast<unsigned long long>(report.cpu_total().tokens),
               static_cast<unsigned long long>(report.gpu_total().tokens));
+  if (!report_json_path.empty()) {
+    std::ofstream out(report_json_path, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", report_json_path.c_str());
+      return 1;
+    }
+    out << report.to_json() << '\n';
+    std::printf("report written to %s\n", report_json_path.c_str());
+  }
+  if (dump_metrics) std::fputs(report.metrics.to_prometheus().c_str(), stdout);
   return 0;
 }
 

@@ -9,10 +9,7 @@
 
 #include <cstdio>
 
-#include "baseline/baselines.hpp"
-#include "corpus/synthetic.hpp"
-#include "mapreduce/mr_indexers.hpp"
-#include "mapreduce/remote_lists.hpp"
+#include "core/hetindex.hpp"
 
 using namespace hetindex;
 

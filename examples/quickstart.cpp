@@ -8,7 +8,6 @@
 #include <cstdio>
 
 #include "core/hetindex.hpp"
-#include "corpus/synthetic.hpp"
 
 int main(int argc, char** argv) {
   const std::string work_dir = argc > 1 ? argv[1] : "/tmp/hetindex_quickstart";
@@ -31,6 +30,16 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(report.tokens),
               static_cast<unsigned long long>(report.terms), report.total_seconds,
               report.throughput_mb_s());
+
+  // The report embeds a metrics snapshot (docs/OBSERVABILITY.md): stage
+  // times, queue depths and back-pressure stalls for diagnosing pipelines.
+  std::printf("observability: reorder window peaked at %lld blocks; "
+              "parsers stalled %.3f s on back-pressure\n",
+              static_cast<long long>(
+                  report.metrics.gauge("reorder_buffer_depth")
+                      ? report.metrics.gauge("reorder_buffer_depth")->max
+                      : 0),
+              report.metrics.time_seconds("reorder_buffer_producer_stall_seconds_total"));
 
   // 3. Query. Terms are normalized (lowercase + Porter stem) the same way
   //    the indexer normalized them. The synthetic vocabulary is random, so

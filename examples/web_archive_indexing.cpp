@@ -14,11 +14,6 @@
 #include <cstdio>
 
 #include "core/hetindex.hpp"
-#include "corpus/container.hpp"
-#include "corpus/synthetic.hpp"
-#include "index/sampler.hpp"
-#include "util/stats.hpp"
-#include "postings/merger.hpp"
 
 using namespace hetindex;
 

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Tier-1 verification: the plain Release build + full test suite, then the
+# threaded pipeline/observability tests again under ThreadSanitizer to
+# catch races introduced by metric emission from parser/indexer threads.
+#
+#   scripts/tier1.sh [--no-tsan]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+run_tsan=1
+[[ "${1:-}" == "--no-tsan" ]] && run_tsan=0
+
+cmake -B build -S .
+cmake --build build -j "$(nproc)"
+ctest --test-dir build --output-on-failure -j "$(nproc)"
+
+if [[ "$run_tsan" == 1 ]]; then
+  cmake -B build-tsan -S . -DHETINDEX_SANITIZE=thread \
+        -DHETINDEX_BUILD_BENCH=OFF -DHETINDEX_BUILD_EXAMPLES=OFF \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build build-tsan -j "$(nproc)" --target test_pipeline test_obs
+  ctest --test-dir build-tsan --output-on-failure -R '^(test_pipeline|test_obs)$'
+fi
+echo "tier1: OK"

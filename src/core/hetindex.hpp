@@ -7,6 +7,21 @@
 /// work splitting by term popularity, and per-run compressed postings
 /// output.
 ///
+/// Everything a downstream caller programs against is re-exported here;
+/// examples and tools include only this header. The surface is organised
+/// in five groups:
+///   Build        IndexBuilder, PipelineConfig (+validate()), PipelineEngine,
+///                PipelineReport / RunRecord, PipelineProgress
+///   Observe      obs::MetricsRegistry / MetricsSnapshot / StageSpan — live
+///                queue depths, stall times and per-stage rates
+///                (docs/OBSERVABILITY.md); PipelineReport::to_json()
+///   Query        InvertedIndex, boolean/phrase ops, BM25 ranking, DocMap,
+///                index verification, the run-file merger
+///   Corpus       container files, the synthetic collection generator, the
+///                sampling-based CPU/GPU work split
+///   Evaluate     the DES platform simulator plus the single-node and
+///                MapReduce baselines used by the paper's comparisons
+///
 /// Quick start:
 ///   hetindex::IndexBuilder builder;                 // paper defaults
 ///   auto report = builder.build(files, "out_dir");  // construct index
@@ -18,12 +33,44 @@
 #include <string_view>
 #include <vector>
 
+// Build.
 #include "pipeline/config.hpp"
 #include "pipeline/engine.hpp"
 #include "pipeline/report.hpp"
+
+// Observe.
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+
+// Query.
+#include "postings/boolean_ops.hpp"
+#include "postings/doc_map.hpp"
+#include "postings/merger.hpp"
 #include "postings/query.hpp"
+#include "postings/ranking.hpp"
+#include "postings/verify.hpp"
+
+// Corpus.
+#include "corpus/container.hpp"
+#include "corpus/synthetic.hpp"
+#include "index/sampler.hpp"
+
+// Evaluate.
+#include "baseline/baselines.hpp"
+#include "mapreduce/mr_indexers.hpp"
+#include "mapreduce/remote_lists.hpp"
+#include "sim/pipeline_sim.hpp"
+
+// Formatting helpers shared by the CLI/bench output.
+#include "util/stats.hpp"
 
 namespace hetindex {
+
+// Observability types, promoted out of the obs:: sub-namespace for
+// downstream ergonomics.
+using obs::MetricsRegistry;
+using obs::MetricsSnapshot;
+using obs::StageSpan;
 
 /// Applies the parser's term normalization (lowercase, Porter stem) to a
 /// query string so lookups match indexed terms.
@@ -56,7 +103,15 @@ class IndexBuilder {
     config_.merge_after_build = merge;
     return *this;
   }
+  /// Live-progress hook, called after every completed single run.
+  IndexBuilder& progress(std::function<void(const PipelineProgress&)> callback) {
+    config_.progress = std::move(callback);
+    return *this;
+  }
   [[nodiscard]] PipelineConfig& config() { return config_; }
+
+  /// Configuration problems that would make build() abort; empty == valid.
+  [[nodiscard]] std::vector<std::string> validate() const { return config_.validate(); }
 
   /// Builds inverted files for the container files under `output_dir`.
   PipelineReport build(const std::vector<std::string>& files, const std::string& output_dir);
@@ -68,7 +123,7 @@ class IndexBuilder {
 /// Library version.
 struct Version {
   static constexpr int major = 1;
-  static constexpr int minor = 0;
+  static constexpr int minor = 1;
   static constexpr int patch = 0;
 };
 std::string version_string();

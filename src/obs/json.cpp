@@ -1,0 +1,229 @@
+#include "obs/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace hetindex::obs {
+
+void json_append_string(std::string& out, std::string_view raw) {
+  out.push_back('"');
+  for (const char c : raw) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+std::string json_number(double value) {
+  if (!std::isfinite(value)) return "null";
+  char buf[32];
+  // %.17g is exact for doubles; prefer the shorter %.15g when it round-trips.
+  std::snprintf(buf, sizeof buf, "%.15g", value);
+  if (std::strtod(buf, nullptr) != value) std::snprintf(buf, sizeof buf, "%.17g", value);
+  return buf;
+}
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  for (const auto& [k, v] : object) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  std::optional<JsonValue> parse_document() {
+    JsonValue v;
+    if (!parse_value(v)) return std::nullopt;
+    skip_ws();
+    if (pos_ != text_.size()) return std::nullopt;  // trailing garbage
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool consume(char c) {
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) == word) {
+      pos_ += word.size();
+      return true;
+    }
+    return false;
+  }
+
+  bool parse_string(std::string& out) {
+    if (!consume('"')) return false;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return false;
+        const char e = text_[pos_++];
+        switch (e) {
+          case '"': out.push_back('"'); break;
+          case '\\': out.push_back('\\'); break;
+          case '/': out.push_back('/'); break;
+          case 'b': out.push_back('\b'); break;
+          case 'f': out.push_back('\f'); break;
+          case 'n': out.push_back('\n'); break;
+          case 'r': out.push_back('\r'); break;
+          case 't': out.push_back('\t'); break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) return false;
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = text_[pos_++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') code += static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') code += static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') code += static_cast<unsigned>(h - 'A' + 10);
+              else return false;
+            }
+            // The writers only emit \u for control characters; decode BMP
+            // code points as UTF-8 and reject surrogates.
+            if (code >= 0xD800 && code <= 0xDFFF) return false;
+            if (code < 0x80) {
+              out.push_back(static_cast<char>(code));
+            } else if (code < 0x800) {
+              out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+              out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            } else {
+              out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+              out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+              out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            }
+            break;
+          }
+          default: return false;
+        }
+      } else {
+        out.push_back(c);
+      }
+    }
+    return false;  // unterminated
+  }
+
+  bool parse_value(JsonValue& out) {
+    skip_ws();
+    if (pos_ >= text_.size()) return false;
+    const char c = text_[pos_];
+    if (c == '{') return parse_object(out);
+    if (c == '[') return parse_array(out);
+    if (c == '"') {
+      out.kind = JsonValue::Kind::kString;
+      return parse_string(out.str);
+    }
+    if (c == 't') {
+      out.kind = JsonValue::Kind::kBool;
+      out.boolean = true;
+      return literal("true");
+    }
+    if (c == 'f') {
+      out.kind = JsonValue::Kind::kBool;
+      out.boolean = false;
+      return literal("false");
+    }
+    if (c == 'n') {
+      out.kind = JsonValue::Kind::kNull;
+      return literal("null");
+    }
+    return parse_number(out);
+  }
+
+  bool parse_number(JsonValue& out) {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E' || text_[pos_] == '+' ||
+            text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return false;
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    out.number = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) return false;
+    out.kind = JsonValue::Kind::kNumber;
+    return true;
+  }
+
+  bool parse_array(JsonValue& out) {
+    out.kind = JsonValue::Kind::kArray;
+    if (!consume('[')) return false;
+    skip_ws();
+    if (consume(']')) return true;
+    while (true) {
+      JsonValue element;
+      if (!parse_value(element)) return false;
+      out.array.push_back(std::move(element));
+      if (consume(']')) return true;
+      if (!consume(',')) return false;
+    }
+  }
+
+  bool parse_object(JsonValue& out) {
+    out.kind = JsonValue::Kind::kObject;
+    if (!consume('{')) return false;
+    skip_ws();
+    if (consume('}')) return true;
+    while (true) {
+      skip_ws();
+      std::string key;
+      if (!parse_string(key)) return false;
+      if (!consume(':')) return false;
+      JsonValue value;
+      if (!parse_value(value)) return false;
+      out.object.emplace_back(std::move(key), std::move(value));
+      if (consume('}')) return true;
+      if (!consume(',')) return false;
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::optional<JsonValue> json_parse(std::string_view text) {
+  return Parser(text).parse_document();
+}
+
+}  // namespace hetindex::obs

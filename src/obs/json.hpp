@@ -1,0 +1,48 @@
+#pragma once
+/// \file json.hpp
+/// Minimal JSON support for the observability exports: an append-style
+/// writer helper plus a small recursive-descent parser. The parser exists
+/// so tests (and downstream tooling) can round-trip the reports without an
+/// external dependency; it accepts the subset the writers emit (objects,
+/// arrays, strings, finite numbers, booleans, null) which is also plain
+/// standard JSON.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace hetindex::obs {
+
+/// Appends `raw` to `out` as a quoted JSON string with escaping.
+void json_append_string(std::string& out, std::string_view raw);
+
+/// Shortest round-trippable rendering of a finite double ("%.17g" trimmed);
+/// NaN/inf render as null per JSON's number grammar.
+std::string json_number(double value);
+
+/// Parsed JSON document. Object member order is preserved.
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0;
+  std::string str;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  /// First member with the given key, or nullptr (objects only).
+  [[nodiscard]] const JsonValue* find(std::string_view key) const;
+  [[nodiscard]] bool is_number() const { return kind == Kind::kNumber; }
+  [[nodiscard]] bool is_object() const { return kind == Kind::kObject; }
+  [[nodiscard]] bool is_array() const { return kind == Kind::kArray; }
+};
+
+/// Parses a complete JSON document; nullopt on any syntax error or
+/// trailing garbage.
+std::optional<JsonValue> json_parse(std::string_view text);
+
+}  // namespace hetindex::obs

@@ -1,0 +1,234 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "obs/json.hpp"
+
+namespace hetindex::obs {
+
+struct MetricsRegistry::Instruments {
+  // Node-based maps: element addresses are stable across registration, so
+  // the references handed out stay valid while the registry lives.
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters;
+  std::map<std::string, std::unique_ptr<TimeCounter>, std::less<>> times;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges;
+  std::map<std::string, std::unique_ptr<Stat>, std::less<>> stats;
+  std::map<std::string, std::unique_ptr<Histo>, std::less<>> histograms;
+};
+
+MetricsRegistry::MetricsRegistry() : instruments_(std::make_unique<Instruments>()) {}
+
+MetricsRegistry::~MetricsRegistry() = default;
+
+namespace {
+template <typename Map, typename Make>
+auto& get_or_create(Map& map, std::string_view name, Make make) {
+  auto it = map.find(name);
+  if (it == map.end()) it = map.emplace(std::string(name), make()).first;
+  return *it->second;
+}
+}  // namespace
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  std::scoped_lock lock(mu_);
+  return get_or_create(instruments_->counters, name,
+                       [] { return std::make_unique<Counter>(); });
+}
+
+TimeCounter& MetricsRegistry::time_counter(std::string_view name) {
+  std::scoped_lock lock(mu_);
+  return get_or_create(instruments_->times, name,
+                       [] { return std::make_unique<TimeCounter>(); });
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  std::scoped_lock lock(mu_);
+  return get_or_create(instruments_->gauges, name,
+                       [] { return std::make_unique<Gauge>(); });
+}
+
+Stat& MetricsRegistry::stat(std::string_view name) {
+  std::scoped_lock lock(mu_);
+  return get_or_create(instruments_->stats, name,
+                       [] { return std::make_unique<Stat>(); });
+}
+
+Histo& MetricsRegistry::histogram(std::string_view name, double lo, double hi,
+                                  std::size_t buckets) {
+  std::scoped_lock lock(mu_);
+  return get_or_create(instruments_->histograms, name,
+                       [&] { return std::make_unique<Histo>(lo, hi, buckets); });
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot snap;
+  std::scoped_lock lock(mu_);
+  snap.counters.reserve(instruments_->counters.size());
+  for (const auto& [name, c] : instruments_->counters) {
+    snap.counters.push_back({name, c->value()});
+  }
+  snap.times.reserve(instruments_->times.size());
+  for (const auto& [name, t] : instruments_->times) {
+    snap.times.push_back({name, t->value()});
+  }
+  snap.gauges.reserve(instruments_->gauges.size());
+  for (const auto& [name, g] : instruments_->gauges) {
+    snap.gauges.push_back({name, g->value(), g->max()});
+  }
+  snap.stats.reserve(instruments_->stats.size());
+  for (const auto& [name, s] : instruments_->stats) {
+    const OnlineStats st = s->value();
+    snap.stats.push_back(
+        {name, st.count(), st.sum(), st.mean(), st.min(), st.max(), st.variance()});
+  }
+  snap.histograms.reserve(instruments_->histograms.size());
+  for (const auto& [name, h] : instruments_->histograms) {
+    const Histogram hist = h->value();
+    MetricsSnapshot::HistoValue hv;
+    hv.name = name;
+    hv.lo = h->lo();
+    hv.hi = h->hi();
+    hv.total = hist.total();
+    hv.counts.reserve(hist.buckets());
+    for (std::size_t i = 0; i < hist.buckets(); ++i) hv.counts.push_back(hist.bucket_count(i));
+    snap.histograms.push_back(std::move(hv));
+  }
+  return snap;
+}
+
+namespace {
+template <typename Vec>
+auto find_by_name(const Vec& v, std::string_view name) -> const typename Vec::value_type* {
+  const auto it = std::lower_bound(v.begin(), v.end(), name,
+                                   [](const auto& e, std::string_view n) { return e.name < n; });
+  return it != v.end() && it->name == name ? &*it : nullptr;
+}
+}  // namespace
+
+std::uint64_t MetricsSnapshot::counter(std::string_view name) const {
+  const auto* e = find_by_name(counters, name);
+  return e != nullptr ? e->value : 0;
+}
+
+double MetricsSnapshot::time_seconds(std::string_view name) const {
+  const auto* e = find_by_name(times, name);
+  return e != nullptr ? e->seconds : 0.0;
+}
+
+const MetricsSnapshot::GaugeValue* MetricsSnapshot::gauge(std::string_view name) const {
+  return find_by_name(gauges, name);
+}
+
+const MetricsSnapshot::StatValue* MetricsSnapshot::stat(std::string_view name) const {
+  return find_by_name(stats, name);
+}
+
+std::string MetricsSnapshot::to_json() const {
+  std::string out;
+  out.reserve(1024);
+  auto object = [&out](const char* key, auto&& body) {
+    json_append_string(out, key);
+    out += ":{";
+    body();
+    out += "}";
+  };
+  out += "{";
+  object("counters", [&] {
+    for (std::size_t i = 0; i < counters.size(); ++i) {
+      if (i) out += ",";
+      json_append_string(out, counters[i].name);
+      out += ":" + std::to_string(counters[i].value);
+    }
+  });
+  out += ",";
+  object("time_counters", [&] {
+    for (std::size_t i = 0; i < times.size(); ++i) {
+      if (i) out += ",";
+      json_append_string(out, times[i].name);
+      out += ":" + json_number(times[i].seconds);
+    }
+  });
+  out += ",";
+  object("gauges", [&] {
+    for (std::size_t i = 0; i < gauges.size(); ++i) {
+      if (i) out += ",";
+      json_append_string(out, gauges[i].name);
+      out += ":{\"value\":" + std::to_string(gauges[i].value) +
+             ",\"max\":" + std::to_string(gauges[i].max) + "}";
+    }
+  });
+  out += ",";
+  object("stats", [&] {
+    for (std::size_t i = 0; i < stats.size(); ++i) {
+      if (i) out += ",";
+      const auto& s = stats[i];
+      json_append_string(out, s.name);
+      out += ":{\"count\":" + std::to_string(s.count) + ",\"sum\":" + json_number(s.sum) +
+             ",\"mean\":" + json_number(s.mean) + ",\"min\":" + json_number(s.min) +
+             ",\"max\":" + json_number(s.max) + ",\"variance\":" + json_number(s.variance) +
+             "}";
+    }
+  });
+  out += ",";
+  object("histograms", [&] {
+    for (std::size_t i = 0; i < histograms.size(); ++i) {
+      if (i) out += ",";
+      const auto& h = histograms[i];
+      json_append_string(out, h.name);
+      out += ":{\"lo\":" + json_number(h.lo) + ",\"hi\":" + json_number(h.hi) +
+             ",\"total\":" + std::to_string(h.total) + ",\"counts\":[";
+      for (std::size_t b = 0; b < h.counts.size(); ++b) {
+        if (b) out += ",";
+        out += std::to_string(h.counts[b]);
+      }
+      out += "]}";
+    }
+  });
+  out += "}";
+  return out;
+}
+
+std::string MetricsSnapshot::to_prometheus(std::string_view prefix) const {
+  std::string out;
+  out.reserve(1024);
+  const std::string p = std::string(prefix) + "_";
+  for (const auto& c : counters) {
+    out += "# TYPE " + p + c.name + " counter\n";
+    out += p + c.name + " " + std::to_string(c.value) + "\n";
+  }
+  for (const auto& t : times) {
+    out += "# TYPE " + p + t.name + " counter\n";
+    out += p + t.name + " " + json_number(t.seconds) + "\n";
+  }
+  for (const auto& g : gauges) {
+    out += "# TYPE " + p + g.name + " gauge\n";
+    out += p + g.name + " " + std::to_string(g.value) + "\n";
+    out += "# TYPE " + p + g.name + "_max gauge\n";
+    out += p + g.name + "_max " + std::to_string(g.max) + "\n";
+  }
+  for (const auto& s : stats) {
+    out += "# TYPE " + p + s.name + " summary\n";
+    out += p + s.name + "_count " + std::to_string(s.count) + "\n";
+    out += p + s.name + "_sum " + json_number(s.sum) + "\n";
+    out += p + s.name + "_min " + json_number(s.min) + "\n";
+    out += p + s.name + "_max " + json_number(s.max) + "\n";
+  }
+  for (const auto& h : histograms) {
+    out += "# TYPE " + p + h.name + " histogram\n";
+    const double width =
+        h.counts.empty() ? 0.0 : (h.hi - h.lo) / static_cast<double>(h.counts.size());
+    std::uint64_t cumulative = 0;
+    for (std::size_t b = 0; b < h.counts.size(); ++b) {
+      cumulative += h.counts[b];
+      const double le = h.lo + width * static_cast<double>(b + 1);
+      out += p + h.name + "_bucket{le=\"" +
+             (b + 1 == h.counts.size() ? "+Inf" : json_number(le)) + "\"} " +
+             std::to_string(cumulative) + "\n";
+    }
+    out += p + h.name + "_count " + std::to_string(h.total) + "\n";
+  }
+  return out;
+}
+
+}  // namespace hetindex::obs

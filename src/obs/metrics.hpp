@@ -1,0 +1,247 @@
+#pragma once
+/// \file metrics.hpp
+/// Pipeline observability: a lightweight, thread-safe metrics subsystem.
+/// The Fig. 9 dataflow (sampler → serialized disk reads → M parsers →
+/// reorder buffer → CPU/GPU indexers → run-file flush → merger) emits into
+/// one MetricsRegistry per PipelineEngine, giving a live view of queue
+/// depths, back-pressure stalls and per-stage rates that the coarse
+/// end-of-build PipelineReport cannot provide. Instruments are created
+/// once (get-or-create by name, stable addresses) and then updated
+/// lock-free (counters/gauges) or under a tiny per-instrument mutex
+/// (stats/histograms), so emission from parser threads is cheap enough to
+/// stay enabled in production builds.
+///
+/// Instrument kinds:
+///   Counter      monotonically increasing uint64 (events, bytes, docs)
+///   TimeCounter  monotonically increasing double seconds (stage time)
+///   Gauge        instantaneous int64 level plus high-watermark (queue depth)
+///   Stat         per-sample OnlineStats (per-run stage seconds)
+///   Histo        fixed-bucket Histogram (per-run throughput profile)
+///
+/// StageSpan is the RAII timer that attributes wall time to a TimeCounter
+/// (and optionally a per-run Stat) on scope exit; stop() returns the
+/// elapsed seconds so the same measurement also feeds RunRecords.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/stats.hpp"
+#include "util/timer.hpp"
+
+namespace hetindex::obs {
+
+/// Monotonically increasing event/byte counter. All updates are relaxed
+/// atomics: totals are exact once the emitting threads are joined, and
+/// monotone at any instant in between.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  [[nodiscard]] std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Monotonically increasing seconds counter (CAS loop: atomic<double>
+/// fetch_add is C++20 but not guaranteed lock-free everywhere).
+class TimeCounter {
+ public:
+  void add(double seconds) {
+    double cur = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(cur, cur + seconds, std::memory_order_relaxed)) {
+    }
+  }
+  [[nodiscard]] double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Instantaneous level with a high-watermark (queue depths, in-flight runs).
+class Gauge {
+ public:
+  void set(std::int64_t x) {
+    value_.store(x, std::memory_order_relaxed);
+    raise_max(x);
+  }
+  void add(std::int64_t d) {
+    raise_max(value_.fetch_add(d, std::memory_order_relaxed) + d);
+  }
+  [[nodiscard]] std::int64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::int64_t max() const { return max_.load(std::memory_order_relaxed); }
+
+ private:
+  void raise_max(std::int64_t x) {
+    std::int64_t m = max_.load(std::memory_order_relaxed);
+    while (x > m && !max_.compare_exchange_weak(m, x, std::memory_order_relaxed)) {
+    }
+  }
+  std::atomic<std::int64_t> value_{0};
+  std::atomic<std::int64_t> max_{0};
+};
+
+/// Per-sample statistics (mean/min/max/variance) behind a mutex — used for
+/// per-run samples (a few per second), never per-token paths.
+class Stat {
+ public:
+  void add(double x) {
+    std::scoped_lock lock(mu_);
+    stats_.add(x);
+  }
+  [[nodiscard]] OnlineStats value() const {
+    std::scoped_lock lock(mu_);
+    return stats_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  OnlineStats stats_;
+};
+
+/// Thread-safe fixed-bucket histogram (see util/stats.hpp Histogram).
+class Histo {
+ public:
+  Histo(double lo, double hi, std::size_t buckets) : hist_(lo, hi, buckets), lo_(lo), hi_(hi) {}
+  void add(double x) {
+    std::scoped_lock lock(mu_);
+    hist_.add(x);
+  }
+  [[nodiscard]] Histogram value() const {
+    std::scoped_lock lock(mu_);
+    return hist_;
+  }
+  [[nodiscard]] double lo() const { return lo_; }
+  [[nodiscard]] double hi() const { return hi_; }
+
+ private:
+  mutable std::mutex mu_;
+  Histogram hist_;
+  double lo_, hi_;
+};
+
+/// A consistent point-in-time copy of every registered instrument, sorted
+/// by name within each kind. This is the exchange format: PipelineReport
+/// embeds one, and both JSON and Prometheus text render from it.
+struct MetricsSnapshot {
+  struct CounterValue {
+    std::string name;
+    std::uint64_t value = 0;
+  };
+  struct TimeValue {
+    std::string name;
+    double seconds = 0;
+  };
+  struct GaugeValue {
+    std::string name;
+    std::int64_t value = 0;
+    std::int64_t max = 0;
+  };
+  struct StatValue {
+    std::string name;
+    std::uint64_t count = 0;
+    double sum = 0, mean = 0, min = 0, max = 0, variance = 0;
+  };
+  struct HistoValue {
+    std::string name;
+    double lo = 0, hi = 0;
+    std::uint64_t total = 0;
+    std::vector<std::uint64_t> counts;
+  };
+
+  std::vector<CounterValue> counters;
+  std::vector<TimeValue> times;
+  std::vector<GaugeValue> gauges;
+  std::vector<StatValue> stats;
+  std::vector<HistoValue> histograms;
+
+  /// Lookup helpers; absent names read as zero so callers need no branches.
+  [[nodiscard]] std::uint64_t counter(std::string_view name) const;
+  [[nodiscard]] double time_seconds(std::string_view name) const;
+  [[nodiscard]] const GaugeValue* gauge(std::string_view name) const;
+  [[nodiscard]] const StatValue* stat(std::string_view name) const;
+
+  /// JSON object {"counters":{...},"time_counters":{...},"gauges":{...},
+  /// "stats":{...},"histograms":{...}} — schema in docs/OBSERVABILITY.md.
+  [[nodiscard]] std::string to_json() const;
+  /// Prometheus text exposition (counters as <prefix>_<name>, gauges also
+  /// emit a _max series, stats emit _count/_sum/_min/_max, histograms emit
+  /// cumulative _bucket{le="..."} series).
+  [[nodiscard]] std::string to_prometheus(std::string_view prefix = "hetindex") const;
+};
+
+/// Named instrument registry. Get-or-create accessors are thread-safe and
+/// return references that stay valid for the registry's lifetime, so hot
+/// paths resolve names once and then touch only the instrument.
+class MetricsRegistry {
+ public:
+  MetricsRegistry();
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+  ~MetricsRegistry();
+
+  Counter& counter(std::string_view name);
+  TimeCounter& time_counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Stat& stat(std::string_view name);
+  /// Bucket geometry is fixed by the first call for a given name.
+  Histo& histogram(std::string_view name, double lo, double hi, std::size_t buckets);
+
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+  [[nodiscard]] std::string to_json() const { return snapshot().to_json(); }
+  [[nodiscard]] std::string to_prometheus(std::string_view prefix = "hetindex") const {
+    return snapshot().to_prometheus(prefix);
+  }
+
+ private:
+  struct Instruments;  // name→unique_ptr maps, one per kind
+  mutable std::mutex mu_;  // guards registration and snapshot iteration only
+  std::unique_ptr<Instruments> instruments_;
+};
+
+/// RAII wall-clock span feeding a TimeCounter total and optionally a
+/// per-sample Stat. stop() is idempotent and returns the measured seconds,
+/// so one measurement serves both the registry and a RunRecord field.
+class StageSpan {
+ public:
+  explicit StageSpan(TimeCounter* total, Stat* per_sample = nullptr)
+      : total_(total), per_sample_(per_sample) {}
+  StageSpan(const StageSpan&) = delete;
+  StageSpan& operator=(const StageSpan&) = delete;
+  ~StageSpan() { stop(); }
+
+  double stop() {
+    if (!stopped_) {
+      stopped_ = true;
+      seconds_ = timer_.seconds();
+      if (total_ != nullptr) total_->add(seconds_);
+      if (per_sample_ != nullptr) per_sample_->add(seconds_);
+    }
+    return seconds_;
+  }
+
+ private:
+  TimeCounter* total_;
+  Stat* per_sample_;
+  WallTimer timer_;
+  bool stopped_ = false;
+  double seconds_ = 0;
+};
+
+/// Optional instrumentation hooks for the bounded queues / reorder buffer.
+/// All pointers may be null; a default-constructed probe is a no-op.
+struct QueueProbe {
+  Gauge* depth = nullptr;                      ///< items currently queued
+  TimeCounter* producer_stall_seconds = nullptr;  ///< time producers blocked
+  TimeCounter* consumer_stall_seconds = nullptr;  ///< time consumers blocked
+};
+
+}  // namespace hetindex::obs

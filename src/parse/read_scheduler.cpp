@@ -16,8 +16,11 @@ std::optional<ScheduledRead> ReadScheduler::next() {
     // holding the disk. The container's uncompressed header carries the
     // doc count, so the global doc-ID base is assigned here, in file
     // order; decompression happens outside so other parsers can start
-    // their reads (§IV.A scheme 2).
-    std::scoped_lock disk(disk_mutex_);
+    // their reads (§IV.A scheme 2). The time spent queueing for the disk
+    // is the parser-side back-pressure signal surfaced by the metrics.
+    WallTimer wait_timer;
+    std::unique_lock disk(disk_mutex_);
+    result.disk_wait_seconds = wait_timer.seconds();
     {
       std::scoped_lock state(state_mutex_);
       if (next_file_ >= files_.size()) return std::nullopt;

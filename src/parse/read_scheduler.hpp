@@ -26,6 +26,7 @@ struct ScheduledRead {
   std::uint64_t compressed_bytes = 0;
   std::uint64_t uncompressed_bytes = 0;
   double read_seconds = 0;        ///< time inside the serialized disk section
+  double disk_wait_seconds = 0;   ///< time blocked waiting for the disk turn
   double decompress_seconds = 0;  ///< in-memory decompression (parallel)
 };
 

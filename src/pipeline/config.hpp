@@ -2,10 +2,12 @@
 /// \file config.hpp
 /// Pipeline configuration: the knobs of Fig. 9/10 — number of parallel
 /// parsers (M), CPU indexers (N1), GPUs (N2) — plus output and ablation
-/// options.
+/// options, configuration validation, and the live-progress hook.
 
 #include <cstddef>
+#include <functional>
 #include <string>
+#include <vector>
 
 #include "codec/posting_codecs.hpp"
 #include "gpusim/gpu_spec.hpp"
@@ -13,6 +15,23 @@
 #include "parse/parser.hpp"
 
 namespace hetindex {
+
+/// Live build progress handed to PipelineConfig::progress after every
+/// completed single run (Fig. 8). All fields are cumulative.
+struct PipelineProgress {
+  std::uint64_t runs_completed = 0;
+  std::uint64_t files_total = 0;  ///< container files in the collection
+  std::uint64_t documents = 0;
+  std::uint64_t tokens = 0;
+  std::uint64_t source_bytes = 0;  ///< uncompressed input indexed so far
+  double elapsed_seconds = 0;
+
+  [[nodiscard]] double throughput_mb_s() const {
+    return elapsed_seconds > 0
+               ? static_cast<double>(source_bytes) / (1024.0 * 1024.0) / elapsed_seconds
+               : 0.0;
+  }
+};
 
 struct PipelineConfig {
   /// M parallel parsers (paper's optimum on 8 cores: 6).
@@ -36,6 +55,16 @@ struct PipelineConfig {
   ParserConfig parser{};
   /// Where run files, dictionary and directory are written.
   std::string output_dir = "hetindex_out";
+  /// Optional live-progress hook, invoked from the indexing thread after
+  /// every completed single run. Keep it cheap; it runs on the hot path.
+  std::function<void(const PipelineProgress&)> progress;
+
+  /// Checks the configuration for contradictions a build cannot survive
+  /// (zero parsers, zero indexers, zero back-pressure buffers, GPUs with
+  /// zero thread blocks, a degenerate sampler, an empty output dir).
+  /// Returns one descriptive message per problem; empty means valid.
+  /// PipelineEngine::build() calls this first and refuses invalid configs.
+  [[nodiscard]] std::vector<std::string> validate() const;
 };
 
 }  // namespace hetindex

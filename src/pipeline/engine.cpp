@@ -4,6 +4,7 @@
 #include <thread>
 
 #include "index/indexer.hpp"
+#include "obs/metrics.hpp"
 #include "parse/read_scheduler.hpp"
 #include "pipeline/reorder_buffer.hpp"
 #include "postings/doc_map.hpp"
@@ -66,6 +67,68 @@ Ownership assign_collections(const WorkSplit& split, std::size_t n_cpu, std::siz
   return own;
 }
 
+/// The engine-wide instrument handles, resolved once per build so hot
+/// paths never touch the registry's name map. Names and units are
+/// documented in docs/OBSERVABILITY.md.
+struct PipelineInstruments {
+  explicit PipelineInstruments(obs::MetricsRegistry& m)
+      : documents(m.counter("pipeline_documents_total")),
+        tokens(m.counter("pipeline_tokens_total")),
+        postings(m.counter("pipeline_postings_total")),
+        source_bytes(m.counter("pipeline_source_bytes_total")),
+        compressed_bytes(m.counter("pipeline_compressed_bytes_total")),
+        payload_bytes(m.counter("pipeline_payload_bytes_total")),
+        runs(m.counter("pipeline_runs_total")),
+        files_read(m.counter("parse_files_read_total")),
+        sampling_seconds(m.time_counter("stage_sampling_seconds_total")),
+        read_seconds(m.time_counter("stage_read_seconds_total")),
+        disk_wait_seconds(m.time_counter("stage_disk_wait_seconds_total")),
+        decompress_seconds(m.time_counter("stage_decompress_seconds_total")),
+        parse_seconds(m.time_counter("stage_parse_seconds_total")),
+        cpu_index_seconds(m.time_counter("stage_cpu_index_seconds_total")),
+        gpu_index_seconds(m.time_counter("stage_gpu_index_seconds_total")),
+        flush_seconds(m.time_counter("stage_flush_seconds_total")),
+        dict_combine_seconds(m.time_counter("stage_dict_combine_seconds_total")),
+        dict_write_seconds(m.time_counter("stage_dict_write_seconds_total")),
+        merge_seconds(m.time_counter("stage_merge_seconds_total")),
+        run_parse(m.stat("run_parse_seconds")),
+        run_index(m.stat("run_index_seconds")),
+        run_flush(m.stat("run_flush_seconds")),
+        run_throughput(m.histogram("run_throughput_mb_s", 0.0, 512.0, 32)),
+        dictionary_terms(m.gauge("dictionary_terms")),
+        popular_collections(m.gauge("sampler_popular_collections")),
+        reorder_probe{&m.gauge("reorder_buffer_depth"),
+                      &m.time_counter("reorder_buffer_producer_stall_seconds_total"),
+                      &m.time_counter("reorder_buffer_consumer_stall_seconds_total")} {}
+
+  obs::Counter& documents;
+  obs::Counter& tokens;
+  obs::Counter& postings;
+  obs::Counter& source_bytes;
+  obs::Counter& compressed_bytes;
+  obs::Counter& payload_bytes;
+  obs::Counter& runs;
+  obs::Counter& files_read;
+  obs::TimeCounter& sampling_seconds;
+  obs::TimeCounter& read_seconds;
+  obs::TimeCounter& disk_wait_seconds;
+  obs::TimeCounter& decompress_seconds;
+  obs::TimeCounter& parse_seconds;
+  obs::TimeCounter& cpu_index_seconds;
+  obs::TimeCounter& gpu_index_seconds;
+  obs::TimeCounter& flush_seconds;
+  obs::TimeCounter& dict_combine_seconds;
+  obs::TimeCounter& dict_write_seconds;
+  obs::TimeCounter& merge_seconds;
+  obs::Stat& run_parse;
+  obs::Stat& run_index;
+  obs::Stat& run_flush;
+  obs::Histo& run_throughput;
+  obs::Gauge& dictionary_terms;
+  obs::Gauge& popular_collections;
+  obs::QueueProbe reorder_probe;
+};
+
 }  // namespace
 
 PipelineEngine::PipelineEngine(PipelineConfig config) : config_(std::move(config)) {
@@ -73,14 +136,26 @@ PipelineEngine::PipelineEngine(PipelineConfig config) : config_(std::move(config
 }
 
 PipelineReport PipelineEngine::build(const std::vector<std::string>& files) {
+  {
+    const auto errors = config_.validate();
+    if (!errors.empty()) {
+      std::string joined = "invalid PipelineConfig:";
+      for (const auto& e : errors) joined += "\n  - " + e;
+      HET_CHECK_MSG(false, joined.c_str());
+    }
+  }
+
   PipelineReport report;
   report.config = config_;
   std::filesystem::create_directories(config_.output_dir);
+  PipelineInstruments ins(metrics_);
   WallTimer total_timer;
 
   // ---- Sampling phase (Table VI "Sampling Time").
   const WorkSplit split = sample_and_split(files, config_.sampler);
   report.sampling_seconds = split.sampling_seconds;
+  ins.sampling_seconds.add(split.sampling_seconds);
+  ins.popular_collections.set(static_cast<std::int64_t>(split.popular.size()));
 
   // ---- Dictionary + stores, one shard per indexer.
   const std::size_t n_cpu = config_.cpu_indexers;
@@ -107,10 +182,23 @@ PipelineReport PipelineEngine::build(const std::vector<std::string>& files) {
                               config_.gpu_spec, config_.gpu_thread_blocks);
   }
 
+  // Per-indexer busy-time counters (metric names are stable across runs of
+  // the same configuration).
+  std::vector<obs::TimeCounter*> cpu_busy, gpu_busy;
+  for (std::size_t i = 0; i < n_cpu; ++i) {
+    cpu_busy.push_back(&metrics_.time_counter("indexer_cpu" + std::to_string(i) +
+                                              "_busy_seconds_total"));
+  }
+  for (std::size_t g = 0; g < n_gpu; ++g) {
+    gpu_busy.push_back(&metrics_.time_counter("indexer_gpu" + std::to_string(g) +
+                                              "_busy_seconds_total"));
+  }
+
   // ---- Parse stage: M parser threads feeding the sequence-ordered buffer.
   ReadScheduler scheduler(files);
   ReorderBuffer<ParsedWork> buffer(
-      std::max(config_.parsers + 1, config_.parsers * config_.buffers_per_parser));
+      std::max(config_.parsers + 1, config_.parsers * config_.buffers_per_parser),
+      ins.reorder_probe);
   std::mutex parse_wall_mutex;
   double parse_stage_wall = 0;  // max over parsers of their busy span
 
@@ -128,13 +216,22 @@ PipelineReport PipelineEngine::build(const std::vector<std::string>& files) {
         work.uncompressed_bytes = read->uncompressed_bytes;
         work.read_seconds = read->read_seconds;
         work.decompress_seconds = read->decompress_seconds;
+        ins.files_read.add(1);
+        ins.documents.add(work.doc_count);
+        ins.source_bytes.add(work.uncompressed_bytes);
+        ins.compressed_bytes.add(work.compressed_bytes);
+        ins.read_seconds.add(read->read_seconds);
+        ins.disk_wait_seconds.add(read->disk_wait_seconds);
+        ins.decompress_seconds.add(read->decompress_seconds);
         work.urls.reserve(read->docs.size());
         for (const auto& doc : read->docs) work.urls.push_back(doc.url);
         ParseTimes times;
-        WallTimer t;
+        obs::StageSpan span(&ins.parse_seconds, &ins.run_parse);
         work.block = parser.parse(read->docs, read->seq, static_cast<std::uint32_t>(p),
                                   read->doc_id_base, &times);
-        work.parse_seconds = t.seconds();
+        work.parse_seconds = span.stop();
+        ins.tokens.add(work.block.tokens);
+        ins.payload_bytes.add(work.block.payload_bytes());
         if (!buffer.push(read->seq, std::move(work))) break;
       }
       std::scoped_lock lock(parse_wall_mutex);
@@ -168,25 +265,33 @@ PipelineReport PipelineEngine::build(const std::vector<std::string>& files) {
 
     // Parallel indexing: each CPU indexer's work is measured individually
     // (the DES schedules them onto dedicated cores).
+    obs::StageSpan index_span(nullptr, &ins.run_index);
     run.cpu_index_seconds.resize(n_cpu);
     for (std::size_t i = 0; i < n_cpu; ++i) {
-      WallTimer t;
+      obs::StageSpan span(&ins.cpu_index_seconds);
       cpu_indexers[i].index_block(work->block);
-      run.cpu_index_seconds[i] = t.seconds();
+      run.cpu_index_seconds[i] = span.stop();
+      cpu_busy[i]->add(run.cpu_index_seconds[i]);
     }
     run.gpu_timings.resize(n_gpu);
     for (std::size_t g = 0; g < n_gpu; ++g) {
       gpu_indexers[g].index_block(work->block, &run.gpu_timings[g]);
+      const auto& t = run.gpu_timings[g];
+      const double busy = t.pre_seconds + t.index_seconds + t.post_seconds;
+      ins.gpu_index_seconds.add(busy);
+      gpu_busy[g]->add(busy);
     }
+    index_span.stop();
 
     // Post-processing: flush every store's lists into this run's file.
     {
-      WallTimer t;
+      obs::StageSpan span(&ins.flush_seconds, &ins.run_flush);
       const auto run_id = static_cast<std::uint32_t>(run.run_id);
       RunFileWriter writer(IndexLayout::run_path(config_.output_dir, run_id), run_id,
                            config_.codec);
       std::uint32_t min_doc = 0xFFFFFFFFu, max_doc = 0;
       bool any = false;
+      std::uint64_t run_postings = 0;
       for (std::size_t s = 0; s < stores.size(); ++s) {
         for (std::uint32_t h = 1; h <= stores[s].list_count(); ++h) {
           const auto& list = stores[s].list(h);
@@ -194,6 +299,7 @@ PipelineReport PipelineEngine::build(const std::vector<std::string>& files) {
           any = true;
           min_doc = std::min(min_doc, list.doc_ids.front());
           max_doc = std::max(max_doc, list.doc_ids.back());
+          run_postings += list.doc_ids.size();
           writer.add_list({static_cast<std::uint32_t>(s), h}, list);
         }
         stores[s].clear_lists();
@@ -202,14 +308,40 @@ PipelineReport PipelineEngine::build(const std::vector<std::string>& files) {
       if (!any) min_doc = 0;
       directory.push_back({"run_" + std::to_string(run_id) + ".post", run_id, min_doc,
                            max_doc});
-      run.flush_seconds = t.seconds();
+      run.flush_seconds = span.stop();
+      ins.postings.add(run_postings);
     }
 
     report.documents += run.doc_count;
     report.tokens += run.tokens;
     report.uncompressed_bytes += run.source_bytes;
     report.compressed_bytes += run.compressed_bytes;
+
+    // Per-run throughput profile: this run's source MB over the stage work
+    // it consumed end to end (read → flush).
+    double run_work_seconds = run.read_seconds + run.decompress_seconds +
+                              run.parse_seconds + run.flush_seconds;
+    for (const double s : run.cpu_index_seconds) run_work_seconds += s;
+    for (const auto& g : run.gpu_timings) {
+      run_work_seconds += g.pre_seconds + g.index_seconds + g.post_seconds;
+    }
+    if (run_work_seconds > 0) {
+      ins.run_throughput.add(static_cast<double>(run.source_bytes) / (1024.0 * 1024.0) /
+                             run_work_seconds);
+    }
+    ins.runs.add(1);
     report.runs.push_back(std::move(run));
+
+    if (config_.progress) {
+      PipelineProgress progress;
+      progress.runs_completed = report.runs.size();
+      progress.files_total = files.size();
+      progress.documents = report.documents;
+      progress.tokens = report.tokens;
+      progress.source_bytes = report.uncompressed_bytes;
+      progress.elapsed_seconds = total_timer.seconds();
+      config_.progress(progress);
+    }
   }
   report.index_stage_seconds = index_stage_timer.seconds();
   closer.join();
@@ -217,32 +349,34 @@ PipelineReport PipelineEngine::build(const std::vector<std::string>& files) {
 
   // ---- Dictionary combine + write (Table VI rows).
   {
-    WallTimer t;
+    obs::StageSpan span(&ins.dict_combine_seconds);
     const auto entries = dict.combine();
     report.terms = entries.size();
-    report.dict_combine_seconds = t.seconds();
+    report.dict_combine_seconds = span.stop();
+    ins.dictionary_terms.set(static_cast<std::int64_t>(report.terms));
   }
   {
-    WallTimer t;
+    obs::StageSpan span(&ins.dict_write_seconds);
     dictionary_write(dict, IndexLayout::dictionary_path(config_.output_dir));
     index_directory_write(IndexLayout::directory_path(config_.output_dir), directory);
     doc_map.write(doc_map_path(config_.output_dir));
-    report.dict_write_seconds = t.seconds();
+    report.dict_write_seconds = span.stop();
   }
 
   if (config_.merge_after_build) {
-    WallTimer t;
+    obs::StageSpan span(&ins.merge_seconds);
     std::vector<std::string> run_paths;
     run_paths.reserve(directory.size());
     for (const auto& e : directory) run_paths.push_back(config_.output_dir + "/" + e.file);
     merge_runs(run_paths, IndexLayout::merged_path(config_.output_dir), config_.codec);
-    report.merge_seconds = t.seconds();
+    report.merge_seconds = span.stop();
   }
 
   for (const auto& ind : cpu_indexers) report.cpu_work.push_back(ind.lifetime_stats());
   for (const auto& ind : gpu_indexers) report.gpu_work.push_back(ind.lifetime_stats());
   for (const auto& store : stores) report.postings += store.postings_added();
   report.total_seconds = total_timer.seconds();
+  report.metrics = metrics_.snapshot();
   return report;
 }
 

@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "pipeline/config.hpp"
 #include "pipeline/report.hpp"
 
@@ -23,10 +24,22 @@ class PipelineEngine {
   /// order) under config.output_dir and returns the full report. The
   /// output directory is created; it will contain run_<k>.post files,
   /// dictionary.bin, runs.dir and (optionally) merged.post.
+  ///
+  /// The configuration is validated first (PipelineConfig::validate());
+  /// an invalid configuration is a programming error and aborts with the
+  /// full error list.
   PipelineReport build(const std::vector<std::string>& files);
+
+  /// The engine's metrics registry: live while a build runs (poll it from
+  /// another thread, or via config.progress), final afterwards. The
+  /// returned PipelineReport embeds a snapshot of it. Instruments
+  /// accumulate over the engine's lifetime.
+  [[nodiscard]] obs::MetricsRegistry& metrics() { return metrics_; }
+  [[nodiscard]] const obs::MetricsRegistry& metrics() const { return metrics_; }
 
  private:
   PipelineConfig config_;
+  obs::MetricsRegistry metrics_;
 };
 
 }  // namespace hetindex

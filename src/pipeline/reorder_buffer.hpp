@@ -14,7 +14,9 @@
 #include <mutex>
 #include <optional>
 
+#include "obs/metrics.hpp"
 #include "util/check.hpp"
+#include "util/timer.hpp"
 
 namespace hetindex {
 
@@ -24,7 +26,10 @@ class ReorderBuffer {
   /// \param capacity max in-flight items; must be ≥ the number of
   ///        producers or a producer holding a far-ahead seq could deadlock
   ///        the consumer waiting on an earlier seq.
-  explicit ReorderBuffer(std::size_t capacity) : capacity_(capacity) {
+  /// \param probe optional observability hooks: window depth gauge plus
+  ///        producer (back-pressure) and consumer (starvation) stall time.
+  explicit ReorderBuffer(std::size_t capacity, obs::QueueProbe probe = {})
+      : capacity_(capacity), probe_(probe) {
     HET_CHECK(capacity >= 1);
   }
 
@@ -36,10 +41,19 @@ class ReorderBuffer {
   bool push(std::uint64_t seq, T item) {
     std::unique_lock lock(mu_);
     HET_CHECK_MSG(seq >= next_, "sequence pushed twice");
-    cv_space_.wait(lock,
-                   [&] { return items_.size() < capacity_ || seq == next_ || closed_; });
+    const auto admissible = [&] {
+      return items_.size() < capacity_ || seq == next_ || closed_;
+    };
+    if (!admissible()) {
+      WallTimer stall;
+      cv_space_.wait(lock, admissible);
+      if (probe_.producer_stall_seconds != nullptr) {
+        probe_.producer_stall_seconds->add(stall.seconds());
+      }
+    }
     if (closed_) return false;
     items_.emplace(seq, std::move(item));
+    if (probe_.depth != nullptr) probe_.depth->set(static_cast<std::int64_t>(items_.size()));
     cv_ready_.notify_all();
     return true;
   }
@@ -48,12 +62,20 @@ class ReorderBuffer {
   /// once the remaining in-order prefix has drained.
   std::optional<T> pop_next() {
     std::unique_lock lock(mu_);
-    cv_ready_.wait(lock, [&] { return items_.contains(next_) || closed_; });
+    const auto ready = [&] { return items_.contains(next_) || closed_; };
+    if (!ready()) {
+      WallTimer stall;
+      cv_ready_.wait(lock, ready);
+      if (probe_.consumer_stall_seconds != nullptr) {
+        probe_.consumer_stall_seconds->add(stall.seconds());
+      }
+    }
     const auto it = items_.find(next_);
     if (it == items_.end()) return std::nullopt;  // closed and next_ missing
     T item = std::move(it->second);
     items_.erase(it);
     ++next_;
+    if (probe_.depth != nullptr) probe_.depth->set(static_cast<std::int64_t>(items_.size()));
     cv_space_.notify_all();
     return item;
   }
@@ -73,6 +95,7 @@ class ReorderBuffer {
 
  private:
   const std::size_t capacity_;
+  const obs::QueueProbe probe_;
   mutable std::mutex mu_;
   std::condition_variable cv_ready_;
   std::condition_variable cv_space_;

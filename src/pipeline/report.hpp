@@ -7,10 +7,12 @@
 /// paper's 8-core + 2-GPU node to regenerate Fig. 10/11 and Tables IV/VI.
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "gpusim/simt.hpp"
 #include "index/indexer.hpp"
+#include "obs/metrics.hpp"
 #include "pipeline/config.hpp"
 
 namespace hetindex {
@@ -60,6 +62,18 @@ struct PipelineReport {
   std::uint64_t tokens = 0;
   std::uint64_t uncompressed_bytes = 0;
   std::uint64_t compressed_bytes = 0;
+
+  /// End-of-build snapshot of the engine's MetricsRegistry. The aggregate
+  /// fields above are derived views over the same measurements (the
+  /// pipeline_*_total counters equal documents/tokens/postings/bytes); the
+  /// snapshot additionally carries queue depths, stall times and per-run
+  /// stage statistics that have no RunRecord equivalent.
+  obs::MetricsSnapshot metrics;
+
+  /// Full report as a JSON document (schema in docs/OBSERVABILITY.md):
+  /// config, per-stage seconds, totals, every RunRecord, the Table V work
+  /// split, and the embedded metrics snapshot.
+  [[nodiscard]] std::string to_json() const;
 
   [[nodiscard]] double throughput_mb_s() const {
     return total_seconds > 0

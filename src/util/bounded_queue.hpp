@@ -12,14 +12,19 @@
 #include <optional>
 #include <utility>
 
+#include "obs/metrics.hpp"
 #include "util/check.hpp"
+#include "util/timer.hpp"
 
 namespace hetindex {
 
 template <typename T>
 class BoundedQueue {
  public:
-  explicit BoundedQueue(std::size_t capacity) : capacity_(capacity) {
+  /// \param probe optional observability hooks (depth gauge + stall-time
+  ///        counters); a default probe makes every hook a no-op.
+  explicit BoundedQueue(std::size_t capacity, obs::QueueProbe probe = {})
+      : capacity_(capacity), probe_(probe) {
     HET_CHECK(capacity > 0);
   }
 
@@ -30,9 +35,17 @@ class BoundedQueue {
   /// (the item is dropped in that case).
   bool push(T item) {
     std::unique_lock lock(mu_);
-    not_full_.wait(lock, [&] { return items_.size() < capacity_ || closed_; });
+    const auto has_space = [&] { return items_.size() < capacity_ || closed_; };
+    if (!has_space()) {
+      WallTimer stall;
+      not_full_.wait(lock, has_space);
+      if (probe_.producer_stall_seconds != nullptr) {
+        probe_.producer_stall_seconds->add(stall.seconds());
+      }
+    }
     if (closed_) return false;
     items_.push_back(std::move(item));
+    if (probe_.depth != nullptr) probe_.depth->set(static_cast<std::int64_t>(items_.size()));
     lock.unlock();
     not_empty_.notify_one();
     return true;
@@ -44,6 +57,7 @@ class BoundedQueue {
       std::scoped_lock lock(mu_);
       if (closed_ || items_.size() >= capacity_) return false;
       items_.push_back(std::move(item));
+      if (probe_.depth != nullptr) probe_.depth->set(static_cast<std::int64_t>(items_.size()));
     }
     not_empty_.notify_one();
     return true;
@@ -53,10 +67,18 @@ class BoundedQueue {
   /// nullopt means "no more items will ever arrive".
   std::optional<T> pop() {
     std::unique_lock lock(mu_);
-    not_empty_.wait(lock, [&] { return !items_.empty() || closed_; });
+    const auto has_item = [&] { return !items_.empty() || closed_; };
+    if (!has_item()) {
+      WallTimer stall;
+      not_empty_.wait(lock, has_item);
+      if (probe_.consumer_stall_seconds != nullptr) {
+        probe_.consumer_stall_seconds->add(stall.seconds());
+      }
+    }
     if (items_.empty()) return std::nullopt;
     T item = std::move(items_.front());
     items_.pop_front();
+    if (probe_.depth != nullptr) probe_.depth->set(static_cast<std::int64_t>(items_.size()));
     lock.unlock();
     not_full_.notify_one();
     return item;
@@ -68,6 +90,7 @@ class BoundedQueue {
     if (items_.empty()) return std::nullopt;
     T item = std::move(items_.front());
     items_.pop_front();
+    if (probe_.depth != nullptr) probe_.depth->set(static_cast<std::int64_t>(items_.size()));
     lock.unlock();
     not_full_.notify_one();
     return item;
@@ -98,6 +121,7 @@ class BoundedQueue {
 
  private:
   const std::size_t capacity_;
+  const obs::QueueProbe probe_;
   mutable std::mutex mu_;
   std::condition_variable not_full_;
   std::condition_variable not_empty_;
