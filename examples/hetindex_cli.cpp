@@ -4,13 +4,17 @@
 ///
 ///   hetindex_cli generate <dir> [--preset clueweb|wikipedia|congress] [--mb N]
 ///   hetindex_cli build <corpus_dir> <index_dir> [--parsers N] [--cpus N]
-///                      [--gpus N] [--positions] [--merge] [--progress]
-///                      [--metrics] [--report-json <path>]
+///                      [--gpus N] [--positions] [--merge] [--segment]
+///                      [--progress] [--metrics] [--report-json <path>]
+///   hetindex_cli compact <index_dir>                  (fold runs into index.seg)
 ///   hetindex_cli query <index_dir> <term...>          (AND semantics)
 ///   hetindex_cli search <index_dir> <term...>         (BM25 top-10, with URLs)
 ///   hetindex_cli phrase <index_dir> <term...>         (adjacent positions)
 ///   hetindex_cli stats <index_dir>
 ///   hetindex_cli verify <index_dir>
+///
+/// query/search/phrase/stats serve from the compacted segment automatically
+/// when one exists.
 
 #include <cstdio>
 #include <cstring>
@@ -27,12 +31,14 @@ namespace {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: hetindex_cli <generate|build|query|phrase|stats|verify> ...\n"
+               "usage: hetindex_cli <generate|build|compact|query|search|phrase|stats|verify> ...\n"
                "  generate <dir> [--preset clueweb|wikipedia|congress] [--mb N]\n"
                "  build <corpus_dir> <index_dir> [--parsers N] [--cpus N] [--gpus N]\n"
-               "        [--positions] [--merge] [--progress] [--metrics]\n"
+               "        [--positions] [--merge] [--segment] [--progress] [--metrics]\n"
                "        [--report-json <path>]\n"
+               "  compact <index_dir>\n"
                "  query <index_dir> <term...>\n"
+               "  search <index_dir> <term...>\n"
                "  phrase <index_dir> <term...>\n"
                "  stats <index_dir>\n"
                "  verify <index_dir>\n");
@@ -88,6 +94,8 @@ int cmd_build(int argc, char** argv) {
       builder.config().parser.record_positions = true;
     } else if (std::strcmp(argv[i], "--merge") == 0) {
       builder.merge_output(true);
+    } else if (std::strcmp(argv[i], "--segment") == 0) {
+      builder.emit_segment(true);
     } else if (std::strcmp(argv[i], "--progress") == 0) {
       builder.progress([](const PipelineProgress& p) {
         std::fprintf(stderr, "\rrun %llu/%llu  %llu docs  %.1f MB/s",
@@ -125,6 +133,10 @@ int cmd_build(int argc, char** argv) {
               report.total_seconds, report.throughput_mb_s(),
               static_cast<unsigned long long>(report.cpu_total().tokens),
               static_cast<unsigned long long>(report.gpu_total().tokens));
+  if (report.segment_bytes > 0) {
+    std::printf("segment: %s written in %.2f s\n",
+                format_bytes(report.segment_bytes).c_str(), report.segment_seconds);
+  }
   if (!report_json_path.empty()) {
     std::ofstream out(report_json_path, std::ios::binary);
     if (!out) {
@@ -135,6 +147,20 @@ int cmd_build(int argc, char** argv) {
     std::printf("report written to %s\n", report_json_path.c_str());
   }
   if (dump_metrics) std::fputs(report.metrics.to_prometheus().c_str(), stdout);
+  return 0;
+}
+
+int cmd_compact(int argc, char** argv) {
+  if (argc < 1) return usage();
+  const std::string index_dir = argv[0];
+  const auto stats = compact_index(index_dir);
+  std::printf("compacted %llu runs into %s: %llu terms, %llu postings, %s -> %s\n",
+              static_cast<unsigned long long>(stats.runs),
+              IndexLayout::segment_path(index_dir).c_str(),
+              static_cast<unsigned long long>(stats.terms),
+              static_cast<unsigned long long>(stats.postings),
+              format_bytes(stats.input_bytes).c_str(),
+              format_bytes(stats.output_bytes).c_str());
   return 0;
 }
 
@@ -179,14 +205,22 @@ int cmd_search(int argc, char** argv) {
 int cmd_stats(int argc, char** argv) {
   if (argc < 1) return usage();
   const auto index = InvertedIndex::open(argv[0]);
-  std::printf("terms: %llu, runs: %zu\n",
-              static_cast<unsigned long long>(index.term_count()), index.run_count());
+  if (index.segment_backed()) {
+    const auto* seg = index.segment();
+    std::printf("segment: %s (%s, %s mapped), %llu terms\n", seg->path().c_str(),
+                format_bytes(seg->file_bytes()).c_str(),
+                format_bytes(seg->mapped_bytes()).c_str(),
+                static_cast<unsigned long long>(seg->term_count()));
+  } else {
+    std::printf("terms: %llu, runs: %zu\n",
+                static_cast<unsigned long long>(index.term_count()), index.run_count());
+  }
   // Top-10 longest postings lists.
   std::vector<std::pair<std::size_t, std::string>> top;
-  for (const auto& e : index.entries()) {
-    const auto p = index.lookup(e.term);
-    top.emplace_back(p->doc_ids.size(), e.term);
-  }
+  index.for_each_term([&](std::string_view term) {
+    const auto p = index.lookup(term);
+    top.emplace_back(p->doc_ids.size(), std::string(term));
+  });
   std::sort(top.rbegin(), top.rend());
   std::printf("most frequent terms:\n");
   for (std::size_t i = 0; i < top.size() && i < 10; ++i) {
@@ -218,6 +252,7 @@ int main(int argc, char** argv) {
   const std::string cmd = argv[1];
   if (cmd == "generate") return cmd_generate(argc - 2, argv + 2);
   if (cmd == "build") return cmd_build(argc - 2, argv + 2);
+  if (cmd == "compact") return cmd_compact(argc - 2, argv + 2);
   if (cmd == "query") return cmd_query(argc - 2, argv + 2, false);
   if (cmd == "search") return cmd_search(argc - 2, argv + 2);
   if (cmd == "phrase") return cmd_query(argc - 2, argv + 2, true);

@@ -1,14 +1,21 @@
 #!/usr/bin/env bash
-# Tier-1 verification: the plain Release build + full test suite, then the
-# threaded pipeline/observability tests again under ThreadSanitizer to
-# catch races introduced by metric emission from parser/indexer threads.
+# Tier-1 verification: the plain Release build + full test suite, then two
+# sanitizer legs over the concurrency- and memory-critical tests:
+#   - ThreadSanitizer on the threaded pipeline/observability/segment tests
+#     (metric emission from parser threads, shared SegmentReader lookups)
+#   - ASan+UBSan on the binary-format tests (run files, segments, query
+#     path) to catch overruns and UB in the decoders and the mmap reader
 #
-#   scripts/tier1.sh [--no-tsan]
+#   scripts/tier1.sh [--no-tsan] [--no-asan]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 run_tsan=1
-[[ "${1:-}" == "--no-tsan" ]] && run_tsan=0
+run_asan=1
+for arg in "$@"; do
+  [[ "$arg" == "--no-tsan" ]] && run_tsan=0
+  [[ "$arg" == "--no-asan" ]] && run_asan=0
+done
 
 cmake -B build -S .
 cmake --build build -j "$(nproc)"
@@ -18,7 +25,15 @@ if [[ "$run_tsan" == 1 ]]; then
   cmake -B build-tsan -S . -DHETINDEX_SANITIZE=thread \
         -DHETINDEX_BUILD_BENCH=OFF -DHETINDEX_BUILD_EXAMPLES=OFF \
         -DCMAKE_BUILD_TYPE=RelWithDebInfo
-  cmake --build build-tsan -j "$(nproc)" --target test_pipeline test_obs
-  ctest --test-dir build-tsan --output-on-failure -R '^(test_pipeline|test_obs)$'
+  cmake --build build-tsan -j "$(nproc)" --target test_pipeline test_obs test_segment
+  ctest --test-dir build-tsan --output-on-failure -R '^(test_pipeline|test_obs|test_segment)$'
+fi
+
+if [[ "$run_asan" == 1 ]]; then
+  cmake -B build-asan -S . -DHETINDEX_SANITIZE=address \
+        -DHETINDEX_BUILD_BENCH=OFF -DHETINDEX_BUILD_EXAMPLES=OFF \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build build-asan -j "$(nproc)" --target test_segment test_postings test_codec test_query_ops
+  ctest --test-dir build-asan --output-on-failure -R '^(test_segment|test_postings|test_codec|test_query_ops)$'
 fi
 echo "tier1: OK"

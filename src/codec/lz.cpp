@@ -191,7 +191,9 @@ std::vector<std::uint8_t> lz_decompress(const std::uint8_t* input, std::size_t s
     HET_CHECK_MSG(produced + raw_len <= raw_size, "lz frame raw size mismatch");
     if (comp_len == 0) {
       HET_CHECK_MSG(pos + raw_len <= size, "lz stored block truncated");
-      std::memcpy(out.data() + produced, input + pos, raw_len);
+      // raw_len can be 0 for an empty payload; out.data() is null then and
+      // memcpy(null, ..., 0) is still UB.
+      if (raw_len != 0) std::memcpy(out.data() + produced, input + pos, raw_len);
       pos += raw_len;
     } else {
       HET_CHECK_MSG(pos + comp_len <= size, "lz compressed block truncated");

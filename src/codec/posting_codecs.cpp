@@ -152,9 +152,16 @@ std::size_t decode_postings(PostingCodec codec, const std::vector<std::uint8_t>&
                             std::vector<std::uint32_t>& doc_ids,
                             std::vector<std::uint32_t>& tfs,
                             std::vector<std::uint32_t>* positions, std::size_t start) {
+  return decode_postings(codec, data.data(), data.size(), doc_ids, tfs, positions, start);
+}
+
+std::size_t decode_postings(PostingCodec codec, const std::uint8_t* data, std::size_t size,
+                            std::vector<std::uint32_t>& doc_ids,
+                            std::vector<std::uint32_t>& tfs,
+                            std::vector<std::uint32_t>* positions, std::size_t start) {
   std::size_t pos = start;
-  const std::uint64_t count = vbyte_decode(data.data(), data.size(), pos);
-  HET_CHECK_MSG(pos < data.size() || count == 0, "truncated postings header");
+  const std::uint64_t count = vbyte_decode(data, size, pos);
+  HET_CHECK_MSG(pos < size || count == 0, "truncated postings header");
   if (count == 0) {
     ++pos;  // codec byte
     return pos - start;
@@ -182,18 +189,18 @@ std::size_t decode_postings(PostingCodec codec, const std::vector<std::uint8_t>&
   switch (codec) {
     case PostingCodec::kVByte:
       for (std::uint64_t i = 0; i < count; ++i) {
-        const auto gap = vbyte_decode(data.data(), data.size(), pos);
-        const auto tf = vbyte_decode(data.data(), data.size(), pos);
+        const auto gap = vbyte_decode(data, size, pos);
+        const auto tf = vbyte_decode(data, size, pos);
         emit(gap, tf, i == 0, prev);
         if (positional) {
           std::uint32_t prev_pos = 0;
           for (std::uint64_t k = 0; k < tf; ++k)
-            emit_pos(vbyte_decode(data.data(), data.size(), pos), k == 0, prev_pos);
+            emit_pos(vbyte_decode(data, size, pos), k == 0, prev_pos);
         }
       }
       break;
     case PostingCodec::kGamma: {
-      BitReader br(data.data() + pos, data.size() - pos);
+      BitReader br(data + pos, size - pos);
       for (std::uint64_t i = 0; i < count; ++i) {
         const auto gap = gamma_get(br);
         const auto tf = gamma_get(br);
@@ -207,8 +214,8 @@ std::size_t decode_postings(PostingCodec codec, const std::vector<std::uint8_t>&
       break;
     }
     case PostingCodec::kGolomb: {
-      const std::uint64_t b = vbyte_decode(data.data(), data.size(), pos);
-      BitReader br(data.data() + pos, data.size() - pos);
+      const std::uint64_t b = vbyte_decode(data, size, pos);
+      BitReader br(data + pos, size - pos);
       for (std::uint64_t i = 0; i < count; ++i) {
         const auto gap = golomb_get(br, b);
         const auto tf = golomb_get(br, b);

@@ -45,6 +45,14 @@ std::size_t decode_postings(PostingCodec codec, const std::vector<std::uint8_t>&
                             std::vector<std::uint32_t>* positions = nullptr,
                             std::size_t start = 0);
 
+/// Same, over a raw byte range — lets memory-mapped readers decode in place
+/// without copying the blob into a vector first.
+std::size_t decode_postings(PostingCodec codec, const std::uint8_t* data, std::size_t size,
+                            std::vector<std::uint32_t>& doc_ids,
+                            std::vector<std::uint32_t>& tfs,
+                            std::vector<std::uint32_t>* positions = nullptr,
+                            std::size_t start = 0);
+
 /// White-box hooks for tests and the codec bench: round-trip raw value
 /// sequences through each bit-level code. Values must be ≥ 1 for γ.
 std::vector<std::uint8_t> gamma_encode_sequence(const std::vector<std::uint64_t>& values);

@@ -15,8 +15,9 @@
 ///   Observe      obs::MetricsRegistry / MetricsSnapshot / StageSpan — live
 ///                queue depths, stall times and per-stage rates
 ///                (docs/OBSERVABILITY.md); PipelineReport::to_json()
-///   Query        InvertedIndex, boolean/phrase ops, BM25 ranking, DocMap,
-///                index verification, the run-file merger
+///   Query        InvertedIndex (run-file or mmapped-segment backed),
+///                boolean/phrase ops, BM25 ranking, DocMap, index
+///                verification, the run-file merger, segment compaction
 ///   Corpus       container files, the synthetic collection generator, the
 ///                sampling-based CPU/GPU work split
 ///   Evaluate     the DES platform simulator plus the single-node and
@@ -48,6 +49,7 @@
 #include "postings/merger.hpp"
 #include "postings/query.hpp"
 #include "postings/ranking.hpp"
+#include "postings/segment.hpp"
 #include "postings/verify.hpp"
 
 // Corpus.
@@ -101,6 +103,12 @@ class IndexBuilder {
   }
   IndexBuilder& merge_output(bool merge) {
     config_.merge_after_build = merge;
+    return *this;
+  }
+  /// Also emit the single-file serving segment (see postings/segment.hpp);
+  /// InvertedIndex::open() then serves from it via mmap.
+  IndexBuilder& emit_segment(bool emit) {
+    config_.emit_segment = emit;
     return *this;
   }
   /// Live-progress hook, called after every completed single run.

@@ -1,0 +1,89 @@
+#include "io/mmap_file.hpp"
+
+#include <utility>
+
+#include "util/binary_io.hpp"
+#include "util/check.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define HETINDEX_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#else
+#define HETINDEX_HAVE_MMAP 0
+#endif
+
+namespace hetindex {
+
+MmapFile::~MmapFile() { reset(); }
+
+void MmapFile::reset() noexcept {
+#if HETINDEX_HAVE_MMAP
+  if (mapped_ && data_ != nullptr) {
+    ::munmap(const_cast<std::uint8_t*>(data_), size_);
+  }
+#endif
+  data_ = nullptr;
+  size_ = 0;
+  mapped_ = false;
+  fallback_.clear();
+  fallback_.shrink_to_fit();
+}
+
+MmapFile::MmapFile(MmapFile&& other) noexcept { *this = std::move(other); }
+
+MmapFile& MmapFile::operator=(MmapFile&& other) noexcept {
+  if (this != &other) {
+    reset();
+    path_ = std::move(other.path_);
+    fallback_ = std::move(other.fallback_);
+    data_ = std::exchange(other.data_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+    mapped_ = std::exchange(other.mapped_, false);
+  }
+  return *this;
+}
+
+MmapFile MmapFile::open(const std::string& path) {
+  MmapFile f;
+  f.path_ = path;
+#if HETINDEX_HAVE_MMAP
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  HET_CHECK_MSG(fd >= 0, "cannot open file for mapping");
+  struct stat st {};
+  const int rc = ::fstat(fd, &st);
+  if (rc != 0) ::close(fd);
+  HET_CHECK_MSG(rc == 0, "cannot stat file for mapping");
+  f.size_ = static_cast<std::size_t>(st.st_size);
+  if (f.size_ > 0) {
+    void* p = ::mmap(nullptr, f.size_, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (p != MAP_FAILED) {
+      f.data_ = static_cast<const std::uint8_t*>(p);
+      f.mapped_ = true;
+    }
+  }
+  if (!f.mapped_ && f.size_ > 0) {
+    // pread fallback: mapping refused (some network/overlay filesystems).
+    f.fallback_.resize(f.size_);
+    std::size_t done = 0;
+    while (done < f.size_) {
+      const ssize_t n = ::pread(fd, f.fallback_.data() + done, f.size_ - done,
+                                static_cast<off_t>(done));
+      if (n <= 0) ::close(fd);
+      HET_CHECK_MSG(n > 0, "cannot read file (pread fallback)");
+      done += static_cast<std::size_t>(n);
+    }
+    f.data_ = f.fallback_.data();
+  }
+  ::close(fd);
+#else
+  f.fallback_ = read_file(path);
+  f.data_ = f.fallback_.data();
+  f.size_ = f.fallback_.size();
+#endif
+  return f;
+}
+
+}  // namespace hetindex

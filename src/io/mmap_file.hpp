@@ -1,0 +1,51 @@
+#pragma once
+/// \file mmap_file.hpp
+/// Read-only memory-mapped files for the serving path. A segment is opened
+/// once and then shared by many concurrent readers, so the mapping is
+/// immutable by construction: PROT_READ pages, no copy of the blob area,
+/// and the kernel page cache shared across processes serving the same
+/// index. On platforms without mmap (or when mapping fails, e.g. on
+/// filesystems that refuse it) the file is read into a private heap buffer
+/// instead — same interface, same lifetime rules, just without the
+/// sharing.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hetindex {
+
+/// RAII owner of one read-only mapping (or its heap-buffer fallback).
+/// Movable, not copyable; `data()` stays valid across moves because both
+/// the mapping address and the fallback vector's buffer are stable.
+class MmapFile {
+ public:
+  MmapFile() = default;
+  ~MmapFile();
+  MmapFile(MmapFile&& other) noexcept;
+  MmapFile& operator=(MmapFile&& other) noexcept;
+  MmapFile(const MmapFile&) = delete;
+  MmapFile& operator=(const MmapFile&) = delete;
+
+  /// Maps `path` read-only; hard-fails when the file cannot be opened or
+  /// read. A zero-byte file yields an empty (unmapped) view.
+  static MmapFile open(const std::string& path);
+
+  [[nodiscard]] const std::uint8_t* data() const { return data_; }
+  [[nodiscard]] std::size_t size() const { return size_; }
+  /// True when backed by a real mapping (false: heap-buffer fallback).
+  [[nodiscard]] bool is_mapped() const { return mapped_; }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  void reset() noexcept;
+
+  std::string path_;
+  const std::uint8_t* data_ = nullptr;
+  std::size_t size_ = 0;
+  bool mapped_ = false;
+  std::vector<std::uint8_t> fallback_;  ///< owns the bytes when !mapped_
+};
+
+}  // namespace hetindex

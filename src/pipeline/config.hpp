@@ -49,6 +49,10 @@ struct PipelineConfig {
   bool use_string_cache = true;
   /// Run the <10% post-pass that merges partial postings lists (§III.F).
   bool merge_after_build = false;
+  /// Also fold the run files into a single-file serving segment
+  /// (`index.seg`, postings/segment.hpp) at finalize; InvertedIndex::open
+  /// then serves from the segment.
+  bool emit_segment = false;
   /// Parsed-block buffers per parser before back-pressure stalls it.
   std::size_t buffers_per_parser = 2;
   SamplerConfig sampler{};

@@ -11,6 +11,7 @@
 #include "postings/merger.hpp"
 #include "postings/query.hpp"
 #include "postings/run_file.hpp"
+#include "postings/segment.hpp"
 #include "util/check.hpp"
 #include "util/timer.hpp"
 
@@ -91,6 +92,7 @@ struct PipelineInstruments {
         dict_combine_seconds(m.time_counter("stage_dict_combine_seconds_total")),
         dict_write_seconds(m.time_counter("stage_dict_write_seconds_total")),
         merge_seconds(m.time_counter("stage_merge_seconds_total")),
+        segment_seconds(m.time_counter("stage_segment_seconds_total")),
         run_parse(m.stat("run_parse_seconds")),
         run_index(m.stat("run_index_seconds")),
         run_flush(m.stat("run_flush_seconds")),
@@ -120,6 +122,7 @@ struct PipelineInstruments {
   obs::TimeCounter& dict_combine_seconds;
   obs::TimeCounter& dict_write_seconds;
   obs::TimeCounter& merge_seconds;
+  obs::TimeCounter& segment_seconds;
   obs::Stat& run_parse;
   obs::Stat& run_index;
   obs::Stat& run_flush;
@@ -348,9 +351,10 @@ PipelineReport PipelineEngine::build(const std::vector<std::string>& files) {
   report.parse_stage_seconds = std::max(parse_stage_wall, stage_timer.seconds());
 
   // ---- Dictionary combine + write (Table VI rows).
+  std::vector<DictionaryEntry> entries;  // kept for the optional segment fold
   {
     obs::StageSpan span(&ins.dict_combine_seconds);
-    const auto entries = dict.combine();
+    entries = dict.combine();
     report.terms = entries.size();
     report.dict_combine_seconds = span.stop();
     ins.dictionary_terms.set(static_cast<std::int64_t>(report.terms));
@@ -370,6 +374,13 @@ PipelineReport PipelineEngine::build(const std::vector<std::string>& files) {
     for (const auto& e : directory) run_paths.push_back(config_.output_dir + "/" + e.file);
     merge_runs(run_paths, IndexLayout::merged_path(config_.output_dir), config_.codec);
     report.merge_seconds = span.stop();
+  }
+
+  if (config_.emit_segment) {
+    obs::StageSpan span(&ins.segment_seconds);
+    const auto stats = build_segment_from_runs(config_.output_dir, entries, directory);
+    report.segment_seconds = span.stop();
+    report.segment_bytes = stats.output_bytes;
   }
 
   for (const auto& ind : cpu_indexers) report.cpu_work.push_back(ind.lifetime_stats());

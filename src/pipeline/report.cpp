@@ -48,6 +48,8 @@ std::string PipelineReport::to_json() const {
   out += "\"codec\":" + std::to_string(static_cast<int>(config.codec)) + ",";
   out += "\"merge_after_build\":";
   out += config.merge_after_build ? "true" : "false";
+  out += ",\"emit_segment\":";
+  out += config.emit_segment ? "true" : "false";
   out += ",\"output_dir\":";
   json_append_string(out, config.output_dir);
   out += "},";
@@ -59,6 +61,7 @@ std::string PipelineReport::to_json() const {
   append_kv(out, "dict_combine_seconds", dict_combine_seconds);
   append_kv(out, "dict_write_seconds", dict_write_seconds);
   append_kv(out, "merge_seconds", merge_seconds);
+  append_kv(out, "segment_seconds", segment_seconds);
   append_kv(out, "total_seconds", total_seconds, /*comma=*/false);
   out += "},";
 
@@ -69,6 +72,7 @@ std::string PipelineReport::to_json() const {
   append_kv(out, "tokens", tokens);
   append_kv(out, "uncompressed_bytes", uncompressed_bytes);
   append_kv(out, "compressed_bytes", compressed_bytes);
+  append_kv(out, "segment_bytes", segment_bytes);
   append_kv(out, "throughput_mb_s", throughput_mb_s(), /*comma=*/false);
   out += "},";
 

@@ -48,6 +48,7 @@ struct PipelineReport {
   double dict_combine_seconds = 0;
   double dict_write_seconds = 0;
   double merge_seconds = 0;
+  double segment_seconds = 0;  ///< emit_segment fold time (0 when disabled)
   double total_seconds = 0;
 
   std::vector<RunRecord> runs;
@@ -62,6 +63,7 @@ struct PipelineReport {
   std::uint64_t tokens = 0;
   std::uint64_t uncompressed_bytes = 0;
   std::uint64_t compressed_bytes = 0;
+  std::uint64_t segment_bytes = 0;  ///< emitted segment size (0 when disabled)
 
   /// End-of-build snapshot of the engine's MetricsRegistry. The aggregate
   /// fields above are derived views over the same measurements (the

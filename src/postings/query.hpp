@@ -1,18 +1,31 @@
 #pragma once
 /// \file query.hpp
-/// Read path over a built index: dictionary lookup + partial-postings
-/// retrieval across run files, including the doc-ID-range narrowing that
-/// §III.F highlights as a benefit of the per-run output layout (only runs
-/// whose ranges overlap the query range are touched).
+/// Read path over a built index. Two backends share one interface:
+///
+///   run files   every `run_*.post` loaded into memory, terms resolved via
+///               the dictionary — the build-time view, and still the §III.F
+///               per-run layout whose doc-ID-range narrowing only touches
+///               runs overlapping the query range
+///   segment     one mmapped `index.seg` (see postings/segment.hpp) with
+///               zero-copy terms and per-lookup lazy decode — the serving
+///               view produced by emit_segment or compact_index()
+///
+/// open() auto-detects (segment preferred when present). Both backends are
+/// safe for concurrent readers: the segment keeps no per-lookup state, and
+/// read-path metrics go to lock-free/lightly-locked obs instruments.
 
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "dict/dictionary.hpp"
+#include "obs/metrics.hpp"
 #include "postings/run_file.hpp"
+#include "postings/segment.hpp"
 
 namespace hetindex {
 
@@ -24,6 +37,7 @@ struct IndexLayout {
     return dir + "/run_" + std::to_string(run_id) + ".post";
   }
   static std::string merged_path(const std::string& dir) { return dir + "/merged.post"; }
+  static std::string segment_path(const std::string& dir) { return dir + "/index.seg"; }
 };
 
 /// A decoded postings list. `positions` is filled only by positional
@@ -35,11 +49,19 @@ struct QueryPostings {
   std::vector<std::uint32_t> positions;
 };
 
-/// Memory-resident queryable view of an index directory.
+/// Queryable view of an index directory (run-file or segment backed).
 class InvertedIndex {
  public:
-  /// Loads dictionary, run directory and all run files under `dir`.
+  /// Opens `dir`, preferring the compacted segment when one exists.
   static InvertedIndex open(const std::string& dir);
+  /// Forces the run-file backend (dictionary + all run files in memory).
+  static InvertedIndex open_runs(const std::string& dir);
+  /// Forces the segment backend (mmapped `index.seg`).
+  static InvertedIndex open_segment(const std::string& dir);
+
+  InvertedIndex(InvertedIndex&&) noexcept;
+  InvertedIndex& operator=(InvertedIndex&&) noexcept;
+  ~InvertedIndex();
 
   /// Full postings list of `term` (stemmed form); nullopt when the term is
   /// not in the dictionary.
@@ -49,10 +71,11 @@ class InvertedIndex {
   /// when the index was not built with record_positions).
   [[nodiscard]] std::optional<QueryPostings> lookup_positional(std::string_view term) const;
 
-  /// Postings restricted to doc ids in [min_doc, max_doc]; only run files
-  /// whose ranges overlap are decoded. `runs_touched` (optional out)
-  /// reports how many runs were actually read — the quantity the §III.F
-  /// range-narrowing claim is about.
+  /// Postings restricted to doc ids in [min_doc, max_doc]; only blobs whose
+  /// doc ranges overlap are decoded. `runs_touched` (optional out) reports
+  /// how many run files (or, segment-backed, whether the term's blob) were
+  /// actually read — the quantity the §III.F range-narrowing claim is
+  /// about.
   [[nodiscard]] std::optional<QueryPostings> lookup_range(
       std::string_view term, std::uint32_t min_doc, std::uint32_t max_doc,
       std::size_t* runs_touched = nullptr) const;
@@ -61,17 +84,42 @@ class InvertedIndex {
   /// a by-product of the sorted dictionary (and of the trie + B-tree
   /// in-order layout that produced it). Useful for query expansion and
   /// spell-out tooling.
-  [[nodiscard]] std::vector<std::string_view> terms_with_prefix(std::string_view prefix) const;
+  [[nodiscard]] std::vector<std::string> terms_with_prefix(std::string_view prefix) const;
 
-  [[nodiscard]] const std::vector<DictionaryEntry>& entries() const { return entries_; }
+  /// fn(term) over every dictionary term in lexicographic order. The view
+  /// is only valid during the call (segment terms are decoded on the fly).
+  void for_each_term(const std::function<void(std::string_view)>& fn) const;
+
+  /// True when serving from a compacted segment.
+  [[nodiscard]] bool segment_backed() const { return segment_ != nullptr; }
+  /// The underlying segment reader; nullptr when run-file backed.
+  [[nodiscard]] const SegmentReader* segment() const { return segment_.get(); }
+
+  /// Raw dictionary entries — run-file backend only (the segment never
+  /// materializes them); hard-fails otherwise. Prefer for_each_term().
+  [[nodiscard]] const std::vector<DictionaryEntry>& entries() const;
+  /// Loaded run files (0 when segment-backed).
   [[nodiscard]] std::size_t run_count() const { return runs_.size(); }
-  [[nodiscard]] std::uint64_t term_count() const { return entries_.size(); }
+  [[nodiscard]] std::uint64_t term_count() const;
+
+  /// Read-path metrics: query_lookups_total, query_lookup_misses_total,
+  /// query_postings_decoded_total, query_bytes_decoded_total,
+  /// segment_bytes_mapped, query_lookup_micros.
+  [[nodiscard]] const obs::MetricsRegistry& metrics() const { return *metrics_; }
 
  private:
-  [[nodiscard]] const DictionaryEntry* find_entry(std::string_view term) const;
+  struct ReadInstruments;
 
-  std::vector<DictionaryEntry> entries_;  // sorted by term
-  std::vector<RunFile> runs_;             // ascending run id
+  InvertedIndex();
+  [[nodiscard]] const DictionaryEntry* find_entry(std::string_view term) const;
+  [[nodiscard]] std::optional<QueryPostings> lookup_impl(std::string_view term,
+                                                         bool positional) const;
+
+  std::unique_ptr<obs::MetricsRegistry> metrics_;  // stable instrument addresses
+  std::unique_ptr<ReadInstruments> ins_;
+  std::vector<DictionaryEntry> entries_;  // sorted by term (run-file backend)
+  std::vector<RunFile> runs_;             // ascending run id (run-file backend)
+  std::unique_ptr<SegmentReader> segment_;
 };
 
 }  // namespace hetindex

@@ -28,7 +28,13 @@ struct PostingKey {
 
 struct PostingKeyHash {
   std::size_t operator()(const PostingKey& k) const {
-    return (static_cast<std::size_t>(k.shard) << 32) ^ k.handle;
+    // Mix in 64 bits (shifting a 32-bit size_t by 32 would be UB), then
+    // fold with the splitmix64 finalizer so narrowing keeps entropy.
+    std::uint64_t v = (static_cast<std::uint64_t>(k.shard) << 32) | k.handle;
+    v ^= v >> 33;
+    v *= 0xff51afd7ed558ccdULL;
+    v ^= v >> 33;
+    return static_cast<std::size_t>(v);
   }
 };
 

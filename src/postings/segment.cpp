@@ -1,0 +1,337 @@
+#include "postings/segment.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "codec/front_coding.hpp"
+#include "postings/query.hpp"
+#include "util/binary_io.hpp"
+#include "util/check.hpp"
+#include "util/crc32.hpp"
+
+namespace hetindex {
+namespace {
+
+constexpr std::uint32_t kSegmentMagic = 0x47455348;        // "HSEG"
+constexpr std::uint32_t kSegmentFooterMagic = 0x544F4F46;  // "FOOT"
+constexpr std::uint32_t kSegmentVersion = 1;
+constexpr std::size_t kHeaderBytes = 80;
+constexpr std::size_t kFooterBytes = 16;
+constexpr std::size_t kTableRowBytes = 24;
+
+}  // namespace
+
+SegmentWriter::SegmentWriter(std::string path, PostingCodec codec,
+                             std::uint32_t terms_per_block)
+    : path_(std::move(path)), codec_(codec), terms_per_block_(terms_per_block) {
+  HET_CHECK_MSG(terms_per_block_ >= 1, "segment block size must be >= 1");
+}
+
+void SegmentWriter::add_term(std::string_view term, const std::uint8_t* blob,
+                             std::size_t blob_bytes, std::uint32_t count,
+                             std::uint32_t min_doc, std::uint32_t max_doc) {
+  HET_CHECK(!finalized_);
+  HET_CHECK_MSG(term_count_ == 0 || prev_term_ < term,
+                "segment terms must be sorted and unique");
+  HET_CHECK_MSG(count > 0 && blob_bytes > 0, "segment terms must have postings");
+  HET_CHECK(min_doc <= max_doc && blob_bytes <= 0xFFFFFFFFull);
+
+  ByteWriter tw(table_);
+  tw.u64(blobs_.size());
+  tw.u32(static_cast<std::uint32_t>(blob_bytes));
+  tw.u32(count);
+  tw.u32(min_doc);
+  tw.u32(max_doc);
+  blobs_.insert(blobs_.end(), blob, blob + blob_bytes);
+
+  ByteWriter dw(dict_);
+  if (block_fill_ == 0) {
+    // Block leader: stored verbatim so the reader's block index can point a
+    // string_view straight at the mapping.
+    dw.u32(static_cast<std::uint32_t>(term.size()));
+    dw.bytes(term.data(), term.size());
+  } else {
+    const std::size_t shared = common_prefix_length(prev_term_, term);
+    vbyte_encode(shared, dict_);
+    vbyte_encode(term.size() - shared, dict_);
+    dw.bytes(term.data() + shared, term.size() - shared);
+  }
+  block_fill_ = (block_fill_ + 1) % terms_per_block_;
+
+  prev_term_.assign(term);
+  min_doc_ = std::min(min_doc_, min_doc);
+  max_doc_ = std::max(max_doc_, max_doc);
+  ++term_count_;
+}
+
+std::uint64_t SegmentWriter::finalize() {
+  HET_CHECK(!finalized_);
+  finalized_ = true;
+
+  std::vector<std::uint8_t> out;
+  out.reserve(kHeaderBytes + dict_.size() + table_.size() + blobs_.size() + kFooterBytes);
+  ByteWriter w(out);
+  w.u32(kSegmentMagic);
+  w.u32(kSegmentVersion);
+  w.u8(static_cast<std::uint8_t>(codec_));
+  w.u8(0);   // reserved
+  w.u16(0);  // reserved
+  w.u32(terms_per_block_);
+  w.u64(term_count_);
+  w.u32(term_count_ == 0 ? 0 : min_doc_);
+  w.u32(term_count_ == 0 ? 0 : max_doc_);
+  const std::uint64_t dict_off = kHeaderBytes;
+  const std::uint64_t table_off = dict_off + dict_.size();
+  const std::uint64_t blob_off = table_off + table_.size();
+  w.u64(dict_off);
+  w.u64(dict_.size());
+  w.u64(table_off);
+  w.u64(table_.size());
+  w.u64(blob_off);
+  w.u64(blobs_.size());
+  HET_CHECK(out.size() == kHeaderBytes);
+  w.bytes(dict_.data(), dict_.size());
+  w.bytes(table_.data(), table_.size());
+  w.bytes(blobs_.data(), blobs_.size());
+
+  const std::uint64_t total = out.size() + kFooterBytes;
+  const std::uint32_t crc = crc32(out.data(), out.size());
+  w.u64(total);
+  w.u32(crc);
+  w.u32(kSegmentFooterMagic);
+  write_file(path_, out);
+  return total;
+}
+
+SegmentReader SegmentReader::open(const std::string& path) {
+  SegmentReader r;
+  r.file_ = MmapFile::open(path);
+  const std::uint8_t* data = r.file_.data();
+  const std::size_t n = r.file_.size();
+  HET_CHECK_MSG(n >= kHeaderBytes + kFooterBytes, "segment file too small (truncated?)");
+
+  // Footer first: it guards everything else, including the header.
+  ByteReader fr(data + (n - kFooterBytes), kFooterBytes);
+  const std::uint64_t total = fr.u64();
+  const std::uint32_t crc = fr.u32();
+  HET_CHECK_MSG(fr.u32() == kSegmentFooterMagic, "bad segment footer magic");
+  HET_CHECK_MSG(total == n, "segment file truncated (size mismatch with footer)");
+  HET_CHECK_MSG(crc32(data, n - kFooterBytes) == crc,
+                "segment file corruption (crc mismatch)");
+
+  ByteReader h(data, n - kFooterBytes);
+  HET_CHECK_MSG(h.u32() == kSegmentMagic, "not a hetindex segment file");
+  HET_CHECK_MSG(h.u32() == kSegmentVersion, "unsupported segment version");
+  const std::uint8_t codec_byte = h.u8();
+  HET_CHECK_MSG(codec_byte <= static_cast<std::uint8_t>(PostingCodec::kGolomb),
+                "unknown segment posting codec");
+  r.codec_ = static_cast<PostingCodec>(codec_byte);
+  h.skip(3);  // reserved
+  r.terms_per_block_ = h.u32();
+  HET_CHECK_MSG(r.terms_per_block_ >= 1, "segment block size must be >= 1");
+  r.term_count_ = h.u64();
+  r.min_doc_ = h.u32();
+  r.max_doc_ = h.u32();
+  r.dict_off_ = h.u64();
+  r.dict_bytes_ = h.u64();
+  r.table_off_ = h.u64();
+  r.table_bytes_ = h.u64();
+  r.blob_off_ = h.u64();
+  r.blob_bytes_ = h.u64();
+  const std::uint64_t payload_end = n - kFooterBytes;
+  HET_CHECK_MSG(r.dict_off_ == kHeaderBytes && r.table_off_ == r.dict_off_ + r.dict_bytes_ &&
+                    r.blob_off_ == r.table_off_ + r.table_bytes_ &&
+                    r.blob_off_ + r.blob_bytes_ == payload_end,
+                "segment section out of bounds");
+  HET_CHECK_MSG(r.table_bytes_ == r.term_count_ * kTableRowBytes,
+                "segment section out of bounds");
+
+  // One pass over the dictionary builds the sparse block index; term bytes
+  // themselves stay in the mapping.
+  const std::uint8_t* dict = r.dict_data();
+  std::size_t pos = 0;
+  r.blocks_.reserve(static_cast<std::size_t>(
+      (r.term_count_ + r.terms_per_block_ - 1) / r.terms_per_block_));
+  for (std::uint64_t base = 0; base < r.term_count_; base += r.terms_per_block_) {
+    HET_CHECK_MSG(pos + 4 <= r.dict_bytes_, "segment dictionary truncated");
+    std::uint32_t first_len = 0;
+    std::memcpy(&first_len, dict + pos, 4);
+    pos += 4;
+    HET_CHECK_MSG(pos + first_len <= r.dict_bytes_, "segment dictionary truncated");
+    Block b;
+    b.first = std::string_view(reinterpret_cast<const char*>(dict + pos), first_len);
+    pos += first_len;
+    b.coded_pos = pos;
+    b.base = base;
+    const std::uint64_t in_block = std::min<std::uint64_t>(r.terms_per_block_,
+                                                           r.term_count_ - base);
+    for (std::uint64_t i = 1; i < in_block; ++i) {
+      (void)vbyte_decode(dict, r.dict_bytes_, pos);  // shared prefix length
+      const std::uint64_t suffix = vbyte_decode(dict, r.dict_bytes_, pos);
+      HET_CHECK_MSG(pos + suffix <= r.dict_bytes_, "segment dictionary truncated");
+      pos += suffix;
+    }
+    r.blocks_.push_back(b);
+  }
+  HET_CHECK_MSG(pos == r.dict_bytes_, "segment dictionary truncated");
+  return r;
+}
+
+void SegmentReader::next_term(std::string& cur, std::size_t& pos) const {
+  const std::uint8_t* dict = dict_data();
+  const std::uint64_t shared = vbyte_decode(dict, dict_bytes_, pos);
+  const std::uint64_t suffix = vbyte_decode(dict, dict_bytes_, pos);
+  HET_CHECK(shared <= cur.size() && pos + suffix <= dict_bytes_);
+  cur.resize(shared);
+  cur.append(reinterpret_cast<const char*>(dict + pos), suffix);
+  pos += suffix;
+}
+
+std::optional<std::uint64_t> SegmentReader::find(std::string_view term) const {
+  // Last block whose leader is <= term, then a bounded front-coded scan.
+  auto it = std::upper_bound(
+      blocks_.begin(), blocks_.end(), term,
+      [](std::string_view t, const Block& b) { return t < b.first; });
+  if (it == blocks_.begin()) return std::nullopt;
+  --it;
+  if (it->first == term) return it->base;
+  const std::uint64_t in_block = std::min<std::uint64_t>(terms_per_block_,
+                                                         term_count_ - it->base);
+  std::string cur(it->first);
+  std::size_t pos = it->coded_pos;
+  for (std::uint64_t i = 1; i < in_block; ++i) {
+    next_term(cur, pos);
+    if (cur == term) return it->base + i;
+    if (cur > term) return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+SegmentReader::PostingsMeta SegmentReader::meta(std::uint64_t ordinal) const {
+  HET_CHECK(ordinal < term_count_);
+  ByteReader t(file_.data() + table_off_ + ordinal * kTableRowBytes, kTableRowBytes);
+  PostingsMeta m;
+  m.offset = t.u64();
+  m.bytes = t.u32();
+  m.count = t.u32();
+  m.min_doc = t.u32();
+  m.max_doc = t.u32();
+  return m;
+}
+
+void SegmentReader::decode(const PostingsMeta& m, std::vector<std::uint32_t>& doc_ids,
+                           std::vector<std::uint32_t>& tfs,
+                           std::vector<std::uint32_t>* positions) const {
+  HET_CHECK_MSG(m.offset + m.bytes <= blob_bytes_, "segment blob out of bounds");
+  const std::uint8_t* blob = file_.data() + blob_off_ + m.offset;
+  // A compacted blob is one or more back-to-back encoded sub-lists (one per
+  // source run); each starts with an absolute doc id, so they decode in
+  // sequence straight out of the mapping.
+  std::size_t pos = 0;
+  while (pos < m.bytes) pos += decode_postings(codec_, blob, m.bytes, doc_ids, tfs, positions, pos);
+}
+
+void SegmentReader::scan_from_block(
+    std::size_t block_idx,
+    const std::function<bool(std::string_view, std::uint64_t)>& fn) const {
+  std::string cur;
+  for (std::size_t b = block_idx; b < blocks_.size(); ++b) {
+    const Block& blk = blocks_[b];
+    if (!fn(blk.first, blk.base)) return;
+    const std::uint64_t in_block = std::min<std::uint64_t>(terms_per_block_,
+                                                           term_count_ - blk.base);
+    cur.assign(blk.first);
+    std::size_t pos = blk.coded_pos;
+    for (std::uint64_t i = 1; i < in_block; ++i) {
+      next_term(cur, pos);
+      if (!fn(cur, blk.base + i)) return;
+    }
+  }
+}
+
+std::vector<std::string> SegmentReader::terms_with_prefix(std::string_view prefix) const {
+  std::vector<std::string> out;
+  auto it = std::upper_bound(
+      blocks_.begin(), blocks_.end(), prefix,
+      [](std::string_view p, const Block& b) { return p < b.first; });
+  // The match range can start inside the preceding block (its leader sorts
+  // before the prefix but later members may match).
+  const std::size_t start = it == blocks_.begin()
+                                ? 0
+                                : static_cast<std::size_t>(it - blocks_.begin()) - 1;
+  scan_from_block(start, [&](std::string_view term, std::uint64_t) {
+    const bool matches =
+        term.size() >= prefix.size() && term.substr(0, prefix.size()) == prefix;
+    if (matches) {
+      out.emplace_back(term);
+    } else if (term > prefix) {
+      return false;  // past the match range in the sorted order
+    }
+    return true;
+  });
+  return out;
+}
+
+void SegmentReader::for_each_term(
+    const std::function<bool(std::string_view, std::uint64_t)>& fn) const {
+  scan_from_block(0, fn);
+}
+
+SegmentBuildStats build_segment_from_runs(const std::string& dir,
+                                          const std::vector<DictionaryEntry>& entries,
+                                          const std::vector<IndexDirectoryEntry>& directory) {
+  SegmentBuildStats stats;
+  std::vector<RunFile> runs;
+  runs.reserve(directory.size());
+  for (const auto& e : directory) runs.push_back(RunFile::open(dir + "/" + e.file));
+  std::sort(runs.begin(), runs.end(),
+            [](const RunFile& a, const RunFile& b) { return a.run_id() < b.run_id(); });
+  stats.runs = runs.size();
+  const PostingCodec codec = runs.empty() ? PostingCodec::kVByte : runs.front().codec();
+  for (const auto& run : runs) {
+    HET_CHECK_MSG(run.codec() == codec, "segment build requires a uniform posting codec");
+  }
+  HET_CHECK_MSG(std::is_sorted(entries.begin(), entries.end(),
+                               [](const DictionaryEntry& a, const DictionaryEntry& b) {
+                                 return a.term < b.term;
+                               }),
+                "segment build requires a sorted dictionary");
+
+  // Same byte-level fold as merge_runs, but driven by the sorted dictionary
+  // so terms stream into the writer in final order: per term, concatenate
+  // its partial blobs in ascending run order (doc order, checked from the
+  // runs' min/max metadata) — no decode/re-encode.
+  SegmentWriter writer(IndexLayout::segment_path(dir), codec);
+  std::vector<std::uint8_t> blob;
+  for (const auto& de : entries) {
+    const PostingKey key{de.shard, de.handle};
+    blob.clear();
+    std::uint32_t count = 0, mn = 0, mx = 0;
+    for (const auto& run : runs) {
+      const RunTableEntry* e = run.entry(key);
+      if (e == nullptr) continue;
+      HET_CHECK_MSG(count == 0 || e->min_doc > mx,
+                    "doc ids must be globally increasing across runs");
+      const auto part = run.raw_blob(*e);
+      blob.insert(blob.end(), part.begin(), part.end());
+      stats.input_bytes += e->bytes;
+      if (count == 0) mn = e->min_doc;
+      mx = e->max_doc;
+      count += e->count;
+    }
+    if (count == 0) continue;  // dictionary term with no flushed postings
+    writer.add_term(de.term, blob.data(), blob.size(), count, mn, mx);
+    ++stats.terms;
+    stats.postings += count;
+  }
+  stats.output_bytes = writer.finalize();
+  return stats;
+}
+
+SegmentBuildStats compact_index(const std::string& dir) {
+  const auto entries = dictionary_read(IndexLayout::dictionary_path(dir));
+  const auto directory = index_directory_read(IndexLayout::directory_path(dir));
+  return build_segment_from_runs(dir, entries, directory);
+}
+
+}  // namespace hetindex

@@ -1,0 +1,186 @@
+#pragma once
+/// \file segment.hpp
+/// Immutable single-file index segments — the serving-time counterpart of
+/// the build-time run files. The paper's pipeline ends at "combine
+/// dictionary + write run files" (§III.F); a segment packs that whole
+/// output into one checksummed artifact so a serving process opens the
+/// index with one mmap and no eager decode:
+///
+///   header      magic, version, codec, block geometry, section offsets
+///   term dict   front-coded blocks (codec/front_coding scheme) of K terms;
+///               each block stores its first term verbatim so a sparse
+///               in-memory block index can hold zero-copy string_views
+///               into the mapping
+///   table       one fixed-width row per term, in term order:
+///               offset/bytes/count/min_doc/max_doc of its postings blob
+///   blob area   the concatenated compressed postings lists (byte-wise
+///               concatenation of the per-run partial lists — every
+///               sub-list's first doc id is absolute, the §III.F merge
+///               property, so no re-encode happens at compaction)
+///   footer      total size + CRC32 of everything before it
+///
+/// A SegmentReader is immutable after open() and keeps no per-lookup
+/// state, so any number of threads may share one instance with no locking.
+/// Exact byte layout: docs/INDEX_FORMAT.md.
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "codec/posting_codecs.hpp"
+#include "dict/dictionary.hpp"
+#include "io/mmap_file.hpp"
+#include "postings/run_file.hpp"
+
+namespace hetindex {
+
+/// Terms per front-coded dictionary block. Small enough that a lookup
+/// scans a handful of suffixes, large enough that the in-memory block
+/// index stays ~1/16th of the term count.
+inline constexpr std::uint32_t kSegmentTermsPerBlock = 16;
+
+/// Builds one segment file in memory and writes it out on finalize().
+/// Terms must arrive in strictly increasing lexicographic order with their
+/// final (fully merged) postings blob.
+class SegmentWriter {
+ public:
+  SegmentWriter(std::string path, PostingCodec codec,
+                std::uint32_t terms_per_block = kSegmentTermsPerBlock);
+
+  /// Appends one term and its encoded postings blob (one or more
+  /// back-to-back encoded sub-lists; `count` postings across all of them
+  /// covering doc ids [min_doc, max_doc]).
+  void add_term(std::string_view term, const std::uint8_t* blob, std::size_t blob_bytes,
+                std::uint32_t count, std::uint32_t min_doc, std::uint32_t max_doc);
+
+  /// Writes header + sections + CRC footer. Returns total bytes written.
+  std::uint64_t finalize();
+
+  [[nodiscard]] std::uint64_t term_count() const { return term_count_; }
+
+ private:
+  std::string path_;
+  PostingCodec codec_;
+  std::uint32_t terms_per_block_;
+  std::uint64_t term_count_ = 0;
+  std::uint32_t block_fill_ = 0;
+  std::string prev_term_;
+  std::uint32_t min_doc_ = 0xFFFFFFFFu;
+  std::uint32_t max_doc_ = 0;
+  std::vector<std::uint8_t> dict_;
+  std::vector<std::uint8_t> table_;
+  std::vector<std::uint8_t> blobs_;
+  bool finalized_ = false;
+};
+
+/// Shared-nothing reader over one mapped segment. All accessors are const
+/// and touch only immutable state + call-local scratch, so one instance
+/// serves concurrent readers without locks.
+class SegmentReader {
+ public:
+  /// Maps and validates `path`: footer magic, size, CRC32 of the whole
+  /// file, header magic/version, section bounds. Any mismatch raises a
+  /// descriptive check failure — corrupt bytes never reach a decoder.
+  static SegmentReader open(const std::string& path);
+
+  /// One postings table row, resolved against the mapping.
+  struct PostingsMeta {
+    std::uint64_t offset = 0;  ///< into the blob area
+    std::uint32_t bytes = 0;
+    std::uint32_t count = 0;
+    std::uint32_t min_doc = 0;
+    std::uint32_t max_doc = 0;
+  };
+
+  /// Ordinal of `term` in the sorted term dictionary; nullopt when absent.
+  /// Cost: binary search over the sparse block index + a scan of at most
+  /// terms_per_block front-coded suffixes.
+  [[nodiscard]] std::optional<std::uint64_t> find(std::string_view term) const;
+
+  /// The postings table row of term `ordinal` (< term_count()).
+  [[nodiscard]] PostingsMeta meta(std::uint64_t ordinal) const;
+
+  /// Lazily decodes the blob behind `m` straight out of the mapping,
+  /// appending to the output vectors (positions only when the index was
+  /// built positionally and `positions` is non-null).
+  void decode(const PostingsMeta& m, std::vector<std::uint32_t>& doc_ids,
+              std::vector<std::uint32_t>& tfs,
+              std::vector<std::uint32_t>* positions = nullptr) const;
+
+  /// All terms starting with `prefix`, lexicographic order (materialized —
+  /// front-coded terms have no contiguous bytes to view).
+  [[nodiscard]] std::vector<std::string> terms_with_prefix(std::string_view prefix) const;
+
+  /// fn(term, ordinal) over every term in order; return false to stop
+  /// early. The string_view is only valid during the call.
+  void for_each_term(
+      const std::function<bool(std::string_view, std::uint64_t)>& fn) const;
+
+  [[nodiscard]] std::uint64_t term_count() const { return term_count_; }
+  [[nodiscard]] PostingCodec codec() const { return codec_; }
+  [[nodiscard]] std::uint32_t min_doc() const { return min_doc_; }
+  [[nodiscard]] std::uint32_t max_doc() const { return max_doc_; }
+  /// Total file size on disk.
+  [[nodiscard]] std::uint64_t file_bytes() const { return file_.size(); }
+  /// Bytes served by a live mapping (0 when the pread fallback engaged).
+  [[nodiscard]] std::uint64_t mapped_bytes() const {
+    return file_.is_mapped() ? file_.size() : 0;
+  }
+  [[nodiscard]] const std::string& path() const { return file_.path(); }
+
+ private:
+  /// Sparse block index entry: zero-copy view of the block's first term
+  /// (stored verbatim in the file) + where its coded suffixes start.
+  struct Block {
+    std::string_view first;
+    std::size_t coded_pos = 0;  ///< into the dict section, after the first term
+    std::uint64_t base = 0;     ///< ordinal of the first term
+  };
+
+  [[nodiscard]] const std::uint8_t* dict_data() const { return file_.data() + dict_off_; }
+  /// Decodes the next front-coded term at `pos` into `cur`.
+  void next_term(std::string& cur, std::size_t& pos) const;
+  /// fn(term, ordinal) from the start of block `block_idx` onwards.
+  void scan_from_block(
+      std::size_t block_idx,
+      const std::function<bool(std::string_view, std::uint64_t)>& fn) const;
+
+  MmapFile file_;
+  PostingCodec codec_ = PostingCodec::kVByte;
+  std::uint32_t terms_per_block_ = kSegmentTermsPerBlock;
+  std::uint64_t term_count_ = 0;
+  std::uint32_t min_doc_ = 0;
+  std::uint32_t max_doc_ = 0;
+  std::uint64_t dict_off_ = 0, dict_bytes_ = 0;
+  std::uint64_t table_off_ = 0, table_bytes_ = 0;
+  std::uint64_t blob_off_ = 0, blob_bytes_ = 0;
+  std::vector<Block> blocks_;
+};
+
+/// What a segment build folded together.
+struct SegmentBuildStats {
+  std::uint64_t terms = 0;
+  std::uint64_t postings = 0;
+  std::uint64_t runs = 0;          ///< run files folded
+  std::uint64_t input_bytes = 0;   ///< encoded blob bytes read from runs
+  std::uint64_t output_bytes = 0;  ///< segment file size
+};
+
+/// Folds the given run files into `<dir>/index.seg` using the already
+/// loaded dictionary entries (sorted by term) — the writer path shared by
+/// PipelineEngine (entries still in memory at finalize) and compact_index
+/// (entries re-read from disk). Blobs concatenate byte-wise via the
+/// §III.F merge property; nothing is re-encoded.
+SegmentBuildStats build_segment_from_runs(const std::string& dir,
+                                          const std::vector<DictionaryEntry>& entries,
+                                          const std::vector<IndexDirectoryEntry>& directory);
+
+/// Reads dictionary + run directory under `dir` and compacts the run files
+/// into `<dir>/index.seg`. Run files are left in place: they stay the
+/// build-time interchange format (and the merger's input).
+SegmentBuildStats compact_index(const std::string& dir);
+
+}  // namespace hetindex

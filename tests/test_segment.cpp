@@ -1,0 +1,418 @@
+// Single-file segment tests: writer/reader round trip, run-file fold
+// equivalence (the segment must answer every query exactly like the legacy
+// backend), corruption detection (truncation, bit flips, bad footers must
+// die loudly out of SegmentReader::open, never decode garbage), and
+// lock-free concurrent readers sharing one SegmentReader.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/hetindex.hpp"
+#include "corpus/container.hpp"
+#include "io/mmap_file.hpp"
+#include "util/binary_io.hpp"
+#include "util/crc32.hpp"
+
+namespace hetindex {
+namespace {
+
+class TempDir {
+ public:
+  explicit TempDir(const std::string& tag) {
+    path_ = (std::filesystem::temp_directory_path() /
+             ("hetindex_seg_" + tag + "_" + std::to_string(counter_++)))
+                .string();
+    std::filesystem::create_directories(path_);
+  }
+  ~TempDir() { std::filesystem::remove_all(path_); }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  static inline int counter_ = 0;
+  std::string path_;
+};
+
+// ------------------------------------------------ writer/reader round trip
+
+std::vector<std::uint8_t> encode_list(const std::vector<std::uint32_t>& ids) {
+  std::vector<std::uint32_t> tfs(ids.size(), 1);
+  return encode_postings(PostingCodec::kVByte, ids, tfs);
+}
+
+TEST(SegmentWriterReader, RoundTripAcrossBlockBoundaries) {
+  TempDir dir("rt");
+  const std::string path = dir.path() + "/t.seg";
+  // 3 terms per block and 8 terms → three blocks, last one partial.
+  SegmentWriter writer(path, PostingCodec::kVByte, /*terms_per_block=*/3);
+  std::vector<std::string> terms = {"alder", "alder2", "beech",
+                                    "birch", "cedar", "cedarwood",
+                                    "fir",   "pine"};
+  for (std::size_t i = 0; i < terms.size(); ++i) {
+    const std::vector<std::uint32_t> ids = {static_cast<std::uint32_t>(i),
+                                            static_cast<std::uint32_t>(i + 10)};
+    const auto blob = encode_list(ids);
+    writer.add_term(terms[i], blob.data(), blob.size(), 2, ids.front(), ids.back());
+  }
+  EXPECT_EQ(writer.term_count(), terms.size());
+  const auto total = writer.finalize();
+  EXPECT_EQ(total, std::filesystem::file_size(path));
+
+  const auto reader = SegmentReader::open(path);
+  EXPECT_EQ(reader.term_count(), terms.size());
+  EXPECT_EQ(reader.codec(), PostingCodec::kVByte);
+  EXPECT_EQ(reader.min_doc(), 0u);
+  EXPECT_EQ(reader.max_doc(), 17u);
+  EXPECT_EQ(reader.file_bytes(), total);
+
+  for (std::size_t i = 0; i < terms.size(); ++i) {
+    const auto ordinal = reader.find(terms[i]);
+    ASSERT_TRUE(ordinal.has_value()) << terms[i];
+    EXPECT_EQ(*ordinal, i);
+    const auto m = reader.meta(*ordinal);
+    EXPECT_EQ(m.count, 2u);
+    EXPECT_EQ(m.min_doc, i);
+    EXPECT_EQ(m.max_doc, i + 10);
+    std::vector<std::uint32_t> ids, tfs;
+    reader.decode(m, ids, tfs);
+    EXPECT_EQ(ids, (std::vector<std::uint32_t>{static_cast<std::uint32_t>(i),
+                                               static_cast<std::uint32_t>(i + 10)}));
+    EXPECT_EQ(tfs, (std::vector<std::uint32_t>{1, 1}));
+  }
+  // Absent terms, including ones that fall before / between / after blocks.
+  EXPECT_FALSE(reader.find("aaa").has_value());
+  EXPECT_FALSE(reader.find("alder3").has_value());
+  EXPECT_FALSE(reader.find("cedarw").has_value());
+  EXPECT_FALSE(reader.find("zzz").has_value());
+
+  // Enumeration yields every term in order with its ordinal.
+  std::vector<std::string> seen;
+  reader.for_each_term([&](std::string_view t, std::uint64_t ord) {
+    EXPECT_EQ(ord, seen.size());
+    seen.emplace_back(t);
+    return true;
+  });
+  EXPECT_EQ(seen, terms);
+
+  // Prefix scans work across block boundaries.
+  EXPECT_EQ(reader.terms_with_prefix("alder"),
+            (std::vector<std::string>{"alder", "alder2"}));
+  EXPECT_EQ(reader.terms_with_prefix("cedar"),
+            (std::vector<std::string>{"cedar", "cedarwood"}));
+  EXPECT_EQ(reader.terms_with_prefix("").size(), terms.size());
+  EXPECT_TRUE(reader.terms_with_prefix("oak").empty());
+}
+
+TEST(SegmentWriterReader, EmptySegmentRoundTrips) {
+  TempDir dir("empty");
+  const std::string path = dir.path() + "/e.seg";
+  SegmentWriter writer(path, PostingCodec::kGamma);
+  writer.finalize();
+  const auto reader = SegmentReader::open(path);
+  EXPECT_EQ(reader.term_count(), 0u);
+  EXPECT_EQ(reader.codec(), PostingCodec::kGamma);
+  EXPECT_FALSE(reader.find("anything").has_value());
+  EXPECT_TRUE(reader.terms_with_prefix("").empty());
+}
+
+TEST(SegmentWriterReader, WriterRejectsUnsortedAndEmptyTerms) {
+  TempDir dir("sorted");
+  const auto blob = encode_list({1, 2});
+  SegmentWriter writer(dir.path() + "/s.seg", PostingCodec::kVByte);
+  writer.add_term("m", blob.data(), blob.size(), 2, 1, 2);
+  EXPECT_DEATH(writer.add_term("a", blob.data(), blob.size(), 2, 1, 2), "sorted");
+  EXPECT_DEATH(writer.add_term("m", blob.data(), blob.size(), 2, 1, 2), "sorted");
+  EXPECT_DEATH(writer.add_term("z", blob.data(), 0, 0, 0, 0), "postings");
+}
+
+// ------------------------------------------------ fold equivalence
+
+/// Corpus across several container files → several run files, with shared
+/// vocabulary so the segment fold concatenates partial lists across runs.
+class SegmentEquivalenceFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    dir_ = new TempDir("equiv");
+    index_dir_ = dir_->path() + "/index";
+    std::vector<std::string> files;
+    std::uint32_t doc_id = 0;
+    for (int f = 0; f < 3; ++f) {
+      std::vector<Document> docs;
+      for (int d = 0; d < 12; ++d) {
+        std::string body = "shared common everywhere";
+        body += " file" + std::to_string(f) + "only";
+        if (d % 2 == 0) body += " evens alternating";
+        if (d % 3 == 0) body += " thirds";
+        body += " doc" + std::to_string(doc_id) + "unique";
+        docs.push_back({doc_id, "http://x/" + std::to_string(doc_id), body});
+        ++doc_id;
+      }
+      const auto file = dir_->path() + "/c" + std::to_string(f) + ".hdc";
+      container_write(file, docs);
+      files.push_back(file);
+    }
+    IndexBuilder builder;
+    builder.parsers(1).cpu_indexers(1).gpus(1);
+    builder.config().parser.record_positions = true;
+    builder.build(files, index_dir_);
+    stats_ = compact_index(index_dir_);
+  }
+  static void TearDownTestSuite() {
+    delete dir_;
+    dir_ = nullptr;
+  }
+
+  static inline TempDir* dir_ = nullptr;
+  static inline std::string index_dir_;
+  static inline SegmentBuildStats stats_;
+};
+
+TEST_F(SegmentEquivalenceFixture, CompactionFoldsAllRuns) {
+  EXPECT_EQ(stats_.runs, 3u);
+  EXPECT_GT(stats_.terms, 0u);
+  EXPECT_GT(stats_.postings, stats_.terms);  // shared terms span many docs
+  EXPECT_TRUE(file_exists(IndexLayout::segment_path(index_dir_)));
+  EXPECT_GT(stats_.output_bytes, 0u);
+}
+
+TEST_F(SegmentEquivalenceFixture, AutoOpenPrefersSegment) {
+  const auto index = InvertedIndex::open(index_dir_);
+  EXPECT_TRUE(index.segment_backed());
+  ASSERT_NE(index.segment(), nullptr);
+  EXPECT_EQ(index.run_count(), 0u);
+  const auto legacy = InvertedIndex::open_runs(index_dir_);
+  EXPECT_FALSE(legacy.segment_backed());
+  EXPECT_EQ(legacy.segment(), nullptr);
+  EXPECT_EQ(legacy.run_count(), 3u);
+  EXPECT_EQ(index.term_count(), legacy.term_count());
+}
+
+TEST_F(SegmentEquivalenceFixture, EntriesRequiresRunBackend) {
+  const auto index = InvertedIndex::open_segment(index_dir_);
+  EXPECT_DEATH((void)index.entries(), "run-file backend");
+}
+
+TEST_F(SegmentEquivalenceFixture, LookupsMatchLegacyForEveryTerm) {
+  const auto segment = InvertedIndex::open_segment(index_dir_);
+  const auto legacy = InvertedIndex::open_runs(index_dir_);
+  std::size_t checked = 0;
+  legacy.for_each_term([&](std::string_view term) {
+    const auto a = legacy.lookup(term);
+    const auto b = segment.lookup(term);
+    ASSERT_TRUE(a.has_value() && b.has_value()) << term;
+    EXPECT_EQ(a->doc_ids, b->doc_ids) << term;
+    EXPECT_EQ(a->tfs, b->tfs) << term;
+    const auto ap = legacy.lookup_positional(term);
+    const auto bp = segment.lookup_positional(term);
+    ASSERT_TRUE(ap.has_value() && bp.has_value()) << term;
+    EXPECT_EQ(ap->positions, bp->positions) << term;
+    ++checked;
+  });
+  EXPECT_EQ(checked, legacy.term_count());
+  EXPECT_FALSE(segment.lookup("zzzznope").has_value());
+  EXPECT_FALSE(legacy.lookup("zzzznope").has_value());
+}
+
+TEST_F(SegmentEquivalenceFixture, RangeLookupsMatchLegacy) {
+  const auto segment = InvertedIndex::open_segment(index_dir_);
+  const auto legacy = InvertedIndex::open_runs(index_dir_);
+  const std::string shared = normalize_term("shared");
+  const struct {
+    std::uint32_t lo, hi;
+  } ranges[] = {{0, 35}, {0, 11}, {12, 23}, {5, 30}, {30, 35}, {100, 200}};
+  for (const auto& r : ranges) {
+    const auto a = legacy.lookup_range(shared, r.lo, r.hi);
+    const auto b = segment.lookup_range(shared, r.lo, r.hi);
+    ASSERT_TRUE(a.has_value() && b.has_value());
+    EXPECT_EQ(a->doc_ids, b->doc_ids) << r.lo << ".." << r.hi;
+    EXPECT_EQ(a->tfs, b->tfs);
+  }
+  // Segment-backed narrowing: a non-overlapping range skips the decode and
+  // reports zero blobs touched (the term still exists → not nullopt).
+  std::size_t touched = 99;
+  const auto out = segment.lookup_range(shared, 1000, 2000, &touched);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_TRUE(out->doc_ids.empty());
+  EXPECT_EQ(touched, 0u);
+  EXPECT_FALSE(segment.lookup_range("zzzznope", 0, 10, &touched).has_value());
+  EXPECT_EQ(touched, 0u);
+}
+
+TEST_F(SegmentEquivalenceFixture, PrefixScansMatchLegacy) {
+  const auto segment = InvertedIndex::open_segment(index_dir_);
+  const auto legacy = InvertedIndex::open_runs(index_dir_);
+  for (const std::string prefix : {"", "s", "file", "doc1", "zzz"}) {
+    EXPECT_EQ(segment.terms_with_prefix(prefix), legacy.terms_with_prefix(prefix))
+        << "prefix '" << prefix << "'";
+  }
+}
+
+TEST_F(SegmentEquivalenceFixture, ReadMetricsAccumulate) {
+  const auto index = InvertedIndex::open_segment(index_dir_);
+  (void)index.lookup(normalize_term("shared"));
+  (void)index.lookup("zzzznope");
+  const auto snap = index.metrics().snapshot();
+  EXPECT_EQ(snap.counter("query_lookups_total"), 2u);
+  EXPECT_EQ(snap.counter("query_lookup_misses_total"), 1u);
+  EXPECT_GT(snap.counter("query_postings_decoded_total"), 0u);
+  EXPECT_GT(snap.counter("query_bytes_decoded_total"), 0u);
+  const auto* mapped = snap.gauge("segment_bytes_mapped");
+  ASSERT_NE(mapped, nullptr);
+  EXPECT_EQ(static_cast<std::uint64_t>(mapped->value), index.segment()->mapped_bytes());
+}
+
+// ------------------------------------------------ corruption
+
+class SegmentCorruptionFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::make_unique<TempDir>("corrupt");
+    seg_path_ = dir_->path() + "/c.seg";
+    SegmentWriter writer(seg_path_, PostingCodec::kVByte);
+    const std::vector<std::string> sorted = {"alpha", "beta", "delta", "gamma", "omega"};
+    for (const auto& term : sorted) {
+      const auto blob = encode_list({1, 5, 9});
+      writer.add_term(term, blob.data(), blob.size(), 3, 1, 9);
+    }
+    writer.finalize();
+  }
+
+  /// XORs one byte at `offset` (negative = from end).
+  void flip(std::ptrdiff_t offset) {
+    auto data = read_file(seg_path_);
+    const std::size_t at = offset >= 0 ? static_cast<std::size_t>(offset)
+                                       : data.size() + offset;
+    ASSERT_LT(at, data.size());
+    data[at] ^= 0x5A;
+    write_file(seg_path_, data);
+  }
+
+  /// Recomputes the footer CRC so header/section tampering survives the
+  /// checksum and exercises the structural checks behind it.
+  void fix_crc() {
+    auto data = read_file(seg_path_);
+    const std::uint32_t crc = crc32(data.data(), data.size() - 16);
+    std::memcpy(data.data() + data.size() - 8, &crc, 4);
+    write_file(seg_path_, data);
+  }
+
+  std::unique_ptr<TempDir> dir_;
+  std::string seg_path_;
+};
+
+TEST_F(SegmentCorruptionFixture, TruncatedFileDies) {
+  auto data = read_file(seg_path_);
+  data.resize(data.size() / 2);
+  write_file(seg_path_, data);
+  EXPECT_DEATH((void)SegmentReader::open(seg_path_), "footer|truncated");
+  data.resize(10);
+  write_file(seg_path_, data);
+  EXPECT_DEATH((void)SegmentReader::open(seg_path_), "too small");
+}
+
+TEST_F(SegmentCorruptionFixture, BitFlippedBlobDies) {
+  flip(-20);  // inside the blob area, just before the footer
+  EXPECT_DEATH((void)SegmentReader::open(seg_path_), "corruption|crc");
+}
+
+TEST_F(SegmentCorruptionFixture, BitFlippedHeaderDies) {
+  flip(0);
+  EXPECT_DEATH((void)SegmentReader::open(seg_path_), "corruption|crc");
+}
+
+TEST_F(SegmentCorruptionFixture, BadFooterCrcDies) {
+  flip(-6);  // inside the stored CRC field
+  EXPECT_DEATH((void)SegmentReader::open(seg_path_), "corruption|crc");
+}
+
+TEST_F(SegmentCorruptionFixture, BadFooterMagicDies) {
+  flip(-1);
+  EXPECT_DEATH((void)SegmentReader::open(seg_path_), "footer magic");
+}
+
+TEST_F(SegmentCorruptionFixture, WrongMagicWithValidCrcDies) {
+  flip(0);
+  fix_crc();
+  EXPECT_DEATH((void)SegmentReader::open(seg_path_), "not a hetindex segment");
+}
+
+TEST_F(SegmentCorruptionFixture, WrongVersionWithValidCrcDies) {
+  flip(4);
+  fix_crc();
+  EXPECT_DEATH((void)SegmentReader::open(seg_path_), "segment version");
+}
+
+TEST_F(SegmentCorruptionFixture, TamperedSectionBoundsDie) {
+  // Grow dict_bytes (u64 at offset 40) past the file end; CRC is repaired
+  // so only the bounds check can catch it.
+  auto data = read_file(seg_path_);
+  std::uint64_t dict_bytes = 0;
+  std::memcpy(&dict_bytes, data.data() + 40, 8);
+  dict_bytes += 1 << 20;
+  std::memcpy(data.data() + 40, &dict_bytes, 8);
+  write_file(seg_path_, data);
+  fix_crc();
+  EXPECT_DEATH((void)SegmentReader::open(seg_path_), "section out of bounds");
+}
+
+TEST_F(SegmentCorruptionFixture, MissingFileDies) {
+  EXPECT_DEATH((void)SegmentReader::open(dir_->path() + "/nope.seg"),
+               "cannot open|cannot read");
+}
+
+// ------------------------------------------------ concurrent readers
+
+TEST_F(SegmentEquivalenceFixture, ConcurrentReadersMatchLegacy) {
+  // Expected answers collected single-threaded from the legacy backend.
+  const auto legacy = InvertedIndex::open_runs(index_dir_);
+  std::vector<std::string> terms;
+  legacy.for_each_term([&](std::string_view t) { terms.emplace_back(t); });
+  std::vector<QueryPostings> expected;
+  expected.reserve(terms.size());
+  for (const auto& t : terms) expected.push_back(*legacy.lookup(t));
+
+  // One shared reader, no locks: lookups, range lookups and prefix scans
+  // hammered from many threads must all agree with the legacy answers.
+  const auto index = InvertedIndex::open_segment(index_dir_);
+  constexpr int kThreads = 8;
+  constexpr int kIters = 150;
+  std::atomic<int> failures{0};
+  {
+    std::vector<std::jthread> workers;
+    workers.reserve(kThreads);
+    for (int w = 0; w < kThreads; ++w) {
+      workers.emplace_back([&, w] {
+        for (int i = 0; i < kIters; ++i) {
+          const std::size_t k = static_cast<std::size_t>(w + i) % terms.size();
+          const auto got = index.lookup(terms[k]);
+          if (!got || got->doc_ids != expected[k].doc_ids ||
+              got->tfs != expected[k].tfs) {
+            failures.fetch_add(1, std::memory_order_relaxed);
+          }
+          if (index.lookup("zzzznope").has_value()) {
+            failures.fetch_add(1, std::memory_order_relaxed);
+          }
+          const auto ranged = index.lookup_range(terms[k], 0, 11);
+          if (!ranged || ranged->doc_ids.size() > expected[k].doc_ids.size()) {
+            failures.fetch_add(1, std::memory_order_relaxed);
+          }
+          if (i % 25 == 0 &&
+              index.terms_with_prefix("doc").empty()) {
+            failures.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      });
+    }
+  }
+  EXPECT_EQ(failures.load(), 0);
+  const auto snap = index.metrics().snapshot();
+  EXPECT_EQ(snap.counter("query_lookups_total"),
+            static_cast<std::uint64_t>(kThreads) * kIters * 3);
+}
+
+}  // namespace
+}  // namespace hetindex
