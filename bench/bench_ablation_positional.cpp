@@ -83,7 +83,7 @@ int main() {
               size_overhead * 100);
 
   // Demonstrate what the extra bytes buy: a phrase query.
-  const auto index = InvertedIndex::open(bench_dir() + "/positional_out");
+  const auto index = InvertedIndex::open(bench_dir() + "/positional_out", {}).value();
   std::size_t phrase_capable = 0;
   if (!index.entries().empty()) {
     const auto p = index.lookup_positional(index.entries()[0].term);

@@ -1,0 +1,117 @@
+/// \file bench_live_ingest.cpp
+/// Live-indexing cost model: what does incremental ingestion through
+/// IndexWriter cost relative to the one-shot batch pipeline on the same
+/// corpus? The paper builds inverted files in bulk; this harness measures
+/// the price of giving up bulk construction for freshness — per-document
+/// ingest throughput across flush thresholds, flush/compaction counts, the
+/// write amplification of the tiered merge policy (bytes rewritten by
+/// merges vs bytes flushed), and snapshot query latency against segment
+/// counts before and after compaction.
+
+#include <cstdio>
+#include <filesystem>
+#include <vector>
+
+#include "bench_common.hpp"
+
+using namespace hetindex;
+using namespace hetindex::bench;
+
+namespace {
+
+std::uint64_t counter_value(const obs::MetricsRegistry& metrics, const char* name) {
+  for (const auto& c : metrics.snapshot().counters) {
+    if (c.name == name) return c.value;
+  }
+  return 0;
+}
+
+double query_micros(const LiveSnapshot& snap, const std::vector<std::string>& terms) {
+  WallTimer timer;
+  std::size_t hits = 0;
+  for (const auto& term : terms) {
+    if (snap.lookup(term)) ++hits;
+  }
+  return terms.empty() ? 0.0 : timer.seconds() * 1e6 / static_cast<double>(terms.size());
+}
+
+}  // namespace
+
+int main() {
+  banner("Live ingestion — incremental IndexWriter vs one-shot batch build",
+         "docs/LIVE_INDEXING.md (extension beyond Wei & JaJa 2011)");
+
+  auto spec = wikipedia_like();
+  spec.total_bytes = static_cast<std::uint64_t>(8.0 * scale() * (1 << 20));
+  const auto coll = cached_collection(spec);
+  std::vector<Document> docs;
+  std::uint64_t raw_bytes = 0;
+  for (const auto& file : coll.paths()) {
+    for (auto& doc : container_read(file)) {
+      raw_bytes += doc.body.size();
+      docs.push_back(std::move(doc));
+    }
+  }
+
+  // Batch reference: the paper's pipeline, straight to a serving segment.
+  const std::string batch_dir = bench_dir() + "/live_batch";
+  std::filesystem::remove_all(batch_dir);
+  IndexBuilder builder;
+  builder.emit_segment(true);
+  const auto batch_report = builder.build(coll.paths(), batch_dir);
+  std::printf("\nCorpus: %zu docs, %s raw text\n", docs.size(),
+              format_bytes(raw_bytes).c_str());
+  std::printf("Batch build: %.2f s (%.1f MB/s), one segment\n",
+              batch_report.total_seconds, batch_report.throughput_mb_s());
+
+  // A fixed probe set for snapshot query latency: every 97th term.
+  std::vector<std::string> probes;
+  {
+    const auto batch = InvertedIndex::open(batch_dir, {IndexBackend::kSegment}).value();
+    std::size_t i = 0;
+    batch.for_each_term([&](std::string_view term) {
+      if (i++ % 97 == 0) probes.emplace_back(term);
+    });
+  }
+
+  std::printf("\n%-12s %10s %8s %8s %10s %8s %10s %10s\n", "flush", "docs/s",
+              "flushes", "merges", "write-amp", "segs", "q-us/term", "q-us/cpct");
+  row_sep(84);
+  for (const std::uint64_t flush_kb : {64ull, 256ull, 1024ull}) {
+    const std::string dir = bench_dir() + "/live_ingest_" + std::to_string(flush_kb);
+    std::filesystem::remove_all(dir);
+    IndexWriterOptions opts;
+    opts.flush_threshold_bytes = flush_kb << 10;
+    auto w = IndexWriter::open(dir, opts).value();
+    WallTimer timer;
+    for (const auto& doc : docs) w.add_document(doc.url, doc.body);
+    w.flush();
+    const double ingest_seconds = timer.seconds();
+    const double before_us = query_micros(*w.snapshot(), probes);
+    w.compact_now();
+    const auto snap = w.snapshot();
+    const double after_us = query_micros(*snap, probes);
+
+    // Write amplification of the tiered merge policy: every byte a merge
+    // rewrites comes on top of the bytes flushes wrote once (1.0 == no
+    // merge ever ran).
+    const std::uint64_t flushes = counter_value(w.metrics(), "live_flushes_total");
+    const std::uint64_t merges = counter_value(w.metrics(), "compactions_total");
+    const std::uint64_t flushed = counter_value(w.metrics(), "live_flushed_bytes_total");
+    const std::uint64_t merged = counter_value(w.metrics(), "compaction_bytes_written_total");
+    const double write_amp =
+        flushed == 0 ? 1.0 : static_cast<double>(flushed + merged) / flushed;
+
+    std::printf("%9llu KB %10.0f %8llu %8llu %10.2f %8zu %10.1f %10.1f\n",
+                static_cast<unsigned long long>(flush_kb),
+                static_cast<double>(docs.size()) / ingest_seconds,
+                static_cast<unsigned long long>(flushes),
+                static_cast<unsigned long long>(merges), write_amp,
+                snap->segment_count(), before_us, after_us);
+  }
+
+  std::printf("\nIngest throughput rises with the flush threshold (fewer, larger\n"
+              "segments to write); query latency falls after compaction as the\n"
+              "per-term lookup touches fewer segments.\n");
+  return 0;
+}

@@ -51,7 +51,7 @@ int main() {
               report.total_seconds, report.merge_seconds, merge_fraction * 100.0);
 
   // The merged file must answer queries identically to run concatenation.
-  const auto index = InvertedIndex::open(pc.output_dir);
+  const auto index = InvertedIndex::open(pc.output_dir, {}).value();
   const auto merged = RunFile::open(IndexLayout::merged_path(pc.output_dir));
   std::size_t checked = 0, agree = 0;
   for (const auto& e : index.entries()) {

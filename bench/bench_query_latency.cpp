@@ -87,7 +87,7 @@ int main() {
   // A query mix biased toward real terms, sampled across the dictionary.
   std::vector<std::string> terms;
   {
-    const auto legacy = InvertedIndex::open_runs(index_dir);
+    const auto legacy = InvertedIndex::open(index_dir, {IndexBackend::kRuns}).value();
     std::size_t i = 0;
     legacy.for_each_term([&](std::string_view t) {
       if (i++ % 37 == 0) terms.emplace_back(t);
@@ -99,8 +99,10 @@ int main() {
   const char* names[2] = {"run files", "segment"};
   for (int backend = 0; backend < 2; ++backend) {
     WallTimer open_timer;
-    const auto index = backend == 0 ? InvertedIndex::open_runs(index_dir)
-                                    : InvertedIndex::open_segment(index_dir);
+    const auto index =
+        InvertedIndex::open(index_dir, {backend == 0 ? IndexBackend::kRuns
+                                                     : IndexBackend::kSegment})
+            .value();
     rows[backend] = measure(index, terms, max_doc);
     rows[backend].open_ms = open_timer.seconds() * 1e3;  // includes warmup lookups
   }

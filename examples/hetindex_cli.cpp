@@ -1,25 +1,31 @@
 /// \file hetindex_cli.cpp
 /// Command-line front end — the operational tool a downstream team would
-/// actually run. Subcommands:
+/// actually run. One uniform verb surface:
 ///
-///   hetindex_cli generate <dir> [--preset clueweb|wikipedia|congress] [--mb N]
-///   hetindex_cli build <corpus_dir> <index_dir> [--parsers N] [--cpus N]
-///                      [--gpus N] [--positions] [--merge] [--segment]
-///                      [--progress] [--metrics] [--report-json <path>]
-///   hetindex_cli compact <index_dir>                  (fold runs into index.seg)
-///   hetindex_cli query <index_dir> <term...>          (AND semantics)
-///   hetindex_cli search <index_dir> <term...>         (BM25 top-10, with URLs)
-///   hetindex_cli phrase <index_dir> <term...>         (adjacent positions)
-///   hetindex_cli stats <index_dir>
-///   hetindex_cli verify <index_dir>
+///   hetindex_cli <verb> [positionals] [--flag[ value]...]
+///   hetindex_cli <verb> --help        per-verb usage
 ///
-/// query/search/phrase/stats serve from the compacted segment automatically
-/// when one exists.
+///   generate  synthesize a corpus          (--preset, --mb)
+///   build     batch-build an index         (--parsers, --cpus, --gpus, ...)
+///   compact   fold run files into index.seg, or run the live merge policy
+///   live      incremental-ingestion demo   (--flush-mb, --merge-factor, ...)
+///   query     AND query                    (works on batch and live dirs)
+///   search    BM25 top-10 with URLs
+///   phrase    adjacent-position phrase query
+///   stats     index shape summary          (batch and live dirs)
+///   verify    structural index check
+///
+/// query/stats detect a live directory (MANIFEST present) automatically and
+/// serve from its committed snapshot; batch directories prefer the
+/// compacted segment when one exists. Open and configuration problems are
+/// reported as structured errors (util/error.hpp), never aborts.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -29,20 +35,115 @@ using namespace hetindex;
 
 namespace {
 
+// ------------------------------------------------------------ arg parsing
+
+/// One accepted flag of a verb; flags are spelled --kebab-case everywhere.
+struct FlagSpec {
+  const char* name;      ///< without the leading --
+  bool takes_value;
+  const char* help;
+};
+
+/// Uniform per-verb parser: positionals + declared flags + generated
+/// --help. Unknown or incomplete flags print usage and fail.
+class ArgParser {
+ public:
+  ArgParser(std::string verb, std::string positional_help, std::vector<FlagSpec> specs)
+      : verb_(std::move(verb)),
+        positional_help_(std::move(positional_help)),
+        specs_(std::move(specs)) {}
+
+  /// Returns false when parsing failed or --help was requested (usage is
+  /// already printed; the caller returns the exit code).
+  bool parse(int argc, char** argv) {
+    for (int i = 0; i < argc; ++i) {
+      const char* arg = argv[i];
+      if (std::strncmp(arg, "--", 2) != 0) {
+        positionals_.emplace_back(arg);
+        continue;
+      }
+      if (std::strcmp(arg, "--help") == 0) {
+        print_usage(stdout);
+        help_ = true;
+        return false;
+      }
+      const FlagSpec* spec = nullptr;
+      for (const auto& s : specs_) {
+        if (std::strcmp(arg + 2, s.name) == 0) spec = &s;
+      }
+      if (spec == nullptr) {
+        std::fprintf(stderr, "unknown flag for '%s': %s\n", verb_.c_str(), arg);
+        print_usage(stderr);
+        return false;
+      }
+      if (spec->takes_value) {
+        if (i + 1 >= argc) {
+          std::fprintf(stderr, "flag --%s needs a value\n", spec->name);
+          print_usage(stderr);
+          return false;
+        }
+        values_[spec->name] = argv[++i];
+      } else {
+        values_[spec->name] = "";
+      }
+    }
+    return true;
+  }
+
+  void print_usage(std::FILE* out) const {
+    std::fprintf(out, "usage: hetindex_cli %s %s", verb_.c_str(), positional_help_.c_str());
+    for (const auto& s : specs_) {
+      std::fprintf(out, " [--%s%s]", s.name, s.takes_value ? " <v>" : "");
+    }
+    std::fputc('\n', out);
+    for (const auto& s : specs_) {
+      std::fprintf(out, "  --%-18s %s\n", s.name, s.help);
+    }
+  }
+
+  [[nodiscard]] bool help_requested() const { return help_; }
+  [[nodiscard]] const std::vector<std::string>& positionals() const { return positionals_; }
+  [[nodiscard]] bool has(const std::string& name) const { return values_.count(name) > 0; }
+  [[nodiscard]] std::string str(const std::string& name, std::string fallback = "") const {
+    const auto it = values_.find(name);
+    return it == values_.end() ? fallback : it->second;
+  }
+  [[nodiscard]] double num(const std::string& name, double fallback) const {
+    const auto it = values_.find(name);
+    return it == values_.end() ? fallback : std::atof(it->second.c_str());
+  }
+
+ private:
+  std::string verb_;
+  std::string positional_help_;
+  std::vector<FlagSpec> specs_;
+  std::vector<std::string> positionals_;
+  std::map<std::string, std::string> values_;
+  bool help_ = false;
+};
+
 int usage() {
   std::fprintf(stderr,
-               "usage: hetindex_cli <generate|build|compact|query|search|phrase|stats|verify> ...\n"
-               "  generate <dir> [--preset clueweb|wikipedia|congress] [--mb N]\n"
-               "  build <corpus_dir> <index_dir> [--parsers N] [--cpus N] [--gpus N]\n"
-               "        [--positions] [--merge] [--segment] [--progress] [--metrics]\n"
-               "        [--report-json <path>]\n"
-               "  compact <index_dir>\n"
-               "  query <index_dir> <term...>\n"
-               "  search <index_dir> <term...>\n"
-               "  phrase <index_dir> <term...>\n"
-               "  stats <index_dir>\n"
-               "  verify <index_dir>\n");
+               "usage: hetindex_cli <verb> ... (--help on any verb for details)\n"
+               "  generate <dir>                synthesize a corpus\n"
+               "  build <corpus_dir> <index_dir>  batch-build an index\n"
+               "  compact <index_dir>           fold runs into index.seg / merge live segments\n"
+               "  live <corpus_dir> <index_dir>   incremental-ingestion demo\n"
+               "  query <index_dir> <term...>   AND query (batch or live dir)\n"
+               "  search <index_dir> <term...>  BM25 top-10, with URLs\n"
+               "  phrase <index_dir> <term...>  adjacent-position phrase query\n"
+               "  stats <index_dir>             index shape summary\n"
+               "  verify <index_dir>            structural check\n");
   return 2;
+}
+
+int report_error(const Error& e) {
+  std::fprintf(stderr, "error [%s]: %s\n", error_code_name(e.code), e.message.c_str());
+  return 1;
+}
+
+bool is_live_dir(const std::string& dir) {
+  return std::filesystem::exists(manifest_path(dir));
 }
 
 std::vector<std::string> corpus_files(const std::string& dir) {
@@ -54,20 +155,23 @@ std::vector<std::string> corpus_files(const std::string& dir) {
   return files;
 }
 
+// ------------------------------------------------------------ verbs
+
 int cmd_generate(int argc, char** argv) {
-  if (argc < 1) return usage();
-  const std::string dir = argv[0];
-  std::string preset = "wikipedia";
-  double mb = 16;
-  for (int i = 1; i + 1 < argc + 1; ++i) {
-    if (i + 1 <= argc - 1 && std::strcmp(argv[i], "--preset") == 0) preset = argv[++i];
-    else if (i + 1 <= argc - 1 && std::strcmp(argv[i], "--mb") == 0) mb = std::atof(argv[++i]);
+  ArgParser args("generate", "<dir>",
+                 {{"preset", true, "clueweb | wikipedia | congress (default wikipedia)"},
+                  {"mb", true, "uncompressed corpus size in MB (default 16)"}});
+  if (!args.parse(argc, argv)) return args.help_requested() ? 0 : 2;
+  if (args.positionals().size() != 1) {
+    args.print_usage(stderr);
+    return 2;
   }
+  const std::string preset = args.str("preset", "wikipedia");
   CollectionSpec spec = preset == "clueweb"    ? clueweb_like()
                         : preset == "congress" ? congress_like()
                                                : wikipedia_like();
-  spec.total_bytes = static_cast<std::uint64_t>(mb * (1 << 20));
-  const auto coll = generate_collection(spec, dir);
+  spec.total_bytes = static_cast<std::uint64_t>(args.num("mb", 16) * (1 << 20));
+  const auto coll = generate_collection(spec, args.positionals()[0]);
   std::printf("generated %zu files, %s compressed / %s raw, %llu docs\n",
               coll.files.size(), format_bytes(coll.total_compressed()).c_str(),
               format_bytes(coll.total_uncompressed()).c_str(),
@@ -76,55 +180,53 @@ int cmd_generate(int argc, char** argv) {
 }
 
 int cmd_build(int argc, char** argv) {
-  if (argc < 2) return usage();
-  const std::string corpus_dir = argv[0];
-  const std::string index_dir = argv[1];
-  IndexBuilder builder;
-  builder.parsers(2).cpu_indexers(2).gpus(2);
-  bool dump_metrics = false;
-  std::string report_json_path;
-  for (int i = 2; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--parsers") == 0 && i + 1 < argc) {
-      builder.parsers(static_cast<std::size_t>(std::atoi(argv[++i])));
-    } else if (std::strcmp(argv[i], "--cpus") == 0 && i + 1 < argc) {
-      builder.cpu_indexers(static_cast<std::size_t>(std::atoi(argv[++i])));
-    } else if (std::strcmp(argv[i], "--gpus") == 0 && i + 1 < argc) {
-      builder.gpus(static_cast<std::size_t>(std::atoi(argv[++i])));
-    } else if (std::strcmp(argv[i], "--positions") == 0) {
-      builder.config().parser.record_positions = true;
-    } else if (std::strcmp(argv[i], "--merge") == 0) {
-      builder.merge_output(true);
-    } else if (std::strcmp(argv[i], "--segment") == 0) {
-      builder.emit_segment(true);
-    } else if (std::strcmp(argv[i], "--progress") == 0) {
-      builder.progress([](const PipelineProgress& p) {
-        std::fprintf(stderr, "\rrun %llu/%llu  %llu docs  %.1f MB/s",
-                     static_cast<unsigned long long>(p.runs_completed),
-                     static_cast<unsigned long long>(p.files_total),
-                     static_cast<unsigned long long>(p.documents), p.throughput_mb_s());
-        if (p.runs_completed == p.files_total) std::fputc('\n', stderr);
-      });
-    } else if (std::strcmp(argv[i], "--metrics") == 0) {
-      dump_metrics = true;
-    } else if (std::strcmp(argv[i], "--report-json") == 0 && i + 1 < argc) {
-      report_json_path = argv[++i];
-    } else {
-      std::fprintf(stderr, "unknown or incomplete option: %s\n", argv[i]);
-      return usage();
-    }
-  }
-  // Refuse contradictory configurations up front with the full error list
-  // instead of aborting mid-build.
-  if (const auto errors = builder.validate(); !errors.empty()) {
-    for (const auto& e : errors) std::fprintf(stderr, "config error: %s\n", e.c_str());
+  ArgParser args("build", "<corpus_dir> <index_dir>",
+                 {{"parsers", true, "parser threads (default 2)"},
+                  {"cpus", true, "CPU indexers (default 2)"},
+                  {"gpus", true, "simulated GPUs (default 2)"},
+                  {"positions", false, "record in-document token positions"},
+                  {"merge", false, "also merge run files into merged.post"},
+                  {"segment", false, "also emit the serving segment index.seg"},
+                  {"progress", false, "live per-run progress on stderr"},
+                  {"metrics", false, "dump Prometheus metrics after the build"},
+                  {"report-json", true, "write the build report as JSON"}});
+  if (!args.parse(argc, argv)) return args.help_requested() ? 0 : 2;
+  if (args.positionals().size() != 2) {
+    args.print_usage(stderr);
     return 2;
   }
-  const auto files = corpus_files(corpus_dir);
+  IndexBuilder builder;
+  builder.parsers(static_cast<std::size_t>(args.num("parsers", 2)))
+      .cpu_indexers(static_cast<std::size_t>(args.num("cpus", 2)))
+      .gpus(static_cast<std::size_t>(args.num("gpus", 2)));
+  if (args.has("positions")) builder.config().parser.record_positions = true;
+  if (args.has("merge")) builder.merge_output(true);
+  if (args.has("segment")) builder.emit_segment(true);
+  if (args.has("progress")) {
+    builder.progress([](const PipelineProgress& p) {
+      std::fprintf(stderr, "\rrun %llu/%llu  %llu docs  %.1f MB/s",
+                   static_cast<unsigned long long>(p.runs_completed),
+                   static_cast<unsigned long long>(p.files_total),
+                   static_cast<unsigned long long>(p.documents), p.throughput_mb_s());
+      if (p.runs_completed == p.files_total) std::fputc('\n', stderr);
+    });
+  }
+  // Refuse contradictory configurations up front with the full error list
+  // instead of aborting mid-build — the same Error type open() reports.
+  if (const auto errors = builder.validate(); !errors.empty()) {
+    for (const auto& e : errors) {
+      std::fprintf(stderr, "config error [%s]: %s\n", error_code_name(e.code),
+                   e.message.c_str());
+    }
+    return 2;
+  }
+  const auto files = corpus_files(args.positionals()[0]);
   if (files.empty()) {
-    std::fprintf(stderr, "no .hdc container files under %s\n", corpus_dir.c_str());
+    std::fprintf(stderr, "no .hdc container files under %s\n",
+                 args.positionals()[0].c_str());
     return 1;
   }
-  const auto report = builder.build(files, index_dir);
+  const auto report = builder.build(files, args.positionals()[1]);
   std::printf("indexed %llu docs / %llu tokens into %llu terms across %zu runs\n",
               static_cast<unsigned long long>(report.documents),
               static_cast<unsigned long long>(report.tokens),
@@ -137,6 +239,7 @@ int cmd_build(int argc, char** argv) {
     std::printf("segment: %s written in %.2f s\n",
                 format_bytes(report.segment_bytes).c_str(), report.segment_seconds);
   }
+  const std::string report_json_path = args.str("report-json");
   if (!report_json_path.empty()) {
     std::ofstream out(report_json_path, std::ios::binary);
     if (!out) {
@@ -146,13 +249,29 @@ int cmd_build(int argc, char** argv) {
     out << report.to_json() << '\n';
     std::printf("report written to %s\n", report_json_path.c_str());
   }
-  if (dump_metrics) std::fputs(report.metrics.to_prometheus().c_str(), stdout);
+  if (args.has("metrics")) std::fputs(report.metrics.to_prometheus().c_str(), stdout);
   return 0;
 }
 
 int cmd_compact(int argc, char** argv) {
-  if (argc < 1) return usage();
-  const std::string index_dir = argv[0];
+  ArgParser args("compact", "<index_dir>", {});
+  if (!args.parse(argc, argv)) return args.help_requested() ? 0 : 2;
+  if (args.positionals().size() != 1) {
+    args.print_usage(stderr);
+    return 2;
+  }
+  const std::string index_dir = args.positionals()[0];
+  if (is_live_dir(index_dir)) {
+    // Live directory: run the writer's merge policy to completion.
+    auto writer = IndexWriter::open(index_dir, {});
+    if (!writer.has_value()) return report_error(writer.error());
+    auto& w = writer.value();
+    const std::size_t before = w.snapshot()->segment_count();
+    w.compact_now();
+    std::printf("live compaction: %zu -> %zu segments, %u docs committed\n", before,
+                w.snapshot()->segment_count(), w.committed_docs());
+    return 0;
+  }
   const auto stats = compact_index(index_dir);
   std::printf("compacted %llu runs into %s: %llu terms, %llu postings, %s -> %s\n",
               static_cast<unsigned long long>(stats.runs),
@@ -164,12 +283,97 @@ int cmd_compact(int argc, char** argv) {
   return 0;
 }
 
+int cmd_live(int argc, char** argv) {
+  ArgParser args("live", "<corpus_dir> <index_dir>",
+                 {{"flush-mb", true, "auto-flush threshold in MB (default 1)"},
+                  {"merge-factor", true, "segments folded per merge (default 4)"},
+                  {"no-compaction", false, "disable the background merge thread"},
+                  {"positions", false, "record in-document token positions"},
+                  {"metrics", false, "dump writer metrics at the end"}});
+  if (!args.parse(argc, argv)) return args.help_requested() ? 0 : 2;
+  if (args.positionals().size() != 2) {
+    args.print_usage(stderr);
+    return 2;
+  }
+  IndexWriterOptions opts;
+  opts.flush_threshold_bytes =
+      static_cast<std::uint64_t>(args.num("flush-mb", 1) * (1 << 20));
+  opts.merge_factor = static_cast<std::uint32_t>(args.num("merge-factor", 4));
+  opts.background_compaction = !args.has("no-compaction");
+  opts.parser.record_positions = args.has("positions");
+  auto writer = IndexWriter::open(args.positionals()[1], opts);
+  if (!writer.has_value()) return report_error(writer.error());
+  auto& w = writer.value();
+
+  const auto files = corpus_files(args.positionals()[0]);
+  if (files.empty()) {
+    std::fprintf(stderr, "no .hdc container files under %s\n",
+                 args.positionals()[0].c_str());
+    return 1;
+  }
+  WallTimer timer;
+  std::uint64_t bytes = 0;
+  for (const auto& file : files) {
+    for (const auto& doc : container_read(file)) {
+      bytes += doc.body.size();
+      w.add_document(doc.url, doc.body);
+    }
+    const auto snap = w.snapshot();
+    std::fprintf(stderr, "\ringested %s  (%u committed + %u buffered docs, %zu segments)",
+                 format_bytes(bytes).c_str(), w.committed_docs(), w.buffered_docs(),
+                 snap->segment_count());
+  }
+  w.flush();
+  w.compact_now();
+  std::fputc('\n', stderr);
+  const auto snap = w.snapshot();
+  std::printf("live index: %llu docs, %llu terms, %zu segments after compaction, "
+              "%.1f MB/s ingest\n",
+              static_cast<unsigned long long>(snap->doc_count()),
+              static_cast<unsigned long long>(snap->term_count()),
+              snap->segment_count(),
+              static_cast<double>(bytes) / (1 << 20) / timer.seconds());
+  if (args.has("metrics")) std::fputs(w.metrics().to_prometheus().c_str(), stdout);
+  return 0;
+}
+
 int cmd_query(int argc, char** argv, bool phrase) {
-  if (argc < 2) return usage();
-  const auto index = InvertedIndex::open(argv[0]);
+  ArgParser args(phrase ? "phrase" : "query", "<index_dir> <term...>", {});
+  if (!args.parse(argc, argv)) return args.help_requested() ? 0 : 2;
+  if (args.positionals().size() < 2) {
+    args.print_usage(stderr);
+    return 2;
+  }
+  const std::string& dir = args.positionals()[0];
   std::vector<std::string> terms;
-  for (int i = 1; i < argc; ++i) terms.push_back(normalize_term(argv[i]));
-  const auto hits = phrase ? phrase_query(index, terms) : conjunctive_query(index, terms);
+  for (std::size_t i = 1; i < args.positionals().size(); ++i) {
+    terms.push_back(normalize_term(args.positionals()[i]));
+  }
+
+  std::optional<QueryPostings> hits;
+  if (is_live_dir(dir) && !phrase) {
+    // Live directory: intersect per-term snapshot lookups.
+    auto live = LiveIndex::open(dir);
+    if (!live.has_value()) return report_error(live.error());
+    const auto snap = live.value().snapshot();
+    for (const auto& term : terms) {
+      auto p = snap->lookup(term);
+      if (!p) {
+        hits.reset();
+        break;
+      }
+      if (!hits) {
+        hits = std::move(p);
+      } else {
+        hits = postings_and(*hits, *p);
+      }
+    }
+  } else {
+    auto index = InvertedIndex::open(dir, {});
+    if (!index.has_value()) return report_error(index.error());
+    hits = phrase ? phrase_query(index.value(), terms)
+                  : conjunctive_query(index.value(), terms);
+  }
   if (!hits) {
     std::printf("no results (a term is absent%s)\n",
                 phrase ? " or the index has no positions" : "");
@@ -184,12 +388,20 @@ int cmd_query(int argc, char** argv, bool phrase) {
 }
 
 int cmd_search(int argc, char** argv) {
-  if (argc < 2) return usage();
-  const auto index = InvertedIndex::open(argv[0]);
-  const auto docs = DocMap::open(doc_map_path(argv[0]));
+  ArgParser args("search", "<index_dir> <term...>", {});
+  if (!args.parse(argc, argv)) return args.help_requested() ? 0 : 2;
+  if (args.positionals().size() < 2) {
+    args.print_usage(stderr);
+    return 2;
+  }
+  auto index = InvertedIndex::open(args.positionals()[0], {});
+  if (!index.has_value()) return report_error(index.error());
+  const auto docs = DocMap::open(doc_map_path(args.positionals()[0]));
   std::vector<std::string> terms;
-  for (int i = 1; i < argc; ++i) terms.push_back(normalize_term(argv[i]));
-  const auto hits = bm25_query(index, docs, terms, 10);
+  for (std::size_t i = 1; i < args.positionals().size(); ++i) {
+    terms.push_back(normalize_term(args.positionals()[i]));
+  }
+  const auto hits = bm25_query(index.value(), docs, terms, 10);
   if (hits.empty()) {
     std::printf("no results\n");
     return 0;
@@ -203,8 +415,33 @@ int cmd_search(int argc, char** argv) {
 }
 
 int cmd_stats(int argc, char** argv) {
-  if (argc < 1) return usage();
-  const auto index = InvertedIndex::open(argv[0]);
+  ArgParser args("stats", "<index_dir>", {});
+  if (!args.parse(argc, argv)) return args.help_requested() ? 0 : 2;
+  if (args.positionals().size() != 1) {
+    args.print_usage(stderr);
+    return 2;
+  }
+  const std::string& dir = args.positionals()[0];
+  if (is_live_dir(dir)) {
+    auto live = LiveIndex::open(dir);
+    if (!live.has_value()) return report_error(live.error());
+    const auto snap = live.value().snapshot();
+    std::printf("live index: %llu docs, %llu distinct terms, %zu segments\n",
+                static_cast<unsigned long long>(snap->doc_count()),
+                static_cast<unsigned long long>(snap->term_count()),
+                snap->segment_count());
+    for (const auto& seg : snap->segments()) {
+      std::printf("  seg-%04llu: docs [%u, %u), %llu terms, %s\n",
+                  static_cast<unsigned long long>(seg->id()), seg->doc_base(),
+                  seg->doc_base() + seg->doc_count(),
+                  static_cast<unsigned long long>(seg->reader().term_count()),
+                  format_bytes(seg->reader().file_bytes()).c_str());
+    }
+    return 0;
+  }
+  auto opened = InvertedIndex::open(dir, {});
+  if (!opened.has_value()) return report_error(opened.error());
+  const auto& index = opened.value();
   if (index.segment_backed()) {
     const auto* seg = index.segment();
     std::printf("segment: %s (%s, %s mapped), %llu terms\n", seg->path().c_str(),
@@ -230,8 +467,13 @@ int cmd_stats(int argc, char** argv) {
 }
 
 int cmd_verify(int argc, char** argv) {
-  if (argc < 1) return usage();
-  const auto report = verify_index(argv[0]);
+  ArgParser args("verify", "<index_dir>", {});
+  if (!args.parse(argc, argv)) return args.help_requested() ? 0 : 2;
+  if (args.positionals().size() != 1) {
+    args.print_usage(stderr);
+    return 2;
+  }
+  const auto report = verify_index(args.positionals()[0]);
   std::printf("terms %llu, runs %llu, postings %llu, encoded %s\n",
               static_cast<unsigned long long>(report.terms),
               static_cast<unsigned long long>(report.runs),
@@ -253,6 +495,7 @@ int main(int argc, char** argv) {
   if (cmd == "generate") return cmd_generate(argc - 2, argv + 2);
   if (cmd == "build") return cmd_build(argc - 2, argv + 2);
   if (cmd == "compact") return cmd_compact(argc - 2, argv + 2);
+  if (cmd == "live") return cmd_live(argc - 2, argv + 2);
   if (cmd == "query") return cmd_query(argc - 2, argv + 2, false);
   if (cmd == "search") return cmd_search(argc - 2, argv + 2);
   if (cmd == "phrase") return cmd_query(argc - 2, argv + 2, true);

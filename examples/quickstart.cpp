@@ -45,7 +45,7 @@ int main(int argc, char** argv) {
   //    the indexer normalized them. The synthetic vocabulary is random, so
   //    we query terms sampled from the dictionary itself, plus a stop word
   //    to show that those were removed at parse time.
-  const auto index = hetindex::InvertedIndex::open(work_dir + "/index");
+  const auto index = hetindex::InvertedIndex::open(work_dir + "/index", {}).value();
   std::vector<std::string> queries;
   for (std::size_t i = 0; i < index.entries().size() && queries.size() < 3;
        i += index.entries().size() / 3) {

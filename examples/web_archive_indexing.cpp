@@ -57,7 +57,7 @@ int main(int argc, char** argv) {
 
   // ---- Query with doc-ID-range narrowing: a crawl window corresponds to
   // a doc-id range; only overlapping run files are decoded.
-  const auto index = InvertedIndex::open(work_dir + "/index");
+  const auto index = InvertedIndex::open(work_dir + "/index", {}).value();
   const auto term = normalize_term("contact");
   const std::uint32_t window_lo = 0;
   const std::uint32_t window_hi = report.documents / 4;

@@ -18,6 +18,9 @@
 ///   Query        InvertedIndex (run-file or mmapped-segment backed),
 ///                boolean/phrase ops, BM25 ranking, DocMap, index
 ///                verification, the run-file merger, segment compaction
+///   Live         IndexWriter (incremental ingestion into numbered
+///                segments), tiered compaction, snapshot-isolated reads
+///                (LiveSnapshot / LiveIndex; docs/LIVE_INDEXING.md)
 ///   Corpus       container files, the synthetic collection generator, the
 ///                sampling-based CPU/GPU work split
 ///   Evaluate     the DES platform simulator plus the single-node and
@@ -26,7 +29,7 @@
 /// Quick start:
 ///   hetindex::IndexBuilder builder;                 // paper defaults
 ///   auto report = builder.build(files, "out_dir");  // construct index
-///   auto index = hetindex::InvertedIndex::open("out_dir");
+///   auto index = hetindex::InvertedIndex::open("out_dir", {}).value();
 ///   auto postings = index.lookup(hetindex::normalize_term("Parallelism"));
 
 #include <optional>
@@ -42,6 +45,11 @@
 // Observe.
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
+
+// Live indexing (docs/LIVE_INDEXING.md).
+#include "live/manifest.hpp"
+#include "live/segment_set.hpp"
+#include "live/writer.hpp"
 
 // Query.
 #include "postings/boolean_ops.hpp"
@@ -119,7 +127,8 @@ class IndexBuilder {
   [[nodiscard]] PipelineConfig& config() { return config_; }
 
   /// Configuration problems that would make build() abort; empty == valid.
-  [[nodiscard]] std::vector<std::string> validate() const { return config_.validate(); }
+  /// Same structured error type as InvertedIndex::open(dir, OpenOptions).
+  [[nodiscard]] std::vector<Error> validate() const { return config_.validate(); }
 
   /// Builds inverted files for the container files under `output_dir`.
   PipelineReport build(const std::vector<std::string>& files, const std::string& output_dir);

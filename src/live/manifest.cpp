@@ -1,0 +1,94 @@
+#include "live/manifest.hpp"
+
+#include <cstdio>
+#include <filesystem>
+
+#include "util/binary_io.hpp"
+#include "util/check.hpp"
+#include "util/crc32.hpp"
+
+namespace hetindex {
+namespace {
+constexpr std::uint32_t kManifestMagic = 0x464E414D;  // "MANF"
+constexpr std::uint32_t kManifestVersion = 1;
+}  // namespace
+
+std::string manifest_path(const std::string& dir) { return dir + "/MANIFEST"; }
+
+std::string live_segment_path(const std::string& dir, std::uint64_t segment_id) {
+  char name[32];
+  std::snprintf(name, sizeof(name), "seg-%04llu.seg",
+                static_cast<unsigned long long>(segment_id));
+  return dir + "/" + name;
+}
+
+std::string live_docmap_path(const std::string& dir, std::uint64_t segment_id) {
+  char name[32];
+  std::snprintf(name, sizeof(name), "seg-%04llu.docmap",
+                static_cast<unsigned long long>(segment_id));
+  return dir + "/" + name;
+}
+
+Expected<Manifest> manifest_read(const std::string& dir) {
+  const std::string path = manifest_path(dir);
+  if (!file_exists(path)) {
+    return Error{ErrorCode::kNotFound, "no manifest under: " + dir};
+  }
+  const auto data = read_file(path);
+  // header(8) + next ids(12) + count(4) + crc(4)
+  if (data.size() < 28) {
+    return Error{ErrorCode::kCorrupt, "manifest truncated: " + path};
+  }
+  std::uint32_t stored_crc = 0;
+  std::memcpy(&stored_crc, data.data() + data.size() - 4, 4);
+  if (crc32(data.data(), data.size() - 4) != stored_crc) {
+    return Error{ErrorCode::kCorrupt, "manifest crc mismatch: " + path};
+  }
+  ByteReader r(data.data(), data.size() - 4);
+  if (r.u32() != kManifestMagic) {
+    return Error{ErrorCode::kCorrupt, "not a hetindex manifest: " + path};
+  }
+  if (r.u32() != kManifestVersion) {
+    return Error{ErrorCode::kUnsupported, "unsupported manifest version: " + path};
+  }
+  Manifest m;
+  m.next_segment_id = r.u64();
+  m.next_doc_id = r.u32();
+  const std::uint32_t count = r.u32();
+  m.entries.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    ManifestEntry e;
+    e.segment_id = r.u64();
+    e.doc_base = r.u32();
+    e.doc_count = r.u32();
+    e.term_count = r.u64();
+    e.file_bytes = r.u64();
+    m.entries.push_back(e);
+  }
+  return m;
+}
+
+void manifest_write(const std::string& dir, const Manifest& m) {
+  std::vector<std::uint8_t> out;
+  ByteWriter w(out);
+  w.u32(kManifestMagic);
+  w.u32(kManifestVersion);
+  w.u64(m.next_segment_id);
+  w.u32(m.next_doc_id);
+  w.u32(static_cast<std::uint32_t>(m.entries.size()));
+  for (const auto& e : m.entries) {
+    w.u64(e.segment_id);
+    w.u32(e.doc_base);
+    w.u32(e.doc_count);
+    w.u64(e.term_count);
+    w.u64(e.file_bytes);
+  }
+  w.u32(crc32(out.data(), out.size()));
+  const std::string tmp = manifest_path(dir) + ".tmp";
+  write_file(tmp, out);
+  // rename() is the commit point: readers see the old or the new manifest,
+  // never a partial one.
+  std::filesystem::rename(tmp, manifest_path(dir));
+}
+
+}  // namespace hetindex

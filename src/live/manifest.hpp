@@ -1,0 +1,57 @@
+#pragma once
+/// \file manifest.hpp
+/// The commit record of a live index directory (docs/LIVE_INDEXING.md).
+/// A live directory holds numbered immutable segments (`seg-0001.seg`,
+/// each with a sibling doc map) plus one MANIFEST file naming the committed
+/// segment set. The manifest is the only mutable file and the single
+/// source of truth: a segment not listed in it does not exist, no matter
+/// what is on disk.
+///
+/// Commits are atomic: the new manifest is written to MANIFEST.tmp, synced,
+/// then renamed over MANIFEST — readers either see the old committed set or
+/// the new one, never a torn state. A CRC32 footer rejects partially
+/// written manifests, so a crash at any point leaves the previous commit
+/// intact (the crash-recovery test exercises exactly this window).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace hetindex {
+
+/// One committed segment.
+struct ManifestEntry {
+  std::uint64_t segment_id = 0;   ///< file number (seg-<id>.seg)
+  std::uint32_t doc_base = 0;     ///< first global doc id in the segment
+  std::uint32_t doc_count = 0;
+  std::uint64_t term_count = 0;
+  std::uint64_t file_bytes = 0;   ///< segment file size at commit time
+};
+
+/// The committed state of a live index directory. Entries are kept in
+/// ascending doc_base order — which is also segment-age order, because doc
+/// ids only grow.
+struct Manifest {
+  std::uint64_t next_segment_id = 1;  ///< next file number to allocate
+  std::uint32_t next_doc_id = 0;      ///< next global doc id to assign
+  std::vector<ManifestEntry> entries;
+};
+
+/// `<dir>/MANIFEST`.
+std::string manifest_path(const std::string& dir);
+/// `<dir>/seg-<id>.seg` (zero-padded to keep directory listings sorted).
+std::string live_segment_path(const std::string& dir, std::uint64_t segment_id);
+/// `<dir>/seg-<id>.docmap`.
+std::string live_docmap_path(const std::string& dir, std::uint64_t segment_id);
+
+/// Reads the committed manifest. A missing file reports kNotFound (a fresh
+/// directory, not an error for the writer); a bad magic, version or CRC
+/// kCorrupt.
+Expected<Manifest> manifest_read(const std::string& dir);
+
+/// Atomically commits `m`: write MANIFEST.tmp, rename over MANIFEST.
+void manifest_write(const std::string& dir, const Manifest& m);
+
+}  // namespace hetindex

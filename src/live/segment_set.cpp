@@ -1,0 +1,181 @@
+#include "live/segment_set.hpp"
+
+#include <algorithm>
+#include <filesystem>
+
+#include "util/binary_io.hpp"
+#include "util/check.hpp"
+
+namespace hetindex {
+
+LiveSegment::LiveSegment(std::uint64_t id, std::uint32_t doc_base,
+                         std::uint32_t doc_count, SegmentReader reader,
+                         std::optional<DocMap> doc_map, std::string seg_path,
+                         std::string map_path)
+    : id_(id),
+      doc_base_(doc_base),
+      doc_count_(doc_count),
+      reader_(std::move(reader)),
+      doc_map_(std::move(doc_map)),
+      seg_path_(std::move(seg_path)),
+      map_path_(std::move(map_path)) {}
+
+Expected<std::shared_ptr<LiveSegment>> LiveSegment::open(const std::string& dir,
+                                                         std::uint64_t segment_id,
+                                                         std::uint32_t doc_base,
+                                                         std::uint32_t doc_count) {
+  std::string seg_path = live_segment_path(dir, segment_id);
+  auto reader = SegmentReader::try_open(seg_path);
+  if (!reader.has_value()) return reader.error();
+  std::string map_path = live_docmap_path(dir, segment_id);
+  std::optional<DocMap> map;
+  if (file_exists(map_path)) map = DocMap::open(map_path);
+  return std::shared_ptr<LiveSegment>(
+      new LiveSegment(segment_id, doc_base, doc_count, std::move(reader).value(),
+                      std::move(map), std::move(seg_path), std::move(map_path)));
+}
+
+LiveSegment::~LiveSegment() {
+  if (!obsolete_.load(std::memory_order_acquire)) return;
+  // Last reference to a compacted-away segment: reclaim its files. The
+  // mapping is closed by the member destructors running after this body.
+  std::error_code ec;  // best effort — the manifest no longer names them
+  std::filesystem::remove(seg_path_, ec);
+  std::filesystem::remove(map_path_, ec);
+}
+
+LiveSnapshot::LiveSnapshot(std::vector<std::shared_ptr<LiveSegment>> segments)
+    : segments_(std::move(segments)) {
+  std::sort(segments_.begin(), segments_.end(),
+            [](const auto& a, const auto& b) { return a->doc_base() < b->doc_base(); });
+  for (std::size_t i = 0; i < segments_.size(); ++i) {
+    if (i > 0) {
+      const auto& prev = *segments_[i - 1];
+      HET_CHECK_MSG(prev.doc_base() + prev.doc_count() <= segments_[i]->doc_base(),
+                    "live segments must cover disjoint ascending doc ranges");
+    }
+    doc_count_ += segments_[i]->doc_count();
+  }
+}
+
+std::optional<QueryPostings> LiveSnapshot::lookup(std::string_view term) const {
+  QueryPostings out;
+  bool found = false;
+  // Segments are doc_base-ascending and doc-disjoint, so appending
+  // per-segment results in order yields one globally sorted list.
+  for (const auto& seg : segments_) {
+    const auto ordinal = seg->reader().find(term);
+    if (!ordinal) continue;
+    found = true;
+    seg->reader().decode(seg->reader().meta(*ordinal), out.doc_ids, out.tfs,
+                         &out.positions);
+  }
+  if (!found) return std::nullopt;
+  return out;
+}
+
+std::optional<QueryPostings> LiveSnapshot::lookup_range(
+    std::string_view term, std::uint32_t min_doc, std::uint32_t max_doc,
+    std::size_t* segments_touched) const {
+  if (segments_touched) *segments_touched = 0;
+  QueryPostings out;
+  bool found = false;
+  for (const auto& seg : segments_) {
+    // Segment-level narrowing first: skip without even a dictionary probe.
+    if (seg->doc_count() > 0 &&
+        (seg->doc_base() > max_doc || seg->doc_base() + seg->doc_count() - 1 < min_doc)) {
+      continue;
+    }
+    const auto ordinal = seg->reader().find(term);
+    if (!ordinal) continue;
+    found = true;
+    const auto m = seg->reader().meta(*ordinal);
+    if (m.max_doc < min_doc || m.min_doc > max_doc) continue;  // per-term narrowing
+    if (segments_touched) ++*segments_touched;
+    QueryPostings raw;
+    seg->reader().decode(m, raw.doc_ids, raw.tfs);
+    for (std::size_t i = 0; i < raw.doc_ids.size(); ++i) {
+      if (raw.doc_ids[i] >= min_doc && raw.doc_ids[i] <= max_doc) {
+        out.doc_ids.push_back(raw.doc_ids[i]);
+        out.tfs.push_back(raw.tfs[i]);
+      }
+    }
+  }
+  if (!found) return std::nullopt;
+  return out;
+}
+
+void LiveSnapshot::for_each_term(const std::function<bool(std::string_view)>& fn) const {
+  // K-way cursor merge with dedup: a term indexed before and after a flush
+  // boundary appears in several segments but is reported once.
+  std::vector<SegmentReader::TermCursor> cursors;
+  cursors.reserve(segments_.size());
+  for (const auto& seg : segments_) cursors.emplace_back(seg->reader());
+  while (true) {
+    const std::string* min_term = nullptr;
+    for (const auto& c : cursors) {
+      if (c.valid() && (min_term == nullptr || c.term() < *min_term)) {
+        min_term = &c.term();
+      }
+    }
+    if (min_term == nullptr) return;
+    const std::string term = *min_term;
+    if (!fn(term)) return;
+    for (auto& c : cursors) {
+      while (c.valid() && c.term() == term) c.next();
+    }
+  }
+}
+
+std::uint64_t LiveSnapshot::term_count() const {
+  std::uint64_t n = 0;
+  for_each_term([&](std::string_view) {
+    ++n;
+    return true;
+  });
+  return n;
+}
+
+std::vector<std::string> LiveSnapshot::terms_with_prefix(std::string_view prefix) const {
+  std::vector<std::string> out;
+  for (const auto& seg : segments_) {
+    auto part = seg->reader().terms_with_prefix(prefix);
+    out.insert(out.end(), std::make_move_iterator(part.begin()),
+               std::make_move_iterator(part.end()));
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+const DocLocation* LiveSnapshot::locate(std::uint32_t doc_id) const {
+  for (const auto& seg : segments_) {
+    const DocMap* map = seg->doc_map();
+    if (map != nullptr && map->contains(doc_id)) return &map->location(doc_id);
+  }
+  return nullptr;
+}
+
+Expected<std::shared_ptr<const LiveSnapshot>> snapshot_from_manifest(
+    const std::string& dir, const Manifest& m) {
+  std::vector<std::shared_ptr<LiveSegment>> segments;
+  segments.reserve(m.entries.size());
+  for (const auto& e : m.entries) {
+    auto seg = LiveSegment::open(dir, e.segment_id, e.doc_base, e.doc_count);
+    if (!seg.has_value()) return seg.error();
+    segments.push_back(std::move(seg).value());
+  }
+  return std::make_shared<const LiveSnapshot>(std::move(segments));
+}
+
+Expected<LiveIndex> LiveIndex::open(const std::string& dir) {
+  auto manifest = manifest_read(dir);
+  if (!manifest.has_value()) return manifest.error();
+  auto snap = snapshot_from_manifest(dir, manifest.value());
+  if (!snap.has_value()) return snap.error();
+  LiveIndex idx(dir);
+  idx.snap_ = std::move(snap).value();
+  return idx;
+}
+
+}  // namespace hetindex

@@ -1,0 +1,185 @@
+#pragma once
+/// \file segment_set.hpp
+/// Snapshot-isolated multi-segment read path of the live indexing layer
+/// (docs/LIVE_INDEXING.md). The committed segment set is published as an
+/// immutable LiveSnapshot behind one atomic shared_ptr: a reader grabs the
+/// pointer once and then works against frozen state with no further
+/// synchronization — flushes and compactions swap in a new snapshot but
+/// never touch a published one. A segment replaced by compaction is marked
+/// obsolete and its files are unlinked when the last snapshot holding it
+/// drops — readers mid-query keep a valid mapping for as long as they hold
+/// the snapshot.
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "live/manifest.hpp"
+#include "postings/doc_map.hpp"
+#include "postings/query.hpp"
+#include "postings/segment.hpp"
+#include "util/error.hpp"
+
+namespace hetindex {
+
+/// One committed segment plus its doc map. Shared by every snapshot that
+/// includes it; destruction unlinks the files once compaction has marked
+/// it obsolete.
+class LiveSegment {
+ public:
+  /// Opens seg-<id>.seg (+ sibling doc map when present) under `dir`.
+  static Expected<std::shared_ptr<LiveSegment>> open(const std::string& dir,
+                                                     std::uint64_t segment_id,
+                                                     std::uint32_t doc_base,
+                                                     std::uint32_t doc_count);
+  ~LiveSegment();
+
+  LiveSegment(const LiveSegment&) = delete;
+  LiveSegment& operator=(const LiveSegment&) = delete;
+
+  [[nodiscard]] std::uint64_t id() const { return id_; }
+  [[nodiscard]] std::uint32_t doc_base() const { return doc_base_; }
+  [[nodiscard]] std::uint32_t doc_count() const { return doc_count_; }
+  [[nodiscard]] const SegmentReader& reader() const { return reader_; }
+  [[nodiscard]] const DocMap* doc_map() const {
+    return doc_map_ ? &*doc_map_ : nullptr;
+  }
+
+  /// Marks the backing files for deletion when the last reference drops
+  /// (called by compaction after the replacement commit).
+  void mark_obsolete() { obsolete_.store(true, std::memory_order_release); }
+
+ private:
+  LiveSegment(std::uint64_t id, std::uint32_t doc_base, std::uint32_t doc_count,
+              SegmentReader reader, std::optional<DocMap> doc_map,
+              std::string seg_path, std::string map_path);
+
+  std::uint64_t id_;
+  std::uint32_t doc_base_;
+  std::uint32_t doc_count_;
+  SegmentReader reader_;
+  std::optional<DocMap> doc_map_;
+  std::string seg_path_;
+  std::string map_path_;
+  std::atomic<bool> obsolete_{false};
+};
+
+/// An immutable view of the committed segment set, ordered by doc_base.
+/// Safe to share across threads without locks; all queries are const.
+class LiveSnapshot {
+ public:
+  explicit LiveSnapshot(std::vector<std::shared_ptr<LiveSegment>> segments);
+
+  [[nodiscard]] std::size_t segment_count() const { return segments_.size(); }
+  [[nodiscard]] const std::vector<std::shared_ptr<LiveSegment>>& segments() const {
+    return segments_;
+  }
+  /// Documents committed across all segments.
+  [[nodiscard]] std::uint64_t doc_count() const { return doc_count_; }
+
+  /// Postings of `term` across every segment, globally doc-id sorted —
+  /// segments hold disjoint ascending doc ranges, so per-segment results
+  /// concatenate in doc_base order. nullopt when no segment knows the term.
+  [[nodiscard]] std::optional<QueryPostings> lookup(std::string_view term) const;
+
+  /// Range-narrowed lookup: segments whose doc range misses
+  /// [min_doc, max_doc] are skipped entirely (the §III.F narrowing applied
+  /// at segment granularity). `segments_touched` (optional out) reports how
+  /// many segments were actually decoded.
+  [[nodiscard]] std::optional<QueryPostings> lookup_range(
+      std::string_view term, std::uint32_t min_doc, std::uint32_t max_doc,
+      std::size_t* segments_touched = nullptr) const;
+
+  /// Union of the segments' prefix matches, deduplicated, sorted.
+  [[nodiscard]] std::vector<std::string> terms_with_prefix(std::string_view prefix) const;
+
+  /// fn(term) for every distinct term across all segments, lexicographic
+  /// order (k-way cursor merge with dedup); return false to stop early.
+  void for_each_term(const std::function<bool(std::string_view)>& fn) const;
+
+  /// Distinct terms across all segments (k-way merged count).
+  [[nodiscard]] std::uint64_t term_count() const;
+
+  /// Location of a global doc id, resolved through the owning segment's
+  /// doc map; nullptr when no segment covers the id or it has no map.
+  [[nodiscard]] const DocLocation* locate(std::uint32_t doc_id) const;
+
+ private:
+  std::vector<std::shared_ptr<LiveSegment>> segments_;  // ascending doc_base
+  std::uint64_t doc_count_ = 0;
+};
+
+/// Publication point between the writer and readers: a slot holding the
+/// current snapshot, guarded by a micro-spinlock that is held only for the
+/// duration of a shared_ptr copy or swap (a few atomic refcount ops) —
+/// never across flush, merge, or any I/O, so readers are never blocked
+/// behind writer work. This is the same technique libstdc++ uses inside
+/// std::atomic<std::shared_ptr> (which is not lock-free either), except
+/// the reader path here unlocks with release order: GCC 12's
+/// _Sp_atomic::load() unlocks relaxed, which leaves the reader's critical
+/// section unordered against the next publish in the C++ memory model —
+/// a formal data race that ThreadSanitizer (correctly) reports.
+class SegmentSet {
+ public:
+  SegmentSet() : current_(std::make_shared<const LiveSnapshot>(
+                     std::vector<std::shared_ptr<LiveSegment>>{})) {}
+
+  /// The current committed view. The returned snapshot stays valid (files
+  /// included) for as long as the pointer is held.
+  [[nodiscard]] std::shared_ptr<const LiveSnapshot> snapshot() const {
+    lock();
+    auto copy = current_;
+    unlock();
+    return copy;
+  }
+
+  /// Swaps in a new committed view (writer side only). The previous
+  /// snapshot's refcount drop (and any segment file reclamation it
+  /// triggers) happens after the slot is unlocked.
+  void publish(std::shared_ptr<const LiveSnapshot> next) {
+    lock();
+    current_.swap(next);
+    unlock();
+  }
+
+ private:
+  void lock() const {
+    while (busy_.exchange(1, std::memory_order_acquire) != 0) {
+    }
+  }
+  void unlock() const { busy_.store(0, std::memory_order_release); }
+
+  std::shared_ptr<const LiveSnapshot> current_;
+  mutable std::atomic<unsigned> busy_{0};
+};
+
+/// Read-only view of a live index directory — the serving-process
+/// counterpart of IndexWriter (which owns the directory for writing).
+/// Opens the committed manifest and serves its snapshot; reopen() picks up
+/// later commits.
+class LiveIndex {
+ public:
+  /// Opens the committed state of `dir`. kNotFound when no manifest exists.
+  static Expected<LiveIndex> open(const std::string& dir);
+
+  /// The committed snapshot this index was opened against.
+  [[nodiscard]] std::shared_ptr<const LiveSnapshot> snapshot() const { return snap_; }
+  [[nodiscard]] const std::string& dir() const { return dir_; }
+
+ private:
+  explicit LiveIndex(std::string dir) : dir_(std::move(dir)) {}
+
+  std::string dir_;
+  std::shared_ptr<const LiveSnapshot> snap_;
+};
+
+/// Opens every segment of `m` under `dir` and freezes them into a
+/// snapshot. Shared by IndexWriter::open and LiveIndex::open.
+Expected<std::shared_ptr<const LiveSnapshot>> snapshot_from_manifest(
+    const std::string& dir, const Manifest& m);
+
+}  // namespace hetindex

@@ -1,0 +1,411 @@
+#include "live/writer.hpp"
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstdlib>
+#include <filesystem>
+#include <mutex>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "dict/dictionary.hpp"
+#include "index/indexer.hpp"
+#include "postings/postings_store.hpp"
+#include "util/check.hpp"
+#include "util/timer.hpp"
+
+namespace hetindex {
+namespace {
+
+/// LSM tier of a segment: tier 0 holds sizes up to tier_base, each next
+/// tier doubles the ceiling.
+int size_tier(std::uint64_t bytes, std::uint64_t tier_base) {
+  int t = 0;
+  while (bytes > tier_base) {
+    bytes >>= 1;
+    ++t;
+  }
+  return t;
+}
+
+/// First window of `merge_factor` adjacent entries worth folding, or
+/// {0,0}. Adjacency matters: only doc-contiguous segments may merge, or
+/// the per-term byte concatenation would break doc-id order.
+///
+/// A window qualifies when the combined bytes land strictly above the
+/// deepest input tier — every byte then climbs at least one tier per
+/// merge, so a byte is rewritten O(log(total/tier_base)) times over the
+/// index's lifetime. All-tier-0 windows are exempt from the climb rule:
+/// tiny segments are always worth folding, and such runs collapse to a
+/// single entry, so that case terminates too.
+std::pair<std::size_t, std::size_t> find_merge_window(
+    const std::vector<ManifestEntry>& entries, std::uint32_t merge_factor,
+    std::uint64_t tier_base) {
+  if (merge_factor < 2 || entries.size() < merge_factor) return {0, 0};
+  for (std::size_t start = 0; start + merge_factor <= entries.size(); ++start) {
+    std::uint64_t sum = 0;
+    int max_tier = 0;
+    for (std::size_t i = start; i < start + merge_factor; ++i) {
+      sum += entries[i].file_bytes;
+      max_tier = std::max(max_tier, size_tier(entries[i].file_bytes, tier_base));
+    }
+    if (max_tier == 0 || sum > (tier_base << max_tier)) {
+      return {start, start + merge_factor};
+    }
+  }
+  return {0, 0};
+}
+
+}  // namespace
+
+struct IndexWriter::State {
+  std::string dir;
+  IndexWriterOptions opts;
+
+  obs::MetricsRegistry metrics;
+  obs::Counter& flushes = metrics.counter("live_flushes_total");
+  obs::Counter& documents = metrics.counter("live_documents_total");
+  obs::Counter& flushed_bytes = metrics.counter("live_flushed_bytes_total");
+  obs::Counter& compactions = metrics.counter("compactions_total");
+  obs::Counter& compaction_bytes = metrics.counter("compaction_bytes_written_total");
+  obs::TimeCounter& flush_seconds = metrics.time_counter("live_flush_seconds_total");
+  obs::TimeCounter& compaction_seconds = metrics.time_counter("compaction_seconds_total");
+  obs::Gauge& segments_active = metrics.gauge("live_segments_active");
+  obs::Gauge& snapshot_refcount = metrics.gauge("snapshot_refcount");
+
+  /// Guards the in-memory buffer, the manifest, and commits (manifest
+  /// rewrite + snapshot publication). Never held during a segment merge.
+  mutable std::mutex mu;
+  Parser parser;
+  // Buffer-lifetime indexing state, rebuilt after every flush so each
+  // flush enumerates only the terms of its own document range — keeping a
+  // dictionary across flushes would make flush cost grow with the total
+  // vocabulary ever seen, not the buffer's.
+  std::unique_ptr<Dictionary> dict;
+  std::unique_ptr<PostingsStore> store;
+  std::unique_ptr<CpuIndexer> indexer;
+  std::uint32_t buffered = 0;        ///< documents in the buffer
+  std::uint64_t buffered_bytes = 0;  ///< raw body bytes in the buffer
+  std::uint64_t flush_seq = 0;       ///< parse-block sequence number
+  std::vector<std::string> urls;     ///< per buffered doc
+  std::vector<std::uint32_t> doc_tokens;
+  Manifest manifest;  ///< committed state
+  SegmentSet set;
+
+  /// Serializes merge work (background thread vs compact_now callers).
+  std::mutex compaction_mu;
+  std::mutex wake_mu;
+  std::condition_variable_any wake_cv;
+  bool wake = false;
+  std::jthread compactor;  ///< last member: joins before the rest dies
+
+  State(std::string d, IndexWriterOptions o)
+      : dir(std::move(d)), opts(o), parser(o.parser) {
+    reset_buffer();
+  }
+
+  /// Fresh dictionary + postings store + indexer for the next buffer.
+  void reset_buffer() {
+    dict = std::make_unique<Dictionary>(true);
+    dict->add_shard();
+    store = std::make_unique<PostingsStore>();
+    std::vector<std::uint32_t> all(kTrieCollections);
+    std::iota(all.begin(), all.end(), 0u);
+    indexer = std::make_unique<CpuIndexer>(dict->shard(0), *store, all);
+  }
+
+  std::uint32_t add_document(const std::string& url, const std::string& body);
+  std::uint64_t flush_locked();
+  void publish_locked();
+  void run_compactions();
+  bool run_one_compaction();
+};
+
+// ---------------------------------------------------------------- open
+
+Expected<IndexWriter> IndexWriter::open(const std::string& dir,
+                                        IndexWriterOptions options) {
+  std::filesystem::create_directories(dir);
+  auto state = std::make_unique<State>(dir, options);
+
+  auto committed = manifest_read(dir);
+  if (committed.has_value()) {
+    state->manifest = std::move(committed).value();
+  } else if (committed.error().code != ErrorCode::kNotFound) {
+    return committed.error();  // corrupt manifest: refuse to guess
+  }
+
+  // Recovery: anything on disk the manifest does not name is a leftover
+  // from a crash between segment write and manifest rename — drop it.
+  std::error_code ec;
+  std::filesystem::remove(manifest_path(dir) + ".tmp", ec);
+  std::vector<bool> committed_ids;  // indexed by segment id
+  for (const auto& e : state->manifest.entries) {
+    if (e.segment_id >= committed_ids.size()) committed_ids.resize(e.segment_id + 1);
+    committed_ids[e.segment_id] = true;
+  }
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("seg-", 0) != 0) continue;
+    if (name.find('.') == std::string::npos) continue;
+    const std::uint64_t id = std::strtoull(name.c_str() + 4, nullptr, 10);
+    if (id < committed_ids.size() && committed_ids[id]) continue;
+    std::filesystem::remove(entry.path(), ec);
+  }
+
+  auto snap = snapshot_from_manifest(dir, state->manifest);
+  if (!snap.has_value()) return snap.error();
+  state->set.publish(std::move(snap).value());
+  state->segments_active.set(static_cast<std::int64_t>(state->manifest.entries.size()));
+
+  IndexWriter writer(std::move(state));
+  if (options.background_compaction) {
+    State* s = writer.state_.get();
+    s->compactor = std::jthread([s](std::stop_token st) {
+      std::unique_lock lk(s->wake_mu);
+      while (true) {
+        if (!s->wake_cv.wait(lk, st, [s] { return s->wake; })) return;
+        s->wake = false;
+        lk.unlock();
+        s->run_compactions();
+        lk.lock();
+      }
+    });
+  }
+  return writer;
+}
+
+IndexWriter::IndexWriter(std::unique_ptr<State> state) : state_(std::move(state)) {}
+IndexWriter::IndexWriter(IndexWriter&&) noexcept = default;
+IndexWriter& IndexWriter::operator=(IndexWriter&&) noexcept = default;
+
+IndexWriter::~IndexWriter() {
+  if (state_ == nullptr) return;
+  state_->compactor.request_stop();
+  state_->wake_cv.notify_all();
+}
+
+// ---------------------------------------------------------------- ingest
+
+std::uint32_t IndexWriter::add_document(const std::string& url, const std::string& body) {
+  return state_->add_document(url, body);
+}
+
+std::uint32_t IndexWriter::State::add_document(const std::string& url,
+                                               const std::string& body) {
+  std::lock_guard lk(mu);
+  const std::uint32_t doc_id = manifest.next_doc_id + buffered;
+  // One-document parse batch: local id 0, globalized by the block base, so
+  // the buffer's postings carry absolute doc ids — the invariant that lets
+  // compaction concatenate blobs without re-encoding.
+  const std::vector<Document> docs{{0, url, body}};
+  const ParsedBlock block = parser.parse(docs, flush_seq, /*parser_id=*/0, doc_id);
+  indexer->index_block(block);
+  urls.push_back(url);
+  doc_tokens.push_back(block.doc_tokens.empty() ? 0 : block.doc_tokens[0]);
+  ++buffered;
+  buffered_bytes += body.size();
+  documents.add();
+  if (opts.flush_threshold_bytes > 0 && buffered_bytes >= opts.flush_threshold_bytes) {
+    flush_locked();
+  }
+  return doc_id;
+}
+
+std::uint64_t IndexWriter::flush() {
+  std::lock_guard lk(state_->mu);
+  return state_->flush_locked();
+}
+
+std::uint64_t IndexWriter::State::flush_locked() {
+  if (buffered == 0) return 0;
+  const WallTimer timer;
+
+  const std::uint64_t segment_id = manifest.next_segment_id;
+  const std::uint32_t doc_base = manifest.next_doc_id;
+
+  // Freeze the buffer: enumerate the buffer's dictionary in sorted order
+  // and encode each in-memory list into the segment. The dictionary is
+  // rebuilt after every flush, so it holds exactly this doc range's terms.
+  SegmentWriter writer(live_segment_path(dir, segment_id), opts.codec);
+  for (const auto& entry : dict->combine()) {
+    const PostingsList& list = store->list(entry.handle);
+    if (list.empty()) continue;
+    const auto blob = encode_postings(opts.codec, list.doc_ids, list.tfs,
+                                      list.positional() ? &list.positions : nullptr);
+    writer.add_term(entry.term, blob.data(), blob.size(),
+                    static_cast<std::uint32_t>(list.size()), list.doc_ids.front(),
+                    list.doc_ids.back());
+  }
+  const std::uint64_t term_count = writer.term_count();
+  const std::uint64_t file_bytes = writer.finalize();
+
+  DocMapBuilder maps(doc_base);
+  maps.add_file(doc_base, static_cast<std::uint32_t>(segment_id), urls, doc_tokens);
+  maps.write(live_docmap_path(dir, segment_id));
+
+  // Commit point: manifest rename. A crash before this line leaves stray
+  // seg files that the next open() removes; after it, the segment is live.
+  Manifest next = manifest;
+  next.next_segment_id = segment_id + 1;
+  next.next_doc_id = doc_base + buffered;
+  next.entries.push_back({segment_id, doc_base, buffered, term_count, file_bytes});
+  manifest_write(dir, next);
+  manifest = std::move(next);
+
+  publish_locked();
+
+  reset_buffer();
+  urls.clear();
+  doc_tokens.clear();
+  buffered = 0;
+  buffered_bytes = 0;
+  ++flush_seq;
+
+  flushes.add();
+  flushed_bytes.add(file_bytes);
+  flush_seconds.add(timer.seconds());
+
+  if (opts.background_compaction) {
+    {
+      std::lock_guard wake_lk(wake_mu);
+      wake = true;
+    }
+    wake_cv.notify_one();
+  }
+  return segment_id;
+}
+
+/// Rebuilds the published snapshot from the committed manifest, reusing
+/// already-open segments. Caller holds mu.
+void IndexWriter::State::publish_locked() {
+  const auto current = set.snapshot();
+  std::vector<std::shared_ptr<LiveSegment>> segments;
+  segments.reserve(manifest.entries.size());
+  for (const auto& e : manifest.entries) {
+    std::shared_ptr<LiveSegment> reused;
+    for (const auto& seg : current->segments()) {
+      if (seg->id() == e.segment_id) {
+        reused = seg;
+        break;
+      }
+    }
+    if (reused == nullptr) {
+      auto opened = LiveSegment::open(dir, e.segment_id, e.doc_base, e.doc_count);
+      // The file was just written under mu and named by the manifest; a
+      // failure here is a programming error, not an input error.
+      HET_CHECK_MSG(opened.has_value(), "freshly committed segment failed to open");
+      reused = std::move(opened).value();
+    }
+    segments.push_back(std::move(reused));
+  }
+  snapshot_refcount.set(static_cast<std::int64_t>(current.use_count()));
+  set.publish(std::make_shared<const LiveSnapshot>(std::move(segments)));
+  segments_active.set(static_cast<std::int64_t>(manifest.entries.size()));
+}
+
+// ---------------------------------------------------------------- compaction
+
+void IndexWriter::compact_now() { state_->run_compactions(); }
+
+void IndexWriter::State::run_compactions() {
+  // Serialized: the background thread and compact_now callers take turns;
+  // each pass folds one window, cascading until the tiers are stable.
+  std::lock_guard serialize(compaction_mu);
+  while (run_one_compaction()) {
+  }
+}
+
+bool IndexWriter::State::run_one_compaction() {
+  // Pick a window and allocate the output id under mu; the merge itself
+  // runs unlocked against immutable inputs.
+  std::vector<std::shared_ptr<LiveSegment>> inputs;
+  std::uint64_t out_id = 0;
+  {
+    std::lock_guard lk(mu);
+    const auto [begin, end] =
+        find_merge_window(manifest.entries, opts.merge_factor, opts.tier_base_bytes);
+    if (begin == end) return false;
+    const auto snap = set.snapshot();
+    // Snapshot segments are doc_base-ordered like manifest entries.
+    for (std::size_t i = begin; i < end; ++i) {
+      HET_CHECK(snap->segments()[i]->id() == manifest.entries[i].segment_id);
+      inputs.push_back(snap->segments()[i]);
+    }
+    out_id = manifest.next_segment_id++;
+  }
+
+  const WallTimer timer;
+  std::vector<const SegmentReader*> readers;
+  readers.reserve(inputs.size());
+  for (const auto& seg : inputs) readers.push_back(&seg->reader());
+  const auto stats = merge_segments(readers, live_segment_path(dir, out_id));
+
+  // Fold the doc maps, preserving per-source spans; ids do not shift.
+  DocMapBuilder maps(inputs.front()->doc_base());
+  std::uint32_t doc_count = 0;
+  bool have_all_maps = true;
+  for (const auto& seg : inputs) {
+    doc_count += seg->doc_count();
+    if (seg->doc_map() == nullptr) {
+      have_all_maps = false;
+      continue;
+    }
+    maps.append(*seg->doc_map());
+  }
+  if (have_all_maps) maps.write(live_docmap_path(dir, out_id));
+
+  // Commit: splice the merged entry over the window. flush() may have
+  // appended segments meanwhile, but only this (serialized) code removes
+  // entries, so the window is still present, contiguous, by id.
+  {
+    std::lock_guard lk(mu);
+    auto& entries = manifest.entries;
+    const auto first = std::find_if(entries.begin(), entries.end(), [&](const auto& e) {
+      return e.segment_id == inputs.front()->id();
+    });
+    HET_CHECK(first != entries.end());
+    const auto at = first - entries.begin();
+    entries.erase(first, first + static_cast<std::ptrdiff_t>(inputs.size()));
+    entries.insert(entries.begin() + at,
+                   {out_id, inputs.front()->doc_base(), doc_count, stats.terms,
+                    stats.output_bytes});
+    manifest_write(dir, manifest);
+    // Old segments die when the last snapshot holding them drops.
+    for (const auto& seg : inputs) seg->mark_obsolete();
+    publish_locked();
+  }
+
+  compactions.add();
+  compaction_bytes.add(stats.output_bytes);
+  compaction_seconds.add(timer.seconds());
+  return true;
+}
+
+// ---------------------------------------------------------------- accessors
+
+std::shared_ptr<const LiveSnapshot> IndexWriter::snapshot() const {
+  return state_->set.snapshot();
+}
+
+Manifest IndexWriter::manifest() const {
+  std::lock_guard lk(state_->mu);
+  return state_->manifest;
+}
+
+std::uint32_t IndexWriter::committed_docs() const {
+  std::lock_guard lk(state_->mu);
+  return state_->manifest.next_doc_id;
+}
+
+std::uint32_t IndexWriter::buffered_docs() const {
+  std::lock_guard lk(state_->mu);
+  return state_->buffered;
+}
+
+const std::string& IndexWriter::dir() const { return state_->dir; }
+
+const obs::MetricsRegistry& IndexWriter::metrics() const { return state_->metrics; }
+
+}  // namespace hetindex

@@ -1,0 +1,109 @@
+#pragma once
+/// \file writer.hpp
+/// Live incremental indexing (docs/LIVE_INDEXING.md): an LSM-style writer
+/// on top of the batch pipeline's components. Documents stream through the
+/// same parse → dictionary → postings path as IndexBuilder, accumulating
+/// in an in-memory buffer; flush() freezes the buffer into one numbered
+/// immutable segment (SegmentWriter format, absolute doc ids) plus a
+/// per-segment doc map, and commits it by atomically rewriting the
+/// MANIFEST. A background thread applies a tiered merge policy, folding
+/// same-tier runs of adjacent segments into one via the §III.F
+/// byte-concatenation merge — postings are never re-encoded.
+///
+/// Readers are never blocked: every commit publishes a new immutable
+/// LiveSnapshot behind an atomic pointer (segment_set.hpp); queries run
+/// against whatever snapshot they grabbed, and replaced segments are
+/// unlinked only when the last holder lets go.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "live/manifest.hpp"
+#include "live/segment_set.hpp"
+#include "obs/metrics.hpp"
+#include "parse/parser.hpp"
+#include "util/error.hpp"
+
+namespace hetindex {
+
+struct IndexWriterOptions {
+  /// Auto-flush once this many raw document bytes are buffered. 0 disables
+  /// auto-flush (explicit flush() only — what the equivalence tests use).
+  std::uint64_t flush_threshold_bytes = 4ull << 20;
+  /// Fold this many adjacent same-tier segments per merge (LSM fan-in).
+  std::uint32_t merge_factor = 4;
+  /// Segment-size boundary of tier 0; tier n covers sizes up to
+  /// tier_base_bytes << n. Merged output typically lands one tier up.
+  std::uint64_t tier_base_bytes = 64ull << 10;
+  /// Run the merge policy on a background thread after every flush. When
+  /// false, compaction runs only via compact_now().
+  bool background_compaction = true;
+  PostingCodec codec = PostingCodec::kVByte;
+  ParserConfig parser;
+};
+
+/// Single-writer ingestion handle over a live index directory. One writer
+/// owns the directory; any number of threads may query concurrently via
+/// snapshot(). The writer itself is externally synchronized (one thread,
+/// or callers lock) — like the paper's pipeline, parsing/indexing state is
+/// shared-nothing per owner.
+class IndexWriter {
+ public:
+  /// Opens (or creates) the live directory `dir`. Recovers to the last
+  /// committed manifest: stray segment files from a crashed flush or
+  /// compaction — on disk but not committed — are removed, as is any
+  /// MANIFEST.tmp left mid-rename. kCorrupt when the manifest or a
+  /// committed segment fails validation.
+  static Expected<IndexWriter> open(const std::string& dir, IndexWriterOptions options = {});
+
+  IndexWriter(IndexWriter&&) noexcept;
+  IndexWriter& operator=(IndexWriter&&) noexcept;
+  /// Stops background compaction. Buffered (unflushed) documents are
+  /// dropped — call flush() first to commit them.
+  ~IndexWriter();
+
+  /// Parses and indexes one document into the in-memory buffer, assigning
+  /// the next global doc id. May trigger an auto-flush (see
+  /// flush_threshold_bytes). Returns the assigned doc id.
+  std::uint32_t add_document(const std::string& url, const std::string& body);
+
+  /// Freezes the buffer into segment files, commits the manifest, and
+  /// publishes the new snapshot. No-op returning 0 when the buffer is
+  /// empty; otherwise returns the new segment's id. Kicks the background
+  /// compactor.
+  std::uint64_t flush();
+
+  /// Runs the merge policy to completion on the calling thread (flushes
+  /// nothing). Safe alongside background compaction — merges are
+  /// serialized internally.
+  void compact_now();
+
+  /// The current committed view. Lock-free; holding the returned pointer
+  /// keeps every segment in it (and its files) alive.
+  [[nodiscard]] std::shared_ptr<const LiveSnapshot> snapshot() const;
+
+  /// Committed manifest state (copy) — what a reopen would serve.
+  [[nodiscard]] Manifest manifest() const;
+
+  /// Documents committed to segments (excludes the buffer).
+  [[nodiscard]] std::uint32_t committed_docs() const;
+  /// Documents sitting in the in-memory buffer.
+  [[nodiscard]] std::uint32_t buffered_docs() const;
+
+  [[nodiscard]] const std::string& dir() const;
+
+  /// Writer metrics: live_flushes_total, live_documents_total,
+  /// live_flushed_bytes_total, live_flush_seconds_total, compactions_total,
+  /// compaction_bytes_written_total, compaction_seconds_total,
+  /// live_segments_active, snapshot_refcount.
+  [[nodiscard]] const obs::MetricsRegistry& metrics() const;
+
+ private:
+  struct State;
+  explicit IndexWriter(std::unique_ptr<State> state);
+
+  std::unique_ptr<State> state_;
+};
+
+}  // namespace hetindex

@@ -13,6 +13,7 @@
 #include "gpusim/gpu_spec.hpp"
 #include "index/sampler.hpp"
 #include "parse/parser.hpp"
+#include "util/error.hpp"
 
 namespace hetindex {
 
@@ -66,9 +67,11 @@ struct PipelineConfig {
   /// Checks the configuration for contradictions a build cannot survive
   /// (zero parsers, zero indexers, zero back-pressure buffers, GPUs with
   /// zero thread blocks, a degenerate sampler, an empty output dir).
-  /// Returns one descriptive message per problem; empty means valid.
-  /// PipelineEngine::build() calls this first and refuses invalid configs.
-  [[nodiscard]] std::vector<std::string> validate() const;
+  /// Returns one structured Error (code kInvalidArgument) per problem —
+  /// the same error type InvertedIndex::open(dir, OpenOptions) reports —
+  /// empty means valid. PipelineEngine::build() calls this first and
+  /// refuses invalid configs.
+  [[nodiscard]] std::vector<Error> validate() const;
 };
 
 }  // namespace hetindex

@@ -143,7 +143,7 @@ PipelineReport PipelineEngine::build(const std::vector<std::string>& files) {
     const auto errors = config_.validate();
     if (!errors.empty()) {
       std::string joined = "invalid PipelineConfig:";
-      for (const auto& e : errors) joined += "\n  - " + e;
+      for (const auto& e : errors) joined += "\n  - " + e.message;
       HET_CHECK_MSG(false, joined.c_str());
     }
   }

@@ -8,8 +8,9 @@
 
 namespace hetindex {
 namespace {
-constexpr std::uint32_t kDocMapMagic = 0x4D434F44;  // "DOCM"
-}
+constexpr std::uint32_t kDocMapMagic = 0x4D434F44;    // "DOCM" — base-0 v1
+constexpr std::uint32_t kDocMapMagicV2 = 0x32434F44;  // "DOC2" — carries base
+}  // namespace
 
 void DocMapBuilder::add_file(std::uint32_t doc_id_base, std::uint32_t file_seq,
                              const std::vector<std::string>& urls,
@@ -18,20 +19,35 @@ void DocMapBuilder::add_file(std::uint32_t doc_id_base, std::uint32_t file_seq,
   spans_.push_back({doc_id_base, file_seq, urls, token_counts});
 }
 
-std::uint32_t DocMapBuilder::doc_count() const {
-  std::uint32_t n = 0;
-  for (const auto& s : spans_) {
-    n = std::max(n, s.doc_id_base + static_cast<std::uint32_t>(s.urls.size()));
+void DocMapBuilder::append(const DocMap& map) {
+  for (const auto& s : map.spans_) {
+    std::vector<std::string> urls;
+    std::vector<std::uint32_t> token_counts;
+    urls.reserve(s.count);
+    token_counts.reserve(s.count);
+    for (std::uint32_t i = 0; i < s.count; ++i) {
+      const auto& loc = map.locations_[s.doc_id_base - map.base_ + i];
+      urls.push_back(loc.url);
+      token_counts.push_back(loc.token_count);
+    }
+    spans_.push_back({s.doc_id_base, s.file_seq, std::move(urls), std::move(token_counts)});
   }
-  return n;
+}
+
+std::uint32_t DocMapBuilder::doc_count() const {
+  std::uint32_t end = base_;
+  for (const auto& s : spans_) {
+    end = std::max(end, s.doc_id_base + static_cast<std::uint32_t>(s.urls.size()));
+  }
+  return end - base_;
 }
 
 void DocMapBuilder::write(const std::string& path) const {
   auto spans = spans_;
   std::sort(spans.begin(), spans.end(),
             [](const FileSpan& a, const FileSpan& b) { return a.doc_id_base < b.doc_id_base; });
-  // Doc ids must tile [0, doc_count) without gaps or overlaps.
-  std::uint32_t expected = 0;
+  // Doc ids must tile [base, base + doc_count) without gaps or overlaps.
+  std::uint32_t expected = base_;
   std::vector<std::uint8_t> raw;
   ByteWriter w(raw);
   w.u32(static_cast<std::uint32_t>(spans.size()));
@@ -49,8 +65,15 @@ void DocMapBuilder::write(const std::string& path) const {
   const auto compressed = lz_compress(raw);
   std::vector<std::uint8_t> out;
   ByteWriter header(out);
-  header.u32(kDocMapMagic);
-  header.u32(expected);
+  if (base_ == 0) {
+    // v1 stays the batch pipeline's format, byte-for-byte.
+    header.u32(kDocMapMagic);
+    header.u32(expected);
+  } else {
+    header.u32(kDocMapMagicV2);
+    header.u32(expected - base_);
+    header.u32(base_);
+  }
   out.insert(out.end(), compressed.begin(), compressed.end());
   write_file(path, out);
 }
@@ -58,20 +81,28 @@ void DocMapBuilder::write(const std::string& path) const {
 DocMap DocMap::open(const std::string& path) {
   const auto file = read_file(path);
   ByteReader header(file);
-  HET_CHECK_MSG(header.u32() == kDocMapMagic, "not a hetindex doc map");
+  const std::uint32_t magic = header.u32();
+  HET_CHECK_MSG(magic == kDocMapMagic || magic == kDocMapMagicV2, "not a hetindex doc map");
   const std::uint32_t total = header.u32();
-  const auto raw = lz_decompress(file.data() + 8, file.size() - 8);
-  ByteReader r(raw);
   DocMap map;
+  std::size_t payload_off = 8;
+  if (magic == kDocMapMagicV2) {
+    map.base_ = header.u32();
+    payload_off = 12;
+  }
+  const auto raw = lz_decompress(file.data() + payload_off, file.size() - payload_off);
+  ByteReader r(raw);
   map.locations_.resize(total);
   const std::uint32_t spans = r.u32();
+  map.spans_.reserve(spans);
   for (std::uint32_t s = 0; s < spans; ++s) {
-    const std::uint32_t base = r.u32();
+    const std::uint32_t base = r.u32();  // global
     const std::uint32_t file_seq = r.u32();
     const std::uint32_t count = r.u32();
+    map.spans_.push_back({base, file_seq, count});
     for (std::uint32_t i = 0; i < count; ++i) {
-      HET_CHECK(base + i < total);
-      auto& loc = map.locations_[base + i];
+      HET_CHECK(base >= map.base_ && base - map.base_ + i < total);
+      auto& loc = map.locations_[base - map.base_ + i];
       loc.url = r.str();
       loc.token_count = r.u32();
       loc.file_seq = file_seq;
@@ -89,8 +120,8 @@ double DocMap::average_doc_tokens() const {
 }
 
 const DocLocation& DocMap::location(std::uint32_t doc_id) const {
-  HET_CHECK_MSG(doc_id < locations_.size(), "doc id out of range");
-  return locations_[doc_id];
+  HET_CHECK_MSG(contains(doc_id), "doc id out of range");
+  return locations_[doc_id - base_];
 }
 
 std::string doc_map_path(const std::string& index_dir) { return index_dir + "/docmap.bin"; }

@@ -52,11 +52,39 @@ InvertedIndex::InvertedIndex(InvertedIndex&&) noexcept = default;
 InvertedIndex& InvertedIndex::operator=(InvertedIndex&&) noexcept = default;
 InvertedIndex::~InvertedIndex() = default;
 
-InvertedIndex InvertedIndex::open(const std::string& dir) {
-  return file_exists(IndexLayout::segment_path(dir)) ? open_segment(dir) : open_runs(dir);
-}
+Expected<InvertedIndex> InvertedIndex::open(const std::string& dir,
+                                            const OpenOptions& options) {
+  IndexBackend backend = options.backend;
+  if (backend == IndexBackend::kAuto) {
+    if (file_exists(IndexLayout::segment_path(dir))) {
+      backend = IndexBackend::kSegment;
+    } else if (file_exists(IndexLayout::dictionary_path(dir))) {
+      backend = IndexBackend::kRuns;
+    } else {
+      return Error{ErrorCode::kNotFound,
+                   "no index found under: " + dir + " (neither index.seg nor dictionary.bin)"};
+    }
+  }
 
-InvertedIndex InvertedIndex::open_runs(const std::string& dir) {
+  if (backend == IndexBackend::kSegment) {
+    auto segment = SegmentReader::try_open(IndexLayout::segment_path(dir));
+    if (!segment.has_value()) return segment.error();
+    InvertedIndex idx;
+    idx.segment_ = std::make_unique<SegmentReader>(std::move(segment).value());
+    idx.ins_->bytes_mapped.set(static_cast<std::int64_t>(idx.segment_->mapped_bytes()));
+    return idx;
+  }
+
+  // Run-file backend. Presence is the soft-checked part; the loaders keep
+  // their hard structural validation (these files carry no CRC).
+  if (!file_exists(IndexLayout::dictionary_path(dir))) {
+    return Error{ErrorCode::kNotFound,
+                 "cannot open index dictionary: " + IndexLayout::dictionary_path(dir)};
+  }
+  if (!file_exists(IndexLayout::directory_path(dir))) {
+    return Error{ErrorCode::kNotFound,
+                 "cannot open run directory: " + IndexLayout::directory_path(dir)};
+  }
   InvertedIndex idx;
   idx.entries_ = dictionary_read(IndexLayout::dictionary_path(dir));
   HET_CHECK_MSG(std::is_sorted(idx.entries_.begin(), idx.entries_.end(),
@@ -72,12 +100,27 @@ InvertedIndex InvertedIndex::open_runs(const std::string& dir) {
   return idx;
 }
 
+namespace {
+
+/// Shared tail of the deprecated shims: unwrap or die with the open error.
+InvertedIndex open_or_die(const std::string& dir, const OpenOptions& options) {
+  auto r = InvertedIndex::open(dir, options);
+  if (!r.has_value()) {
+    check_failed("InvertedIndex::open", __FILE__, __LINE__, r.error().message.c_str());
+  }
+  return std::move(r).value();
+}
+
+}  // namespace
+
+InvertedIndex InvertedIndex::open(const std::string& dir) { return open_or_die(dir, {}); }
+
+InvertedIndex InvertedIndex::open_runs(const std::string& dir) {
+  return open_or_die(dir, {IndexBackend::kRuns});
+}
+
 InvertedIndex InvertedIndex::open_segment(const std::string& dir) {
-  InvertedIndex idx;
-  idx.segment_ = std::make_unique<SegmentReader>(
-      SegmentReader::open(IndexLayout::segment_path(dir)));
-  idx.ins_->bytes_mapped.set(static_cast<std::int64_t>(idx.segment_->mapped_bytes()));
-  return idx;
+  return open_or_die(dir, {IndexBackend::kSegment});
 }
 
 const std::vector<DictionaryEntry>& InvertedIndex::entries() const {

@@ -26,6 +26,7 @@
 #include "obs/metrics.hpp"
 #include "postings/run_file.hpp"
 #include "postings/segment.hpp"
+#include "util/error.hpp"
 
 namespace hetindex {
 
@@ -49,14 +50,39 @@ struct QueryPostings {
   std::vector<std::uint32_t> positions;
 };
 
+/// Which backend InvertedIndex::open() should serve from.
+enum class IndexBackend {
+  kAuto,     ///< segment when `index.seg` exists, else run files
+  kRuns,     ///< force the run-file backend (dictionary + runs in memory)
+  kSegment,  ///< force the mmapped-segment backend
+};
+
+/// Options for InvertedIndex::open(). An aggregate so call sites can spell
+/// the default as `open(dir, {})` and a forced backend as
+/// `open(dir, {IndexBackend::kRuns})`.
+struct OpenOptions {
+  IndexBackend backend = IndexBackend::kAuto;
+};
+
 /// Queryable view of an index directory (run-file or segment backed).
 class InvertedIndex {
  public:
-  /// Opens `dir`, preferring the compacted segment when one exists.
+  /// Opens `dir` with the requested backend. Missing index files report
+  /// ErrorCode::kNotFound, a failed segment checksum or structural check
+  /// kCorrupt, an unknown segment version or codec kUnsupported — instead
+  /// of aborting, so callers can fall back or surface the message. (Deep
+  /// corruption inside the run-file loaders still hard-fails; the CRC'd
+  /// segment is the backend with end-to-end soft validation.)
+  static Expected<InvertedIndex> open(const std::string& dir, const OpenOptions& options);
+
+  /// \deprecated Use open(dir, {}). Aborts on any open failure.
+  [[deprecated("use open(dir, OpenOptions{})")]]
   static InvertedIndex open(const std::string& dir);
-  /// Forces the run-file backend (dictionary + all run files in memory).
+  /// \deprecated Use open(dir, {IndexBackend::kRuns}).
+  [[deprecated("use open(dir, {IndexBackend::kRuns})")]]
   static InvertedIndex open_runs(const std::string& dir);
-  /// Forces the segment backend (mmapped `index.seg`).
+  /// \deprecated Use open(dir, {IndexBackend::kSegment}).
+  [[deprecated("use open(dir, {IndexBackend::kSegment})")]]
   static InvertedIndex open_segment(const std::string& dir);
 
   InvertedIndex(InvertedIndex&&) noexcept;

@@ -104,31 +104,49 @@ std::uint64_t SegmentWriter::finalize() {
 }
 
 SegmentReader SegmentReader::open(const std::string& path) {
+  auto r = try_open(path);
+  if (!r.has_value()) {
+    check_failed("SegmentReader::open", __FILE__, __LINE__, r.error().message.c_str());
+  }
+  return std::move(r).value();
+}
+
+Expected<SegmentReader> SegmentReader::try_open(const std::string& path) {
+  const auto corrupt = [&path](const char* what) {
+    return Error{ErrorCode::kCorrupt, std::string(what) + ": " + path};
+  };
+  if (!file_exists(path)) {
+    return Error{ErrorCode::kNotFound, "cannot open segment file: " + path};
+  }
   SegmentReader r;
   r.file_ = MmapFile::open(path);
   const std::uint8_t* data = r.file_.data();
   const std::size_t n = r.file_.size();
-  HET_CHECK_MSG(n >= kHeaderBytes + kFooterBytes, "segment file too small (truncated?)");
+  if (n < kHeaderBytes + kFooterBytes) return corrupt("segment file too small (truncated?)");
 
   // Footer first: it guards everything else, including the header.
   ByteReader fr(data + (n - kFooterBytes), kFooterBytes);
   const std::uint64_t total = fr.u64();
   const std::uint32_t crc = fr.u32();
-  HET_CHECK_MSG(fr.u32() == kSegmentFooterMagic, "bad segment footer magic");
-  HET_CHECK_MSG(total == n, "segment file truncated (size mismatch with footer)");
-  HET_CHECK_MSG(crc32(data, n - kFooterBytes) == crc,
-                "segment file corruption (crc mismatch)");
+  if (fr.u32() != kSegmentFooterMagic) return corrupt("bad segment footer magic");
+  if (total != n) return corrupt("segment file truncated (size mismatch with footer)");
+  if (crc32(data, n - kFooterBytes) != crc) {
+    return corrupt("segment file corruption (crc mismatch)");
+  }
 
   ByteReader h(data, n - kFooterBytes);
-  HET_CHECK_MSG(h.u32() == kSegmentMagic, "not a hetindex segment file");
-  HET_CHECK_MSG(h.u32() == kSegmentVersion, "unsupported segment version");
+  if (h.u32() != kSegmentMagic) return corrupt("not a hetindex segment file");
+  if (h.u32() != kSegmentVersion) {
+    return Error{ErrorCode::kUnsupported, "unsupported segment version: " + path};
+  }
   const std::uint8_t codec_byte = h.u8();
-  HET_CHECK_MSG(codec_byte <= static_cast<std::uint8_t>(PostingCodec::kGolomb),
-                "unknown segment posting codec");
+  if (codec_byte > static_cast<std::uint8_t>(PostingCodec::kGolomb)) {
+    return Error{ErrorCode::kUnsupported, "unknown segment posting codec: " + path};
+  }
   r.codec_ = static_cast<PostingCodec>(codec_byte);
   h.skip(3);  // reserved
   r.terms_per_block_ = h.u32();
-  HET_CHECK_MSG(r.terms_per_block_ >= 1, "segment block size must be >= 1");
+  if (r.terms_per_block_ < 1) return corrupt("segment block size must be >= 1");
   r.term_count_ = h.u64();
   r.min_doc_ = h.u32();
   r.max_doc_ = h.u32();
@@ -139,12 +157,14 @@ SegmentReader SegmentReader::open(const std::string& path) {
   r.blob_off_ = h.u64();
   r.blob_bytes_ = h.u64();
   const std::uint64_t payload_end = n - kFooterBytes;
-  HET_CHECK_MSG(r.dict_off_ == kHeaderBytes && r.table_off_ == r.dict_off_ + r.dict_bytes_ &&
-                    r.blob_off_ == r.table_off_ + r.table_bytes_ &&
-                    r.blob_off_ + r.blob_bytes_ == payload_end,
-                "segment section out of bounds");
-  HET_CHECK_MSG(r.table_bytes_ == r.term_count_ * kTableRowBytes,
-                "segment section out of bounds");
+  if (!(r.dict_off_ == kHeaderBytes && r.table_off_ == r.dict_off_ + r.dict_bytes_ &&
+        r.blob_off_ == r.table_off_ + r.table_bytes_ &&
+        r.blob_off_ + r.blob_bytes_ == payload_end)) {
+    return corrupt("segment section out of bounds");
+  }
+  if (r.table_bytes_ != r.term_count_ * kTableRowBytes) {
+    return corrupt("segment section out of bounds");
+  }
 
   // One pass over the dictionary builds the sparse block index; term bytes
   // themselves stay in the mapping.
@@ -275,6 +295,89 @@ std::vector<std::string> SegmentReader::terms_with_prefix(std::string_view prefi
 void SegmentReader::for_each_term(
     const std::function<bool(std::string_view, std::uint64_t)>& fn) const {
   scan_from_block(0, fn);
+}
+
+std::pair<const std::uint8_t*, std::size_t> SegmentReader::raw_blob(
+    const PostingsMeta& m) const {
+  HET_CHECK_MSG(m.offset + m.bytes <= blob_bytes_, "segment blob out of bounds");
+  return {file_.data() + blob_off_ + m.offset, m.bytes};
+}
+
+SegmentReader::TermCursor::TermCursor(const SegmentReader& reader) : reader_(&reader) {
+  if (valid()) {
+    term_.assign(reader_->blocks_.front().first);
+    pos_ = reader_->blocks_.front().coded_pos;
+  }
+}
+
+void SegmentReader::TermCursor::next() {
+  HET_CHECK(valid());
+  ++ordinal_;
+  if (!valid()) return;
+  if (ordinal_ % reader_->terms_per_block_ == 0) {
+    // Block boundary: the leader is stored verbatim, not front-coded.
+    const Block& blk = reader_->blocks_[ordinal_ / reader_->terms_per_block_];
+    term_.assign(blk.first);
+    pos_ = blk.coded_pos;
+  } else {
+    reader_->next_term(term_, pos_);
+  }
+}
+
+SegmentMergeStats merge_segments(const std::vector<const SegmentReader*>& inputs,
+                                 const std::string& out_path) {
+  HET_CHECK_MSG(!inputs.empty(), "segment merge requires at least one input");
+  const PostingCodec codec = inputs.front()->codec();
+  for (const auto* in : inputs) {
+    HET_CHECK_MSG(in->codec() == codec, "segment merge requires a uniform posting codec");
+  }
+
+  SegmentMergeStats stats;
+  stats.segments = inputs.size();
+  SegmentWriter writer(out_path, codec);
+
+  // K-way cursor merge. K is the merge factor (a handful), so a linear
+  // min-scan per output term beats the heap's constant factor.
+  std::vector<SegmentReader::TermCursor> cursors;
+  cursors.reserve(inputs.size());
+  for (const auto* in : inputs) cursors.emplace_back(*in);
+
+  std::vector<std::uint8_t> blob;
+  while (true) {
+    const std::string* min_term = nullptr;
+    for (const auto& c : cursors) {
+      if (c.valid() && (min_term == nullptr || c.term() < *min_term)) {
+        min_term = &c.term();
+      }
+    }
+    if (min_term == nullptr) break;
+    const std::string term = *min_term;  // cursors advance below; copy first
+
+    // Equal terms concatenate byte-wise in input order — every encoded
+    // sub-list starts with an absolute doc id (§III.F), so the combined
+    // blob decodes as one list provided doc ranges ascend across inputs.
+    blob.clear();
+    std::uint32_t count = 0, mn = 0, mx = 0;
+    for (std::size_t i = 0; i < cursors.size(); ++i) {
+      auto& c = cursors[i];
+      if (!c.valid() || c.term() != term) continue;
+      const auto m = c.meta();
+      HET_CHECK_MSG(count == 0 || m.min_doc > mx,
+                    "doc ids must be globally increasing across segments");
+      const auto [bytes, len] = inputs[i]->raw_blob(m);
+      blob.insert(blob.end(), bytes, bytes + len);
+      stats.input_bytes += len;
+      if (count == 0) mn = m.min_doc;
+      mx = m.max_doc;
+      count += m.count;
+      c.next();
+    }
+    writer.add_term(term, blob.data(), blob.size(), count, mn, mx);
+    ++stats.terms;
+    stats.postings += count;
+  }
+  stats.output_bytes = writer.finalize();
+  return stats;
 }
 
 SegmentBuildStats build_segment_from_runs(const std::string& dir,

@@ -34,6 +34,7 @@
 #include "dict/dictionary.hpp"
 #include "io/mmap_file.hpp"
 #include "postings/run_file.hpp"
+#include "util/error.hpp"
 
 namespace hetindex {
 
@@ -86,6 +87,12 @@ class SegmentReader {
   /// descriptive check failure — corrupt bytes never reach a decoder.
   static SegmentReader open(const std::string& path);
 
+  /// Non-aborting variant of open(): a missing file reports kNotFound, a
+  /// failed checksum or structural check kCorrupt, an unknown version or
+  /// codec kUnsupported. Corrupt bytes still never reach a decoder — the
+  /// same validations run, they just return instead of aborting.
+  static Expected<SegmentReader> try_open(const std::string& path);
+
   /// One postings table row, resolved against the mapping.
   struct PostingsMeta {
     std::uint64_t offset = 0;  ///< into the blob area
@@ -109,6 +116,37 @@ class SegmentReader {
   void decode(const PostingsMeta& m, std::vector<std::uint32_t>& doc_ids,
               std::vector<std::uint32_t>& tfs,
               std::vector<std::uint32_t>* positions = nullptr) const;
+
+  /// The raw encoded bytes behind `m`, straight out of the mapping — the
+  /// unit of the §III.F byte-concatenation merge (valid while the reader
+  /// lives). Every sub-list's first doc id is absolute, so two segments'
+  /// blobs for the same term concatenate without a decode as long as their
+  /// doc ranges are disjoint and given in ascending order.
+  [[nodiscard]] std::pair<const std::uint8_t*, std::size_t> raw_blob(
+      const PostingsMeta& m) const;
+
+  /// Pull-style iterator over the term dictionary in lexicographic order —
+  /// the building block of multi-segment k-way merges (for_each_term is
+  /// push-style and cannot interleave several segments).
+  class TermCursor {
+   public:
+    explicit TermCursor(const SegmentReader& reader);
+    /// False once every term has been consumed.
+    [[nodiscard]] bool valid() const { return ordinal_ < reader_->term_count_; }
+    /// Current term (materialized; stable until next()).
+    [[nodiscard]] const std::string& term() const { return term_; }
+    [[nodiscard]] std::uint64_t ordinal() const { return ordinal_; }
+    [[nodiscard]] SegmentReader::PostingsMeta meta() const {
+      return reader_->meta(ordinal_);
+    }
+    void next();
+
+   private:
+    const SegmentReader* reader_;
+    std::uint64_t ordinal_ = 0;
+    std::string term_;
+    std::size_t pos_ = 0;  ///< into the dict section, after the current term
+  };
 
   /// All terms starting with `prefix`, lexicographic order (materialized —
   /// front-coded terms have no contiguous bytes to view).
@@ -182,5 +220,24 @@ SegmentBuildStats build_segment_from_runs(const std::string& dir,
 /// into `<dir>/index.seg`. Run files are left in place: they stay the
 /// build-time interchange format (and the merger's input).
 SegmentBuildStats compact_index(const std::string& dir);
+
+/// What a segment-to-segment merge folded together.
+struct SegmentMergeStats {
+  std::uint64_t segments = 0;      ///< input segments
+  std::uint64_t terms = 0;         ///< unique terms in the output
+  std::uint64_t postings = 0;
+  std::uint64_t input_bytes = 0;   ///< encoded blob bytes read
+  std::uint64_t output_bytes = 0;  ///< merged segment file size
+};
+
+/// Merges already-built segments into one new segment at `out_path`
+/// without decoding postings: terms stream through a k-way cursor merge
+/// and equal terms' blobs concatenate byte-wise (§III.F — every sub-list's
+/// first doc id is absolute). Inputs must share one codec and be given in
+/// ascending, pairwise-disjoint doc-id order; per-term order is verified
+/// from the table metadata. This is the compaction primitive of the live
+/// indexing layer (docs/LIVE_INDEXING.md).
+SegmentMergeStats merge_segments(const std::vector<const SegmentReader*>& inputs,
+                                 const std::string& out_path);
 
 }  // namespace hetindex

@@ -1,0 +1,434 @@
+// Live indexing tests (docs/LIVE_INDEXING.md): incremental-vs-batch
+// equivalence (random flush points must produce exactly the index a
+// one-shot IndexBuilder builds, term for term), tiered compaction
+// correctness (merges fold segments without re-encoding and answers never
+// change), snapshot-isolated readers racing flushes and compaction (the
+// TSan tier-1 leg runs this), crash recovery (uncommitted segment files
+// and a stale MANIFEST.tmp must not survive reopen), and the DocMap
+// offset/rebase API live segments rely on.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <filesystem>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/hetindex.hpp"
+#include "util/binary_io.hpp"
+
+namespace hetindex {
+namespace {
+
+class TempDir {
+ public:
+  explicit TempDir(const std::string& tag) {
+    path_ = (std::filesystem::temp_directory_path() /
+             ("hetindex_live_" + tag + "_" + std::to_string(counter_++)))
+                .string();
+    std::filesystem::create_directories(path_);
+  }
+  ~TempDir() { std::filesystem::remove_all(path_); }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  static inline int counter_ = 0;
+  std::string path_;
+};
+
+/// A small deterministic corpus read back as documents, plus the batch
+/// index built from the same container files.
+struct Corpus {
+  std::vector<std::string> files;
+  std::vector<Document> docs;
+};
+
+Corpus make_corpus(const std::string& dir, std::uint64_t bytes, std::uint64_t seed) {
+  CollectionSpec spec = wikipedia_like();
+  spec.total_bytes = bytes;
+  spec.seed = seed;
+  const auto coll = generate_collection(spec, dir);
+  Corpus corpus;
+  corpus.files = coll.paths();
+  for (const auto& file : corpus.files) {
+    for (auto& doc : container_read(file)) corpus.docs.push_back(std::move(doc));
+  }
+  return corpus;
+}
+
+/// Ingests the corpus into `dir` with flushes at the given doc indices
+/// (plus a final flush), then runs compaction to completion.
+IndexWriter ingest(const Corpus& corpus, const std::string& dir,
+                   IndexWriterOptions opts, const std::vector<std::size_t>& flush_after) {
+  auto writer = IndexWriter::open(dir, opts);
+  EXPECT_TRUE(writer.has_value());
+  auto w = std::move(writer).value();
+  std::size_t next_flush = 0;
+  for (std::size_t i = 0; i < corpus.docs.size(); ++i) {
+    const auto id = w.add_document(corpus.docs[i].url, corpus.docs[i].body);
+    EXPECT_EQ(id, i);
+    if (next_flush < flush_after.size() && flush_after[next_flush] == i) {
+      ++next_flush;
+      w.flush();
+    }
+  }
+  w.flush();
+  return w;
+}
+
+/// Asserts the snapshot answers every term exactly like the batch index.
+void expect_equivalent(const LiveSnapshot& snap, const InvertedIndex& batch,
+                       bool positions) {
+  EXPECT_EQ(snap.term_count(), batch.term_count());
+  std::uint64_t compared = 0;
+  snap.for_each_term([&](std::string_view term) {
+    const auto live = snap.lookup(term);
+    const auto ref =
+        positions ? batch.lookup_positional(term) : batch.lookup(term);
+    EXPECT_TRUE(live.has_value()) << term;
+    EXPECT_TRUE(ref.has_value()) << term;
+    if (live && ref) {
+      EXPECT_EQ(live->doc_ids, ref->doc_ids) << term;
+      EXPECT_EQ(live->tfs, ref->tfs) << term;
+      if (positions) {
+        EXPECT_EQ(live->positions, ref->positions) << term;
+      }
+    }
+    ++compared;
+    return true;
+  });
+  EXPECT_EQ(compared, batch.term_count());
+}
+
+// -------------------------------------------------- incremental == batch
+
+TEST(LiveEquivalence, RandomFlushPointsMatchBatchBuild) {
+  TempDir corpus_dir("corpus");
+  TempDir batch_dir("batch");
+  TempDir live_dir("live");
+  const auto corpus = make_corpus(corpus_dir.path(), 256 << 10, /*seed=*/0xC0FFEE);
+  ASSERT_GT(corpus.docs.size(), 16u);
+
+  IndexBuilder builder;
+  builder.emit_segment(true);
+  builder.build(corpus.files, batch_dir.path());
+  const auto batch =
+      InvertedIndex::open(batch_dir.path(), {IndexBackend::kSegment}).value();
+
+  // Random flush points; seeded so failures reproduce.
+  std::mt19937 rng(42);
+  std::vector<std::size_t> flush_after;
+  for (std::size_t i = 0; i < corpus.docs.size(); ++i) {
+    if (rng() % 7 == 0) flush_after.push_back(i);
+  }
+  IndexWriterOptions opts;
+  opts.flush_threshold_bytes = 0;  // explicit flushes only
+  opts.background_compaction = false;
+  auto w = ingest(corpus, live_dir.path(), opts, flush_after);
+
+  const auto snap = w.snapshot();
+  EXPECT_EQ(snap->doc_count(), corpus.docs.size());
+  EXPECT_GT(snap->segment_count(), 1u);
+  expect_equivalent(*snap, batch, /*positions=*/false);
+
+  // Compaction must not change a single answer.
+  w.compact_now();
+  const auto compacted = w.snapshot();
+  EXPECT_LE(compacted->segment_count(), snap->segment_count());
+  expect_equivalent(*compacted, batch, /*positions=*/false);
+
+  // A fresh read-only open of the committed state agrees too.
+  const auto live = LiveIndex::open(live_dir.path());
+  ASSERT_TRUE(live.has_value());
+  expect_equivalent(*live.value().snapshot(), batch, /*positions=*/false);
+}
+
+TEST(LiveEquivalence, PositionalPostingsSurviveFlushAndMerge) {
+  TempDir corpus_dir("pcorpus");
+  TempDir batch_dir("pbatch");
+  TempDir live_dir("plive");
+  const auto corpus = make_corpus(corpus_dir.path(), 96 << 10, /*seed=*/0xBEEF);
+
+  IndexBuilder builder;
+  builder.emit_segment(true);
+  builder.config().parser.record_positions = true;
+  builder.build(corpus.files, batch_dir.path());
+  const auto batch =
+      InvertedIndex::open(batch_dir.path(), {IndexBackend::kSegment}).value();
+
+  IndexWriterOptions opts;
+  opts.flush_threshold_bytes = 0;
+  opts.background_compaction = false;
+  opts.parser.record_positions = true;
+  // Flush every 10 documents, then fold everything back together: the
+  // §III.F byte-concatenation merge must preserve positions bit-exactly.
+  std::vector<std::size_t> flush_after;
+  for (std::size_t i = 9; i < corpus.docs.size(); i += 10) flush_after.push_back(i);
+  auto w = ingest(corpus, live_dir.path(), opts, flush_after);
+  w.compact_now();
+  expect_equivalent(*w.snapshot(), batch, /*positions=*/true);
+}
+
+// -------------------------------------------------- writer lifecycle
+
+TEST(LiveWriter, EmptyFlushIsNoOp) {
+  TempDir dir("noop");
+  auto w = IndexWriter::open(dir.path(), {}).value();
+  EXPECT_EQ(w.flush(), 0u);
+  EXPECT_EQ(w.snapshot()->segment_count(), 0u);
+  EXPECT_EQ(w.add_document("u://0", "alpha beta gamma"), 0u);
+  EXPECT_EQ(w.buffered_docs(), 1u);
+  EXPECT_GT(w.flush(), 0u);
+  EXPECT_EQ(w.flush(), 0u);  // buffer drained by the first flush
+  EXPECT_EQ(w.committed_docs(), 1u);
+  EXPECT_EQ(w.buffered_docs(), 0u);
+}
+
+TEST(LiveWriter, ReopenContinuesDocIdsFromCommittedState) {
+  TempDir dir("reopen");
+  IndexWriterOptions opts;
+  opts.background_compaction = false;
+  {
+    auto w = IndexWriter::open(dir.path(), opts).value();
+    w.add_document("u://0", "apple banana");
+    w.flush();
+    w.add_document("u://1", "banana cherry");
+    w.flush();
+    // A buffered-but-unflushed document is dropped by the destructor.
+    w.add_document("u://2", "never committed");
+  }
+  auto w = IndexWriter::open(dir.path(), opts).value();
+  EXPECT_EQ(w.committed_docs(), 2u);
+  EXPECT_EQ(w.snapshot()->segment_count(), 2u);
+  EXPECT_EQ(w.add_document("u://2", "cherry dates"), 2u);
+  w.flush();
+  const auto snap = w.snapshot();
+  EXPECT_EQ(snap->doc_count(), 3u);
+  const auto hits = snap->lookup(normalize_term("banana"));
+  ASSERT_TRUE(hits.has_value());
+  EXPECT_EQ(hits->doc_ids, (std::vector<std::uint32_t>{0, 1}));
+  // The per-segment doc maps resolve every committed id.
+  for (std::uint32_t id = 0; id < 3; ++id) {
+    const auto* loc = snap->locate(id);
+    ASSERT_NE(loc, nullptr) << id;
+    EXPECT_EQ(loc->url, "u://" + std::to_string(id));
+  }
+}
+
+TEST(LiveWriter, CrashRecoveryDropsUncommittedFiles) {
+  TempDir dir("crash");
+  IndexWriterOptions opts;
+  opts.background_compaction = false;
+  {
+    auto w = IndexWriter::open(dir.path(), opts).value();
+    w.add_document("u://0", "alpha beta");
+    w.flush();
+    w.add_document("u://1", "beta gamma");
+    w.flush();
+  }
+  // Simulate a crash between segment write and manifest rename: a stray
+  // segment pair on disk that no manifest names, plus a torn MANIFEST.tmp.
+  const std::string stray_seg = live_segment_path(dir.path(), 99);
+  const std::string stray_map = live_docmap_path(dir.path(), 99);
+  write_file(stray_seg, std::vector<std::uint8_t>{'j', 'u', 'n', 'k'});
+  write_file(stray_map, std::vector<std::uint8_t>{'j', 'u', 'n', 'k'});
+  write_file(manifest_path(dir.path()) + ".tmp", std::vector<std::uint8_t>{0});
+
+  auto w = IndexWriter::open(dir.path(), opts).value();
+  EXPECT_EQ(w.committed_docs(), 2u);  // last committed snapshot, intact
+  EXPECT_EQ(w.snapshot()->segment_count(), 2u);
+  EXPECT_FALSE(file_exists(stray_seg));
+  EXPECT_FALSE(file_exists(stray_map));
+  EXPECT_FALSE(file_exists(manifest_path(dir.path()) + ".tmp"));
+  // New commits keep working after recovery.
+  w.add_document("u://2", "gamma delta");
+  w.flush();
+  EXPECT_EQ(w.snapshot()->doc_count(), 3u);
+}
+
+TEST(LiveWriter, CorruptManifestReportsStructuredError) {
+  TempDir dir("badmanifest");
+  {
+    auto w = IndexWriter::open(dir.path(), {}).value();
+    w.add_document("u://0", "alpha");
+    w.flush();
+  }
+  auto bytes = read_file(manifest_path(dir.path()));
+  bytes[bytes.size() / 2] ^= 0x40;  // flip a bit inside the CRC'd payload
+  write_file(manifest_path(dir.path()), bytes);
+
+  const auto writer = IndexWriter::open(dir.path(), {});
+  ASSERT_FALSE(writer.has_value());
+  EXPECT_EQ(writer.error().code, ErrorCode::kCorrupt);
+  const auto index = LiveIndex::open(dir.path());
+  ASSERT_FALSE(index.has_value());
+  EXPECT_EQ(index.error().code, ErrorCode::kCorrupt);
+}
+
+TEST(LiveIndexOpen, MissingManifestReportsNotFound) {
+  TempDir dir("nomanifest");
+  const auto index = LiveIndex::open(dir.path());
+  ASSERT_FALSE(index.has_value());
+  EXPECT_EQ(index.error().code, ErrorCode::kNotFound);
+}
+
+// -------------------------------------------------- tiered compaction
+
+TEST(LiveCompaction, TieredMergeFoldsAdjacentSegments) {
+  TempDir dir("tiered");
+  IndexWriterOptions opts;
+  opts.background_compaction = false;
+  opts.merge_factor = 2;
+  opts.tier_base_bytes = 1 << 20;  // everything lands in tier 0
+  auto w = IndexWriter::open(dir.path(), opts).value();
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    w.add_document("u://" + std::to_string(i),
+                   "common term" + std::to_string(i) + " filler words here");
+    w.flush();
+  }
+  EXPECT_EQ(w.snapshot()->segment_count(), 8u);
+  w.compact_now();
+  const auto snap = w.snapshot();
+  EXPECT_LT(snap->segment_count(), 8u);
+  EXPECT_EQ(snap->doc_count(), 8u);
+  // Every document is still findable, postings globally sorted.
+  const auto hits = snap->lookup(normalize_term("common"));
+  ASSERT_TRUE(hits.has_value());
+  ASSERT_EQ(hits->doc_ids.size(), 8u);
+  for (std::uint32_t i = 0; i < 8; ++i) EXPECT_EQ(hits->doc_ids[i], i);
+  // Doc maps were rebased and folded along with the postings.
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    const auto* loc = snap->locate(i);
+    ASSERT_NE(loc, nullptr) << i;
+    EXPECT_EQ(loc->url, "u://" + std::to_string(i));
+  }
+  // Obsolete segment files are reclaimed once no snapshot holds them.
+  std::size_t seg_files = 0;
+  for (const auto& e : std::filesystem::directory_iterator(dir.path())) {
+    if (e.path().extension() == ".seg") ++seg_files;
+  }
+  EXPECT_EQ(seg_files, snap->segment_count());
+}
+
+TEST(LiveCompaction, RangeLookupSkipsNonOverlappingSegments) {
+  TempDir dir("range");
+  IndexWriterOptions opts;
+  opts.background_compaction = false;
+  auto w = IndexWriter::open(dir.path(), opts).value();
+  for (std::uint32_t i = 0; i < 6; ++i) {
+    w.add_document("u://" + std::to_string(i), "shared unique" + std::to_string(i));
+    if (i % 2 == 1) w.flush();  // two docs per segment -> 3 segments
+  }
+  const auto snap = w.snapshot();
+  ASSERT_EQ(snap->segment_count(), 3u);
+  std::size_t touched = 0;
+  const auto hits = snap->lookup_range(normalize_term("shared"), 2, 3, &touched);
+  ASSERT_TRUE(hits.has_value());
+  EXPECT_EQ(hits->doc_ids, (std::vector<std::uint32_t>{2, 3}));
+  EXPECT_EQ(touched, 1u);  // only the middle segment overlaps [2, 3]
+}
+
+// -------------------------------------------------- readers vs writer races
+
+TEST(LiveConcurrency, QueriesRaceFlushAndCompaction) {
+  TempDir corpus_dir("ccorpus");
+  TempDir dir("conc");
+  const auto corpus = make_corpus(corpus_dir.path(), 128 << 10, /*seed=*/0xFACE);
+
+  IndexWriterOptions opts;
+  opts.flush_threshold_bytes = 8 << 10;  // flush roughly every few docs
+  opts.tier_base_bytes = 4 << 10;
+  opts.merge_factor = 2;
+  opts.background_compaction = true;
+  auto w = IndexWriter::open(dir.path(), opts).value();
+
+  std::atomic<bool> done{false};
+  std::atomic<std::uint64_t> reads{0};
+  auto reader = [&] {
+    std::uint64_t last_docs = 0;
+    while (!done.load(std::memory_order_acquire)) {
+      const auto snap = w.snapshot();  // lock-free grab, then frozen state
+      // Committed doc count never goes backwards across snapshots.
+      EXPECT_GE(snap->doc_count(), last_docs);
+      last_docs = snap->doc_count();
+      std::uint64_t expected = 0;
+      for (const auto& seg : snap->segments()) expected += seg->doc_count();
+      EXPECT_EQ(snap->doc_count(), expected);
+      snap->for_each_term([&](std::string_view term) {
+        const auto hits = snap->lookup(term);
+        EXPECT_TRUE(hits.has_value());
+        // Disjoint ascending segments -> globally sorted, unique doc ids.
+        for (std::size_t i = 1; i < hits->doc_ids.size(); ++i) {
+          EXPECT_LT(hits->doc_ids[i - 1], hits->doc_ids[i]);
+        }
+        return reads.fetch_add(1, std::memory_order_relaxed) % 64 != 63;
+      });
+    }
+  };
+  std::thread r1(reader);
+  std::thread r2(reader);
+  for (const auto& doc : corpus.docs) w.add_document(doc.url, doc.body);
+  w.flush();
+  w.compact_now();
+  done.store(true, std::memory_order_release);
+  r1.join();
+  r2.join();
+  EXPECT_GT(reads.load(), 0u);
+  EXPECT_EQ(w.snapshot()->doc_count(), corpus.docs.size());
+}
+
+// -------------------------------------------------- DocMap offset/rebase
+
+TEST(DocMapRebase, NonZeroBaseRoundTripsThroughV2Header) {
+  TempDir dir("dmv2");
+  const std::string path = dir.path() + "/m.docmap";
+  DocMapBuilder builder(/*doc_id_base=*/100);
+  builder.add_file(100, /*file_seq=*/7, {"u://a", "u://b"}, {3, 4});
+  EXPECT_EQ(builder.base(), 100u);
+  EXPECT_EQ(builder.doc_count(), 2u);
+  builder.write(path);
+
+  const auto map = DocMap::open(path);
+  EXPECT_EQ(map.base(), 100u);
+  EXPECT_EQ(map.doc_count(), 2u);
+  EXPECT_FALSE(map.contains(99));
+  EXPECT_TRUE(map.contains(101));
+  EXPECT_FALSE(map.contains(102));
+  EXPECT_EQ(map.location(100).url, "u://a");
+  EXPECT_EQ(map.location(101).token_count, 4u);
+  EXPECT_EQ(map.location(101).file_seq, 7u);
+}
+
+TEST(DocMapRebase, AppendFoldsAdjacentMapsPreservingIds) {
+  TempDir dir("dmfold");
+  const std::string a_path = dir.path() + "/a.docmap";
+  const std::string b_path = dir.path() + "/b.docmap";
+  const std::string merged_path = dir.path() + "/m.docmap";
+  DocMapBuilder a(0);
+  a.add_file(0, 1, {"u://0", "u://1", "u://2"}, {5, 6, 7});
+  a.write(a_path);
+  DocMapBuilder b(3);
+  b.add_file(3, 2, {"u://3", "u://4"}, {8, 9});
+  b.write(b_path);
+
+  DocMapBuilder merged(0);
+  merged.append(DocMap::open(a_path));
+  merged.append(DocMap::open(b_path));
+  merged.write(merged_path);
+
+  const auto map = DocMap::open(merged_path);
+  EXPECT_EQ(map.base(), 0u);
+  EXPECT_EQ(map.doc_count(), 5u);
+  for (std::uint32_t id = 0; id < 5; ++id) {
+    EXPECT_EQ(map.location(id).url, "u://" + std::to_string(id)) << id;
+  }
+  EXPECT_EQ(map.location(2).file_seq, 1u);  // grouping survives the fold
+  EXPECT_EQ(map.location(3).file_seq, 2u);
+  EXPECT_EQ(map.location(4).token_count, 9u);
+}
+
+}  // namespace
+}  // namespace hetindex

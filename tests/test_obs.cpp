@@ -252,9 +252,10 @@ TEST(ConfigValidate, ReportsEveryProblemDescriptively) {
   config.output_dir.clear();
   const auto errors = config.validate();
   ASSERT_EQ(errors.size(), 5u);
+  for (const auto& e : errors) EXPECT_EQ(e.code, ErrorCode::kInvalidArgument);
   auto mentions = [&](std::string_view what) {
     for (const auto& e : errors) {
-      if (e.find(what) != std::string::npos) return true;
+      if (e.message.find(what) != std::string::npos) return true;
     }
     return false;
   };
@@ -268,7 +269,7 @@ TEST(ConfigValidate, ReportsEveryProblemDescriptively) {
   gpu_config.gpu_thread_blocks = 0;
   const auto gpu_errors = gpu_config.validate();
   ASSERT_EQ(gpu_errors.size(), 1u);
-  EXPECT_NE(gpu_errors[0].find("gpu_thread_blocks"), std::string::npos);
+  EXPECT_NE(gpu_errors[0].message.find("gpu_thread_blocks"), std::string::npos);
 
   PipelineConfig popular_config;
   popular_config.sampler.popular_count = 0;

@@ -116,7 +116,7 @@ class PositionalIndexFixture : public ::testing::Test {
 };
 
 TEST_F(PositionalIndexFixture, LookupPositionalReturnsPositions) {
-  const auto index = InvertedIndex::open(dir_ + "/index");
+  const auto index = InvertedIndex::open(dir_ + "/index", {}).value();
   const auto p = index.lookup_positional(normalize_term("inverted"));
   ASSERT_TRUE(p.has_value());
   EXPECT_EQ(p->doc_ids, (std::vector<std::uint32_t>{0, 1, 2, 3, 4}));
@@ -128,7 +128,7 @@ TEST_F(PositionalIndexFixture, LookupPositionalReturnsPositions) {
 }
 
 TEST_F(PositionalIndexFixture, PhraseQueryRequiresAdjacency) {
-  const auto index = InvertedIndex::open(dir_ + "/index");
+  const auto index = InvertedIndex::open(dir_ + "/index", {}).value();
   const std::vector<std::string> phrase = {normalize_term("inverted"),
                                            normalize_term("file")};
   const auto hits = phrase_query(index, phrase);
@@ -140,7 +140,7 @@ TEST_F(PositionalIndexFixture, PhraseQueryRequiresAdjacency) {
 }
 
 TEST_F(PositionalIndexFixture, ThreeTermPhrase) {
-  const auto index = InvertedIndex::open(dir_ + "/index");
+  const auto index = InvertedIndex::open(dir_ + "/index", {}).value();
   const std::vector<std::string> phrase = {normalize_term("inverted"),
                                            normalize_term("file"),
                                            normalize_term("construction")};
@@ -150,12 +150,12 @@ TEST_F(PositionalIndexFixture, ThreeTermPhrase) {
 }
 
 TEST_F(PositionalIndexFixture, PhraseQueryMissingTerm) {
-  const auto index = InvertedIndex::open(dir_ + "/index");
+  const auto index = InvertedIndex::open(dir_ + "/index", {}).value();
   EXPECT_FALSE(phrase_query(index, {"nonexistentterm"}).has_value());
 }
 
 TEST_F(PositionalIndexFixture, RepeatedTermCountsPhraseOccurrences) {
-  const auto index = InvertedIndex::open(dir_ + "/index");
+  const auto index = InvertedIndex::open(dir_ + "/index", {}).value();
   // Doc 4: "inverted inverted file file" — "inverted file" matches once
   // (position 1 → 2).
   const auto hits = phrase_query(

@@ -246,7 +246,7 @@ class InvertedIndexFixture : public ::testing::Test {
 };
 
 TEST_F(InvertedIndexFixture, LookupConcatenatesRuns) {
-  const auto idx = InvertedIndex::open(dir_.path());
+  const auto idx = InvertedIndex::open(dir_.path(), {}).value();
   EXPECT_EQ(idx.term_count(), 2u);
   const auto apple = idx.lookup("apple");
   ASSERT_TRUE(apple.has_value());
@@ -256,7 +256,7 @@ TEST_F(InvertedIndexFixture, LookupConcatenatesRuns) {
 }
 
 TEST_F(InvertedIndexFixture, RangeLookupSkipsNonOverlappingRuns) {
-  const auto idx = InvertedIndex::open(dir_.path());
+  const auto idx = InvertedIndex::open(dir_.path(), {}).value();
   std::size_t touched = 0;
   const auto hits = idx.lookup_range("apple", 0, 10, &touched);
   ASSERT_TRUE(hits.has_value());
@@ -269,7 +269,7 @@ TEST_F(InvertedIndexFixture, RangeLookupSkipsNonOverlappingRuns) {
 }
 
 TEST_F(InvertedIndexFixture, RangeLookupFiltersWithinRun) {
-  const auto idx = InvertedIndex::open(dir_.path());
+  const auto idx = InvertedIndex::open(dir_.path(), {}).value();
   const auto hits = idx.lookup_range("apple", 5, 7, nullptr);
   ASSERT_TRUE(hits.has_value());
   EXPECT_EQ(hits->doc_ids, (std::vector<std::uint32_t>{7}));

@@ -153,7 +153,7 @@ TEST(ConcurrentQueries, ManyReadersShareOneIndex) {
   builder.parsers(1).cpu_indexers(1).gpus(1);
   builder.build({corpus}, dir + "/index");
 
-  const auto index = InvertedIndex::open(dir + "/index");
+  const auto index = InvertedIndex::open(dir + "/index", {}).value();
   const auto expected = index.lookup("share");  // stem of "shared"
   ASSERT_TRUE(expected.has_value());
   std::atomic<int> mismatches{0};

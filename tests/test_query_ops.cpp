@@ -123,7 +123,7 @@ class QueryIndexFixture : public ::testing::Test {
 };
 
 TEST_F(QueryIndexFixture, ConjunctiveQueryIntersects) {
-  const auto index = InvertedIndex::open(dir_ + "/index");
+  const auto index = InvertedIndex::open(dir_ + "/index", {}).value();
   const auto r = conjunctive_query(
       index, {normalize_term("apple"), normalize_term("banana")});
   ASSERT_TRUE(r.has_value());
@@ -135,13 +135,13 @@ TEST_F(QueryIndexFixture, ConjunctiveQueryIntersects) {
 }
 
 TEST_F(QueryIndexFixture, ConjunctiveQueryMissingTerm) {
-  const auto index = InvertedIndex::open(dir_ + "/index");
+  const auto index = InvertedIndex::open(dir_ + "/index", {}).value();
   EXPECT_FALSE(conjunctive_query(index, {normalize_term("apple"), "zzzznope"}).has_value());
   EXPECT_FALSE(conjunctive_query(index, {}).has_value());
 }
 
 TEST_F(QueryIndexFixture, TermsWithPrefixScansLexicographically) {
-  const auto index = InvertedIndex::open(dir_ + "/index");
+  const auto index = InvertedIndex::open(dir_ + "/index", {}).value();
   // Dictionary holds the stems: appl, banana, cherri, date.
   const auto all = index.terms_with_prefix("");
   EXPECT_EQ(all.size(), index.term_count());

@@ -100,13 +100,30 @@ TEST_F(CorruptionFixture, CorruptDictionaryMagicDies) {
 }
 
 TEST_F(CorruptionFixture, MissingRunFileDies) {
+  // The dictionary opens fine, so the failure surfaces inside the run-file
+  // loader, which keeps its hard-fail behavior.
   std::filesystem::remove(IndexLayout::run_path(index_dir_, 0));
-  EXPECT_DEATH((void)InvertedIndex::open(index_dir_), "open|file");
+  EXPECT_DEATH((void)InvertedIndex::open(index_dir_, {}), "open|file");
+}
+
+TEST_F(CorruptionFixture, MissingIndexReportsNotFound) {
+  const auto result = InvertedIndex::open(index_dir_ + "/nope", {});
+  ASSERT_FALSE(result.has_value());
+  EXPECT_EQ(result.error().code, ErrorCode::kNotFound);
+  EXPECT_NE(result.error().message.find("no index"), std::string::npos);
+}
+
+TEST_F(CorruptionFixture, ForcedSegmentBackendReportsNotFound) {
+  // No index.seg was built: forcing the segment backend reports instead of
+  // aborting, so a caller can fall back to the run-file backend.
+  const auto result = InvertedIndex::open(index_dir_, {IndexBackend::kSegment});
+  ASSERT_FALSE(result.has_value());
+  EXPECT_EQ(result.error().code, ErrorCode::kNotFound);
 }
 
 TEST_F(CorruptionFixture, IntactIndexStillOpens) {
   // Sanity: the fixture's artifacts are valid before any corruption.
-  const auto index = InvertedIndex::open(index_dir_);
+  const auto index = InvertedIndex::open(index_dir_, {}).value();
   EXPECT_GT(index.term_count(), 0u);
   EXPECT_TRUE(index.lookup("alpha").has_value());
 }
@@ -127,7 +144,7 @@ TEST(DegenerateInput, EmptyDocumentsProduceEmptyIndex) {
   TempDir dir("empty");
   std::vector<Document> docs(5);  // all bodies empty
   const auto out = build_and_lookup_dir(docs, dir);
-  const auto index = InvertedIndex::open(out);
+  const auto index = InvertedIndex::open(out, {}).value();
   EXPECT_EQ(index.term_count(), 0u);
 }
 
@@ -136,7 +153,7 @@ TEST(DegenerateInput, StopWordOnlyDocuments) {
   std::vector<Document> docs(3);
   for (auto& d : docs) d.body = "the and of to a in is it";
   const auto out = build_and_lookup_dir(docs, dir);
-  const auto index = InvertedIndex::open(out);
+  const auto index = InvertedIndex::open(out, {}).value();
   EXPECT_EQ(index.term_count(), 0u);
 }
 
@@ -147,7 +164,7 @@ TEST(DegenerateInput, UnicodeHeavyDocuments) {
                  "esky";
   docs[1].body = "caf\xC3\xA9 again";
   const auto out = build_and_lookup_dir(docs, dir);
-  const auto index = InvertedIndex::open(out);
+  const auto index = InvertedIndex::open(out, {}).value();
   const auto hits = index.lookup("caf\xC3\xA9");
   ASSERT_TRUE(hits.has_value());
   EXPECT_EQ(hits->doc_ids, (std::vector<std::uint32_t>{0, 1}));
@@ -160,7 +177,7 @@ TEST(DegenerateInput, OverlongTokensAreTruncatedConsistently) {
   docs[0].body = giant;
   docs[1].body = giant + " tail";
   const auto out = build_and_lookup_dir(docs, dir);
-  const auto index = InvertedIndex::open(out);
+  const auto index = InvertedIndex::open(out, {}).value();
   // Both docs contain the same (truncated) token → one term, two postings.
   const auto hits = index.lookup(std::string(kMaxTokenBytes, 'q'));
   ASSERT_TRUE(hits.has_value());
@@ -172,7 +189,7 @@ TEST(DegenerateInput, SingleTermCollection) {
   std::vector<Document> docs(1);
   docs[0].body = "solitary";
   const auto out = build_and_lookup_dir(docs, dir);
-  const auto index = InvertedIndex::open(out);
+  const auto index = InvertedIndex::open(out, {}).value();
   EXPECT_EQ(index.term_count(), 1u);
   const auto hits = index.lookup(normalize_term("solitary"));
   ASSERT_TRUE(hits.has_value());
@@ -195,7 +212,7 @@ TEST(DegenerateInput, ManyFilesFewDocs) {
   const auto out = dir.path() + "/index";
   const auto report = builder.build(files, out);
   EXPECT_EQ(report.runs.size(), 12u);
-  const auto index = InvertedIndex::open(out);
+  const auto index = InvertedIndex::open(out, {}).value();
   const auto common = index.lookup("common");
   ASSERT_TRUE(common.has_value());
   EXPECT_EQ(common->doc_ids.size(), 12u);

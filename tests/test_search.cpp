@@ -99,7 +99,7 @@ TEST_F(SearchFixture, PipelineWritesDocMap) {
 }
 
 TEST_F(SearchFixture, Bm25RanksFocusedDocFirst) {
-  const auto index = InvertedIndex::open(dir_ + "/index");
+  const auto index = InvertedIndex::open(dir_ + "/index", {}).value();
   const auto map = DocMap::open(doc_map_path(dir_ + "/index"));
   const auto hits =
       bm25_query(index, map, {normalize_term("gpu"), normalize_term("index")}, 10);
@@ -113,7 +113,7 @@ TEST_F(SearchFixture, Bm25RanksFocusedDocFirst) {
 }
 
 TEST_F(SearchFixture, Bm25LengthNormalizationPunishesDilution) {
-  const auto index = InvertedIndex::open(dir_ + "/index");
+  const auto index = InvertedIndex::open(dir_ + "/index", {}).value();
   const auto map = DocMap::open(doc_map_path(dir_ + "/index"));
   const auto hits = bm25_query(index, map, {normalize_term("gpu")}, 10);
   // All of docs 0,1,2 contain "gpu"; the long diluted doc must not be first.
@@ -123,7 +123,7 @@ TEST_F(SearchFixture, Bm25LengthNormalizationPunishesDilution) {
 }
 
 TEST_F(SearchFixture, TopKTruncates) {
-  const auto index = InvertedIndex::open(dir_ + "/index");
+  const auto index = InvertedIndex::open(dir_ + "/index", {}).value();
   const auto map = DocMap::open(doc_map_path(dir_ + "/index"));
   const auto hits = bm25_query(index, map, {normalize_term("gpu")}, 1);
   ASSERT_EQ(hits.size(), 1u);
@@ -131,7 +131,7 @@ TEST_F(SearchFixture, TopKTruncates) {
 }
 
 TEST_F(SearchFixture, UnknownTermsScoreNothing) {
-  const auto index = InvertedIndex::open(dir_ + "/index");
+  const auto index = InvertedIndex::open(dir_ + "/index", {}).value();
   const auto map = DocMap::open(doc_map_path(dir_ + "/index"));
   EXPECT_TRUE(bm25_query(index, map, {"zzzznope"}, 10).empty());
   EXPECT_TRUE(bm25_query(index, map, {}, 10).empty());

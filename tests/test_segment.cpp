@@ -180,11 +180,11 @@ TEST_F(SegmentEquivalenceFixture, CompactionFoldsAllRuns) {
 }
 
 TEST_F(SegmentEquivalenceFixture, AutoOpenPrefersSegment) {
-  const auto index = InvertedIndex::open(index_dir_);
+  const auto index = InvertedIndex::open(index_dir_, {}).value();
   EXPECT_TRUE(index.segment_backed());
   ASSERT_NE(index.segment(), nullptr);
   EXPECT_EQ(index.run_count(), 0u);
-  const auto legacy = InvertedIndex::open_runs(index_dir_);
+  const auto legacy = InvertedIndex::open(index_dir_, {IndexBackend::kRuns}).value();
   EXPECT_FALSE(legacy.segment_backed());
   EXPECT_EQ(legacy.segment(), nullptr);
   EXPECT_EQ(legacy.run_count(), 3u);
@@ -192,13 +192,13 @@ TEST_F(SegmentEquivalenceFixture, AutoOpenPrefersSegment) {
 }
 
 TEST_F(SegmentEquivalenceFixture, EntriesRequiresRunBackend) {
-  const auto index = InvertedIndex::open_segment(index_dir_);
+  const auto index = InvertedIndex::open(index_dir_, {IndexBackend::kSegment}).value();
   EXPECT_DEATH((void)index.entries(), "run-file backend");
 }
 
 TEST_F(SegmentEquivalenceFixture, LookupsMatchLegacyForEveryTerm) {
-  const auto segment = InvertedIndex::open_segment(index_dir_);
-  const auto legacy = InvertedIndex::open_runs(index_dir_);
+  const auto segment = InvertedIndex::open(index_dir_, {IndexBackend::kSegment}).value();
+  const auto legacy = InvertedIndex::open(index_dir_, {IndexBackend::kRuns}).value();
   std::size_t checked = 0;
   legacy.for_each_term([&](std::string_view term) {
     const auto a = legacy.lookup(term);
@@ -218,8 +218,8 @@ TEST_F(SegmentEquivalenceFixture, LookupsMatchLegacyForEveryTerm) {
 }
 
 TEST_F(SegmentEquivalenceFixture, RangeLookupsMatchLegacy) {
-  const auto segment = InvertedIndex::open_segment(index_dir_);
-  const auto legacy = InvertedIndex::open_runs(index_dir_);
+  const auto segment = InvertedIndex::open(index_dir_, {IndexBackend::kSegment}).value();
+  const auto legacy = InvertedIndex::open(index_dir_, {IndexBackend::kRuns}).value();
   const std::string shared = normalize_term("shared");
   const struct {
     std::uint32_t lo, hi;
@@ -243,8 +243,8 @@ TEST_F(SegmentEquivalenceFixture, RangeLookupsMatchLegacy) {
 }
 
 TEST_F(SegmentEquivalenceFixture, PrefixScansMatchLegacy) {
-  const auto segment = InvertedIndex::open_segment(index_dir_);
-  const auto legacy = InvertedIndex::open_runs(index_dir_);
+  const auto segment = InvertedIndex::open(index_dir_, {IndexBackend::kSegment}).value();
+  const auto legacy = InvertedIndex::open(index_dir_, {IndexBackend::kRuns}).value();
   for (const std::string prefix : {"", "s", "file", "doc1", "zzz"}) {
     EXPECT_EQ(segment.terms_with_prefix(prefix), legacy.terms_with_prefix(prefix))
         << "prefix '" << prefix << "'";
@@ -252,7 +252,7 @@ TEST_F(SegmentEquivalenceFixture, PrefixScansMatchLegacy) {
 }
 
 TEST_F(SegmentEquivalenceFixture, ReadMetricsAccumulate) {
-  const auto index = InvertedIndex::open_segment(index_dir_);
+  const auto index = InvertedIndex::open(index_dir_, {IndexBackend::kSegment}).value();
   (void)index.lookup(normalize_term("shared"));
   (void)index.lookup("zzzznope");
   const auto snap = index.metrics().snapshot();
@@ -368,7 +368,7 @@ TEST_F(SegmentCorruptionFixture, MissingFileDies) {
 
 TEST_F(SegmentEquivalenceFixture, ConcurrentReadersMatchLegacy) {
   // Expected answers collected single-threaded from the legacy backend.
-  const auto legacy = InvertedIndex::open_runs(index_dir_);
+  const auto legacy = InvertedIndex::open(index_dir_, {IndexBackend::kRuns}).value();
   std::vector<std::string> terms;
   legacy.for_each_term([&](std::string_view t) { terms.emplace_back(t); });
   std::vector<QueryPostings> expected;
@@ -377,7 +377,7 @@ TEST_F(SegmentEquivalenceFixture, ConcurrentReadersMatchLegacy) {
 
   // One shared reader, no locks: lookups, range lookups and prefix scans
   // hammered from many threads must all agree with the legacy answers.
-  const auto index = InvertedIndex::open_segment(index_dir_);
+  const auto index = InvertedIndex::open(index_dir_, {IndexBackend::kSegment}).value();
   constexpr int kThreads = 8;
   constexpr int kIters = 150;
   std::atomic<int> failures{0};
