@@ -10,7 +10,8 @@
 ///   compact   fold run files into index.seg, or run the live merge policy
 ///   live      incremental-ingestion demo   (--flush-mb, --merge-factor, ...)
 ///   query     AND query                    (works on batch and live dirs)
-///   search    BM25 top-10 with URLs
+///   search    ranked / boolean search      (--k, --mode, --deadline-ms, ...)
+///   serve     thread-pooled serving bench  (--threads, --queue, --repeat, ...)
 ///   phrase    adjacent-position phrase query
 ///   stats     index shape summary          (batch and live dirs)
 ///   verify    structural index check
@@ -21,11 +22,16 @@
 /// reported as structured errors (util/error.hpp), never aborts.
 
 #include <algorithm>
+#include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <future>
+#include <iostream>
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -130,7 +136,8 @@ int usage() {
                "  compact <index_dir>           fold runs into index.seg / merge live segments\n"
                "  live <corpus_dir> <index_dir>   incremental-ingestion demo\n"
                "  query <index_dir> <term...>   AND query (batch or live dir)\n"
-               "  search <index_dir> <term...>  BM25 top-10, with URLs\n"
+               "  search <index_dir> <term...>  ranked / boolean search, with URLs\n"
+               "  serve <index_dir> [queries]   thread-pooled serving benchmark\n"
                "  phrase <index_dir> <term...>  adjacent-position phrase query\n"
                "  stats <index_dir>             index shape summary\n"
                "  verify <index_dir>            structural check\n");
@@ -337,6 +344,57 @@ int cmd_live(int argc, char** argv) {
   return 0;
 }
 
+// ------------------------------------------------------------ searching
+
+/// A Searcher plus whatever backing objects must stay alive behind it
+/// (heap-allocated so their addresses survive moves of this struct).
+struct OpenedSearcher {
+  std::shared_ptr<InvertedIndex> index;
+  std::shared_ptr<DocMap> docs;
+  std::shared_ptr<const LiveSnapshot> snapshot;  ///< live dirs only
+  std::shared_ptr<Searcher> searcher;
+
+  /// Best-effort URL of a hit; empty when no doc map covers it.
+  [[nodiscard]] std::string url_of(std::uint32_t doc_id) const {
+    if (docs != nullptr && docs->contains(doc_id)) return docs->location(doc_id).url;
+    if (snapshot != nullptr) {
+      const DocLocation* loc = snapshot->locate(doc_id);
+      if (loc != nullptr) return loc->url;
+    }
+    return {};
+  }
+};
+
+/// One facade for both directory flavors: live dirs serve their committed
+/// snapshot, batch dirs pair the index with its doc map when present.
+Expected<OpenedSearcher> open_searcher(const std::string& dir) {
+  OpenedSearcher out;
+  if (is_live_dir(dir)) {
+    auto live = LiveIndex::open(dir);
+    if (!live.has_value()) return live.error();
+    out.snapshot = live.value().snapshot();
+    out.searcher = std::make_shared<Searcher>(out.snapshot);
+    return out;
+  }
+  auto index = InvertedIndex::open(dir, {});
+  if (!index.has_value()) return index.error();
+  out.index = std::make_shared<InvertedIndex>(std::move(index).value());
+  if (std::filesystem::exists(doc_map_path(dir))) {
+    out.docs = std::make_shared<DocMap>(DocMap::open(doc_map_path(dir)));
+    out.searcher = std::make_shared<Searcher>(*out.index, *out.docs);
+  } else {
+    out.searcher = std::make_shared<Searcher>(*out.index);  // boolean modes only
+  }
+  return out;
+}
+
+std::optional<QueryMode> parse_mode(const std::string& name) {
+  if (name == "ranked") return QueryMode::kRanked;
+  if (name == "conjunctive") return QueryMode::kConjunctive;
+  if (name == "disjunctive") return QueryMode::kDisjunctive;
+  return std::nullopt;
+}
+
 int cmd_query(int argc, char** argv, bool phrase) {
   ArgParser args(phrase ? "phrase" : "query", "<index_dir> <term...>", {});
   if (!args.parse(argc, argv)) return args.help_requested() ? 0 : 2;
@@ -350,66 +408,218 @@ int cmd_query(int argc, char** argv, bool phrase) {
     terms.push_back(normalize_term(args.positionals()[i]));
   }
 
-  std::optional<QueryPostings> hits;
-  if (is_live_dir(dir) && !phrase) {
-    // Live directory: intersect per-term snapshot lookups.
-    auto live = LiveIndex::open(dir);
-    if (!live.has_value()) return report_error(live.error());
-    const auto snap = live.value().snapshot();
-    for (const auto& term : terms) {
-      auto p = snap->lookup(term);
-      if (!p) {
-        hits.reset();
-        break;
-      }
-      if (!hits) {
-        hits = std::move(p);
-      } else {
-        hits = postings_and(*hits, *p);
-      }
-    }
-  } else {
+  if (phrase) {
     auto index = InvertedIndex::open(dir, {});
     if (!index.has_value()) return report_error(index.error());
-    hits = phrase ? phrase_query(index.value(), terms)
-                  : conjunctive_query(index.value(), terms);
-  }
-  if (!hits) {
-    std::printf("no results (a term is absent%s)\n",
-                phrase ? " or the index has no positions" : "");
+    const auto hits = phrase_query(index.value(), terms);
+    if (!hits) {
+      std::printf("no results (a term is absent or the index has no positions)\n");
+      return 0;
+    }
+    std::printf("%zu matching documents\n", hits->doc_ids.size());
+    for (std::size_t i = 0; i < hits->doc_ids.size() && i < 20; ++i) {
+      std::printf("  doc %-10u score %u\n", hits->doc_ids[i], hits->tfs[i]);
+    }
+    if (hits->doc_ids.size() > 20) {
+      std::printf("  ... (%zu more)\n", hits->doc_ids.size() - 20);
+    }
     return 0;
   }
-  std::printf("%zu matching documents\n", hits->doc_ids.size());
-  for (std::size_t i = 0; i < hits->doc_ids.size() && i < 20; ++i) {
-    std::printf("  doc %-10u score %u\n", hits->doc_ids[i], hits->tfs[i]);
+
+  auto opened = open_searcher(dir);
+  if (!opened.has_value()) return report_error(opened.error());
+  QueryRequest request;
+  request.terms = std::move(terms);
+  request.mode = QueryMode::kConjunctive;
+  request.k = 20;
+  auto response = opened.value().searcher->search(request);
+  if (!response.has_value()) return report_error(response.error());
+  const auto& hits = response.value().hits;
+  if (hits.empty()) {
+    std::printf("no results (a term is absent)\n");
+    return 0;
   }
-  if (hits->doc_ids.size() > 20) std::printf("  ... (%zu more)\n", hits->doc_ids.size() - 20);
+  std::printf("top %zu matching documents (summed tf)\n", hits.size());
+  for (const auto& hit : hits) {
+    std::printf("  doc %-10u score %.0f\n", hit.doc_id, hit.score);
+  }
   return 0;
 }
 
 int cmd_search(int argc, char** argv) {
-  ArgParser args("search", "<index_dir> <term...>", {});
+  ArgParser args("search", "<index_dir> <term...>",
+                 {{"k", true, "results to return (default 10)"},
+                  {"mode", true, "ranked | conjunctive | disjunctive (default ranked)"},
+                  {"deadline-ms", true, "per-query deadline in ms (default none)"},
+                  {"exhaustive", false, "use the exhaustive scorer (no MaxScore)"}});
   if (!args.parse(argc, argv)) return args.help_requested() ? 0 : 2;
   if (args.positionals().size() < 2) {
     args.print_usage(stderr);
     return 2;
   }
-  auto index = InvertedIndex::open(args.positionals()[0], {});
-  if (!index.has_value()) return report_error(index.error());
-  const auto docs = DocMap::open(doc_map_path(args.positionals()[0]));
-  std::vector<std::string> terms;
+  auto opened = open_searcher(args.positionals()[0]);
+  if (!opened.has_value()) return report_error(opened.error());
+
+  QueryRequest request;
   for (std::size_t i = 1; i < args.positionals().size(); ++i) {
-    terms.push_back(normalize_term(args.positionals()[i]));
+    request.terms.push_back(normalize_term(args.positionals()[i]));
   }
-  const auto hits = bm25_query(index.value(), docs, terms, 10);
-  if (hits.empty()) {
-    std::printf("no results\n");
+  request.k = static_cast<std::size_t>(args.num("k", 10));
+  const auto mode = parse_mode(args.str("mode", "ranked"));
+  if (!mode) {
+    std::fprintf(stderr, "unknown --mode '%s'\n", args.str("mode").c_str());
+    return 2;
+  }
+  request.mode = *mode;
+  request.exhaustive = args.has("exhaustive");
+  if (args.has("deadline-ms")) {
+    request.timeout = std::chrono::microseconds(
+        static_cast<std::int64_t>(args.num("deadline-ms", 0) * 1000));
+  }
+
+  auto response = opened.value().searcher->search(request);
+  if (!response.has_value()) return report_error(response.error());
+  const auto& r = response.value();
+  if (r.hits.empty()) {
+    std::printf("no results%s\n", r.degraded ? " (degraded: deadline hit)" : "");
     return 0;
   }
-  for (std::size_t i = 0; i < hits.size(); ++i) {
+  for (std::size_t i = 0; i < r.hits.size(); ++i) {
+    const std::string url = opened.value().url_of(r.hits[i].doc_id);
     std::printf("%2zu. %-48s  (doc %u, score %.3f)\n", i + 1,
-                docs.location(hits[i].doc_id).url.c_str(), hits[i].doc_id,
-                hits[i].score);
+                url.empty() ? "<no doc map>" : url.c_str(), r.hits[i].doc_id,
+                r.hits[i].score);
+  }
+  std::printf("%s in %.2f ms (lookup %.2f, score %.2f)%s\n",
+              r.from_cache ? "served from cache" : "executed",
+              r.timings.total_seconds * 1e3, r.timings.lookup_seconds * 1e3,
+              r.timings.score_seconds * 1e3,
+              r.degraded ? "  [degraded: deadline hit]" : "");
+  return 0;
+}
+
+int cmd_serve(int argc, char** argv) {
+  ArgParser args(
+      "serve", "<index_dir> [queries_file]",
+      {{"threads", true, "executor threads (default 4)"},
+       {"queue", true, "admission queue capacity (default 64)"},
+       {"k", true, "results per query (default 10)"},
+       {"mode", true, "ranked | conjunctive | disjunctive (default ranked)"},
+       {"deadline-ms", true, "per-query deadline in ms (default none)"},
+       {"repeat", true, "passes over the query set (default 1)"},
+       {"metrics", false, "dump Prometheus metrics at the end"}});
+  if (!args.parse(argc, argv)) return args.help_requested() ? 0 : 2;
+  if (args.positionals().empty() || args.positionals().size() > 2) {
+    args.print_usage(stderr);
+    return 2;
+  }
+  auto opened = open_searcher(args.positionals()[0]);
+  if (!opened.has_value()) return report_error(opened.error());
+
+  const auto mode = parse_mode(args.str("mode", "ranked"));
+  if (!mode) {
+    std::fprintf(stderr, "unknown --mode '%s'\n", args.str("mode").c_str());
+    return 2;
+  }
+
+  // One query per input line, whitespace-separated raw terms.
+  std::vector<std::vector<std::string>> queries;
+  {
+    std::ifstream file;
+    const bool from_file =
+        args.positionals().size() == 2 && args.positionals()[1] != "-";
+    if (from_file) {
+      file.open(args.positionals()[1]);
+      if (!file) {
+        std::fprintf(stderr, "cannot read %s\n", args.positionals()[1].c_str());
+        return 1;
+      }
+    }
+    std::istream& in = from_file ? file : std::cin;
+    std::string line;
+    while (std::getline(in, line)) {
+      std::vector<std::string> terms;
+      std::size_t pos = 0;
+      while (pos < line.size()) {
+        const std::size_t ws = line.find_first_of(" \t", pos);
+        const std::string word = line.substr(pos, ws - pos);
+        if (!word.empty()) terms.push_back(normalize_term(word));
+        if (ws == std::string::npos) break;
+        pos = ws + 1;
+      }
+      if (!terms.empty()) queries.push_back(std::move(terms));
+    }
+  }
+  if (queries.empty()) {
+    std::fprintf(stderr, "no queries (one per line: term term ...)\n");
+    return 1;
+  }
+
+  SearchServiceOptions options;
+  options.threads = static_cast<std::size_t>(args.num("threads", 4));
+  options.queue_capacity = static_cast<std::size_t>(args.num("queue", 64));
+  SearchService service(opened.value().searcher, options);
+
+  QueryRequest proto;
+  proto.k = static_cast<std::size_t>(args.num("k", 10));
+  proto.mode = *mode;
+  if (args.has("deadline-ms")) {
+    proto.timeout = std::chrono::microseconds(
+        static_cast<std::int64_t>(args.num("deadline-ms", 0) * 1000));
+  }
+
+  const std::size_t repeat = std::max<std::size_t>(1, static_cast<std::size_t>(args.num("repeat", 1)));
+  std::vector<double> latencies;
+  std::uint64_t answered = 0, shed = 0, rejected = 0, degraded = 0;
+  WallTimer timer;
+  // Keep at most one queue's worth of futures in flight: submit until
+  // try_push sheds, then drain — the admission queue is the window.
+  std::vector<std::future<Expected<QueryResponse>>> inflight;
+  const auto drain = [&] {
+    for (auto& fut : inflight) {
+      auto result = fut.get();
+      if (!result.has_value()) {
+        if (result.error().code == ErrorCode::kOverloaded) ++shed;
+        if (result.error().code == ErrorCode::kDeadlineExceeded) ++rejected;
+        continue;
+      }
+      ++answered;
+      if (result.value().degraded) ++degraded;
+      latencies.push_back(result.value().timings.total_seconds);
+    }
+    inflight.clear();
+  };
+  for (std::size_t pass = 0; pass < repeat; ++pass) {
+    for (const auto& terms : queries) {
+      QueryRequest request = proto;
+      request.terms = terms;
+      inflight.push_back(service.submit(std::move(request)));
+      if (inflight.size() >= service.queue_capacity()) drain();
+    }
+  }
+  drain();
+  const double wall = timer.seconds();
+
+  std::sort(latencies.begin(), latencies.end());
+  const auto pct = [&](double q) {
+    if (latencies.empty()) return 0.0;
+    const std::size_t i = std::min(latencies.size() - 1,
+                                   static_cast<std::size_t>(q * latencies.size()));
+    return latencies[i] * 1e3;
+  };
+  std::printf("%llu queries answered in %.2f s  (%.0f QPS, %zu threads)\n",
+              static_cast<unsigned long long>(answered), wall,
+              answered / std::max(wall, 1e-9), service.threads());
+  std::printf("latency ms  p50 %.3f  p95 %.3f  p99 %.3f\n", pct(0.50), pct(0.95),
+              pct(0.99));
+  if (shed + rejected + degraded > 0) {
+    std::printf("shed %llu  deadline-rejected %llu  degraded %llu\n",
+                static_cast<unsigned long long>(shed),
+                static_cast<unsigned long long>(rejected),
+                static_cast<unsigned long long>(degraded));
+  }
+  if (args.has("metrics")) {
+    std::fputs(service.metrics().to_prometheus().c_str(), stdout);
   }
   return 0;
 }
@@ -498,6 +708,7 @@ int main(int argc, char** argv) {
   if (cmd == "live") return cmd_live(argc - 2, argv + 2);
   if (cmd == "query") return cmd_query(argc - 2, argv + 2, false);
   if (cmd == "search") return cmd_search(argc - 2, argv + 2);
+  if (cmd == "serve") return cmd_serve(argc - 2, argv + 2);
   if (cmd == "phrase") return cmd_query(argc - 2, argv + 2, true);
   if (cmd == "stats") return cmd_stats(argc - 2, argv + 2);
   if (cmd == "verify") return cmd_verify(argc - 2, argv + 2);

@@ -63,5 +63,26 @@ int main(int argc, char** argv) {
                 raw.c_str(), term.c_str(), postings->doc_ids.size(), postings->doc_ids[0],
                 postings->tfs[0]);
   }
+
+  // 4. Serve. The Searcher facade answers ranked (BM25, MaxScore-pruned)
+  //    and boolean requests, caching decoded postings and finished results
+  //    across calls; SearchService would put a thread pool and admission
+  //    control in front of it (docs/SERVING.md).
+  const hetindex::DocMap docs =
+      hetindex::DocMap::open(hetindex::doc_map_path(work_dir + "/index"));
+  const hetindex::Searcher searcher(index, docs);
+  hetindex::QueryRequest request;
+  request.terms = {queries[0], queries[1]};
+  request.mode = hetindex::QueryMode::kRanked;
+  request.k = 3;
+  const auto response = searcher.search(request);
+  if (response.has_value()) {
+    std::printf("top-%zu for \"%s %s\" (BM25):\n", request.k, queries[0].c_str(),
+                queries[1].c_str());
+    for (const auto& hit : response.value().hits) {
+      std::printf("  doc %-8u score %.3f  %s\n", hit.doc_id, hit.score,
+                  docs.location(hit.doc_id).url.c_str());
+    }
+  }
   return 0;
 }

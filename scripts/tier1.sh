@@ -1,11 +1,13 @@
 #!/usr/bin/env bash
 # Tier-1 verification: the plain Release build + full test suite, then two
 # sanitizer legs over the concurrency- and memory-critical tests:
-#   - ThreadSanitizer on the threaded pipeline/observability/segment/live
-#     tests (metric emission from parser threads, shared SegmentReader
-#     lookups, snapshot readers racing live flushes and compaction)
-#   - ASan+UBSan on the binary-format tests (run files, segments, query
-#     path) to catch overruns and UB in the decoders and the mmap reader
+#   - ThreadSanitizer on the threaded pipeline/observability/segment/live/
+#     search tests (metric emission from parser threads, shared
+#     SegmentReader lookups, snapshot readers racing live flushes and
+#     compaction, the SearchService pool racing the live writer)
+#   - ASan+UBSan on the binary-format and serving tests (run files,
+#     segments, query path, MaxScore executor and caches) to catch
+#     overruns and UB in the decoders and the mmap reader
 #
 #   scripts/tier1.sh [--no-tsan] [--no-asan]
 set -euo pipefail
@@ -26,15 +28,15 @@ if [[ "$run_tsan" == 1 ]]; then
   cmake -B build-tsan -S . -DHETINDEX_SANITIZE=thread \
         -DHETINDEX_BUILD_BENCH=OFF -DHETINDEX_BUILD_EXAMPLES=OFF \
         -DCMAKE_BUILD_TYPE=RelWithDebInfo
-  cmake --build build-tsan -j "$(nproc)" --target test_pipeline test_obs test_segment test_live
-  ctest --test-dir build-tsan --output-on-failure -R '^(test_pipeline|test_obs|test_segment|test_live)$'
+  cmake --build build-tsan -j "$(nproc)" --target test_pipeline test_obs test_segment test_live test_search_service
+  ctest --test-dir build-tsan --output-on-failure -R '^(test_pipeline|test_obs|test_segment|test_live|test_search_service)$'
 fi
 
 if [[ "$run_asan" == 1 ]]; then
   cmake -B build-asan -S . -DHETINDEX_SANITIZE=address \
         -DHETINDEX_BUILD_BENCH=OFF -DHETINDEX_BUILD_EXAMPLES=OFF \
         -DCMAKE_BUILD_TYPE=RelWithDebInfo
-  cmake --build build-asan -j "$(nproc)" --target test_segment test_postings test_codec test_query_ops test_live
-  ctest --test-dir build-asan --output-on-failure -R '^(test_segment|test_postings|test_codec|test_query_ops|test_live)$'
+  cmake --build build-asan -j "$(nproc)" --target test_segment test_postings test_codec test_query_ops test_live test_search_service
+  ctest --test-dir build-asan --output-on-failure -R '^(test_segment|test_postings|test_codec|test_query_ops|test_live|test_search_service)$'
 fi
 echo "tier1: OK"

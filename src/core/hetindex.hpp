@@ -9,7 +9,7 @@
 ///
 /// Everything a downstream caller programs against is re-exported here;
 /// examples and tools include only this header. The surface is organised
-/// in five groups:
+/// in six groups:
 ///   Build        IndexBuilder, PipelineConfig (+validate()), PipelineEngine,
 ///                PipelineReport / RunRecord, PipelineProgress
 ///   Observe      obs::MetricsRegistry / MetricsSnapshot / StageSpan — live
@@ -18,6 +18,10 @@
 ///   Query        InvertedIndex (run-file or mmapped-segment backed),
 ///                boolean/phrase ops, BM25 ranking, DocMap, index
 ///                verification, the run-file merger, segment compaction
+///   Serve        Searcher (the query facade: QueryRequest in,
+///                QueryResponse out, every mode) and SearchService
+///                (thread-pooled concurrent execution with admission
+///                control, caching, deadlines; docs/SERVING.md)
 ///   Live         IndexWriter (incremental ingestion into numbered
 ///                segments), tiered compaction, snapshot-isolated reads
 ///                (LiveSnapshot / LiveIndex; docs/LIVE_INDEXING.md)
@@ -30,7 +34,12 @@
 ///   hetindex::IndexBuilder builder;                 // paper defaults
 ///   auto report = builder.build(files, "out_dir");  // construct index
 ///   auto index = hetindex::InvertedIndex::open("out_dir", {}).value();
-///   auto postings = index.lookup(hetindex::normalize_term("Parallelism"));
+///   hetindex::DocMap docs =
+///       hetindex::DocMap::open(hetindex::doc_map_path("out_dir"));
+///   hetindex::Searcher searcher(index, docs);
+///   hetindex::QueryRequest req;
+///   req.terms = {hetindex::normalize_term("Parallelism")};
+///   auto response = searcher.search(req);  // Expected<QueryResponse>
 
 #include <optional>
 #include <string>
@@ -59,6 +68,11 @@
 #include "postings/ranking.hpp"
 #include "postings/segment.hpp"
 #include "postings/verify.hpp"
+
+// Serve (docs/SERVING.md).
+#include "search/searcher.hpp"
+#include "search/service.hpp"
+#include "search/types.hpp"
 
 // Corpus.
 #include "corpus/container.hpp"
@@ -140,7 +154,7 @@ class IndexBuilder {
 /// Library version.
 struct Version {
   static constexpr int major = 1;
-  static constexpr int minor = 1;
+  static constexpr int minor = 2;
   static constexpr int patch = 0;
 };
 std::string version_string();

@@ -30,9 +30,14 @@ Expected<std::shared_ptr<LiveSegment>> LiveSegment::open(const std::string& dir,
   std::string map_path = live_docmap_path(dir, segment_id);
   std::optional<DocMap> map;
   if (file_exists(map_path)) map = DocMap::open(map_path);
-  return std::shared_ptr<LiveSegment>(
+  auto seg = std::shared_ptr<LiveSegment>(
       new LiveSegment(segment_id, doc_base, doc_count, std::move(reader).value(),
                       std::move(map), std::move(seg_path), std::move(map_path)));
+  // Score-bound sidecar is optional: segments written before the format
+  // existed simply serve without tight bounds.
+  auto bounds = read_max_tf_sidecar(seg->seg_path_, seg->reader_.term_count());
+  if (bounds.has_value()) seg->max_tfs_ = std::move(bounds).value();
+  return seg;
 }
 
 LiveSegment::~LiveSegment() {
@@ -41,11 +46,18 @@ LiveSegment::~LiveSegment() {
   // mapping is closed by the member destructors running after this body.
   std::error_code ec;  // best effort — the manifest no longer names them
   std::filesystem::remove(seg_path_, ec);
+  std::filesystem::remove(max_tf_sidecar_path(seg_path_), ec);
   std::filesystem::remove(map_path_, ec);
 }
 
+namespace {
+/// Monotone process-wide snapshot identity; see LiveSnapshot::snapshot_id().
+std::atomic<std::uint64_t> g_next_snapshot_id{1};
+}  // namespace
+
 LiveSnapshot::LiveSnapshot(std::vector<std::shared_ptr<LiveSegment>> segments)
-    : segments_(std::move(segments)) {
+    : segments_(std::move(segments)),
+      snapshot_id_(g_next_snapshot_id.fetch_add(1, std::memory_order_relaxed)) {
   std::sort(segments_.begin(), segments_.end(),
             [](const auto& a, const auto& b) { return a->doc_base() < b->doc_base(); });
   for (std::size_t i = 0; i < segments_.size(); ++i) {
@@ -56,6 +68,33 @@ LiveSnapshot::LiveSnapshot(std::vector<std::shared_ptr<LiveSegment>> segments)
     }
     doc_count_ += segments_[i]->doc_count();
   }
+}
+
+double LiveSnapshot::average_doc_tokens() const {
+  double token_sum = 0.0;
+  std::uint64_t mapped_docs = 0;
+  for (const auto& seg : segments_) {
+    const DocMap* map = seg->doc_map();
+    if (map == nullptr || map->doc_count() == 0) continue;
+    token_sum += map->average_doc_tokens() * map->doc_count();
+    mapped_docs += map->doc_count();
+  }
+  return mapped_docs == 0 ? 0.0 : token_sum / static_cast<double>(mapped_docs);
+}
+
+std::optional<std::uint32_t> LiveSnapshot::max_tf(std::string_view term) const {
+  std::optional<std::uint32_t> best;
+  for (const auto& seg : segments_) {
+    const auto ordinal = seg->reader().find(term);
+    if (!ordinal) continue;
+    const auto* tfs = seg->max_tfs();
+    // One sidecar-less segment holding the term invalidates the bound —
+    // better no bound than one that can wrongly prune.
+    if (tfs == nullptr) return std::nullopt;
+    const std::uint32_t tf = (*tfs)[static_cast<std::size_t>(*ordinal)];
+    best = best ? std::max(*best, tf) : tf;
+  }
+  return best;
 }
 
 std::optional<QueryPostings> LiveSnapshot::lookup(std::string_view term) const {

@@ -16,6 +16,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "live/manifest.hpp"
@@ -48,6 +49,12 @@ class LiveSegment {
   [[nodiscard]] const DocMap* doc_map() const {
     return doc_map_ ? &*doc_map_ : nullptr;
   }
+  /// Per-term max term frequency from the segment's score-bound sidecar
+  /// (written by flush, propagated by compaction); nullptr when the segment
+  /// predates the sidecar format.
+  [[nodiscard]] const std::vector<std::uint32_t>* max_tfs() const {
+    return max_tfs_.empty() ? nullptr : &max_tfs_;
+  }
 
   /// Marks the backing files for deletion when the last reference drops
   /// (called by compaction after the replacement commit).
@@ -63,6 +70,7 @@ class LiveSegment {
   std::uint32_t doc_count_;
   SegmentReader reader_;
   std::optional<DocMap> doc_map_;
+  std::vector<std::uint32_t> max_tfs_;  // by term ordinal; empty = no sidecar
   std::string seg_path_;
   std::string map_path_;
   std::atomic<bool> obsolete_{false};
@@ -80,6 +88,26 @@ class LiveSnapshot {
   }
   /// Documents committed across all segments.
   [[nodiscard]] std::uint64_t doc_count() const { return doc_count_; }
+
+  /// Process-unique identity of this snapshot, assigned at construction
+  /// from a monotone counter. The search layer keys its caches on it:
+  /// unlike the snapshot's address (which malloc can reuse — the ABA
+  /// hazard), an id is never handed out twice, so a stale cache entry can
+  /// never alias a new snapshot. A compaction that reproduces identical
+  /// content still gets a fresh id — a harmless cold cache, never a wrong
+  /// answer.
+  [[nodiscard]] std::uint64_t snapshot_id() const { return snapshot_id_; }
+
+  /// Mean indexed tokens per document across the segments' doc maps
+  /// (BM25's avgdl), weighted by segment doc count; 0 when no segment
+  /// carries a map.
+  [[nodiscard]] double average_doc_tokens() const;
+
+  /// Max term frequency of `term` across all segments — a BM25 score-bound
+  /// ingredient, valid because max over concatenated postings is the max of
+  /// per-segment maxima. nullopt when the term is absent or any segment
+  /// holding it lacks a sidecar (a partial max would under-cover).
+  [[nodiscard]] std::optional<std::uint32_t> max_tf(std::string_view term) const;
 
   /// Postings of `term` across every segment, globally doc-id sorted —
   /// segments hold disjoint ascending doc ranges, so per-segment results
@@ -111,6 +139,7 @@ class LiveSnapshot {
  private:
   std::vector<std::shared_ptr<LiveSegment>> segments_;  // ascending doc_base
   std::uint64_t doc_count_ = 0;
+  std::uint64_t snapshot_id_ = 0;
 };
 
 /// Publication point between the writer and readers: a slot holding the

@@ -229,6 +229,7 @@ std::uint64_t IndexWriter::State::flush_locked() {
   // and encode each in-memory list into the segment. The dictionary is
   // rebuilt after every flush, so it holds exactly this doc range's terms.
   SegmentWriter writer(live_segment_path(dir, segment_id), opts.codec);
+  std::vector<std::uint32_t> max_tfs;
   for (const auto& entry : dict->combine()) {
     const PostingsList& list = store->list(entry.handle);
     if (list.empty()) continue;
@@ -237,9 +238,12 @@ std::uint64_t IndexWriter::State::flush_locked() {
     writer.add_term(entry.term, blob.data(), blob.size(),
                     static_cast<std::uint32_t>(list.size()), list.doc_ids.front(),
                     list.doc_ids.back());
+    // Score-bound sidecar comes for free here: the lists are still decoded.
+    max_tfs.push_back(*std::max_element(list.tfs.begin(), list.tfs.end()));
   }
   const std::uint64_t term_count = writer.term_count();
   const std::uint64_t file_bytes = writer.finalize();
+  write_max_tf_sidecar(live_segment_path(dir, segment_id), max_tfs);
 
   DocMapBuilder maps(doc_base);
   maps.add_file(doc_base, static_cast<std::uint32_t>(segment_id), urls, doc_tokens);

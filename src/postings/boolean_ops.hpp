@@ -28,6 +28,11 @@ QueryPostings postings_and_galloping(const QueryPostings& a, const QueryPostings
 
 /// Convenience: conjunctive multi-term query against an index. Terms must
 /// already be normalized. Returns nullopt when any term is absent.
+/// \deprecated Use Searcher with QueryMode::kConjunctive
+/// (search/searcher.hpp) — same intersection, plus caching, deadlines, and
+/// ranked truncation. The low-level postings_* merges above are not
+/// deprecated; they remain the building blocks.
+[[deprecated("use Searcher::search with QueryMode::kConjunctive")]]
 std::optional<QueryPostings> conjunctive_query(const InvertedIndex& index,
                                                const std::vector<std::string>& terms);
 

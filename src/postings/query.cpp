@@ -72,6 +72,10 @@ Expected<InvertedIndex> InvertedIndex::open(const std::string& dir,
     InvertedIndex idx;
     idx.segment_ = std::make_unique<SegmentReader>(std::move(segment).value());
     idx.ins_->bytes_mapped.set(static_cast<std::int64_t>(idx.segment_->mapped_bytes()));
+    // The score-bound sidecar is strictly optional: a missing or stale file
+    // only costs the executor its tight bounds, never the open.
+    auto bounds = read_max_tf_sidecar(idx.segment_->path(), idx.segment_->term_count());
+    if (bounds.has_value()) idx.max_tfs_ = std::move(bounds).value();
     return idx;
   }
 
@@ -131,6 +135,13 @@ const std::vector<DictionaryEntry>& InvertedIndex::entries() const {
 
 std::uint64_t InvertedIndex::term_count() const {
   return segment_ != nullptr ? segment_->term_count() : entries_.size();
+}
+
+std::optional<std::uint32_t> InvertedIndex::max_tf(std::string_view term) const {
+  if (segment_ == nullptr || max_tfs_.empty()) return std::nullopt;
+  const auto ordinal = segment_->find(term);
+  if (!ordinal) return std::nullopt;
+  return max_tfs_[static_cast<std::size_t>(*ordinal)];
 }
 
 const DictionaryEntry* InvertedIndex::find_entry(std::string_view term) const {

@@ -116,6 +116,15 @@ class InvertedIndex {
   /// is only valid during the call (segment terms are decoded on the fly).
   void for_each_term(const std::function<void(std::string_view)>& fn) const;
 
+  /// Per-term maximum term frequency from the score-bound sidecar
+  /// (segment backend, `index.seg.maxtf` present — see postings/segment.hpp);
+  /// nullopt for unknown terms or when no sidecar was loaded. The top-k
+  /// executor turns this into a BM25 score upper bound for early
+  /// termination, falling back to the loose idf·(k1+1) bound otherwise.
+  [[nodiscard]] std::optional<std::uint32_t> max_tf(std::string_view term) const;
+  /// True when per-term score bounds were loaded at open().
+  [[nodiscard]] bool has_score_bounds() const { return !max_tfs_.empty(); }
+
   /// True when serving from a compacted segment.
   [[nodiscard]] bool segment_backed() const { return segment_ != nullptr; }
   /// The underlying segment reader; nullptr when run-file backed.
@@ -146,6 +155,7 @@ class InvertedIndex {
   std::vector<DictionaryEntry> entries_;  // sorted by term (run-file backend)
   std::vector<RunFile> runs_;             // ascending run id (run-file backend)
   std::unique_ptr<SegmentReader> segment_;
+  std::vector<std::uint32_t> max_tfs_;  // by term ordinal; empty = no sidecar
 };
 
 }  // namespace hetindex

@@ -1,8 +1,9 @@
 #include "postings/ranking.hpp"
 
-#include <algorithm>
 #include <cmath>
-#include <unordered_map>
+
+#include "search/searcher.hpp"
+#include "util/check.hpp"
 
 namespace hetindex {
 
@@ -12,35 +13,28 @@ double bm25_idf(std::uint64_t df, std::uint64_t n_docs) {
   return std::log(1.0 + (n - d + 0.5) / (d + 0.5));
 }
 
+// Deprecated shim: delegates to the Searcher facade's exhaustive engine,
+// which reproduces this function's historical accumulation order exactly.
+// A fresh Searcher per call recomputes collection stats every time — the
+// very cost the facade exists to hoist; migrating callers keep one
+// Searcher per index instead.
 std::vector<ScoredDoc> bm25_query(const InvertedIndex& index, const DocMap& docs,
                                   const std::vector<std::string>& terms, std::size_t k,
                                   const Bm25Params& params) {
-  const double avgdl = std::max(docs.average_doc_tokens(), 1e-9);
-  const std::uint64_t n_docs = docs.doc_count();
-  std::unordered_map<std::uint32_t, double> scores;
-
-  for (const auto& term : terms) {
-    const auto postings = index.lookup(term);
-    if (!postings || postings->doc_ids.empty()) continue;
-    const double idf = bm25_idf(postings->doc_ids.size(), n_docs);
-    for (std::size_t i = 0; i < postings->doc_ids.size(); ++i) {
-      const std::uint32_t doc = postings->doc_ids[i];
-      const double tf = postings->tfs[i];
-      const double dl = docs.location(doc).token_count;
-      const double denom = tf + params.k1 * (1.0 - params.b + params.b * dl / avgdl);
-      scores[doc] += idf * (tf * (params.k1 + 1.0)) / denom;
-    }
+  const Searcher searcher(index, docs);
+  QueryRequest request;
+  request.terms = terms;
+  request.mode = QueryMode::kRanked;
+  request.k = k;
+  request.bm25 = params;
+  request.exhaustive = true;
+  auto response = searcher.search(request);
+  if (!response.has_value()) {
+    // The legacy contract returned empty for a termless query and had no
+    // other failure mode.
+    return {};
   }
-
-  std::vector<ScoredDoc> ranked;
-  ranked.reserve(scores.size());
-  for (const auto& [doc, score] : scores) ranked.push_back({doc, score});
-  std::sort(ranked.begin(), ranked.end(), [](const ScoredDoc& a, const ScoredDoc& b) {
-    if (a.score != b.score) return a.score > b.score;
-    return a.doc_id < b.doc_id;
-  });
-  if (ranked.size() > k) ranked.resize(k);
-  return ranked;
+  return std::move(response.value().hits);
 }
 
 }  // namespace hetindex

@@ -19,7 +19,73 @@ constexpr std::size_t kHeaderBytes = 80;
 constexpr std::size_t kFooterBytes = 16;
 constexpr std::size_t kTableRowBytes = 24;
 
+constexpr std::uint32_t kMaxTfMagic = 0x46544D48;  // "HMTF"
+constexpr std::uint32_t kMaxTfVersion = 1;
+
 }  // namespace
+
+// ------------------------------------------------------------- maxtf sidecar
+
+std::string max_tf_sidecar_path(const std::string& segment_path) {
+  return segment_path + ".maxtf";
+}
+
+void write_max_tf_sidecar(const std::string& segment_path,
+                          const std::vector<std::uint32_t>& max_tfs) {
+  std::vector<std::uint8_t> out;
+  out.reserve(20 + 4 * max_tfs.size());
+  ByteWriter w(out);
+  w.u32(kMaxTfMagic);
+  w.u32(kMaxTfVersion);
+  w.u64(max_tfs.size());
+  for (const std::uint32_t tf : max_tfs) w.u32(tf);
+  w.u32(crc32(out.data(), out.size()));
+  write_file(max_tf_sidecar_path(segment_path), out);
+}
+
+Expected<std::vector<std::uint32_t>> read_max_tf_sidecar(const std::string& segment_path,
+                                                         std::uint64_t expected_terms) {
+  const std::string path = max_tf_sidecar_path(segment_path);
+  const auto corrupt = [&path](const char* what) {
+    return Error{ErrorCode::kCorrupt, std::string(what) + ": " + path};
+  };
+  if (!file_exists(path)) {
+    return Error{ErrorCode::kNotFound, "no max-tf sidecar: " + path};
+  }
+  const auto data = read_file(path);
+  if (data.size() < 20) return corrupt("max-tf sidecar too small (truncated?)");
+  if (crc32(data.data(), data.size() - 4) !=
+      ByteReader(data.data() + (data.size() - 4), 4).u32()) {
+    return corrupt("max-tf sidecar corruption (crc mismatch)");
+  }
+  ByteReader r(data.data(), data.size() - 4);
+  if (r.u32() != kMaxTfMagic) return corrupt("not a max-tf sidecar");
+  if (r.u32() != kMaxTfVersion) {
+    return Error{ErrorCode::kUnsupported, "unsupported max-tf sidecar version: " + path};
+  }
+  const std::uint64_t count = r.u64();
+  if (count != expected_terms || r.remaining() != count * 4) {
+    return corrupt("max-tf sidecar term count mismatch");
+  }
+  std::vector<std::uint32_t> max_tfs(static_cast<std::size_t>(count));
+  for (auto& tf : max_tfs) tf = r.u32();
+  return max_tfs;
+}
+
+std::vector<std::uint32_t> compute_max_tfs(const SegmentReader& reader) {
+  std::vector<std::uint32_t> max_tfs;
+  max_tfs.reserve(static_cast<std::size_t>(reader.term_count()));
+  std::vector<std::uint32_t> doc_ids, tfs;
+  for (std::uint64_t ord = 0; ord < reader.term_count(); ++ord) {
+    doc_ids.clear();
+    tfs.clear();
+    reader.decode(reader.meta(ord), doc_ids, tfs);
+    std::uint32_t mx = 0;
+    for (const std::uint32_t tf : tfs) mx = std::max(mx, tf);
+    max_tfs.push_back(mx);
+  }
+  return max_tfs;
+}
 
 SegmentWriter::SegmentWriter(std::string path, PostingCodec codec,
                              std::uint32_t terms_per_block)
@@ -336,6 +402,22 @@ SegmentMergeStats merge_segments(const std::vector<const SegmentReader*>& inputs
   stats.segments = inputs.size();
   SegmentWriter writer(out_path, codec);
 
+  // Score-bound sidecars propagate without decoding: the max_tf of a
+  // concatenated list is the max of the inputs' per-term maxima. Only
+  // written when every input carries one — a partial merge would produce
+  // bounds that silently under-cover the uncovered input.
+  std::vector<std::vector<std::uint32_t>> input_max_tfs;
+  bool all_have_max_tfs = true;
+  for (const auto* in : inputs) {
+    auto side = read_max_tf_sidecar(in->path(), in->term_count());
+    if (!side) {
+      all_have_max_tfs = false;
+      break;
+    }
+    input_max_tfs.push_back(std::move(side).value());
+  }
+  std::vector<std::uint32_t> out_max_tfs;
+
   // K-way cursor merge. K is the merge factor (a handful), so a linear
   // min-scan per output term beats the heap's constant factor.
   std::vector<SegmentReader::TermCursor> cursors;
@@ -357,7 +439,7 @@ SegmentMergeStats merge_segments(const std::vector<const SegmentReader*>& inputs
     // sub-list starts with an absolute doc id (§III.F), so the combined
     // blob decodes as one list provided doc ranges ascend across inputs.
     blob.clear();
-    std::uint32_t count = 0, mn = 0, mx = 0;
+    std::uint32_t count = 0, mn = 0, mx = 0, max_tf = 0;
     for (std::size_t i = 0; i < cursors.size(); ++i) {
       auto& c = cursors[i];
       if (!c.valid() || c.term() != term) continue;
@@ -370,13 +452,18 @@ SegmentMergeStats merge_segments(const std::vector<const SegmentReader*>& inputs
       if (count == 0) mn = m.min_doc;
       mx = m.max_doc;
       count += m.count;
+      if (all_have_max_tfs) {
+        max_tf = std::max(max_tf, input_max_tfs[i][static_cast<std::size_t>(c.ordinal())]);
+      }
       c.next();
     }
     writer.add_term(term, blob.data(), blob.size(), count, mn, mx);
+    if (all_have_max_tfs) out_max_tfs.push_back(max_tf);
     ++stats.terms;
     stats.postings += count;
   }
   stats.output_bytes = writer.finalize();
+  if (all_have_max_tfs) write_max_tf_sidecar(out_path, out_max_tfs);
   return stats;
 }
 
@@ -428,6 +515,12 @@ SegmentBuildStats build_segment_from_runs(const std::string& dir,
     stats.postings += count;
   }
   stats.output_bytes = writer.finalize();
+
+  // One decode pass over the fresh segment derives the score-bound sidecar.
+  // This is the only place max_tf is ever computed from postings — merges
+  // and live flushes propagate or compute it without touching blobs.
+  const std::string seg_path = IndexLayout::segment_path(dir);
+  write_max_tf_sidecar(seg_path, compute_max_tfs(SegmentReader::open(seg_path)));
   return stats;
 }
 

@@ -198,6 +198,38 @@ class SegmentReader {
   std::vector<Block> blocks_;
 };
 
+// ------------------------------------------------------------------------
+// Score-bound sidecar. MaxScore-style top-k pruning (src/search/topk.hpp)
+// needs a per-term upper bound on any document's BM25 contribution. The
+// tf-dependent part of that bound is max_tf — the largest term frequency
+// in the term's postings list — which is known at build time and stable
+// under the §III.F byte-concatenation merge (the max over a concatenation
+// is the max of the per-input maxes, so compaction propagates sidecars
+// without decoding a single posting). The idf part depends on collection
+// statistics that change with every live commit, so it is computed at
+// query time from the table row's `count` instead of being persisted.
+//
+// The sidecar is strictly optional: a segment without one still serves
+// every query — the executor just falls back to the looser tf-independent
+// bound idf·(k1+1). Layout (`<segment>.maxtf`): magic, version, term
+// count, one u32 max_tf per term in term order, CRC32 footer.
+
+/// `<segment_path>.maxtf`.
+std::string max_tf_sidecar_path(const std::string& segment_path);
+
+/// Writes the sidecar for a segment with `max_tfs.size()` terms.
+void write_max_tf_sidecar(const std::string& segment_path,
+                          const std::vector<std::uint32_t>& max_tfs);
+
+/// Reads a sidecar back; kNotFound when absent, kCorrupt on CRC/structure
+/// mismatch or when the term count disagrees with `expected_terms`.
+Expected<std::vector<std::uint32_t>> read_max_tf_sidecar(const std::string& segment_path,
+                                                         std::uint64_t expected_terms);
+
+/// Decodes every postings list of `reader` once and returns per-term
+/// max_tf in term order — the build-time pass behind compact_index().
+std::vector<std::uint32_t> compute_max_tfs(const SegmentReader& reader);
+
 /// What a segment build folded together.
 struct SegmentBuildStats {
   std::uint64_t terms = 0;

@@ -1,0 +1,346 @@
+#include "search/searcher.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "postings/boolean_ops.hpp"
+#include "util/check.hpp"
+#include "util/timer.hpp"
+
+namespace hetindex {
+
+/// Resolved once at construction; the per-query cost is atomic adds and
+/// histogram buckets (the ReadInstruments pattern of postings/query.cpp).
+struct Searcher::Instruments {
+  obs::Counter& queries;
+  obs::Counter& degraded;
+  obs::Counter& result_hits;
+  obs::Counter& result_misses;
+  obs::Counter& postings_hits;
+  obs::Counter& postings_misses;
+  obs::Counter& stats_recomputes;
+  obs::Histo& total_micros;
+  obs::Histo& lookup_micros;
+  obs::Histo& score_micros;
+
+  explicit Instruments(obs::MetricsRegistry& m)
+      : queries(m.counter("search_queries_total")),
+        degraded(m.counter("search_degraded_total")),
+        result_hits(m.counter("search_result_cache_hits_total")),
+        result_misses(m.counter("search_result_cache_misses_total")),
+        postings_hits(m.counter("search_postings_cache_hits_total")),
+        postings_misses(m.counter("search_postings_cache_misses_total")),
+        stats_recomputes(m.counter("search_stats_recomputes_total")),
+        total_micros(m.histogram("search_total_micros", 0.0, 16384.0, 64)),
+        lookup_micros(m.histogram("search_lookup_micros", 0.0, 16384.0, 64)),
+        score_micros(m.histogram("search_score_micros", 0.0, 16384.0, 64)) {}
+};
+
+namespace {
+
+/// Cache key: snapshot id prefix + payload. \x1e/\x1f are unit separators
+/// that cannot appear in normalized terms.
+std::string snapshot_key(std::uint64_t snapshot_id, std::string_view payload) {
+  std::string key = std::to_string(snapshot_id);
+  key += '\x1e';
+  key += payload;
+  return key;
+}
+
+/// Normalized query string: every request field that affects the answer,
+/// terms in given order (duplicates score twice, so order and multiplicity
+/// are part of the identity).
+std::string normalize_query(const QueryRequest& request) {
+  char params[80];
+  std::snprintf(params, sizeof(params), "%s|%zu|%.17g|%.17g|%d",
+                query_mode_name(request.mode), request.k, request.bm25.k1,
+                request.bm25.b, request.exhaustive ? 1 : 0);
+  std::string norm(params);
+  for (const auto& term : request.terms) {
+    norm += '\x1f';
+    norm += term;
+  }
+  return norm;
+}
+
+/// Top-k by summed tf (the boolean modes' relevance signal), doc id
+/// breaking ties.
+std::vector<ScoredDoc> rank_by_tf(const QueryPostings& postings, std::size_t k) {
+  std::vector<ScoredDoc> hits;
+  hits.reserve(postings.doc_ids.size());
+  for (std::size_t i = 0; i < postings.doc_ids.size(); ++i) {
+    hits.push_back({postings.doc_ids[i], static_cast<double>(postings.tfs[i])});
+  }
+  std::sort(hits.begin(), hits.end(), [](const ScoredDoc& a, const ScoredDoc& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.doc_id < b.doc_id;
+  });
+  if (hits.size() > k) hits.resize(k);
+  return hits;
+}
+
+bool past(const std::optional<std::chrono::steady_clock::time_point>& deadline) {
+  return deadline && std::chrono::steady_clock::now() >= *deadline;
+}
+
+}  // namespace
+
+Searcher::Searcher(const InvertedIndex& index, const DocMap& docs,
+                   SearcherOptions options)
+    : index_(&index),
+      docs_(&docs),
+      metrics_(std::make_unique<obs::MetricsRegistry>()),
+      ins_(std::make_unique<Instruments>(*metrics_)),
+      postings_cache_(options.postings_cache_entries, options.cache_shards),
+      result_cache_(options.result_cache_entries, options.cache_shards) {}
+
+Searcher::Searcher(const InvertedIndex& index, SearcherOptions options)
+    : index_(&index),
+      metrics_(std::make_unique<obs::MetricsRegistry>()),
+      ins_(std::make_unique<Instruments>(*metrics_)),
+      postings_cache_(options.postings_cache_entries, options.cache_shards),
+      result_cache_(options.result_cache_entries, options.cache_shards) {}
+
+Searcher::Searcher(std::shared_ptr<const LiveSnapshot> snapshot, SearcherOptions options)
+    : Searcher(SnapshotProvider([snap = std::move(snapshot)] { return snap; }),
+               options) {
+  HET_CHECK_MSG(provider_() != nullptr, "Searcher requires a non-null snapshot");
+}
+
+Searcher::Searcher(SnapshotProvider provider, SearcherOptions options)
+    : provider_(std::move(provider)),
+      metrics_(std::make_unique<obs::MetricsRegistry>()),
+      ins_(std::make_unique<Instruments>(*metrics_)),
+      postings_cache_(options.postings_cache_entries, options.cache_shards),
+      result_cache_(options.result_cache_entries, options.cache_shards) {
+  HET_CHECK_MSG(provider_ != nullptr, "Searcher requires a snapshot provider");
+}
+
+Searcher::~Searcher() = default;
+
+std::shared_ptr<const Searcher::Stats> Searcher::stats_for(
+    const std::shared_ptr<const LiveSnapshot>& snap, std::uint64_t snapshot_id) const {
+  {
+    std::shared_lock lock(stats_mu_);
+    if (stats_ != nullptr && stats_->snapshot_id == snapshot_id) return stats_;
+  }
+  std::unique_lock lock(stats_mu_);
+  if (stats_ != nullptr && stats_->snapshot_id == snapshot_id) return stats_;
+
+  // First query against this snapshot pays the stats walk; everyone after
+  // reads the shared copy. The recompute counter is the regression probe
+  // for "stats are per-snapshot, not per-query".
+  ins_->stats_recomputes.add();
+  auto stats = std::make_shared<Stats>();
+  stats->snapshot_id = snapshot_id;
+  if (snap != nullptr) {
+    stats->n_docs = snap->doc_count();
+    stats->avgdl = std::max(snap->average_doc_tokens(), 1e-9);
+    for (const auto& seg : snap->segments()) {
+      const DocMap* map = seg->doc_map();
+      if (map != nullptr) stats->lengths.add_range(map->base(), map->doc_count(), map);
+    }
+    stats->pin = snap;
+  } else {
+    stats->n_docs = docs_->doc_count();
+    stats->avgdl = std::max(docs_->average_doc_tokens(), 1e-9);
+    stats->lengths.add_range(docs_->base(), docs_->doc_count(), docs_);
+  }
+  stats_ = std::move(stats);
+  return stats_;
+}
+
+std::shared_ptr<const QueryPostings> Searcher::fetch_postings(
+    const std::shared_ptr<const LiveSnapshot>& snap, std::uint64_t snapshot_id,
+    const std::string& term) const {
+  const std::string key = snapshot_key(snapshot_id, term);
+  if (auto cached = postings_cache_.get(key)) {
+    ins_->postings_hits.add();
+    return *cached;  // may be null: cached "absent" verdict
+  }
+  ins_->postings_misses.add();
+  auto looked_up = snap != nullptr ? snap->lookup(term) : index_->lookup(term);
+  std::shared_ptr<const QueryPostings> postings;
+  if (looked_up) {
+    postings = std::make_shared<const QueryPostings>(std::move(*looked_up));
+  }
+  postings_cache_.put(key, postings);
+  return postings;
+}
+
+std::optional<std::uint32_t> Searcher::term_max_tf(
+    const std::shared_ptr<const LiveSnapshot>& snap, const std::string& term) const {
+  return snap != nullptr ? snap->max_tf(term) : index_->max_tf(term);
+}
+
+Expected<QueryResponse> Searcher::search(const QueryRequest& request) const {
+  std::optional<std::chrono::steady_clock::time_point> deadline;
+  if (request.timeout.count() > 0) {
+    deadline = std::chrono::steady_clock::now() + request.timeout;
+  }
+  return search(request, deadline);
+}
+
+Expected<QueryResponse> Searcher::search(
+    const QueryRequest& request,
+    std::optional<std::chrono::steady_clock::time_point> deadline) const {
+  const WallTimer total_timer;
+  if (request.terms.empty()) {
+    return Error{ErrorCode::kInvalidArgument, "query has no terms"};
+  }
+  if (past(deadline)) {
+    return Error{ErrorCode::kDeadlineExceeded, "deadline expired before execution"};
+  }
+  ins_->queries.add();
+
+  const auto snap = provider_ ? provider_() : nullptr;
+  const std::uint64_t snapshot_id = snap != nullptr ? snap->snapshot_id() : 0;
+
+  QueryResponse response;
+  response.snapshot_id = snapshot_id;
+
+  const std::string norm = normalize_query(request);
+  const std::string result_key = snapshot_key(snapshot_id, norm);
+  if (request.use_result_cache) {
+    if (auto cached = result_cache_.get(result_key)) {
+      ins_->result_hits.add();
+      response.hits = **cached;
+      response.from_cache = true;
+      response.timings.total_seconds = total_timer.seconds();
+      ins_->total_micros.add(response.timings.total_seconds * 1e6);
+      return response;
+    }
+    ins_->result_misses.add();
+  }
+
+  // Lookup stage: every term's decoded postings, cache-first.
+  const WallTimer lookup_timer;
+  std::vector<std::shared_ptr<const QueryPostings>> lists;
+  lists.reserve(request.terms.size());
+  for (const auto& term : request.terms) {
+    lists.push_back(fetch_postings(snap, snapshot_id, term));
+  }
+  response.timings.lookup_seconds = lookup_timer.seconds();
+
+  // Score stage.
+  const WallTimer score_timer;
+  switch (request.mode) {
+    case QueryMode::kRanked: {
+      if (snap == nullptr && docs_ == nullptr) {
+        return Error{ErrorCode::kInvalidArgument,
+                     "ranked mode requires a DocMap (BM25 needs document lengths)"};
+      }
+      const auto stats = stats_for(snap, snapshot_id);
+      if (request.exhaustive) {
+        // Baseline engine: full decode, hash-map accumulation in request
+        // term order — the historical bm25_query, fed from the caches.
+        std::unordered_map<std::uint32_t, double> scores;
+        for (std::size_t t = 0; t < request.terms.size(); ++t) {
+          if (past(deadline)) {  // degrade between terms: coarse but exact
+            response.degraded = true;
+            break;
+          }
+          const auto& postings = lists[t];
+          if (postings == nullptr || postings->doc_ids.empty()) continue;
+          const double idf = bm25_idf(postings->doc_ids.size(), stats->n_docs);
+          for (std::size_t i = 0; i < postings->doc_ids.size(); ++i) {
+            const std::uint32_t doc = postings->doc_ids[i];
+            const double tf = postings->tfs[i];
+            const double dl = stats->lengths.token_count(doc);
+            scores[doc] +=
+                bm25_contribution(idf, tf, dl, stats->avgdl, request.bm25);
+          }
+        }
+        std::vector<ScoredDoc> ranked;
+        ranked.reserve(scores.size());
+        for (const auto& [doc, score] : scores) ranked.push_back({doc, score});
+        std::sort(ranked.begin(), ranked.end(),
+                  [](const ScoredDoc& a, const ScoredDoc& b) {
+                    if (a.score != b.score) return a.score > b.score;
+                    return a.doc_id < b.doc_id;
+                  });
+        if (ranked.size() > request.k) ranked.resize(request.k);
+        response.hits = std::move(ranked);
+      } else {
+        std::vector<TopkTermInput> inputs;
+        inputs.reserve(request.terms.size());
+        for (std::size_t t = 0; t < request.terms.size(); ++t) {
+          const auto& postings = lists[t];
+          if (postings == nullptr || postings->doc_ids.empty()) continue;
+          TopkTermInput input;
+          input.term_index = t;
+          input.postings = postings;
+          input.idf = bm25_idf(postings->doc_ids.size(), stats->n_docs);
+          const auto max_tf = term_max_tf(snap, request.terms[t]);
+          input.upper_bound = max_tf
+                                  ? bm25_upper_bound(input.idf, *max_tf, request.bm25)
+                                  : bm25_loose_bound(input.idf, request.bm25);
+          inputs.push_back(std::move(input));
+        }
+        auto topk = maxscore_topk(std::move(inputs), request.k, request.bm25,
+                                  stats->lengths, stats->avgdl, deadline);
+        response.hits = std::move(topk.hits);
+        response.degraded = topk.degraded;
+      }
+      break;
+    }
+    case QueryMode::kConjunctive: {
+      // Any absent term empties the intersection outright.
+      const bool all_present = std::all_of(
+          lists.begin(), lists.end(), [](const auto& p) { return p != nullptr; });
+      if (all_present && !lists.empty()) {
+        // Rarest-first galloping: each merge is O(min·log(max/min)).
+        std::vector<const QueryPostings*> ordered;
+        ordered.reserve(lists.size());
+        for (const auto& p : lists) ordered.push_back(p.get());
+        std::sort(ordered.begin(), ordered.end(),
+                  [](const QueryPostings* a, const QueryPostings* b) {
+                    return a->doc_ids.size() < b->doc_ids.size();
+                  });
+        QueryPostings acc = *ordered.front();
+        for (std::size_t i = 1; i < ordered.size() && !acc.doc_ids.empty(); ++i) {
+          if (past(deadline)) {  // partial intersection: a superset, flagged
+            response.degraded = true;
+            break;
+          }
+          acc = postings_and_galloping(acc, *ordered[i]);
+        }
+        response.hits = rank_by_tf(acc, request.k);
+      }
+      break;
+    }
+    case QueryMode::kDisjunctive: {
+      QueryPostings acc;
+      for (const auto& p : lists) {
+        if (p == nullptr) continue;
+        if (past(deadline)) {  // partial union: a subset, flagged
+          response.degraded = true;
+          break;
+        }
+        acc = acc.doc_ids.empty() ? *p : postings_or(acc, *p);
+      }
+      response.hits = rank_by_tf(acc, request.k);
+      break;
+    }
+  }
+  response.timings.score_seconds = score_timer.seconds();
+  response.timings.total_seconds = total_timer.seconds();
+
+  if (response.degraded) ins_->degraded.add();
+  ins_->lookup_micros.add(response.timings.lookup_seconds * 1e6);
+  ins_->score_micros.add(response.timings.score_seconds * 1e6);
+  ins_->total_micros.add(response.timings.total_seconds * 1e6);
+
+  // Degraded answers are timing accidents, not the query's answer — they
+  // must never be replayed from the cache.
+  if (request.use_result_cache && !response.degraded) {
+    result_cache_.put(result_key,
+                      std::make_shared<const std::vector<ScoredDoc>>(response.hits));
+  }
+  return response;
+}
+
+}  // namespace hetindex

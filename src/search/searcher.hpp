@@ -1,0 +1,130 @@
+#pragma once
+/// \file searcher.hpp
+/// The one query facade. A Searcher binds a corpus view — a batch
+/// InvertedIndex + DocMap, a pinned LiveSnapshot, or a SnapshotProvider
+/// that follows a live writer — and answers QueryRequests of every mode
+/// through a single entry point, sharing across requests everything the
+/// old free functions re-derived per call:
+///
+///   collection stats   N and avgdl computed once per snapshot (guarded by
+///                      a snapshot-id check, not per query — the
+///                      search_stats_recomputes_total counter proves it)
+///   decoded postings   sharded LRU keyed on (snapshot id, term)
+///   finished results   sharded LRU keyed on (snapshot id, normalized
+///                      query); never stores degraded responses
+///
+/// Snapshot changes invalidate nothing explicitly: keys embed the snapshot
+/// id, so stale entries simply stop being reachable and age out.
+///
+/// Thread safety: search() is const and safe to call concurrently from any
+/// number of threads — SearchService runs a pool of them against one
+/// Searcher. The Searcher is immovable (instruments and caches are
+/// address-stable for the service's lifetime).
+
+#include <chrono>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <shared_mutex>
+#include <string>
+
+#include "live/segment_set.hpp"
+#include "obs/metrics.hpp"
+#include "postings/doc_map.hpp"
+#include "postings/query.hpp"
+#include "search/cache.hpp"
+#include "search/topk.hpp"
+#include "search/types.hpp"
+#include "util/error.hpp"
+
+namespace hetindex {
+
+/// Source of the current snapshot for a live-following Searcher; typically
+/// `[&writer] { return writer.snapshot(); }`. Must be callable from any
+/// thread.
+using SnapshotProvider = std::function<std::shared_ptr<const LiveSnapshot>()>;
+
+struct SearcherOptions {
+  std::size_t postings_cache_entries = 4096;  ///< decoded lists retained
+  std::size_t result_cache_entries = 1024;    ///< finished queries retained
+  std::size_t cache_shards = 8;               ///< lock granularity of both caches
+};
+
+class Searcher {
+ public:
+  /// Serves a batch index. Both references must outlive the Searcher.
+  Searcher(const InvertedIndex& index, const DocMap& docs,
+           SearcherOptions options = {});
+  /// Serves a batch index with no doc map: boolean modes only — ranked
+  /// requests report kInvalidArgument (BM25 needs document lengths).
+  explicit Searcher(const InvertedIndex& index, SearcherOptions options = {});
+  /// Serves one pinned live snapshot (held alive by the Searcher).
+  explicit Searcher(std::shared_ptr<const LiveSnapshot> snapshot,
+                    SearcherOptions options = {});
+  /// Follows a live index: every search() resolves the provider, so
+  /// queries always see the latest committed snapshot and caches roll over
+  /// with the snapshot id.
+  explicit Searcher(SnapshotProvider provider, SearcherOptions options = {});
+  ~Searcher();
+
+  Searcher(const Searcher&) = delete;
+  Searcher& operator=(const Searcher&) = delete;
+
+  /// Answers one request. The deadline (when request.timeout > 0) starts
+  /// now; see the two-argument overload when the clock started earlier.
+  /// Errors: kInvalidArgument (no terms), kDeadlineExceeded (expired on
+  /// entry).
+  [[nodiscard]] Expected<QueryResponse> search(const QueryRequest& request) const;
+
+  /// Like search(request) but against an absolute deadline that may
+  /// predate this call — SearchService passes the deadline computed at
+  /// submit time so queue wait counts against the budget.
+  [[nodiscard]] Expected<QueryResponse> search(
+      const QueryRequest& request,
+      std::optional<std::chrono::steady_clock::time_point> deadline) const;
+
+  /// search_* instruments: queries/degraded/cache hit-miss counters,
+  /// per-stage latency histograms, stats-recompute counter. SearchService
+  /// adds its admission metrics to this same registry.
+  [[nodiscard]] const obs::MetricsRegistry& metrics() const { return *metrics_; }
+  [[nodiscard]] obs::MetricsRegistry& metrics() { return *metrics_; }
+
+ private:
+  struct Instruments;
+  /// Collection statistics of one snapshot, shared by concurrent queries.
+  struct Stats {
+    std::uint64_t snapshot_id = 0;
+    std::uint64_t n_docs = 0;
+    double avgdl = 0;
+    DocLengthIndex lengths;
+    std::shared_ptr<const LiveSnapshot> pin;  ///< keeps doc maps alive
+  };
+
+  [[nodiscard]] std::shared_ptr<const Stats> stats_for(
+      const std::shared_ptr<const LiveSnapshot>& snap, std::uint64_t snapshot_id) const;
+  [[nodiscard]] std::shared_ptr<const QueryPostings> fetch_postings(
+      const std::shared_ptr<const LiveSnapshot>& snap, std::uint64_t snapshot_id,
+      const std::string& term) const;
+  [[nodiscard]] std::optional<std::uint32_t> term_max_tf(
+      const std::shared_ptr<const LiveSnapshot>& snap, const std::string& term) const;
+
+  // Exactly one source is active: (index_, docs_) or provider_.
+  const InvertedIndex* index_ = nullptr;
+  const DocMap* docs_ = nullptr;
+  SnapshotProvider provider_;
+
+  std::unique_ptr<obs::MetricsRegistry> metrics_;
+  std::unique_ptr<Instruments> ins_;
+
+  mutable std::shared_mutex stats_mu_;
+  mutable std::shared_ptr<const Stats> stats_;  // current snapshot's stats
+
+  /// Values are shared_ptrs to immutable data; a null postings pointer is
+  /// a cached "term absent" verdict (negative caching).
+  mutable ShardedLruCache<std::string, std::shared_ptr<const QueryPostings>>
+      postings_cache_;
+  mutable ShardedLruCache<std::string, std::shared_ptr<const std::vector<ScoredDoc>>>
+      result_cache_;
+};
+
+}  // namespace hetindex

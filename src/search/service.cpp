@@ -1,0 +1,92 @@
+#include "search/service.hpp"
+
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace hetindex {
+
+struct SearchService::Instruments {
+  obs::Counter& submitted;
+  obs::Counter& shed;
+  obs::Counter& deadline_rejected;
+  obs::Gauge& inflight;
+  obs::Gauge& queue_depth;
+  obs::Histo& queue_wait_micros;
+
+  explicit Instruments(obs::MetricsRegistry& m)
+      : submitted(m.counter("search_requests_total")),
+        shed(m.counter("search_shed_total")),
+        deadline_rejected(m.counter("search_deadline_rejected_total")),
+        inflight(m.gauge("search_inflight")),
+        queue_depth(m.gauge("search_queue_depth")),
+        queue_wait_micros(m.histogram("search_queue_wait_micros", 0.0, 16384.0, 64)) {}
+};
+
+SearchService::SearchService(std::shared_ptr<Searcher> searcher,
+                             SearchServiceOptions options)
+    : searcher_(std::move(searcher)) {
+  HET_CHECK_MSG(searcher_ != nullptr, "SearchService requires a Searcher");
+  HET_CHECK(options.threads > 0);
+  ins_ = std::make_unique<Instruments>(searcher_->metrics());
+  queue_ = std::make_unique<BoundedQueue<Job>>(
+      options.queue_capacity, obs::QueueProbe{&ins_->queue_depth, nullptr, nullptr});
+  workers_.reserve(options.threads);
+  for (std::size_t i = 0; i < options.threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+SearchService::~SearchService() {
+  // Close first: workers drain what is queued, then see exhaustion and
+  // exit; the jthreads join on destruction.
+  queue_->close();
+}
+
+std::future<Expected<QueryResponse>> SearchService::submit(QueryRequest request) {
+  ins_->submitted.add();
+  Job job;
+  job.enqueued = std::chrono::steady_clock::now();
+  if (request.timeout.count() > 0) job.deadline = job.enqueued + request.timeout;
+  job.request = std::move(request);
+  auto future = job.promise.get_future();
+  if (!queue_->try_push(std::move(job))) {
+    // Saturated: reject now rather than queue unbounded latency. The
+    // pushed job (promise included) is gone, so answer through a fresh
+    // one.
+    ins_->shed.add();
+    std::promise<Expected<QueryResponse>> rejected;
+    rejected.set_value(Error{ErrorCode::kOverloaded,
+                             "search queue saturated (capacity " +
+                                 std::to_string(queue_->capacity()) + ")"});
+    return rejected.get_future();
+  }
+  return future;
+}
+
+Expected<QueryResponse> SearchService::search(QueryRequest request) {
+  return submit(std::move(request)).get();
+}
+
+void SearchService::worker_loop() {
+  while (auto job = queue_->pop()) {
+    const auto now = std::chrono::steady_clock::now();
+    const double waited_s =
+        std::chrono::duration<double>(now - job->enqueued).count();
+    ins_->queue_wait_micros.add(waited_s * 1e6);
+    // Dead on arrival: the deadline ran out while queued — reject without
+    // burning executor time on an answer nobody is waiting for.
+    if (job->deadline && now >= *job->deadline) {
+      ins_->deadline_rejected.add();
+      job->promise.set_value(
+          Error{ErrorCode::kDeadlineExceeded,
+                "deadline expired in queue after " + std::to_string(waited_s) + "s"});
+      continue;
+    }
+    ins_->inflight.add(1);
+    job->promise.set_value(searcher_->search(job->request, job->deadline));
+    ins_->inflight.add(-1);
+  }
+}
+
+}  // namespace hetindex

@@ -1,0 +1,79 @@
+#pragma once
+/// \file service.hpp
+/// Thread-pooled concurrent query execution with admission control in
+/// front of one Searcher. Requests enter a bounded queue (reject-with-
+/// kOverloaded when saturated — callers learn about overload immediately
+/// instead of piling up latency), workers pop and execute, and a request's
+/// deadline starts at submit so time spent queued counts against it: a
+/// request that expires while waiting is rejected with kDeadlineExceeded
+/// without wasting executor time, and one that expires mid-execution comes
+/// back degraded (see Searcher).
+///
+/// The service publishes its admission metrics into the Searcher's
+/// registry, so one snapshot tells the whole serving story: queue depth,
+/// in-flight gauge, shed/rejected counters, queue-wait histogram alongside
+/// the executor's cache and latency instruments.
+
+#include <chrono>
+#include <future>
+#include <memory>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "search/searcher.hpp"
+#include "util/bounded_queue.hpp"
+
+namespace hetindex {
+
+struct SearchServiceOptions {
+  std::size_t threads = 4;         ///< executor pool size
+  std::size_t queue_capacity = 64; ///< admission queue; full = shed
+};
+
+class SearchService {
+ public:
+  SearchService(std::shared_ptr<Searcher> searcher, SearchServiceOptions options = {});
+  /// Closes the queue and joins the workers; already-queued requests are
+  /// drained (their futures resolve) before destruction completes.
+  ~SearchService();
+
+  SearchService(const SearchService&) = delete;
+  SearchService& operator=(const SearchService&) = delete;
+
+  /// Enqueues one request. The future resolves to the response, or to
+  /// kOverloaded (queue full — resolved immediately, the backpressure
+  /// signal), kDeadlineExceeded, or any Searcher error.
+  [[nodiscard]] std::future<Expected<QueryResponse>> submit(QueryRequest request);
+
+  /// Synchronous convenience: submit and wait.
+  [[nodiscard]] Expected<QueryResponse> search(QueryRequest request);
+
+  [[nodiscard]] const Searcher& searcher() const { return *searcher_; }
+  /// The shared registry (Searcher's, plus this service's admission
+  /// instruments).
+  [[nodiscard]] const obs::MetricsRegistry& metrics() const {
+    return searcher_->metrics();
+  }
+  [[nodiscard]] std::size_t threads() const { return workers_.size(); }
+  [[nodiscard]] std::size_t queue_capacity() const { return queue_->capacity(); }
+  [[nodiscard]] std::size_t queue_depth() const { return queue_->size(); }
+
+ private:
+  struct Instruments;
+  struct Job {
+    QueryRequest request;
+    std::optional<std::chrono::steady_clock::time_point> deadline;
+    std::chrono::steady_clock::time_point enqueued;
+    std::promise<Expected<QueryResponse>> promise;
+  };
+
+  void worker_loop();
+
+  std::shared_ptr<Searcher> searcher_;
+  std::unique_ptr<Instruments> ins_;
+  std::unique_ptr<BoundedQueue<Job>> queue_;
+  std::vector<std::jthread> workers_;
+};
+
+}  // namespace hetindex

@@ -1,0 +1,211 @@
+#include "search/topk.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+#include "util/check.hpp"
+
+namespace hetindex {
+namespace {
+
+/// Relative pruning slack: a candidate is discarded only when its bound is
+/// below theta by more than one part in 10^9 — far beyond any rounding
+/// drift a handful of double additions can produce, so a document whose
+/// canonical score ties or beats theta always survives to the exact
+/// re-score.
+constexpr double kPruneSlack = 1.0 - 1e-9;
+
+/// Candidates between deadline checks (a clock read per candidate would
+/// dominate short lists).
+constexpr std::uint64_t kDeadlineStride = 256;
+
+/// The final ordering: score descending, doc id ascending. Doubles as the
+/// heap's "is a better than b" test so ties resolve exactly as the
+/// exhaustive scorer's sort does.
+bool better(const ScoredDoc& a, const ScoredDoc& b) {
+  if (a.score != b.score) return a.score > b.score;
+  return a.doc_id < b.doc_id;
+}
+
+/// First position >= `pos` whose doc id is >= target: exponential probe to
+/// bracket, then binary search inside the bracket — O(log(jump)) per seek,
+/// the non-essential-list workhorse.
+std::size_t gallop_seek(const std::vector<std::uint32_t>& docs, std::size_t pos,
+                        std::uint32_t target) {
+  const std::size_t n = docs.size();
+  if (pos >= n || docs[pos] >= target) return pos;
+  std::size_t lo = pos;  // invariant: docs[lo] < target
+  std::size_t step = 1;
+  while (lo + step < n && docs[lo + step] < target) {
+    lo += step;
+    step <<= 1;
+  }
+  const auto begin = docs.begin() + static_cast<std::ptrdiff_t>(lo + 1);
+  const auto end = docs.begin() + static_cast<std::ptrdiff_t>(std::min(n, lo + step + 1));
+  return static_cast<std::size_t>(std::lower_bound(begin, end, target) - docs.begin());
+}
+
+}  // namespace
+
+void DocLengthIndex::add_range(std::uint32_t base, std::uint32_t count,
+                               const DocMap* map) {
+  if (count == 0 || map == nullptr) return;
+  HET_CHECK_MSG(ranges_.empty() ||
+                    ranges_.back().base + ranges_.back().count <= base,
+                "doc-length ranges must be added in ascending disjoint order");
+  ranges_.push_back({base, count, map});
+}
+
+double DocLengthIndex::token_count(std::uint32_t doc) const {
+  // Last range with base <= doc.
+  const auto it = std::upper_bound(
+      ranges_.begin(), ranges_.end(), doc,
+      [](std::uint32_t d, const Range& r) { return d < r.base; });
+  if (it == ranges_.begin()) return 0.0;
+  const Range& r = *(it - 1);
+  if (doc - r.base >= r.count) return 0.0;
+  return r.map->location(doc).token_count;
+}
+
+double bm25_upper_bound(double idf, std::uint32_t max_tf, const Bm25Params& params) {
+  if (max_tf == 0) return 0.0;
+  // contribution = idf · tf(k1+1) / (tf + k1(1−b) + k1·b·dl/avgdl). The dl
+  // term is nonnegative, so dropping it bounds from above; the rest is
+  // monotone increasing in tf, so max_tf maximizes it. max(0,·) guards the
+  // degenerate b > 1 configuration.
+  const double c = std::max(0.0, params.k1 * (1.0 - params.b));
+  const double tf = static_cast<double>(max_tf);
+  return idf * (tf * (params.k1 + 1.0)) / (tf + c);
+}
+
+double bm25_loose_bound(double idf, const Bm25Params& params) {
+  return idf * (params.k1 + 1.0);  // the tf → ∞ limit
+}
+
+TopkResult maxscore_topk(
+    std::vector<TopkTermInput> terms, std::size_t k, const Bm25Params& params,
+    const DocLengthIndex& lengths, double avgdl,
+    std::optional<std::chrono::steady_clock::time_point> deadline) {
+  TopkResult result;
+  std::erase_if(terms, [](const TopkTermInput& t) {
+    return t.postings == nullptr || t.postings->doc_ids.empty();
+  });
+  if (terms.empty() || k == 0) return result;
+
+  // Ascending upper bound: the non-essential prefix grows from the front.
+  std::sort(terms.begin(), terms.end(), [](const TopkTermInput& a, const TopkTermInput& b) {
+    if (a.upper_bound != b.upper_bound) return a.upper_bound < b.upper_bound;
+    return a.term_index < b.term_index;
+  });
+  const std::size_t m = terms.size();
+  std::vector<double> cum(m);  // cum[i] = bound of lists 0..i combined
+  for (std::size_t i = 0; i < m; ++i) {
+    cum[i] = terms[i].upper_bound + (i > 0 ? cum[i - 1] : 0.0);
+  }
+
+  // Min-heap of the k best seen, ordered by better(): top is the worst
+  // incumbent, whose score is the pruning threshold theta.
+  const auto worst_first = [](const ScoredDoc& a, const ScoredDoc& b) {
+    return better(a, b);
+  };
+  std::priority_queue<ScoredDoc, std::vector<ScoredDoc>, decltype(worst_first)> heap(
+      worst_first);
+  double theta = -std::numeric_limits<double>::infinity();
+
+  std::vector<std::size_t> pos(m, 0);  // cursor per list
+  std::size_t first_essential = 0;     // lists [0, first_essential) are non-essential
+  std::vector<std::pair<std::size_t, double>> matched;  // (term_index, tf) per candidate
+  std::uint64_t candidates = 0;
+
+  while (first_essential < m) {
+    if (deadline && ++candidates % kDeadlineStride == 0 &&
+        std::chrono::steady_clock::now() >= *deadline) {
+      result.degraded = true;
+      break;
+    }
+
+    // Next candidate: min current doc across essential lists.
+    std::uint32_t d = std::numeric_limits<std::uint32_t>::max();
+    bool any = false;
+    for (std::size_t i = first_essential; i < m; ++i) {
+      if (pos[i] >= terms[i].postings->doc_ids.size()) continue;
+      any = true;
+      d = std::min(d, terms[i].postings->doc_ids[pos[i]]);
+    }
+    if (!any) break;
+
+    matched.clear();
+    double partial = 0.0;  // running score estimate (pruning only)
+    const double dl = lengths.token_count(d);
+    for (std::size_t i = first_essential; i < m; ++i) {
+      const auto& docs = terms[i].postings->doc_ids;
+      if (pos[i] >= docs.size() || docs[pos[i]] != d) continue;
+      const double tf = terms[i].postings->tfs[pos[i]];
+      partial += bm25_contribution(terms[i].idf, tf, dl, avgdl, params);
+      matched.emplace_back(terms[i].term_index, tf);
+      ++pos[i];
+    }
+
+    // Probe non-essential lists from the strongest down, abandoning the
+    // candidate as soon as even full credit for the rest cannot reach
+    // theta.
+    bool viable = true;
+    for (std::size_t j = first_essential; j-- > 0;) {
+      if (partial + cum[j] < theta * kPruneSlack) {
+        viable = false;
+        break;
+      }
+      pos[j] = gallop_seek(terms[j].postings->doc_ids, pos[j], d);
+      const auto& docs = terms[j].postings->doc_ids;
+      if (pos[j] < docs.size() && docs[pos[j]] == d) {
+        const double tf = terms[j].postings->tfs[pos[j]];
+        partial += bm25_contribution(terms[j].idf, tf, dl, avgdl, params);
+        matched.emplace_back(terms[j].term_index, tf);
+      }
+    }
+    if (!viable) continue;
+
+    // Canonical re-score: contributions summed in ascending original term
+    // index — the exhaustive engine's exact accumulation sequence, so the
+    // double that enters the heap is the double exhaustive would produce.
+    std::sort(matched.begin(), matched.end());
+    double score = 0.0;
+    for (const auto& [term_index, tf] : matched) {
+      // idf lookup by original index: linear over m terms (m is tiny).
+      for (const auto& t : terms) {
+        if (t.term_index == term_index) {
+          score += bm25_contribution(t.idf, tf, dl, avgdl, params);
+          break;
+        }
+      }
+    }
+    ++result.docs_scored;
+
+    const ScoredDoc cand{d, score};
+    if (heap.size() < k) {
+      heap.push(cand);
+    } else if (better(cand, heap.top())) {
+      heap.pop();
+      heap.push(cand);
+    } else {
+      continue;  // theta unchanged
+    }
+    if (heap.size() == k) {
+      theta = heap.top().score;
+      while (first_essential < m && cum[first_essential] < theta * kPruneSlack) {
+        ++first_essential;  // grown threshold retires more lists
+      }
+    }
+  }
+
+  result.hits.reserve(heap.size());
+  while (!heap.empty()) {
+    result.hits.push_back(heap.top());
+    heap.pop();
+  }
+  std::sort(result.hits.begin(), result.hits.end(), better);
+  return result;
+}
+
+}  // namespace hetindex

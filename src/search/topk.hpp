@@ -1,0 +1,89 @@
+#pragma once
+/// \file topk.hpp
+/// Cursor-based top-k BM25 executor with MaxScore early termination
+/// (Turtle & Flood 1995): terms are ordered by their score upper bound,
+/// split into an essential suffix (must be scanned) and a non-essential
+/// prefix whose combined bound cannot beat the current k-th score — docs
+/// appearing only there are skipped without ever being scored, and
+/// non-essential lists are probed by galloping seek only for candidates
+/// that survive a running bound check.
+///
+/// Exactness contract: the executor returns *bit-identical* results to the
+/// exhaustive scorer. Two mechanisms make that hold under floating point:
+///   1. every candidate inserted into the heap is re-scored canonically —
+///      its per-term contributions summed in ascending original-term-index
+///      order, the exact accumulation sequence of the exhaustive engine;
+///   2. pruning compares against theta scaled by a relative slack, so a
+///      bound whose partial sums drifted a few ulps below the canonical
+///      value can never wrongly discard a qualifying document.
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "postings/query.hpp"
+#include "postings/ranking.hpp"
+
+namespace hetindex {
+
+/// One term's input to the executor. `term_index` is the position in the
+/// original request — the canonical accumulation order.
+struct TopkTermInput {
+  std::size_t term_index = 0;
+  std::shared_ptr<const QueryPostings> postings;  ///< decoded, doc-id sorted
+  double idf = 0;
+  double upper_bound = 0;  ///< max BM25 contribution of this term to any doc
+};
+
+/// Per-document token counts of one or more doc-map ranges, resolved by
+/// binary search — the live snapshot's segments each carry their own map,
+/// the batch index one map at base 0.
+class DocLengthIndex {
+ public:
+  void add_range(std::uint32_t base, std::uint32_t count, const DocMap* map);
+  /// Indexed tokens of `doc`; 0 when no range covers it.
+  [[nodiscard]] double token_count(std::uint32_t doc) const;
+
+ private:
+  struct Range {
+    std::uint32_t base;
+    std::uint32_t count;
+    const DocMap* map;
+  };
+  std::vector<Range> ranges_;  // ascending base, disjoint
+};
+
+/// The BM25 contribution of one (term, doc) pair. This exact expression is
+/// shared by the exhaustive scorer, the executor's canonical re-sum, and
+/// the bound computation — equivalence depends on everyone computing the
+/// same doubles.
+inline double bm25_contribution(double idf, double tf, double dl, double avgdl,
+                                const Bm25Params& params) {
+  const double denom = tf + params.k1 * (1.0 - params.b + params.b * dl / avgdl);
+  return idf * (tf * (params.k1 + 1.0)) / denom;
+}
+
+/// The largest contribution a term with `max_tf` can make to any document:
+/// the document-length term of the denominator is nonnegative, so dropping
+/// it bounds from above, and the remainder is monotone increasing in tf.
+double bm25_upper_bound(double idf, std::uint32_t max_tf, const Bm25Params& params);
+
+/// Loose fallback bound (tf → ∞) for terms without a max_tf sidecar.
+double bm25_loose_bound(double idf, const Bm25Params& params);
+
+struct TopkResult {
+  std::vector<ScoredDoc> hits;  ///< score desc, doc id asc, at most k
+  bool degraded = false;        ///< deadline expired mid-scan; hits approximate
+  std::uint64_t docs_scored = 0;
+};
+
+/// Runs MaxScore over the decoded lists. `deadline` (optional) degrades the
+/// scan to the best candidates found so far when it expires.
+TopkResult maxscore_topk(
+    std::vector<TopkTermInput> terms, std::size_t k, const Bm25Params& params,
+    const DocLengthIndex& lengths, double avgdl,
+    std::optional<std::chrono::steady_clock::time_point> deadline = std::nullopt);
+
+}  // namespace hetindex

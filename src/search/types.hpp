@@ -1,0 +1,79 @@
+#pragma once
+/// \file types.hpp
+/// Value types of the search serving API: one QueryRequest in, one
+/// QueryResponse out, whatever the mode. These replace the scattered
+/// per-style entry points (bm25_query, conjunctive_query, raw
+/// QueryPostings poking) — a caller builds a request, hands it to a
+/// Searcher or SearchService, and gets back hits plus the execution
+/// story (timings, cache provenance, degradation) in one struct.
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "postings/ranking.hpp"
+
+namespace hetindex {
+
+/// How the terms combine.
+enum class QueryMode {
+  kRanked,       ///< BM25 top-k, any matching term contributes (default)
+  kConjunctive,  ///< docs containing every term, ranked by summed tf
+  kDisjunctive,  ///< docs containing any term, ranked by summed tf
+};
+
+/// Stable lowercase identifier for logs and CLI flags.
+constexpr const char* query_mode_name(QueryMode mode) {
+  switch (mode) {
+    case QueryMode::kRanked: return "ranked";
+    case QueryMode::kConjunctive: return "conjunctive";
+    case QueryMode::kDisjunctive: return "disjunctive";
+  }
+  return "unknown";
+}
+
+/// One query. Terms must already be normalized (see normalize_term);
+/// duplicates are honored, not deduplicated — a repeated term scores twice,
+/// matching the historical bm25_query behaviour.
+struct QueryRequest {
+  std::vector<std::string> terms;
+  QueryMode mode = QueryMode::kRanked;
+  std::size_t k = 10;
+  /// Execution budget; zero means no deadline. The clock starts when the
+  /// request enters the system (SearchService::submit), so queue wait
+  /// counts against it. A deadline that expires before execution rejects
+  /// with kDeadlineExceeded; one that hits mid-execution degrades to an
+  /// approximate top-k (QueryResponse::degraded).
+  std::chrono::microseconds timeout{0};
+  Bm25Params bm25;  ///< ranked mode only
+  /// Forces the exhaustive scorer (full decode + hash-map accumulation)
+  /// instead of the MaxScore early-termination executor. The two return
+  /// identical rankings; exhaustive exists as the baseline and for the
+  /// deprecated bm25_query shim.
+  bool exhaustive = false;
+  /// Opt out of the query-result cache (postings caching still applies).
+  bool use_result_cache = true;
+};
+
+/// Where the wall time of one request went, in seconds.
+struct QueryTimings {
+  double total_seconds = 0;   ///< entry to response
+  double lookup_seconds = 0;  ///< postings fetch/decode (including cache hits)
+  double score_seconds = 0;   ///< scoring, merging, ranking
+};
+
+/// One answered query.
+struct QueryResponse {
+  std::vector<ScoredDoc> hits;  ///< ranked per mode, at most k
+  QueryTimings timings;
+  /// The deadline hit mid-execution: hits are the best candidates scored
+  /// before the cutoff — a valid but possibly incomplete top-k. Degraded
+  /// responses are never cached.
+  bool degraded = false;
+  bool from_cache = false;  ///< served verbatim from the result cache
+  /// Identity of the snapshot that answered (0 for a batch index).
+  std::uint64_t snapshot_id = 0;
+};
+
+}  // namespace hetindex

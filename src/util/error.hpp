@@ -21,11 +21,13 @@ namespace hetindex {
 
 /// What went wrong, machine-readably; the message carries the detail.
 enum class ErrorCode {
-  kNotFound,         ///< file/directory/index absent
-  kCorrupt,          ///< checksum or structural validation failed
-  kUnsupported,      ///< version/codec newer than this build understands
-  kInvalidArgument,  ///< caller-supplied configuration is contradictory
-  kIo,               ///< read/write/rename failed
+  kNotFound,          ///< file/directory/index absent
+  kCorrupt,           ///< checksum or structural validation failed
+  kUnsupported,       ///< version/codec newer than this build understands
+  kInvalidArgument,   ///< caller-supplied configuration is contradictory
+  kIo,                ///< read/write/rename failed
+  kOverloaded,        ///< admission control shed the request (queue saturated)
+  kDeadlineExceeded,  ///< the request's deadline expired before execution
 };
 
 /// Stable lowercase identifier for logs and CLI output.
@@ -36,6 +38,8 @@ constexpr const char* error_code_name(ErrorCode code) {
     case ErrorCode::kUnsupported: return "unsupported";
     case ErrorCode::kInvalidArgument: return "invalid_argument";
     case ErrorCode::kIo: return "io";
+    case ErrorCode::kOverloaded: return "overloaded";
+    case ErrorCode::kDeadlineExceeded: return "deadline_exceeded";
   }
   return "unknown";
 }

@@ -1,4 +1,8 @@
 // Tests for boolean retrieval operators and index verification.
+//
+// conjunctive_query is deprecated in favor of the Searcher facade; these
+// tests keep exercising the shim on purpose.
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 
 #include <gtest/gtest.h>
 
