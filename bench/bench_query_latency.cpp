@@ -74,7 +74,7 @@ int main() {
   IndexBuilder builder;
   builder.parsers(2).cpu_indexers(2).gpus(1);
   const auto report = builder.build(coll.paths(), index_dir);
-  const auto fold = compact_index(index_dir);
+  const auto fold = compact_index(index_dir).value();
   std::printf("corpus: %s raw, %llu docs, %llu terms, %llu runs\n",
               format_bytes(report.uncompressed_bytes).c_str(),
               static_cast<unsigned long long>(report.documents),

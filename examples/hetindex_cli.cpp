@@ -274,12 +274,15 @@ int cmd_compact(int argc, char** argv) {
     if (!writer.has_value()) return report_error(writer.error());
     auto& w = writer.value();
     const std::size_t before = w.snapshot()->segment_count();
-    w.compact_now();
+    auto compacted = w.compact_now();
+    if (!compacted.has_value()) return report_error(compacted.error());
     std::printf("live compaction: %zu -> %zu segments, %u docs committed\n", before,
                 w.snapshot()->segment_count(), w.committed_docs());
     return 0;
   }
-  const auto stats = compact_index(index_dir);
+  const auto folded = compact_index(index_dir);
+  if (!folded.has_value()) return report_error(folded.error());
+  const auto& stats = folded.value();
   std::printf("compacted %llu runs into %s: %llu terms, %llu postings, %s -> %s\n",
               static_cast<unsigned long long>(stats.runs),
               IndexLayout::segment_path(index_dir).c_str(),
@@ -330,8 +333,10 @@ int cmd_live(int argc, char** argv) {
                  format_bytes(bytes).c_str(), w.committed_docs(), w.buffered_docs(),
                  snap->segment_count());
   }
-  w.flush();
-  w.compact_now();
+  auto flushed = w.flush();
+  if (!flushed.has_value()) return report_error(flushed.error());
+  auto compacted = w.compact_now();
+  if (!compacted.has_value()) return report_error(compacted.error());
   std::fputc('\n', stderr);
   const auto snap = w.snapshot();
   std::printf("live index: %llu docs, %llu terms, %zu segments after compaction, "

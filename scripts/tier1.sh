@@ -8,16 +8,22 @@
 #   - ASan+UBSan on the binary-format and serving tests (run files,
 #     segments, query path, MaxScore executor and caches) to catch
 #     overruns and UB in the decoders and the mmap reader
+#   - a fault-injection leg: the crash-consistency harness (trace-prefix
+#     replay + injected ENOSPC/EINTR/fsync faults, docs/DURABILITY.md)
+#     under ASan+UBSan, once with the fixed seed and once with a
+#     randomized HETINDEX_CRASH_SEED (printed, so failures replay)
 #
-#   scripts/tier1.sh [--no-tsan] [--no-asan]
+#   scripts/tier1.sh [--no-tsan] [--no-asan] [--no-faults]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 run_tsan=1
 run_asan=1
+run_faults=1
 for arg in "$@"; do
   [[ "$arg" == "--no-tsan" ]] && run_tsan=0
   [[ "$arg" == "--no-asan" ]] && run_asan=0
+  [[ "$arg" == "--no-faults" ]] && run_faults=0
 done
 
 cmake -B build -S .
@@ -38,5 +44,21 @@ if [[ "$run_asan" == 1 ]]; then
         -DCMAKE_BUILD_TYPE=RelWithDebInfo
   cmake --build build-asan -j "$(nproc)" --target test_segment test_postings test_codec test_query_ops test_live test_search_service
   ctest --test-dir build-asan --output-on-failure -R '^(test_segment|test_postings|test_codec|test_query_ops|test_live|test_search_service)$'
+fi
+
+if [[ "$run_faults" == 1 ]]; then
+  # Reuses the ASan+UBSan tree: fault paths shake out lifetime bugs
+  # (double-close, use-after-unmap) that a plain build would miss.
+  cmake -B build-asan -S . -DHETINDEX_SANITIZE=address \
+        -DHETINDEX_BUILD_BENCH=OFF -DHETINDEX_BUILD_EXAMPLES=OFF \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build build-asan -j "$(nproc)" --target test_crash_consistency
+  # Fixed seed first (the regression baseline), then one randomized seed to
+  # keep growing coverage of torn-write offsets. The harness prints the
+  # seed, so a CI failure is replayed with HETINDEX_CRASH_SEED=<seed>.
+  HETINDEX_CRASH_SEED=42 ctest --test-dir build-asan --output-on-failure -R '^test_crash_consistency$'
+  random_seed=$(( (RANDOM << 15) | RANDOM ))
+  echo "fault leg: randomized HETINDEX_CRASH_SEED=$random_seed"
+  HETINDEX_CRASH_SEED=$random_seed ctest --test-dir build-asan --output-on-failure -R '^test_crash_consistency$'
 fi
 echo "tier1: OK"

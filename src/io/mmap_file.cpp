@@ -1,8 +1,9 @@
 #include "io/mmap_file.hpp"
 
+#include <cerrno>
 #include <utility>
 
-#include "util/binary_io.hpp"
+#include "io/env.hpp"
 #include "util/check.hpp"
 
 #if defined(__unix__) || defined(__APPLE__)
@@ -46,19 +47,55 @@ MmapFile& MmapFile::operator=(MmapFile&& other) noexcept {
   return *this;
 }
 
+#if HETINDEX_HAVE_MMAP
+namespace {
+/// Closes the fd exactly once, whichever path leaves scope first — the fix
+/// for the historical double-close on the pread fallback's error path.
+class FdGuard {
+ public:
+  explicit FdGuard(int fd) : fd_(fd) {}
+  ~FdGuard() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  FdGuard(const FdGuard&) = delete;
+  FdGuard& operator=(const FdGuard&) = delete;
+  [[nodiscard]] int get() const { return fd_; }
+
+ private:
+  int fd_;
+};
+
+/// EINTR is a transient condition, not corruption — but an injected storm
+/// must not hang the reader, so the retries are bounded (and counted).
+constexpr int kMaxEintrRetries = 100;
+}  // namespace
+#endif
+
 MmapFile MmapFile::open(const std::string& path) {
+  auto f = try_open(path);
+  if (!f.has_value()) {
+    check_failed("MmapFile::open", __FILE__, __LINE__, f.error().message.c_str());
+  }
+  return std::move(f).value();
+}
+
+Expected<MmapFile> MmapFile::try_open(const std::string& path) {
   MmapFile f;
   f.path_ = path;
 #if HETINDEX_HAVE_MMAP
-  const int fd = ::open(path.c_str(), O_RDONLY);
-  HET_CHECK_MSG(fd >= 0, "cannot open file for mapping");
+  const int raw = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (raw < 0) {
+    if (errno == ENOENT) return Error{ErrorCode::kNotFound, "no such file: " + path};
+    return Error{ErrorCode::kIo, "cannot open file for mapping: " + path};
+  }
+  FdGuard fd(raw);
   struct stat st {};
-  const int rc = ::fstat(fd, &st);
-  if (rc != 0) ::close(fd);
-  HET_CHECK_MSG(rc == 0, "cannot stat file for mapping");
+  if (::fstat(fd.get(), &st) != 0) {
+    return Error{ErrorCode::kIo, "cannot stat file for mapping: " + path};
+  }
   f.size_ = static_cast<std::size_t>(st.st_size);
-  if (f.size_ > 0) {
-    void* p = ::mmap(nullptr, f.size_, PROT_READ, MAP_PRIVATE, fd, 0);
+  if (f.size_ > 0 && io::env().mmap_allowed()) {
+    void* p = ::mmap(nullptr, f.size_, PROT_READ, MAP_PRIVATE, fd.get(), 0);
     if (p != MAP_FAILED) {
       f.data_ = static_cast<const std::uint8_t*>(p);
       f.mapped_ = true;
@@ -68,18 +105,28 @@ MmapFile MmapFile::open(const std::string& path) {
     // pread fallback: mapping refused (some network/overlay filesystems).
     f.fallback_.resize(f.size_);
     std::size_t done = 0;
+    int retries = 0;
     while (done < f.size_) {
-      const ssize_t n = ::pread(fd, f.fallback_.data() + done, f.size_ - done,
-                                static_cast<off_t>(done));
-      if (n <= 0) ::close(fd);
-      HET_CHECK_MSG(n > 0, "cannot read file (pread fallback)");
+      const long n = io::env().pread_some(fd.get(), f.fallback_.data() + done,
+                                          f.size_ - done, done);
+      if (n < 0 && errno == EINTR) {
+        if (++retries > kMaxEintrRetries) {
+          return Error{ErrorCode::kIo, "pread interrupted beyond retry bound: " + path};
+        }
+        io::io_metrics().counter("io_retries_total").add();
+        continue;
+      }
+      if (n <= 0) {
+        return Error{ErrorCode::kIo, "cannot read file (pread fallback): " + path};
+      }
       done += static_cast<std::size_t>(n);
     }
     f.data_ = f.fallback_.data();
   }
-  ::close(fd);
 #else
-  f.fallback_ = read_file(path);
+  auto data = io::env().read_file(path);
+  if (!data.has_value()) return data.error();
+  f.fallback_ = std::move(data).value();
   f.data_ = f.fallback_.data();
   f.size_ = f.fallback_.size();
 #endif

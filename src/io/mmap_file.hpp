@@ -14,6 +14,8 @@
 #include <string>
 #include <vector>
 
+#include "util/error.hpp"
+
 namespace hetindex {
 
 /// RAII owner of one read-only mapping (or its heap-buffer fallback).
@@ -31,6 +33,12 @@ class MmapFile {
   /// Maps `path` read-only; hard-fails when the file cannot be opened or
   /// read. A zero-byte file yields an empty (unmapped) view.
   static MmapFile open(const std::string& path);
+
+  /// Non-aborting variant: kNotFound when the file is absent, kIo when it
+  /// cannot be stat'ed or read. The pread fallback retries EINTR (bounded,
+  /// counted in io_retries_total) and tolerates short reads; the fd is
+  /// closed exactly once on every path.
+  static Expected<MmapFile> try_open(const std::string& path);
 
   [[nodiscard]] const std::uint8_t* data() const { return data_; }
   [[nodiscard]] std::size_t size() const { return size_; }

@@ -1,8 +1,8 @@
 #include "live/manifest.hpp"
 
 #include <cstdio>
-#include <filesystem>
 
+#include "io/env.hpp"
 #include "util/binary_io.hpp"
 #include "util/check.hpp"
 #include "util/crc32.hpp"
@@ -68,7 +68,7 @@ Expected<Manifest> manifest_read(const std::string& dir) {
   return m;
 }
 
-void manifest_write(const std::string& dir, const Manifest& m) {
+Status manifest_write(const std::string& dir, const Manifest& m) {
   std::vector<std::uint8_t> out;
   ByteWriter w(out);
   w.u32(kManifestMagic);
@@ -85,10 +85,24 @@ void manifest_write(const std::string& dir, const Manifest& m) {
   }
   w.u32(crc32(out.data(), out.size()));
   const std::string tmp = manifest_path(dir) + ".tmp";
-  write_file(tmp, out);
+  // The tmp file must be durable BEFORE the rename: otherwise a crash can
+  // journal the rename while the data is still in the page cache, leaving a
+  // committed-looking but zero-length/torn MANIFEST. durable_write_file
+  // also guarantees no stray MANIFEST.tmp survives a failed write (ENOSPC).
+  auto written = io::durable_write_file(tmp, out);
+  if (!written.has_value()) return written.error();
   // rename() is the commit point: readers see the old or the new manifest,
   // never a partial one.
-  std::filesystem::rename(tmp, manifest_path(dir));
+  auto renamed = io::env().rename_file(tmp, manifest_path(dir));
+  if (!renamed.has_value()) {
+    (void)io::env().remove_file(tmp);
+    return renamed.error();
+  }
+  // …and the directory fsync makes the commit point itself durable (the
+  // rename is metadata; without this it can be lost with the dir entry).
+  auto dir_synced = io::env().sync_dir(dir);
+  if (!dir_synced.has_value()) return dir_synced.error();
+  return Unit{};
 }
 
 }  // namespace hetindex

@@ -51,7 +51,11 @@ std::string live_docmap_path(const std::string& dir, std::uint64_t segment_id);
 /// kCorrupt.
 Expected<Manifest> manifest_read(const std::string& dir);
 
-/// Atomically commits `m`: write MANIFEST.tmp, rename over MANIFEST.
-void manifest_write(const std::string& dir, const Manifest& m);
+/// Atomically and durably commits `m`: write MANIFEST.tmp, fsync it,
+/// rename over MANIFEST, fsync the directory (docs/DURABILITY.md). Without
+/// the first fsync a crash after the rename can surface a zero-length or
+/// torn manifest; without the second the rename itself may be lost. kIo on
+/// failure — the previous commit stays intact and no MANIFEST.tmp remains.
+Status manifest_write(const std::string& dir, const Manifest& m);
 
 }  // namespace hetindex

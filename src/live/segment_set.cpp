@@ -1,8 +1,8 @@
 #include "live/segment_set.hpp"
 
 #include <algorithm>
-#include <filesystem>
 
+#include "io/env.hpp"
 #include "util/binary_io.hpp"
 #include "util/check.hpp"
 
@@ -42,12 +42,13 @@ Expected<std::shared_ptr<LiveSegment>> LiveSegment::open(const std::string& dir,
 
 LiveSegment::~LiveSegment() {
   if (!obsolete_.load(std::memory_order_acquire)) return;
-  // Last reference to a compacted-away segment: reclaim its files. The
-  // mapping is closed by the member destructors running after this body.
-  std::error_code ec;  // best effort — the manifest no longer names them
-  std::filesystem::remove(seg_path_, ec);
-  std::filesystem::remove(max_tf_sidecar_path(seg_path_), ec);
-  std::filesystem::remove(map_path_, ec);
+  // Last reference to a compacted-away segment: reclaim its files — best
+  // effort, the manifest no longer names them. Through the Env so the
+  // crash harness sees the unlinks in the write trace. The mapping is
+  // closed by the member destructors running after this body.
+  (void)io::env().remove_file(seg_path_);
+  (void)io::env().remove_file(max_tf_sidecar_path(seg_path_));
+  (void)io::env().remove_file(map_path_);
 }
 
 namespace {

@@ -11,6 +11,7 @@
 
 #include "dict/dictionary.hpp"
 #include "index/indexer.hpp"
+#include "io/env.hpp"
 #include "postings/postings_store.hpp"
 #include "util/check.hpp"
 #include "util/timer.hpp"
@@ -73,6 +74,9 @@ struct IndexWriter::State {
   obs::TimeCounter& compaction_seconds = metrics.time_counter("compaction_seconds_total");
   obs::Gauge& segments_active = metrics.gauge("live_segments_active");
   obs::Gauge& snapshot_refcount = metrics.gauge("snapshot_refcount");
+  obs::Counter& flush_failures = metrics.counter("live_flush_failures_total");
+  obs::Counter& compaction_failures = metrics.counter("compaction_failures_total");
+  obs::Counter& recovery_dropped = metrics.counter("recovery_dropped_files_total");
 
   /// Guards the in-memory buffer, the manifest, and commits (manifest
   /// rewrite + snapshot publication). Never held during a segment merge.
@@ -116,10 +120,17 @@ struct IndexWriter::State {
   }
 
   std::uint32_t add_document(const std::string& url, const std::string& body);
-  std::uint64_t flush_locked();
-  void publish_locked();
-  void run_compactions();
-  bool run_one_compaction();
+  Expected<std::uint64_t> flush_locked();
+  Status publish_locked();
+  Status run_compactions();
+  Expected<bool> run_one_compaction();
+  /// Removes every on-disk artifact of an uncommitted segment attempt.
+  void remove_segment_files(std::uint64_t segment_id) {
+    const std::string seg = live_segment_path(dir, segment_id);
+    (void)io::env().remove_file(seg);
+    (void)io::env().remove_file(max_tf_sidecar_path(seg));
+    (void)io::env().remove_file(live_docmap_path(dir, segment_id));
+  }
 };
 
 // ---------------------------------------------------------------- open
@@ -138,8 +149,12 @@ Expected<IndexWriter> IndexWriter::open(const std::string& dir,
 
   // Recovery: anything on disk the manifest does not name is a leftover
   // from a crash between segment write and manifest rename — drop it.
-  std::error_code ec;
-  std::filesystem::remove(manifest_path(dir) + ".tmp", ec);
+  // Removals go through the Env so the crash harness sees (and can fault)
+  // them, and each one counts in recovery_dropped_files_total.
+  if (io::env().file_exists(manifest_path(dir) + ".tmp")) {
+    (void)io::env().remove_file(manifest_path(dir) + ".tmp");
+    state->recovery_dropped.add();
+  }
   std::vector<bool> committed_ids;  // indexed by segment id
   for (const auto& e : state->manifest.entries) {
     if (e.segment_id >= committed_ids.size()) committed_ids.resize(e.segment_id + 1);
@@ -151,7 +166,8 @@ Expected<IndexWriter> IndexWriter::open(const std::string& dir,
     if (name.find('.') == std::string::npos) continue;
     const std::uint64_t id = std::strtoull(name.c_str() + 4, nullptr, 10);
     if (id < committed_ids.size() && committed_ids[id]) continue;
-    std::filesystem::remove(entry.path(), ec);
+    (void)io::env().remove_file(entry.path().string());
+    state->recovery_dropped.add();
   }
 
   auto snap = snapshot_from_manifest(dir, state->manifest);
@@ -168,7 +184,9 @@ Expected<IndexWriter> IndexWriter::open(const std::string& dir,
         if (!s->wake_cv.wait(lk, st, [s] { return s->wake; })) return;
         s->wake = false;
         lk.unlock();
-        s->run_compactions();
+        // Failures are absorbed here (counted in compaction_failures_total);
+        // the next flush re-kicks the policy, which retries the same window.
+        (void)s->run_compactions();
         lk.lock();
       }
     });
@@ -208,18 +226,21 @@ std::uint32_t IndexWriter::State::add_document(const std::string& url,
   buffered_bytes += body.size();
   documents.add();
   if (opts.flush_threshold_bytes > 0 && buffered_bytes >= opts.flush_threshold_bytes) {
-    flush_locked();
+    // An auto-flush failure keeps the buffer intact (flush_locked rolls
+    // back); the next threshold crossing retries. Counted in
+    // live_flush_failures_total — callers wanting the error call flush().
+    (void)flush_locked();
   }
   return doc_id;
 }
 
-std::uint64_t IndexWriter::flush() {
+Expected<std::uint64_t> IndexWriter::flush() {
   std::lock_guard lk(state_->mu);
   return state_->flush_locked();
 }
 
-std::uint64_t IndexWriter::State::flush_locked() {
-  if (buffered == 0) return 0;
+Expected<std::uint64_t> IndexWriter::State::flush_locked() {
+  if (buffered == 0) return std::uint64_t{0};
   const WallTimer timer;
 
   const std::uint64_t segment_id = manifest.next_segment_id;
@@ -242,23 +263,40 @@ std::uint64_t IndexWriter::State::flush_locked() {
     max_tfs.push_back(*std::max_element(list.tfs.begin(), list.tfs.end()));
   }
   const std::uint64_t term_count = writer.term_count();
-  const std::uint64_t file_bytes = writer.finalize();
-  write_max_tf_sidecar(live_segment_path(dir, segment_id), max_tfs);
+
+  // Any failure from here to the manifest commit rolls back to a clean
+  // directory: partial files removed, buffer and committed state untouched,
+  // writer still usable. Segment, sidecar and doc map are all durable
+  // (fsynced) BEFORE the commit, so a durable manifest never names data
+  // still sitting in the page cache.
+  auto fail = [&](Error e) -> Expected<std::uint64_t> {
+    remove_segment_files(segment_id);
+    flush_failures.add();
+    return e;
+  };
+
+  auto file_bytes = writer.finalize();
+  if (!file_bytes.has_value()) return fail(file_bytes.error());
+  auto sidecar = write_max_tf_sidecar(live_segment_path(dir, segment_id), max_tfs);
+  if (!sidecar.has_value()) return fail(sidecar.error());
 
   DocMapBuilder maps(doc_base);
   maps.add_file(doc_base, static_cast<std::uint32_t>(segment_id), urls, doc_tokens);
-  maps.write(live_docmap_path(dir, segment_id));
+  auto map_written = maps.try_write(live_docmap_path(dir, segment_id));
+  if (!map_written.has_value()) return fail(map_written.error());
 
   // Commit point: manifest rename. A crash before this line leaves stray
   // seg files that the next open() removes; after it, the segment is live.
   Manifest next = manifest;
   next.next_segment_id = segment_id + 1;
   next.next_doc_id = doc_base + buffered;
-  next.entries.push_back({segment_id, doc_base, buffered, term_count, file_bytes});
-  manifest_write(dir, next);
+  next.entries.push_back(
+      {segment_id, doc_base, buffered, term_count, file_bytes.value()});
+  auto committed = manifest_write(dir, next);
+  if (!committed.has_value()) return fail(committed.error());
   manifest = std::move(next);
 
-  publish_locked();
+  auto published = publish_locked();
 
   reset_buffer();
   urls.clear();
@@ -268,7 +306,7 @@ std::uint64_t IndexWriter::State::flush_locked() {
   ++flush_seq;
 
   flushes.add();
-  flushed_bytes.add(file_bytes);
+  flushed_bytes.add(file_bytes.value());
   flush_seconds.add(timer.seconds());
 
   if (opts.background_compaction) {
@@ -278,12 +316,21 @@ std::uint64_t IndexWriter::State::flush_locked() {
     }
     wake_cv.notify_one();
   }
+  if (!published.has_value()) {
+    // The commit is durable — only the in-memory snapshot refresh failed
+    // (e.g. the fresh segment would not map). Readers keep the previous
+    // snapshot; a reopen serves the new commit.
+    return Error{published.error().code,
+                 "segment committed but snapshot refresh failed: " +
+                     published.error().message};
+  }
   return segment_id;
 }
 
 /// Rebuilds the published snapshot from the committed manifest, reusing
-/// already-open segments. Caller holds mu.
-void IndexWriter::State::publish_locked() {
+/// already-open segments. Caller holds mu. kIo when a freshly committed
+/// segment cannot be opened — the previous snapshot stays published.
+Status IndexWriter::State::publish_locked() {
   const auto current = set.snapshot();
   std::vector<std::shared_ptr<LiveSegment>> segments;
   segments.reserve(manifest.entries.size());
@@ -297,9 +344,7 @@ void IndexWriter::State::publish_locked() {
     }
     if (reused == nullptr) {
       auto opened = LiveSegment::open(dir, e.segment_id, e.doc_base, e.doc_count);
-      // The file was just written under mu and named by the manifest; a
-      // failure here is a programming error, not an input error.
-      HET_CHECK_MSG(opened.has_value(), "freshly committed segment failed to open");
+      if (!opened.has_value()) return opened.error();
       reused = std::move(opened).value();
     }
     segments.push_back(std::move(reused));
@@ -307,21 +352,25 @@ void IndexWriter::State::publish_locked() {
   snapshot_refcount.set(static_cast<std::int64_t>(current.use_count()));
   set.publish(std::make_shared<const LiveSnapshot>(std::move(segments)));
   segments_active.set(static_cast<std::int64_t>(manifest.entries.size()));
+  return Unit{};
 }
 
 // ---------------------------------------------------------------- compaction
 
-void IndexWriter::compact_now() { state_->run_compactions(); }
+Status IndexWriter::compact_now() { return state_->run_compactions(); }
 
-void IndexWriter::State::run_compactions() {
+Status IndexWriter::State::run_compactions() {
   // Serialized: the background thread and compact_now callers take turns;
   // each pass folds one window, cascading until the tiers are stable.
   std::lock_guard serialize(compaction_mu);
-  while (run_one_compaction()) {
+  while (true) {
+    auto more = run_one_compaction();
+    if (!more.has_value()) return more.error();
+    if (!more.value()) return Unit{};
   }
 }
 
-bool IndexWriter::State::run_one_compaction() {
+Expected<bool> IndexWriter::State::run_one_compaction() {
   // Pick a window and allocate the output id under mu; the merge itself
   // runs unlocked against immutable inputs.
   std::vector<std::shared_ptr<LiveSegment>> inputs;
@@ -340,11 +389,21 @@ bool IndexWriter::State::run_one_compaction() {
     out_id = manifest.next_segment_id++;
   }
 
+  // Any failure before the commit removes the merge output and leaves the
+  // committed set untouched; the skipped out_id is harmless (ids just gap).
+  auto fail = [&](Error e) -> Expected<bool> {
+    remove_segment_files(out_id);
+    compaction_failures.add();
+    return e;
+  };
+
   const WallTimer timer;
   std::vector<const SegmentReader*> readers;
   readers.reserve(inputs.size());
   for (const auto& seg : inputs) readers.push_back(&seg->reader());
-  const auto stats = merge_segments(readers, live_segment_path(dir, out_id));
+  const auto merged = merge_segments(readers, live_segment_path(dir, out_id));
+  if (!merged.has_value()) return fail(merged.error());
+  const auto stats = merged.value();
 
   // Fold the doc maps, preserving per-source spans; ids do not shift.
   DocMapBuilder maps(inputs.front()->doc_base());
@@ -358,14 +417,20 @@ bool IndexWriter::State::run_one_compaction() {
     }
     maps.append(*seg->doc_map());
   }
-  if (have_all_maps) maps.write(live_docmap_path(dir, out_id));
+  if (have_all_maps) {
+    auto map_written = maps.try_write(live_docmap_path(dir, out_id));
+    if (!map_written.has_value()) return fail(map_written.error());
+  }
 
   // Commit: splice the merged entry over the window. flush() may have
   // appended segments meanwhile, but only this (serialized) code removes
-  // entries, so the window is still present, contiguous, by id.
+  // entries, so the window is still present, contiguous, by id. The new
+  // manifest is built as a candidate and in-memory state only mutates
+  // after the commit lands on disk.
   {
     std::lock_guard lk(mu);
-    auto& entries = manifest.entries;
+    Manifest next = manifest;
+    auto& entries = next.entries;
     const auto first = std::find_if(entries.begin(), entries.end(), [&](const auto& e) {
       return e.segment_id == inputs.front()->id();
     });
@@ -375,10 +440,18 @@ bool IndexWriter::State::run_one_compaction() {
     entries.insert(entries.begin() + at,
                    {out_id, inputs.front()->doc_base(), doc_count, stats.terms,
                     stats.output_bytes});
-    manifest_write(dir, manifest);
+    auto committed = manifest_write(dir, next);
+    if (!committed.has_value()) return fail(committed.error());
+    manifest = std::move(next);
     // Old segments die when the last snapshot holding them drops.
     for (const auto& seg : inputs) seg->mark_obsolete();
-    publish_locked();
+    auto published = publish_locked();
+    if (!published.has_value()) {
+      compaction_failures.add();
+      return Error{published.error().code,
+                   "merge committed but snapshot refresh failed: " +
+                       published.error().message};
+    }
   }
 
   compactions.add();

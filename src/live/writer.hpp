@@ -65,19 +65,24 @@ class IndexWriter {
 
   /// Parses and indexes one document into the in-memory buffer, assigning
   /// the next global doc id. May trigger an auto-flush (see
-  /// flush_threshold_bytes). Returns the assigned doc id.
+  /// flush_threshold_bytes); an auto-flush I/O failure keeps the buffer
+  /// intact (counted in live_flush_failures_total, retried at the next
+  /// threshold crossing). Returns the assigned doc id.
   std::uint32_t add_document(const std::string& url, const std::string& body);
 
   /// Freezes the buffer into segment files, commits the manifest, and
   /// publishes the new snapshot. No-op returning 0 when the buffer is
   /// empty; otherwise returns the new segment's id. Kicks the background
-  /// compactor.
-  std::uint64_t flush();
+  /// compactor. kIo on write/fsync failure: the buffer and the committed
+  /// snapshot are untouched, partial segment files are removed, and the
+  /// writer stays usable — call flush() again once the fault clears.
+  Expected<std::uint64_t> flush();
 
   /// Runs the merge policy to completion on the calling thread (flushes
   /// nothing). Safe alongside background compaction — merges are
-  /// serialized internally.
-  void compact_now();
+  /// serialized internally. kIo when a merge could not be written durably
+  /// (the committed set is untouched; counted in compaction_failures_total).
+  Status compact_now();
 
   /// The current committed view. Lock-free; holding the returned pointer
   /// keeps every segment in it (and its files) alive.
@@ -96,7 +101,10 @@ class IndexWriter {
   /// Writer metrics: live_flushes_total, live_documents_total,
   /// live_flushed_bytes_total, live_flush_seconds_total, compactions_total,
   /// compaction_bytes_written_total, compaction_seconds_total,
-  /// live_segments_active, snapshot_refcount.
+  /// live_segments_active, snapshot_refcount, plus the durability set —
+  /// live_flush_failures_total, compaction_failures_total,
+  /// recovery_dropped_files_total (io_retries_total and
+  /// fsync_failures_total live in io::io_metrics()).
   [[nodiscard]] const obs::MetricsRegistry& metrics() const;
 
  private:

@@ -378,7 +378,9 @@ PipelineReport PipelineEngine::build(const std::vector<std::string>& files) {
 
   if (config_.emit_segment) {
     obs::StageSpan span(&ins.segment_seconds);
-    const auto stats = build_segment_from_runs(config_.output_dir, entries, directory);
+    // The batch pipeline keeps the legacy abort-on-io-error contract.
+    const auto stats =
+        build_segment_from_runs(config_.output_dir, entries, directory).value();
     report.segment_seconds = span.stop();
     report.segment_bytes = stats.output_bytes;
   }

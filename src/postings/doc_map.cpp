@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "codec/lz.hpp"
+#include "io/env.hpp"
 #include "util/binary_io.hpp"
 #include "util/check.hpp"
 
@@ -43,6 +44,14 @@ std::uint32_t DocMapBuilder::doc_count() const {
 }
 
 void DocMapBuilder::write(const std::string& path) const {
+  auto written = try_write(path);
+  if (!written.has_value()) {
+    check_failed("DocMapBuilder::write", __FILE__, __LINE__,
+                 written.error().message.c_str());
+  }
+}
+
+Status DocMapBuilder::try_write(const std::string& path) const {
   auto spans = spans_;
   std::sort(spans.begin(), spans.end(),
             [](const FileSpan& a, const FileSpan& b) { return a.doc_id_base < b.doc_id_base; });
@@ -75,7 +84,7 @@ void DocMapBuilder::write(const std::string& path) const {
     header.u32(base_);
   }
   out.insert(out.end(), compressed.begin(), compressed.end());
-  write_file(path, out);
+  return io::durable_write_file(path, out);
 }
 
 DocMap DocMap::open(const std::string& path) {

@@ -16,6 +16,8 @@
 #include <string>
 #include <vector>
 
+#include "util/error.hpp"
+
 namespace hetindex {
 
 class DocMap;
@@ -57,8 +59,12 @@ class DocMapBuilder {
 
   /// Writes the map to `path` (format: header + LZ frame of records).
   /// Base-0 maps keep the original v1 header; a nonzero base writes the v2
-  /// header that carries it.
+  /// header that carries it. Hard-fails on I/O errors (batch path).
   void write(const std::string& path) const;
+
+  /// Durable, non-aborting variant for the live commit path: write + fsync
+  /// via io::durable_write_file; kIo with no partial file on failure.
+  [[nodiscard]] Status try_write(const std::string& path) const;
 
  private:
   struct FileSpan {

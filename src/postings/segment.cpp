@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "codec/front_coding.hpp"
+#include "io/env.hpp"
 #include "postings/query.hpp"
 #include "util/binary_io.hpp"
 #include "util/check.hpp"
@@ -30,8 +31,8 @@ std::string max_tf_sidecar_path(const std::string& segment_path) {
   return segment_path + ".maxtf";
 }
 
-void write_max_tf_sidecar(const std::string& segment_path,
-                          const std::vector<std::uint32_t>& max_tfs) {
+Status write_max_tf_sidecar(const std::string& segment_path,
+                            const std::vector<std::uint32_t>& max_tfs) {
   std::vector<std::uint8_t> out;
   out.reserve(20 + 4 * max_tfs.size());
   ByteWriter w(out);
@@ -40,7 +41,7 @@ void write_max_tf_sidecar(const std::string& segment_path,
   w.u64(max_tfs.size());
   for (const std::uint32_t tf : max_tfs) w.u32(tf);
   w.u32(crc32(out.data(), out.size()));
-  write_file(max_tf_sidecar_path(segment_path), out);
+  return io::durable_write_file(max_tf_sidecar_path(segment_path), out);
 }
 
 Expected<std::vector<std::uint32_t>> read_max_tf_sidecar(const std::string& segment_path,
@@ -130,7 +131,7 @@ void SegmentWriter::add_term(std::string_view term, const std::uint8_t* blob,
   ++term_count_;
 }
 
-std::uint64_t SegmentWriter::finalize() {
+Expected<std::uint64_t> SegmentWriter::finalize() {
   HET_CHECK(!finalized_);
   finalized_ = true;
 
@@ -165,7 +166,10 @@ std::uint64_t SegmentWriter::finalize() {
   w.u64(total);
   w.u32(crc);
   w.u32(kSegmentFooterMagic);
-  write_file(path_, out);
+  // Durable before anything references it: a manifest must never commit a
+  // segment whose bytes could still be lost to a crash.
+  auto written = io::durable_write_file(path_, out);
+  if (!written.has_value()) return written.error();
   return total;
 }
 
@@ -185,7 +189,9 @@ Expected<SegmentReader> SegmentReader::try_open(const std::string& path) {
     return Error{ErrorCode::kNotFound, "cannot open segment file: " + path};
   }
   SegmentReader r;
-  r.file_ = MmapFile::open(path);
+  auto file = MmapFile::try_open(path);
+  if (!file.has_value()) return file.error();
+  r.file_ = std::move(file).value();
   const std::uint8_t* data = r.file_.data();
   const std::size_t n = r.file_.size();
   if (n < kHeaderBytes + kFooterBytes) return corrupt("segment file too small (truncated?)");
@@ -390,8 +396,8 @@ void SegmentReader::TermCursor::next() {
   }
 }
 
-SegmentMergeStats merge_segments(const std::vector<const SegmentReader*>& inputs,
-                                 const std::string& out_path) {
+Expected<SegmentMergeStats> merge_segments(
+    const std::vector<const SegmentReader*>& inputs, const std::string& out_path) {
   HET_CHECK_MSG(!inputs.empty(), "segment merge requires at least one input");
   const PostingCodec codec = inputs.front()->codec();
   for (const auto* in : inputs) {
@@ -462,14 +468,25 @@ SegmentMergeStats merge_segments(const std::vector<const SegmentReader*>& inputs
     ++stats.terms;
     stats.postings += count;
   }
-  stats.output_bytes = writer.finalize();
-  if (all_have_max_tfs) write_max_tf_sidecar(out_path, out_max_tfs);
+  auto output_bytes = writer.finalize();
+  if (!output_bytes.has_value()) {
+    (void)io::env().remove_file(out_path);
+    return output_bytes.error();
+  }
+  stats.output_bytes = output_bytes.value();
+  if (all_have_max_tfs) {
+    auto side = write_max_tf_sidecar(out_path, out_max_tfs);
+    if (!side.has_value()) {
+      (void)io::env().remove_file(out_path);
+      return side.error();
+    }
+  }
   return stats;
 }
 
-SegmentBuildStats build_segment_from_runs(const std::string& dir,
-                                          const std::vector<DictionaryEntry>& entries,
-                                          const std::vector<IndexDirectoryEntry>& directory) {
+Expected<SegmentBuildStats> build_segment_from_runs(
+    const std::string& dir, const std::vector<DictionaryEntry>& entries,
+    const std::vector<IndexDirectoryEntry>& directory) {
   SegmentBuildStats stats;
   std::vector<RunFile> runs;
   runs.reserve(directory.size());
@@ -514,17 +531,26 @@ SegmentBuildStats build_segment_from_runs(const std::string& dir,
     ++stats.terms;
     stats.postings += count;
   }
-  stats.output_bytes = writer.finalize();
+  const std::string seg_path = IndexLayout::segment_path(dir);
+  auto output_bytes = writer.finalize();
+  if (!output_bytes.has_value()) {
+    (void)io::env().remove_file(seg_path);
+    return output_bytes.error();
+  }
+  stats.output_bytes = output_bytes.value();
 
   // One decode pass over the fresh segment derives the score-bound sidecar.
   // This is the only place max_tf is ever computed from postings — merges
   // and live flushes propagate or compute it without touching blobs.
-  const std::string seg_path = IndexLayout::segment_path(dir);
-  write_max_tf_sidecar(seg_path, compute_max_tfs(SegmentReader::open(seg_path)));
+  auto side = write_max_tf_sidecar(seg_path, compute_max_tfs(SegmentReader::open(seg_path)));
+  if (!side.has_value()) {
+    (void)io::env().remove_file(seg_path);
+    return side.error();
+  }
   return stats;
 }
 
-SegmentBuildStats compact_index(const std::string& dir) {
+Expected<SegmentBuildStats> compact_index(const std::string& dir) {
   const auto entries = dictionary_read(IndexLayout::dictionary_path(dir));
   const auto directory = index_directory_read(IndexLayout::directory_path(dir));
   return build_segment_from_runs(dir, entries, directory);

@@ -57,8 +57,10 @@ class SegmentWriter {
   void add_term(std::string_view term, const std::uint8_t* blob, std::size_t blob_bytes,
                 std::uint32_t count, std::uint32_t min_doc, std::uint32_t max_doc);
 
-  /// Writes header + sections + CRC footer. Returns total bytes written.
-  std::uint64_t finalize();
+  /// Writes header + sections + CRC footer durably (write + fsync via the
+  /// io::Env seam, bounded retry on transient faults). Returns total bytes
+  /// written, or kIo with no partial file left behind.
+  Expected<std::uint64_t> finalize();
 
   [[nodiscard]] std::uint64_t term_count() const { return term_count_; }
 
@@ -217,9 +219,11 @@ class SegmentReader {
 /// `<segment_path>.maxtf`.
 std::string max_tf_sidecar_path(const std::string& segment_path);
 
-/// Writes the sidecar for a segment with `max_tfs.size()` terms.
-void write_max_tf_sidecar(const std::string& segment_path,
-                          const std::vector<std::uint32_t>& max_tfs);
+/// Writes the sidecar for a segment with `max_tfs.size()` terms, durably.
+/// kIo on failure (no partial sidecar remains — a missing sidecar only
+/// loosens score bounds, a torn one would be rejected by CRC anyway).
+Status write_max_tf_sidecar(const std::string& segment_path,
+                            const std::vector<std::uint32_t>& max_tfs);
 
 /// Reads a sidecar back; kNotFound when absent, kCorrupt on CRC/structure
 /// mismatch or when the term count disagrees with `expected_terms`.
@@ -244,14 +248,15 @@ struct SegmentBuildStats {
 /// PipelineEngine (entries still in memory at finalize) and compact_index
 /// (entries re-read from disk). Blobs concatenate byte-wise via the
 /// §III.F merge property; nothing is re-encoded.
-SegmentBuildStats build_segment_from_runs(const std::string& dir,
-                                          const std::vector<DictionaryEntry>& entries,
-                                          const std::vector<IndexDirectoryEntry>& directory);
+Expected<SegmentBuildStats> build_segment_from_runs(
+    const std::string& dir, const std::vector<DictionaryEntry>& entries,
+    const std::vector<IndexDirectoryEntry>& directory);
 
 /// Reads dictionary + run directory under `dir` and compacts the run files
 /// into `<dir>/index.seg`. Run files are left in place: they stay the
-/// build-time interchange format (and the merger's input).
-SegmentBuildStats compact_index(const std::string& dir);
+/// build-time interchange format (and the merger's input). kIo when the
+/// segment or sidecar cannot be written durably.
+Expected<SegmentBuildStats> compact_index(const std::string& dir);
 
 /// What a segment-to-segment merge folded together.
 struct SegmentMergeStats {
@@ -268,8 +273,9 @@ struct SegmentMergeStats {
 /// first doc id is absolute). Inputs must share one codec and be given in
 /// ascending, pairwise-disjoint doc-id order; per-term order is verified
 /// from the table metadata. This is the compaction primitive of the live
-/// indexing layer (docs/LIVE_INDEXING.md).
-SegmentMergeStats merge_segments(const std::vector<const SegmentReader*>& inputs,
-                                 const std::string& out_path);
+/// indexing layer (docs/LIVE_INDEXING.md). kIo when the output cannot be
+/// written durably; the partial output (and its sidecar) is removed.
+Expected<SegmentMergeStats> merge_segments(
+    const std::vector<const SegmentReader*>& inputs, const std::string& out_path);
 
 }  // namespace hetindex

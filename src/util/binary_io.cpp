@@ -1,39 +1,29 @@
 #include "util/binary_io.hpp"
 
-#include <cstdio>
-#include <filesystem>
+#include "io/env.hpp"
 
 namespace hetindex {
 
+// The legacy helpers keep their abort-on-error contract but route through
+// the io::Env seam, so fault injection and write tracing see every file the
+// library touches (docs/DURABILITY.md). Paths that need structured errors
+// call io::env() / io::durable_write_file directly.
+
 std::vector<std::uint8_t> read_file(const std::string& path) {
-  std::FILE* f = std::fopen(path.c_str(), "rb");
-  HET_CHECK_MSG(f != nullptr, "cannot open file for reading");
-  std::fseek(f, 0, SEEK_END);
-  const long size = std::ftell(f);
-  HET_CHECK(size >= 0);
-  std::fseek(f, 0, SEEK_SET);
-  std::vector<std::uint8_t> data(static_cast<std::size_t>(size));
-  if (size > 0) {
-    const std::size_t got = std::fread(data.data(), 1, data.size(), f);
-    HET_CHECK_MSG(got == data.size(), "short read");
+  auto data = io::env().read_file(path);
+  if (!data.has_value()) {
+    check_failed("read_file", __FILE__, __LINE__, data.error().message.c_str());
   }
-  std::fclose(f);
-  return data;
+  return std::move(data).value();
 }
 
 void write_file(const std::string& path, const std::vector<std::uint8_t>& data) {
-  std::FILE* f = std::fopen(path.c_str(), "wb");
-  HET_CHECK_MSG(f != nullptr, "cannot open file for writing");
-  if (!data.empty()) {
-    const std::size_t put = std::fwrite(data.data(), 1, data.size(), f);
-    HET_CHECK_MSG(put == data.size(), "short write");
+  auto written = io::env().write_file(path, data.data(), data.size());
+  if (!written.has_value()) {
+    check_failed("write_file", __FILE__, __LINE__, written.error().message.c_str());
   }
-  HET_CHECK(std::fclose(f) == 0);
 }
 
-bool file_exists(const std::string& path) {
-  std::error_code ec;
-  return std::filesystem::is_regular_file(path, ec);
-}
+bool file_exists(const std::string& path) { return io::env().file_exists(path); }
 
 }  // namespace hetindex

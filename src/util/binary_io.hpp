@@ -99,10 +99,12 @@ class ByteReader {
   std::size_t pos_ = 0;
 };
 
-/// Reads an entire file into memory; hard-fails on I/O errors.
+/// Reads an entire file into memory; hard-fails on I/O errors. Routed
+/// through the io::Env seam (io/env.hpp) so fault injection sees it.
 std::vector<std::uint8_t> read_file(const std::string& path);
-/// Writes a buffer to a file atomically enough for our purposes (truncate +
-/// write); hard-fails on I/O errors.
+/// Writes a buffer to a file (truncate + write, no fsync); hard-fails on
+/// I/O errors. Routed through io::Env — durability-critical paths use
+/// io::durable_write_file instead.
 void write_file(const std::string& path, const std::vector<std::uint8_t>& data);
 /// True when the path names an existing regular file.
 bool file_exists(const std::string& path);

@@ -45,9 +45,12 @@ constexpr const char* error_code_name(ErrorCode code) {
 }
 
 /// One structured failure: a code for dispatch, a message for humans.
+/// `transient` marks faults worth a bounded retry (EINTR-class injected or
+/// real interruptions); persistent conditions (ENOSPC, EIO) leave it false.
 struct Error {
   ErrorCode code = ErrorCode::kInvalidArgument;
   std::string message;
+  bool transient = false;
 
   [[nodiscard]] std::string to_string() const {
     return std::string(error_code_name(code)) + ": " + message;
@@ -102,5 +105,11 @@ class Expected {
 
   std::variant<T, Error> state_;
 };
+
+/// Value type of fallible operations that return nothing on success.
+using Unit = std::monostate;
+/// `Status f();` — either success (Unit) or a structured Error. Construct
+/// success as `return Unit{};`.
+using Status = Expected<Unit>;
 
 }  // namespace hetindex

@@ -177,12 +177,12 @@ TEST(LiveEquivalence, PositionalPostingsSurviveFlushAndMerge) {
 TEST(LiveWriter, EmptyFlushIsNoOp) {
   TempDir dir("noop");
   auto w = IndexWriter::open(dir.path(), {}).value();
-  EXPECT_EQ(w.flush(), 0u);
+  EXPECT_EQ(w.flush().value(), 0u);
   EXPECT_EQ(w.snapshot()->segment_count(), 0u);
   EXPECT_EQ(w.add_document("u://0", "alpha beta gamma"), 0u);
   EXPECT_EQ(w.buffered_docs(), 1u);
-  EXPECT_GT(w.flush(), 0u);
-  EXPECT_EQ(w.flush(), 0u);  // buffer drained by the first flush
+  EXPECT_GT(w.flush().value(), 0u);
+  EXPECT_EQ(w.flush().value(), 0u);  // buffer drained by the first flush
   EXPECT_EQ(w.committed_docs(), 1u);
   EXPECT_EQ(w.buffered_docs(), 0u);
 }

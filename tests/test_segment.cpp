@@ -59,7 +59,7 @@ TEST(SegmentWriterReader, RoundTripAcrossBlockBoundaries) {
     writer.add_term(terms[i], blob.data(), blob.size(), 2, ids.front(), ids.back());
   }
   EXPECT_EQ(writer.term_count(), terms.size());
-  const auto total = writer.finalize();
+  const auto total = writer.finalize().value();
   EXPECT_EQ(total, std::filesystem::file_size(path));
 
   const auto reader = SegmentReader::open(path);
@@ -159,7 +159,7 @@ class SegmentEquivalenceFixture : public ::testing::Test {
     builder.parsers(1).cpu_indexers(1).gpus(1);
     builder.config().parser.record_positions = true;
     builder.build(files, index_dir_);
-    stats_ = compact_index(index_dir_);
+    stats_ = compact_index(index_dir_).value();
   }
   static void TearDownTestSuite() {
     delete dir_;
