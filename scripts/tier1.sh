@@ -12,18 +12,23 @@
 #     replay + injected ENOSPC/EINTR/fsync faults, docs/DURABILITY.md)
 #     under ASan+UBSan, once with the fixed seed and once with a
 #     randomized HETINDEX_CRASH_SEED (printed, so failures replay)
+#   - a bench leg: bench_block_pruning (plain tree; the sanitizer trees
+#     build with HETINDEX_BUILD_BENCH=OFF) emits BENCH_search.json —
+#     pruned-vs-exhaustive latency and blocks skipped (docs/SERVING.md)
 #
-#   scripts/tier1.sh [--no-tsan] [--no-asan] [--no-faults]
+#   scripts/tier1.sh [--no-tsan] [--no-asan] [--no-faults] [--no-bench]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 run_tsan=1
 run_asan=1
 run_faults=1
+run_bench=1
 for arg in "$@"; do
   [[ "$arg" == "--no-tsan" ]] && run_tsan=0
   [[ "$arg" == "--no-asan" ]] && run_asan=0
   [[ "$arg" == "--no-faults" ]] && run_faults=0
+  [[ "$arg" == "--no-bench" ]] && run_bench=0
 done
 
 cmake -B build -S .
@@ -34,16 +39,16 @@ if [[ "$run_tsan" == 1 ]]; then
   cmake -B build-tsan -S . -DHETINDEX_SANITIZE=thread \
         -DHETINDEX_BUILD_BENCH=OFF -DHETINDEX_BUILD_EXAMPLES=OFF \
         -DCMAKE_BUILD_TYPE=RelWithDebInfo
-  cmake --build build-tsan -j "$(nproc)" --target test_pipeline test_obs test_segment test_live test_search_service
-  ctest --test-dir build-tsan --output-on-failure -R '^(test_pipeline|test_obs|test_segment|test_live|test_search_service)$'
+  cmake --build build-tsan -j "$(nproc)" --target test_pipeline test_obs test_segment test_live test_search_service test_block_max
+  ctest --test-dir build-tsan --output-on-failure -R '^(test_pipeline|test_obs|test_segment|test_live|test_search_service|test_block_max)$'
 fi
 
 if [[ "$run_asan" == 1 ]]; then
   cmake -B build-asan -S . -DHETINDEX_SANITIZE=address \
         -DHETINDEX_BUILD_BENCH=OFF -DHETINDEX_BUILD_EXAMPLES=OFF \
         -DCMAKE_BUILD_TYPE=RelWithDebInfo
-  cmake --build build-asan -j "$(nproc)" --target test_segment test_postings test_codec test_query_ops test_live test_search_service
-  ctest --test-dir build-asan --output-on-failure -R '^(test_segment|test_postings|test_codec|test_query_ops|test_live|test_search_service)$'
+  cmake --build build-asan -j "$(nproc)" --target test_segment test_postings test_codec test_query_ops test_live test_search_service test_block_max
+  ctest --test-dir build-asan --output-on-failure -R '^(test_segment|test_postings|test_codec|test_query_ops|test_live|test_search_service|test_block_max)$'
 fi
 
 if [[ "$run_faults" == 1 ]]; then
@@ -60,5 +65,13 @@ if [[ "$run_faults" == 1 ]]; then
   random_seed=$(( (RANDOM << 15) | RANDOM ))
   echo "fault leg: randomized HETINDEX_CRASH_SEED=$random_seed"
   HETINDEX_CRASH_SEED=$random_seed ctest --test-dir build-asan --output-on-failure -R '^test_crash_consistency$'
+fi
+
+if [[ "$run_bench" == 1 ]]; then
+  # Block-max pruning smoke bench: fails (exit 1) if the pruned executor
+  # skipped zero blocks, and leaves BENCH_search.json in the repo root for
+  # trend tooling. Uses the plain tree built above.
+  HETINDEX_BENCH_JSON="$PWD/BENCH_search.json" ./build/bench/bench_block_pruning
+  echo "bench leg: wrote BENCH_search.json"
 fi
 echo "tier1: OK"

@@ -1,5 +1,6 @@
 #include "codec/posting_codecs.hpp"
 
+#include <algorithm>
 #include <bit>
 #include <cmath>
 
@@ -71,7 +72,46 @@ std::uint64_t golomb_get(BitReader& br, std::uint64_t b) {
   return q * b + r + 1;
 }
 
+unsigned bit_width_u64(std::uint64_t v) {
+  HET_DCHECK(v >= 1);
+  return 64 - static_cast<unsigned>(std::countl_zero(v));
+}
+
+std::size_t vbyte_length(std::uint64_t v) {
+  std::size_t n = 1;
+  while (v >= 0x80) {
+    v >>= 7;
+    ++n;
+  }
+  return n;
+}
+
+/// Doc-gap symbols exactly as the encoder emits them: first doc id +1, then
+/// deltas (all ≥ 1).
+std::uint64_t gap_symbol(const std::vector<std::uint32_t>& doc_ids, std::size_t i) {
+  return i == 0 ? std::uint64_t{doc_ids[0]} + 1
+                : std::uint64_t{doc_ids[i]} - doc_ids[i - 1];
+}
+
 }  // namespace
+
+PostingCodec choose_block_codec(PostingCodec requested,
+                                const std::vector<std::uint32_t>& doc_ids,
+                                const std::vector<std::uint32_t>& tfs,
+                                bool positional) {
+  if (requested != PostingCodec::kVByte || positional || doc_ids.empty()) return requested;
+  std::uint64_t max_gap = 0, max_tf = 0;
+  std::size_t vbyte_payload = 0;
+  for (std::size_t i = 0; i < doc_ids.size(); ++i) {
+    const std::uint64_t gap = gap_symbol(doc_ids, i);
+    max_gap = std::max(max_gap, gap);
+    max_tf = std::max<std::uint64_t>(max_tf, tfs[i]);
+    vbyte_payload += vbyte_length(gap) + vbyte_length(tfs[i]);
+  }
+  const unsigned per_posting_bits = bit_width_u64(max_gap) + bit_width_u64(max_tf);
+  const std::size_t packed_payload = 2 + (doc_ids.size() * per_posting_bits + 7) / 8;
+  return packed_payload < vbyte_payload ? PostingCodec::kBitPacked : PostingCodec::kVByte;
+}
 
 std::vector<std::uint8_t> encode_postings(PostingCodec codec,
                                           const std::vector<std::uint32_t>& doc_ids,
@@ -79,6 +119,8 @@ std::vector<std::uint8_t> encode_postings(PostingCodec codec,
                                           const std::vector<std::uint32_t>* positions) {
   HET_CHECK(doc_ids.size() == tfs.size());
   const bool positional = positions != nullptr && !positions->empty();
+  HET_CHECK_MSG(!(positional && codec == PostingCodec::kBitPacked),
+                "bit-packed codec does not support positions");
   std::vector<std::uint8_t> out;
   out.reserve(doc_ids.size() * 2 + 16);
   // Common header: count, codec byte (high bit = positional), and for
@@ -144,32 +186,93 @@ std::vector<std::uint8_t> encode_postings(PostingCodec codec,
       bw.flush();
       break;
     }
+    case PostingCodec::kBitPacked: {
+      // Non-positional: symbols alternate gap, tf. Two fixed-width streams
+      // (all gaps, then all tfs) behind a 2-byte width prologue.
+      std::uint64_t max_gap = 1, max_tf = 1;
+      for (std::size_t i = 0; i < doc_ids.size(); ++i) {
+        max_gap = std::max(max_gap, symbols[2 * i]);
+        max_tf = std::max(max_tf, symbols[2 * i + 1]);
+      }
+      const unsigned doc_bits = bit_width_u64(max_gap);
+      const unsigned tf_bits = bit_width_u64(max_tf);
+      out.push_back(static_cast<std::uint8_t>(doc_bits));
+      out.push_back(static_cast<std::uint8_t>(tf_bits));
+      BitWriter bw(out);
+      for (std::size_t i = 0; i < doc_ids.size(); ++i) bw.write(symbols[2 * i], doc_bits);
+      for (std::size_t i = 0; i < doc_ids.size(); ++i) bw.write(symbols[2 * i + 1], tf_bits);
+      bw.flush();
+      break;
+    }
   }
   return out;
 }
 
-std::size_t decode_postings(PostingCodec codec, const std::vector<std::uint8_t>& data,
-                            std::vector<std::uint32_t>& doc_ids,
-                            std::vector<std::uint32_t>& tfs,
-                            std::vector<std::uint32_t>* positions, std::size_t start) {
-  return decode_postings(codec, data.data(), data.size(), doc_ids, tfs, positions, start);
+std::vector<std::uint8_t> encode_postings_blocked(
+    PostingCodec codec, const std::vector<std::uint32_t>& doc_ids,
+    const std::vector<std::uint32_t>& tfs, const std::vector<std::uint32_t>* positions,
+    std::vector<PostingBlockEntry>* blocks, std::uint32_t block_size) {
+  HET_CHECK(doc_ids.size() == tfs.size());
+  HET_CHECK_MSG(block_size >= 1, "block size must be positive");
+  // An empty list still needs a decodable header so readers agree on the
+  // consumed bytes; it contributes no block entries.
+  if (doc_ids.empty()) return encode_postings(codec, doc_ids, tfs, positions);
+
+  const bool positional = positions != nullptr && !positions->empty();
+  std::vector<std::uint8_t> out;
+  out.reserve(doc_ids.size() * 2 + 16);
+  std::size_t pos_cursor = 0;
+  for (std::size_t b = 0; b < doc_ids.size(); b += block_size) {
+    const std::size_t e = std::min(doc_ids.size(), b + std::size_t{block_size});
+    const std::vector<std::uint32_t> ids_chunk(doc_ids.begin() + static_cast<std::ptrdiff_t>(b),
+                                               doc_ids.begin() + static_cast<std::ptrdiff_t>(e));
+    const std::vector<std::uint32_t> tfs_chunk(tfs.begin() + static_cast<std::ptrdiff_t>(b),
+                                               tfs.begin() + static_cast<std::ptrdiff_t>(e));
+    std::vector<std::uint32_t> pos_chunk;
+    if (positional) {
+      std::size_t tf_sum = 0;
+      for (const auto tf : tfs_chunk) tf_sum += tf;
+      HET_CHECK_MSG(pos_cursor + tf_sum <= positions->size(),
+                    "positions shorter than sum of term frequencies");
+      pos_chunk.assign(positions->begin() + static_cast<std::ptrdiff_t>(pos_cursor),
+                       positions->begin() + static_cast<std::ptrdiff_t>(pos_cursor + tf_sum));
+      pos_cursor += tf_sum;
+    }
+    const PostingCodec chosen = choose_block_codec(codec, ids_chunk, tfs_chunk, positional);
+    const auto enc =
+        encode_postings(chosen, ids_chunk, tfs_chunk, positional ? &pos_chunk : nullptr);
+    if (blocks != nullptr) {
+      PostingBlockEntry entry;
+      entry.offset = out.size();
+      entry.bytes = static_cast<std::uint32_t>(enc.size());
+      entry.last_doc = ids_chunk.back();
+      entry.count = static_cast<std::uint32_t>(ids_chunk.size());
+      entry.max_tf = *std::max_element(tfs_chunk.begin(), tfs_chunk.end());
+      blocks->push_back(entry);
+    }
+    out.insert(out.end(), enc.begin(), enc.end());
+  }
+  if (positional) {
+    HET_CHECK_MSG(pos_cursor == positions->size(),
+                  "positions longer than sum of term frequencies");
+  }
+  return out;
 }
 
-std::size_t decode_postings(PostingCodec codec, const std::uint8_t* data, std::size_t size,
+std::size_t decode_postings(const std::uint8_t* data, std::size_t size,
                             std::vector<std::uint32_t>& doc_ids,
                             std::vector<std::uint32_t>& tfs,
                             std::vector<std::uint32_t>* positions, std::size_t start) {
   std::size_t pos = start;
   const std::uint64_t count = vbyte_decode(data, size, pos);
-  HET_CHECK_MSG(pos < size || count == 0, "truncated postings header");
-  if (count == 0) {
-    ++pos;  // codec byte
-    return pos - start;
-  }
+  HET_CHECK_MSG(pos < size, "truncated postings header");
   const std::uint8_t codec_byte = data[pos++];
   const bool positional = (codec_byte & 0x80) != 0;
-  const auto stored = static_cast<PostingCodec>(codec_byte & 0x7F);
-  HET_CHECK_MSG(stored == codec, "postings codec mismatch");
+  const std::uint8_t codec_id = codec_byte & 0x7F;
+  HET_CHECK_MSG(codec_id <= static_cast<std::uint8_t>(PostingCodec::kBitPacked),
+                "unknown postings codec");
+  const auto codec = static_cast<PostingCodec>(codec_id);
+  if (count == 0) return pos - start;
 
   auto emit = [&](std::uint64_t gap, std::uint64_t tf, bool first, std::uint32_t& prev) {
     const std::uint64_t id = first ? gap - 1 : prev + gap;
@@ -226,6 +329,21 @@ std::size_t decode_postings(PostingCodec codec, const std::uint8_t* data, std::s
             emit_pos(golomb_get(br, b), k == 0, prev_pos);
         }
       }
+      pos += (br.bits_consumed() + 7) / 8;
+      break;
+    }
+    case PostingCodec::kBitPacked: {
+      HET_CHECK_MSG(!positional, "bit-packed codec does not support positions");
+      HET_CHECK_MSG(pos + 2 <= size, "truncated bit-packed prologue");
+      const unsigned doc_bits = data[pos++];
+      const unsigned tf_bits = data[pos++];
+      HET_CHECK_MSG(doc_bits >= 1 && doc_bits <= 64 && tf_bits >= 1 && tf_bits <= 64,
+                    "bit-packed width out of range");
+      BitReader br(data + pos, size - pos);
+      std::vector<std::uint64_t> gaps;
+      gaps.reserve(count);
+      for (std::uint64_t i = 0; i < count; ++i) gaps.push_back(br.read(doc_bits));
+      for (std::uint64_t i = 0; i < count; ++i) emit(gaps[i], br.read(tf_bits), i == 0, prev);
       pos += (br.bits_consumed() + 7) / 8;
       break;
     }

@@ -5,7 +5,13 @@
 /// (first value absolute, then deltas ≥ 1) — the standard scheme the paper
 /// references in §II. The pipeline default is variable-byte (§III.E:
 /// "compress them with variable bytes encoding"); γ and Golomb are provided
-/// for the codec comparison bench.
+/// for the codec comparison bench, and bit-packing for dense blocks where
+/// fixed-width gaps beat vbyte's one-byte floor.
+///
+/// Every encoded list is self-describing: the stream carries its own codec
+/// byte, so decoders never need out-of-band codec knowledge. That is what
+/// lets the block writer pick a codec per block by density while the §III.F
+/// byte-concatenation merge stays codec-oblivious.
 
 #include <cstdint>
 #include <vector>
@@ -17,12 +23,31 @@ void vbyte_encode(std::uint64_t value, std::vector<std::uint8_t>& out);
 /// Decodes one value starting at `pos`, advancing `pos`.
 std::uint64_t vbyte_decode(const std::uint8_t* data, std::size_t size, std::size_t& pos);
 
-/// Codec identifiers persisted in run-file headers.
-enum class PostingCodec : std::uint8_t { kVByte = 0, kGamma = 1, kGolomb = 2 };
+/// Codec identifiers persisted in run-file headers and in each encoded
+/// sub-list's codec byte. kBitPacked stores gaps and tfs as two fixed-width
+/// bit streams (widths in a 2-byte prologue) — the win on dense blocks.
+enum class PostingCodec : std::uint8_t { kVByte = 0, kGamma = 1, kGolomb = 2, kBitPacked = 3 };
+
+/// Postings are chunked into self-contained sub-lists of at most this many
+/// documents ("blocks"); each block re-anchors at an absolute doc id, so
+/// blocks concatenate byte-wise (§III.F) and decode independently.
+inline constexpr std::uint32_t kPostingsBlockSize = 128;
+
+/// Skip-table row describing one encoded block inside a term's blob:
+/// enough to seek (offset/bytes/last_doc) and to bound BM25 contributions
+/// (count/max_tf) without decoding the block.
+struct PostingBlockEntry {
+  std::uint64_t offset = 0;   ///< byte offset of the block within the term blob
+  std::uint32_t bytes = 0;    ///< encoded size of the block
+  std::uint32_t last_doc = 0; ///< largest doc id in the block
+  std::uint32_t count = 0;    ///< number of postings in the block
+  std::uint32_t max_tf = 0;   ///< largest term frequency in the block
+  friend bool operator==(const PostingBlockEntry&, const PostingBlockEntry&) = default;
+};
 
 /// Encodes a strictly-increasing docid sequence with per-doc term
 /// frequencies as gaps under the chosen codec. `tfs` must be the same length
-/// as `doc_ids`; each tf ≥ 1.
+/// as `doc_ids`; each tf ≥ 1. kBitPacked rejects positional payloads.
 ///
 /// Positional mode: when `positions` is non-null it must hold Σtfs in-doc
 /// token positions (posting i owns the next tfs[i] entries, non-decreasing
@@ -33,21 +58,35 @@ std::vector<std::uint8_t> encode_postings(PostingCodec codec,
                                           const std::vector<std::uint32_t>& tfs,
                                           const std::vector<std::uint32_t>* positions = nullptr);
 
-/// Inverse of encode_postings. Appends into the output vectors; positions
-/// are appended into `positions` (if non-null) when the stream is
-/// positional. Returns the number of bytes consumed, so several encoded
-/// lists concatenated back to back (the §III.F merge pass concatenates
-/// partial lists byte-wise — each segment's first doc id is absolute) can
-/// be decoded in sequence.
-std::size_t decode_postings(PostingCodec codec, const std::vector<std::uint8_t>& data,
-                            std::vector<std::uint32_t>& doc_ids,
-                            std::vector<std::uint32_t>& tfs,
-                            std::vector<std::uint32_t>* positions = nullptr,
-                            std::size_t start = 0);
+/// Chunks the list into blocks of ≤ `block_size` docs, encodes each block as
+/// an independent sub-list (absolute first doc id), and concatenates them.
+/// The codec is chosen per block by choose_block_codec, so dense blocks of a
+/// vbyte list come out bit-packed. When `blocks` is non-null it receives one
+/// PostingBlockEntry per block, in order. The result decodes with the same
+/// back-to-back loop as any §III.F-merged blob.
+std::vector<std::uint8_t> encode_postings_blocked(
+    PostingCodec codec, const std::vector<std::uint32_t>& doc_ids,
+    const std::vector<std::uint32_t>& tfs,
+    const std::vector<std::uint32_t>* positions = nullptr,
+    std::vector<PostingBlockEntry>* blocks = nullptr,
+    std::uint32_t block_size = kPostingsBlockSize);
 
-/// Same, over a raw byte range — lets memory-mapped readers decode in place
-/// without copying the blob into a vector first.
-std::size_t decode_postings(PostingCodec codec, const std::uint8_t* data, std::size_t size,
+/// Build-time density heuristic: returns the codec a block of this content
+/// should use. Upgrades kVByte to kBitPacked when the fixed-width payload is
+/// strictly smaller (dense lists: small gaps, uniform tfs); positional
+/// blocks and non-vbyte requests pass through unchanged.
+PostingCodec choose_block_codec(PostingCodec requested,
+                                const std::vector<std::uint32_t>& doc_ids,
+                                const std::vector<std::uint32_t>& tfs,
+                                bool positional);
+
+/// Inverse of encode_postings. The codec is read from the stream itself.
+/// Appends into the output vectors; positions are appended into `positions`
+/// (if non-null) when the stream is positional. Returns the number of bytes
+/// consumed, so several encoded lists concatenated back to back (the §III.F
+/// merge pass concatenates partial lists byte-wise — each sub-list's first
+/// doc id is absolute) can be decoded in sequence.
+std::size_t decode_postings(const std::uint8_t* data, std::size_t size,
                             std::vector<std::uint32_t>& doc_ids,
                             std::vector<std::uint32_t>& tfs,
                             std::vector<std::uint32_t>* positions = nullptr,

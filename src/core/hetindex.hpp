@@ -154,7 +154,7 @@ class IndexBuilder {
 /// Library version.
 struct Version {
   static constexpr int major = 1;
-  static constexpr int minor = 2;
+  static constexpr int minor = 3;
   static constexpr int patch = 0;
 };
 std::string version_string();

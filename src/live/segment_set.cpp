@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "io/env.hpp"
+#include "postings/cursor.hpp"
 #include "util/binary_io.hpp"
 #include "util/check.hpp"
 
@@ -33,10 +34,23 @@ Expected<std::shared_ptr<LiveSegment>> LiveSegment::open(const std::string& dir,
   auto seg = std::shared_ptr<LiveSegment>(
       new LiveSegment(segment_id, doc_base, doc_count, std::move(reader).value(),
                       std::move(map), std::move(seg_path), std::move(map_path)));
-  // Score-bound sidecar is optional: segments written before the format
-  // existed simply serve without tight bounds.
+  // Sidecars are optional — a segment written before either format existed
+  // serves without tight bounds / block skipping — but a sidecar that is
+  // present yet corrupt fails the open instead of silently degrading.
   auto bounds = read_max_tf_sidecar(seg->seg_path_, seg->reader_.term_count());
-  if (bounds.has_value()) seg->max_tfs_ = std::move(bounds).value();
+  if (bounds.has_value()) {
+    seg->max_tfs_ = std::move(bounds).value();
+  } else if (bounds.error().code != ErrorCode::kNotFound) {
+    return bounds.error();
+  }
+  auto blocks = read_block_index_sidecar(seg->seg_path_, seg->reader_.term_count());
+  if (blocks.has_value()) {
+    auto consistent = validate_block_index(seg->reader_, blocks.value());
+    if (!consistent.has_value()) return consistent.error();
+    seg->block_index_ = std::move(blocks).value();
+  } else if (blocks.error().code != ErrorCode::kNotFound) {
+    return blocks.error();
+  }
   return seg;
 }
 
@@ -48,6 +62,7 @@ LiveSegment::~LiveSegment() {
   // closed by the member destructors running after this body.
   (void)io::env().remove_file(seg_path_);
   (void)io::env().remove_file(max_tf_sidecar_path(seg_path_));
+  (void)io::env().remove_file(block_index_sidecar_path(seg_path_));
   (void)io::env().remove_file(map_path_);
 }
 
@@ -112,6 +127,32 @@ std::optional<QueryPostings> LiveSnapshot::lookup(std::string_view term) const {
   }
   if (!found) return std::nullopt;
   return out;
+}
+
+std::unique_ptr<PostingsCursor> LiveSnapshot::open_cursor(std::string_view term) const {
+  std::vector<std::unique_ptr<PostingsCursor>> parts;
+  for (const auto& seg : segments_) {
+    const auto ordinal = seg->reader().find(term);
+    if (!ordinal) continue;
+    const auto m = seg->reader().meta(*ordinal);
+    if (m.count == 0) continue;
+    const auto* skip = seg->block_index();
+    if (skip != nullptr) {
+      const auto blob = seg->reader().raw_blob(m);
+      const auto rows = skip->blocks(*ordinal);
+      // The pin keeps the mapping alive even if compaction obsoletes the
+      // segment while a cursor is outstanding.
+      parts.push_back(
+          make_segment_cursor(blob.first, blob.second, rows.first, rows.second, seg));
+    } else {
+      auto decoded = std::make_shared<QueryPostings>();
+      seg->reader().decode(m, decoded->doc_ids, decoded->tfs);
+      parts.push_back(make_decoded_cursor(std::move(decoded)));
+    }
+  }
+  if (parts.empty()) return nullptr;
+  if (parts.size() == 1) return std::move(parts.front());
+  return make_concat_cursor(std::move(parts));
 }
 
 std::optional<QueryPostings> LiveSnapshot::lookup_range(

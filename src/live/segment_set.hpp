@@ -27,6 +27,8 @@
 
 namespace hetindex {
 
+class PostingsCursor;  // postings/cursor.hpp
+
 /// One committed segment plus its doc map. Shared by every snapshot that
 /// includes it; destruction unlinks the files once compaction has marked
 /// it obsolete.
@@ -55,6 +57,11 @@ class LiveSegment {
   [[nodiscard]] const std::vector<std::uint32_t>* max_tfs() const {
     return max_tfs_.empty() ? nullptr : &max_tfs_;
   }
+  /// The segment's block skip table (.bmx sidecar, validated at open);
+  /// nullptr when the segment predates the sidecar format.
+  [[nodiscard]] const BlockIndex* block_index() const {
+    return block_index_ ? &*block_index_ : nullptr;
+  }
 
   /// Marks the backing files for deletion when the last reference drops
   /// (called by compaction after the replacement commit).
@@ -70,7 +77,8 @@ class LiveSegment {
   std::uint32_t doc_count_;
   SegmentReader reader_;
   std::optional<DocMap> doc_map_;
-  std::vector<std::uint32_t> max_tfs_;  // by term ordinal; empty = no sidecar
+  std::vector<std::uint32_t> max_tfs_;     // by term ordinal; empty = no sidecar
+  std::optional<BlockIndex> block_index_;  // skip tables; nullopt = no sidecar
   std::string seg_path_;
   std::string map_path_;
   std::atomic<bool> obsolete_{false};
@@ -113,6 +121,13 @@ class LiveSnapshot {
   /// segments hold disjoint ascending doc ranges, so per-segment results
   /// concatenate in doc_base order. nullopt when no segment knows the term.
   [[nodiscard]] std::optional<QueryPostings> lookup(std::string_view term) const;
+
+  /// Block-level cursor over `term` across every segment, globally doc-id
+  /// ordered (per-segment cursors chained in doc_base order); nullptr when
+  /// no segment knows the term. Segments with a skip table serve zero-copy
+  /// block cursors (each pinning its segment); the rest decode once behind
+  /// the same interface.
+  [[nodiscard]] std::unique_ptr<PostingsCursor> open_cursor(std::string_view term) const;
 
   /// Range-narrowed lookup: segments whose doc range misses
   /// [min_doc, max_doc] are skipped entirely (the §III.F narrowing applied

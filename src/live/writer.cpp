@@ -129,6 +129,7 @@ struct IndexWriter::State {
     const std::string seg = live_segment_path(dir, segment_id);
     (void)io::env().remove_file(seg);
     (void)io::env().remove_file(max_tf_sidecar_path(seg));
+    (void)io::env().remove_file(block_index_sidecar_path(seg));
     (void)io::env().remove_file(live_docmap_path(dir, segment_id));
   }
 };
@@ -251,14 +252,21 @@ Expected<std::uint64_t> IndexWriter::State::flush_locked() {
   // rebuilt after every flush, so it holds exactly this doc range's terms.
   SegmentWriter writer(live_segment_path(dir, segment_id), opts.codec);
   std::vector<std::uint32_t> max_tfs;
+  BlockIndex block_index;
+  std::vector<PostingBlockEntry> blocks;
   for (const auto& entry : dict->combine()) {
     const PostingsList& list = store->list(entry.handle);
     if (list.empty()) continue;
-    const auto blob = encode_postings(opts.codec, list.doc_ids, list.tfs,
-                                      list.positional() ? &list.positions : nullptr);
+    // Blocked encode: the skip rows drop out of the chunking, so flushed
+    // segments get the same Block-Max sidecar as batch-built ones.
+    blocks.clear();
+    const auto blob =
+        encode_postings_blocked(opts.codec, list.doc_ids, list.tfs,
+                                list.positional() ? &list.positions : nullptr, &blocks);
     writer.add_term(entry.term, blob.data(), blob.size(),
                     static_cast<std::uint32_t>(list.size()), list.doc_ids.front(),
                     list.doc_ids.back());
+    block_index.add_term(blocks);
     // Score-bound sidecar comes for free here: the lists are still decoded.
     max_tfs.push_back(*std::max_element(list.tfs.begin(), list.tfs.end()));
   }
@@ -279,6 +287,9 @@ Expected<std::uint64_t> IndexWriter::State::flush_locked() {
   if (!file_bytes.has_value()) return fail(file_bytes.error());
   auto sidecar = write_max_tf_sidecar(live_segment_path(dir, segment_id), max_tfs);
   if (!sidecar.has_value()) return fail(sidecar.error());
+  auto skip_table =
+      write_block_index_sidecar(live_segment_path(dir, segment_id), block_index);
+  if (!skip_table.has_value()) return fail(skip_table.error());
 
   DocMapBuilder maps(doc_base);
   maps.add_file(doc_base, static_cast<std::uint32_t>(segment_id), urls, doc_tokens);

@@ -85,28 +85,6 @@ QueryPostings postings_and_galloping(const QueryPostings& a, const QueryPostings
   return out;
 }
 
-std::optional<QueryPostings> conjunctive_query(const InvertedIndex& index,
-                                               const std::vector<std::string>& terms) {
-  if (terms.empty()) return std::nullopt;
-  std::vector<QueryPostings> lists;
-  lists.reserve(terms.size());
-  for (const auto& term : terms) {
-    auto postings = index.lookup(term);
-    if (!postings) return std::nullopt;
-    lists.push_back(std::move(*postings));
-  }
-  // Intersect rarest-first to keep intermediates small.
-  std::sort(lists.begin(), lists.end(), [](const QueryPostings& x, const QueryPostings& y) {
-    return x.doc_ids.size() < y.doc_ids.size();
-  });
-  QueryPostings acc = std::move(lists.front());
-  for (std::size_t i = 1; i < lists.size(); ++i) {
-    acc = postings_and_galloping(acc, lists[i]);
-    if (acc.doc_ids.empty()) break;
-  }
-  return acc;
-}
-
 namespace {
 
 /// Positions of a term inside one document: the slice of the flattened

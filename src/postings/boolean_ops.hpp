@@ -26,16 +26,6 @@ QueryPostings postings_and_not(const QueryPostings& a, const QueryPostings& b);
 /// the typical case).
 QueryPostings postings_and_galloping(const QueryPostings& a, const QueryPostings& b);
 
-/// Convenience: conjunctive multi-term query against an index. Terms must
-/// already be normalized. Returns nullopt when any term is absent.
-/// \deprecated Use Searcher with QueryMode::kConjunctive
-/// (search/searcher.hpp) — same intersection, plus caching, deadlines, and
-/// ranked truncation. The low-level postings_* merges above are not
-/// deprecated; they remain the building blocks.
-[[deprecated("use Searcher::search with QueryMode::kConjunctive")]]
-std::optional<QueryPostings> conjunctive_query(const InvertedIndex& index,
-                                               const std::vector<std::string>& terms);
-
 /// Phrase query over a positional index: documents where the normalized
 /// terms appear at consecutive token positions. Returns nullopt when any
 /// term is absent or the index carries no positions.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "postings/cursor.hpp"
 #include "util/binary_io.hpp"
 #include "util/check.hpp"
 #include "util/timer.hpp"
@@ -72,10 +73,26 @@ Expected<InvertedIndex> InvertedIndex::open(const std::string& dir,
     InvertedIndex idx;
     idx.segment_ = std::make_unique<SegmentReader>(std::move(segment).value());
     idx.ins_->bytes_mapped.set(static_cast<std::int64_t>(idx.segment_->mapped_bytes()));
-    // The score-bound sidecar is strictly optional: a missing or stale file
-    // only costs the executor its tight bounds, never the open.
+    // Sidecars are optional — absence (kNotFound) only costs the executor
+    // its tight bounds / block skipping — but one that is present yet
+    // truncated or corrupt must fail the open, never silently degrade.
     auto bounds = read_max_tf_sidecar(idx.segment_->path(), idx.segment_->term_count());
-    if (bounds.has_value()) idx.max_tfs_ = std::move(bounds).value();
+    if (bounds.has_value()) {
+      idx.max_tfs_ = std::move(bounds).value();
+    } else if (bounds.error().code != ErrorCode::kNotFound) {
+      return bounds.error();
+    }
+    auto blocks = read_block_index_sidecar(idx.segment_->path(), idx.segment_->term_count());
+    if (blocks.has_value()) {
+      // A structurally sound sidecar can still be stale (from an older
+      // segment under the same name); cross-check before letting it steer
+      // seeks over raw blobs.
+      auto consistent = validate_block_index(*idx.segment_, blocks.value());
+      if (!consistent.has_value()) return consistent.error();
+      idx.block_index_ = std::move(blocks).value();
+    } else if (blocks.error().code != ErrorCode::kNotFound) {
+      return blocks.error();
+    }
     return idx;
   }
 
@@ -102,29 +119,6 @@ Expected<InvertedIndex> InvertedIndex::open(const std::string& dir,
   std::sort(idx.runs_.begin(), idx.runs_.end(),
             [](const RunFile& a, const RunFile& b) { return a.run_id() < b.run_id(); });
   return idx;
-}
-
-namespace {
-
-/// Shared tail of the deprecated shims: unwrap or die with the open error.
-InvertedIndex open_or_die(const std::string& dir, const OpenOptions& options) {
-  auto r = InvertedIndex::open(dir, options);
-  if (!r.has_value()) {
-    check_failed("InvertedIndex::open", __FILE__, __LINE__, r.error().message.c_str());
-  }
-  return std::move(r).value();
-}
-
-}  // namespace
-
-InvertedIndex InvertedIndex::open(const std::string& dir) { return open_or_die(dir, {}); }
-
-InvertedIndex InvertedIndex::open_runs(const std::string& dir) {
-  return open_or_die(dir, {IndexBackend::kRuns});
-}
-
-InvertedIndex InvertedIndex::open_segment(const std::string& dir) {
-  return open_or_die(dir, {IndexBackend::kSegment});
 }
 
 const std::vector<DictionaryEntry>& InvertedIndex::entries() const {
@@ -208,6 +202,31 @@ std::optional<QueryPostings> InvertedIndex::lookup_impl(std::string_view term,
 
 std::optional<QueryPostings> InvertedIndex::lookup(std::string_view term) const {
   return lookup_impl(term, /*positional=*/false);
+}
+
+std::unique_ptr<PostingsCursor> InvertedIndex::open_cursor(std::string_view term) const {
+  if (segment_ != nullptr && block_index_.has_value()) {
+    ins_->lookups.add();
+    const LatencyScope latency(ins_->lookup_micros);
+    const auto ordinal = segment_->find(term);
+    if (!ordinal) {
+      ins_->misses.add();
+      return nullptr;
+    }
+    const auto m = segment_->meta(*ordinal);
+    if (m.count == 0) return nullptr;
+    const auto blob = segment_->raw_blob(m);
+    const auto rows = block_index_->blocks(*ordinal);
+    // Zero-copy: decode cost accrues only for the blocks the cursor enters,
+    // so nothing is added to the decode counters here.
+    return make_segment_cursor(blob.first, blob.second, rows.first, rows.second,
+                               /*pin=*/nullptr);
+  }
+  // No skip table loaded: serve the identical interface over a decoded
+  // list (lookup_impl does the lookup/miss/decode accounting).
+  auto decoded = lookup_impl(term, /*positional=*/false);
+  if (!decoded.has_value() || decoded->doc_ids.empty()) return nullptr;
+  return make_decoded_cursor(std::make_shared<const QueryPostings>(std::move(decoded).value()));
 }
 
 std::optional<QueryPostings> InvertedIndex::lookup_positional(std::string_view term) const {

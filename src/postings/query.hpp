@@ -30,6 +30,8 @@
 
 namespace hetindex {
 
+class PostingsCursor;  // postings/cursor.hpp
+
 /// Canonical on-disk layout of an index directory.
 struct IndexLayout {
   static std::string dictionary_path(const std::string& dir) { return dir + "/dictionary.bin"; }
@@ -75,16 +77,6 @@ class InvertedIndex {
   /// segment is the backend with end-to-end soft validation.)
   static Expected<InvertedIndex> open(const std::string& dir, const OpenOptions& options);
 
-  /// \deprecated Use open(dir, {}). Aborts on any open failure.
-  [[deprecated("use open(dir, OpenOptions{})")]]
-  static InvertedIndex open(const std::string& dir);
-  /// \deprecated Use open(dir, {IndexBackend::kRuns}).
-  [[deprecated("use open(dir, {IndexBackend::kRuns})")]]
-  static InvertedIndex open_runs(const std::string& dir);
-  /// \deprecated Use open(dir, {IndexBackend::kSegment}).
-  [[deprecated("use open(dir, {IndexBackend::kSegment})")]]
-  static InvertedIndex open_segment(const std::string& dir);
-
   InvertedIndex(InvertedIndex&&) noexcept;
   InvertedIndex& operator=(InvertedIndex&&) noexcept;
   ~InvertedIndex();
@@ -92,6 +84,13 @@ class InvertedIndex {
   /// Full postings list of `term` (stemmed form); nullopt when the term is
   /// not in the dictionary.
   [[nodiscard]] std::optional<QueryPostings> lookup(std::string_view term) const;
+
+  /// Block-level cursor over `term`'s postings (see postings/cursor.hpp);
+  /// nullptr when the term is unknown or its list is empty. Segment-backed
+  /// with a loaded skip table this is a zero-copy blob cursor that decodes
+  /// only the blocks it lands on; otherwise it wraps a decoded list. The
+  /// cursor borrows the index — it must not outlive this object.
+  [[nodiscard]] std::unique_ptr<PostingsCursor> open_cursor(std::string_view term) const;
 
   /// Like lookup() but also decodes in-document token positions (empty
   /// when the index was not built with record_positions).
@@ -124,6 +123,9 @@ class InvertedIndex {
   [[nodiscard]] std::optional<std::uint32_t> max_tf(std::string_view term) const;
   /// True when per-term score bounds were loaded at open().
   [[nodiscard]] bool has_score_bounds() const { return !max_tfs_.empty(); }
+  /// True when the block skip-table sidecar (`index.seg.bmx`) was loaded at
+  /// open() — the precondition for Block-Max skipping over raw blobs.
+  [[nodiscard]] bool has_block_index() const { return block_index_.has_value(); }
 
   /// True when serving from a compacted segment.
   [[nodiscard]] bool segment_backed() const { return segment_ != nullptr; }
@@ -155,7 +157,8 @@ class InvertedIndex {
   std::vector<DictionaryEntry> entries_;  // sorted by term (run-file backend)
   std::vector<RunFile> runs_;             // ascending run id (run-file backend)
   std::unique_ptr<SegmentReader> segment_;
-  std::vector<std::uint32_t> max_tfs_;  // by term ordinal; empty = no sidecar
+  std::vector<std::uint32_t> max_tfs_;     // by term ordinal; empty = no sidecar
+  std::optional<BlockIndex> block_index_;  // skip tables; nullopt = no sidecar
 };
 
 }  // namespace hetindex

@@ -2,39 +2,12 @@
 
 #include <cmath>
 
-#include "search/searcher.hpp"
-#include "util/check.hpp"
-
 namespace hetindex {
 
 double bm25_idf(std::uint64_t df, std::uint64_t n_docs) {
   const double n = static_cast<double>(n_docs);
   const double d = static_cast<double>(df);
   return std::log(1.0 + (n - d + 0.5) / (d + 0.5));
-}
-
-// Deprecated shim: delegates to the Searcher facade's exhaustive engine,
-// which reproduces this function's historical accumulation order exactly.
-// A fresh Searcher per call recomputes collection stats every time — the
-// very cost the facade exists to hoist; migrating callers keep one
-// Searcher per index instead.
-std::vector<ScoredDoc> bm25_query(const InvertedIndex& index, const DocMap& docs,
-                                  const std::vector<std::string>& terms, std::size_t k,
-                                  const Bm25Params& params) {
-  const Searcher searcher(index, docs);
-  QueryRequest request;
-  request.terms = terms;
-  request.mode = QueryMode::kRanked;
-  request.k = k;
-  request.bm25 = params;
-  request.exhaustive = true;
-  auto response = searcher.search(request);
-  if (!response.has_value()) {
-    // The legacy contract returned empty for a termless query and had no
-    // other failure mode.
-    return {};
-  }
-  return std::move(response.value().hits);
 }
 
 }  // namespace hetindex

@@ -25,17 +25,6 @@ struct ScoredDoc {
   double score = 0;
 };
 
-/// Top-k BM25-ranked documents for a bag of normalized terms (disjunctive
-/// semantics: any matching term contributes). Ties break by doc id.
-/// \deprecated Use Searcher (search/searcher.hpp): it hoists the N/avgdl
-/// collection stats out of the per-query path, caches decoded postings and
-/// results, and serves every query mode through QueryRequest. This shim
-/// builds a throwaway Searcher per call — the historical per-call cost.
-[[deprecated("use Searcher::search (search/searcher.hpp)")]]
-std::vector<ScoredDoc> bm25_query(const InvertedIndex& index, const DocMap& docs,
-                                  const std::vector<std::string>& terms, std::size_t k,
-                                  const Bm25Params& params = {});
-
 /// The BM25 idf of a term with document frequency df over N documents
 /// (Robertson-Sparck Jones with +1 smoothing, non-negative).
 double bm25_idf(std::uint64_t df, std::uint64_t n_docs);

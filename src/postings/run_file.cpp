@@ -18,8 +18,11 @@ RunFileWriter::RunFileWriter(std::string path, std::uint32_t run_id, PostingCode
 void RunFileWriter::add_list(PostingKey key, const PostingsList& list) {
   HET_CHECK(!finalized_);
   if (list.empty()) return;
-  const auto encoded = encode_postings(codec_, list.doc_ids, list.tfs,
-                                       list.positional() ? &list.positions : nullptr);
+  // Blocked from the start: segments inherit their block geometry from run
+  // blobs via the §III.F byte concatenation, so the ≤128-doc chunking (and
+  // the per-block density codec choice) happens exactly once, here.
+  const auto encoded = encode_postings_blocked(codec_, list.doc_ids, list.tfs,
+                                               list.positional() ? &list.positions : nullptr);
   RunTableEntry entry;
   entry.key = key;
   entry.offset = blobs_.size();
@@ -118,11 +121,11 @@ bool RunFile::fetch(PostingKey key, std::vector<std::uint32_t>& doc_ids,
   const auto* e = entry(key);
   if (e == nullptr) return false;
   const auto blob = raw_blob(*e);
-  // A merged blob is a byte-wise concatenation of per-run segments; decode
-  // them all (a single-run blob is the one-segment case).
+  // A merged blob is a byte-wise concatenation of self-describing blocks;
+  // decode them all (a single-block blob is the degenerate case).
   std::size_t pos = 0;
   while (pos < blob.size()) {
-    pos += decode_postings(codec_, blob, doc_ids, tfs, positions, pos);
+    pos += decode_postings(blob.data(), blob.size(), doc_ids, tfs, positions, pos);
   }
   return true;
 }

@@ -23,6 +23,19 @@ constexpr std::size_t kTableRowBytes = 24;
 constexpr std::uint32_t kMaxTfMagic = 0x46544D48;  // "HMTF"
 constexpr std::uint32_t kMaxTfVersion = 1;
 
+constexpr std::uint32_t kBlockIndexMagic = 0x584D4248;  // "HBMX"
+constexpr std::uint32_t kBlockIndexVersion = 1;
+constexpr std::size_t kBlockEntryBytes = 24;
+
+/// Removes a segment and both sidecars — the failure path of every writer
+/// (a torn sidecar would be rejected by CRC, but leaving one next to a
+/// removed segment just confuses the next open).
+void remove_segment_outputs(const std::string& seg_path) {
+  (void)io::env().remove_file(seg_path);
+  (void)io::env().remove_file(max_tf_sidecar_path(seg_path));
+  (void)io::env().remove_file(block_index_sidecar_path(seg_path));
+}
+
 }  // namespace
 
 // ------------------------------------------------------------- maxtf sidecar
@@ -86,6 +99,179 @@ std::vector<std::uint32_t> compute_max_tfs(const SegmentReader& reader) {
     max_tfs.push_back(mx);
   }
   return max_tfs;
+}
+
+// ------------------------------------------------------------- .bmx sidecar
+
+void BlockIndex::add_term(const std::vector<PostingBlockEntry>& entries) {
+  HET_CHECK_MSG(!entries.empty(), "block index terms must have blocks");
+  entries_.insert(entries_.end(), entries.begin(), entries.end());
+  begin_.push_back(entries_.size());
+}
+
+std::pair<const PostingBlockEntry*, std::size_t> BlockIndex::blocks(
+    std::uint64_t ordinal) const {
+  HET_CHECK(ordinal < term_count());
+  const std::size_t b = static_cast<std::size_t>(begin_[ordinal]);
+  const std::size_t e = static_cast<std::size_t>(begin_[ordinal + 1]);
+  return {entries_.data() + b, e - b};
+}
+
+std::uint32_t BlockIndex::term_max_tf(std::uint64_t ordinal) const {
+  const auto [entries, count] = blocks(ordinal);
+  std::uint32_t mx = 0;
+  for (std::size_t i = 0; i < count; ++i) mx = std::max(mx, entries[i].max_tf);
+  return mx;
+}
+
+std::string block_index_sidecar_path(const std::string& segment_path) {
+  return segment_path + ".bmx";
+}
+
+Status write_block_index_sidecar(const std::string& segment_path,
+                                 const BlockIndex& index) {
+  std::vector<std::uint8_t> out;
+  out.reserve(28 + 4 * index.term_count() + kBlockEntryBytes * index.total_blocks());
+  ByteWriter w(out);
+  w.u32(kBlockIndexMagic);
+  w.u32(kBlockIndexVersion);
+  w.u64(index.term_count());
+  w.u64(index.total_blocks());
+  for (std::uint64_t ord = 0; ord < index.term_count(); ++ord) {
+    w.u32(static_cast<std::uint32_t>(index.blocks(ord).second));
+  }
+  for (std::uint64_t ord = 0; ord < index.term_count(); ++ord) {
+    const auto [entries, count] = index.blocks(ord);
+    for (std::size_t i = 0; i < count; ++i) {
+      w.u64(entries[i].offset);
+      w.u32(entries[i].bytes);
+      w.u32(entries[i].last_doc);
+      w.u32(entries[i].count);
+      w.u32(entries[i].max_tf);
+    }
+  }
+  w.u32(crc32(out.data(), out.size()));
+  return io::durable_write_file(block_index_sidecar_path(segment_path), out);
+}
+
+Expected<BlockIndex> read_block_index_sidecar(const std::string& segment_path,
+                                              std::uint64_t expected_terms) {
+  const std::string path = block_index_sidecar_path(segment_path);
+  const auto corrupt = [&path](const char* what) {
+    return Error{ErrorCode::kCorrupt, std::string(what) + ": " + path};
+  };
+  if (!file_exists(path)) {
+    return Error{ErrorCode::kNotFound, "no block-index sidecar: " + path};
+  }
+  const auto data = read_file(path);
+  if (data.size() < 28) return corrupt("block-index sidecar too small (truncated?)");
+  if (crc32(data.data(), data.size() - 4) !=
+      ByteReader(data.data() + (data.size() - 4), 4).u32()) {
+    return corrupt("block-index sidecar corruption (crc mismatch)");
+  }
+  ByteReader r(data.data(), data.size() - 4);
+  if (r.u32() != kBlockIndexMagic) return corrupt("not a block-index sidecar");
+  if (r.u32() != kBlockIndexVersion) {
+    return Error{ErrorCode::kUnsupported,
+                 "unsupported block-index sidecar version: " + path};
+  }
+  const std::uint64_t term_count = r.u64();
+  const std::uint64_t total_blocks = r.u64();
+  if (term_count != expected_terms) {
+    return corrupt("block-index sidecar term count mismatch");
+  }
+  if (r.remaining() != term_count * 4 + total_blocks * kBlockEntryBytes) {
+    return corrupt("block-index sidecar truncated");
+  }
+  std::vector<std::uint32_t> counts(static_cast<std::size_t>(term_count));
+  std::uint64_t sum = 0;
+  for (auto& c : counts) {
+    c = r.u32();
+    if (c == 0) return corrupt("block-index sidecar has a blockless term");
+    sum += c;
+  }
+  if (sum != total_blocks) return corrupt("block-index sidecar block count mismatch");
+  BlockIndex index;
+  std::vector<PostingBlockEntry> term_entries;
+  for (const std::uint32_t c : counts) {
+    term_entries.clear();
+    std::uint64_t next_offset = 0;
+    std::uint32_t prev_last = 0;
+    for (std::uint32_t i = 0; i < c; ++i) {
+      PostingBlockEntry e;
+      e.offset = r.u64();
+      e.bytes = r.u32();
+      e.last_doc = r.u32();
+      e.count = r.u32();
+      e.max_tf = r.u32();
+      // Blocks tile the blob contiguously and ascend by doc id; anything
+      // else cannot have come from the writer.
+      if (e.offset != next_offset || e.bytes == 0 || e.count == 0 || e.max_tf == 0 ||
+          (i > 0 && e.last_doc <= prev_last)) {
+        return corrupt("block-index sidecar rows inconsistent");
+      }
+      next_offset = e.offset + e.bytes;
+      prev_last = e.last_doc;
+      term_entries.push_back(e);
+    }
+    index.add_term(term_entries);
+  }
+  return index;
+}
+
+BlockIndex compute_block_index(const SegmentReader& reader) {
+  BlockIndex index;
+  std::vector<PostingBlockEntry> term_entries;
+  std::vector<std::uint32_t> doc_ids, tfs;
+  for (std::uint64_t ord = 0; ord < reader.term_count(); ++ord) {
+    const auto m = reader.meta(ord);
+    const auto [blob, bytes] = reader.raw_blob(m);
+    term_entries.clear();
+    std::size_t pos = 0;
+    while (pos < bytes) {
+      doc_ids.clear();
+      tfs.clear();
+      const std::size_t consumed = decode_postings(blob, bytes, doc_ids, tfs, nullptr, pos);
+      if (doc_ids.empty()) {  // empty sub-list: header only, no block row
+        pos += consumed;
+        continue;
+      }
+      PostingBlockEntry e;
+      e.offset = pos;
+      e.bytes = static_cast<std::uint32_t>(consumed);
+      e.last_doc = doc_ids.back();
+      e.count = static_cast<std::uint32_t>(doc_ids.size());
+      e.max_tf = *std::max_element(tfs.begin(), tfs.end());
+      term_entries.push_back(e);
+      pos += consumed;
+    }
+    index.add_term(term_entries);
+  }
+  return index;
+}
+
+Status validate_block_index(const SegmentReader& reader, const BlockIndex& index) {
+  const auto corrupt = [&reader](const char* what) {
+    return Error{ErrorCode::kCorrupt,
+                 std::string(what) + ": " + block_index_sidecar_path(reader.path())};
+  };
+  if (index.term_count() != reader.term_count()) {
+    return corrupt("block-index sidecar term count mismatch");
+  }
+  for (std::uint64_t ord = 0; ord < reader.term_count(); ++ord) {
+    const auto m = reader.meta(ord);
+    const auto [entries, count] = index.blocks(ord);
+    std::uint64_t bytes = 0, postings = 0;
+    for (std::size_t i = 0; i < count; ++i) {
+      bytes += entries[i].bytes;
+      postings += entries[i].count;
+    }
+    if (bytes != m.bytes || postings != m.count ||
+        entries[count - 1].last_doc != m.max_doc) {
+      return corrupt("block-index sidecar disagrees with segment table");
+    }
+  }
+  return Unit{};
 }
 
 SegmentWriter::SegmentWriter(std::string path, PostingCodec codec,
@@ -212,7 +398,7 @@ Expected<SegmentReader> SegmentReader::try_open(const std::string& path) {
     return Error{ErrorCode::kUnsupported, "unsupported segment version: " + path};
   }
   const std::uint8_t codec_byte = h.u8();
-  if (codec_byte > static_cast<std::uint8_t>(PostingCodec::kGolomb)) {
+  if (codec_byte > static_cast<std::uint8_t>(PostingCodec::kBitPacked)) {
     return Error{ErrorCode::kUnsupported, "unknown segment posting codec: " + path};
   }
   r.codec_ = static_cast<PostingCodec>(codec_byte);
@@ -244,12 +430,15 @@ Expected<SegmentReader> SegmentReader::try_open(const std::string& path) {
   std::size_t pos = 0;
   r.blocks_.reserve(static_cast<std::size_t>(
       (r.term_count_ + r.terms_per_block_ - 1) / r.terms_per_block_));
+  // Truncated coded terms here are a structural defect of the file, not a
+  // programming error — report kCorrupt so TermCursor and find() never walk
+  // past the section (they reuse the offsets validated in this pass).
   for (std::uint64_t base = 0; base < r.term_count_; base += r.terms_per_block_) {
-    HET_CHECK_MSG(pos + 4 <= r.dict_bytes_, "segment dictionary truncated");
+    if (pos + 4 > r.dict_bytes_) return corrupt("segment dictionary truncated");
     std::uint32_t first_len = 0;
     std::memcpy(&first_len, dict + pos, 4);
     pos += 4;
-    HET_CHECK_MSG(pos + first_len <= r.dict_bytes_, "segment dictionary truncated");
+    if (pos + first_len > r.dict_bytes_) return corrupt("segment dictionary truncated");
     Block b;
     b.first = std::string_view(reinterpret_cast<const char*>(dict + pos), first_len);
     pos += first_len;
@@ -260,12 +449,12 @@ Expected<SegmentReader> SegmentReader::try_open(const std::string& path) {
     for (std::uint64_t i = 1; i < in_block; ++i) {
       (void)vbyte_decode(dict, r.dict_bytes_, pos);  // shared prefix length
       const std::uint64_t suffix = vbyte_decode(dict, r.dict_bytes_, pos);
-      HET_CHECK_MSG(pos + suffix <= r.dict_bytes_, "segment dictionary truncated");
+      if (pos + suffix > r.dict_bytes_) return corrupt("segment dictionary truncated");
       pos += suffix;
     }
     r.blocks_.push_back(b);
   }
-  HET_CHECK_MSG(pos == r.dict_bytes_, "segment dictionary truncated");
+  if (pos != r.dict_bytes_) return corrupt("segment dictionary truncated");
   return r;
 }
 
@@ -316,11 +505,11 @@ void SegmentReader::decode(const PostingsMeta& m, std::vector<std::uint32_t>& do
                            std::vector<std::uint32_t>* positions) const {
   HET_CHECK_MSG(m.offset + m.bytes <= blob_bytes_, "segment blob out of bounds");
   const std::uint8_t* blob = file_.data() + blob_off_ + m.offset;
-  // A compacted blob is one or more back-to-back encoded sub-lists (one per
-  // source run); each starts with an absolute doc id, so they decode in
-  // sequence straight out of the mapping.
+  // A compacted blob is one or more back-to-back encoded blocks (each a
+  // self-describing sub-list starting with an absolute doc id), so they
+  // decode in sequence straight out of the mapping.
   std::size_t pos = 0;
-  while (pos < m.bytes) pos += decode_postings(codec_, blob, m.bytes, doc_ids, tfs, positions, pos);
+  while (pos < m.bytes) pos += decode_postings(blob, m.bytes, doc_ids, tfs, positions, pos);
 }
 
 void SegmentReader::scan_from_block(
@@ -409,20 +598,37 @@ Expected<SegmentMergeStats> merge_segments(
   SegmentWriter writer(out_path, codec);
 
   // Score-bound sidecars propagate without decoding: the max_tf of a
-  // concatenated list is the max of the inputs' per-term maxima. Only
-  // written when every input carries one — a partial merge would produce
-  // bounds that silently under-cover the uncovered input.
+  // concatenated list is the max of the inputs' per-term maxima, and the
+  // merged skip table is the inputs' block rows with a byte-offset fix-up.
+  // Only written when every input carries one — a partial merge would
+  // produce bounds that silently under-cover the uncovered input. A missing
+  // sidecar degrades; a corrupt or unreadable one is a structured refusal
+  // (merging around it would launder the corruption into the output).
   std::vector<std::vector<std::uint32_t>> input_max_tfs;
   bool all_have_max_tfs = true;
   for (const auto* in : inputs) {
     auto side = read_max_tf_sidecar(in->path(), in->term_count());
     if (!side) {
+      if (side.error().code != ErrorCode::kNotFound) return side.error();
       all_have_max_tfs = false;
       break;
     }
     input_max_tfs.push_back(std::move(side).value());
   }
   std::vector<std::uint32_t> out_max_tfs;
+
+  std::vector<BlockIndex> input_bmx;
+  bool all_have_bmx = true;
+  for (const auto* in : inputs) {
+    auto side = read_block_index_sidecar(in->path(), in->term_count());
+    if (!side) {
+      if (side.error().code != ErrorCode::kNotFound) return side.error();
+      all_have_bmx = false;
+      break;
+    }
+    input_bmx.push_back(std::move(side).value());
+  }
+  BlockIndex out_bmx;
 
   // K-way cursor merge. K is the merge factor (a handful), so a linear
   // min-scan per output term beats the heap's constant factor.
@@ -445,6 +651,7 @@ Expected<SegmentMergeStats> merge_segments(
     // sub-list starts with an absolute doc id (§III.F), so the combined
     // blob decodes as one list provided doc ranges ascend across inputs.
     blob.clear();
+    std::vector<PostingBlockEntry> term_blocks;
     std::uint32_t count = 0, mn = 0, mx = 0, max_tf = 0;
     for (std::size_t i = 0; i < cursors.size(); ++i) {
       auto& c = cursors[i];
@@ -452,6 +659,16 @@ Expected<SegmentMergeStats> merge_segments(
       const auto m = c.meta();
       HET_CHECK_MSG(count == 0 || m.min_doc > mx,
                     "doc ids must be globally increasing across segments");
+      if (all_have_bmx) {
+        // Skip-table fix-up: the input's block rows are reused verbatim,
+        // shifted by the bytes this term's blob already holds.
+        const auto [rows, n_rows] = input_bmx[i].blocks(c.ordinal());
+        for (std::size_t k = 0; k < n_rows; ++k) {
+          PostingBlockEntry row = rows[k];
+          row.offset += blob.size();
+          term_blocks.push_back(row);
+        }
+      }
       const auto [bytes, len] = inputs[i]->raw_blob(m);
       blob.insert(blob.end(), bytes, bytes + len);
       stats.input_bytes += len;
@@ -465,19 +682,27 @@ Expected<SegmentMergeStats> merge_segments(
     }
     writer.add_term(term, blob.data(), blob.size(), count, mn, mx);
     if (all_have_max_tfs) out_max_tfs.push_back(max_tf);
+    if (all_have_bmx) out_bmx.add_term(term_blocks);
     ++stats.terms;
     stats.postings += count;
   }
   auto output_bytes = writer.finalize();
   if (!output_bytes.has_value()) {
-    (void)io::env().remove_file(out_path);
+    remove_segment_outputs(out_path);
     return output_bytes.error();
   }
   stats.output_bytes = output_bytes.value();
   if (all_have_max_tfs) {
     auto side = write_max_tf_sidecar(out_path, out_max_tfs);
     if (!side.has_value()) {
-      (void)io::env().remove_file(out_path);
+      remove_segment_outputs(out_path);
+      return side.error();
+    }
+  }
+  if (all_have_bmx) {
+    auto side = write_block_index_sidecar(out_path, out_bmx);
+    if (!side.has_value()) {
+      remove_segment_outputs(out_path);
       return side.error();
     }
   }
@@ -534,18 +759,36 @@ Expected<SegmentBuildStats> build_segment_from_runs(
   const std::string seg_path = IndexLayout::segment_path(dir);
   auto output_bytes = writer.finalize();
   if (!output_bytes.has_value()) {
-    (void)io::env().remove_file(seg_path);
+    remove_segment_outputs(seg_path);
     return output_bytes.error();
   }
   stats.output_bytes = output_bytes.value();
 
-  // One decode pass over the fresh segment derives the score-bound sidecar.
-  // This is the only place max_tf is ever computed from postings — merges
-  // and live flushes propagate or compute it without touching blobs.
-  auto side = write_max_tf_sidecar(seg_path, compute_max_tfs(SegmentReader::open(seg_path)));
+  // One decode pass over the fresh segment derives both sidecars: the
+  // skip table (block rows recovered from the sub-list boundaries) and the
+  // score bounds (per-term max over the block maxima). This is the only
+  // place either is ever computed from postings — merges and live flushes
+  // propagate or emit them without touching blobs.
+  auto reader = SegmentReader::try_open(seg_path);
+  if (!reader.has_value()) {
+    remove_segment_outputs(seg_path);
+    return reader.error();
+  }
+  const BlockIndex block_index = compute_block_index(reader.value());
+  std::vector<std::uint32_t> max_tfs;
+  max_tfs.reserve(static_cast<std::size_t>(block_index.term_count()));
+  for (std::uint64_t ord = 0; ord < block_index.term_count(); ++ord) {
+    max_tfs.push_back(block_index.term_max_tf(ord));
+  }
+  auto side = write_max_tf_sidecar(seg_path, max_tfs);
   if (!side.has_value()) {
-    (void)io::env().remove_file(seg_path);
+    remove_segment_outputs(seg_path);
     return side.error();
+  }
+  auto bmx = write_block_index_sidecar(seg_path, block_index);
+  if (!bmx.has_value()) {
+    remove_segment_outputs(seg_path);
+    return bmx.error();
   }
   return stats;
 }

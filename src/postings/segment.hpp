@@ -234,6 +234,64 @@ Expected<std::vector<std::uint32_t>> read_max_tf_sidecar(const std::string& segm
 /// max_tf in term order — the build-time pass behind compact_index().
 std::vector<std::uint32_t> compute_max_tfs(const SegmentReader& reader);
 
+// ------------------------------------------------------------------------
+// Block-index sidecar. Postings blobs are written as back-to-back blocks of
+// ≤ kPostingsBlockSize docs (each re-anchored at an absolute doc id). The
+// `.bmx` sidecar stores one skip-table row per block — offset/bytes (seek),
+// last_doc (skip target) and count/max_tf (Block-Max score bounds) — so a
+// cursor can jump and bound whole blocks without decoding them. Like the
+// max-tf sidecar it is optional (serving falls back to decoded cursors) and
+// it survives the §III.F merge without a decode: concatenating blobs just
+// concatenates their block rows with a byte-offset fix-up.
+//
+// Layout (`<segment>.bmx`): magic, version, term count, total block count,
+// per-term u32 block counts, then the flat entry rows in term order, CRC32
+// footer. Exact bytes: docs/INDEX_FORMAT.md.
+
+/// Per-term view over the flat skip table of one segment.
+class BlockIndex {
+ public:
+  /// Appends one term's block rows (terms must arrive in term order; every
+  /// term in a segment has ≥ 1 block).
+  void add_term(const std::vector<PostingBlockEntry>& entries);
+
+  [[nodiscard]] std::uint64_t term_count() const { return begin_.size() - 1; }
+  [[nodiscard]] std::uint64_t total_blocks() const { return entries_.size(); }
+  /// The block rows of term `ordinal`, in blob order.
+  [[nodiscard]] std::pair<const PostingBlockEntry*, std::size_t> blocks(
+      std::uint64_t ordinal) const;
+  /// max over the term's block max_tfs — the whole-list bound the `.maxtf`
+  /// sidecar stores, derived here for free.
+  [[nodiscard]] std::uint32_t term_max_tf(std::uint64_t ordinal) const;
+
+ private:
+  std::vector<PostingBlockEntry> entries_;
+  std::vector<std::uint64_t> begin_{0};  ///< per-term start into entries_
+};
+
+/// `<segment_path>.bmx`.
+std::string block_index_sidecar_path(const std::string& segment_path);
+
+/// Writes the skip-table sidecar durably; kIo on failure.
+Status write_block_index_sidecar(const std::string& segment_path,
+                                 const BlockIndex& index);
+
+/// Reads a sidecar back; kNotFound when absent, kUnsupported on a future
+/// version, kCorrupt on CRC/structure mismatch, a term count that disagrees
+/// with `expected_terms`, or rows that are not contiguous ascending blocks.
+Expected<BlockIndex> read_block_index_sidecar(const std::string& segment_path,
+                                              std::uint64_t expected_terms);
+
+/// Decodes every blob once, recovering each block's row from the sub-list
+/// boundaries — the build-time pass (and the merge-correctness oracle in
+/// tests: a merged segment's fixed-up sidecar must equal this recompute).
+BlockIndex compute_block_index(const SegmentReader& reader);
+
+/// Cross-checks the sidecar against the segment's postings table (per-term
+/// byte/count totals and last doc) without decoding blobs. kCorrupt on any
+/// disagreement — a stale sidecar must never steer a cursor.
+Status validate_block_index(const SegmentReader& reader, const BlockIndex& index);
+
 /// What a segment build folded together.
 struct SegmentBuildStats {
   std::uint64_t terms = 0;

@@ -22,6 +22,7 @@ struct Searcher::Instruments {
   obs::Counter& postings_hits;
   obs::Counter& postings_misses;
   obs::Counter& stats_recomputes;
+  obs::Counter& blocks_skipped;
   obs::Histo& total_micros;
   obs::Histo& lookup_micros;
   obs::Histo& score_micros;
@@ -34,6 +35,7 @@ struct Searcher::Instruments {
         postings_hits(m.counter("search_postings_cache_hits_total")),
         postings_misses(m.counter("search_postings_cache_misses_total")),
         stats_recomputes(m.counter("search_stats_recomputes_total")),
+        blocks_skipped(m.counter("search_blocks_skipped_total")),
         total_micros(m.histogram("search_total_micros", 0.0, 16384.0, 64)),
         lookup_micros(m.histogram("search_lookup_micros", 0.0, 16384.0, 64)),
         score_micros(m.histogram("search_score_micros", 0.0, 16384.0, 64)) {}
@@ -85,6 +87,10 @@ std::vector<ScoredDoc> rank_by_tf(const QueryPostings& postings, std::size_t k) 
 bool past(const std::optional<std::chrono::steady_clock::time_point>& deadline) {
   return deadline && std::chrono::steady_clock::now() >= *deadline;
 }
+
+/// Driver docs between deadline checks in the cursor intersection (a clock
+/// read per doc would dominate small lists).
+constexpr std::uint64_t kIntersectDeadlineStride = 256;
 
 }  // namespace
 
@@ -176,6 +182,11 @@ std::optional<std::uint32_t> Searcher::term_max_tf(
   return snap != nullptr ? snap->max_tf(term) : index_->max_tf(term);
 }
 
+std::unique_ptr<PostingsCursor> Searcher::open_term_cursor(
+    const std::shared_ptr<const LiveSnapshot>& snap, const std::string& term) const {
+  return snap != nullptr ? snap->open_cursor(term) : index_->open_cursor(term);
+}
+
 Expected<QueryResponse> Searcher::search(const QueryRequest& request) const {
   std::optional<std::chrono::steady_clock::time_point> deadline;
   if (request.timeout.count() > 0) {
@@ -216,12 +227,27 @@ Expected<QueryResponse> Searcher::search(
     ins_->result_misses.add();
   }
 
-  // Lookup stage: every term's decoded postings, cache-first.
+  // Lookup stage. The cursor modes (pruned ranked, conjunctive) open one
+  // block-level cursor per term — lazy, zero-copy when a skip table is
+  // loaded, and deliberately outside the postings cache (caching a decoded
+  // list is exactly the work block skipping avoids). The decoded modes
+  // (exhaustive ranked, disjunctive) fetch full lists cache-first as
+  // before.
+  const bool cursor_mode = request.mode == QueryMode::kConjunctive ||
+                           (request.mode == QueryMode::kRanked && !request.exhaustive);
   const WallTimer lookup_timer;
   std::vector<std::shared_ptr<const QueryPostings>> lists;
-  lists.reserve(request.terms.size());
-  for (const auto& term : request.terms) {
-    lists.push_back(fetch_postings(snap, snapshot_id, term));
+  std::vector<std::unique_ptr<PostingsCursor>> cursors;
+  if (cursor_mode) {
+    cursors.reserve(request.terms.size());
+    for (const auto& term : request.terms) {
+      cursors.push_back(open_term_cursor(snap, term));
+    }
+  } else {
+    lists.reserve(request.terms.size());
+    for (const auto& term : request.terms) {
+      lists.push_back(fetch_postings(snap, snapshot_id, term));
+    }
   }
   response.timings.lookup_seconds = lookup_timer.seconds();
 
@@ -268,48 +294,80 @@ Expected<QueryResponse> Searcher::search(
         std::vector<TopkTermInput> inputs;
         inputs.reserve(request.terms.size());
         for (std::size_t t = 0; t < request.terms.size(); ++t) {
-          const auto& postings = lists[t];
-          if (postings == nullptr || postings->doc_ids.empty()) continue;
+          if (cursors[t] == nullptr) continue;
           TopkTermInput input;
           input.term_index = t;
-          input.postings = postings;
-          input.idf = bm25_idf(postings->doc_ids.size(), stats->n_docs);
+          // df from the cursor's skip data — the same integer the decoded
+          // list's length would give, so idf matches exhaustive exactly.
+          input.idf = bm25_idf(cursors[t]->size(), stats->n_docs);
           const auto max_tf = term_max_tf(snap, request.terms[t]);
           input.upper_bound = max_tf
                                   ? bm25_upper_bound(input.idf, *max_tf, request.bm25)
                                   : bm25_loose_bound(input.idf, request.bm25);
+          input.cursor = std::move(cursors[t]);
           inputs.push_back(std::move(input));
         }
         auto topk = maxscore_topk(std::move(inputs), request.k, request.bm25,
                                   stats->lengths, stats->avgdl, deadline);
         response.hits = std::move(topk.hits);
         response.degraded = topk.degraded;
+        ins_->blocks_skipped.add(topk.blocks_skipped);
       }
       break;
     }
     case QueryMode::kConjunctive: {
-      // Any absent term empties the intersection outright.
+      // Any absent term empties the intersection outright (a null cursor
+      // covers both an unknown term and an empty list).
       const bool all_present = std::all_of(
-          lists.begin(), lists.end(), [](const auto& p) { return p != nullptr; });
-      if (all_present && !lists.empty()) {
-        // Rarest-first galloping: each merge is O(min·log(max/min)).
-        std::vector<const QueryPostings*> ordered;
-        ordered.reserve(lists.size());
-        for (const auto& p : lists) ordered.push_back(p.get());
+          cursors.begin(), cursors.end(), [](const auto& c) { return c != nullptr; });
+      if (all_present && !cursors.empty()) {
+        // Rarest-first: the smallest list drives; the others answer seeks,
+        // stepping over whole blocks between matches without decoding them.
+        std::vector<PostingsCursor*> ordered;
+        ordered.reserve(cursors.size());
+        for (const auto& c : cursors) ordered.push_back(c.get());
         std::sort(ordered.begin(), ordered.end(),
-                  [](const QueryPostings* a, const QueryPostings* b) {
-                    return a->doc_ids.size() < b->doc_ids.size();
+                  [](const PostingsCursor* a, const PostingsCursor* b) {
+                    return a->size() < b->size();
                   });
-        QueryPostings acc = *ordered.front();
-        for (std::size_t i = 1; i < ordered.size() && !acc.doc_ids.empty(); ++i) {
-          if (past(deadline)) {  // partial intersection: a superset, flagged
+        QueryPostings acc;  // matched docs, tfs summed across terms
+        PostingsCursor& driver = *ordered.front();
+        bool dead_end = false;  // some follower exhausted: no more matches
+        std::uint64_t steps = 0;
+        for (driver.seek(0); driver.valid() && !dead_end; driver.next()) {
+          if (++steps % kIntersectDeadlineStride == 0 && past(deadline)) {
+            // Prefix of the true intersection: a valid subset, flagged.
             response.degraded = true;
             break;
           }
-          acc = postings_and_galloping(acc, *ordered[i]);
+          const std::uint32_t d = driver.docid();
+          std::uint32_t tf_sum = driver.tf();
+          bool all = true;
+          for (std::size_t i = 1; i < ordered.size(); ++i) {
+            ordered[i]->seek(d);
+            if (!ordered[i]->valid()) {
+              all = false;
+              dead_end = true;
+              break;
+            }
+            if (ordered[i]->docid() != d) {
+              all = false;
+              break;
+            }
+            tf_sum += ordered[i]->tf();
+          }
+          if (all) {
+            acc.doc_ids.push_back(d);
+            acc.tfs.push_back(tf_sum);
+          }
         }
         response.hits = rank_by_tf(acc, request.k);
       }
+      std::uint64_t skipped = 0;
+      for (const auto& c : cursors) {
+        if (c != nullptr) skipped += c->blocks_skipped();
+      }
+      ins_->blocks_skipped.add(skipped);
       break;
     }
     case QueryMode::kDisjunctive: {

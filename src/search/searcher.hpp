@@ -9,7 +9,12 @@
 ///   collection stats   N and avgdl computed once per snapshot (guarded by
 ///                      a snapshot-id check, not per query — the
 ///                      search_stats_recomputes_total counter proves it)
-///   decoded postings   sharded LRU keyed on (snapshot id, term)
+///   decoded postings   sharded LRU keyed on (snapshot id, term) — used by
+///                      the decoded modes (exhaustive ranked, disjunctive);
+///                      the cursor modes (pruned ranked, conjunctive) open
+///                      lazy block cursors instead, because caching a fully
+///                      decoded list is exactly the work block-max skipping
+///                      exists to avoid
 ///   finished results   sharded LRU keyed on (snapshot id, normalized
 ///                      query); never stores degraded responses
 ///
@@ -106,6 +111,8 @@ class Searcher {
       const std::shared_ptr<const LiveSnapshot>& snap, std::uint64_t snapshot_id,
       const std::string& term) const;
   [[nodiscard]] std::optional<std::uint32_t> term_max_tf(
+      const std::shared_ptr<const LiveSnapshot>& snap, const std::string& term) const;
+  [[nodiscard]] std::unique_ptr<PostingsCursor> open_term_cursor(
       const std::shared_ptr<const LiveSnapshot>& snap, const std::string& term) const;
 
   // Exactly one source is active: (index_, docs_) or provider_.

@@ -28,24 +28,6 @@ bool better(const ScoredDoc& a, const ScoredDoc& b) {
   return a.doc_id < b.doc_id;
 }
 
-/// First position >= `pos` whose doc id is >= target: exponential probe to
-/// bracket, then binary search inside the bracket — O(log(jump)) per seek,
-/// the non-essential-list workhorse.
-std::size_t gallop_seek(const std::vector<std::uint32_t>& docs, std::size_t pos,
-                        std::uint32_t target) {
-  const std::size_t n = docs.size();
-  if (pos >= n || docs[pos] >= target) return pos;
-  std::size_t lo = pos;  // invariant: docs[lo] < target
-  std::size_t step = 1;
-  while (lo + step < n && docs[lo + step] < target) {
-    lo += step;
-    step <<= 1;
-  }
-  const auto begin = docs.begin() + static_cast<std::ptrdiff_t>(lo + 1);
-  const auto end = docs.begin() + static_cast<std::ptrdiff_t>(std::min(n, lo + step + 1));
-  return static_cast<std::size_t>(std::lower_bound(begin, end, target) - docs.begin());
-}
-
 }  // namespace
 
 void DocLengthIndex::add_range(std::uint32_t base, std::uint32_t count,
@@ -89,7 +71,7 @@ TopkResult maxscore_topk(
     std::optional<std::chrono::steady_clock::time_point> deadline) {
   TopkResult result;
   std::erase_if(terms, [](const TopkTermInput& t) {
-    return t.postings == nullptr || t.postings->doc_ids.empty();
+    return t.cursor == nullptr || t.cursor->size() == 0;
   });
   if (terms.empty() || k == 0) return result;
 
@@ -102,6 +84,10 @@ TopkResult maxscore_topk(
   std::vector<double> cum(m);  // cum[i] = bound of lists 0..i combined
   for (std::size_t i = 0; i < m; ++i) {
     cum[i] = terms[i].upper_bound + (i > 0 ? cum[i - 1] : 0.0);
+    // Bind idf so cursors can turn block max_tf into block max score.
+    terms[i].cursor->set_score_params(terms[i].idf, params);
+    // Every list starts essential, so position everyone on its first doc.
+    terms[i].cursor->seek(0);
   }
 
   // Min-heap of the k best seen, ordered by better(): top is the worst
@@ -113,8 +99,7 @@ TopkResult maxscore_topk(
       worst_first);
   double theta = -std::numeric_limits<double>::infinity();
 
-  std::vector<std::size_t> pos(m, 0);  // cursor per list
-  std::size_t first_essential = 0;     // lists [0, first_essential) are non-essential
+  std::size_t first_essential = 0;  // lists [0, first_essential) are non-essential
   std::vector<std::pair<std::size_t, double>> matched;  // (term_index, tf) per candidate
   std::uint64_t candidates = 0;
 
@@ -129,37 +114,75 @@ TopkResult maxscore_topk(
     std::uint32_t d = std::numeric_limits<std::uint32_t>::max();
     bool any = false;
     for (std::size_t i = first_essential; i < m; ++i) {
-      if (pos[i] >= terms[i].postings->doc_ids.size()) continue;
+      const auto& c = *terms[i].cursor;
+      if (!c.valid()) continue;
       any = true;
-      d = std::min(d, terms[i].postings->doc_ids[pos[i]]);
+      d = std::min(d, c.docid());
     }
     if (!any) break;
+
+    // Block-max window skip: if even the essential lists' current blocks
+    // (plus full credit for every non-essential list) cannot reach theta,
+    // no doc up to the nearest essential block boundary can qualify — jump
+    // the whole window without decoding it.
+    if (heap.size() == k) {
+      std::uint32_t min_last = std::numeric_limits<std::uint32_t>::max();
+      for (std::size_t i = first_essential; i < m; ++i) {
+        const auto& c = *terms[i].cursor;
+        if (c.valid()) min_last = std::min(min_last, c.block_last_doc());
+      }
+      if (min_last < std::numeric_limits<std::uint32_t>::max()) {
+        double window_bound = first_essential > 0 ? cum[first_essential - 1] : 0.0;
+        for (std::size_t i = first_essential; i < m; ++i) {
+          auto& c = *terms[i].cursor;
+          // Cursors past the window boundary contribute nothing inside it.
+          if (c.valid() && c.docid() <= min_last) window_bound += c.block_max_score();
+        }
+        if (window_bound < theta * kPruneSlack) {
+          for (std::size_t i = first_essential; i < m; ++i) {
+            auto& c = *terms[i].cursor;
+            if (c.valid() && c.docid() <= min_last) c.seek(min_last + 1);
+          }
+          continue;  // d <= min_last, so at least one cursor advanced
+        }
+      }
+    }
 
     matched.clear();
     double partial = 0.0;  // running score estimate (pruning only)
     const double dl = lengths.token_count(d);
     for (std::size_t i = first_essential; i < m; ++i) {
-      const auto& docs = terms[i].postings->doc_ids;
-      if (pos[i] >= docs.size() || docs[pos[i]] != d) continue;
-      const double tf = terms[i].postings->tfs[pos[i]];
+      auto& c = *terms[i].cursor;
+      if (!c.valid() || c.docid() != d) continue;
+      const double tf = c.tf();
       partial += bm25_contribution(terms[i].idf, tf, dl, avgdl, params);
       matched.emplace_back(terms[i].term_index, tf);
-      ++pos[i];
+      c.next();
     }
 
     // Probe non-essential lists from the strongest down, abandoning the
     // candidate as soon as even full credit for the rest cannot reach
-    // theta.
+    // theta. Each probe refines its bound in two steps: first the term's
+    // global upper bound (cum), then — after a decode-free shallow seek —
+    // the landing block's max score, which often kills the candidate
+    // before the block is ever decoded.
     bool viable = true;
     for (std::size_t j = first_essential; j-- > 0;) {
       if (partial + cum[j] < theta * kPruneSlack) {
         viable = false;
         break;
       }
-      pos[j] = gallop_seek(terms[j].postings->doc_ids, pos[j], d);
-      const auto& docs = terms[j].postings->doc_ids;
-      if (pos[j] < docs.size() && docs[pos[j]] == d) {
-        const double tf = terms[j].postings->tfs[pos[j]];
+      auto& c = *terms[j].cursor;
+      c.shallow_seek(d);
+      if (!c.valid()) continue;  // list exhausted; d absent, no contribution
+      const double rest = j > 0 ? cum[j - 1] : 0.0;
+      if (partial + rest + c.block_max_score() < theta * kPruneSlack) {
+        viable = false;
+        break;
+      }
+      c.seek(d);
+      if (c.positioned() && c.docid() == d) {
+        const double tf = c.tf();
         partial += bm25_contribution(terms[j].idf, tf, dl, avgdl, params);
         matched.emplace_back(terms[j].term_index, tf);
       }
@@ -205,6 +228,7 @@ TopkResult maxscore_topk(
     heap.pop();
   }
   std::sort(result.hits.begin(), result.hits.end(), better);
+  for (const auto& t : terms) result.blocks_skipped += t.cursor->blocks_skipped();
   return result;
 }
 

@@ -1,12 +1,18 @@
 #pragma once
 /// \file topk.hpp
-/// Cursor-based top-k BM25 executor with MaxScore early termination
-/// (Turtle & Flood 1995): terms are ordered by their score upper bound,
-/// split into an essential suffix (must be scanned) and a non-essential
-/// prefix whose combined bound cannot beat the current k-th score — docs
-/// appearing only there are skipped without ever being scored, and
-/// non-essential lists are probed by galloping seek only for candidates
-/// that survive a running bound check.
+/// Cursor-based top-k BM25 executor: MaxScore early termination (Turtle &
+/// Flood 1995) upgraded with block-max pruning (Ding & Suel 2011) over the
+/// PostingsCursor skip data. Terms are ordered by their score upper bound
+/// and split into an essential suffix (must be scanned) and a non-essential
+/// prefix whose combined bound cannot beat the current k-th score. On top
+/// of the list-level split, per-block maxima prune at block granularity:
+///   - when even the essential lists' *current blocks* cannot reach theta,
+///     the whole doc-id window up to the nearest block boundary is skipped
+///     without decoding a posting;
+///   - a non-essential probe first shallow-seeks (block pointer only) and
+///     abandons the candidate if the landing block's max-score bound —
+///     tighter than the term's global bound — cannot close the gap, so the
+///     block is never decoded.
 ///
 /// Exactness contract: the executor returns *bit-identical* results to the
 /// exhaustive scorer. Two mechanisms make that hold under floating point:
@@ -23,6 +29,7 @@
 #include <optional>
 #include <vector>
 
+#include "postings/cursor.hpp"
 #include "postings/query.hpp"
 #include "postings/ranking.hpp"
 
@@ -32,7 +39,7 @@ namespace hetindex {
 /// original request — the canonical accumulation order.
 struct TopkTermInput {
   std::size_t term_index = 0;
-  std::shared_ptr<const QueryPostings> postings;  ///< decoded, doc-id sorted
+  std::unique_ptr<PostingsCursor> cursor;  ///< fresh (unpositioned) cursor
   double idf = 0;
   double upper_bound = 0;  ///< max BM25 contribution of this term to any doc
 };
@@ -77,10 +84,11 @@ struct TopkResult {
   std::vector<ScoredDoc> hits;  ///< score desc, doc id asc, at most k
   bool degraded = false;        ///< deadline expired mid-scan; hits approximate
   std::uint64_t docs_scored = 0;
+  std::uint64_t blocks_skipped = 0;  ///< postings blocks passed without decoding
 };
 
-/// Runs MaxScore over the decoded lists. `deadline` (optional) degrades the
-/// scan to the best candidates found so far when it expires.
+/// Runs Block-Max MaxScore over the term cursors. `deadline` (optional)
+/// degrades the scan to the best candidates found so far when it expires.
 TopkResult maxscore_topk(
     std::vector<TopkTermInput> terms, std::size_t k, const Bm25Params& params,
     const DocLengthIndex& lengths, double avgdl,

@@ -1,10 +1,10 @@
 #pragma once
 /// \file types.hpp
 /// Value types of the search serving API: one QueryRequest in, one
-/// QueryResponse out, whatever the mode. These replace the scattered
-/// per-style entry points (bm25_query, conjunctive_query, raw
-/// QueryPostings poking) — a caller builds a request, hands it to a
-/// Searcher or SearchService, and gets back hits plus the execution
+/// QueryResponse out, whatever the mode. These replaced the scattered
+/// per-style entry points (the since-removed bm25_query and
+/// conjunctive_query free functions) — a caller builds a request, hands it
+/// to a Searcher or SearchService, and gets back hits plus the execution
 /// story (timings, cache provenance, degradation) in one struct.
 
 #include <chrono>
@@ -48,9 +48,9 @@ struct QueryRequest {
   std::chrono::microseconds timeout{0};
   Bm25Params bm25;  ///< ranked mode only
   /// Forces the exhaustive scorer (full decode + hash-map accumulation)
-  /// instead of the MaxScore early-termination executor. The two return
-  /// identical rankings; exhaustive exists as the baseline and for the
-  /// deprecated bm25_query shim.
+  /// instead of the Block-Max MaxScore early-termination executor. The two
+  /// return identical rankings; exhaustive exists as the correctness
+  /// baseline (the equivalence suite diffs the two bit-for-bit).
   bool exhaustive = false;
   /// Opt out of the query-result cache (postings caching still applies).
   bool use_result_cache = true;

@@ -111,7 +111,7 @@ class PostingCodecParam : public ::testing::TestWithParam<PostingCodec> {};
 TEST_P(PostingCodecParam, RoundTripEmpty) {
   const auto enc = encode_postings(GetParam(), {}, {});
   std::vector<std::uint32_t> ids, tfs;
-  decode_postings(GetParam(), enc, ids, tfs);
+  decode_postings(enc.data(), enc.size(), ids, tfs);
   EXPECT_TRUE(ids.empty());
   EXPECT_TRUE(tfs.empty());
 }
@@ -119,7 +119,7 @@ TEST_P(PostingCodecParam, RoundTripEmpty) {
 TEST_P(PostingCodecParam, RoundTripSingle) {
   const auto enc = encode_postings(GetParam(), {42}, {7});
   std::vector<std::uint32_t> ids, tfs;
-  decode_postings(GetParam(), enc, ids, tfs);
+  decode_postings(enc.data(), enc.size(), ids, tfs);
   EXPECT_EQ(ids, std::vector<std::uint32_t>{42});
   EXPECT_EQ(tfs, std::vector<std::uint32_t>{7});
 }
@@ -127,7 +127,7 @@ TEST_P(PostingCodecParam, RoundTripSingle) {
 TEST_P(PostingCodecParam, RoundTripDocIdZero) {
   const auto enc = encode_postings(GetParam(), {0, 1}, {1, 2});
   std::vector<std::uint32_t> ids, tfs;
-  decode_postings(GetParam(), enc, ids, tfs);
+  decode_postings(enc.data(), enc.size(), ids, tfs);
   EXPECT_EQ(ids, (std::vector<std::uint32_t>{0, 1}));
 }
 
@@ -143,7 +143,7 @@ TEST_P(PostingCodecParam, RoundTripRandomSortedLists) {
       tfs.push_back(1 + static_cast<std::uint32_t>(rng.below(50)));
     const auto enc = encode_postings(GetParam(), ids, tfs);
     std::vector<std::uint32_t> ids2, tfs2;
-    decode_postings(GetParam(), enc, ids2, tfs2);
+    decode_postings(enc.data(), enc.size(), ids2, tfs2);
     EXPECT_EQ(ids2, ids);
     EXPECT_EQ(tfs2, tfs);
   }
@@ -162,7 +162,8 @@ TEST_P(PostingCodecParam, DenseListsCompressBelowRaw) {
 
 INSTANTIATE_TEST_SUITE_P(AllCodecs, PostingCodecParam,
                          ::testing::Values(PostingCodec::kVByte, PostingCodec::kGamma,
-                                           PostingCodec::kGolomb));
+                                           PostingCodec::kGolomb,
+                                           PostingCodec::kBitPacked));
 
 TEST_P(PostingCodecParam, ConcatenatedSegmentsDecodeInSequence) {
   // The §III.F byte-level merge relies on this: encoded lists concatenate
@@ -174,7 +175,8 @@ TEST_P(PostingCodecParam, ConcatenatedSegmentsDecodeInSequence) {
   blob.insert(blob.end(), seg2.begin(), seg2.end());
   std::vector<std::uint32_t> ids, tfs;
   std::size_t pos = 0;
-  while (pos < blob.size()) pos += decode_postings(GetParam(), blob, ids, tfs, nullptr, pos);
+  while (pos < blob.size())
+    pos += decode_postings(blob.data(), blob.size(), ids, tfs, nullptr, pos);
   EXPECT_EQ(pos, blob.size());
   EXPECT_EQ(ids, (std::vector<std::uint32_t>{1, 5, 9, 12}));
   EXPECT_EQ(tfs, (std::vector<std::uint32_t>{1, 2, 3, 1}));
@@ -183,7 +185,90 @@ TEST_P(PostingCodecParam, ConcatenatedSegmentsDecodeInSequence) {
 TEST_P(PostingCodecParam, DecodeReportsConsumedBytes) {
   const auto enc = encode_postings(GetParam(), {7, 8, 100}, {1, 1, 4});
   std::vector<std::uint32_t> ids, tfs;
-  EXPECT_EQ(decode_postings(GetParam(), enc, ids, tfs), enc.size());
+  EXPECT_EQ(decode_postings(enc.data(), enc.size(), ids, tfs), enc.size());
+}
+
+TEST(BlockedPostings, ChunksIntoBlocksWithExactSkipRows) {
+  std::vector<std::uint32_t> ids, tfs;
+  for (std::uint32_t i = 0; i < 300; ++i) {
+    ids.push_back(i * 2 + 1);
+    tfs.push_back(1 + i % 7);
+  }
+  std::vector<PostingBlockEntry> blocks;
+  const auto enc = encode_postings_blocked(PostingCodec::kGolomb, ids, tfs,
+                                           nullptr, &blocks);
+  ASSERT_EQ(blocks.size(), 3u);  // 128 + 128 + 44
+  std::uint64_t expect_offset = 0;
+  std::size_t seen = 0;
+  for (const auto& b : blocks) {
+    EXPECT_EQ(b.offset, expect_offset);
+    expect_offset += b.bytes;
+    ASSERT_GT(b.count, 0u);
+    ASSERT_LE(b.count, kPostingsBlockSize);
+    const std::uint32_t expect_max =
+        *std::max_element(tfs.begin() + seen, tfs.begin() + seen + b.count);
+    EXPECT_EQ(b.max_tf, expect_max);
+    seen += b.count;
+    EXPECT_EQ(b.last_doc, ids[seen - 1]);
+  }
+  EXPECT_EQ(seen, ids.size());
+  EXPECT_EQ(expect_offset, enc.size());
+  // The whole blob decodes back-to-back like any §III.F-merged list…
+  std::vector<std::uint32_t> ids2, tfs2;
+  std::size_t pos = 0;
+  while (pos < enc.size())
+    pos += decode_postings(enc.data(), enc.size(), ids2, tfs2, nullptr, pos);
+  EXPECT_EQ(ids2, ids);
+  EXPECT_EQ(tfs2, tfs);
+  // …and each block also decodes standalone through its skip row.
+  std::vector<std::uint32_t> bids, btfs;
+  EXPECT_EQ(decode_postings(enc.data() + blocks[1].offset, blocks[1].bytes, bids, btfs),
+            static_cast<std::size_t>(blocks[1].bytes));
+  EXPECT_EQ(bids.size(), blocks[1].count);
+  EXPECT_EQ(bids.front(), ids[kPostingsBlockSize]);
+  EXPECT_EQ(bids.back(), blocks[1].last_doc);
+}
+
+TEST(BlockedPostings, BlockedEncodingMatchesFlatForEveryCodec) {
+  Rng rng(7);
+  std::set<std::uint32_t> id_set;
+  while (id_set.size() < 1000) id_set.insert(static_cast<std::uint32_t>(rng.below(1u << 24)));
+  std::vector<std::uint32_t> ids(id_set.begin(), id_set.end());
+  std::vector<std::uint32_t> tfs;
+  for (std::size_t i = 0; i < ids.size(); ++i)
+    tfs.push_back(1 + static_cast<std::uint32_t>(rng.below(30)));
+  for (PostingCodec codec : {PostingCodec::kVByte, PostingCodec::kGamma,
+                             PostingCodec::kGolomb, PostingCodec::kBitPacked}) {
+    const auto enc = encode_postings_blocked(codec, ids, tfs);
+    std::vector<std::uint32_t> ids2, tfs2;
+    std::size_t pos = 0;
+    while (pos < enc.size())
+      pos += decode_postings(enc.data(), enc.size(), ids2, tfs2, nullptr, pos);
+    EXPECT_EQ(ids2, ids);
+    EXPECT_EQ(tfs2, tfs);
+  }
+}
+
+TEST(BlockedPostings, DensityHeuristicUpgradesVByteOnly) {
+  // Dense block, uniform small values: fixed-width packing beats vbyte.
+  std::vector<std::uint32_t> dense_ids, dense_tfs;
+  for (std::uint32_t i = 0; i < 128; ++i) {
+    dense_ids.push_back(i);
+    dense_tfs.push_back(1);
+  }
+  EXPECT_EQ(choose_block_codec(PostingCodec::kVByte, dense_ids, dense_tfs, false),
+            PostingCodec::kBitPacked);
+  // One huge gap inflates the fixed width past what vbyte pays: no upgrade.
+  std::vector<std::uint32_t> skewed_ids = dense_ids, skewed_tfs = dense_tfs;
+  skewed_ids.push_back((1u << 30) + 5);
+  skewed_tfs.push_back(1);
+  EXPECT_EQ(choose_block_codec(PostingCodec::kVByte, skewed_ids, skewed_tfs, false),
+            PostingCodec::kVByte);
+  // Positional blocks and non-vbyte requests pass through unchanged.
+  EXPECT_EQ(choose_block_codec(PostingCodec::kVByte, dense_ids, dense_tfs, true),
+            PostingCodec::kVByte);
+  EXPECT_EQ(choose_block_codec(PostingCodec::kGolomb, dense_ids, dense_tfs, false),
+            PostingCodec::kGolomb);
 }
 
 TEST(Lz, RoundTripEmpty) {

@@ -29,7 +29,7 @@ TEST_P(PositionalCodecParam, RoundTripWithPositions) {
   const std::vector<std::uint32_t> pos = {0, 17, 4, 4, 1000};
   const auto enc = encode_postings(GetParam(), ids, tfs, &pos);
   std::vector<std::uint32_t> ids2, tfs2, pos2;
-  decode_postings(GetParam(), enc, ids2, tfs2, &pos2);
+  decode_postings(enc.data(), enc.size(), ids2, tfs2, &pos2);
   EXPECT_EQ(ids2, ids);
   EXPECT_EQ(tfs2, tfs);
   EXPECT_EQ(pos2, pos);
@@ -41,7 +41,7 @@ TEST_P(PositionalCodecParam, NonPositionalDecoderIgnoresPositions) {
   const std::vector<std::uint32_t> pos = {5, 6};
   const auto enc = encode_postings(GetParam(), ids, tfs, &pos);
   std::vector<std::uint32_t> ids2, tfs2;
-  decode_postings(GetParam(), enc, ids2, tfs2, nullptr);  // discard positions
+  decode_postings(enc.data(), enc.size(), ids2, tfs2, nullptr);  // discard positions
   EXPECT_EQ(ids2, ids);
   EXPECT_EQ(tfs2, tfs);
 }
@@ -63,7 +63,7 @@ TEST_P(PositionalCodecParam, RandomPositionalRoundTrip) {
   }
   const auto enc = encode_postings(GetParam(), ids, tfs, &pos);
   std::vector<std::uint32_t> ids2, tfs2, pos2;
-  decode_postings(GetParam(), enc, ids2, tfs2, &pos2);
+  decode_postings(enc.data(), enc.size(), ids2, tfs2, &pos2);
   EXPECT_EQ(ids2, ids);
   EXPECT_EQ(pos2, pos);
 }

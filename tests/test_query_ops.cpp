@@ -1,11 +1,10 @@
-// Tests for boolean retrieval operators and index verification.
-//
-// conjunctive_query is deprecated in favor of the Searcher facade; these
-// tests keep exercising the shim on purpose.
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+// Tests for boolean retrieval operators and index verification. Query-level
+// conjunction goes through the Searcher facade (QueryMode::kConjunctive) —
+// the old conjunctive_query free function is gone.
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <filesystem>
 #include <set>
 
@@ -13,6 +12,7 @@
 #include "corpus/container.hpp"
 #include "postings/boolean_ops.hpp"
 #include "postings/verify.hpp"
+#include "search/searcher.hpp"
 #include "util/binary_io.hpp"
 #include "util/rng.hpp"
 
@@ -126,22 +126,41 @@ class QueryIndexFixture : public ::testing::Test {
   static inline std::string dir_;
 };
 
-TEST_F(QueryIndexFixture, ConjunctiveQueryIntersects) {
+TEST_F(QueryIndexFixture, ConjunctiveModeIntersects) {
   const auto index = InvertedIndex::open(dir_ + "/index", {}).value();
-  const auto r = conjunctive_query(
-      index, {normalize_term("apple"), normalize_term("banana")});
+  const Searcher searcher(index);  // no doc map: boolean modes only
+  QueryRequest request;
+  request.mode = QueryMode::kConjunctive;
+  request.terms = {normalize_term("apple"), normalize_term("banana")};
+  const auto r = searcher.search(request);
   ASSERT_TRUE(r.has_value());
-  EXPECT_EQ(r->doc_ids, (std::vector<std::uint32_t>{0, 1}));
-  const auto r3 = conjunctive_query(
-      index, {normalize_term("apple"), normalize_term("banana"), normalize_term("cherry")});
+  std::vector<std::uint32_t> docs;
+  for (const auto& h : r.value().hits) docs.push_back(h.doc_id);
+  std::sort(docs.begin(), docs.end());
+  EXPECT_EQ(docs, (std::vector<std::uint32_t>{0, 1}));
+
+  request.terms = {normalize_term("apple"), normalize_term("banana"),
+                   normalize_term("cherry")};
+  const auto r3 = searcher.search(request);
   ASSERT_TRUE(r3.has_value());
-  EXPECT_EQ(r3->doc_ids, (std::vector<std::uint32_t>{0}));
+  ASSERT_EQ(r3.value().hits.size(), 1u);
+  EXPECT_EQ(r3.value().hits[0].doc_id, 0u);
 }
 
-TEST_F(QueryIndexFixture, ConjunctiveQueryMissingTerm) {
+TEST_F(QueryIndexFixture, ConjunctiveModeMissingTerm) {
   const auto index = InvertedIndex::open(dir_ + "/index", {}).value();
-  EXPECT_FALSE(conjunctive_query(index, {normalize_term("apple"), "zzzznope"}).has_value());
-  EXPECT_FALSE(conjunctive_query(index, {}).has_value());
+  const Searcher searcher(index);
+  QueryRequest request;
+  request.mode = QueryMode::kConjunctive;
+  request.terms = {normalize_term("apple"), "zzzznope"};
+  const auto r = searcher.search(request);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_TRUE(r.value().hits.empty());  // any absent term empties the AND
+
+  request.terms = {};
+  const auto empty = searcher.search(request);
+  ASSERT_FALSE(empty.has_value());
+  EXPECT_EQ(empty.error().code, ErrorCode::kInvalidArgument);
 }
 
 TEST_F(QueryIndexFixture, TermsWithPrefixScansLexicographically) {

@@ -1,10 +1,7 @@
 // Tests for the search-serving layer built on the inverted files: the
-// doc map (Fig. 3 Step 1's <doc ID, location> table) and BM25 ranking.
-//
-// bm25_query is deprecated in favor of the Searcher facade (which
-// test_search_service.cpp covers); these tests deliberately keep
-// exercising the shim to prove it still answers like it always did.
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+// doc map (Fig. 3 Step 1's <doc ID, location> table) and BM25 ranking
+// through the Searcher facade (the old bm25_query free function is gone;
+// test_search_service.cpp covers the facade's serving behaviour).
 
 #include <gtest/gtest.h>
 
@@ -15,9 +12,23 @@
 #include "corpus/container.hpp"
 #include "postings/doc_map.hpp"
 #include "postings/ranking.hpp"
+#include "search/searcher.hpp"
 
 namespace hetindex {
 namespace {
+
+/// Ranked search via the facade, returning just the hits — the shape the
+/// old bm25_query helper had, so the ranking assertions read unchanged.
+std::vector<ScoredDoc> ranked(const InvertedIndex& index, const DocMap& map,
+                              std::vector<std::string> terms, std::size_t k) {
+  const Searcher searcher(index, map);
+  QueryRequest request;
+  request.terms = std::move(terms);
+  request.k = k;
+  auto r = searcher.search(request);
+  if (!r.has_value()) return {};
+  return std::move(r.value().hits);
+}
 
 TEST(DocMapUnit, BuildWriteReadRoundTrip) {
   const auto path =
@@ -107,7 +118,7 @@ TEST_F(SearchFixture, Bm25RanksFocusedDocFirst) {
   const auto index = InvertedIndex::open(dir_ + "/index", {}).value();
   const auto map = DocMap::open(doc_map_path(dir_ + "/index"));
   const auto hits =
-      bm25_query(index, map, {normalize_term("gpu"), normalize_term("index")}, 10);
+      ranked(index, map, {normalize_term("gpu"), normalize_term("index")}, 10);
   ASSERT_GE(hits.size(), 3u);
   // Doc 0: both terms, tf 2 each, short → top. Doc 3 matches nothing.
   EXPECT_EQ(hits[0].doc_id, 0u);
@@ -120,7 +131,7 @@ TEST_F(SearchFixture, Bm25RanksFocusedDocFirst) {
 TEST_F(SearchFixture, Bm25LengthNormalizationPunishesDilution) {
   const auto index = InvertedIndex::open(dir_ + "/index", {}).value();
   const auto map = DocMap::open(doc_map_path(dir_ + "/index"));
-  const auto hits = bm25_query(index, map, {normalize_term("gpu")}, 10);
+  const auto hits = ranked(index, map, {normalize_term("gpu")}, 10);
   // All of docs 0,1,2 contain "gpu"; the long diluted doc must not be first.
   ASSERT_EQ(hits.size(), 3u);
   EXPECT_EQ(hits[0].doc_id, 0u);  // tf 2, short doc
@@ -130,7 +141,7 @@ TEST_F(SearchFixture, Bm25LengthNormalizationPunishesDilution) {
 TEST_F(SearchFixture, TopKTruncates) {
   const auto index = InvertedIndex::open(dir_ + "/index", {}).value();
   const auto map = DocMap::open(doc_map_path(dir_ + "/index"));
-  const auto hits = bm25_query(index, map, {normalize_term("gpu")}, 1);
+  const auto hits = ranked(index, map, {normalize_term("gpu")}, 1);
   ASSERT_EQ(hits.size(), 1u);
   EXPECT_EQ(hits[0].doc_id, 0u);
 }
@@ -138,8 +149,12 @@ TEST_F(SearchFixture, TopKTruncates) {
 TEST_F(SearchFixture, UnknownTermsScoreNothing) {
   const auto index = InvertedIndex::open(dir_ + "/index", {}).value();
   const auto map = DocMap::open(doc_map_path(dir_ + "/index"));
-  EXPECT_TRUE(bm25_query(index, map, {"zzzznope"}, 10).empty());
-  EXPECT_TRUE(bm25_query(index, map, {}, 10).empty());
+  EXPECT_TRUE(ranked(index, map, {"zzzznope"}, 10).empty());
+  // Termless requests are a caller error now, not a silent empty answer.
+  const Searcher searcher(index, map);
+  const auto r = searcher.search(QueryRequest{});
+  ASSERT_FALSE(r.has_value());
+  EXPECT_EQ(r.error().code, ErrorCode::kInvalidArgument);
 }
 
 }  // namespace

@@ -1,12 +1,14 @@
 // Search-serving tests (docs/SERVING.md): ranked-result equivalence
-// between the MaxScore executor and the exhaustive baseline on randomized
-// corpora (batch and live backends, with and without score-bound
-// sidecars), the per-snapshot collection-stats cache (the recompute
-// counter must stay flat across queries), result-cache hits and implicit
-// invalidation across snapshot changes, admission control (shed when the
-// queue saturates, reject when a deadline expires while queued), the
-// max-tf sidecar format and its propagation through merges, and searches
-// racing live flush/compaction (the TSan tier-1 leg runs this file).
+// between the Block-Max MaxScore executor and the exhaustive baseline on
+// randomized corpora (batch and live backends, with and without
+// score-bound sidecars; tests/test_block_max.cpp extends this across
+// merges and skip-table variants), the per-snapshot collection-stats
+// cache (the recompute counter must stay flat across queries),
+// result-cache hits and implicit invalidation across snapshot changes,
+// admission control (shed when the queue saturates, reject when a
+// deadline expires while queued), the max-tf and block-index sidecar
+// formats and their propagation through merges, and searches racing live
+// flush/compaction (the TSan tier-1 leg runs this file).
 
 #include <gtest/gtest.h>
 
@@ -164,37 +166,33 @@ TEST_F(BatchServeFixture, MaxScoreMatchesExhaustiveWithoutSidecar) {
                             10);
 }
 
-TEST_F(BatchServeFixture, FacadeMatchesDeprecatedShims) {
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+TEST_F(BatchServeFixture, ConjunctiveCursorsMatchDecodedIntersection) {
+  // The cursor-driven intersection must agree with the boolean operators
+  // over fully decoded lists — same docs, same summed tfs.
   const auto index = InvertedIndex::open(index_dir_->path(), {}).value();
   const auto docs = DocMap::open(doc_map_path(index_dir_->path()));
   const Searcher searcher(index, docs);
   const auto queries = sample_queries(batch_vocabulary(index), 10, 3);
   for (const auto& terms : queries) {
-    const auto legacy = bm25_query(index, docs, terms, 10);
-    QueryRequest request;
-    request.terms = terms;
-    request.k = 10;
-    const auto response = searcher.search(request);
-    ASSERT_TRUE(response.has_value());
-    ASSERT_EQ(response.value().hits.size(), legacy.size());
-    for (std::size_t i = 0; i < legacy.size(); ++i) {
-      EXPECT_EQ(response.value().hits[i].doc_id, legacy[i].doc_id);
-      EXPECT_EQ(response.value().hits[i].score, legacy[i].score);
+    std::optional<QueryPostings> joint;
+    bool all_present = true;
+    for (const auto& term : terms) {
+      auto p = index.lookup(term);
+      if (!p.has_value()) {
+        all_present = false;
+        break;
+      }
+      joint = joint ? postings_and(*joint, p.value()) : std::move(p);
     }
-
-    const auto joint = conjunctive_query(index, terms);
     QueryRequest conj;
     conj.terms = terms;
     conj.mode = QueryMode::kConjunctive;
-    conj.k = index.term_count();  // no truncation: compare full doc sets
-    const auto conj_response = searcher.search(conj);
-    ASSERT_TRUE(conj_response.has_value());
-    EXPECT_EQ(conj_response.value().hits.size(),
-              joint ? joint->doc_ids.size() : 0u);
+    conj.k = static_cast<std::size_t>(index.term_count());  // no truncation
+    const auto response = searcher.search(conj);
+    ASSERT_TRUE(response.has_value());
+    EXPECT_EQ(response.value().hits.size(),
+              all_present && joint ? joint->doc_ids.size() : 0u);
   }
-#pragma GCC diagnostic pop
 }
 
 TEST(LiveServe, MaxScoreMatchesExhaustiveAcrossFlushAndCompaction) {
@@ -345,6 +343,9 @@ TEST_F(BatchServeFixture, PostingsCacheServesRepeatedTerms) {
   const auto docs = DocMap::open(doc_map_path(index_dir_->path()));
   const Searcher searcher(index, docs);
   QueryRequest request;
+  // Disjunctive mode: a decoded mode — the cursor modes (pruned ranked,
+  // conjunctive) deliberately bypass this cache.
+  request.mode = QueryMode::kDisjunctive;
   request.terms = {batch_vocabulary(index).front(), "zzzznope"};
   request.use_result_cache = false;  // isolate the postings cache
   ASSERT_TRUE(searcher.search(request).has_value());
@@ -533,6 +534,63 @@ TEST_F(BatchServeFixture, SidecarRoundTripsAndRejectsCorruption) {
   const auto r = read_max_tf_sidecar(copy, reader.term_count());
   ASSERT_FALSE(r.has_value());
   EXPECT_EQ(r.error().code, ErrorCode::kNotFound);
+}
+
+TEST_F(BatchServeFixture, BlockIndexSidecarRoundTripsAndRejectsCorruption) {
+  const auto seg_path = IndexLayout::segment_path(index_dir_->path());
+  const auto reader = SegmentReader::open(seg_path);
+
+  // The build-time sidecar must equal a full recompute from the blobs.
+  const auto loaded = read_block_index_sidecar(seg_path, reader.term_count());
+  ASSERT_TRUE(loaded.has_value());
+  const auto oracle = compute_block_index(reader);
+  ASSERT_EQ(loaded.value().term_count(), oracle.term_count());
+  ASSERT_EQ(loaded.value().total_blocks(), oracle.total_blocks());
+  for (std::uint64_t ord = 0; ord < oracle.term_count(); ++ord) {
+    const auto [got, got_n] = loaded.value().blocks(ord);
+    const auto [want, want_n] = oracle.blocks(ord);
+    ASSERT_EQ(got_n, want_n) << "term " << ord;
+    for (std::size_t i = 0; i < want_n; ++i) {
+      ASSERT_EQ(got[i], want[i]) << "term " << ord << " block " << i;
+    }
+  }
+  EXPECT_TRUE(validate_block_index(reader, loaded.value()).has_value());
+
+  TempDir scratch("bmx");
+  const auto copy = scratch.path() + "/index.seg";
+  std::filesystem::copy(seg_path, copy);
+  ASSERT_TRUE(write_block_index_sidecar(copy, loaded.value()).has_value());
+
+  {  // wrong term count → kCorrupt, not a silent degrade
+    const auto r = read_block_index_sidecar(copy, reader.term_count() + 1);
+    ASSERT_FALSE(r.has_value());
+    EXPECT_EQ(r.error().code, ErrorCode::kCorrupt);
+  }
+  {  // flipped row byte → CRC mismatch
+    const auto path = block_index_sidecar_path(copy);
+    const auto size = std::filesystem::file_size(path);
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekg(static_cast<std::streamoff>(size - 8));  // inside the last row
+    char byte = 0;
+    f.read(&byte, 1);
+    f.seekp(static_cast<std::streamoff>(size - 8));
+    byte = static_cast<char>(byte ^ 0x5A);
+    f.write(&byte, 1);
+    f.close();
+    const auto r = read_block_index_sidecar(copy, reader.term_count());
+    ASSERT_FALSE(r.has_value());
+    EXPECT_EQ(r.error().code, ErrorCode::kCorrupt);
+  }
+  {  // truncated below the fixed header → kCorrupt
+    std::filesystem::resize_file(block_index_sidecar_path(copy), 20);
+    const auto r = read_block_index_sidecar(copy, reader.term_count());
+    ASSERT_FALSE(r.has_value());
+    EXPECT_EQ(r.error().code, ErrorCode::kCorrupt);
+  }
+  std::filesystem::remove(block_index_sidecar_path(copy));
+  const auto absent = read_block_index_sidecar(copy, reader.term_count());
+  ASSERT_FALSE(absent.has_value());
+  EXPECT_EQ(absent.error().code, ErrorCode::kNotFound);
 }
 
 TEST(Sidecar, BoundsSurviveMergesAndMatchTrueMaxima) {
