@@ -7,12 +7,23 @@
 /// write amplification of the tiered merge policy (bytes rewritten by
 /// merges vs bytes flushed), and snapshot query latency against segment
 /// counts before and after compaction.
+///
+/// The second half measures the real-time mutable index: ingest docs/s
+/// with and without concurrent memtable search load (reader threads
+/// running ranked queries through a snapshot-following Searcher while the
+/// writer ingests). Writes a machine-readable summary to BENCH_ingest.json
+/// (path overridable via HETINDEX_BENCH_JSON) — scripts/tier1.sh archives
+/// it next to the build tree.
 
+#include <atomic>
 #include <cstdio>
 #include <filesystem>
+#include <random>
+#include <thread>
 #include <vector>
 
 #include "bench_common.hpp"
+#include "obs/json.hpp"
 
 using namespace hetindex;
 using namespace hetindex::bench;
@@ -33,6 +44,43 @@ double query_micros(const LiveSnapshot& snap, const std::vector<std::string>& te
     if (snap.lookup(term)) ++hits;
   }
   return terms.empty() ? 0.0 : timer.seconds() * 1e6 / static_cast<double>(terms.size());
+}
+
+/// One timed ingest of the whole corpus with `search_threads` readers
+/// hammering ranked queries against the writer's live snapshots the whole
+/// time. Returns docs/s; the sustained query rate comes back in `qps`.
+double ingest_docs_per_s(const std::vector<Document>& docs, const std::string& dir,
+                         const std::vector<std::string>& probes,
+                         std::size_t search_threads, double* qps) {
+  std::filesystem::remove_all(dir);
+  IndexWriterOptions opts;  // production defaults: auto-flush + background merge
+  auto w = IndexWriter::open(dir, opts).value();
+  Searcher searcher([&w] { return w.snapshot(); });
+  std::atomic<bool> done{false};
+  std::atomic<std::uint64_t> answered{0};
+  std::vector<std::thread> readers;
+  for (std::size_t t = 0; t < search_threads; ++t) {
+    readers.emplace_back([&, t] {
+      std::mt19937 rng(static_cast<std::uint32_t>(17 * t + 1));
+      while (!done.load(std::memory_order_acquire)) {
+        QueryRequest req;
+        req.terms = {probes[rng() % probes.size()], probes[rng() % probes.size()]};
+        req.k = 10;
+        req.use_result_cache = false;  // every query really searches
+        if (searcher.search(req).has_value()) {
+          answered.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  WallTimer timer;
+  for (const auto& doc : docs) w.add_document(doc.url, doc.body);
+  w.flush();
+  const double seconds = timer.seconds();
+  done.store(true, std::memory_order_release);
+  for (auto& r : readers) r.join();
+  *qps = static_cast<double>(answered.load()) / seconds;
+  return static_cast<double>(docs.size()) / seconds;
 }
 
 }  // namespace
@@ -74,6 +122,14 @@ int main() {
     });
   }
 
+  struct SweepRow {
+    std::uint64_t flush_kb = 0;
+    double docs_per_s = 0, write_amp = 0, q_before_us = 0, q_after_us = 0;
+    std::uint64_t flushes = 0, merges = 0;
+    std::size_t segments = 0;
+  };
+  std::vector<SweepRow> sweep;
+
   std::printf("\n%-12s %10s %8s %8s %10s %8s %10s %10s\n", "flush", "docs/s",
               "flushes", "merges", "write-amp", "segs", "q-us/term", "q-us/cpct");
   row_sep(84);
@@ -108,10 +164,57 @@ int main() {
                 static_cast<unsigned long long>(flushes),
                 static_cast<unsigned long long>(merges), write_amp,
                 snap->segment_count(), before_us, after_us);
+    sweep.push_back({flush_kb, static_cast<double>(docs.size()) / ingest_seconds,
+                     write_amp, before_us, after_us, flushes, merges,
+                     snap->segment_count()});
   }
+
+  // Freshness tax: the same ingest with reader threads continuously
+  // searching the live snapshots (memtable included) through a follower
+  // Searcher. The delta is the cost of serving queries out of the mutable
+  // tier while it is being written.
+  double unloaded_qps = 0, loaded_qps = 0;
+  const double unloaded = ingest_docs_per_s(docs, bench_dir() + "/live_load_0",
+                                            probes, 0, &unloaded_qps);
+  const std::size_t readers = 2;
+  const double loaded = ingest_docs_per_s(docs, bench_dir() + "/live_load_r",
+                                          probes, readers, &loaded_qps);
+  std::printf("\n%-24s %12s %12s %12s\n", "memtable search load", "docs/s",
+              "ingest cost", "search qps");
+  row_sep(64);
+  std::printf("%-24s %12.0f %12s %12s\n", "none", unloaded, "-", "-");
+  const std::string label = std::to_string(readers) + " reader threads";
+  std::printf("%-24s %12.0f %11.1f%% %12.0f\n", label.c_str(), loaded,
+              100.0 * (1.0 - loaded / unloaded), loaded_qps);
+
+  // Machine-readable summary (consumed by CI trend tooling).
+  std::string json = "{\n  \"bench\": \"live_ingest\",\n  \"rows\": [\n";
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    const auto& r = sweep[i];
+    json += "    {\"flush_kb\": " + std::to_string(r.flush_kb) +
+            ", \"docs_per_s\": " + obs::json_number(r.docs_per_s) +
+            ", \"flushes\": " + std::to_string(r.flushes) +
+            ", \"merges\": " + std::to_string(r.merges) +
+            ", \"write_amp\": " + obs::json_number(r.write_amp) +
+            ", \"segments\": " + std::to_string(r.segments) +
+            ", \"query_us_precompact\": " + obs::json_number(r.q_before_us) +
+            ", \"query_us_postcompact\": " + obs::json_number(r.q_after_us) + "}";
+    json += (i + 1 < sweep.size()) ? ",\n" : "\n";
+  }
+  json += "  ],\n  \"search_load\": {\"docs_per_s_unloaded\": " +
+          obs::json_number(unloaded) +
+          ", \"docs_per_s_loaded\": " + obs::json_number(loaded) +
+          ", \"reader_threads\": " + std::to_string(readers) +
+          ", \"search_qps\": " + obs::json_number(loaded_qps) + "}\n}\n";
+  const char* out = std::getenv("HETINDEX_BENCH_JSON");
+  const std::string json_path = out != nullptr ? out : "BENCH_ingest.json";
+  write_file(json_path, std::vector<std::uint8_t>(json.begin(), json.end()));
+  std::printf("\nwrote %s\n", json_path.c_str());
 
   std::printf("\nIngest throughput rises with the flush threshold (fewer, larger\n"
               "segments to write); query latency falls after compaction as the\n"
               "per-term lookup touches fewer segments.\n");
-  return 0;
+  bool ok = unloaded > 0 && loaded > 0 && loaded_qps > 0;
+  if (!ok) std::printf("FAIL: degenerate measurement (zero throughput)\n");
+  return ok ? 0 : 1;
 }

@@ -299,6 +299,8 @@ int cmd_live(int argc, char** argv) {
                   {"merge-factor", true, "segments folded per merge (default 4)"},
                   {"no-compaction", false, "disable the background merge thread"},
                   {"positions", false, "record in-document token positions"},
+                  {"delete-every", true, "tombstone every Nth ingested doc (default off)"},
+                  {"update-every", true, "re-index every Nth ingested doc in place (default off)"},
                   {"metrics", false, "dump writer metrics at the end"}});
   if (!args.parse(argc, argv)) return args.help_requested() ? 0 : 2;
   if (args.positionals().size() != 2) {
@@ -321,12 +323,23 @@ int cmd_live(int argc, char** argv) {
                  args.positionals()[0].c_str());
     return 1;
   }
+  const auto delete_every = static_cast<std::uint64_t>(args.num("delete-every", 0));
+  const auto update_every = static_cast<std::uint64_t>(args.num("update-every", 0));
   WallTimer timer;
   std::uint64_t bytes = 0;
   for (const auto& file : files) {
     for (const auto& doc : container_read(file)) {
       bytes += doc.body.size();
-      w.add_document(doc.url, doc.body);
+      const std::uint32_t id = w.add_document(doc.url, doc.body);
+      // Exercise the mutable-index paths: both commit durably and take
+      // effect in the very next snapshot (no flush involved).
+      if (delete_every != 0 && id % delete_every == delete_every - 1) {
+        auto removed = w.delete_document(id);
+        if (!removed.has_value()) return report_error(removed.error());
+      } else if (update_every != 0 && id % update_every == update_every - 1) {
+        auto replaced = w.update_document(id, doc.url, doc.body);
+        if (!replaced.has_value()) return report_error(replaced.error());
+      }
     }
     const auto snap = w.snapshot();
     std::fprintf(stderr, "\ringested %s  (%u committed + %u buffered docs, %zu segments)",
@@ -339,9 +352,10 @@ int cmd_live(int argc, char** argv) {
   if (!compacted.has_value()) return report_error(compacted.error());
   std::fputc('\n', stderr);
   const auto snap = w.snapshot();
-  std::printf("live index: %llu docs, %llu terms, %zu segments after compaction, "
-              "%.1f MB/s ingest\n",
+  std::printf("live index: %llu live docs (%llu deleted), %llu terms, "
+              "%zu segments after compaction, %.1f MB/s ingest\n",
               static_cast<unsigned long long>(snap->doc_count()),
+              static_cast<unsigned long long>(snap->deleted_docs()),
               static_cast<unsigned long long>(snap->term_count()),
               snap->segment_count(),
               static_cast<double>(bytes) / (1 << 20) / timer.seconds());
@@ -363,8 +377,8 @@ struct OpenedSearcher {
   [[nodiscard]] std::string url_of(std::uint32_t doc_id) const {
     if (docs != nullptr && docs->contains(doc_id)) return docs->location(doc_id).url;
     if (snapshot != nullptr) {
-      const DocLocation* loc = snapshot->locate(doc_id);
-      if (loc != nullptr) return loc->url;
+      const auto loc = snapshot->locate(doc_id);
+      if (loc.has_value()) return loc->url;
     }
     return {};
   }
@@ -641,16 +655,32 @@ int cmd_stats(int argc, char** argv) {
     auto live = LiveIndex::open(dir);
     if (!live.has_value()) return report_error(live.error());
     const auto snap = live.value().snapshot();
-    std::printf("live index: %llu docs, %llu distinct terms, %zu segments\n",
+    std::printf("live index: %llu live docs (%llu total, %llu tombstoned), "
+                "%llu distinct terms, %zu segments\n",
                 static_cast<unsigned long long>(snap->doc_count()),
+                static_cast<unsigned long long>(snap->total_docs()),
+                static_cast<unsigned long long>(snap->deleted_docs()),
                 static_cast<unsigned long long>(snap->term_count()),
                 snap->segment_count());
+    const auto manifest = manifest_read(dir);
     for (const auto& seg : snap->segments()) {
-      std::printf("  seg-%04llu: docs [%u, %u), %llu terms, %s\n",
+      std::uint64_t reclaimed = 0;
+      if (manifest.has_value()) {
+        for (const auto& e : manifest.value().entries) {
+          if (e.segment_id == seg->id()) reclaimed = e.reclaimed_docs;
+        }
+      }
+      const std::uint64_t dead =
+          snap->tombstones() == nullptr
+              ? 0
+              : snap->tombstones()->count_in_range(seg->doc_base(), seg->doc_count());
+      std::printf("  seg-%04llu: docs [%u, %u), %llu terms, %s, %llu/%llu dead docs reclaimed\n",
                   static_cast<unsigned long long>(seg->id()), seg->doc_base(),
                   seg->doc_base() + seg->doc_count(),
                   static_cast<unsigned long long>(seg->reader().term_count()),
-                  format_bytes(seg->reader().file_bytes()).c_str());
+                  format_bytes(seg->reader().file_bytes()).c_str(),
+                  static_cast<unsigned long long>(reclaimed),
+                  static_cast<unsigned long long>(dead));
     }
     return 0;
   }

@@ -3,18 +3,25 @@
 # sanitizer legs over the concurrency- and memory-critical tests:
 #   - ThreadSanitizer on the threaded pipeline/observability/segment/live/
 #     search tests (metric emission from parser threads, shared
-#     SegmentReader lookups, snapshot readers racing live flushes and
-#     compaction, the SearchService pool racing the live writer)
+#     SegmentReader lookups, snapshot readers racing live flushes,
+#     deletes and compaction, the SearchService pool racing the live
+#     writer)
 #   - ASan+UBSan on the binary-format and serving tests (run files,
 #     segments, query path, MaxScore executor and caches) to catch
 #     overruns and UB in the decoders and the mmap reader
 #   - a fault-injection leg: the crash-consistency harness (trace-prefix
-#     replay + injected ENOSPC/EINTR/fsync faults, docs/DURABILITY.md)
-#     under ASan+UBSan, once with the fixed seed and once with a
-#     randomized HETINDEX_CRASH_SEED (printed, so failures replay)
-#   - a bench leg: bench_block_pruning (plain tree; the sanitizer trees
-#     build with HETINDEX_BUILD_BENCH=OFF) emits BENCH_search.json —
-#     pruned-vs-exhaustive latency and blocks skipped (docs/SERVING.md)
+#     replay of flush/delete/update/compaction commits + injected
+#     ENOSPC/EINTR/fsync faults, docs/DURABILITY.md) under ASan+UBSan,
+#     once with the fixed seed and once with a randomized
+#     HETINDEX_CRASH_SEED (printed, so failures replay)
+#   - a bench leg (plain tree; the sanitizer trees build with
+#     HETINDEX_BUILD_BENCH=OFF): bench_block_pruning emits
+#     BENCH_search.json (pruned-vs-exhaustive latency and blocks skipped,
+#     docs/SERVING.md) and bench_live_ingest emits BENCH_ingest.json
+#     (ingest docs/s with and without concurrent memtable search load,
+#     docs/LIVE_INDEXING.md)
+#
+# Each leg's wall-clock is reported in the summary at the end.
 #
 #   scripts/tier1.sh [--no-tsan] [--no-asan] [--no-faults] [--no-bench]
 set -euo pipefail
@@ -31,27 +38,44 @@ for arg in "$@"; do
   [[ "$arg" == "--no-bench" ]] && run_bench=0
 done
 
+# Per-leg wall-clock accounting, printed as a summary before "tier1: OK".
+leg_names=()
+leg_seconds=()
+leg_start=0
+leg_begin() { leg_start=$SECONDS; }
+leg_end() {
+  leg_names+=("$1")
+  leg_seconds+=($(( SECONDS - leg_start )))
+}
+
+leg_begin
 cmake -B build -S .
 cmake --build build -j "$(nproc)"
 ctest --test-dir build --output-on-failure -j "$(nproc)"
+leg_end "build+ctest"
 
 if [[ "$run_tsan" == 1 ]]; then
+  leg_begin
   cmake -B build-tsan -S . -DHETINDEX_SANITIZE=thread \
         -DHETINDEX_BUILD_BENCH=OFF -DHETINDEX_BUILD_EXAMPLES=OFF \
         -DCMAKE_BUILD_TYPE=RelWithDebInfo
   cmake --build build-tsan -j "$(nproc)" --target test_pipeline test_obs test_segment test_live test_search_service test_block_max
   ctest --test-dir build-tsan --output-on-failure -R '^(test_pipeline|test_obs|test_segment|test_live|test_search_service|test_block_max)$'
+  leg_end "tsan"
 fi
 
 if [[ "$run_asan" == 1 ]]; then
+  leg_begin
   cmake -B build-asan -S . -DHETINDEX_SANITIZE=address \
         -DHETINDEX_BUILD_BENCH=OFF -DHETINDEX_BUILD_EXAMPLES=OFF \
         -DCMAKE_BUILD_TYPE=RelWithDebInfo
   cmake --build build-asan -j "$(nproc)" --target test_segment test_postings test_codec test_query_ops test_live test_search_service test_block_max
   ctest --test-dir build-asan --output-on-failure -R '^(test_segment|test_postings|test_codec|test_query_ops|test_live|test_search_service|test_block_max)$'
+  leg_end "asan"
 fi
 
 if [[ "$run_faults" == 1 ]]; then
+  leg_begin
   # Reuses the ASan+UBSan tree: fault paths shake out lifetime bugs
   # (double-close, use-after-unmap) that a plain build would miss.
   cmake -B build-asan -S . -DHETINDEX_SANITIZE=address \
@@ -65,13 +89,25 @@ if [[ "$run_faults" == 1 ]]; then
   random_seed=$(( (RANDOM << 15) | RANDOM ))
   echo "fault leg: randomized HETINDEX_CRASH_SEED=$random_seed"
   HETINDEX_CRASH_SEED=$random_seed ctest --test-dir build-asan --output-on-failure -R '^test_crash_consistency$'
+  leg_end "faults"
 fi
 
 if [[ "$run_bench" == 1 ]]; then
-  # Block-max pruning smoke bench: fails (exit 1) if the pruned executor
-  # skipped zero blocks, and leaves BENCH_search.json in the repo root for
-  # trend tooling. Uses the plain tree built above.
+  leg_begin
+  # Smoke benches on the plain tree built above. Both fail (exit 1) on a
+  # degenerate measurement and leave their JSON in the repo root for trend
+  # tooling: block-max pruning must actually skip blocks, and live ingest
+  # must sustain nonzero docs/s with and without memtable search load.
   HETINDEX_BENCH_JSON="$PWD/BENCH_search.json" ./build/bench/bench_block_pruning
   echo "bench leg: wrote BENCH_search.json"
+  HETINDEX_BENCH_JSON="$PWD/BENCH_ingest.json" ./build/bench/bench_live_ingest
+  echo "bench leg: wrote BENCH_ingest.json"
+  leg_end "bench"
 fi
+
+echo
+echo "tier1 leg summary:"
+for i in "${!leg_names[@]}"; do
+  printf '  %-12s %4ds\n' "${leg_names[$i]}" "${leg_seconds[$i]}"
+done
 echo "tier1: OK"

@@ -22,8 +22,10 @@
 ///                QueryResponse out, every mode) and SearchService
 ///                (thread-pooled concurrent execution with admission
 ///                control, caching, deadlines; docs/SERVING.md)
-///   Live         IndexWriter (incremental ingestion into numbered
-///                segments), tiered compaction, snapshot-isolated reads
+///   Live         IndexWriter (real-time mutable indexing: documents are
+///                searchable the moment add_document returns, deletes and
+///                updates via tombstones), the searchable Memtable, tiered
+///                compaction with physical reclaim, snapshot-isolated reads
 ///                (LiveSnapshot / LiveIndex; docs/LIVE_INDEXING.md)
 ///   Corpus       container files, the synthetic collection generator, the
 ///                sampling-based CPU/GPU work split
@@ -57,7 +59,9 @@
 
 // Live indexing (docs/LIVE_INDEXING.md).
 #include "live/manifest.hpp"
+#include "live/memtable.hpp"
 #include "live/segment_set.hpp"
+#include "live/tombstones.hpp"
 #include "live/writer.hpp"
 
 // Query.
@@ -154,7 +158,7 @@ class IndexBuilder {
 /// Library version.
 struct Version {
   static constexpr int major = 1;
-  static constexpr int minor = 3;
+  static constexpr int minor = 4;
   static constexpr int patch = 0;
 };
 std::string version_string();

@@ -10,7 +10,10 @@
 namespace hetindex {
 namespace {
 constexpr std::uint32_t kManifestMagic = 0x464E414D;  // "MANF"
-constexpr std::uint32_t kManifestVersion = 1;
+// v2 added the tombstone fields (tombstone_gen/tombstone_docs in the header,
+// reclaimed_docs per entry). v1 files remain readable; writes emit v2.
+constexpr std::uint32_t kManifestVersionV1 = 1;
+constexpr std::uint32_t kManifestVersion = 2;
 }  // namespace
 
 std::string manifest_path(const std::string& dir) { return dir + "/MANIFEST"; }
@@ -48,13 +51,18 @@ Expected<Manifest> manifest_read(const std::string& dir) {
   if (r.u32() != kManifestMagic) {
     return Error{ErrorCode::kCorrupt, "not a hetindex manifest: " + path};
   }
-  if (r.u32() != kManifestVersion) {
+  const std::uint32_t version = r.u32();
+  if (version != kManifestVersionV1 && version != kManifestVersion) {
     return Error{ErrorCode::kUnsupported, "unsupported manifest version: " + path};
   }
   Manifest m;
   m.next_segment_id = r.u64();
   m.next_doc_id = r.u32();
   const std::uint32_t count = r.u32();
+  if (version >= 2) {
+    m.tombstone_gen = r.u64();
+    m.tombstone_docs = r.u64();
+  }
   m.entries.reserve(count);
   for (std::uint32_t i = 0; i < count; ++i) {
     ManifestEntry e;
@@ -63,6 +71,7 @@ Expected<Manifest> manifest_read(const std::string& dir) {
     e.doc_count = r.u32();
     e.term_count = r.u64();
     e.file_bytes = r.u64();
+    if (version >= 2) e.reclaimed_docs = r.u64();
     m.entries.push_back(e);
   }
   return m;
@@ -76,12 +85,15 @@ Status manifest_write(const std::string& dir, const Manifest& m) {
   w.u64(m.next_segment_id);
   w.u32(m.next_doc_id);
   w.u32(static_cast<std::uint32_t>(m.entries.size()));
+  w.u64(m.tombstone_gen);
+  w.u64(m.tombstone_docs);
   for (const auto& e : m.entries) {
     w.u64(e.segment_id);
     w.u32(e.doc_base);
     w.u32(e.doc_count);
     w.u64(e.term_count);
     w.u64(e.file_bytes);
+    w.u64(e.reclaimed_docs);
   }
   w.u32(crc32(out.data(), out.size()));
   const std::string tmp = manifest_path(dir) + ".tmp";

@@ -21,13 +21,20 @@
 
 namespace hetindex {
 
-/// One committed segment.
+/// One committed segment. `doc_count` is the width of the segment's doc id
+/// range — tombstoned ids stay counted here (ids never shift), the live
+/// count is derived by subtracting the tombstone bitmap.
 struct ManifestEntry {
   std::uint64_t segment_id = 0;   ///< file number (seg-<id>.seg)
   std::uint32_t doc_base = 0;     ///< first global doc id in the segment
   std::uint32_t doc_count = 0;
   std::uint64_t term_count = 0;
   std::uint64_t file_bytes = 0;   ///< segment file size at commit time
+  /// Tombstoned docs already physically absent from this segment's
+  /// postings (dropped by a rewrite merge). The segment still carries dead
+  /// postings when count_in_range(doc_base, doc_count) exceeds this — the
+  /// compactor's reclaim trigger. Format v1 manifests read as 0.
+  std::uint64_t reclaimed_docs = 0;
 };
 
 /// The committed state of a live index directory. Entries are kept in
@@ -36,6 +43,12 @@ struct ManifestEntry {
 struct Manifest {
   std::uint64_t next_segment_id = 1;  ///< next file number to allocate
   std::uint32_t next_doc_id = 0;      ///< next global doc id to assign
+  /// Committed tombstone sidecar generation (tomb-<gen>.tmb, live/
+  /// tombstones.hpp); 0 = no deletes ever committed. The sidecar is written
+  /// durably before the manifest commit that names it, so a committed
+  /// generation is always readable — anything else is kCorrupt.
+  std::uint64_t tombstone_gen = 0;
+  std::uint64_t tombstone_docs = 0;  ///< deleted ids in that generation
   std::vector<ManifestEntry> entries;
 };
 
@@ -48,7 +61,8 @@ std::string live_docmap_path(const std::string& dir, std::uint64_t segment_id);
 
 /// Reads the committed manifest. A missing file reports kNotFound (a fresh
 /// directory, not an error for the writer); a bad magic, version or CRC
-/// kCorrupt.
+/// kCorrupt. Both format versions are accepted: v1 (pre-tombstone) entries
+/// read with tombstone_gen/reclaimed_docs of 0; writes always emit v2.
 Expected<Manifest> manifest_read(const std::string& dir);
 
 /// Atomically and durably commits `m`: write MANIFEST.tmp, fsync it,

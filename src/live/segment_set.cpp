@@ -1,6 +1,7 @@
 #include "live/segment_set.hpp"
 
 #include <algorithm>
+#include <limits>
 
 #include "io/env.hpp"
 #include "postings/cursor.hpp"
@@ -71,8 +72,12 @@ namespace {
 std::atomic<std::uint64_t> g_next_snapshot_id{1};
 }  // namespace
 
-LiveSnapshot::LiveSnapshot(std::vector<std::shared_ptr<LiveSegment>> segments)
+LiveSnapshot::LiveSnapshot(std::vector<std::shared_ptr<LiveSegment>> segments,
+                           std::shared_ptr<const MemtableView> memtable,
+                           std::shared_ptr<const TombstoneSet> tombstones)
     : segments_(std::move(segments)),
+      memtable_(std::move(memtable)),
+      tombstones_(std::move(tombstones)),
       snapshot_id_(g_next_snapshot_id.fetch_add(1, std::memory_order_relaxed)) {
   std::sort(segments_.begin(), segments_.end(),
             [](const auto& a, const auto& b) { return a->doc_base() < b->doc_base(); });
@@ -82,20 +87,59 @@ LiveSnapshot::LiveSnapshot(std::vector<std::shared_ptr<LiveSegment>> segments)
       HET_CHECK_MSG(prev.doc_base() + prev.doc_count() <= segments_[i]->doc_base(),
                     "live segments must cover disjoint ascending doc ranges");
     }
-    doc_count_ += segments_[i]->doc_count();
+    total_docs_ += segments_[i]->doc_count();
+  }
+  if (memtable_ != nullptr) {
+    if (memtable_->doc_count() == 0) {
+      memtable_ = nullptr;  // an empty view contributes nothing
+    } else {
+      HET_CHECK_MSG(segments_.empty() ||
+                        segments_.back()->doc_base() + segments_.back()->doc_count() <=
+                            memtable_->doc_base(),
+                    "memtable doc range must follow every committed segment");
+      total_docs_ += memtable_->doc_count();
+    }
+  }
+  if (tombstones_ != nullptr) {
+    // Clamp to this snapshot's id space: a tombstone for a memtable doc the
+    // writer has assigned but not published here must not skew the count.
+    deleted_docs_ = tombstones_->count_below(total_docs_);
   }
 }
 
 double LiveSnapshot::average_doc_tokens() const {
-  double token_sum = 0.0;
-  std::uint64_t mapped_docs = 0;
+  // Exact integer arithmetic throughout (token counts are uint32s; the
+  // sums stay far below 2^53): subtracting a reclaimed doc's tokens yields
+  // the bit-identical avgdl a fresh build of the survivors would compute.
+  std::uint64_t token_sum = 0;
+  std::uint64_t live_docs = 0;
   for (const auto& seg : segments_) {
     const DocMap* map = seg->doc_map();
     if (map == nullptr || map->doc_count() == 0) continue;
-    token_sum += map->average_doc_tokens() * map->doc_count();
-    mapped_docs += map->doc_count();
+    token_sum += map->token_sum();
+    live_docs += map->doc_count();
+    if (tombstones_ != nullptr) {
+      tombstones_->for_each_in_range(seg->doc_base(), seg->doc_count(),
+                                     [&](std::uint32_t doc) {
+                                       if (!map->contains(doc)) return;
+                                       token_sum -= map->location(doc).token_count;
+                                       --live_docs;
+                                     });
+    }
   }
-  return mapped_docs == 0 ? 0.0 : token_sum / static_cast<double>(mapped_docs);
+  if (memtable_ != nullptr) {
+    token_sum += memtable_->token_sum();
+    live_docs += memtable_->doc_count();
+    if (tombstones_ != nullptr) {
+      tombstones_->for_each_in_range(memtable_->doc_base(), memtable_->doc_count(),
+                                     [&](std::uint32_t doc) {
+                                       token_sum -= memtable_->doc_tokens(doc);
+                                       --live_docs;
+                                     });
+    }
+  }
+  return live_docs == 0 ? 0.0
+                        : static_cast<double>(token_sum) / static_cast<double>(live_docs);
 }
 
 std::optional<std::uint32_t> LiveSnapshot::max_tf(std::string_view term) const {
@@ -110,14 +154,19 @@ std::optional<std::uint32_t> LiveSnapshot::max_tf(std::string_view term) const {
     const std::uint32_t tf = (*tfs)[static_cast<std::size_t>(*ordinal)];
     best = best ? std::max(*best, tf) : tf;
   }
+  if (memtable_ != nullptr) {
+    const auto mem = memtable_->max_tf(term);
+    if (mem) best = best ? std::max(*best, *mem) : *mem;
+  }
   return best;
 }
 
 std::optional<QueryPostings> LiveSnapshot::lookup(std::string_view term) const {
   QueryPostings out;
   bool found = false;
-  // Segments are doc_base-ascending and doc-disjoint, so appending
-  // per-segment results in order yields one globally sorted list.
+  // Segments are doc_base-ascending and doc-disjoint (memtable docs above
+  // them all), so appending per-part results in order yields one globally
+  // sorted list.
   for (const auto& seg : segments_) {
     const auto ordinal = seg->reader().find(term);
     if (!ordinal) continue;
@@ -125,6 +174,7 @@ std::optional<QueryPostings> LiveSnapshot::lookup(std::string_view term) const {
     seg->reader().decode(seg->reader().meta(*ordinal), out.doc_ids, out.tfs,
                          &out.positions);
   }
+  if (memtable_ != nullptr && memtable_->lookup(term, out)) found = true;
   if (!found) return std::nullopt;
   return out;
 }
@@ -148,6 +198,14 @@ std::unique_ptr<PostingsCursor> LiveSnapshot::open_cursor(std::string_view term)
       auto decoded = std::make_shared<QueryPostings>();
       seg->reader().decode(m, decoded->doc_ids, decoded->tfs);
       parts.push_back(make_decoded_cursor(std::move(decoded)));
+    }
+  }
+  if (memtable_ != nullptr) {
+    auto blocks = memtable_->cursor_blocks(term);
+    if (!blocks.empty()) {
+      // The pin keeps the memtable arena alive past a flush that resets
+      // the writer's buffer while this cursor is outstanding.
+      parts.push_back(make_memtable_cursor(std::move(blocks), memtable_->pin()));
     }
   }
   if (parts.empty()) return nullptr;
@@ -188,7 +246,14 @@ std::optional<QueryPostings> LiveSnapshot::lookup_range(
 
 void LiveSnapshot::for_each_term(const std::function<bool(std::string_view)>& fn) const {
   // K-way cursor merge with dedup: a term indexed before and after a flush
-  // boundary appears in several segments but is reported once.
+  // boundary appears in several segments (and possibly the memtable) but
+  // is reported once. The memtable contributes a pre-sorted term list
+  // merged in as one more way.
+  std::vector<std::string> mem_terms;
+  if (memtable_ != nullptr) {
+    memtable_->for_each_term([&](std::string_view t) { mem_terms.emplace_back(t); });
+  }
+  std::size_t mem_at = 0;
   std::vector<SegmentReader::TermCursor> cursors;
   cursors.reserve(segments_.size());
   for (const auto& seg : segments_) cursors.emplace_back(seg->reader());
@@ -199,12 +264,17 @@ void LiveSnapshot::for_each_term(const std::function<bool(std::string_view)>& fn
         min_term = &c.term();
       }
     }
+    if (mem_at < mem_terms.size() &&
+        (min_term == nullptr || mem_terms[mem_at] < *min_term)) {
+      min_term = &mem_terms[mem_at];
+    }
     if (min_term == nullptr) return;
     const std::string term = *min_term;
     if (!fn(term)) return;
     for (auto& c : cursors) {
       while (c.valid() && c.term() == term) c.next();
     }
+    if (mem_at < mem_terms.size() && mem_terms[mem_at] == term) ++mem_at;
   }
 }
 
@@ -224,17 +294,25 @@ std::vector<std::string> LiveSnapshot::terms_with_prefix(std::string_view prefix
     out.insert(out.end(), std::make_move_iterator(part.begin()),
                std::make_move_iterator(part.end()));
   }
+  if (memtable_ != nullptr) {
+    auto part = memtable_->terms_with_prefix(
+        prefix, std::numeric_limits<std::size_t>::max());
+    out.insert(out.end(), std::make_move_iterator(part.begin()),
+               std::make_move_iterator(part.end()));
+  }
   std::sort(out.begin(), out.end());
   out.erase(std::unique(out.begin(), out.end()), out.end());
   return out;
 }
 
-const DocLocation* LiveSnapshot::locate(std::uint32_t doc_id) const {
+std::optional<DocLocation> LiveSnapshot::locate(std::uint32_t doc_id) const {
+  if (is_deleted(doc_id)) return std::nullopt;
   for (const auto& seg : segments_) {
     const DocMap* map = seg->doc_map();
-    if (map != nullptr && map->contains(doc_id)) return &map->location(doc_id);
+    if (map != nullptr && map->contains(doc_id)) return map->location(doc_id);
   }
-  return nullptr;
+  if (memtable_ != nullptr) return memtable_->locate(doc_id);
+  return std::nullopt;
 }
 
 Expected<std::shared_ptr<const LiveSnapshot>> snapshot_from_manifest(
@@ -246,7 +324,19 @@ Expected<std::shared_ptr<const LiveSnapshot>> snapshot_from_manifest(
     if (!seg.has_value()) return seg.error();
     segments.push_back(std::move(seg).value());
   }
-  return std::make_shared<const LiveSnapshot>(std::move(segments));
+  std::shared_ptr<const TombstoneSet> tombstones;
+  if (m.tombstone_gen != 0) {
+    auto set = tombstones_read(dir, m.tombstone_gen);
+    if (!set.has_value()) {
+      // The manifest committed this generation, so its absence or damage
+      // means deletes could resurrect — refuse to serve.
+      return Error{ErrorCode::kCorrupt,
+                   "committed tombstone generation unreadable: " + set.error().message};
+    }
+    tombstones = std::make_shared<const TombstoneSet>(std::move(set).value());
+  }
+  return std::make_shared<const LiveSnapshot>(std::move(segments), nullptr,
+                                              std::move(tombstones));
 }
 
 Expected<LiveIndex> LiveIndex::open(const std::string& dir) {

@@ -20,6 +20,8 @@
 #include <vector>
 
 #include "live/manifest.hpp"
+#include "live/memtable.hpp"
+#include "live/tombstones.hpp"
 #include "postings/doc_map.hpp"
 #include "postings/query.hpp"
 #include "postings/segment.hpp"
@@ -84,18 +86,44 @@ class LiveSegment {
   std::atomic<bool> obsolete_{false};
 };
 
-/// An immutable view of the committed segment set, ordered by doc_base.
-/// Safe to share across threads without locks; all queries are const.
+/// An immutable view of the live index: the committed segment set (ordered
+/// by doc_base), plus the searchable memtable view holding documents not
+/// yet flushed, plus the tombstone set naming deleted doc ids. Safe to
+/// share across threads without locks; all queries are const.
+///
+/// Tombstones are a *search-layer* filter: lookup()/open_cursor() stay raw
+/// (unfiltered) so a term's document frequency is one well-defined number
+/// regardless of execution path — the Searcher applies the filter at
+/// candidate generation. doc_count()/average_doc_tokens()/locate() are the
+/// exceptions: they describe the live collection, so they exclude deleted
+/// docs (collection stats must match what ranking can return).
 class LiveSnapshot {
  public:
-  explicit LiveSnapshot(std::vector<std::shared_ptr<LiveSegment>> segments);
+  explicit LiveSnapshot(std::vector<std::shared_ptr<LiveSegment>> segments,
+                        std::shared_ptr<const MemtableView> memtable = nullptr,
+                        std::shared_ptr<const TombstoneSet> tombstones = nullptr);
 
   [[nodiscard]] std::size_t segment_count() const { return segments_.size(); }
   [[nodiscard]] const std::vector<std::shared_ptr<LiveSegment>>& segments() const {
     return segments_;
   }
-  /// Documents committed across all segments.
-  [[nodiscard]] std::uint64_t doc_count() const { return doc_count_; }
+  /// The unflushed in-memory documents; nullptr when the memtable was
+  /// empty at publish time (or the snapshot came from LiveIndex::open,
+  /// which only ever sees committed state).
+  [[nodiscard]] const MemtableView* memtable() const { return memtable_.get(); }
+  /// Deleted doc ids; nullptr when no delete was ever committed.
+  [[nodiscard]] const TombstoneSet* tombstones() const { return tombstones_.get(); }
+  [[nodiscard]] bool is_deleted(std::uint32_t doc_id) const {
+    return tombstones_ != nullptr && tombstones_->contains(doc_id);
+  }
+
+  /// LIVE documents: committed + memtable, minus tombstoned ids.
+  [[nodiscard]] std::uint64_t doc_count() const { return total_docs_ - deleted_docs_; }
+  /// Width of the snapshot's doc id space (committed + memtable, deleted
+  /// ids included — ids never shift).
+  [[nodiscard]] std::uint64_t total_docs() const { return total_docs_; }
+  /// Tombstoned ids within this snapshot's doc id space.
+  [[nodiscard]] std::uint64_t deleted_docs() const { return deleted_docs_; }
 
   /// Process-unique identity of this snapshot, assigned at construction
   /// from a monotone counter. The search layer keys its caches on it:
@@ -106,27 +134,32 @@ class LiveSnapshot {
   /// answer.
   [[nodiscard]] std::uint64_t snapshot_id() const { return snapshot_id_; }
 
-  /// Mean indexed tokens per document across the segments' doc maps
-  /// (BM25's avgdl), weighted by segment doc count; 0 when no segment
-  /// carries a map.
+  /// Mean indexed tokens per LIVE document (BM25's avgdl): segment doc
+  /// maps plus the memtable, excluding tombstoned docs; 0 when nothing
+  /// carries token counts.
   [[nodiscard]] double average_doc_tokens() const;
 
-  /// Max term frequency of `term` across all segments — a BM25 score-bound
-  /// ingredient, valid because max over concatenated postings is the max of
-  /// per-segment maxima. nullopt when the term is absent or any segment
-  /// holding it lacks a sidecar (a partial max would under-cover).
+  /// Max term frequency of `term` across segments and memtable — a BM25
+  /// score-bound ingredient, valid because max over concatenated postings
+  /// is the max of per-part maxima. Deliberately NOT tombstone-filtered: a
+  /// too-high bound only weakens pruning, never correctness. nullopt when
+  /// the term is absent or any segment holding it lacks a sidecar (a
+  /// partial max would under-cover).
   [[nodiscard]] std::optional<std::uint32_t> max_tf(std::string_view term) const;
 
-  /// Postings of `term` across every segment, globally doc-id sorted —
-  /// segments hold disjoint ascending doc ranges, so per-segment results
-  /// concatenate in doc_base order. nullopt when no segment knows the term.
+  /// Postings of `term` across every segment plus the memtable, globally
+  /// doc-id sorted (all parts hold disjoint ascending doc ranges, memtable
+  /// last). RAW — tombstoned docs included; the search layer filters.
+  /// nullopt when no part knows the term.
   [[nodiscard]] std::optional<QueryPostings> lookup(std::string_view term) const;
 
-  /// Block-level cursor over `term` across every segment, globally doc-id
-  /// ordered (per-segment cursors chained in doc_base order); nullptr when
-  /// no segment knows the term. Segments with a skip table serve zero-copy
-  /// block cursors (each pinning its segment); the rest decode once behind
-  /// the same interface.
+  /// Block-level cursor over `term` across every segment plus the
+  /// memtable, globally doc-id ordered; nullptr when no part knows the
+  /// term. RAW, like lookup() — so size() (the df) agrees between the
+  /// pruned and exhaustive executors. Segments with a skip table serve
+  /// zero-copy block cursors (each pinning its segment); segments without
+  /// decode once; the memtable serves borrowed block refs pinning the
+  /// arena.
   [[nodiscard]] std::unique_ptr<PostingsCursor> open_cursor(std::string_view term) const;
 
   /// Range-narrowed lookup: segments whose doc range misses
@@ -137,23 +170,30 @@ class LiveSnapshot {
       std::string_view term, std::uint32_t min_doc, std::uint32_t max_doc,
       std::size_t* segments_touched = nullptr) const;
 
-  /// Union of the segments' prefix matches, deduplicated, sorted.
+  /// Union of the segments' and memtable's prefix matches, deduplicated,
+  /// sorted.
   [[nodiscard]] std::vector<std::string> terms_with_prefix(std::string_view prefix) const;
 
-  /// fn(term) for every distinct term across all segments, lexicographic
-  /// order (k-way cursor merge with dedup); return false to stop early.
+  /// fn(term) for every distinct term across segments and memtable,
+  /// lexicographic order (k-way cursor merge with dedup); return false to
+  /// stop early.
   void for_each_term(const std::function<bool(std::string_view)>& fn) const;
 
-  /// Distinct terms across all segments (k-way merged count).
+  /// Distinct terms across segments and memtable (k-way merged count).
   [[nodiscard]] std::uint64_t term_count() const;
 
   /// Location of a global doc id, resolved through the owning segment's
-  /// doc map; nullptr when no segment covers the id or it has no map.
-  [[nodiscard]] const DocLocation* locate(std::uint32_t doc_id) const;
+  /// doc map or the memtable. nullopt when no part covers the id, the
+  /// owning segment has no map, or the doc is tombstoned (a deleted doc
+  /// has no live location).
+  [[nodiscard]] std::optional<DocLocation> locate(std::uint32_t doc_id) const;
 
  private:
   std::vector<std::shared_ptr<LiveSegment>> segments_;  // ascending doc_base
-  std::uint64_t doc_count_ = 0;
+  std::shared_ptr<const MemtableView> memtable_;        // nullptr = empty
+  std::shared_ptr<const TombstoneSet> tombstones_;      // nullptr = none
+  std::uint64_t total_docs_ = 0;    // id-space width (committed + memtable)
+  std::uint64_t deleted_docs_ = 0;  // tombstoned ids below total_docs_
   std::uint64_t snapshot_id_ = 0;
 };
 
@@ -221,8 +261,11 @@ class LiveIndex {
   std::shared_ptr<const LiveSnapshot> snap_;
 };
 
-/// Opens every segment of `m` under `dir` and freezes them into a
-/// snapshot. Shared by IndexWriter::open and LiveIndex::open.
+/// Opens every segment of `m` under `dir`, loads the committed tombstone
+/// generation (kCorrupt if the manifest names one that cannot be read —
+/// a committed delete must never silently resurrect), and freezes them
+/// into a snapshot. Shared by IndexWriter::open and LiveIndex::open; the
+/// memtable is by definition empty here (it never survives a reopen).
 Expected<std::shared_ptr<const LiveSnapshot>> snapshot_from_manifest(
     const std::string& dir, const Manifest& m);
 

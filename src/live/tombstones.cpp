@@ -1,0 +1,123 @@
+#include "live/tombstones.hpp"
+
+#include <bit>
+#include <cstdio>
+#include <cstring>
+
+#include "io/env.hpp"
+#include "util/binary_io.hpp"
+#include "util/crc32.hpp"
+
+namespace hetindex {
+namespace {
+constexpr std::uint32_t kTombMagic = 0x424D4F54;  // "TOMB"
+constexpr std::uint32_t kTombVersion = 1;
+// magic(4) + version(4) + generation(8) + count(8) + words(8) + crc(4)
+constexpr std::size_t kTombHeaderBytes = 32;
+}  // namespace
+
+std::uint64_t TombstoneSet::count_in_range(std::uint32_t base, std::uint64_t n) const {
+  if (n == 0 || words_.empty()) return 0;
+  const std::uint64_t begin = base;
+  const std::uint64_t end = std::min<std::uint64_t>(begin + n, words_.size() * 64u);
+  if (begin >= end) return 0;
+  std::uint64_t total = 0;
+  for (std::uint64_t w = begin / 64; w <= (end - 1) / 64; ++w) {
+    std::uint64_t word = words_[w];
+    const std::uint64_t lo = w * 64;
+    if (begin > lo) word &= ~0ull << (begin - lo);
+    if (end < lo + 64) word &= ~(~0ull << (end - lo));
+    total += static_cast<std::uint64_t>(std::popcount(word));
+  }
+  return total;
+}
+
+std::shared_ptr<const TombstoneSet> TombstoneSet::with(
+    const TombstoneSet* base, const std::vector<std::uint32_t>& ids,
+    std::uint64_t* newly_set) {
+  auto next = std::make_shared<TombstoneSet>();
+  if (base != nullptr) *next = *base;
+  std::uint64_t flipped = 0;
+  for (const std::uint32_t doc : ids) {
+    const std::size_t w = doc >> 6;
+    if (w >= next->words_.size()) next->words_.resize(w + 1, 0);
+    const std::uint64_t bit = 1ull << (doc & 63u);
+    if ((next->words_[w] & bit) == 0) {
+      next->words_[w] |= bit;
+      ++flipped;
+    }
+  }
+  next->count_ += flipped;
+  if (newly_set != nullptr) *newly_set = flipped;
+  return next;
+}
+
+std::string tombstone_path(const std::string& dir, std::uint64_t gen) {
+  char name[32];
+  std::snprintf(name, sizeof(name), "tomb-%04llu.tmb",
+                static_cast<unsigned long long>(gen));
+  return dir + "/" + name;
+}
+
+Status tombstones_write(const std::string& dir, std::uint64_t gen,
+                        const TombstoneSet& set) {
+  std::vector<std::uint8_t> out;
+  ByteWriter w(out);
+  w.u32(kTombMagic);
+  w.u32(kTombVersion);
+  w.u64(gen);
+  w.u64(set.count());
+  const auto& words = set.words();
+  w.u64(static_cast<std::uint64_t>(words.size()));
+  if (!words.empty()) w.bytes(words.data(), words.size() * 8);
+  w.u32(crc32(out.data(), out.size()));
+  // Durable before the MANIFEST names this generation — write-ahead, like
+  // segment files. No partial file survives a failed write.
+  auto written = io::durable_write_file(tombstone_path(dir, gen), out);
+  if (!written.has_value()) return written.error();
+  return Unit{};
+}
+
+Expected<TombstoneSet> tombstones_read(const std::string& dir, std::uint64_t gen) {
+  const std::string path = tombstone_path(dir, gen);
+  if (!file_exists(path)) {
+    return Error{ErrorCode::kNotFound, "no tombstone sidecar: " + path};
+  }
+  const auto data = read_file(path);
+  if (data.size() < kTombHeaderBytes) {
+    return Error{ErrorCode::kCorrupt, "tombstone sidecar truncated: " + path};
+  }
+  std::uint32_t stored_crc = 0;
+  std::memcpy(&stored_crc, data.data() + data.size() - 4, 4);
+  if (crc32(data.data(), data.size() - 4) != stored_crc) {
+    return Error{ErrorCode::kCorrupt, "tombstone sidecar crc mismatch: " + path};
+  }
+  ByteReader r(data.data(), data.size() - 4);
+  if (r.u32() != kTombMagic) {
+    return Error{ErrorCode::kCorrupt, "not a tombstone sidecar: " + path};
+  }
+  if (r.u32() != kTombVersion) {
+    return Error{ErrorCode::kUnsupported, "unsupported tombstone version: " + path};
+  }
+  if (r.u64() != gen) {
+    return Error{ErrorCode::kCorrupt, "tombstone generation mismatch: " + path};
+  }
+  TombstoneSet set;
+  set.count_ = r.u64();
+  const std::uint64_t n_words = r.u64();
+  if (r.remaining() != n_words * 8) {
+    return Error{ErrorCode::kCorrupt, "tombstone payload size mismatch: " + path};
+  }
+  set.words_.resize(n_words);
+  if (n_words != 0) r.bytes(set.words_.data(), n_words * 8);
+  std::uint64_t popcnt = 0;
+  for (const std::uint64_t word : set.words_) {
+    popcnt += static_cast<std::uint64_t>(std::popcount(word));
+  }
+  if (popcnt != set.count_) {
+    return Error{ErrorCode::kCorrupt, "tombstone count disagrees with bitmap: " + path};
+  }
+  return set;
+}
+
+}  // namespace hetindex

@@ -1,0 +1,112 @@
+#pragma once
+/// \file tombstones.hpp
+/// Delete markers of the live tier (docs/LIVE_INDEXING.md). A delete never
+/// touches committed postings in place — the doc id is recorded in an
+/// immutable bitmap (the tombstone set) that every LiveSnapshot carries and
+/// the search layer applies as a candidate filter. Doc ids never shift:
+/// a tombstoned id stays allocated forever; compaction merely drops the
+/// dead ids' postings when it rewrites a segment (physical reclaim).
+///
+/// Durability: the current set is persisted as a CRC-guarded sidecar
+/// (`tomb-<gen>.tmb`) written durably *before* the MANIFEST commit that
+/// names its generation — the same write-ahead discipline as segments, so
+/// a committed delete can never resurrect and an uncommitted one simply
+/// never happened (docs/INDEX_FORMAT.md has the byte layout).
+///
+/// The set is copy-on-write: each delete batch produces a fresh immutable
+/// TombstoneSet, so readers holding an older snapshot keep the exact
+/// delete state they started with, lock-free.
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace hetindex {
+
+/// Immutable bitmap over global doc ids. Thread-safe by construction —
+/// every member is const after the factory returns.
+class TombstoneSet {
+ public:
+  TombstoneSet() = default;
+
+  /// True when `doc` is tombstoned. Ids beyond the bitmap are live.
+  [[nodiscard]] bool contains(std::uint32_t doc) const {
+    const std::size_t w = doc >> 6;
+    return w < words_.size() && ((words_[w] >> (doc & 63u)) & 1u) != 0;
+  }
+
+  /// Total tombstoned ids.
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] bool empty() const { return count_ == 0; }
+
+  /// Tombstoned ids in [base, base + n) — what a segment rewrite can
+  /// physically reclaim from that doc range.
+  [[nodiscard]] std::uint64_t count_in_range(std::uint32_t base, std::uint64_t n) const;
+  /// Tombstoned ids below `limit` (= count_in_range(0, limit)).
+  [[nodiscard]] std::uint64_t count_below(std::uint64_t limit) const {
+    return count_in_range(0, limit);
+  }
+  [[nodiscard]] bool any_in_range(std::uint32_t base, std::uint64_t n) const {
+    return count_in_range(base, n) != 0;
+  }
+
+  /// fn(doc) for every tombstoned id in [base, base + n), ascending —
+  /// O(set bits), not O(range).
+  template <typename Fn>
+  void for_each_in_range(std::uint32_t base, std::uint64_t n, Fn&& fn) const {
+    if (n == 0 || words_.empty()) return;
+    const std::uint64_t begin = base;
+    const std::uint64_t end = std::min<std::uint64_t>(begin + n, words_.size() * 64u);
+    for (std::uint64_t w = begin / 64; w * 64 < end; ++w) {
+      std::uint64_t word = words_[w];
+      const std::uint64_t lo = w * 64;
+      if (begin > lo) word &= ~0ull << (begin - lo);
+      if (end < lo + 64) word &= ~(~0ull << (end - lo));
+      while (word != 0) {
+        const int bit = std::countr_zero(word);
+        fn(static_cast<std::uint32_t>(lo + static_cast<std::uint64_t>(bit)));
+        word &= word - 1;
+      }
+    }
+  }
+
+  /// Copy-on-write union: `base` (may be null = empty) plus `ids`. Already
+  /// tombstoned ids are ignored; `newly_set` (optional out) reports how
+  /// many bits actually flipped — 0 means the result equals the base.
+  [[nodiscard]] static std::shared_ptr<const TombstoneSet> with(
+      const TombstoneSet* base, const std::vector<std::uint32_t>& ids,
+      std::uint64_t* newly_set = nullptr);
+
+  /// The raw words (little-endian bit order within a word) — serialization
+  /// and test introspection.
+  [[nodiscard]] const std::vector<std::uint64_t>& words() const { return words_; }
+
+ private:
+  std::vector<std::uint64_t> words_;  ///< bit d of word d/64 = doc d deleted
+  std::uint64_t count_ = 0;
+
+  friend Expected<TombstoneSet> tombstones_read(const std::string& dir,
+                                                std::uint64_t gen);
+};
+
+/// `<dir>/tomb-<gen>.tmb` (zero-padded like segment names).
+std::string tombstone_path(const std::string& dir, std::uint64_t gen);
+
+/// Durably writes generation `gen` of the tombstone sidecar (magic,
+/// version, generation, deleted count, bitmap words, CRC32 footer) via
+/// io::durable_write_file — kIo leaves no partial file.
+Status tombstones_write(const std::string& dir, std::uint64_t gen,
+                        const TombstoneSet& set);
+
+/// Reads and validates generation `gen`. kNotFound when absent; kCorrupt
+/// on bad magic/version/CRC or a header that disagrees with the payload.
+/// A manifest-named generation that fails to read is a kCorrupt index — a
+/// committed delete must never silently resurrect.
+Expected<TombstoneSet> tombstones_read(const std::string& dir, std::uint64_t gen);
+
+}  // namespace hetindex

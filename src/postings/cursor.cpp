@@ -211,6 +211,49 @@ class DecodedPostingsCursor final : public BlockedCursorBase {
   std::vector<std::uint32_t> max_tf_cache_;
 };
 
+/// Borrowed memtable blocks behind the cursor interface. Nothing decodes
+/// (the arrays are live uint32s already); block maxima are scanned on
+/// first use and cached, exactly like the decoded backend, so Block-Max
+/// pruning works on never-flushed documents too.
+class MemtablePostingsCursor final : public BlockedCursorBase {
+ public:
+  MemtablePostingsCursor(std::vector<MemtableBlockRef> blocks,
+                         std::shared_ptr<const void> pin)
+      : blocks_(std::move(blocks)), pin_(std::move(pin)) {
+    n_blocks_ = blocks_.size();
+    for (const auto& b : blocks_) {
+      HET_CHECK(b.count > 0);
+      total_docs_ += b.count;
+    }
+    max_tf_cache_.assign(n_blocks_, 0);  // 0 = not yet computed (tfs are >= 1)
+  }
+
+ protected:
+  [[nodiscard]] BlockMeta block_meta(std::size_t block) const override {
+    const auto& b = blocks_[block];
+    return {b.last_doc, b.count};
+  }
+
+  [[nodiscard]] std::uint32_t block_max_tf_of(std::size_t block) override {
+    std::uint32_t& slot = max_tf_cache_[block];
+    if (slot == 0) {
+      const auto& b = blocks_[block];
+      slot = *std::max_element(b.tfs, b.tfs + b.count);
+    }
+    return slot;
+  }
+
+  void load_block(std::size_t block) override {
+    cur_docs_ = blocks_[block].docs;
+    cur_tfs_ = blocks_[block].tfs;
+  }
+
+ private:
+  std::vector<MemtableBlockRef> blocks_;
+  std::shared_ptr<const void> pin_;
+  std::vector<std::uint32_t> max_tf_cache_;
+};
+
 /// Ordered chain of disjoint per-segment cursors (live snapshot view).
 /// Delegates to the active part; exhausted-part bookkeeping (including
 /// skipped blocks in parts jumped over) stays inside the parts themselves.
@@ -303,6 +346,12 @@ std::unique_ptr<PostingsCursor> make_decoded_cursor(
 std::unique_ptr<PostingsCursor> make_concat_cursor(
     std::vector<std::unique_ptr<PostingsCursor>> parts) {
   return std::make_unique<ConcatPostingsCursor>(std::move(parts));
+}
+
+std::unique_ptr<PostingsCursor> make_memtable_cursor(
+    std::vector<MemtableBlockRef> blocks, std::shared_ptr<const void> pin) {
+  HET_CHECK(!blocks.empty());
+  return std::make_unique<MemtablePostingsCursor>(std::move(blocks), std::move(pin));
 }
 
 QueryPostings materialize_cursor(PostingsCursor& cursor) {

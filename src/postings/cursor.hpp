@@ -104,6 +104,24 @@ std::unique_ptr<PostingsCursor> make_decoded_cursor(
 std::unique_ptr<PostingsCursor> make_concat_cursor(
     std::vector<std::unique_ptr<PostingsCursor>> parts);
 
+/// One borrowed block of live-memtable postings (live/memtable.hpp):
+/// parallel doc/tf arrays in the memtable arena, already clamped to the
+/// publishing view's watermark. Declared here (not in live/) so the cursor
+/// layer stays free of live-tier includes.
+struct MemtableBlockRef {
+  const std::uint32_t* docs = nullptr;
+  const std::uint32_t* tfs = nullptr;
+  std::uint32_t count = 0;     ///< visible postings in this block
+  std::uint32_t last_doc = 0;  ///< docs[count - 1]
+};
+
+/// Cursor over a memtable term: one block per memtable chunk, maxima
+/// scanned lazily like the decoded backend (the memtable has no skip
+/// sidecar). `pin` keeps the arena the refs point into alive; `blocks`
+/// must be non-empty with ascending disjoint doc ranges.
+std::unique_ptr<PostingsCursor> make_memtable_cursor(
+    std::vector<MemtableBlockRef> blocks, std::shared_ptr<const void> pin);
+
 /// Decodes whatever the cursor has not consumed yet into a flat list —
 /// the bridge from cursor-only backends to the decoded-list operators in
 /// boolean_ops.hpp. Call on a fresh cursor to materialize the whole list.

@@ -123,9 +123,13 @@ DocMap DocMap::open(const std::string& path) {
 
 double DocMap::average_doc_tokens() const {
   if (locations_.empty()) return 0.0;
-  double total = 0;
+  return static_cast<double>(token_sum()) / static_cast<double>(locations_.size());
+}
+
+std::uint64_t DocMap::token_sum() const {
+  std::uint64_t total = 0;
   for (const auto& loc : locations_) total += loc.token_count;
-  return total / static_cast<double>(locations_.size());
+  return total;
 }
 
 const DocLocation& DocMap::location(std::uint32_t doc_id) const {

@@ -95,6 +95,10 @@ class DocMap {
   [[nodiscard]] const DocLocation& location(std::uint32_t doc_id) const;
   /// Mean indexed tokens per document (BM25's avgdl).
   [[nodiscard]] double average_doc_tokens() const;
+  /// Exact total of indexed tokens — the integer numerator behind
+  /// average_doc_tokens(). The live tier's tombstone-aware collection
+  /// stats subtract deleted docs from this without float drift.
+  [[nodiscard]] std::uint64_t token_sum() const;
 
  private:
   friend class DocMapBuilder;  // append() walks spans_ + locations_

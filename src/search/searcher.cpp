@@ -6,6 +6,7 @@
 #include <utility>
 #include <vector>
 
+#include "live/tombstones.hpp"
 #include "postings/boolean_ops.hpp"
 #include "util/check.hpp"
 #include "util/timer.hpp"
@@ -69,11 +70,13 @@ std::string normalize_query(const QueryRequest& request) {
 }
 
 /// Top-k by summed tf (the boolean modes' relevance signal), doc id
-/// breaking ties.
-std::vector<ScoredDoc> rank_by_tf(const QueryPostings& postings, std::size_t k) {
+/// breaking ties. `excluded` drops tombstoned docs (live-tier deletes).
+std::vector<ScoredDoc> rank_by_tf(const QueryPostings& postings, std::size_t k,
+                                  const TombstoneSet* excluded) {
   std::vector<ScoredDoc> hits;
   hits.reserve(postings.doc_ids.size());
   for (std::size_t i = 0; i < postings.doc_ids.size(); ++i) {
+    if (excluded != nullptr && excluded->contains(postings.doc_ids[i])) continue;
     hits.push_back({postings.doc_ids[i], static_cast<double>(postings.tfs[i])});
   }
   std::sort(hits.begin(), hits.end(), [](const ScoredDoc& a, const ScoredDoc& b) {
@@ -143,11 +146,18 @@ std::shared_ptr<const Searcher::Stats> Searcher::stats_for(
   auto stats = std::make_shared<Stats>();
   stats->snapshot_id = snapshot_id;
   if (snap != nullptr) {
+    // Live collection stats: doc_count() and average_doc_tokens() both
+    // exclude tombstoned docs and include the memtable, so BM25 sees the
+    // collection exactly as a fresh batch build of the survivors would.
     stats->n_docs = snap->doc_count();
     stats->avgdl = std::max(snap->average_doc_tokens(), 1e-9);
     for (const auto& seg : snap->segments()) {
       const DocMap* map = seg->doc_map();
       if (map != nullptr) stats->lengths.add_range(map->base(), map->doc_count(), map);
+    }
+    const MemtableView* memtable = snap->memtable();
+    if (memtable != nullptr) {
+      stats->lengths.add_range(memtable->doc_base(), memtable->doc_count(), memtable);
     }
     stats->pin = snap;
   } else {
@@ -209,6 +219,11 @@ Expected<QueryResponse> Searcher::search(
 
   const auto snap = provider_ ? provider_() : nullptr;
   const std::uint64_t snapshot_id = snap != nullptr ? snap->snapshot_id() : 0;
+  // The live tier's delete filter: lookups and cursors stay raw (stable
+  // df), every candidate-producing path below drops tombstoned docs. The
+  // result cache needs no special handling — every delete publishes a new
+  // snapshot_id, which is part of every cache key.
+  const TombstoneSet* excluded = snap != nullptr ? snap->tombstones() : nullptr;
 
   QueryResponse response;
   response.snapshot_id = snapshot_id;
@@ -274,6 +289,7 @@ Expected<QueryResponse> Searcher::search(
           const double idf = bm25_idf(postings->doc_ids.size(), stats->n_docs);
           for (std::size_t i = 0; i < postings->doc_ids.size(); ++i) {
             const std::uint32_t doc = postings->doc_ids[i];
+            if (excluded != nullptr && excluded->contains(doc)) continue;
             const double tf = postings->tfs[i];
             const double dl = stats->lengths.token_count(doc);
             scores[doc] +=
@@ -308,7 +324,7 @@ Expected<QueryResponse> Searcher::search(
           inputs.push_back(std::move(input));
         }
         auto topk = maxscore_topk(std::move(inputs), request.k, request.bm25,
-                                  stats->lengths, stats->avgdl, deadline);
+                                  stats->lengths, stats->avgdl, deadline, excluded);
         response.hits = std::move(topk.hits);
         response.degraded = topk.degraded;
         ins_->blocks_skipped.add(topk.blocks_skipped);
@@ -341,6 +357,7 @@ Expected<QueryResponse> Searcher::search(
             break;
           }
           const std::uint32_t d = driver.docid();
+          if (excluded != nullptr && excluded->contains(d)) continue;
           std::uint32_t tf_sum = driver.tf();
           bool all = true;
           for (std::size_t i = 1; i < ordered.size(); ++i) {
@@ -361,7 +378,7 @@ Expected<QueryResponse> Searcher::search(
             acc.tfs.push_back(tf_sum);
           }
         }
-        response.hits = rank_by_tf(acc, request.k);
+        response.hits = rank_by_tf(acc, request.k, /*excluded=*/nullptr);
       }
       std::uint64_t skipped = 0;
       for (const auto& c : cursors) {
@@ -380,7 +397,7 @@ Expected<QueryResponse> Searcher::search(
         }
         acc = acc.doc_ids.empty() ? *p : postings_or(acc, *p);
       }
-      response.hits = rank_by_tf(acc, request.k);
+      response.hits = rank_by_tf(acc, request.k, excluded);
       break;
     }
   }

@@ -4,6 +4,8 @@
 #include <limits>
 #include <queue>
 
+#include "live/memtable.hpp"
+#include "live/tombstones.hpp"
 #include "util/check.hpp"
 
 namespace hetindex {
@@ -36,7 +38,16 @@ void DocLengthIndex::add_range(std::uint32_t base, std::uint32_t count,
   HET_CHECK_MSG(ranges_.empty() ||
                     ranges_.back().base + ranges_.back().count <= base,
                 "doc-length ranges must be added in ascending disjoint order");
-  ranges_.push_back({base, count, map});
+  ranges_.push_back({base, count, map, nullptr});
+}
+
+void DocLengthIndex::add_range(std::uint32_t base, std::uint32_t count,
+                               const MemtableView* memtable) {
+  if (count == 0 || memtable == nullptr) return;
+  HET_CHECK_MSG(ranges_.empty() ||
+                    ranges_.back().base + ranges_.back().count <= base,
+                "doc-length ranges must be added in ascending disjoint order");
+  ranges_.push_back({base, count, nullptr, memtable});
 }
 
 double DocLengthIndex::token_count(std::uint32_t doc) const {
@@ -47,7 +58,8 @@ double DocLengthIndex::token_count(std::uint32_t doc) const {
   if (it == ranges_.begin()) return 0.0;
   const Range& r = *(it - 1);
   if (doc - r.base >= r.count) return 0.0;
-  return r.map->location(doc).token_count;
+  if (r.map != nullptr) return r.map->location(doc).token_count;
+  return r.memtable->doc_tokens(doc);
 }
 
 double bm25_upper_bound(double idf, std::uint32_t max_tf, const Bm25Params& params) {
@@ -68,7 +80,8 @@ double bm25_loose_bound(double idf, const Bm25Params& params) {
 TopkResult maxscore_topk(
     std::vector<TopkTermInput> terms, std::size_t k, const Bm25Params& params,
     const DocLengthIndex& lengths, double avgdl,
-    std::optional<std::chrono::steady_clock::time_point> deadline) {
+    std::optional<std::chrono::steady_clock::time_point> deadline,
+    const TombstoneSet* excluded) {
   TopkResult result;
   std::erase_if(terms, [](const TopkTermInput& t) {
     return t.cursor == nullptr || t.cursor->size() == 0;
@@ -146,6 +159,17 @@ TopkResult maxscore_topk(
           continue;  // d <= min_last, so at least one cursor advanced
         }
       }
+    }
+
+    // Tombstone filter: a deleted doc is skipped before it is scored, so
+    // it can neither surface nor raise theta — candidate selection sees
+    // exactly the live documents, on this path and the exhaustive one.
+    if (excluded != nullptr && excluded->contains(d)) {
+      for (std::size_t i = first_essential; i < m; ++i) {
+        auto& c = *terms[i].cursor;
+        if (c.valid() && c.docid() == d) c.next();
+      }
+      continue;
     }
 
     matched.clear();

@@ -35,6 +35,9 @@
 
 namespace hetindex {
 
+class MemtableView;  // live/memtable.hpp
+class TombstoneSet;  // live/tombstones.hpp
+
 /// One term's input to the executor. `term_index` is the position in the
 /// original request — the canonical accumulation order.
 struct TopkTermInput {
@@ -44,12 +47,14 @@ struct TopkTermInput {
   double upper_bound = 0;  ///< max BM25 contribution of this term to any doc
 };
 
-/// Per-document token counts of one or more doc-map ranges, resolved by
-/// binary search — the live snapshot's segments each carry their own map,
-/// the batch index one map at base 0.
+/// Per-document token counts of one or more doc ranges, resolved by binary
+/// search — the live snapshot's segments each carry their own map, its
+/// memtable serves the unflushed tail, the batch index one map at base 0.
 class DocLengthIndex {
  public:
   void add_range(std::uint32_t base, std::uint32_t count, const DocMap* map);
+  /// The live snapshot's memtable range (docs above every segment).
+  void add_range(std::uint32_t base, std::uint32_t count, const MemtableView* memtable);
   /// Indexed tokens of `doc`; 0 when no range covers it.
   [[nodiscard]] double token_count(std::uint32_t doc) const;
 
@@ -57,7 +62,8 @@ class DocLengthIndex {
   struct Range {
     std::uint32_t base;
     std::uint32_t count;
-    const DocMap* map;
+    const DocMap* map;             ///< exactly one of map/memtable is set
+    const MemtableView* memtable;
   };
   std::vector<Range> ranges_;  // ascending base, disjoint
 };
@@ -89,9 +95,14 @@ struct TopkResult {
 
 /// Runs Block-Max MaxScore over the term cursors. `deadline` (optional)
 /// degrades the scan to the best candidates found so far when it expires.
+/// `excluded` (optional) drops tombstoned candidates before they are scored
+/// or can raise theta — the live tier's delete filter. Cursors stay raw
+/// (df and score bounds are computed over all postings, deleted included,
+/// on both the exhaustive and pruned paths, so results stay bit-identical).
 TopkResult maxscore_topk(
     std::vector<TopkTermInput> terms, std::size_t k, const Bm25Params& params,
     const DocLengthIndex& lengths, double avgdl,
-    std::optional<std::chrono::steady_clock::time_point> deadline = std::nullopt);
+    std::optional<std::chrono::steady_clock::time_point> deadline = std::nullopt,
+    const TombstoneSet* excluded = nullptr);
 
 }  // namespace hetindex

@@ -35,7 +35,9 @@
 #include "io/env.hpp"
 #include "io/mmap_file.hpp"
 #include "live/manifest.hpp"
+#include "live/tombstones.hpp"
 #include "live/writer.hpp"
+#include "util/binary_io.hpp"
 #include "util/rng.hpp"
 
 namespace hetindex {
@@ -311,6 +313,221 @@ TEST(CrashConsistency, EveryTracePrefixRecovers) {
       if (HasFatalFailure()) return;
     }
   }
+}
+
+// Deletes and updates interleaved with flushes and reclaim compaction:
+// every commit (flush, tombstone generation, compaction splice) is a
+// recovery point, and every trace prefix under every policy must land on
+// exactly one of them — a committed delete never resurrects, a committed
+// tombstone is never lost, and a tombstone for an id the crash un-assigned
+// (a deleted memtable doc that never flushed) is truncated, not inherited
+// by the reassigned id.
+TEST(CrashConsistency, DeleteAndUpdateTracePrefixesRecover) {
+  const std::uint64_t seed = crash_seed();
+  std::printf("crash harness seed: %llu (set HETINDEX_CRASH_SEED to replay)\n",
+              static_cast<unsigned long long>(seed));
+
+  TempDir work("delwork");
+  TempDir replay("delreplay");
+  /// One committed state: the doc-id watermark plus the tombstoned ids
+  /// below it (bits above the watermark are truncated by recovery).
+  struct State {
+    std::uint32_t docs;
+    std::set<std::uint32_t> deleted;
+  };
+  std::vector<State> states;
+  std::set<std::uint32_t> deleted;  // in-memory mirror, memtable ids included
+  std::uint32_t total_docs = 0;
+  std::vector<io::WriteOp> trace;
+  {
+    io::FaultEnv tracer;  // no faults: pure trace capture
+    io::ScopedEnv scoped(tracer);
+    auto writer = IndexWriter::open(work.path(), tiny_writer_opts());
+    ASSERT_TRUE(writer.has_value());
+    auto& w = writer.value();
+    const auto record = [&] {
+      State s{w.committed_docs(), {}};
+      for (const auto id : deleted) {
+        if (id < s.docs) s.deleted.insert(id);
+      }
+      states.push_back(std::move(s));
+    };
+    const auto add = [&] {
+      EXPECT_EQ(w.add_document("u://" + std::to_string(total_docs), doc_body(total_docs)),
+                total_docs);
+      ++total_docs;
+    };
+    const auto remove = [&](std::uint32_t id) {
+      ASSERT_TRUE(w.delete_document(id).has_value());
+      deleted.insert(id);
+      record();
+    };
+    record();                                    // the empty initial manifest
+    add();                                       // 0
+    add();                                       // 1
+    ASSERT_TRUE(w.flush().has_value());
+    record();
+    remove(0);                                   // delete a flushed doc
+    add();                                       // 2
+    add();                                       // 3
+    remove(3);                                   // delete a memtable-only doc
+    ASSERT_TRUE(w.flush().has_value());
+    record();
+    add();                                       // 4
+    const auto updated = w.update_document(1, "u://1v2", doc_body(total_docs));
+    ASSERT_TRUE(updated.has_value());            // update = delete 1 + re-add
+    ASSERT_EQ(updated.value(), total_docs);
+    deleted.insert(1);
+    ++total_docs;                                // 5 = the re-added revision
+    record();
+    ASSERT_TRUE(w.flush().has_value());
+    record();
+    ASSERT_TRUE(w.compact_now().has_value());    // physical reclaim rewrites
+    record();
+    add();                                       // 6
+    remove(2);
+    ASSERT_TRUE(w.flush().has_value());
+    record();
+    ASSERT_TRUE(w.compact_now().has_value());
+    record();
+    trace = tracer.trace();
+  }
+  ASSERT_GT(trace.size(), 50u);
+
+  for (std::size_t prefix = 0; prefix <= trace.size(); ++prefix) {
+    for (const CrashPolicy policy : kAllPolicies) {
+      SCOPED_TRACE("prefix " + std::to_string(prefix) + "/" +
+                   std::to_string(trace.size()) + ", policy " +
+                   std::string(policy_name(policy)) + ", seed " +
+                   std::to_string(seed));
+      const auto files = simulate_crash(trace, prefix, policy, seed);
+      materialize(files, work.path(), replay.path());
+
+      // The manifest parses or is absent — never corrupt.
+      auto m = manifest_read(replay.path());
+      if (!m.has_value()) {
+        ASSERT_EQ(m.error().code, ErrorCode::kNotFound) << m.error().to_string();
+      }
+
+      // Recovery succeeds and the {docs, tombstones} pair is exactly one
+      // committed state: nothing resurrected, nothing lost.
+      auto reopened = IndexWriter::open(replay.path(), tiny_writer_opts());
+      ASSERT_TRUE(reopened.has_value()) << reopened.error().to_string();
+      auto& w = reopened.value();
+      const std::uint32_t committed = w.committed_docs();
+      const auto snap = w.snapshot();
+      std::set<std::uint32_t> recovered;
+      for (std::uint32_t id = 0; id < committed; ++id) {
+        if (snap->is_deleted(id)) recovered.insert(id);
+      }
+      bool matched = false;
+      for (const auto& s : states) {
+        matched = matched || (s.docs == committed && s.deleted == recovered);
+      }
+      EXPECT_TRUE(matched) << committed << " docs with " << recovered.size()
+                           << " tombstones is not a committed state";
+      EXPECT_EQ(snap->deleted_docs(), recovered.size());
+      EXPECT_EQ(snap->doc_count(), committed - recovered.size());
+
+      // Alive committed docs answer; uncommitted ids are gone entirely.
+      for (std::uint32_t id = 0; id < total_docs; ++id) {
+        const auto hit = snap->lookup("uniq" + std::to_string(id));
+        if (id < committed && recovered.count(id) == 0) {
+          ASSERT_TRUE(hit.has_value()) << "committed doc " << id << " lost";
+          EXPECT_EQ(hit->doc_ids, (std::vector<std::uint32_t>{id}));
+        } else if (id >= committed) {
+          EXPECT_FALSE(hit.has_value()) << "uncommitted doc " << id << " visible";
+        }
+        // A tombstoned doc may still sit in a not-yet-reclaimed segment;
+        // is_deleted() already proves the search layer filters it.
+      }
+
+      // No *.tmp, orphan segment, or orphan tombstone survives reopen.
+      const auto manifest = w.manifest();
+      std::set<std::uint64_t> committed_ids;
+      for (const auto& e : manifest.entries) committed_ids.insert(e.segment_id);
+      for (const auto& entry : std::filesystem::directory_iterator(replay.path())) {
+        const std::string name = entry.path().filename().string();
+        EXPECT_EQ(name.find(".tmp"), std::string::npos) << name << " survived reopen";
+        if (name.rfind("seg-", 0) == 0) {
+          const std::uint64_t id = std::strtoull(name.c_str() + 4, nullptr, 10);
+          EXPECT_TRUE(committed_ids.count(id) != 0) << "orphan " << name;
+        }
+        if (name.rfind("tomb-", 0) == 0) {
+          const std::uint64_t gen = std::strtoull(name.c_str() + 5, nullptr, 10);
+          EXPECT_EQ(gen, manifest.tombstone_gen) << "orphan " << name;
+        }
+      }
+
+      // Recovery is idempotent, tombstones included.
+      auto again = IndexWriter::open(replay.path(), tiny_writer_opts());
+      ASSERT_TRUE(again.has_value()) << again.error().to_string();
+      EXPECT_EQ(again.value().committed_docs(), committed);
+      EXPECT_EQ(again.value().deleted_docs(), recovered.size());
+      if (HasFatalFailure()) return;
+    }
+  }
+}
+
+// A committed tombstone generation whose sidecar is unreadable is a
+// structured corruption report, not a silent empty delete set.
+TEST(Durability, CorruptTombstoneSidecarReportsCorrupt) {
+  TempDir dir("tombcorrupt");
+  std::uint64_t gen = 0;
+  {
+    auto writer = IndexWriter::open(dir.path(), tiny_writer_opts());
+    ASSERT_TRUE(writer.has_value());
+    auto& w = writer.value();
+    w.add_document("u://0", doc_body(0));
+    ASSERT_TRUE(w.flush().has_value());
+    ASSERT_TRUE(w.delete_document(0).has_value());
+    gen = w.manifest().tombstone_gen;
+    ASSERT_GT(gen, 0u);
+  }
+  auto bytes = read_file(tombstone_path(dir.path(), gen));
+  bytes[bytes.size() / 2] ^= 0x20;  // flip a bit inside the CRC'd payload
+  write_file(tombstone_path(dir.path(), gen), bytes);
+
+  const auto reopened = IndexWriter::open(dir.path(), tiny_writer_opts());
+  ASSERT_FALSE(reopened.has_value());
+  EXPECT_EQ(reopened.error().code, ErrorCode::kCorrupt);
+}
+
+// ENOSPC while writing the tombstone sidecar: the delete must fail
+// cleanly — no new generation on disk, the previous delete set and the
+// committed docs untouched — and the retried delete must commit.
+TEST(Durability, EnospcMidDeleteKeepsDeleteSetIntact) {
+  TempDir dir("enospc_delete");
+  io::FaultEnv env;
+  io::ScopedEnv scoped(env);
+  auto writer = IndexWriter::open(dir.path(), tiny_writer_opts());
+  ASSERT_TRUE(writer.has_value());
+  auto& w = writer.value();
+  w.add_document("u://0", doc_body(0));
+  w.add_document("u://1", doc_body(1));
+  ASSERT_TRUE(w.flush().has_value());
+  ASSERT_TRUE(w.delete_document(0).has_value());
+  const std::uint64_t gen_before = w.manifest().tombstone_gen;
+
+  for (std::uint64_t fail_at = 1; fail_at <= 2; ++fail_at) {
+    io::FaultPlan plan;
+    plan.fail_write_at = fail_at;  // 1 = tombstone sidecar, 2 = manifest tmp
+    env.set_plan(plan);
+    auto failed = w.delete_document(1);
+    env.set_plan({});
+    ASSERT_FALSE(failed.has_value()) << "write " << fail_at << " did not fail";
+    EXPECT_EQ(failed.error().code, ErrorCode::kIo);
+    EXPECT_EQ(w.deleted_docs(), 1u);
+    EXPECT_EQ(w.manifest().tombstone_gen, gen_before);
+    EXPECT_FALSE(w.snapshot()->is_deleted(1));
+    EXPECT_GE(w.metrics().snapshot().counter("live_delete_failures_total"), fail_at);
+    // The torn generation file was removed; gen_before still serves.
+    EXPECT_FALSE(io::real_env().file_exists(
+        tombstone_path(dir.path(), w.manifest().tombstone_gen + 1)));
+  }
+  ASSERT_TRUE(w.delete_document(1).has_value());
+  EXPECT_EQ(w.deleted_docs(), 2u);
+  EXPECT_TRUE(w.snapshot()->is_deleted(1));
 }
 
 // ------------------------------------------------- commit-protocol pinning

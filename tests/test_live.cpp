@@ -212,8 +212,8 @@ TEST(LiveWriter, ReopenContinuesDocIdsFromCommittedState) {
   EXPECT_EQ(hits->doc_ids, (std::vector<std::uint32_t>{0, 1}));
   // The per-segment doc maps resolve every committed id.
   for (std::uint32_t id = 0; id < 3; ++id) {
-    const auto* loc = snap->locate(id);
-    ASSERT_NE(loc, nullptr) << id;
+    const auto loc = snap->locate(id);
+    ASSERT_TRUE(loc.has_value()) << id;
     EXPECT_EQ(loc->url, "u://" + std::to_string(id));
   }
 }
@@ -301,8 +301,8 @@ TEST(LiveCompaction, TieredMergeFoldsAdjacentSegments) {
   for (std::uint32_t i = 0; i < 8; ++i) EXPECT_EQ(hits->doc_ids[i], i);
   // Doc maps were rebased and folded along with the postings.
   for (std::uint32_t i = 0; i < 8; ++i) {
-    const auto* loc = snap->locate(i);
-    ASSERT_NE(loc, nullptr) << i;
+    const auto loc = snap->locate(i);
+    ASSERT_TRUE(loc.has_value()) << i;
     EXPECT_EQ(loc->url, "u://" + std::to_string(i));
   }
   // Obsolete segment files are reclaimed once no snapshot holds them.
@@ -356,7 +356,9 @@ TEST(LiveConcurrency, QueriesRaceFlushAndCompaction) {
       last_docs = snap->doc_count();
       std::uint64_t expected = 0;
       for (const auto& seg : snap->segments()) expected += seg->doc_count();
-      EXPECT_EQ(snap->doc_count(), expected);
+      if (snap->memtable() != nullptr) expected += snap->memtable()->doc_count();
+      EXPECT_EQ(snap->total_docs(), expected);
+      EXPECT_EQ(snap->doc_count(), expected - snap->deleted_docs());
       snap->for_each_term([&](std::string_view term) {
         const auto hits = snap->lookup(term);
         EXPECT_TRUE(hits.has_value());
@@ -378,6 +380,494 @@ TEST(LiveConcurrency, QueriesRaceFlushAndCompaction) {
   r2.join();
   EXPECT_GT(reads.load(), 0u);
   EXPECT_EQ(w.snapshot()->doc_count(), corpus.docs.size());
+}
+
+// ----------------------------- mutable index: memtable, deletes, updates
+
+/// Splits a test body into the tokens the parser indexes: split on single
+/// spaces (the synthetic bodies below make tokenization trivial), then the
+/// same normalization the indexer applies (lowercase + Porter stem).
+std::vector<std::string> split_tokens(const std::string& body) {
+  std::vector<std::string> tokens;
+  std::size_t start = 0;
+  while (start < body.size()) {
+    const auto end = body.find(' ', start);
+    const auto stop = end == std::string::npos ? body.size() : end;
+    if (stop > start) {
+      tokens.push_back(normalize_term(body.substr(start, stop - start)));
+    }
+    if (end == std::string::npos) break;
+    start = end + 1;
+  }
+  return tokens;
+}
+
+/// The writer-side reference model of one document for brute-force checks.
+struct RefDoc {
+  std::string url;
+  std::vector<std::string> tokens;
+  bool alive = false;
+};
+
+std::uint32_t ref_tf(const RefDoc& doc, const std::string& term) {
+  std::uint32_t tf = 0;
+  for (const auto& t : doc.tokens) {
+    if (t == term) ++tf;
+  }
+  return tf;
+}
+
+/// Brute-force tf-ranked reference for the boolean modes: every alive doc
+/// matching per `conjunctive`, scored by summed tf, sorted exactly like
+/// the production tie-break (score desc, doc id asc).
+std::vector<ScoredDoc> brute_force_tf(const std::vector<RefDoc>& ref,
+                                      const std::vector<std::string>& terms,
+                                      bool conjunctive, std::size_t k) {
+  std::vector<ScoredDoc> hits;
+  for (std::uint32_t id = 0; id < ref.size(); ++id) {
+    if (!ref[id].alive) continue;
+    std::uint64_t sum = 0;
+    bool all = true;
+    bool any = false;
+    for (const auto& term : terms) {
+      const auto tf = ref_tf(ref[id], term);
+      sum += tf;
+      all = all && tf > 0;
+      any = any || tf > 0;
+    }
+    if (conjunctive ? all : any) hits.push_back({id, static_cast<double>(sum)});
+  }
+  std::sort(hits.begin(), hits.end(), [](const ScoredDoc& a, const ScoredDoc& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.doc_id < b.doc_id;
+  });
+  if (hits.size() > k) hits.resize(k);
+  return hits;
+}
+
+TEST(LiveMutable, MemtableDocsSearchableBeforeAnyFlush) {
+  TempDir dir("memvis");
+  IndexWriterOptions opts;
+  opts.flush_threshold_bytes = 0;  // never auto-flush
+  opts.background_compaction = false;
+  auto w = IndexWriter::open(dir.path(), opts).value();
+  Searcher searcher([&w] { return w.snapshot(); });
+
+  EXPECT_EQ(w.add_document("u://0", "zebra quokka zebra"), 0u);
+  ASSERT_EQ(w.snapshot()->segment_count(), 0u);  // nothing hit disk yet
+
+  QueryRequest req;
+  req.terms = {normalize_term("zebra")};
+  const auto resp = searcher.search(req);
+  ASSERT_TRUE(resp.has_value());
+  ASSERT_EQ(resp.value().hits.size(), 1u);
+  EXPECT_EQ(resp.value().hits[0].doc_id, 0u);
+
+  // The raw snapshot surface agrees: postings, stats, and the doc map row
+  // are all served straight out of the memtable.
+  const auto snap = w.snapshot();
+  const auto hits = snap->lookup(normalize_term("zebra"));
+  ASSERT_TRUE(hits.has_value());
+  EXPECT_EQ(hits->doc_ids, (std::vector<std::uint32_t>{0}));
+  EXPECT_EQ(hits->tfs, (std::vector<std::uint32_t>{2}));
+  EXPECT_EQ(snap->doc_count(), 1u);
+  const auto loc = snap->locate(0);
+  ASSERT_TRUE(loc.has_value());
+  EXPECT_EQ(loc->url, "u://0");
+
+  // A doc added after the Searcher was constructed is visible to the very
+  // next query (the provider re-resolves the snapshot every call).
+  EXPECT_EQ(w.add_document("u://1", "zebra"), 1u);
+  const auto again = searcher.search(req);
+  ASSERT_TRUE(again.has_value());
+  EXPECT_EQ(again.value().hits.size(), 2u);
+}
+
+TEST(LiveMutable, DeleteHidesDocFromEveryModeAndTheResultCache) {
+  TempDir dir("delmodes");
+  IndexWriterOptions opts;
+  opts.background_compaction = false;
+  auto w = IndexWriter::open(dir.path(), opts).value();
+  w.add_document("u://0", "apple banana");
+  w.add_document("u://1", "apple banana cherry");
+  w.add_document("u://2", "apple cherry");
+  w.flush();
+  w.add_document("u://3", "apple banana");  // memtable-resident
+
+  Searcher searcher([&w] { return w.snapshot(); });
+  const auto run = [&](QueryMode mode, bool exhaustive) {
+    QueryRequest req;
+    req.terms = {normalize_term("apple"), normalize_term("banana")};
+    req.mode = mode;
+    req.exhaustive = exhaustive;
+    auto resp = searcher.search(req);
+    EXPECT_TRUE(resp.has_value());
+    return std::move(resp).value();
+  };
+  const std::vector<QueryMode> modes = {QueryMode::kRanked, QueryMode::kConjunctive,
+                                        QueryMode::kDisjunctive};
+  // Warm the result cache with every mode while all four docs are alive.
+  for (const auto mode : modes) {
+    const auto resp = run(mode, /*exhaustive=*/false);
+    bool saw = false;
+    for (const auto& hit : resp.hits) saw = saw || hit.doc_id == 1;
+    EXPECT_TRUE(saw) << query_mode_name(mode);
+  }
+
+  // Delete a flushed doc and a memtable-only doc. Both must vanish from
+  // every mode immediately — including queries the cache answered a moment
+  // ago (each delete publishes a new snapshot id, rolling every cache key).
+  ASSERT_TRUE(w.delete_document(1).has_value());
+  ASSERT_TRUE(w.delete_document(3).has_value());
+  EXPECT_EQ(w.deleted_docs(), 2u);
+  for (const auto mode : modes) {
+    for (const bool exhaustive : {false, true}) {
+      const auto resp = run(mode, exhaustive);
+      EXPECT_FALSE(resp.hits.empty()) << query_mode_name(mode);
+      for (const auto& hit : resp.hits) {
+        EXPECT_NE(hit.doc_id, 1u) << query_mode_name(mode) << " ex=" << exhaustive;
+        EXPECT_NE(hit.doc_id, 3u) << query_mode_name(mode) << " ex=" << exhaustive;
+      }
+    }
+  }
+
+  // Deleting an id the writer never assigned is rejected outright.
+  const auto bad = w.delete_document(1000);
+  ASSERT_FALSE(bad.has_value());
+  EXPECT_EQ(bad.error().code, ErrorCode::kInvalidArgument);
+  // Re-deleting is an idempotent no-op (no new tombstone generation).
+  ASSERT_TRUE(w.delete_document(1).has_value());
+  EXPECT_EQ(w.deleted_docs(), 2u);
+}
+
+TEST(LiveMutable, UpdateReplacesDocumentUnderANewId) {
+  TempDir dir("update");
+  IndexWriterOptions opts;
+  opts.background_compaction = false;
+  auto w = IndexWriter::open(dir.path(), opts).value();
+  EXPECT_EQ(w.add_document("u://0", "stale words here"), 0u);
+  w.flush();
+
+  const auto updated = w.update_document(0, "u://0", "fresh words here");
+  ASSERT_TRUE(updated.has_value());
+  EXPECT_EQ(updated.value(), 1u);  // update = delete + re-add, fresh id
+
+  const auto snap = w.snapshot();
+  EXPECT_EQ(snap->doc_count(), 1u);
+  EXPECT_EQ(snap->total_docs(), 2u);
+  EXPECT_EQ(snap->deleted_docs(), 1u);
+  EXPECT_TRUE(snap->is_deleted(0));
+
+  Searcher searcher(snap);
+  QueryRequest req;
+  req.terms = {normalize_term("stale")};
+  auto resp = searcher.search(req);
+  ASSERT_TRUE(resp.has_value());
+  EXPECT_TRUE(resp.value().hits.empty());
+  req.terms = {normalize_term("fresh")};
+  resp = searcher.search(req);
+  ASSERT_TRUE(resp.has_value());
+  ASSERT_EQ(resp.value().hits.size(), 1u);
+  EXPECT_EQ(resp.value().hits[0].doc_id, 1u);
+
+  // Updating an already-deleted doc still works: the delete half is an
+  // idempotent no-op and the re-add proceeds under the next fresh id.
+  const auto again = w.update_document(0, "u://0", "even fresher");
+  ASSERT_TRUE(again.has_value());
+  EXPECT_EQ(w.snapshot()->doc_count(), 2u);
+}
+
+TEST(LiveMutable, DeletesSurviveReopenAndPhantomTombstonesDoNot) {
+  TempDir dir("delreopen");
+  IndexWriterOptions opts;
+  opts.background_compaction = false;
+  {
+    auto w = IndexWriter::open(dir.path(), opts).value();
+    w.add_document("u://0", "alpha beta");
+    w.add_document("u://1", "beta gamma");
+    w.flush();
+    ASSERT_TRUE(w.delete_document(0).has_value());
+    // Tombstone a memtable-only doc, then "crash" before it flushes: the
+    // destructor drops the buffered doc, leaving a durable tombstone for
+    // an id that was never committed.
+    w.add_document("u://2", "gamma delta");
+    ASSERT_TRUE(w.delete_document(2).has_value());
+  }
+  auto w = IndexWriter::open(dir.path(), opts).value();
+  // The committed delete survived the reopen...
+  EXPECT_EQ(w.deleted_docs(), 1u);
+  EXPECT_TRUE(w.snapshot()->is_deleted(0));
+  // ...and the phantom bit above next_doc_id was truncated during
+  // recovery, so the reassigned id is not born dead.
+  EXPECT_EQ(w.add_document("u://2b", "delta epsilon"), 2u);
+  const auto snap = w.snapshot();
+  EXPECT_FALSE(snap->is_deleted(2));
+  const auto hits = snap->lookup(normalize_term("delta"));
+  ASSERT_TRUE(hits.has_value());
+  EXPECT_EQ(hits->doc_ids, (std::vector<std::uint32_t>{2}));
+}
+
+TEST(LiveMutable, RandomizedAddDeleteUpdateMatchesBruteForce) {
+  TempDir dir("fuzz");
+  IndexWriterOptions opts;
+  opts.flush_threshold_bytes = 2 << 10;  // auto-flush every few docs
+  opts.tier_base_bytes = 1 << 10;
+  opts.merge_factor = 2;
+  opts.background_compaction = false;  // compacted at checkpoints below
+  auto w = IndexWriter::open(dir.path(), opts).value();
+  Searcher searcher([&w] { return w.snapshot(); });
+
+  const std::vector<std::string> vocab = {
+      "alder", "birch", "cedar", "dogwood", "elm",    "fir",
+      "ginkgo", "hazel", "ivy",   "juniper", "katsura", "larch"};
+  std::mt19937 rng(0xD1CE5);
+  std::vector<RefDoc> ref;  // indexed by doc id, mirrors the writer
+  const auto alive_ids = [&] {
+    std::vector<std::uint32_t> ids;
+    for (std::uint32_t id = 0; id < ref.size(); ++id) {
+      if (ref[id].alive) ids.push_back(id);
+    }
+    return ids;
+  };
+  const auto make_body = [&] {
+    std::string body;
+    const std::size_t len = 3 + rng() % 12;
+    for (std::size_t i = 0; i < len; ++i) {
+      if (!body.empty()) body += ' ';
+      body += vocab[rng() % vocab.size()];
+    }
+    return body;
+  };
+  const auto check = [&] {
+    // A couple of random boolean queries against the brute-force model;
+    // ranked mode is additionally diffed exhaustive-vs-pruned.
+    for (int q = 0; q < 3; ++q) {
+      QueryRequest req;
+      req.terms = {normalize_term(vocab[rng() % vocab.size()]),
+                   normalize_term(vocab[rng() % vocab.size()])};
+      if (req.terms[0] == req.terms[1]) req.terms.pop_back();
+      req.k = 1u << 20;  // everything: the whole ranking must match
+      req.use_result_cache = false;
+      for (const bool conjunctive : {true, false}) {
+        req.mode = conjunctive ? QueryMode::kConjunctive : QueryMode::kDisjunctive;
+        const auto resp = searcher.search(req);
+        ASSERT_TRUE(resp.has_value());
+        const auto expected = brute_force_tf(ref, req.terms, conjunctive, req.k);
+        ASSERT_EQ(resp.value().hits.size(), expected.size()) << query_mode_name(req.mode);
+        for (std::size_t i = 0; i < expected.size(); ++i) {
+          EXPECT_EQ(resp.value().hits[i].doc_id, expected[i].doc_id) << i;
+          EXPECT_EQ(resp.value().hits[i].score, expected[i].score) << i;
+        }
+      }
+      req.mode = QueryMode::kRanked;
+      req.k = 16;
+      req.exhaustive = true;
+      const auto exhaustive = searcher.search(req);
+      req.exhaustive = false;
+      const auto pruned = searcher.search(req);
+      ASSERT_TRUE(exhaustive.has_value());
+      ASSERT_TRUE(pruned.has_value());
+      ASSERT_EQ(exhaustive.value().hits.size(), pruned.value().hits.size());
+      for (std::size_t i = 0; i < pruned.value().hits.size(); ++i) {
+        EXPECT_EQ(exhaustive.value().hits[i].doc_id, pruned.value().hits[i].doc_id);
+        EXPECT_EQ(exhaustive.value().hits[i].score, pruned.value().hits[i].score);
+        EXPECT_TRUE(ref[pruned.value().hits[i].doc_id].alive);
+      }
+    }
+  };
+
+  for (int step = 0; step < 320; ++step) {
+    const auto alive = alive_ids();
+    const auto op = rng() % 10;
+    if (op < 6 || alive.empty()) {
+      const auto body = make_body();
+      const auto url = "u://" + std::to_string(ref.size());
+      const auto id = w.add_document(url, body);
+      ASSERT_EQ(id, ref.size());
+      ref.push_back({url, split_tokens(body), true});
+    } else if (op < 8) {
+      const auto victim = alive[rng() % alive.size()];
+      ASSERT_TRUE(w.delete_document(victim).has_value());
+      ref[victim].alive = false;
+    } else {
+      const auto victim = alive[rng() % alive.size()];
+      const auto body = make_body();
+      const auto url = "u://" + std::to_string(ref.size()) + "v2";
+      const auto id = w.update_document(victim, url, body);
+      ASSERT_TRUE(id.has_value());
+      ASSERT_EQ(id.value(), ref.size());
+      ref[victim].alive = false;
+      ref.push_back({url, split_tokens(body), true});
+    }
+    if (step % 80 == 79) {
+      w.flush();
+      w.compact_now();  // physical reclaim mid-stream must not change answers
+    }
+    if (step % 40 == 19) check();
+  }
+  w.flush();
+  w.compact_now();
+  check();
+
+  const auto snap = w.snapshot();
+  std::uint64_t alive_count = 0;
+  for (const auto& doc : ref) alive_count += doc.alive ? 1 : 0;
+  EXPECT_EQ(snap->doc_count(), alive_count);
+  EXPECT_EQ(snap->total_docs(), ref.size());
+}
+
+TEST(LiveMutable, ReclaimedIndexRanksBitIdenticallyToFreshBuildOfSurvivors) {
+  TempDir corpus_dir("rcorpus");
+  TempDir live_dir("rlive");
+  TempDir fresh_dir("rfresh");
+  const auto corpus = make_corpus(corpus_dir.path(), 128 << 10, /*seed=*/0xFEED);
+  ASSERT_GT(corpus.docs.size(), 24u);
+
+  IndexWriterOptions opts;
+  opts.flush_threshold_bytes = 0;
+  opts.background_compaction = false;
+  auto w = IndexWriter::open(live_dir.path(), opts).value();
+  for (std::size_t i = 0; i < corpus.docs.size(); ++i) {
+    w.add_document(corpus.docs[i].url, corpus.docs[i].body);
+    if (i % 16 == 15) w.flush();
+  }
+  w.flush();
+  std::vector<std::uint32_t> survivors;
+  for (std::uint32_t id = 0; id < corpus.docs.size(); ++id) {
+    if (id % 3 == 0) {
+      ASSERT_TRUE(w.delete_document(id).has_value());
+    } else {
+      survivors.push_back(id);
+    }
+  }
+  w.compact_now();  // full physical reclaim
+
+  // Reclaim proof: no raw postings list mentions a tombstoned doc anymore.
+  const auto snap = w.snapshot();
+  snap->for_each_term([&](std::string_view term) {
+    const auto hits = snap->lookup(term);
+    EXPECT_TRUE(hits.has_value());
+    for (const auto doc : hits->doc_ids) {
+      EXPECT_NE(doc % 3, 0u) << "unreclaimed posting for " << term;
+    }
+    return true;
+  });
+
+  // A fresh index built from only the survivors, in the same order.
+  auto fresh = IndexWriter::open(fresh_dir.path(), opts).value();
+  for (const auto id : survivors) {
+    fresh.add_document(corpus.docs[id].url, corpus.docs[id].body);
+  }
+  fresh.flush();
+  fresh.compact_now();
+  const auto fresh_snap = fresh.snapshot();
+  EXPECT_EQ(snap->doc_count(), fresh_snap->doc_count());
+
+  // Rankings must be bit-identical: same scores (exact double equality),
+  // same docs modulo the survivor id remap, both executors.
+  std::vector<std::string> terms;
+  snap->for_each_term([&](std::string_view term) {
+    terms.emplace_back(term);
+    return true;
+  });
+  Searcher live_searcher(snap);
+  Searcher fresh_searcher(fresh_snap);
+  std::mt19937 rng(7);
+  for (int q = 0; q < 24; ++q) {
+    QueryRequest req;
+    req.terms = {terms[rng() % terms.size()], terms[rng() % terms.size()],
+                 terms[rng() % terms.size()]};
+    req.k = 10;
+    for (const bool exhaustive : {false, true}) {
+      req.exhaustive = exhaustive;
+      const auto live_resp = live_searcher.search(req);
+      const auto fresh_resp = fresh_searcher.search(req);
+      ASSERT_TRUE(live_resp.has_value());
+      ASSERT_TRUE(fresh_resp.has_value());
+      const auto& live_hits = live_resp.value().hits;
+      const auto& fresh_hits = fresh_resp.value().hits;
+      ASSERT_EQ(live_hits.size(), fresh_hits.size()) << "query " << q;
+      for (std::size_t i = 0; i < live_hits.size(); ++i) {
+        const auto it = std::lower_bound(survivors.begin(), survivors.end(),
+                                         live_hits[i].doc_id);
+        ASSERT_TRUE(it != survivors.end() && *it == live_hits[i].doc_id);
+        const auto remapped =
+            static_cast<std::uint32_t>(it - survivors.begin());
+        EXPECT_EQ(remapped, fresh_hits[i].doc_id) << "query " << q << " hit " << i;
+        EXPECT_EQ(live_hits[i].score, fresh_hits[i].score) << "query " << q << " hit " << i;
+      }
+    }
+  }
+}
+
+TEST(LiveConcurrency, SearchesRaceDeletesFlushAndCompaction) {
+  TempDir corpus_dir("dcorpus");
+  TempDir dir("dconc");
+  const auto corpus = make_corpus(corpus_dir.path(), 96 << 10, /*seed=*/0xDEAD);
+
+  IndexWriterOptions opts;
+  opts.flush_threshold_bytes = 8 << 10;
+  opts.tier_base_bytes = 4 << 10;
+  opts.merge_factor = 2;
+  opts.background_compaction = true;
+  auto w = IndexWriter::open(dir.path(), opts).value();
+  Searcher searcher([&w] { return w.snapshot(); });
+
+  std::atomic<bool> done{false};
+  std::atomic<std::uint64_t> answered{0};
+  auto reader = [&] {
+    std::mt19937 rng(std::hash<std::thread::id>{}(std::this_thread::get_id()));
+    std::uint64_t last_total = 0;
+    std::uint64_t last_deleted = 0;
+    while (!done.load(std::memory_order_acquire)) {
+      const auto snap = w.snapshot();
+      // The id space and the tombstone set only ever grow.
+      EXPECT_GE(snap->total_docs(), last_total);
+      EXPECT_GE(snap->deleted_docs(), last_deleted);
+      last_total = snap->total_docs();
+      last_deleted = snap->deleted_docs();
+      EXPECT_EQ(snap->doc_count(), snap->total_docs() - snap->deleted_docs());
+      // Exercise the full search stack (memtable cursors, tombstone
+      // filter, stats, caches) against whatever snapshot is current.
+      std::vector<std::string> terms;
+      snap->for_each_term([&](std::string_view term) {
+        terms.emplace_back(term);
+        return terms.size() < 8;
+      });
+      if (terms.empty()) continue;
+      QueryRequest req;
+      req.terms = {terms[rng() % terms.size()], terms[rng() % terms.size()]};
+      req.mode = rng() % 2 == 0 ? QueryMode::kRanked : QueryMode::kDisjunctive;
+      const auto resp = searcher.search(req);
+      EXPECT_TRUE(resp.has_value());
+      answered.fetch_add(1, std::memory_order_relaxed);
+    }
+  };
+  std::thread r1(reader);
+  std::thread r2(reader);
+  std::mt19937 rng(99);
+  std::uint32_t added = 0;
+  for (const auto& doc : corpus.docs) {
+    w.add_document(doc.url, doc.body);
+    ++added;
+    if (added % 7 == 0) {
+      // Delete a random already-assigned doc; racing readers must never
+      // see it resurface once their snapshot includes the tombstone.
+      ASSERT_TRUE(w.delete_document(rng() % added).has_value());
+    } else if (added % 11 == 0) {
+      const auto id = w.update_document(rng() % added, doc.url + "#v2", doc.body);
+      ASSERT_TRUE(id.has_value());
+      ++added;  // the re-add consumed an id
+    }
+  }
+  w.flush();
+  w.compact_now();
+  done.store(true, std::memory_order_release);
+  r1.join();
+  r2.join();
+  EXPECT_GT(answered.load(), 0u);
+  const auto snap = w.snapshot();
+  EXPECT_EQ(snap->doc_count(), snap->total_docs() - snap->deleted_docs());
 }
 
 // -------------------------------------------------- DocMap offset/rebase
