@@ -85,7 +85,8 @@ int main() {
     row.label = "k" + std::to_string(k);
     row.k = k;
     for (const bool exhaustive : {true, false}) {
-      const Searcher searcher(index, docs);
+      const auto searcher_ptr = Searcher::open(SearchSource::batch(index, docs)).value();
+      const Searcher& searcher = *searcher_ptr;
       const auto before =
           searcher.metrics().snapshot().counter("search_blocks_skipped_total");
       std::vector<double> lat;

@@ -55,7 +55,9 @@ double ingest_docs_per_s(const std::vector<Document>& docs, const std::string& d
   std::filesystem::remove_all(dir);
   IndexWriterOptions opts;  // production defaults: auto-flush + background merge
   auto w = IndexWriter::open(dir, opts).value();
-  Searcher searcher([&w] { return w.snapshot(); });
+  const auto searcher_ptr =
+      Searcher::open(SearchSource::live([&w] { return w.snapshot(); })).value();
+  const Searcher& searcher = *searcher_ptr;
   std::atomic<bool> done{false};
   std::atomic<std::uint64_t> answered{0};
   std::vector<std::thread> readers;

@@ -130,7 +130,7 @@ int main() {
   row_sep(54);
   double qps_1 = 0;
   for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
-    auto searcher = std::make_shared<Searcher>(index, docs);
+    auto searcher = Searcher::open(SearchSource::batch(index, docs)).value();
     service_opts.threads = threads;
     SearchService service(searcher, service_opts);
     const auto r = run_workload(service, workload, 4, /*use_result_cache=*/false);
@@ -147,7 +147,8 @@ int main() {
   for (const std::size_t entries : {64u, 4096u}) {
     SearcherOptions searcher_opts;
     searcher_opts.result_cache_entries = entries;
-    auto searcher = std::make_shared<Searcher>(index, docs, searcher_opts);
+    auto searcher =
+        Searcher::open(SearchSource::batch(index, docs), searcher_opts).value();
     service_opts.threads = 4;
     SearchService service(searcher, service_opts);
     const auto cold = run_workload(service, workload, 1, true);
@@ -167,7 +168,7 @@ int main() {
   std::printf("\n%-12s %10s %10s %10s\n", "executor", "QPS", "p50 us", "p99 us");
   row_sep(46);
   for (const bool exhaustive : {true, false}) {
-    auto searcher = std::make_shared<Searcher>(index, docs);
+    auto searcher = Searcher::open(SearchSource::batch(index, docs)).value();
     service_opts.threads = 1;
     SearchService service(searcher, service_opts);
     std::vector<double> latencies;

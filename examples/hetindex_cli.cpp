@@ -9,16 +9,19 @@
 ///   build     batch-build an index         (--parsers, --cpus, --gpus, ...)
 ///   compact   fold run files into index.seg, or run the live merge policy
 ///   live      incremental-ingestion demo   (--flush-mb, --merge-factor, ...)
-///   query     AND query                    (works on batch and live dirs)
+///   cluster   ingest into a sharded serving cluster (--shards, --strategy, ...)
+///   query     AND query                    (works on batch, live, cluster dirs)
 ///   search    ranked / boolean search      (--k, --mode, --deadline-ms, ...)
 ///   serve     thread-pooled serving bench  (--threads, --queue, --repeat, ...)
 ///   phrase    adjacent-position phrase query
 ///   stats     index shape summary          (batch and live dirs)
 ///   verify    structural index check
 ///
-/// query/stats detect a live directory (MANIFEST present) automatically and
-/// serve from its committed snapshot; batch directories prefer the
-/// compacted segment when one exists. Open and configuration problems are
+/// query/search/serve dispatch on the directory flavor automatically: a
+/// CLUSTER meta file opens the sharded scatter-gather router
+/// (docs/CLUSTER.md), a MANIFEST opens the live snapshot, anything else the
+/// batch index (preferring the compacted segment when one exists) — all
+/// behind the same SearchBackend. Open and configuration problems are
 /// reported as structured errors (util/error.hpp), never aborts.
 
 #include <algorithm>
@@ -135,7 +138,8 @@ int usage() {
                "  build <corpus_dir> <index_dir>  batch-build an index\n"
                "  compact <index_dir>           fold runs into index.seg / merge live segments\n"
                "  live <corpus_dir> <index_dir>   incremental-ingestion demo\n"
-               "  query <index_dir> <term...>   AND query (batch or live dir)\n"
+               "  cluster <corpus_dir> <cluster_dir>  ingest into a sharded cluster\n"
+               "  query <index_dir> <term...>   AND query (batch, live or cluster dir)\n"
                "  search <index_dir> <term...>  ranked / boolean search, with URLs\n"
                "  serve <index_dir> [queries]   thread-pooled serving benchmark\n"
                "  phrase <index_dir> <term...>  adjacent-position phrase query\n"
@@ -155,11 +159,12 @@ bool is_live_dir(const std::string& dir) {
 
 std::vector<std::string> corpus_files(const std::string& dir) {
   std::vector<std::string> files;
-  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
     if (entry.path().extension() == ".hdc") files.push_back(entry.path().string());
   }
   std::sort(files.begin(), files.end());
-  return files;
+  return files;  // empty (callers report it) when dir is missing/unreadable
 }
 
 // ------------------------------------------------------------ verbs
@@ -363,36 +368,130 @@ int cmd_live(int argc, char** argv) {
   return 0;
 }
 
+int cmd_cluster(int argc, char** argv) {
+  ArgParser args(
+      "cluster", "<corpus_dir> <cluster_dir>",
+      {{"shards", true, "shard count (default 2; pinned by the CLUSTER meta)"},
+       {"strategy", true, "document | term | block (default document)"},
+       {"replicas", true, "serving replicas per shard (default 1)"},
+       {"block-docs", true, "docs per placement block, block strategy (default 128)"},
+       {"delete-every", true, "tombstone every Nth ingested doc (default off)"},
+       {"metrics", false, "dump the router's cluster_* metrics at the end"}});
+  if (!args.parse(argc, argv)) return args.help_requested() ? 0 : 2;
+  if (args.positionals().size() != 2) {
+    args.print_usage(stderr);
+    return 2;
+  }
+  ClusterOptions opts;
+  const auto strategy = parse_partition_strategy(args.str("strategy", "document"));
+  if (!strategy) {
+    std::fprintf(stderr, "unknown --strategy '%s'\n", args.str("strategy").c_str());
+    return 2;
+  }
+  opts.strategy = *strategy;
+  opts.shards = static_cast<std::uint32_t>(args.num("shards", 2));
+  opts.replicas = static_cast<std::uint32_t>(args.num("replicas", 1));
+  opts.block_docs = static_cast<std::uint32_t>(args.num("block-docs", 128));
+  auto opened = Cluster::open(args.positionals()[1], opts);
+  if (!opened.has_value()) return report_error(opened.error());
+  auto& cluster = opened.value();
+
+  const auto files = corpus_files(args.positionals()[0]);
+  if (files.empty()) {
+    std::fprintf(stderr, "no .hdc container files under %s\n",
+                 args.positionals()[0].c_str());
+    return 1;
+  }
+  const auto delete_every = static_cast<std::uint64_t>(args.num("delete-every", 0));
+  WallTimer timer;
+  std::uint64_t bytes = 0, deleted = 0;
+  for (const auto& file : files) {
+    for (const auto& doc : container_read(file)) {
+      bytes += doc.body.size();
+      const std::uint32_t id = cluster.add_document(doc.url, doc.body);
+      if (delete_every != 0 && id % delete_every == delete_every - 1) {
+        auto removed = cluster.delete_document(id);
+        if (!removed.has_value()) return report_error(removed.error());
+        ++deleted;
+      }
+    }
+  }
+  if (auto flushed = cluster.flush(); !flushed.has_value()) {
+    return report_error(flushed.error());
+  }
+  std::printf("cluster %s: %s strategy, %u shards x %u replicas, "
+              "%llu docs (%llu deleted), %.1f MB/s ingest\n",
+              cluster.dir().c_str(),
+              partition_strategy_name(cluster.partitioner().strategy()),
+              cluster.shard_count(), cluster.replica_count(),
+              static_cast<unsigned long long>(cluster.total_docs()),
+              static_cast<unsigned long long>(deleted),
+              static_cast<double>(bytes) / (1 << 20) / timer.seconds());
+  for (std::uint32_t s = 0; s < cluster.shard_count(); ++s) {
+    const auto snap = cluster.shard(s).writer().snapshot();
+    std::printf("  shard-%u: %llu live docs, %llu terms, %zu segments\n", s,
+                static_cast<unsigned long long>(snap->doc_count()),
+                static_cast<unsigned long long>(snap->term_count()),
+                snap->segment_count());
+  }
+  if (args.has("metrics")) {
+    const auto router = cluster.make_router();
+    std::fputs(router->metrics().to_prometheus().c_str(), stdout);
+  }
+  return 0;
+}
+
 // ------------------------------------------------------------ searching
 
-/// A Searcher plus whatever backing objects must stay alive behind it
+/// A SearchBackend plus whatever backing objects must stay alive behind it
 /// (heap-allocated so their addresses survive moves of this struct).
-struct OpenedSearcher {
+struct OpenedBackend {
   std::shared_ptr<InvertedIndex> index;
   std::shared_ptr<DocMap> docs;
   std::shared_ptr<const LiveSnapshot> snapshot;  ///< live dirs only
-  std::shared_ptr<Searcher> searcher;
+  std::shared_ptr<Cluster> cluster;              ///< cluster dirs only
+  std::shared_ptr<SearchBackend> backend;
 
-  /// Best-effort URL of a hit; empty when no doc map covers it.
+  /// Best-effort URL of a hit; empty when no doc map covers it. Cluster
+  /// hits carry GLOBAL ids — translate through the partitioner to the
+  /// owning shard's local id space.
   [[nodiscard]] std::string url_of(std::uint32_t doc_id) const {
     if (docs != nullptr && docs->contains(doc_id)) return docs->location(doc_id).url;
     if (snapshot != nullptr) {
       const auto loc = snapshot->locate(doc_id);
       if (loc.has_value()) return loc->url;
     }
+    if (cluster != nullptr) {
+      const auto& part = cluster->partitioner();
+      const std::uint32_t shard =
+          part.replicates_documents() ? 0u : part.doc_shard(doc_id);
+      const auto loc =
+          cluster->shard(shard).writer().snapshot()->locate(part.local_doc(doc_id));
+      if (loc.has_value()) return loc->url;
+    }
     return {};
   }
 };
 
-/// One facade for both directory flavors: live dirs serve their committed
-/// snapshot, batch dirs pair the index with its doc map when present.
-Expected<OpenedSearcher> open_searcher(const std::string& dir) {
-  OpenedSearcher out;
+/// One facade for every directory flavor: cluster dirs open the
+/// scatter-gather router, live dirs serve their committed snapshot, batch
+/// dirs pair the index with its doc map when present.
+Expected<OpenedBackend> open_backend(const std::string& dir) {
+  OpenedBackend out;
+  if (Cluster::is_cluster_dir(dir)) {
+    auto cluster = Cluster::open(dir, {});
+    if (!cluster.has_value()) return cluster.error();
+    out.cluster = std::make_shared<Cluster>(std::move(cluster).value());
+    out.backend = out.cluster->make_router();
+    return out;
+  }
   if (is_live_dir(dir)) {
     auto live = LiveIndex::open(dir);
     if (!live.has_value()) return live.error();
     out.snapshot = live.value().snapshot();
-    out.searcher = std::make_shared<Searcher>(out.snapshot);
+    auto searcher = Searcher::open(SearchSource::snapshot(out.snapshot));
+    if (!searcher.has_value()) return searcher.error();
+    out.backend = std::move(searcher).value();
     return out;
   }
   auto index = InvertedIndex::open(dir, {});
@@ -400,9 +499,14 @@ Expected<OpenedSearcher> open_searcher(const std::string& dir) {
   out.index = std::make_shared<InvertedIndex>(std::move(index).value());
   if (std::filesystem::exists(doc_map_path(dir))) {
     out.docs = std::make_shared<DocMap>(DocMap::open(doc_map_path(dir)));
-    out.searcher = std::make_shared<Searcher>(*out.index, *out.docs);
+    auto searcher = Searcher::open(SearchSource::batch(*out.index, *out.docs));
+    if (!searcher.has_value()) return searcher.error();
+    out.backend = std::move(searcher).value();
   } else {
-    out.searcher = std::make_shared<Searcher>(*out.index);  // boolean modes only
+    // No doc map: boolean modes only.
+    auto searcher = Searcher::open(SearchSource::batch(*out.index));
+    if (!searcher.has_value()) return searcher.error();
+    out.backend = std::move(searcher).value();
   }
   return out;
 }
@@ -445,13 +549,13 @@ int cmd_query(int argc, char** argv, bool phrase) {
     return 0;
   }
 
-  auto opened = open_searcher(dir);
+  auto opened = open_backend(dir);
   if (!opened.has_value()) return report_error(opened.error());
   QueryRequest request;
   request.terms = std::move(terms);
   request.mode = QueryMode::kConjunctive;
   request.k = 20;
-  auto response = opened.value().searcher->search(request);
+  auto response = opened.value().backend->search(request);
   if (!response.has_value()) return report_error(response.error());
   const auto& hits = response.value().hits;
   if (hits.empty()) {
@@ -476,7 +580,7 @@ int cmd_search(int argc, char** argv) {
     args.print_usage(stderr);
     return 2;
   }
-  auto opened = open_searcher(args.positionals()[0]);
+  auto opened = open_backend(args.positionals()[0]);
   if (!opened.has_value()) return report_error(opened.error());
 
   QueryRequest request;
@@ -496,11 +600,13 @@ int cmd_search(int argc, char** argv) {
         static_cast<std::int64_t>(args.num("deadline-ms", 0) * 1000));
   }
 
-  auto response = opened.value().searcher->search(request);
+  auto response = opened.value().backend->search(request);
   if (!response.has_value()) return report_error(response.error());
   const auto& r = response.value();
   if (r.hits.empty()) {
-    std::printf("no results%s\n", r.degraded ? " (degraded: deadline hit)" : "");
+    std::printf("no results%s%s\n", r.degraded() ? " (partial: " : "",
+                r.degraded() ? (std::string(degradation_name(r.degradation)) + ")").c_str()
+                             : "");
     return 0;
   }
   for (std::size_t i = 0; i < r.hits.size(); ++i) {
@@ -509,11 +615,16 @@ int cmd_search(int argc, char** argv) {
                 url.empty() ? "<no doc map>" : url.c_str(), r.hits[i].doc_id,
                 r.hits[i].score);
   }
-  std::printf("%s in %.2f ms (lookup %.2f, score %.2f)%s\n",
+  std::printf("%s in %.2f ms (lookup %.2f, score %.2f)\n",
               r.from_cache ? "served from cache" : "executed",
               r.timings.total_seconds * 1e3, r.timings.lookup_seconds * 1e3,
-              r.timings.score_seconds * 1e3,
-              r.degraded ? "  [degraded: deadline hit]" : "");
+              r.timings.score_seconds * 1e3);
+  if (r.degraded()) {
+    std::printf("  [partial: %s]\n", degradation_name(r.degradation));
+  }
+  if (r.shards_total > 0) {
+    std::printf("  shards answered %u/%u\n", r.shards_answered, r.shards_total);
+  }
   return 0;
 }
 
@@ -532,7 +643,7 @@ int cmd_serve(int argc, char** argv) {
     args.print_usage(stderr);
     return 2;
   }
-  auto opened = open_searcher(args.positionals()[0]);
+  auto opened = open_backend(args.positionals()[0]);
   if (!opened.has_value()) return report_error(opened.error());
 
   const auto mode = parse_mode(args.str("mode", "ranked"));
@@ -577,7 +688,7 @@ int cmd_serve(int argc, char** argv) {
   SearchServiceOptions options;
   options.threads = static_cast<std::size_t>(args.num("threads", 4));
   options.queue_capacity = static_cast<std::size_t>(args.num("queue", 64));
-  SearchService service(opened.value().searcher, options);
+  SearchService service(opened.value().backend, options);
 
   QueryRequest proto;
   proto.k = static_cast<std::size_t>(args.num("k", 10));
@@ -589,7 +700,10 @@ int cmd_serve(int argc, char** argv) {
 
   const std::size_t repeat = std::max<std::size_t>(1, static_cast<std::size_t>(args.num("repeat", 1)));
   std::vector<double> latencies;
-  std::uint64_t answered = 0, shed = 0, rejected = 0, degraded = 0;
+  std::uint64_t answered = 0, shed = 0, rejected = 0;
+  // Partial responses by degradation class (kComplete slot stays zero).
+  std::uint64_t partials[4] = {0, 0, 0, 0};
+  std::uint64_t shards_answered_min = 0, shards_total = 0;
   WallTimer timer;
   // Keep at most one queue's worth of futures in flight: submit until
   // try_push sheds, then drain — the admission queue is the window.
@@ -603,8 +717,16 @@ int cmd_serve(int argc, char** argv) {
         continue;
       }
       ++answered;
-      if (result.value().degraded) ++degraded;
-      latencies.push_back(result.value().timings.total_seconds);
+      const auto& ok = result.value();
+      ++partials[static_cast<std::size_t>(ok.degradation)];
+      if (ok.shards_total > 0) {
+        shards_total = ok.shards_total;
+        shards_answered_min = shards_answered_min == 0
+                                  ? ok.shards_answered
+                                  : std::min<std::uint64_t>(shards_answered_min,
+                                                            ok.shards_answered);
+      }
+      latencies.push_back(ok.timings.total_seconds);
     }
     inflight.clear();
   };
@@ -631,11 +753,25 @@ int cmd_serve(int argc, char** argv) {
               answered / std::max(wall, 1e-9), service.threads());
   std::printf("latency ms  p50 %.3f  p95 %.3f  p99 %.3f\n", pct(0.50), pct(0.95),
               pct(0.99));
+  const std::uint64_t degraded = partials[1] + partials[2] + partials[3];
   if (shed + rejected + degraded > 0) {
-    std::printf("shed %llu  deadline-rejected %llu  degraded %llu\n",
+    std::printf("shed %llu  deadline-rejected %llu  partial %llu "
+                "(deadline %llu, shed %llu, shard %llu)\n",
                 static_cast<unsigned long long>(shed),
                 static_cast<unsigned long long>(rejected),
-                static_cast<unsigned long long>(degraded));
+                static_cast<unsigned long long>(degraded),
+                static_cast<unsigned long long>(
+                    partials[static_cast<std::size_t>(Degradation::kDeadlinePartial)]),
+                static_cast<unsigned long long>(
+                    partials[static_cast<std::size_t>(Degradation::kShedPartial)]),
+                static_cast<unsigned long long>(
+                    partials[static_cast<std::size_t>(Degradation::kShardPartial)]));
+  }
+  if (shards_total > 0) {
+    std::printf("cluster: %llu shards, worst response answered %llu/%llu\n",
+                static_cast<unsigned long long>(shards_total),
+                static_cast<unsigned long long>(shards_answered_min),
+                static_cast<unsigned long long>(shards_total));
   }
   if (args.has("metrics")) {
     std::fputs(service.metrics().to_prometheus().c_str(), stdout);
@@ -741,6 +877,7 @@ int main(int argc, char** argv) {
   if (cmd == "build") return cmd_build(argc - 2, argv + 2);
   if (cmd == "compact") return cmd_compact(argc - 2, argv + 2);
   if (cmd == "live") return cmd_live(argc - 2, argv + 2);
+  if (cmd == "cluster") return cmd_cluster(argc - 2, argv + 2);
   if (cmd == "query") return cmd_query(argc - 2, argv + 2, false);
   if (cmd == "search") return cmd_search(argc - 2, argv + 2);
   if (cmd == "serve") return cmd_serve(argc - 2, argv + 2);

@@ -70,12 +70,13 @@ int main(int argc, char** argv) {
   //    control in front of it (docs/SERVING.md).
   const hetindex::DocMap docs =
       hetindex::DocMap::open(hetindex::doc_map_path(work_dir + "/index"));
-  const hetindex::Searcher searcher(index, docs);
+  const auto searcher =
+      hetindex::Searcher::open(hetindex::SearchSource::batch(index, docs)).value();
   hetindex::QueryRequest request;
   request.terms = {queries[0], queries[1]};
   request.mode = hetindex::QueryMode::kRanked;
   request.k = 3;
-  const auto response = searcher.search(request);
+  const auto response = searcher->search(request);
   if (response.has_value()) {
     std::printf("top-%zu for \"%s %s\" (BM25):\n", request.k, queries[0].c_str(),
                 queries[1].c_str());

@@ -2,10 +2,10 @@
 # Tier-1 verification: the plain Release build + full test suite, then two
 # sanitizer legs over the concurrency- and memory-critical tests:
 #   - ThreadSanitizer on the threaded pipeline/observability/segment/live/
-#     search tests (metric emission from parser threads, shared
+#     search/cluster tests (metric emission from parser threads, shared
 #     SegmentReader lookups, snapshot readers racing live flushes,
 #     deletes and compaction, the SearchService pool racing the live
-#     writer)
+#     writer, and the ShardRouter fan-out racing shard writers)
 #   - ASan+UBSan on the binary-format and serving tests (run files,
 #     segments, query path, MaxScore executor and caches) to catch
 #     overruns and UB in the decoders and the mmap reader
@@ -17,9 +17,11 @@
 #   - a bench leg (plain tree; the sanitizer trees build with
 #     HETINDEX_BUILD_BENCH=OFF): bench_block_pruning emits
 #     BENCH_search.json (pruned-vs-exhaustive latency and blocks skipped,
-#     docs/SERVING.md) and bench_live_ingest emits BENCH_ingest.json
+#     docs/SERVING.md), bench_live_ingest emits BENCH_ingest.json
 #     (ingest docs/s with and without concurrent memtable search load,
-#     docs/LIVE_INDEXING.md)
+#     docs/LIVE_INDEXING.md), and bench_cluster_scaling emits
+#     BENCH_cluster.json (router QPS/p99 vs shard count per partition
+#     strategy, docs/CLUSTER.md)
 #
 # Each leg's wall-clock is reported in the summary at the end.
 #
@@ -59,8 +61,8 @@ if [[ "$run_tsan" == 1 ]]; then
   cmake -B build-tsan -S . -DHETINDEX_SANITIZE=thread \
         -DHETINDEX_BUILD_BENCH=OFF -DHETINDEX_BUILD_EXAMPLES=OFF \
         -DCMAKE_BUILD_TYPE=RelWithDebInfo
-  cmake --build build-tsan -j "$(nproc)" --target test_pipeline test_obs test_segment test_live test_search_service test_block_max
-  ctest --test-dir build-tsan --output-on-failure -R '^(test_pipeline|test_obs|test_segment|test_live|test_search_service|test_block_max)$'
+  cmake --build build-tsan -j "$(nproc)" --target test_pipeline test_obs test_segment test_live test_search_service test_block_max test_cluster
+  ctest --test-dir build-tsan --output-on-failure -R '^(test_pipeline|test_obs|test_segment|test_live|test_search_service|test_block_max|test_cluster)$'
   leg_end "tsan"
 fi
 
@@ -69,8 +71,8 @@ if [[ "$run_asan" == 1 ]]; then
   cmake -B build-asan -S . -DHETINDEX_SANITIZE=address \
         -DHETINDEX_BUILD_BENCH=OFF -DHETINDEX_BUILD_EXAMPLES=OFF \
         -DCMAKE_BUILD_TYPE=RelWithDebInfo
-  cmake --build build-asan -j "$(nproc)" --target test_segment test_postings test_codec test_query_ops test_live test_search_service test_block_max
-  ctest --test-dir build-asan --output-on-failure -R '^(test_segment|test_postings|test_codec|test_query_ops|test_live|test_search_service|test_block_max)$'
+  cmake --build build-asan -j "$(nproc)" --target test_segment test_postings test_codec test_query_ops test_live test_search_service test_block_max test_cluster
+  ctest --test-dir build-asan --output-on-failure -R '^(test_segment|test_postings|test_codec|test_query_ops|test_live|test_search_service|test_block_max|test_cluster)$'
   leg_end "asan"
 fi
 
@@ -102,6 +104,8 @@ if [[ "$run_bench" == 1 ]]; then
   echo "bench leg: wrote BENCH_search.json"
   HETINDEX_BENCH_JSON="$PWD/BENCH_ingest.json" ./build/bench/bench_live_ingest
   echo "bench leg: wrote BENCH_ingest.json"
+  HETINDEX_BENCH_JSON="$PWD/BENCH_cluster.json" ./build/bench/bench_cluster_scaling
+  echo "bench leg: wrote BENCH_cluster.json"
   leg_end "bench"
 fi
 

@@ -1,0 +1,105 @@
+#pragma once
+/// \file partitioner.hpp
+/// Pluggable placement strategies for the sharded serving cluster
+/// (docs/CLUSTER.md). A Partitioner answers three questions with closed
+/// forms — which shard stores a document, what local id it gets there, and
+/// how a shard-local id translates back to a global one — so the cluster
+/// never persists a mapping table: the whole placement is a function of
+/// (strategy, shard count, block size), recorded once in the CLUSTER meta
+/// file.
+///
+/// Three strategies (the classic splits, cf. the rdma-inverted-index
+/// partitioners named in ROADMAP item 1):
+///
+///   document  global id g lives on shard g % N as local id g / N — fine-
+///             grained round-robin, the §III.F byte-concatenation property
+///             makes every shard an independent inverted file. Queries
+///             scatter to all shards; each scores its own docs.
+///   block     contiguous runs of `block_docs` ids placed round-robin by
+///             block index — same scatter path as document partitioning
+///             but preserves locality of ingest order (adjacent docs land
+///             in the same segment block, so range-narrowed reads and
+///             §III.F merges stay contiguous).
+///   term      every document replicated to every shard (local == global);
+///             what is split is the *query*: a term's postings are served
+///             by the shard that owns hash(term) % N, and the router
+///             gathers lists and scores centrally.
+///
+/// All mappings are monotone in g within a shard, so shard-local doc-id
+/// tie-breaking (score desc, id asc) agrees with global tie-breaking after
+/// translation — one of the two pillars of the router's bit-identity
+/// guarantee (the other is ScatterStats).
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string_view>
+
+namespace hetindex {
+
+enum class PartitionStrategy {
+  kDocument,
+  kTerm,
+  kBlock,
+};
+
+/// Stable lowercase identifier for the CLUSTER meta file, CLI flags, logs.
+constexpr const char* partition_strategy_name(PartitionStrategy s) {
+  switch (s) {
+    case PartitionStrategy::kDocument: return "document";
+    case PartitionStrategy::kTerm: return "term";
+    case PartitionStrategy::kBlock: return "block";
+  }
+  return "unknown";
+}
+
+/// Inverse of partition_strategy_name; nullopt for anything else.
+std::optional<PartitionStrategy> parse_partition_strategy(std::string_view name);
+
+class Partitioner {
+ public:
+  virtual ~Partitioner() = default;
+
+  [[nodiscard]] virtual PartitionStrategy strategy() const = 0;
+  [[nodiscard]] std::uint32_t shards() const { return shards_; }
+
+  /// Shard storing global doc `g`. Term partitioning returns 0 — the
+  /// canonical copy; replicates_documents() tells the cluster to broadcast
+  /// writes to every shard instead.
+  [[nodiscard]] virtual std::uint32_t doc_shard(std::uint32_t global_doc) const = 0;
+  /// `g`'s id within its owning shard's local doc-id space.
+  [[nodiscard]] virtual std::uint32_t local_doc(std::uint32_t global_doc) const = 0;
+  /// Inverse: the global id of shard-local doc `local` on `shard`.
+  [[nodiscard]] virtual std::uint32_t global_doc(std::uint32_t shard,
+                                                 std::uint32_t local) const = 0;
+
+  /// Shard owning the postings of `term` at query time; nullopt when terms
+  /// are not what is partitioned (document/block strategies: every shard
+  /// serves its own docs' postings for every term).
+  [[nodiscard]] virtual std::optional<std::uint32_t> term_shard(
+      std::string_view /*term*/) const {
+    return std::nullopt;
+  }
+
+  /// True when every document is written to every shard (term strategy).
+  [[nodiscard]] virtual bool replicates_documents() const { return false; }
+
+  /// How many of the first `total` global ids live on `shard` — what a
+  /// reopen expects each shard's doc-id width to be (recovery validation).
+  [[nodiscard]] virtual std::uint64_t expected_shard_docs(std::uint32_t shard,
+                                                          std::uint64_t total) const = 0;
+
+ protected:
+  explicit Partitioner(std::uint32_t shards) : shards_(shards) {}
+
+ private:
+  std::uint32_t shards_;
+};
+
+/// Builds the strategy. `block_docs` applies to kBlock only (ignored
+/// otherwise); must be > 0. `shards` must be > 0.
+std::shared_ptr<const Partitioner> make_partitioner(PartitionStrategy strategy,
+                                                    std::uint32_t shards,
+                                                    std::uint32_t block_docs = 128);
+
+}  // namespace hetindex

@@ -1,0 +1,126 @@
+#pragma once
+/// \file shard.hpp
+/// One shard of the serving cluster: the shard's IndexWriter (its slice of
+/// the corpus, a normal live directory) plus R ShardReplicas — independent
+/// serving stacks (Searcher caches + SearchService admission pool) over
+/// the shard's data. In this in-process cluster the replicas share the
+/// writer's committed state the way real replicas share a replicated log;
+/// what is replicated is the *serving* capacity and failure domain: each
+/// replica has its own queue to saturate, its own caches to warm, and its
+/// own fault switches (set_down / force_shed) for the router's failover
+/// machinery to react to.
+///
+/// A ShardReplica is a SearchBackend like everything else; the router
+/// talks to it through three verbs:
+///   submit()        a ranked/boolean sub-request with a budget slice
+///   probe_stats()   the exact-integer stats ingredients of ScatterStats
+///   fetch_postings() raw term postings (term-partitioned central scoring)
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "live/writer.hpp"
+#include "search/backend.hpp"
+#include "search/searcher.hpp"
+#include "search/service.hpp"
+
+namespace hetindex {
+
+/// Serving knobs of every replica in a shard.
+struct ShardServingOptions {
+  SearcherOptions searcher;
+  SearchServiceOptions service{/*threads=*/2, /*queue_capacity=*/64};
+};
+
+/// Exact-integer collection stats of one shard, the router's ScatterStats
+/// ingredients (summed across shards before any division — see
+/// LiveSnapshot::token_stats on why integers and not per-shard doubles).
+struct ShardStatsProbe {
+  std::uint64_t n_docs = 0;     ///< live docs on this shard
+  std::uint64_t token_sum = 0;  ///< live indexed tokens
+  std::uint64_t live_docs = 0;  ///< docs carrying token counts (== n_docs)
+  std::vector<std::uint64_t> term_dfs;  ///< raw df per probed term
+};
+
+class ShardReplica final : public SearchBackend {
+ public:
+  ShardReplica(std::shared_ptr<IndexWriter> writer, ShardServingOptions options);
+
+  using SearchBackend::search;
+  [[nodiscard]] Expected<QueryResponse> search(
+      const QueryRequest& request,
+      std::optional<std::chrono::steady_clock::time_point> deadline) const override;
+
+  /// Asynchronous entry the router fans out through. Resolves immediately
+  /// with kUnavailable/kOverloaded when a fault switch is on; otherwise
+  /// enqueues into this replica's admission pool.
+  [[nodiscard]] std::future<Expected<QueryResponse>> submit(
+      QueryRequest request,
+      std::optional<std::chrono::steady_clock::time_point> deadline) const;
+
+  /// Stats phase of the router's two-phase ranked scatter. Synchronous
+  /// (reads the committed snapshot, no decode beyond cursor skip data).
+  [[nodiscard]] Expected<ShardStatsProbe> probe_stats(
+      const std::vector<std::string>& terms) const;
+
+  /// Raw postings of `term` on this shard (term-partitioned serving); a
+  /// null value means the term is absent here. Tombstoned docs included —
+  /// the router filters, like any Searcher.
+  [[nodiscard]] Expected<std::shared_ptr<const QueryPostings>> fetch_postings(
+      const std::string& term) const;
+
+  /// The committed snapshot — storage-level access for the router's
+  /// term-partitioned document stats (not gated by the fault switches,
+  /// which model the serving path, not the disk).
+  [[nodiscard]] std::shared_ptr<const LiveSnapshot> snapshot() const {
+    return writer_->snapshot();
+  }
+
+  /// Fault injection: a down replica answers everything kUnavailable, a
+  /// shedding one kOverloaded — what a crashed / saturated process would
+  /// look like from the router's side.
+  void set_down(bool down) { down_.store(down, std::memory_order_relaxed); }
+  void force_shed(bool shed) { shed_.store(shed, std::memory_order_relaxed); }
+  [[nodiscard]] bool is_down() const { return down_.load(std::memory_order_relaxed); }
+
+  [[nodiscard]] const obs::MetricsRegistry& metrics() const override {
+    return searcher_->metrics();
+  }
+  [[nodiscard]] obs::MetricsRegistry& metrics() override { return searcher_->metrics(); }
+
+ private:
+  [[nodiscard]] std::optional<Error> fault() const;
+
+  std::shared_ptr<IndexWriter> writer_;
+  std::shared_ptr<Searcher> searcher_;
+  std::unique_ptr<SearchService> service_;
+  std::atomic<bool> down_{false};
+  std::atomic<bool> shed_{false};
+};
+
+/// The shard: its writer plus the replica set.
+class Shard {
+ public:
+  Shard(std::shared_ptr<IndexWriter> writer, std::uint32_t replicas,
+        const ShardServingOptions& options);
+
+  [[nodiscard]] IndexWriter& writer() { return *writer_; }
+  [[nodiscard]] const IndexWriter& writer() const { return *writer_; }
+  [[nodiscard]] std::shared_ptr<IndexWriter> shared_writer() const { return writer_; }
+
+  [[nodiscard]] std::size_t replica_count() const { return replicas_.size(); }
+  [[nodiscard]] ShardReplica& replica(std::size_t r) { return *replicas_[r]; }
+  [[nodiscard]] const ShardReplica& replica(std::size_t r) const { return *replicas_[r]; }
+
+ private:
+  std::shared_ptr<IndexWriter> writer_;
+  std::vector<std::unique_ptr<ShardReplica>> replicas_;
+};
+
+}  // namespace hetindex

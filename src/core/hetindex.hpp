@@ -9,7 +9,7 @@
 ///
 /// Everything a downstream caller programs against is re-exported here;
 /// examples and tools include only this header. The surface is organised
-/// in six groups:
+/// in seven groups:
 ///   Build        IndexBuilder, PipelineConfig (+validate()), PipelineEngine,
 ///                PipelineReport / RunRecord, PipelineProgress
 ///   Observe      obs::MetricsRegistry / MetricsSnapshot / StageSpan — live
@@ -18,10 +18,18 @@
 ///   Query        InvertedIndex (run-file or mmapped-segment backed),
 ///                boolean/phrase ops, BM25 ranking, DocMap, index
 ///                verification, the run-file merger, segment compaction
-///   Serve        Searcher (the query facade: QueryRequest in,
-///                QueryResponse out, every mode) and SearchService
-///                (thread-pooled concurrent execution with admission
-///                control, caching, deadlines; docs/SERVING.md)
+///   Serve        SearchBackend (the serving interface: QueryRequest in,
+///                Expected<QueryResponse> out) with its implementations —
+///                Searcher (single-node query facade, every mode, opened
+///                via Searcher::open) and SearchService (thread-pooled
+///                concurrent execution with admission control, caching,
+///                deadlines; docs/SERVING.md)
+///   Cluster      the sharded scatter-gather serving tier: Cluster
+///                (topology + global-id ingest), Partitioner (document /
+///                term / block placement), Shard + ShardReplica, and
+///                ShardRouter — a SearchBackend whose merged top-k is
+///                bit-identical to a single-node build of the union
+///                corpus (docs/CLUSTER.md)
 ///   Live         IndexWriter (real-time mutable indexing: documents are
 ///                searchable the moment add_document returns, deletes and
 ///                updates via tombstones), the searchable Memtable, tiered
@@ -38,10 +46,12 @@
 ///   auto index = hetindex::InvertedIndex::open("out_dir", {}).value();
 ///   hetindex::DocMap docs =
 ///       hetindex::DocMap::open(hetindex::doc_map_path("out_dir"));
-///   hetindex::Searcher searcher(index, docs);
+///   auto searcher =
+///       hetindex::Searcher::open(hetindex::SearchSource::batch(index, docs))
+///           .value();
 ///   hetindex::QueryRequest req;
 ///   req.terms = {hetindex::normalize_term("Parallelism")};
-///   auto response = searcher.search(req);  // Expected<QueryResponse>
+///   auto response = searcher->search(req);  // Expected<QueryResponse>
 
 #include <optional>
 #include <string>
@@ -74,9 +84,16 @@
 #include "postings/verify.hpp"
 
 // Serve (docs/SERVING.md).
+#include "search/backend.hpp"
 #include "search/searcher.hpp"
 #include "search/service.hpp"
 #include "search/types.hpp"
+
+// Cluster (docs/CLUSTER.md).
+#include "cluster/cluster.hpp"
+#include "cluster/partitioner.hpp"
+#include "cluster/router.hpp"
+#include "cluster/shard.hpp"
 
 // Corpus.
 #include "corpus/container.hpp"
@@ -158,7 +175,7 @@ class IndexBuilder {
 /// Library version.
 struct Version {
   static constexpr int major = 1;
-  static constexpr int minor = 4;
+  static constexpr int minor = 5;
   static constexpr int patch = 0;
 };
 std::string version_string();

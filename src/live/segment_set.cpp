@@ -107,39 +107,44 @@ LiveSnapshot::LiveSnapshot(std::vector<std::shared_ptr<LiveSegment>> segments,
   }
 }
 
-double LiveSnapshot::average_doc_tokens() const {
+LiveSnapshot::TokenStats LiveSnapshot::token_stats() const {
   // Exact integer arithmetic throughout (token counts are uint32s; the
   // sums stay far below 2^53): subtracting a reclaimed doc's tokens yields
   // the bit-identical avgdl a fresh build of the survivors would compute.
-  std::uint64_t token_sum = 0;
-  std::uint64_t live_docs = 0;
+  TokenStats stats;
   for (const auto& seg : segments_) {
     const DocMap* map = seg->doc_map();
     if (map == nullptr || map->doc_count() == 0) continue;
-    token_sum += map->token_sum();
-    live_docs += map->doc_count();
+    stats.token_sum += map->token_sum();
+    stats.live_docs += map->doc_count();
     if (tombstones_ != nullptr) {
       tombstones_->for_each_in_range(seg->doc_base(), seg->doc_count(),
                                      [&](std::uint32_t doc) {
                                        if (!map->contains(doc)) return;
-                                       token_sum -= map->location(doc).token_count;
-                                       --live_docs;
+                                       stats.token_sum -= map->location(doc).token_count;
+                                       --stats.live_docs;
                                      });
     }
   }
   if (memtable_ != nullptr) {
-    token_sum += memtable_->token_sum();
-    live_docs += memtable_->doc_count();
+    stats.token_sum += memtable_->token_sum();
+    stats.live_docs += memtable_->doc_count();
     if (tombstones_ != nullptr) {
       tombstones_->for_each_in_range(memtable_->doc_base(), memtable_->doc_count(),
                                      [&](std::uint32_t doc) {
-                                       token_sum -= memtable_->doc_tokens(doc);
-                                       --live_docs;
+                                       stats.token_sum -= memtable_->doc_tokens(doc);
+                                       --stats.live_docs;
                                      });
     }
   }
-  return live_docs == 0 ? 0.0
-                        : static_cast<double>(token_sum) / static_cast<double>(live_docs);
+  return stats;
+}
+
+double LiveSnapshot::average_doc_tokens() const {
+  const TokenStats stats = token_stats();
+  return stats.live_docs == 0 ? 0.0
+                              : static_cast<double>(stats.token_sum) /
+                                    static_cast<double>(stats.live_docs);
 }
 
 std::optional<std::uint32_t> LiveSnapshot::max_tf(std::string_view term) const {

@@ -134,6 +134,17 @@ class LiveSnapshot {
   /// answer.
   [[nodiscard]] std::uint64_t snapshot_id() const { return snapshot_id_; }
 
+  /// Exact integer ingredients of avgdl: total indexed tokens and document
+  /// count over LIVE docs (segments + memtable, tombstoned excluded). The
+  /// cluster router sums these across shards before the one division, so
+  /// the global avgdl is bit-identical to a single-node build of the union
+  /// corpus — per-shard doubles would not re-aggregate exactly.
+  struct TokenStats {
+    std::uint64_t token_sum = 0;
+    std::uint64_t live_docs = 0;
+  };
+  [[nodiscard]] TokenStats token_stats() const;
+
   /// Mean indexed tokens per LIVE document (BM25's avgdl): segment doc
   /// maps plus the memtable, excluding tombstoned docs; 0 when nothing
   /// carries token counts.

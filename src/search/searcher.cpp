@@ -69,24 +69,6 @@ std::string normalize_query(const QueryRequest& request) {
   return norm;
 }
 
-/// Top-k by summed tf (the boolean modes' relevance signal), doc id
-/// breaking ties. `excluded` drops tombstoned docs (live-tier deletes).
-std::vector<ScoredDoc> rank_by_tf(const QueryPostings& postings, std::size_t k,
-                                  const TombstoneSet* excluded) {
-  std::vector<ScoredDoc> hits;
-  hits.reserve(postings.doc_ids.size());
-  for (std::size_t i = 0; i < postings.doc_ids.size(); ++i) {
-    if (excluded != nullptr && excluded->contains(postings.doc_ids[i])) continue;
-    hits.push_back({postings.doc_ids[i], static_cast<double>(postings.tfs[i])});
-  }
-  std::sort(hits.begin(), hits.end(), [](const ScoredDoc& a, const ScoredDoc& b) {
-    if (a.score != b.score) return a.score > b.score;
-    return a.doc_id < b.doc_id;
-  });
-  if (hits.size() > k) hits.resize(k);
-  return hits;
-}
-
 bool past(const std::optional<std::chrono::steady_clock::time_point>& deadline) {
   return deadline && std::chrono::steady_clock::now() >= *deadline;
 }
@@ -97,36 +79,79 @@ constexpr std::uint64_t kIntersectDeadlineStride = 256;
 
 }  // namespace
 
-Searcher::Searcher(const InvertedIndex& index, const DocMap& docs,
-                   SearcherOptions options)
-    : index_(&index),
-      docs_(&docs),
-      metrics_(std::make_unique<obs::MetricsRegistry>()),
-      ins_(std::make_unique<Instruments>(*metrics_)),
-      postings_cache_(options.postings_cache_entries, options.cache_shards),
-      result_cache_(options.result_cache_entries, options.cache_shards) {}
-
-Searcher::Searcher(const InvertedIndex& index, SearcherOptions options)
-    : index_(&index),
-      metrics_(std::make_unique<obs::MetricsRegistry>()),
-      ins_(std::make_unique<Instruments>(*metrics_)),
-      postings_cache_(options.postings_cache_entries, options.cache_shards),
-      result_cache_(options.result_cache_entries, options.cache_shards) {}
-
-Searcher::Searcher(std::shared_ptr<const LiveSnapshot> snapshot, SearcherOptions options)
-    : Searcher(SnapshotProvider([snap = std::move(snapshot)] { return snap; }),
-               options) {
-  HET_CHECK_MSG(provider_() != nullptr, "Searcher requires a non-null snapshot");
+SearchSource SearchSource::batch(const InvertedIndex& index, const DocMap& docs) {
+  SearchSource source;
+  source.index_ = &index;
+  source.docs_ = &docs;
+  return source;
 }
 
-Searcher::Searcher(SnapshotProvider provider, SearcherOptions options)
-    : provider_(std::move(provider)),
+SearchSource SearchSource::batch(const InvertedIndex& index) {
+  SearchSource source;
+  source.index_ = &index;
+  return source;
+}
+
+SearchSource SearchSource::snapshot(std::shared_ptr<const LiveSnapshot> snap) {
+  SearchSource source;
+  if (snap == nullptr) {
+    source.null_source_ = true;
+    return source;
+  }
+  source.provider_ = [pinned = std::move(snap)] { return pinned; };
+  return source;
+}
+
+SearchSource SearchSource::live(SnapshotFn provider) {
+  SearchSource source;
+  if (provider == nullptr) {
+    source.null_source_ = true;
+    return source;
+  }
+  source.provider_ = std::move(provider);
+  return source;
+}
+
+Expected<std::shared_ptr<Searcher>> Searcher::open(SearchSource source,
+                                                   SearcherOptions options) {
+  if (source.null_source_) {
+    return Error{ErrorCode::kInvalidArgument,
+                 "SearchSource requires a non-null snapshot or provider"};
+  }
+  // The provider is deliberately NOT probed here: live providers may block
+  // or become valid only once serving starts (tests gate them on
+  // semaphores). A provider resolving null at query time serves nothing.
+  // Not make_shared: the binding constructor is private.
+  return std::shared_ptr<Searcher>(new Searcher(std::move(source), options));
+}
+
+Searcher::Searcher(SearchSource source, SearcherOptions options)
+    : index_(source.index_),
+      docs_(source.docs_),
+      provider_(std::move(source.provider_)),
       metrics_(std::make_unique<obs::MetricsRegistry>()),
       ins_(std::make_unique<Instruments>(*metrics_)),
       postings_cache_(options.postings_cache_entries, options.cache_shards),
       result_cache_(options.result_cache_entries, options.cache_shards) {
-  HET_CHECK_MSG(provider_ != nullptr, "Searcher requires a snapshot provider");
+  // The deprecated shims route null sources here; keep their historical
+  // abort-on-bad-input contract (open() refuses the same inputs softly).
+  HET_CHECK_MSG(!source.null_source_, "Searcher requires a non-null snapshot source");
 }
+
+// Deprecated shims: each binds the equivalent SearchSource. Defining a
+// [[deprecated]] function does not warn; calling one does.
+Searcher::Searcher(const InvertedIndex& index, const DocMap& docs,
+                   SearcherOptions options)
+    : Searcher(SearchSource::batch(index, docs), options) {}
+
+Searcher::Searcher(const InvertedIndex& index, SearcherOptions options)
+    : Searcher(SearchSource::batch(index), options) {}
+
+Searcher::Searcher(std::shared_ptr<const LiveSnapshot> snapshot, SearcherOptions options)
+    : Searcher(SearchSource::snapshot(std::move(snapshot)), options) {}
+
+Searcher::Searcher(SnapshotFn provider, SearcherOptions options)
+    : Searcher(SearchSource::live(std::move(provider)), options) {}
 
 Searcher::~Searcher() = default;
 
@@ -197,14 +222,6 @@ std::unique_ptr<PostingsCursor> Searcher::open_term_cursor(
   return snap != nullptr ? snap->open_cursor(term) : index_->open_cursor(term);
 }
 
-Expected<QueryResponse> Searcher::search(const QueryRequest& request) const {
-  std::optional<std::chrono::steady_clock::time_point> deadline;
-  if (request.timeout.count() > 0) {
-    deadline = std::chrono::steady_clock::now() + request.timeout;
-  }
-  return search(request, deadline);
-}
-
 Expected<QueryResponse> Searcher::search(
     const QueryRequest& request,
     std::optional<std::chrono::steady_clock::time_point> deadline) const {
@@ -228,9 +245,14 @@ Expected<QueryResponse> Searcher::search(
   QueryResponse response;
   response.snapshot_id = snapshot_id;
 
+  // Scatter-stat sub-requests bypass the result cache entirely: the
+  // injected global stats are not part of the cache key, so a cached
+  // local-stats answer (or caching a global-stats one) would alias wrong
+  // results across the two worlds.
+  const bool cacheable = request.use_result_cache && request.scatter == nullptr;
   const std::string norm = normalize_query(request);
   const std::string result_key = snapshot_key(snapshot_id, norm);
-  if (request.use_result_cache) {
+  if (cacheable) {
     if (auto cached = result_cache_.get(result_key)) {
       ins_->result_hits.add();
       response.hits = **cached;
@@ -274,26 +296,39 @@ Expected<QueryResponse> Searcher::search(
         return Error{ErrorCode::kInvalidArgument,
                      "ranked mode requires a DocMap (BM25 needs document lengths)"};
       }
+      // Router-injected global stats (ScatterStats) override the local
+      // collection view wherever N, df, or avgdl enters a score — document
+      // lengths stay local (each shard owns its docs). A term absent
+      // locally simply contributes nothing, exactly as in the union index.
+      const ScatterStats* scatter = request.scatter.get();
+      if (scatter != nullptr && scatter->term_dfs.size() != request.terms.size()) {
+        return Error{ErrorCode::kInvalidArgument,
+                     "scatter stats must carry one df per request term"};
+      }
       const auto stats = stats_for(snap, snapshot_id);
+      const std::uint64_t n_docs = scatter != nullptr ? scatter->n_docs : stats->n_docs;
+      const double avgdl =
+          scatter != nullptr ? std::max(scatter->avgdl, 1e-9) : stats->avgdl;
       if (request.exhaustive) {
         // Baseline engine: full decode, hash-map accumulation in request
         // term order — the historical bm25_query, fed from the caches.
         std::unordered_map<std::uint32_t, double> scores;
         for (std::size_t t = 0; t < request.terms.size(); ++t) {
           if (past(deadline)) {  // degrade between terms: coarse but exact
-            response.degraded = true;
+            response.degradation = Degradation::kDeadlinePartial;
             break;
           }
           const auto& postings = lists[t];
           if (postings == nullptr || postings->doc_ids.empty()) continue;
-          const double idf = bm25_idf(postings->doc_ids.size(), stats->n_docs);
+          const double idf = bm25_idf(
+              scatter != nullptr ? scatter->term_dfs[t] : postings->doc_ids.size(),
+              n_docs);
           for (std::size_t i = 0; i < postings->doc_ids.size(); ++i) {
             const std::uint32_t doc = postings->doc_ids[i];
             if (excluded != nullptr && excluded->contains(doc)) continue;
             const double tf = postings->tfs[i];
             const double dl = stats->lengths.token_count(doc);
-            scores[doc] +=
-                bm25_contribution(idf, tf, dl, stats->avgdl, request.bm25);
+            scores[doc] += bm25_contribution(idf, tf, dl, avgdl, request.bm25);
           }
         }
         std::vector<ScoredDoc> ranked;
@@ -315,8 +350,12 @@ Expected<QueryResponse> Searcher::search(
           input.term_index = t;
           // df from the cursor's skip data — the same integer the decoded
           // list's length would give, so idf matches exhaustive exactly.
-          input.idf = bm25_idf(cursors[t]->size(), stats->n_docs);
+          input.idf = bm25_idf(
+              scatter != nullptr ? scatter->term_dfs[t] : cursors[t]->size(), n_docs);
           const auto max_tf = term_max_tf(snap, request.terms[t]);
+          // The bound pairs the (possibly global) idf with the local
+          // max_tf: contributions below use the same idf, so the bound
+          // still over-covers and pruning stays exact.
           input.upper_bound = max_tf
                                   ? bm25_upper_bound(input.idf, *max_tf, request.bm25)
                                   : bm25_loose_bound(input.idf, request.bm25);
@@ -324,9 +363,9 @@ Expected<QueryResponse> Searcher::search(
           inputs.push_back(std::move(input));
         }
         auto topk = maxscore_topk(std::move(inputs), request.k, request.bm25,
-                                  stats->lengths, stats->avgdl, deadline, excluded);
+                                  stats->lengths, avgdl, deadline, excluded);
         response.hits = std::move(topk.hits);
-        response.degraded = topk.degraded;
+        if (topk.degraded) response.degradation = Degradation::kDeadlinePartial;
         ins_->blocks_skipped.add(topk.blocks_skipped);
       }
       break;
@@ -353,7 +392,7 @@ Expected<QueryResponse> Searcher::search(
         for (driver.seek(0); driver.valid() && !dead_end; driver.next()) {
           if (++steps % kIntersectDeadlineStride == 0 && past(deadline)) {
             // Prefix of the true intersection: a valid subset, flagged.
-            response.degraded = true;
+            response.degradation = Degradation::kDeadlinePartial;
             break;
           }
           const std::uint32_t d = driver.docid();
@@ -392,7 +431,7 @@ Expected<QueryResponse> Searcher::search(
       for (const auto& p : lists) {
         if (p == nullptr) continue;
         if (past(deadline)) {  // partial union: a subset, flagged
-          response.degraded = true;
+          response.degradation = Degradation::kDeadlinePartial;
           break;
         }
         acc = acc.doc_ids.empty() ? *p : postings_or(acc, *p);
@@ -404,14 +443,14 @@ Expected<QueryResponse> Searcher::search(
   response.timings.score_seconds = score_timer.seconds();
   response.timings.total_seconds = total_timer.seconds();
 
-  if (response.degraded) ins_->degraded.add();
+  if (response.degraded()) ins_->degraded.add();
   ins_->lookup_micros.add(response.timings.lookup_seconds * 1e6);
   ins_->score_micros.add(response.timings.score_seconds * 1e6);
   ins_->total_micros.add(response.timings.total_seconds * 1e6);
 
   // Degraded answers are timing accidents, not the query's answer — they
   // must never be replayed from the cache.
-  if (request.use_result_cache && !response.degraded) {
+  if (cacheable && !response.degraded()) {
     result_cache_.put(result_key,
                       std::make_shared<const std::vector<ScoredDoc>>(response.hits));
   }

@@ -1,10 +1,10 @@
 #pragma once
 /// \file searcher.hpp
 /// The one query facade. A Searcher binds a corpus view — a batch
-/// InvertedIndex + DocMap, a pinned LiveSnapshot, or a SnapshotProvider
-/// that follows a live writer — and answers QueryRequests of every mode
-/// through a single entry point, sharing across requests everything the
-/// old free functions re-derived per call:
+/// InvertedIndex + DocMap, a pinned LiveSnapshot, or a provider that
+/// follows a live writer — and answers QueryRequests of every mode through
+/// the SearchBackend interface, sharing across requests everything the old
+/// free functions re-derived per call:
 ///
 ///   collection stats   N and avgdl computed once per snapshot (guarded by
 ///                      a snapshot-id check, not per query — the
@@ -17,6 +17,11 @@
 ///                      exists to avoid
 ///   finished results   sharded LRU keyed on (snapshot id, normalized
 ///                      query); never stores degraded responses
+///
+/// Construction goes through one factory: `Searcher::open(SearchSource)`
+/// returning Expected — the SearchSource factories name the corpus view
+/// (`batch`, `snapshot`, `live`) and replace the former four constructor
+/// overloads, which remain as deprecated shims for one release.
 ///
 /// Snapshot changes invalidate nothing explicitly: keys embed the snapshot
 /// id, so stale entries simply stop being reachable and age out.
@@ -37,6 +42,7 @@
 #include "obs/metrics.hpp"
 #include "postings/doc_map.hpp"
 #include "postings/query.hpp"
+#include "search/backend.hpp"
 #include "search/cache.hpp"
 #include "search/topk.hpp"
 #include "search/types.hpp"
@@ -47,7 +53,38 @@ namespace hetindex {
 /// Source of the current snapshot for a live-following Searcher; typically
 /// `[&writer] { return writer.snapshot(); }`. Must be callable from any
 /// thread.
-using SnapshotProvider = std::function<std::shared_ptr<const LiveSnapshot>()>;
+using SnapshotFn = std::function<std::shared_ptr<const LiveSnapshot>()>;
+
+/// Deprecated spelling of SnapshotFn, kept one release for the former
+/// `Searcher(SnapshotProvider)` constructor's callers.
+using SnapshotProvider [[deprecated("use SnapshotFn / SearchSource::live")]] = SnapshotFn;
+
+/// Names the corpus view a Searcher serves. Value type handed to
+/// Searcher::open(); exactly one factory below applies.
+class SearchSource {
+ public:
+  /// A batch index + doc map (every query mode). Both references must
+  /// outlive the Searcher.
+  [[nodiscard]] static SearchSource batch(const InvertedIndex& index, const DocMap& docs);
+  /// A batch index with no doc map: boolean modes only — ranked requests
+  /// report kInvalidArgument (BM25 needs document lengths).
+  [[nodiscard]] static SearchSource batch(const InvertedIndex& index);
+  /// One pinned live snapshot (held alive by the Searcher).
+  [[nodiscard]] static SearchSource snapshot(std::shared_ptr<const LiveSnapshot> snap);
+  /// Follows a live index: every search() resolves the provider, so
+  /// queries always see the latest committed snapshot and caches roll over
+  /// with the snapshot id.
+  [[nodiscard]] static SearchSource live(SnapshotFn provider);
+
+ private:
+  friend class Searcher;
+  SearchSource() = default;
+
+  const InvertedIndex* index_ = nullptr;
+  const DocMap* docs_ = nullptr;
+  SnapshotFn provider_;
+  bool null_source_ = false;  ///< snapshot(nullptr)/live(nullptr): open() refuses
+};
 
 struct SearcherOptions {
   std::size_t postings_cache_entries = 4096;  ///< decoded lists retained
@@ -55,44 +92,50 @@ struct SearcherOptions {
   std::size_t cache_shards = 8;               ///< lock granularity of both caches
 };
 
-class Searcher {
+class Searcher : public SearchBackend {
  public:
-  /// Serves a batch index. Both references must outlive the Searcher.
-  Searcher(const InvertedIndex& index, const DocMap& docs,
-           SearcherOptions options = {});
-  /// Serves a batch index with no doc map: boolean modes only — ranked
-  /// requests report kInvalidArgument (BM25 needs document lengths).
+  /// The one way to build a Searcher: bind a SearchSource. kInvalidArgument
+  /// when the source holds a null snapshot or provider function. A live
+  /// provider is never invoked here — it may legitimately block until
+  /// serving starts; resolving null at query time simply serves nothing.
+  /// Returns a shared_ptr because every downstream consumer (SearchService,
+  /// ShardReplica) shares ownership.
+  [[nodiscard]] static Expected<std::shared_ptr<Searcher>> open(
+      SearchSource source, SearcherOptions options = {});
+
+  // Deprecated constructor shims, kept one release. They keep the historical
+  // abort-on-bad-input behaviour; new code goes through open(), which
+  // refuses structurally.
+  [[deprecated("use Searcher::open(SearchSource::batch(index, docs))")]]
+  Searcher(const InvertedIndex& index, const DocMap& docs, SearcherOptions options = {});
+  [[deprecated("use Searcher::open(SearchSource::batch(index))")]]
   explicit Searcher(const InvertedIndex& index, SearcherOptions options = {});
-  /// Serves one pinned live snapshot (held alive by the Searcher).
+  [[deprecated("use Searcher::open(SearchSource::snapshot(snap))")]]
   explicit Searcher(std::shared_ptr<const LiveSnapshot> snapshot,
                     SearcherOptions options = {});
-  /// Follows a live index: every search() resolves the provider, so
-  /// queries always see the latest committed snapshot and caches roll over
-  /// with the snapshot id.
-  explicit Searcher(SnapshotProvider provider, SearcherOptions options = {});
-  ~Searcher();
+  [[deprecated("use Searcher::open(SearchSource::live(provider))")]]
+  explicit Searcher(SnapshotFn provider, SearcherOptions options = {});
+  ~Searcher() override;
 
   Searcher(const Searcher&) = delete;
   Searcher& operator=(const Searcher&) = delete;
 
-  /// Answers one request. The deadline (when request.timeout > 0) starts
-  /// now; see the two-argument overload when the clock started earlier.
-  /// Errors: kInvalidArgument (no terms), kDeadlineExceeded (expired on
-  /// entry).
-  [[nodiscard]] Expected<QueryResponse> search(const QueryRequest& request) const;
+  using SearchBackend::search;  // the one-argument convenience entry
 
-  /// Like search(request) but against an absolute deadline that may
-  /// predate this call — SearchService passes the deadline computed at
-  /// submit time so queue wait counts against the budget.
+  /// Answers one request against an absolute deadline that may predate
+  /// this call — SearchService passes the deadline computed at submit time
+  /// so queue wait counts against the budget. Errors: kInvalidArgument (no
+  /// terms, or malformed scatter stats), kDeadlineExceeded (expired on
+  /// entry).
   [[nodiscard]] Expected<QueryResponse> search(
       const QueryRequest& request,
-      std::optional<std::chrono::steady_clock::time_point> deadline) const;
+      std::optional<std::chrono::steady_clock::time_point> deadline) const override;
 
   /// search_* instruments: queries/degraded/cache hit-miss counters,
   /// per-stage latency histograms, stats-recompute counter. SearchService
   /// adds its admission metrics to this same registry.
-  [[nodiscard]] const obs::MetricsRegistry& metrics() const { return *metrics_; }
-  [[nodiscard]] obs::MetricsRegistry& metrics() { return *metrics_; }
+  [[nodiscard]] const obs::MetricsRegistry& metrics() const override { return *metrics_; }
+  [[nodiscard]] obs::MetricsRegistry& metrics() override { return *metrics_; }
 
  private:
   struct Instruments;
@@ -104,6 +147,8 @@ class Searcher {
     DocLengthIndex lengths;
     std::shared_ptr<const LiveSnapshot> pin;  ///< keeps doc maps alive
   };
+
+  Searcher(SearchSource source, SearcherOptions options);
 
   [[nodiscard]] std::shared_ptr<const Stats> stats_for(
       const std::shared_ptr<const LiveSnapshot>& snap, std::uint64_t snapshot_id) const;
@@ -118,7 +163,7 @@ class Searcher {
   // Exactly one source is active: (index_, docs_) or provider_.
   const InvertedIndex* index_ = nullptr;
   const DocMap* docs_ = nullptr;
-  SnapshotProvider provider_;
+  SnapshotFn provider_;
 
   std::unique_ptr<obs::MetricsRegistry> metrics_;
   std::unique_ptr<Instruments> ins_;

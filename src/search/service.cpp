@@ -23,12 +23,12 @@ struct SearchService::Instruments {
         queue_wait_micros(m.histogram("search_queue_wait_micros", 0.0, 16384.0, 64)) {}
 };
 
-SearchService::SearchService(std::shared_ptr<Searcher> searcher,
+SearchService::SearchService(std::shared_ptr<SearchBackend> backend,
                              SearchServiceOptions options)
-    : searcher_(std::move(searcher)) {
-  HET_CHECK_MSG(searcher_ != nullptr, "SearchService requires a Searcher");
+    : backend_(std::move(backend)) {
+  HET_CHECK_MSG(backend_ != nullptr, "SearchService requires a backend");
   HET_CHECK(options.threads > 0);
-  ins_ = std::make_unique<Instruments>(searcher_->metrics());
+  ins_ = std::make_unique<Instruments>(backend_->metrics());
   queue_ = std::make_unique<BoundedQueue<Job>>(
       options.queue_capacity, obs::QueueProbe{&ins_->queue_depth, nullptr, nullptr});
   workers_.reserve(options.threads);
@@ -43,11 +43,13 @@ SearchService::~SearchService() {
   queue_->close();
 }
 
-std::future<Expected<QueryResponse>> SearchService::submit(QueryRequest request) {
+std::future<Expected<QueryResponse>> SearchService::enqueue(
+    QueryRequest request,
+    std::optional<std::chrono::steady_clock::time_point> deadline) const {
   ins_->submitted.add();
   Job job;
   job.enqueued = std::chrono::steady_clock::now();
-  if (request.timeout.count() > 0) job.deadline = job.enqueued + request.timeout;
+  job.deadline = deadline;
   job.request = std::move(request);
   auto future = job.promise.get_future();
   if (!queue_->try_push(std::move(job))) {
@@ -64,8 +66,24 @@ std::future<Expected<QueryResponse>> SearchService::submit(QueryRequest request)
   return future;
 }
 
-Expected<QueryResponse> SearchService::search(QueryRequest request) {
-  return submit(std::move(request)).get();
+std::future<Expected<QueryResponse>> SearchService::submit(QueryRequest request) {
+  std::optional<std::chrono::steady_clock::time_point> deadline;
+  if (request.timeout.count() > 0) {
+    deadline = std::chrono::steady_clock::now() + request.timeout;
+  }
+  return enqueue(std::move(request), deadline);
+}
+
+std::future<Expected<QueryResponse>> SearchService::submit(
+    QueryRequest request,
+    std::optional<std::chrono::steady_clock::time_point> deadline) {
+  return enqueue(std::move(request), deadline);
+}
+
+Expected<QueryResponse> SearchService::search(
+    const QueryRequest& request,
+    std::optional<std::chrono::steady_clock::time_point> deadline) const {
+  return enqueue(request, deadline).get();
 }
 
 void SearchService::worker_loop() {
@@ -84,7 +102,7 @@ void SearchService::worker_loop() {
       continue;
     }
     ins_->inflight.add(1);
-    job->promise.set_value(searcher_->search(job->request, job->deadline));
+    job->promise.set_value(backend_->search(job->request, job->deadline));
     ins_->inflight.add(-1);
   }
 }

@@ -1,15 +1,21 @@
 #pragma once
 /// \file service.hpp
 /// Thread-pooled concurrent query execution with admission control in
-/// front of one Searcher. Requests enter a bounded queue (reject-with-
-/// kOverloaded when saturated — callers learn about overload immediately
-/// instead of piling up latency), workers pop and execute, and a request's
-/// deadline starts at submit so time spent queued counts against it: a
-/// request that expires while waiting is rejected with kDeadlineExceeded
-/// without wasting executor time, and one that expires mid-execution comes
-/// back degraded (see Searcher).
+/// front of any SearchBackend — one Searcher on a laptop, a ShardReplica
+/// inside a cluster, or a whole ShardRouter. Requests enter a bounded
+/// queue (reject-with-kOverloaded when saturated — callers learn about
+/// overload immediately instead of piling up latency), workers pop and
+/// execute, and a request's deadline starts at submit so time spent queued
+/// counts against it: a request that expires while waiting is rejected
+/// with kDeadlineExceeded without wasting executor time, and one that
+/// expires mid-execution comes back degraded (see Searcher).
 ///
-/// The service publishes its admission metrics into the Searcher's
+/// The service is itself a SearchBackend (search() = submit + wait), so
+/// admission-controlled tiers stack: ShardRouter fans out to per-replica
+/// services, and the CLI `serve` verb runs one service over whichever
+/// backend the directory holds.
+///
+/// The service publishes its admission metrics into the backend's
 /// registry, so one snapshot tells the whole serving story: queue depth,
 /// in-flight gauge, shed/rejected counters, queue-wait histogram alongside
 /// the executor's cache and latency instruments.
@@ -21,6 +27,7 @@
 #include <thread>
 #include <vector>
 
+#include "search/backend.hpp"
 #include "search/searcher.hpp"
 #include "util/bounded_queue.hpp"
 
@@ -31,30 +38,44 @@ struct SearchServiceOptions {
   std::size_t queue_capacity = 64; ///< admission queue; full = shed
 };
 
-class SearchService {
+class SearchService : public SearchBackend {
  public:
-  SearchService(std::shared_ptr<Searcher> searcher, SearchServiceOptions options = {});
+  SearchService(std::shared_ptr<SearchBackend> backend, SearchServiceOptions options = {});
   /// Closes the queue and joins the workers; already-queued requests are
   /// drained (their futures resolve) before destruction completes.
-  ~SearchService();
+  ~SearchService() override;
 
   SearchService(const SearchService&) = delete;
   SearchService& operator=(const SearchService&) = delete;
 
-  /// Enqueues one request. The future resolves to the response, or to
-  /// kOverloaded (queue full — resolved immediately, the backpressure
-  /// signal), kDeadlineExceeded, or any Searcher error.
+  /// Enqueues one request; the deadline (request.timeout > 0) starts now.
+  /// The future resolves to the response, or to kOverloaded (queue full —
+  /// resolved immediately, the backpressure signal), kDeadlineExceeded, or
+  /// any backend error.
   [[nodiscard]] std::future<Expected<QueryResponse>> submit(QueryRequest request);
 
-  /// Synchronous convenience: submit and wait.
-  [[nodiscard]] Expected<QueryResponse> search(QueryRequest request);
+  /// Like submit(request) but against an absolute deadline that may
+  /// predate the call — the ShardRouter enqueues per-shard sub-requests
+  /// with its already-carved budget slice. The futures are promise-backed:
+  /// abandoning one (router timeout) never blocks.
+  [[nodiscard]] std::future<Expected<QueryResponse>> submit(
+      QueryRequest request,
+      std::optional<std::chrono::steady_clock::time_point> deadline);
 
-  [[nodiscard]] const Searcher& searcher() const { return *searcher_; }
-  /// The shared registry (Searcher's, plus this service's admission
+  using SearchBackend::search;  // the one-argument convenience entry
+
+  /// Synchronous execution through the queue: submit and wait.
+  [[nodiscard]] Expected<QueryResponse> search(
+      const QueryRequest& request,
+      std::optional<std::chrono::steady_clock::time_point> deadline) const override;
+
+  [[nodiscard]] const SearchBackend& backend() const { return *backend_; }
+  /// The shared registry (the backend's, plus this service's admission
   /// instruments).
-  [[nodiscard]] const obs::MetricsRegistry& metrics() const {
-    return searcher_->metrics();
+  [[nodiscard]] const obs::MetricsRegistry& metrics() const override {
+    return backend_->metrics();
   }
+  [[nodiscard]] obs::MetricsRegistry& metrics() override { return backend_->metrics(); }
   [[nodiscard]] std::size_t threads() const { return workers_.size(); }
   [[nodiscard]] std::size_t queue_capacity() const { return queue_->capacity(); }
   [[nodiscard]] std::size_t queue_depth() const { return queue_->size(); }
@@ -68,9 +89,12 @@ class SearchService {
     std::promise<Expected<QueryResponse>> promise;
   };
 
+  [[nodiscard]] std::future<Expected<QueryResponse>> enqueue(
+      QueryRequest request,
+      std::optional<std::chrono::steady_clock::time_point> deadline) const;
   void worker_loop();
 
-  std::shared_ptr<Searcher> searcher_;
+  std::shared_ptr<SearchBackend> backend_;
   std::unique_ptr<Instruments> ins_;
   std::unique_ptr<BoundedQueue<Job>> queue_;
   std::vector<std::jthread> workers_;

@@ -9,6 +9,23 @@
 #include "util/check.hpp"
 
 namespace hetindex {
+
+std::vector<ScoredDoc> rank_by_tf(const QueryPostings& postings, std::size_t k,
+                                  const TombstoneSet* excluded) {
+  std::vector<ScoredDoc> hits;
+  hits.reserve(postings.doc_ids.size());
+  for (std::size_t i = 0; i < postings.doc_ids.size(); ++i) {
+    if (excluded != nullptr && excluded->contains(postings.doc_ids[i])) continue;
+    hits.push_back({postings.doc_ids[i], static_cast<double>(postings.tfs[i])});
+  }
+  std::sort(hits.begin(), hits.end(), [](const ScoredDoc& a, const ScoredDoc& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.doc_id < b.doc_id;
+  });
+  if (hits.size() > k) hits.resize(k);
+  return hits;
+}
+
 namespace {
 
 /// Relative pruning slack: a candidate is discarded only when its bound is

@@ -86,6 +86,14 @@ double bm25_upper_bound(double idf, std::uint32_t max_tf, const Bm25Params& para
 /// Loose fallback bound (tf → ∞) for terms without a max_tf sidecar.
 double bm25_loose_bound(double idf, const Bm25Params& params);
 
+/// Top-k by summed tf (the boolean modes' relevance signal), doc id
+/// breaking ties. `excluded` drops tombstoned docs (live-tier deletes).
+/// Shared by the Searcher's conjunctive/disjunctive modes and the
+/// ShardRouter's term-routed boolean scoring — bit-identity between the
+/// two depends on ranking through the same code.
+std::vector<ScoredDoc> rank_by_tf(const QueryPostings& postings, std::size_t k,
+                                  const TombstoneSet* excluded);
+
 struct TopkResult {
   std::vector<ScoredDoc> hits;  ///< score desc, doc id asc, at most k
   bool degraded = false;        ///< deadline expired mid-scan; hits approximate

@@ -9,6 +9,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -33,6 +34,40 @@ constexpr const char* query_mode_name(QueryMode mode) {
   return "unknown";
 }
 
+/// How complete a response is. PR 4 conflated every partial answer in one
+/// `degraded` bool; the cluster tier needs to distinguish "the deadline cut
+/// execution short" from "a shard shed" from "a shard was unreachable", so
+/// the flag became this enum.
+enum class Degradation {
+  kComplete,         ///< the full answer
+  kDeadlinePartial,  ///< deadline hit mid-execution: best candidates so far
+  kShedPartial,      ///< cluster: unanswered shards shed under load
+  kShardPartial,     ///< cluster: a shard was down or timed out past failover
+};
+
+/// Stable lowercase identifier for logs and CLI output.
+constexpr const char* degradation_name(Degradation d) {
+  switch (d) {
+    case Degradation::kComplete: return "complete";
+    case Degradation::kDeadlinePartial: return "deadline_partial";
+    case Degradation::kShedPartial: return "shed_partial";
+    case Degradation::kShardPartial: return "shard_partial";
+  }
+  return "unknown";
+}
+
+/// Global collection statistics a ShardRouter injects into a shard-local
+/// sub-request so BM25 scores computed on one shard are bit-identical to a
+/// single-node build of the union corpus: idf needs the global df and N,
+/// the length normalization needs the global avgdl. All three are exact
+/// integer aggregates (avgdl is the one division), so every shard derives
+/// the same doubles the union index would.
+struct ScatterStats {
+  std::uint64_t n_docs = 0;            ///< live documents, cluster-wide
+  double avgdl = 0;                    ///< global mean tokens per live doc
+  std::vector<std::uint64_t> term_dfs; ///< raw df per request term (parallel)
+};
+
 /// One query. Terms must already be normalized (see normalize_term);
 /// duplicates are honored, not deduplicated — a repeated term scores twice,
 /// matching the historical bm25_query behaviour.
@@ -54,6 +89,11 @@ struct QueryRequest {
   bool exhaustive = false;
   /// Opt out of the query-result cache (postings caching still applies).
   bool use_result_cache = true;
+  /// Router-supplied global stats for ranked sub-requests (see
+  /// ScatterStats). Null for ordinary single-node queries. Requests
+  /// carrying scatter stats bypass the result cache — the stats are not
+  /// part of the cache key, and a cached local-stats answer would be wrong.
+  std::shared_ptr<const ScatterStats> scatter;
 };
 
 /// Where the wall time of one request went, in seconds.
@@ -67,13 +107,19 @@ struct QueryTimings {
 struct QueryResponse {
   std::vector<ScoredDoc> hits;  ///< ranked per mode, at most k
   QueryTimings timings;
-  /// The deadline hit mid-execution: hits are the best candidates scored
-  /// before the cutoff — a valid but possibly incomplete top-k. Degraded
+  /// How complete the answer is (see Degradation). Anything but kComplete
+  /// means hits are a valid but possibly incomplete subset; degraded
   /// responses are never cached.
-  bool degraded = false;
+  Degradation degradation = Degradation::kComplete;
+  [[nodiscard]] bool degraded() const { return degradation != Degradation::kComplete; }
   bool from_cache = false;  ///< served verbatim from the result cache
-  /// Identity of the snapshot that answered (0 for a batch index).
+  /// Identity of the snapshot that answered (0 for a batch index; 0 for a
+  /// cluster response, which merges many snapshots).
   std::uint64_t snapshot_id = 0;
+  /// Cluster provenance: shards that contributed vs. shards asked. 0/0
+  /// means the response did not pass through a router.
+  std::uint32_t shards_answered = 0;
+  std::uint32_t shards_total = 0;
 };
 
 }  // namespace hetindex

@@ -28,6 +28,7 @@ enum class ErrorCode {
   kIo,                ///< read/write/rename failed
   kOverloaded,        ///< admission control shed the request (queue saturated)
   kDeadlineExceeded,  ///< the request's deadline expired before execution
+  kUnavailable,       ///< backend down (failed replica, no shard answered)
 };
 
 /// Stable lowercase identifier for logs and CLI output.
@@ -40,6 +41,7 @@ constexpr const char* error_code_name(ErrorCode code) {
     case ErrorCode::kIo: return "io";
     case ErrorCode::kOverloaded: return "overloaded";
     case ErrorCode::kDeadlineExceeded: return "deadline_exceeded";
+    case ErrorCode::kUnavailable: return "unavailable";
   }
   return "unknown";
 }

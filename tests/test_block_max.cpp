@@ -351,7 +351,8 @@ TEST(BlockMaxEquivalence, LiveThenStrippedSidecarsThenMerged) {
     ASSERT_NE(seg->block_index(), nullptr);  // flush wrote every .bmx
   }
   {  // full sidecars: zero-copy block cursors end to end
-    const Searcher searcher(multi);
+    const auto searcher_ptr = Searcher::open(SearchSource::snapshot(multi)).value();
+    const Searcher& searcher = *searcher_ptr;
     expect_identical_rankings(searcher, queries, 10);
     expect_identical_rankings(searcher, queries, 1);
   }
@@ -371,7 +372,8 @@ TEST(BlockMaxEquivalence, LiveThenStrippedSidecarsThenMerged) {
     for (const auto& seg : reopened.snapshot()->segments()) {
       EXPECT_EQ(seg->block_index(), nullptr);
     }
-    const Searcher searcher(reopened.snapshot());
+    const auto searcher_ptr = Searcher::open(SearchSource::snapshot(reopened.snapshot())).value();
+    const Searcher& searcher = *searcher_ptr;
     expect_identical_rankings(searcher, queries, 10);
   }
 
@@ -381,7 +383,8 @@ TEST(BlockMaxEquivalence, LiveThenStrippedSidecarsThenMerged) {
           live_segment_path(stripped.path(), seg->id())));
     }
     const auto reopened = LiveIndex::open(stripped.path()).value();
-    const Searcher searcher(reopened.snapshot());
+    const auto searcher_ptr = Searcher::open(SearchSource::snapshot(reopened.snapshot())).value();
+    const Searcher& searcher = *searcher_ptr;
     expect_identical_rankings(searcher, queries, 10);
   }
 
@@ -406,7 +409,8 @@ TEST(BlockMaxEquivalence, LiveThenStrippedSidecarsThenMerged) {
       }
     }
   }
-  const Searcher searcher(merged);
+  const auto searcher_ptr = Searcher::open(SearchSource::snapshot(merged)).value();
+  const Searcher& searcher = *searcher_ptr;
   expect_identical_rankings(searcher, queries, 10);
 }
 
@@ -423,7 +427,8 @@ TEST(BlockMaxEquivalence, BatchIndexMatchesExhaustive) {
   const auto index = InvertedIndex::open(index_dir.path(), {}).value();
   ASSERT_TRUE(index.has_block_index());  // build wrote the skip table
   const auto docs = DocMap::open(doc_map_path(index_dir.path()));
-  const Searcher searcher(index, docs);
+  const auto searcher_ptr = Searcher::open(SearchSource::batch(index, docs)).value();
+  const Searcher& searcher = *searcher_ptr;
   std::vector<std::string> vocab;
   index.for_each_term([&vocab](std::string_view t) { vocab.emplace_back(t); });
   for (const std::size_t k : {1u, 3u, 10u, 100u}) {
@@ -474,7 +479,8 @@ TEST(BlockMax, SkipsBlocksOnPrunableWorkload) {
   const auto index = InvertedIndex::open(dir.path() + "/index", {}).value();
   ASSERT_TRUE(index.has_block_index());
   const auto map = DocMap::open(doc_map_path(dir.path() + "/index"));
-  const Searcher searcher(index, map);
+  const auto searcher_ptr = Searcher::open(SearchSource::batch(index, map)).value();
+  const Searcher& searcher = *searcher_ptr;
 
   QueryRequest request;
   request.terms = {normalize_term("rarebird"), normalize_term("common")};

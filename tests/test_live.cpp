@@ -451,7 +451,9 @@ TEST(LiveMutable, MemtableDocsSearchableBeforeAnyFlush) {
   opts.flush_threshold_bytes = 0;  // never auto-flush
   opts.background_compaction = false;
   auto w = IndexWriter::open(dir.path(), opts).value();
-  Searcher searcher([&w] { return w.snapshot(); });
+  const auto searcher_ptr =
+      Searcher::open(SearchSource::live([&w] { return w.snapshot(); })).value();
+  const Searcher& searcher = *searcher_ptr;
 
   EXPECT_EQ(w.add_document("u://0", "zebra quokka zebra"), 0u);
   ASSERT_EQ(w.snapshot()->segment_count(), 0u);  // nothing hit disk yet
@@ -494,7 +496,9 @@ TEST(LiveMutable, DeleteHidesDocFromEveryModeAndTheResultCache) {
   w.flush();
   w.add_document("u://3", "apple banana");  // memtable-resident
 
-  Searcher searcher([&w] { return w.snapshot(); });
+  const auto searcher_ptr =
+      Searcher::open(SearchSource::live([&w] { return w.snapshot(); })).value();
+  const Searcher& searcher = *searcher_ptr;
   const auto run = [&](QueryMode mode, bool exhaustive) {
     QueryRequest req;
     req.terms = {normalize_term("apple"), normalize_term("banana")};
@@ -558,7 +562,8 @@ TEST(LiveMutable, UpdateReplacesDocumentUnderANewId) {
   EXPECT_EQ(snap->deleted_docs(), 1u);
   EXPECT_TRUE(snap->is_deleted(0));
 
-  Searcher searcher(snap);
+  const auto searcher_ptr = Searcher::open(SearchSource::snapshot(snap)).value();
+  const Searcher& searcher = *searcher_ptr;
   QueryRequest req;
   req.terms = {normalize_term("stale")};
   auto resp = searcher.search(req);
@@ -615,7 +620,9 @@ TEST(LiveMutable, RandomizedAddDeleteUpdateMatchesBruteForce) {
   opts.merge_factor = 2;
   opts.background_compaction = false;  // compacted at checkpoints below
   auto w = IndexWriter::open(dir.path(), opts).value();
-  Searcher searcher([&w] { return w.snapshot(); });
+  const auto searcher_ptr =
+      Searcher::open(SearchSource::live([&w] { return w.snapshot(); })).value();
+  const Searcher& searcher = *searcher_ptr;
 
   const std::vector<std::string> vocab = {
       "alder", "birch", "cedar", "dogwood", "elm",    "fir",
@@ -770,8 +777,11 @@ TEST(LiveMutable, ReclaimedIndexRanksBitIdenticallyToFreshBuildOfSurvivors) {
     terms.emplace_back(term);
     return true;
   });
-  Searcher live_searcher(snap);
-  Searcher fresh_searcher(fresh_snap);
+  const auto live_ptr = Searcher::open(SearchSource::snapshot(snap)).value();
+  const auto fresh_ptr =
+      Searcher::open(SearchSource::snapshot(fresh_snap)).value();
+  const Searcher& live_searcher = *live_ptr;
+  const Searcher& fresh_searcher = *fresh_ptr;
   std::mt19937 rng(7);
   for (int q = 0; q < 24; ++q) {
     QueryRequest req;
@@ -811,7 +821,9 @@ TEST(LiveConcurrency, SearchesRaceDeletesFlushAndCompaction) {
   opts.merge_factor = 2;
   opts.background_compaction = true;
   auto w = IndexWriter::open(dir.path(), opts).value();
-  Searcher searcher([&w] { return w.snapshot(); });
+  const auto searcher_ptr =
+      Searcher::open(SearchSource::live([&w] { return w.snapshot(); })).value();
+  const Searcher& searcher = *searcher_ptr;
 
   std::atomic<bool> done{false};
   std::atomic<std::uint64_t> answered{0};

@@ -128,7 +128,9 @@ class QueryIndexFixture : public ::testing::Test {
 
 TEST_F(QueryIndexFixture, ConjunctiveModeIntersects) {
   const auto index = InvertedIndex::open(dir_ + "/index", {}).value();
-  const Searcher searcher(index);  // no doc map: boolean modes only
+  // No doc map: boolean modes only.
+  const auto searcher_ptr = Searcher::open(SearchSource::batch(index)).value();
+  const Searcher& searcher = *searcher_ptr;
   QueryRequest request;
   request.mode = QueryMode::kConjunctive;
   request.terms = {normalize_term("apple"), normalize_term("banana")};
@@ -149,7 +151,8 @@ TEST_F(QueryIndexFixture, ConjunctiveModeIntersects) {
 
 TEST_F(QueryIndexFixture, ConjunctiveModeMissingTerm) {
   const auto index = InvertedIndex::open(dir_ + "/index", {}).value();
-  const Searcher searcher(index);
+  const auto searcher_ptr = Searcher::open(SearchSource::batch(index)).value();
+  const Searcher& searcher = *searcher_ptr;
   QueryRequest request;
   request.mode = QueryMode::kConjunctive;
   request.terms = {normalize_term("apple"), "zzzznope"};

@@ -21,7 +21,8 @@ namespace {
 /// old bm25_query helper had, so the ranking assertions read unchanged.
 std::vector<ScoredDoc> ranked(const InvertedIndex& index, const DocMap& map,
                               std::vector<std::string> terms, std::size_t k) {
-  const Searcher searcher(index, map);
+  const auto searcher_ptr = Searcher::open(SearchSource::batch(index, map)).value();
+  const Searcher& searcher = *searcher_ptr;
   QueryRequest request;
   request.terms = std::move(terms);
   request.k = k;
@@ -151,8 +152,8 @@ TEST_F(SearchFixture, UnknownTermsScoreNothing) {
   const auto map = DocMap::open(doc_map_path(dir_ + "/index"));
   EXPECT_TRUE(ranked(index, map, {"zzzznope"}, 10).empty());
   // Termless requests are a caller error now, not a silent empty answer.
-  const Searcher searcher(index, map);
-  const auto r = searcher.search(QueryRequest{});
+  const auto searcher = Searcher::open(SearchSource::batch(index, map)).value();
+  const auto r = searcher->search(QueryRequest{});
   ASSERT_FALSE(r.has_value());
   EXPECT_EQ(r.error().code, ErrorCode::kInvalidArgument);
 }

@@ -142,7 +142,8 @@ TEST_F(BatchServeFixture, MaxScoreMatchesExhaustiveOnRandomQueries) {
   const auto index = InvertedIndex::open(index_dir_->path(), {}).value();
   ASSERT_TRUE(index.has_score_bounds());  // built segments carry the sidecar
   const auto docs = DocMap::open(doc_map_path(index_dir_->path()));
-  const Searcher searcher(index, docs);
+  const auto searcher_ptr = Searcher::open(SearchSource::batch(index, docs)).value();
+  const Searcher& searcher = *searcher_ptr;
   const auto queries = sample_queries(batch_vocabulary(index), 40, 1);
   for (const std::size_t k : {1u, 3u, 10u, 100u}) {
     expect_identical_rankings(searcher, queries, k);
@@ -161,7 +162,8 @@ TEST_F(BatchServeFixture, MaxScoreMatchesExhaustiveWithoutSidecar) {
   const auto index = InvertedIndex::open(copy.path(), {}).value();
   EXPECT_FALSE(index.has_score_bounds());
   const auto docs = DocMap::open(doc_map_path(copy.path()));
-  const Searcher searcher(index, docs);
+  const auto searcher_ptr = Searcher::open(SearchSource::batch(index, docs)).value();
+  const Searcher& searcher = *searcher_ptr;
   expect_identical_rankings(searcher, sample_queries(batch_vocabulary(index), 20, 2),
                             10);
 }
@@ -171,7 +173,8 @@ TEST_F(BatchServeFixture, ConjunctiveCursorsMatchDecodedIntersection) {
   // over fully decoded lists — same docs, same summed tfs.
   const auto index = InvertedIndex::open(index_dir_->path(), {}).value();
   const auto docs = DocMap::open(doc_map_path(index_dir_->path()));
-  const Searcher searcher(index, docs);
+  const auto searcher_ptr = Searcher::open(SearchSource::batch(index, docs)).value();
+  const Searcher& searcher = *searcher_ptr;
   const auto queries = sample_queries(batch_vocabulary(index), 10, 3);
   for (const auto& terms : queries) {
     std::optional<QueryPostings> joint;
@@ -225,14 +228,16 @@ TEST(LiveServe, MaxScoreMatchesExhaustiveAcrossFlushAndCompaction) {
     const auto snap = w.snapshot();
     ASSERT_GT(snap->segments().size(), 1u);
     collect(*snap);
-    const Searcher searcher(snap);
+    const auto searcher_ptr = Searcher::open(SearchSource::snapshot(snap)).value();
+    const Searcher& searcher = *searcher_ptr;
     expect_identical_rankings(searcher, sample_queries(vocab, 25, 4), 10);
   }
 
   w.compact_now();  // merged segments: sidecars propagated without decode
   const auto snap = w.snapshot();
   collect(*snap);
-  const Searcher searcher(snap);
+  const auto searcher_ptr = Searcher::open(SearchSource::snapshot(snap)).value();
+  const Searcher& searcher = *searcher_ptr;
   expect_identical_rankings(searcher, sample_queries(vocab, 25, 5), 10);
 }
 
@@ -241,7 +246,8 @@ TEST(LiveServe, MaxScoreMatchesExhaustiveAcrossFlushAndCompaction) {
 TEST_F(BatchServeFixture, CollectionStatsComputedOncePerSnapshot) {
   const auto index = InvertedIndex::open(index_dir_->path(), {}).value();
   const auto docs = DocMap::open(doc_map_path(index_dir_->path()));
-  const Searcher searcher(index, docs);
+  const auto searcher_ptr = Searcher::open(SearchSource::batch(index, docs)).value();
+  const Searcher& searcher = *searcher_ptr;
   const auto queries = sample_queries(batch_vocabulary(index), 25, 6);
   for (const auto& terms : queries) {
     QueryRequest request;
@@ -268,7 +274,9 @@ TEST(LiveServe, StatsRecomputeOnlyOnSnapshotChange) {
   }
   w.flush();
 
-  const Searcher searcher(SnapshotProvider([&w] { return w.snapshot(); }));
+  const auto searcher_ptr =
+      Searcher::open(SearchSource::live([&w] { return w.snapshot(); })).value();
+  const Searcher& searcher = *searcher_ptr;
   std::string term;
   w.snapshot()->for_each_term([&term](std::string_view t) {
     term = std::string(t);
@@ -301,7 +309,9 @@ TEST(LiveServe, ResultCacheHitsAndInvalidatesAcrossSnapshots) {
   for (const auto& doc : corpus.docs) w.add_document(doc.url, doc.body);
   w.flush();
 
-  const Searcher searcher(SnapshotProvider([&w] { return w.snapshot(); }));
+  const auto searcher_ptr =
+      Searcher::open(SearchSource::live([&w] { return w.snapshot(); })).value();
+  const Searcher& searcher = *searcher_ptr;
   QueryRequest request;
   request.terms = {"zebrasafari"};  // found only in the doc added later
   request.mode = QueryMode::kDisjunctive;
@@ -341,7 +351,8 @@ TEST(LiveServe, ResultCacheHitsAndInvalidatesAcrossSnapshots) {
 TEST_F(BatchServeFixture, PostingsCacheServesRepeatedTerms) {
   const auto index = InvertedIndex::open(index_dir_->path(), {}).value();
   const auto docs = DocMap::open(doc_map_path(index_dir_->path()));
-  const Searcher searcher(index, docs);
+  const auto searcher_ptr = Searcher::open(SearchSource::batch(index, docs)).value();
+  const Searcher& searcher = *searcher_ptr;
   QueryRequest request;
   // Disjunctive mode: a decoded mode — the cursor modes (pruned ranked,
   // conjunctive) deliberately bypass this cache.
@@ -362,7 +373,8 @@ TEST_F(BatchServeFixture, PostingsCacheServesRepeatedTerms) {
 TEST_F(BatchServeFixture, ExpiredDeadlineRejectsBeforeExecution) {
   const auto index = InvertedIndex::open(index_dir_->path(), {}).value();
   const auto docs = DocMap::open(doc_map_path(index_dir_->path()));
-  const Searcher searcher(index, docs);
+  const auto searcher_ptr = Searcher::open(SearchSource::batch(index, docs)).value();
+  const Searcher& searcher = *searcher_ptr;
   QueryRequest request;
   request.terms = {batch_vocabulary(index).front()};
   const auto result =
@@ -374,7 +386,8 @@ TEST_F(BatchServeFixture, ExpiredDeadlineRejectsBeforeExecution) {
 TEST_F(BatchServeFixture, MidExecutionDeadlineDegradesAndSkipsCache) {
   const auto index = InvertedIndex::open(index_dir_->path(), {}).value();
   const auto docs = DocMap::open(doc_map_path(index_dir_->path()));
-  const Searcher searcher(index, docs);
+  const auto searcher_ptr = Searcher::open(SearchSource::batch(index, docs)).value();
+  const Searcher& searcher = *searcher_ptr;
   const auto vocab = batch_vocabulary(index);
   QueryRequest request;
   for (std::size_t i = 0; i < 32 && i < vocab.size(); ++i) {
@@ -392,7 +405,7 @@ TEST_F(BatchServeFixture, MidExecutionDeadlineDegradesAndSkipsCache) {
       EXPECT_EQ(result.error().code, ErrorCode::kDeadlineExceeded);
       continue;
     }
-    saw_degraded = result.value().degraded;
+    saw_degraded = result.value().degraded();
   }
   if (!saw_degraded) GTEST_SKIP() << "machine too fast to catch mid-execution";
   // Degraded answers must never be replayed: the follow-up identical
@@ -400,7 +413,7 @@ TEST_F(BatchServeFixture, MidExecutionDeadlineDegradesAndSkipsCache) {
   const auto followup = searcher.search(request);
   ASSERT_TRUE(followup.has_value());
   EXPECT_FALSE(followup.value().from_cache);
-  EXPECT_FALSE(followup.value().degraded);
+  EXPECT_FALSE(followup.value().degraded());
   EXPECT_GT(searcher.metrics().snapshot().counter("search_degraded_total"), 0u);
 }
 
@@ -425,11 +438,11 @@ TEST(Admission, SaturatedQueueShedsAndQueuedDeadlineRejects) {
   // worker until the gate opens, pinning the single executor thread so
   // the queue saturates deterministically.
   std::binary_semaphore gate(0);
-  auto searcher = std::make_shared<Searcher>(SnapshotProvider([&gate, snap] {
-    gate.acquire();
-    gate.release();  // stay open for every later query
-    return snap;
-  }));
+  auto searcher = Searcher::open(SearchSource::live([&gate, snap] {
+                    gate.acquire();
+                    gate.release();  // stay open for every later query
+                    return snap;
+                  })).value();
   SearchServiceOptions service_opts;
   service_opts.threads = 1;
   service_opts.queue_capacity = 1;
@@ -455,7 +468,7 @@ TEST(Admission, SaturatedQueueShedsAndQueuedDeadlineRejects) {
 
   const auto first = blocked.get();
   ASSERT_TRUE(first.has_value());
-  EXPECT_FALSE(first.value().degraded);             // no timeout on the first
+  EXPECT_FALSE(first.value().degraded());             // no timeout on the first
 
   const auto expired = waiting.get();
   ASSERT_FALSE(expired.has_value());
@@ -475,7 +488,8 @@ TEST(Facade, DoclessSearcherServesBooleanButRejectsRanked) {
   builder.parsers(1).cpu_indexers(1).emit_segment(true);
   builder.build(corpus.files, index_dir.path());
   const auto index = InvertedIndex::open(index_dir.path(), {}).value();
-  const Searcher searcher(index);  // no DocMap
+  const auto searcher_ptr = Searcher::open(SearchSource::batch(index)).value();
+  const Searcher& searcher = *searcher_ptr;  // no DocMap
 
   QueryRequest request;
   request.terms = {batch_vocabulary(index).front()};
@@ -661,7 +675,7 @@ TEST(Concurrency, SearchesRaceLiveFlushAndCompaction) {
   ASSERT_FALSE(vocab.empty());
 
   auto searcher =
-      std::make_shared<Searcher>(SnapshotProvider([&w] { return w.snapshot(); }));
+      Searcher::open(SearchSource::live([&w] { return w.snapshot(); })).value();
   SearchServiceOptions service_opts;
   service_opts.threads = 3;
   service_opts.queue_capacity = 32;
@@ -709,8 +723,8 @@ TEST(Concurrency, SearchesRaceLiveFlushAndCompaction) {
   for (std::size_t i = 0; i + 1 < vocab.size() && queries.size() < 5; i += 2) {
     queries.push_back({vocab[i], vocab[i + 1]});
   }
-  const Searcher fresh(final_snap);
-  expect_identical_rankings(fresh, queries, 10);
+  const auto fresh = Searcher::open(SearchSource::snapshot(final_snap)).value();
+  expect_identical_rankings(*fresh, queries, 10);
 }
 
 }  // namespace
