@@ -2,9 +2,10 @@
 /// Block-Max MaxScore pruning versus the exhaustive scorer on the same
 /// disjunctive workload (docs/SERVING.md, not a paper table): per-query
 /// latency percentiles, blocks skipped, and postings decoded, swept over k
-/// and query arity. Writes a machine-readable summary to BENCH_search.json
+/// and query arity. Writes a machine-readable summary to BENCH_pruning.json
 /// (path overridable via HETINDEX_BENCH_JSON) — scripts/tier1.sh archives
-/// it next to the build tree.
+/// it next to the build tree. (BENCH_search.json now belongs to
+/// bench_search_qps's per-class mixed workload.)
 
 #include <algorithm>
 #include <random>
@@ -93,7 +94,7 @@ int main() {
       for (int pass = 0; pass < 3; ++pass) {
         for (const auto& terms : queries) {
           QueryRequest request;
-          request.terms = terms;
+          request.query = Query::bag(terms);
           request.k = k;
           request.exhaustive = exhaustive;
           request.use_result_cache = false;
@@ -135,7 +136,7 @@ int main() {
   }
   json += "  ]\n}\n";
   const char* out = std::getenv("HETINDEX_BENCH_JSON");
-  const std::string json_path = out != nullptr ? out : "BENCH_search.json";
+  const std::string json_path = out != nullptr ? out : "BENCH_pruning.json";
   write_file(json_path, std::vector<std::uint8_t>(json.begin(), json.end()));
   std::printf("\nwrote %s\n", json_path.c_str());
 

@@ -103,7 +103,7 @@ int main() {
       for (int pass = 0; pass < 4; ++pass) {
         for (const auto& terms : queries) {
           QueryRequest request;
-          request.terms = terms;
+          request.query = Query::bag(terms);
           request.k = 10;
           request.use_result_cache = false;
           const WallTimer t;

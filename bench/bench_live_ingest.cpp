@@ -66,7 +66,7 @@ double ingest_docs_per_s(const std::vector<Document>& docs, const std::string& d
       std::mt19937 rng(static_cast<std::uint32_t>(17 * t + 1));
       while (!done.load(std::memory_order_acquire)) {
         QueryRequest req;
-        req.terms = {probes[rng() % probes.size()], probes[rng() % probes.size()]};
+        req.query = Query::bag({probes[rng() % probes.size()], probes[rng() % probes.size()]});
         req.k = 10;
         req.use_result_cache = false;  // every query really searches
         if (searcher.search(req).has_value()) {

@@ -11,9 +11,12 @@
 ///   live      incremental-ingestion demo   (--flush-mb, --merge-factor, ...)
 ///   cluster   ingest into a sharded serving cluster (--shards, --strategy, ...)
 ///   query     AND query                    (works on batch, live, cluster dirs)
-///   search    ranked / boolean search      (--k, --mode, --deadline-ms, ...)
-///   serve     thread-pooled serving bench  (--threads, --queue, --repeat, ...)
-///   phrase    adjacent-position phrase query
+///   search    query-language search        (--k, --deadline-ms, ...; the
+///             arguments form one expression, e.g. 'fast "inverted files"
+///             AND gpu' — docs/QUERIES.md; --mode is a deprecated shim)
+///   serve     thread-pooled serving bench  (--threads, --queue, --repeat,
+///             ...; reports tail latency per query class)
+///   phrase    exact-phrase query           (any dir flavor, via the AST)
 ///   stats     index shape summary          (batch and live dirs)
 ///   verify    structural index check
 ///
@@ -375,6 +378,7 @@ int cmd_cluster(int argc, char** argv) {
        {"strategy", true, "document | term | block (default document)"},
        {"replicas", true, "serving replicas per shard (default 1)"},
        {"block-docs", true, "docs per placement block, block strategy (default 128)"},
+       {"positions", false, "record in-document token positions"},
        {"delete-every", true, "tombstone every Nth ingested doc (default off)"},
        {"metrics", false, "dump the router's cluster_* metrics at the end"}});
   if (!args.parse(argc, argv)) return args.help_requested() ? 0 : 2;
@@ -392,6 +396,7 @@ int cmd_cluster(int argc, char** argv) {
   opts.shards = static_cast<std::uint32_t>(args.num("shards", 2));
   opts.replicas = static_cast<std::uint32_t>(args.num("replicas", 1));
   opts.block_docs = static_cast<std::uint32_t>(args.num("block-docs", 128));
+  opts.writer.parser.record_positions = args.has("positions");
   auto opened = Cluster::open(args.positionals()[1], opts);
   if (!opened.has_value()) return report_error(opened.error());
   auto& cluster = opened.value();
@@ -511,11 +516,18 @@ Expected<OpenedBackend> open_backend(const std::string& dir) {
   return out;
 }
 
-std::optional<QueryMode> parse_mode(const std::string& name) {
-  if (name == "ranked") return QueryMode::kRanked;
-  if (name == "conjunctive") return QueryMode::kConjunctive;
-  if (name == "disjunctive") return QueryMode::kDisjunctive;
+/// Legacy --mode shim: the equivalent AST root for callers still spelling
+/// a query as flat terms plus a mode name. nullopt on an unknown name.
+std::optional<Query> mode_query(const std::string& name,
+                                std::vector<std::string> terms) {
+  if (name == "ranked") return Query::bag(std::move(terms));
+  if (name == "conjunctive") return Query::conjunction(std::move(terms));
+  if (name == "disjunctive") return Query::disjunction(std::move(terms));
   return std::nullopt;
+}
+
+bool known_mode(const std::string& name) {
+  return name == "ranked" || name == "conjunctive" || name == "disjunctive";
 }
 
 int cmd_query(int argc, char** argv, bool phrase) {
@@ -531,38 +543,24 @@ int cmd_query(int argc, char** argv, bool phrase) {
     terms.push_back(normalize_term(args.positionals()[i]));
   }
 
-  if (phrase) {
-    auto index = InvertedIndex::open(dir, {});
-    if (!index.has_value()) return report_error(index.error());
-    const auto hits = phrase_query(index.value(), terms);
-    if (!hits) {
-      std::printf("no results (a term is absent or the index has no positions)\n");
-      return 0;
-    }
-    std::printf("%zu matching documents\n", hits->doc_ids.size());
-    for (std::size_t i = 0; i < hits->doc_ids.size() && i < 20; ++i) {
-      std::printf("  doc %-10u score %u\n", hits->doc_ids[i], hits->tfs[i]);
-    }
-    if (hits->doc_ids.size() > 20) {
-      std::printf("  ... (%zu more)\n", hits->doc_ids.size() - 20);
-    }
-    return 0;
-  }
-
+  // Both verbs ride the Query AST through the uniform backend, so phrase
+  // works on batch, live, and cluster directories alike.
   auto opened = open_backend(dir);
   if (!opened.has_value()) return report_error(opened.error());
   QueryRequest request;
-  request.terms = std::move(terms);
-  request.mode = QueryMode::kConjunctive;
+  request.query =
+      phrase ? Query::phrase(std::move(terms)) : Query::conjunction(std::move(terms));
   request.k = 20;
   auto response = opened.value().backend->search(request);
   if (!response.has_value()) return report_error(response.error());
   const auto& hits = response.value().hits;
   if (hits.empty()) {
-    std::printf("no results (a term is absent)\n");
+    std::printf("no results (%s)\n", phrase ? "no document contains the phrase"
+                                            : "a term is absent");
     return 0;
   }
-  std::printf("top %zu matching documents (summed tf)\n", hits.size());
+  std::printf("top %zu matching documents (%s)\n", hits.size(),
+              phrase ? "phrase occurrences" : "summed tf");
   for (const auto& hit : hits) {
     std::printf("  doc %-10u score %.0f\n", hit.doc_id, hit.score);
   }
@@ -570,11 +568,14 @@ int cmd_query(int argc, char** argv, bool phrase) {
 }
 
 int cmd_search(int argc, char** argv) {
-  ArgParser args("search", "<index_dir> <term...>",
-                 {{"k", true, "results to return (default 10)"},
-                  {"mode", true, "ranked | conjunctive | disjunctive (default ranked)"},
-                  {"deadline-ms", true, "per-query deadline in ms (default none)"},
-                  {"exhaustive", false, "use the exhaustive scorer (no MaxScore)"}});
+  ArgParser args(
+      "search", "<index_dir> <query...>",
+      {{"k", true, "results to return (default 10)"},
+       {"mode", true,
+        "(deprecated) ranked | conjunctive | disjunctive — treats the "
+        "arguments as flat terms instead of the query language"},
+       {"deadline-ms", true, "per-query deadline in ms (default none)"},
+       {"exhaustive", false, "use the exhaustive scorer (no MaxScore)"}});
   if (!args.parse(argc, argv)) return args.help_requested() ? 0 : 2;
   if (args.positionals().size() < 2) {
     args.print_usage(stderr);
@@ -584,16 +585,31 @@ int cmd_search(int argc, char** argv) {
   if (!opened.has_value()) return report_error(opened.error());
 
   QueryRequest request;
-  for (std::size_t i = 1; i < args.positionals().size(); ++i) {
-    request.terms.push_back(normalize_term(args.positionals()[i]));
+  if (args.has("mode")) {
+    // Legacy shim: flat terms combined by the named mode.
+    std::vector<std::string> terms;
+    for (std::size_t i = 1; i < args.positionals().size(); ++i) {
+      terms.push_back(normalize_term(args.positionals()[i]));
+    }
+    auto legacy = mode_query(args.str("mode"), std::move(terms));
+    if (!legacy) {
+      std::fprintf(stderr, "unknown --mode '%s'\n", args.str("mode").c_str());
+      return 2;
+    }
+    request.query = std::move(*legacy);
+  } else {
+    // The query language (docs/QUERIES.md): the remaining arguments joined
+    // form one expression, e.g.  search idx 'fast "inverted files" AND gpu'
+    std::string text;
+    for (std::size_t i = 1; i < args.positionals().size(); ++i) {
+      if (!text.empty()) text += ' ';
+      text += args.positionals()[i];
+    }
+    auto parsed = parse_query(text);
+    if (!parsed.has_value()) return report_error(parsed.error());
+    request.query = std::move(parsed).value();
   }
   request.k = static_cast<std::size_t>(args.num("k", 10));
-  const auto mode = parse_mode(args.str("mode", "ranked"));
-  if (!mode) {
-    std::fprintf(stderr, "unknown --mode '%s'\n", args.str("mode").c_str());
-    return 2;
-  }
-  request.mode = *mode;
   request.exhaustive = args.has("exhaustive");
   if (args.has("deadline-ms")) {
     request.timeout = std::chrono::microseconds(
@@ -615,10 +631,10 @@ int cmd_search(int argc, char** argv) {
                 url.empty() ? "<no doc map>" : url.c_str(), r.hits[i].doc_id,
                 r.hits[i].score);
   }
-  std::printf("%s in %.2f ms (lookup %.2f, score %.2f)\n",
-              r.from_cache ? "served from cache" : "executed",
-              r.timings.total_seconds * 1e3, r.timings.lookup_seconds * 1e3,
-              r.timings.score_seconds * 1e3);
+  std::printf("%s %s query in %.2f ms (lookup %.2f, score %.2f)\n",
+              r.from_cache ? "served cached" : "executed",
+              query_class_name(r.query_class()), r.timings.total_seconds * 1e3,
+              r.timings.lookup_seconds * 1e3, r.timings.score_seconds * 1e3);
   if (r.degraded()) {
     std::printf("  [partial: %s]\n", degradation_name(r.degradation));
   }
@@ -634,7 +650,9 @@ int cmd_serve(int argc, char** argv) {
       {{"threads", true, "executor threads (default 4)"},
        {"queue", true, "admission queue capacity (default 64)"},
        {"k", true, "results per query (default 10)"},
-       {"mode", true, "ranked | conjunctive | disjunctive (default ranked)"},
+       {"mode", true,
+        "(deprecated) ranked | conjunctive | disjunctive — treats each line "
+        "as flat terms instead of the query language"},
        {"deadline-ms", true, "per-query deadline in ms (default none)"},
        {"repeat", true, "passes over the query set (default 1)"},
        {"metrics", false, "dump Prometheus metrics at the end"}});
@@ -646,14 +664,15 @@ int cmd_serve(int argc, char** argv) {
   auto opened = open_backend(args.positionals()[0]);
   if (!opened.has_value()) return report_error(opened.error());
 
-  const auto mode = parse_mode(args.str("mode", "ranked"));
-  if (!mode) {
+  const bool legacy_mode = args.has("mode");
+  if (legacy_mode && !known_mode(args.str("mode"))) {
     std::fprintf(stderr, "unknown --mode '%s'\n", args.str("mode").c_str());
     return 2;
   }
 
-  // One query per input line, whitespace-separated raw terms.
-  std::vector<std::vector<std::string>> queries;
+  // One query per input line in the query language (docs/QUERIES.md);
+  // under the deprecated --mode, lines are whitespace-separated raw terms.
+  std::vector<Query> queries;
   {
     std::ifstream file;
     const bool from_file =
@@ -668,20 +687,32 @@ int cmd_serve(int argc, char** argv) {
     std::istream& in = from_file ? file : std::cin;
     std::string line;
     while (std::getline(in, line)) {
-      std::vector<std::string> terms;
-      std::size_t pos = 0;
-      while (pos < line.size()) {
-        const std::size_t ws = line.find_first_of(" \t", pos);
-        const std::string word = line.substr(pos, ws - pos);
-        if (!word.empty()) terms.push_back(normalize_term(word));
-        if (ws == std::string::npos) break;
-        pos = ws + 1;
+      if (line.find_first_not_of(" \t") == std::string::npos) continue;
+      if (legacy_mode) {
+        std::vector<std::string> terms;
+        std::size_t pos = 0;
+        while (pos < line.size()) {
+          const std::size_t ws = line.find_first_of(" \t", pos);
+          const std::string word = line.substr(pos, ws - pos);
+          if (!word.empty()) terms.push_back(normalize_term(word));
+          if (ws == std::string::npos) break;
+          pos = ws + 1;
+        }
+        if (terms.empty()) continue;
+        queries.push_back(*mode_query(args.str("mode"), std::move(terms)));
+      } else {
+        auto parsed = parse_query(line);
+        if (!parsed.has_value()) {
+          std::fprintf(stderr, "bad query '%s': %s\n", line.c_str(),
+                       parsed.error().message.c_str());
+          return 1;
+        }
+        queries.push_back(std::move(parsed).value());
       }
-      if (!terms.empty()) queries.push_back(std::move(terms));
     }
   }
   if (queries.empty()) {
-    std::fprintf(stderr, "no queries (one per line: term term ...)\n");
+    std::fprintf(stderr, "no queries (one per line; see docs/QUERIES.md)\n");
     return 1;
   }
 
@@ -692,14 +723,18 @@ int cmd_serve(int argc, char** argv) {
 
   QueryRequest proto;
   proto.k = static_cast<std::size_t>(args.num("k", 10));
-  proto.mode = *mode;
   if (args.has("deadline-ms")) {
     proto.timeout = std::chrono::microseconds(
         static_cast<std::int64_t>(args.num("deadline-ms", 0) * 1000));
   }
 
   const std::size_t repeat = std::max<std::size_t>(1, static_cast<std::size_t>(args.num("repeat", 1)));
+  // Latencies bucketed by the class the backend reports
+  // (QueryResponse::query_class) — tail latency is only meaningful per
+  // class when ranked, phrase, and proximity queries share one pool.
+  constexpr std::size_t kClasses = 5;
   std::vector<double> latencies;
+  std::vector<double> class_latencies[kClasses];
   std::uint64_t answered = 0, shed = 0, rejected = 0;
   // Partial responses by degradation class (kComplete slot stays zero).
   std::uint64_t partials[4] = {0, 0, 0, 0};
@@ -727,13 +762,15 @@ int cmd_serve(int argc, char** argv) {
                                                             ok.shards_answered);
       }
       latencies.push_back(ok.timings.total_seconds);
+      const auto cls = static_cast<std::size_t>(ok.query_class());
+      if (cls < kClasses) class_latencies[cls].push_back(ok.timings.total_seconds);
     }
     inflight.clear();
   };
   for (std::size_t pass = 0; pass < repeat; ++pass) {
-    for (const auto& terms : queries) {
+    for (const auto& query : queries) {
       QueryRequest request = proto;
-      request.terms = terms;
+      request.query = query;
       inflight.push_back(service.submit(std::move(request)));
       if (inflight.size() >= service.queue_capacity()) drain();
     }
@@ -741,18 +778,27 @@ int cmd_serve(int argc, char** argv) {
   drain();
   const double wall = timer.seconds();
 
-  std::sort(latencies.begin(), latencies.end());
-  const auto pct = [&](double q) {
-    if (latencies.empty()) return 0.0;
-    const std::size_t i = std::min(latencies.size() - 1,
-                                   static_cast<std::size_t>(q * latencies.size()));
-    return latencies[i] * 1e3;
+  const auto pct_of = [](const std::vector<double>& sorted, double q) {
+    if (sorted.empty()) return 0.0;
+    const std::size_t i =
+        std::min(sorted.size() - 1, static_cast<std::size_t>(q * sorted.size()));
+    return sorted[i] * 1e3;
   };
+  std::sort(latencies.begin(), latencies.end());
+  const auto pct = [&](double q) { return pct_of(latencies, q); };
   std::printf("%llu queries answered in %.2f s  (%.0f QPS, %zu threads)\n",
               static_cast<unsigned long long>(answered), wall,
               answered / std::max(wall, 1e-9), service.threads());
   std::printf("latency ms  p50 %.3f  p95 %.3f  p99 %.3f\n", pct(0.50), pct(0.95),
               pct(0.99));
+  for (std::size_t c = 0; c < kClasses; ++c) {
+    auto& lat = class_latencies[c];
+    if (lat.empty()) continue;
+    std::sort(lat.begin(), lat.end());
+    std::printf("  %-12s %6zu queries  p50 %.3f  p95 %.3f  p99 %.3f\n",
+                query_class_name(static_cast<QueryClass>(c)), lat.size(),
+                pct_of(lat, 0.50), pct_of(lat, 0.95), pct_of(lat, 0.99));
+  }
   const std::uint64_t degraded = partials[1] + partials[2] + partials[3];
   if (shed + rejected + degraded > 0) {
     std::printf("shed %llu  deadline-rejected %llu  partial %llu "

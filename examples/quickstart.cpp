@@ -73,8 +73,7 @@ int main(int argc, char** argv) {
   const auto searcher =
       hetindex::Searcher::open(hetindex::SearchSource::batch(index, docs)).value();
   hetindex::QueryRequest request;
-  request.terms = {queries[0], queries[1]};
-  request.mode = hetindex::QueryMode::kRanked;
+  request.query = hetindex::Query::bag({queries[0], queries[1]});
   request.k = 3;
   const auto response = searcher->search(request);
   if (response.has_value()) {

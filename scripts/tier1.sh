@@ -16,8 +16,10 @@
 #     HETINDEX_CRASH_SEED (printed, so failures replay)
 #   - a bench leg (plain tree; the sanitizer trees build with
 #     HETINDEX_BUILD_BENCH=OFF): bench_block_pruning emits
-#     BENCH_search.json (pruned-vs-exhaustive latency and blocks skipped,
-#     docs/SERVING.md), bench_live_ingest emits BENCH_ingest.json
+#     BENCH_pruning.json (pruned-vs-exhaustive latency and blocks skipped,
+#     docs/SERVING.md), bench_search_qps emits BENCH_search.json
+#     (per-class p50/p99 for the mixed ranked/AND/phrase/NEAR workload,
+#     docs/QUERIES.md), bench_live_ingest emits BENCH_ingest.json
 #     (ingest docs/s with and without concurrent memtable search load,
 #     docs/LIVE_INDEXING.md), and bench_cluster_scaling emits
 #     BENCH_cluster.json (router QPS/p99 vs shard count per partition
@@ -61,8 +63,8 @@ if [[ "$run_tsan" == 1 ]]; then
   cmake -B build-tsan -S . -DHETINDEX_SANITIZE=thread \
         -DHETINDEX_BUILD_BENCH=OFF -DHETINDEX_BUILD_EXAMPLES=OFF \
         -DCMAKE_BUILD_TYPE=RelWithDebInfo
-  cmake --build build-tsan -j "$(nproc)" --target test_pipeline test_obs test_segment test_live test_search_service test_block_max test_cluster
-  ctest --test-dir build-tsan --output-on-failure -R '^(test_pipeline|test_obs|test_segment|test_live|test_search_service|test_block_max|test_cluster)$'
+  cmake --build build-tsan -j "$(nproc)" --target test_pipeline test_obs test_segment test_live test_search_service test_block_max test_query_ast test_cluster
+  ctest --test-dir build-tsan --output-on-failure -R '^(test_pipeline|test_obs|test_segment|test_live|test_search_service|test_block_max|test_query_ast|test_cluster)$'
   leg_end "tsan"
 fi
 
@@ -71,8 +73,8 @@ if [[ "$run_asan" == 1 ]]; then
   cmake -B build-asan -S . -DHETINDEX_SANITIZE=address \
         -DHETINDEX_BUILD_BENCH=OFF -DHETINDEX_BUILD_EXAMPLES=OFF \
         -DCMAKE_BUILD_TYPE=RelWithDebInfo
-  cmake --build build-asan -j "$(nproc)" --target test_segment test_postings test_codec test_query_ops test_live test_search_service test_block_max test_cluster
-  ctest --test-dir build-asan --output-on-failure -R '^(test_segment|test_postings|test_codec|test_query_ops|test_live|test_search_service|test_block_max|test_cluster)$'
+  cmake --build build-asan -j "$(nproc)" --target test_segment test_postings test_codec test_query_ops test_query_ast test_live test_search_service test_block_max test_cluster
+  ctest --test-dir build-asan --output-on-failure -R '^(test_segment|test_postings|test_codec|test_query_ops|test_query_ast|test_live|test_search_service|test_block_max|test_cluster)$'
   leg_end "asan"
 fi
 
@@ -96,11 +98,14 @@ fi
 
 if [[ "$run_bench" == 1 ]]; then
   leg_begin
-  # Smoke benches on the plain tree built above. Both fail (exit 1) on a
-  # degenerate measurement and leave their JSON in the repo root for trend
-  # tooling: block-max pruning must actually skip blocks, and live ingest
+  # Smoke benches on the plain tree built above. Each fails (exit 1) on a
+  # degenerate measurement and leaves its JSON in the repo root for trend
+  # tooling: block-max pruning must actually skip blocks, the mixed-class
+  # query workload must answer queries in every class, and live ingest
   # must sustain nonzero docs/s with and without memtable search load.
-  HETINDEX_BENCH_JSON="$PWD/BENCH_search.json" ./build/bench/bench_block_pruning
+  HETINDEX_BENCH_JSON="$PWD/BENCH_pruning.json" ./build/bench/bench_block_pruning
+  echo "bench leg: wrote BENCH_pruning.json"
+  HETINDEX_BENCH_JSON="$PWD/BENCH_search.json" ./build/bench/bench_search_qps
   echo "bench leg: wrote BENCH_search.json"
   HETINDEX_BENCH_JSON="$PWD/BENCH_ingest.json" ./build/bench/bench_live_ingest
   echo "bench leg: wrote BENCH_ingest.json"

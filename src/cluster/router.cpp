@@ -67,6 +67,98 @@ void merge_hits(std::vector<ScoredDoc>& hits, std::size_t k) {
   if (hits.size() > k) hits.resize(k);
 }
 
+/// Central evaluator of the term-routed strategy: the Searcher's recursive
+/// decoded evaluator re-expressed over owner-fetched postings (same
+/// postings_and/or folds, same phrase_join/near_join verification), so
+/// central answers are bit-identical to a single-node build of the union
+/// corpus. One extra state an in-process Searcher never sees: a leaf whose
+/// owner shard never answered. Such a leaf evaluates to "unavailable"
+/// (nullopt) and is skipped where its fold allows — the identity in an
+/// AND (the historical weakened-intersection partial), nothing in an OR,
+/// the whole constraint in a phrase/NEAR (an unverifiable constraint
+/// cannot admit docs) — and the caller flags the response kShardPartial.
+struct RoutedEval {
+  const std::unordered_map<std::string, std::shared_ptr<const QueryPostings>>& fetched;
+  const Deadline& deadline;
+  bool deadline_cut = false;
+
+  Expected<std::optional<QueryPostings>> eval(const QueryNode& node) {
+    switch (node.op) {
+      case QueryOp::kTerm: {
+        const auto it = fetched.find(node.term);
+        if (it == fetched.end()) return std::optional<QueryPostings>{};  // owner down
+        QueryPostings out;  // null value = known-absent term: empty list
+        if (it->second != nullptr) {
+          out.doc_ids = it->second->doc_ids;
+          out.tfs = it->second->tfs;
+        }
+        return std::optional<QueryPostings>(std::move(out));
+      }
+      case QueryOp::kBag:
+      case QueryOp::kOr: {
+        std::optional<QueryPostings> acc;
+        for (const auto& child : node.children) {
+          if (past(deadline)) {  // partial union: a valid subset, flagged
+            deadline_cut = true;
+            break;
+          }
+          auto part = eval(child);
+          if (!part.has_value()) return part.error();
+          if (!part.value()) continue;  // unavailable: contributes nothing
+          acc = acc ? postings_or(*acc, *part.value()) : std::move(*part.value());
+        }
+        return acc;  // nullopt when every child was unavailable
+      }
+      case QueryOp::kAnd: {
+        std::optional<QueryPostings> acc;
+        for (const auto& child : node.children) {
+          if (past(deadline)) {
+            // A prefix intersection is a SUPERSET of the truth — the one
+            // degradation shape that would hand out wrong docs. Return
+            // nothing instead (same rule as the single-node evaluator).
+            if (acc) {
+              acc->doc_ids.clear();
+              acc->tfs.clear();
+            }
+            deadline_cut = true;
+            break;
+          }
+          auto part = eval(child);
+          if (!part.has_value()) return part.error();
+          if (!part.value()) continue;  // unavailable: skipped, intersection weakened
+          acc = acc ? postings_and(*acc, *part.value()) : std::move(*part.value());
+          if (acc->doc_ids.empty()) break;  // settled: no doc can re-enter
+        }
+        return acc;
+      }
+      case QueryOp::kPhrase:
+      case QueryOp::kNear: {
+        std::vector<const QueryPostings*> refs;
+        refs.reserve(node.terms.size());
+        bool absent = false;
+        for (const auto& term : node.terms) {
+          const auto it = fetched.find(term);
+          if (it == fetched.end()) return std::optional<QueryPostings>{};
+          if (it->second == nullptr) {
+            absent = true;  // known-absent term: the constraint matches nothing
+            break;
+          }
+          if (it->second->positions.empty() && !it->second->doc_ids.empty()) {
+            return Error{ErrorCode::kInvalidArgument,
+                         "phrase/NEAR query requires a positional index"};
+          }
+          refs.push_back(it->second.get());
+        }
+        if (absent) return std::optional<QueryPostings>(QueryPostings{});
+        return std::optional<QueryPostings>(node.op == QueryOp::kPhrase
+                                                ? phrase_join(refs)
+                                                : near_join(refs, node.window));
+      }
+    }
+    return std::optional<QueryPostings>(QueryPostings{});
+  }
+};
+
 }  // namespace
 
 ShardRouter::ShardRouter(std::vector<std::shared_ptr<Shard>> shards,
@@ -192,7 +284,10 @@ Expected<std::shared_ptr<const QueryPostings>> ShardRouter::fetch_with_failover(
 
 Expected<QueryResponse> ShardRouter::search(const QueryRequest& request,
                                             const Deadline deadline) const {
-  if (request.terms.empty()) {
+  // Resolve the AST once (legacy terms/mode requests convert here) and
+  // thread it through whichever strategy routes the query.
+  const Query query = effective_query(request);
+  if (query.empty()) {
     return Error{ErrorCode::kInvalidArgument, "query has no terms"};
   }
   if (request.scatter != nullptr) {
@@ -205,31 +300,35 @@ Expected<QueryResponse> ShardRouter::search(const QueryRequest& request,
   }
   ins_->queries.add();
   return partitioner_->strategy() == PartitionStrategy::kTerm
-             ? term_routed_search(request, deadline)
-             : scatter_search(request, deadline);
+             ? term_routed_search(request, query, deadline)
+             : scatter_search(request, query, deadline);
 }
 
 Expected<QueryResponse> ShardRouter::scatter_search(const QueryRequest& request,
+                                                    const Query& query,
                                                     const Deadline deadline) const {
   const WallTimer total_timer;
   const auto shard_count = static_cast<std::uint32_t>(shards_.size());
   std::vector<ShardState> state(shard_count);
+  const QueryClass qclass = query.query_class();
 
   // Phase 1 (ranked only): aggregate the union corpus's collection stats
   // from exact per-shard integers. A shard that cannot even answer the
   // probe is excluded from the fan-out — its documents are what the
-  // partial response is missing.
+  // partial response is missing. Boolean/positional classes rank by tf,
+  // which needs no global stats, so they skip straight to the fan-out.
   std::shared_ptr<ScatterStats> scatter;
   std::vector<bool> eligible(shard_count, true);
   const WallTimer stats_timer;
-  if (request.mode == QueryMode::kRanked) {
+  if (qclass == QueryClass::kRanked) {
+    const std::vector<std::string> terms = query.collect_terms();
     const Deadline stats_deadline = carve(deadline, options_.stats_budget_fraction);
     auto stats = std::make_shared<ScatterStats>();
-    stats->term_dfs.assign(request.terms.size(), 0);
+    stats->term_dfs.assign(terms.size(), 0);
     std::uint64_t token_sum = 0;
     std::uint64_t live_docs = 0;
     for (std::uint32_t s = 0; s < shard_count; ++s) {
-      auto probe = probe_with_failover(s, request.terms, stats_deadline);
+      auto probe = probe_with_failover(s, terms, stats_deadline);
       if (!probe) {
         eligible[s] = false;
         state[s].failure = classify(probe.error());
@@ -238,7 +337,7 @@ Expected<QueryResponse> ShardRouter::scatter_search(const QueryRequest& request,
       stats->n_docs += probe->n_docs;
       token_sum += probe->token_sum;
       live_docs += probe->live_docs;
-      for (std::size_t t = 0; t < request.terms.size(); ++t) {
+      for (std::size_t t = 0; t < terms.size(); ++t) {
         stats->term_dfs[t] += probe->term_dfs[t];
       }
     }
@@ -252,8 +351,12 @@ Expected<QueryResponse> ShardRouter::scatter_search(const QueryRequest& request,
   // Phase 2: fan out. Every eligible shard's first-choice replica gets the
   // sub-request concurrently (each replica runs its own admission pool);
   // failover retries are sequential per shard, bounded by the same slice.
+  // Sub-requests carry the resolved AST: each shard executes the full tree
+  // (phrase/NEAR verification included) over its own documents — doc/block
+  // partitions hold every doc's postings and positions whole.
   const Deadline exec_deadline = carve(deadline, options_.shard_budget_fraction);
   QueryRequest sub = request;
+  sub.query = query;
   sub.timeout = std::chrono::microseconds{0};  // the absolute deadline rules
   sub.use_result_cache = false;  // scatter stats are not in the cache key
   sub.scatter = scatter;
@@ -311,6 +414,7 @@ Expected<QueryResponse> ShardRouter::scatter_search(const QueryRequest& request,
   // Gather: translate shard-local ids through the partitioner's closed
   // form and merge into the union order.
   QueryResponse response;
+  response.classified = qclass;
   response.shards_total = shard_count;
   bool sub_degraded = false;
   bool all_failures_shed = true;
@@ -350,21 +454,25 @@ Expected<QueryResponse> ShardRouter::scatter_search(const QueryRequest& request,
 }
 
 Expected<QueryResponse> ShardRouter::term_routed_search(const QueryRequest& request,
+                                                        const Query& query,
                                                         const Deadline deadline) const {
   const WallTimer total_timer;
   const Deadline exec_deadline = carve(deadline, options_.shard_budget_fraction);
+  const std::vector<std::string> terms = query.collect_terms();
 
-  // Fetch each distinct term's postings from its owner shard. Duplicated
-  // request terms score twice (single-node semantics) but fetch once.
+  // Fetch each distinct AST leaf's postings from its owner shard.
+  // Duplicated leaves score twice (single-node semantics) but fetch once;
+  // lists arrive with positions, so phrase/NEAR constraints verify
+  // centrally on the same decoded data a single node would use.
   std::unordered_map<std::string, std::shared_ptr<const QueryPostings>> fetched;
   std::vector<bool> owner_consulted(shards_.size(), false);
   std::vector<bool> owner_answered(shards_.size(), false);
-  std::vector<bool> term_ok(request.terms.size(), false);
+  std::vector<bool> term_ok(terms.size(), false);
   bool any_shed_failure = false;
   bool any_nonshed_failure = false;
   const WallTimer fetch_timer;
-  for (std::size_t t = 0; t < request.terms.size(); ++t) {
-    const std::string& term = request.terms[t];
+  for (std::size_t t = 0; t < terms.size(); ++t) {
+    const std::string& term = terms[t];
     const auto it = fetched.find(term);
     if (it != fetched.end()) {
       term_ok[t] = true;
@@ -388,6 +496,7 @@ Expected<QueryResponse> ShardRouter::term_routed_search(const QueryRequest& requ
   }
 
   QueryResponse response;
+  response.classified = query.query_class();
   for (std::size_t s = 0; s < shards_.size(); ++s) {
     if (owner_consulted[s]) ++response.shards_total;
     if (owner_answered[s]) ++response.shards_answered;
@@ -411,86 +520,62 @@ Expected<QueryResponse> ShardRouter::term_routed_search(const QueryRequest& requ
   const TombstoneSet* excluded = snap->tombstones();
 
   const WallTimer score_timer;
-  switch (request.mode) {
-    case QueryMode::kRanked: {
-      // Central exhaustive scoring, request-term order — the single-node
-      // accumulation sequence, so scores are bit-identical to the union
-      // index (and to its MaxScore executor, which re-sums canonically).
-      const auto tokens = snap->token_stats();
-      const std::uint64_t n_docs = snap->doc_count();
-      const double avgdl =
-          tokens.live_docs == 0
-              ? 1e-9
-              : std::max(static_cast<double>(tokens.token_sum) /
-                             static_cast<double>(tokens.live_docs),
-                         1e-9);
-      DocLengthIndex lengths;
-      for (const auto& seg : snap->segments()) {
-        const DocMap* map = seg->doc_map();
-        if (map != nullptr) lengths.add_range(map->base(), map->doc_count(), map);
-      }
-      if (snap->memtable() != nullptr) {
-        lengths.add_range(snap->memtable()->doc_base(), snap->memtable()->doc_count(),
-                          snap->memtable());
-      }
-      std::unordered_map<std::uint32_t, double> scores;
-      bool deadline_cut = false;
-      for (std::size_t t = 0; t < request.terms.size(); ++t) {
-        if (!term_ok[t]) continue;  // owner down: term skipped, kShardPartial
-        if (past(deadline)) {
-          deadline_cut = true;
-          break;
-        }
-        const auto& postings = fetched[request.terms[t]];
-        if (postings == nullptr || postings->doc_ids.empty()) continue;
-        const double idf = bm25_idf(postings->doc_ids.size(), n_docs);
-        for (std::size_t i = 0; i < postings->doc_ids.size(); ++i) {
-          const std::uint32_t doc = postings->doc_ids[i];
-          if (excluded != nullptr && excluded->contains(doc)) continue;
-          const double tf = postings->tfs[i];
-          const double dl = lengths.token_count(doc);
-          scores[doc] += bm25_contribution(idf, tf, dl, avgdl, request.bm25);
-        }
-      }
-      response.hits.reserve(scores.size());
-      for (const auto& [doc, score] : scores) response.hits.push_back({doc, score});
-      merge_hits(response.hits, request.k);
-      if (deadline_cut) response.degradation = Degradation::kDeadlinePartial;
-      break;
+  const QueryNode& root = query.root();
+  if (root.op == QueryOp::kTerm || root.op == QueryOp::kBag) {
+    // Central exhaustive scoring, leaf order (== legacy request-term
+    // order) — the single-node accumulation sequence, so scores are
+    // bit-identical to the union index (and to its MaxScore executor,
+    // which re-sums canonically).
+    const auto tokens = snap->token_stats();
+    const std::uint64_t n_docs = snap->doc_count();
+    const double avgdl =
+        tokens.live_docs == 0
+            ? 1e-9
+            : std::max(static_cast<double>(tokens.token_sum) /
+                           static_cast<double>(tokens.live_docs),
+                       1e-9);
+    DocLengthIndex lengths;
+    for (const auto& seg : snap->segments()) {
+      const DocMap* map = seg->doc_map();
+      if (map != nullptr) lengths.add_range(map->base(), map->doc_count(), map);
     }
-    case QueryMode::kConjunctive: {
-      // Any absent (or unanswered) term empties/weakens the intersection;
-      // fold postings_and over what arrived. Tombstones filtered at rank,
-      // like the single-node driver loop's candidate filter.
-      std::optional<QueryPostings> acc;
-      bool empty = false;
-      for (std::size_t t = 0; t < request.terms.size(); ++t) {
-        if (!term_ok[t]) continue;
-        const auto& postings = fetched[request.terms[t]];
-        if (postings == nullptr) {
-          empty = true;  // unknown term: intersection is empty outright
-          break;
-        }
-        acc = acc ? postings_and(*acc, *postings) : *postings;
-      }
-      if (!empty && acc) response.hits = rank_by_tf(*acc, request.k, excluded);
-      break;
+    if (snap->memtable() != nullptr) {
+      lengths.add_range(snap->memtable()->doc_base(), snap->memtable()->doc_count(),
+                        snap->memtable());
     }
-    case QueryMode::kDisjunctive: {
-      QueryPostings acc;
-      for (std::size_t t = 0; t < request.terms.size(); ++t) {
-        if (!term_ok[t]) continue;
-        const auto& postings = fetched[request.terms[t]];
-        if (postings == nullptr) continue;
-        if (past(deadline)) {
-          response.degradation = Degradation::kDeadlinePartial;
-          break;
-        }
-        acc = acc.doc_ids.empty() ? *postings : postings_or(acc, *postings);
+    std::unordered_map<std::uint32_t, double> scores;
+    bool deadline_cut = false;
+    for (std::size_t t = 0; t < terms.size(); ++t) {
+      if (!term_ok[t]) continue;  // owner down: term skipped, kShardPartial
+      if (past(deadline)) {
+        deadline_cut = true;
+        break;
       }
-      response.hits = rank_by_tf(acc, request.k, excluded);
-      break;
+      const auto& postings = fetched[terms[t]];
+      if (postings == nullptr || postings->doc_ids.empty()) continue;
+      const double idf = bm25_idf(postings->doc_ids.size(), n_docs);
+      for (std::size_t i = 0; i < postings->doc_ids.size(); ++i) {
+        const std::uint32_t doc = postings->doc_ids[i];
+        if (excluded != nullptr && excluded->contains(doc)) continue;
+        const double tf = postings->tfs[i];
+        const double dl = lengths.token_count(doc);
+        scores[doc] += bm25_contribution(idf, tf, dl, avgdl, request.bm25);
+      }
     }
+    response.hits.reserve(scores.size());
+    for (const auto& [doc, score] : scores) response.hits.push_back({doc, score});
+    merge_hits(response.hits, request.k);
+    if (deadline_cut) response.degradation = Degradation::kDeadlinePartial;
+  } else {
+    // Every other root — AND/OR trees, phrase, NEAR — runs the recursive
+    // central evaluator (tf semantics of query_ast.hpp) and ranks by
+    // (tf desc, doc id asc), exactly like the single-node decoded path.
+    // Tombstones filtered at rank, like the single-node candidate filter.
+    RoutedEval ev{fetched, deadline};
+    auto acc = ev.eval(root);
+    if (!acc.has_value()) return acc.error();
+    if (acc.value()) response.hits = rank_by_tf(*acc.value(), request.k, excluded);
+    if (ev.deadline_cut) response.degradation = Degradation::kDeadlinePartial;
   }
   response.timings.score_seconds = score_timer.seconds();
   response.timings.total_seconds = total_timer.seconds();

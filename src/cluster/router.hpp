@@ -20,10 +20,20 @@
 ///                    order, because every global top-k doc is in its own
 ///                    shard's top-k and the id mapping is monotone.
 ///
-/// Term-partitioned clusters route differently: each query term's postings
-/// are fetched from the shard owning hash(term), and the router scores
-/// centrally in request-term order — per-shard partial score sums would
-/// not re-add bit-identically, whole postings lists do.
+/// Term-partitioned clusters route differently: each query leaf term's
+/// postings are fetched from the shard owning hash(term) — one whole-list
+/// fetch per distinct AST leaf, in Query::collect_terms() order — and the
+/// router evaluates centrally: BM25 in leaf order for a ranked root
+/// (per-shard partial score sums would not re-add bit-identically, whole
+/// postings lists do), and the recursive AST evaluator for boolean/
+/// positional roots. Fetched lists carry positions, so phrase/NEAR
+/// verification runs at the router with the same phrase_join/near_join
+/// primitives the single-node decoded evaluator uses.
+///
+/// Document/block partitions need no special phrase handling: every doc's
+/// postings (and positions) live whole on its shard, so each shard
+/// verifies phrase/NEAR locally over the fanned-out AST and the merged
+/// (score desc, global id asc) order equals the union index's.
 ///
 /// Deadlines are budgeted: the stats phase gets stats_budget_fraction of
 /// the remaining budget, the execute fan-out shard_budget_fraction of what
@@ -112,11 +122,13 @@ class ShardRouter final : public SearchBackend {
     QueryResponse response;
   };
 
+  /// Both strategies receive the resolved AST (effective_query of the
+  /// request) so legacy flat requests route identically to AST ones.
   [[nodiscard]] Expected<QueryResponse> scatter_search(
-      const QueryRequest& request,
+      const QueryRequest& request, const Query& query,
       std::optional<std::chrono::steady_clock::time_point> deadline) const;
   [[nodiscard]] Expected<QueryResponse> term_routed_search(
-      const QueryRequest& request,
+      const QueryRequest& request, const Query& query,
       std::optional<std::chrono::steady_clock::time_point> deadline) const;
 
   /// Replica indices of `shard` in health order: non-demoted first (by

@@ -20,10 +20,13 @@
 ///                verification, the run-file merger, segment compaction
 ///   Serve        SearchBackend (the serving interface: QueryRequest in,
 ///                Expected<QueryResponse> out) with its implementations —
-///                Searcher (single-node query facade, every mode, opened
-///                via Searcher::open) and SearchService (thread-pooled
+///                Searcher (single-node query facade, opened via
+///                Searcher::open) and SearchService (thread-pooled
 ///                concurrent execution with admission control, caching,
-///                deadlines; docs/SERVING.md)
+///                deadlines; docs/SERVING.md). Requests carry a Query
+///                AST — ranked bags, AND/OR trees, exact phrases,
+///                NEAR-k proximity — built by parse_query() or the
+///                Query:: factories (docs/QUERIES.md)
 ///   Cluster      the sharded scatter-gather serving tier: Cluster
 ///                (topology + global-id ingest), Partitioner (document /
 ///                term / block placement), Shard + ShardReplica, and
@@ -50,7 +53,7 @@
 ///       hetindex::Searcher::open(hetindex::SearchSource::batch(index, docs))
 ///           .value();
 ///   hetindex::QueryRequest req;
-///   req.terms = {hetindex::normalize_term("Parallelism")};
+///   req.query = hetindex::parse_query("parallelism").value();
 ///   auto response = searcher->search(req);  // Expected<QueryResponse>
 
 #include <optional>
@@ -83,8 +86,9 @@
 #include "postings/segment.hpp"
 #include "postings/verify.hpp"
 
-// Serve (docs/SERVING.md).
+// Serve (docs/SERVING.md, docs/QUERIES.md).
 #include "search/backend.hpp"
+#include "search/query_ast.hpp"
 #include "search/searcher.hpp"
 #include "search/service.hpp"
 #include "search/types.hpp"
@@ -175,7 +179,7 @@ class IndexBuilder {
 /// Library version.
 struct Version {
   static constexpr int major = 1;
-  static constexpr int minor = 5;
+  static constexpr int minor = 6;
   static constexpr int patch = 0;
 };
 std::string version_string();

@@ -52,6 +52,12 @@ Expected<std::shared_ptr<LiveSegment>> LiveSegment::open(const std::string& dir,
   } else if (blocks.error().code != ErrorCode::kNotFound) {
     return blocks.error();
   }
+  auto blooms = read_bloom_sidecar(seg->seg_path_, seg->reader_.term_count());
+  if (blooms.has_value()) {
+    seg->blooms_ = std::move(blooms).value();
+  } else if (blooms.error().code != ErrorCode::kNotFound) {
+    return blooms.error();
+  }
   return seg;
 }
 
@@ -64,6 +70,7 @@ LiveSegment::~LiveSegment() {
   (void)io::env().remove_file(seg_path_);
   (void)io::env().remove_file(max_tf_sidecar_path(seg_path_));
   (void)io::env().remove_file(block_index_sidecar_path(seg_path_));
+  (void)io::env().remove_file(bloom_sidecar_path(seg_path_));
   (void)io::env().remove_file(map_path_);
 }
 
@@ -184,7 +191,8 @@ std::optional<QueryPostings> LiveSnapshot::lookup(std::string_view term) const {
   return out;
 }
 
-std::unique_ptr<PostingsCursor> LiveSnapshot::open_cursor(std::string_view term) const {
+std::unique_ptr<PostingsCursor> LiveSnapshot::open_cursor(std::string_view term,
+                                                          bool with_positions) const {
   std::vector<std::unique_ptr<PostingsCursor>> parts;
   for (const auto& seg : segments_) {
     const auto ordinal = seg->reader().find(term);
@@ -196,26 +204,59 @@ std::unique_ptr<PostingsCursor> LiveSnapshot::open_cursor(std::string_view term)
       const auto blob = seg->reader().raw_blob(m);
       const auto rows = skip->blocks(*ordinal);
       // The pin keeps the mapping alive even if compaction obsoletes the
-      // segment while a cursor is outstanding.
+      // segment while a cursor is outstanding. Positions come for free:
+      // the segment cursor re-decodes its current block on demand.
       parts.push_back(
           make_segment_cursor(blob.first, blob.second, rows.first, rows.second, seg));
     } else {
       auto decoded = std::make_shared<QueryPostings>();
-      seg->reader().decode(m, decoded->doc_ids, decoded->tfs);
+      seg->reader().decode(m, decoded->doc_ids, decoded->tfs,
+                           with_positions ? &decoded->positions : nullptr);
       parts.push_back(make_decoded_cursor(std::move(decoded)));
     }
   }
   if (memtable_ != nullptr) {
-    auto blocks = memtable_->cursor_blocks(term);
-    if (!blocks.empty()) {
-      // The pin keeps the memtable arena alive past a flush that resets
-      // the writer's buffer while this cursor is outstanding.
-      parts.push_back(make_memtable_cursor(std::move(blocks), memtable_->pin()));
+    if (with_positions) {
+      // Position chunks do not align with posting chunk boundaries, so the
+      // borrowed block refs below cannot carry them — materialize the
+      // memtable part instead (it is bounded by the flush threshold).
+      auto decoded = std::make_shared<QueryPostings>();
+      if (memtable_->lookup(term, *decoded)) {
+        parts.push_back(make_decoded_cursor(std::move(decoded)));
+      }
+    } else {
+      auto blocks = memtable_->cursor_blocks(term);
+      if (!blocks.empty()) {
+        // The pin keeps the memtable arena alive past a flush that resets
+        // the writer's buffer while this cursor is outstanding.
+        parts.push_back(make_memtable_cursor(std::move(blocks), memtable_->pin()));
+      }
     }
   }
   if (parts.empty()) return nullptr;
   if (parts.size() == 1) return std::move(parts.front());
   return make_concat_cursor(std::move(parts));
+}
+
+BloomChain LiveSnapshot::bloom_chain(std::string_view term) const {
+  BloomChain chain;
+  for (const auto& seg : segments_) {
+    if (seg->doc_count() == 0) continue;
+    const BloomSidecar* blooms = seg->blooms();
+    if (blooms == nullptr) continue;  // uncovered range: the chain passes it
+    const auto ordinal = seg->reader().find(term);
+    if (!ordinal) {
+      // The segment covers the range but holds no list for the term: any
+      // candidate inside it is definitely absent. An all-zero filter would
+      // say the same; an explicit empty-ordinal link is cheaper, but the
+      // BloomChain contract keys rejection on the sidecar, so just skip —
+      // conjunctions still drop these docs at the follower seek.
+      continue;
+    }
+    chain.add_link({seg->doc_base(), seg->doc_base() + seg->doc_count() - 1, blooms,
+                    *ordinal});
+  }
+  return chain;
 }
 
 std::optional<QueryPostings> LiveSnapshot::lookup_range(

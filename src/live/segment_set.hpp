@@ -64,6 +64,12 @@ class LiveSegment {
   [[nodiscard]] const BlockIndex* block_index() const {
     return block_index_ ? &*block_index_ : nullptr;
   }
+  /// The segment's Bloom rejection filters (.blm sidecar); nullptr when
+  /// the segment predates the format or a concat merge dropped it (the
+  /// caller degrades to no rejection).
+  [[nodiscard]] const BloomSidecar* blooms() const {
+    return blooms_ ? &*blooms_ : nullptr;
+  }
 
   /// Marks the backing files for deletion when the last reference drops
   /// (called by compaction after the replacement commit).
@@ -81,6 +87,7 @@ class LiveSegment {
   std::optional<DocMap> doc_map_;
   std::vector<std::uint32_t> max_tfs_;     // by term ordinal; empty = no sidecar
   std::optional<BlockIndex> block_index_;  // skip tables; nullopt = no sidecar
+  std::optional<BloomSidecar> blooms_;     // rejection filters; nullopt = no sidecar
   std::string seg_path_;
   std::string map_path_;
   std::atomic<bool> obsolete_{false};
@@ -171,7 +178,23 @@ class LiveSnapshot {
   /// zero-copy block cursors (each pinning its segment); segments without
   /// decode once; the memtable serves borrowed block refs pinning the
   /// arena.
-  [[nodiscard]] std::unique_ptr<PostingsCursor> open_cursor(std::string_view term) const;
+  ///
+  /// `with_positions` asks for current_positions() support on every part:
+  /// skip-table segment cursors serve positions natively (lazy per-block
+  /// re-decode); sidecar-less segments then decode positionally up front;
+  /// the memtable part is materialized as a positional decoded cursor
+  /// (its position chunks do not align with posting chunk boundaries, so
+  /// borrowed block refs cannot carry them).
+  [[nodiscard]] std::unique_ptr<PostingsCursor> open_cursor(
+      std::string_view term, bool with_positions = false) const;
+
+  /// The term's Bloom rejection chain across this snapshot's segments
+  /// (postings/bloom.hpp): one link per sidecar-bearing segment holding
+  /// the term, in ascending doc order. Segments without a sidecar and the
+  /// memtable range are simply uncovered — the chain passes those docs.
+  /// Empty chain = never rejects. Borrows the snapshot; must not outlive
+  /// it.
+  [[nodiscard]] BloomChain bloom_chain(std::string_view term) const;
 
   /// Range-narrowed lookup: segments whose doc range misses
   /// [min_doc, max_doc] are skipped entirely (the §III.F narrowing applied

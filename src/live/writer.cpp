@@ -69,14 +69,18 @@ struct RewriteStats {
 /// decodes every list, drops postings of tombstoned documents (and their
 /// positions), and re-encodes the survivors. Slower than the §III.F byte
 /// concatenation — used only when the window still carries dead postings.
-/// Writes the merged segment plus both sidecars (.maxtf, .bmx) durably;
-/// terms whose every posting is dead vanish from the output. Inputs must
-/// share one codec and be given in ascending disjoint doc-id order.
+/// Writes the merged segment plus all three sidecars (.maxtf, .bmx, .blm)
+/// durably; terms whose every posting is dead vanish from the output.
+/// Inputs must share one codec and be given in ascending disjoint doc-id
+/// order. (The concat merge cannot carry `.blm` forward — see
+/// postings/bloom.hpp — so the rewrite path is where merged segments
+/// regain their filters.)
 Expected<RewriteStats> rewrite_segments(const std::vector<const SegmentReader*>& inputs,
                                         const TombstoneSet& dead, PostingCodec codec,
-                                        const std::string& out_path) {
+                                        BloomOptions bloom, const std::string& out_path) {
   SegmentWriter writer(out_path, codec);
   std::vector<std::uint32_t> max_tfs;
+  BloomSidecar blooms(bloom);
   BlockIndex block_index;
   std::vector<PostingBlockEntry> blocks;
   std::vector<SegmentReader::TermCursor> cursors;
@@ -135,6 +139,7 @@ Expected<RewriteStats> rewrite_segments(const std::vector<const SegmentReader*>&
                     out_docs.back());
     block_index.add_term(blocks);
     max_tfs.push_back(*std::max_element(out_tfs.begin(), out_tfs.end()));
+    blooms.add_term(out_docs.data(), out_docs.size());
   }
 
   RewriteStats stats;
@@ -146,6 +151,8 @@ Expected<RewriteStats> rewrite_segments(const std::vector<const SegmentReader*>&
   if (!sidecar.has_value()) return sidecar.error();
   auto skip_table = write_block_index_sidecar(out_path, block_index);
   if (!skip_table.has_value()) return skip_table.error();
+  auto filters = write_bloom_sidecar(out_path, blooms);
+  if (!filters.has_value()) return filters.error();
   return stats;
 }
 
@@ -239,6 +246,7 @@ struct IndexWriter::State {
     (void)io::env().remove_file(seg);
     (void)io::env().remove_file(max_tf_sidecar_path(seg));
     (void)io::env().remove_file(block_index_sidecar_path(seg));
+    (void)io::env().remove_file(bloom_sidecar_path(seg));
     (void)io::env().remove_file(live_docmap_path(dir, segment_id));
   }
 };
@@ -525,6 +533,7 @@ Expected<std::uint64_t> IndexWriter::State::flush_locked() {
   const MemtableView frozen(memtable);
   SegmentWriter writer(live_segment_path(dir, segment_id), opts.codec);
   std::vector<std::uint32_t> max_tfs;
+  BloomSidecar blooms(opts.bloom);
   BlockIndex block_index;
   std::vector<PostingBlockEntry> blocks;
   frozen.for_each_term_postings([&](std::string_view term,
@@ -540,8 +549,10 @@ Expected<std::uint64_t> IndexWriter::State::flush_locked() {
                     static_cast<std::uint32_t>(list_docs.size()), list_docs.front(),
                     list_docs.back());
     block_index.add_term(blocks);
-    // Score-bound sidecar comes for free here: the lists are still decoded.
+    // Score-bound and Bloom sidecars come for free here: the lists are
+    // still decoded.
     max_tfs.push_back(*std::max_element(tfs.begin(), tfs.end()));
+    blooms.add_term(list_docs.data(), list_docs.size());
   });
   const std::uint64_t term_count = writer.term_count();
 
@@ -563,6 +574,8 @@ Expected<std::uint64_t> IndexWriter::State::flush_locked() {
   auto skip_table =
       write_block_index_sidecar(live_segment_path(dir, segment_id), block_index);
   if (!skip_table.has_value()) return fail(skip_table.error());
+  auto filters = write_bloom_sidecar(live_segment_path(dir, segment_id), blooms);
+  if (!filters.has_value()) return fail(filters.error());
 
   std::vector<std::string> urls;
   std::vector<std::uint32_t> doc_tokens;
@@ -743,8 +756,8 @@ Expected<bool> IndexWriter::State::run_one_compaction(bool full_reclaim) {
   std::uint64_t out_terms = 0;
   std::uint64_t out_bytes = 0;
   if (rewrite) {
-    const auto rewritten =
-        rewrite_segments(readers, *dead, opts.codec, live_segment_path(dir, out_id));
+    const auto rewritten = rewrite_segments(readers, *dead, opts.codec, opts.bloom,
+                                            live_segment_path(dir, out_id));
     if (!rewritten.has_value()) return fail(rewritten.error());
     out_terms = rewritten.value().terms;
     out_bytes = rewritten.value().output_bytes;

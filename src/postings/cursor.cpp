@@ -88,6 +88,29 @@ class BlockedCursorBase : public PostingsCursor {
 
   [[nodiscard]] std::uint64_t blocks_skipped() const final { return skipped_; }
 
+  [[nodiscard]] bool current_positions(std::vector<std::uint32_t>& out) final {
+    HET_CHECK_MSG(positioned(), "current_positions() on unpositioned cursor");
+    if (pos_block_ != static_cast<std::ptrdiff_t>(cur_block_)) {
+      pos_scratch_.clear();
+      pos_ok_ = load_block_positions(cur_block_, pos_scratch_);
+      pos_block_ = static_cast<std::ptrdiff_t>(cur_block_);
+      if (pos_ok_) {
+        // Per-posting slice offsets follow from the block's tfs.
+        pos_offsets_.assign(cur_count_ + 1, 0);
+        for (std::size_t i = 0; i < cur_count_; ++i) {
+          pos_offsets_[i + 1] = pos_offsets_[i] + cur_tfs_[i];
+        }
+        HET_CHECK_MSG(pos_scratch_.size() == pos_offsets_[cur_count_],
+                      "positional payload disagrees with block tfs");
+      }
+    }
+    if (!pos_ok_) return false;
+    out.insert(out.end(),
+               pos_scratch_.begin() + static_cast<std::ptrdiff_t>(pos_offsets_[in_pos_]),
+               pos_scratch_.begin() + static_cast<std::ptrdiff_t>(pos_offsets_[in_pos_ + 1]));
+    return true;
+  }
+
  protected:
   struct BlockMeta {
     std::uint32_t last_doc = 0;
@@ -98,6 +121,15 @@ class BlockedCursorBase : public PostingsCursor {
   [[nodiscard]] virtual std::uint32_t block_max_tf_of(std::size_t block) = 0;
   /// Decodes `block` and points cur_docs_/cur_tfs_ at its postings.
   virtual void load_block(std::size_t block) = 0;
+  /// Fills `positions` with the block's concatenated per-posting positions
+  /// (absolute, ascending within each posting), or returns false when the
+  /// backend carries none. Called only on the currently-loaded block.
+  [[nodiscard]] virtual bool load_block_positions(std::size_t block,
+                                                  std::vector<std::uint32_t>& positions) {
+    (void)block;
+    (void)positions;
+    return false;
+  }
 
   void enter_block() {
     load_block(cur_block_);
@@ -119,6 +151,11 @@ class BlockedCursorBase : public PostingsCursor {
   std::size_t cur_count_ = 0;
   bool deep_ = false;
   std::uint64_t skipped_ = 0;
+  // Lazily-decoded positions of one block (the current one, once asked).
+  std::ptrdiff_t pos_block_ = -1;
+  bool pos_ok_ = false;
+  std::vector<std::uint32_t> pos_scratch_;
+  std::vector<std::uint64_t> pos_offsets_;
 };
 
 /// Blob + skip-table cursor: decodes exactly the blocks it lands on.
@@ -157,6 +194,19 @@ class SegmentPostingsCursor final : public BlockedCursorBase {
     cur_tfs_ = tfs_scratch_.data();
   }
 
+  [[nodiscard]] bool load_block_positions(std::size_t block,
+                                          std::vector<std::uint32_t>& positions) override {
+    // Re-decode the block with a positions sink. Dedicated scratch: the
+    // base still points cur_docs_/cur_tfs_ into the load_block scratch.
+    const auto& e = entries_[block];
+    pos_docs_scratch_.clear();
+    pos_tfs_scratch_.clear();
+    const std::size_t consumed = decode_postings(blob_ + e.offset, e.bytes, pos_docs_scratch_,
+                                                 pos_tfs_scratch_, &positions);
+    HET_CHECK_MSG(consumed == e.bytes, "skip entry disagrees with block payload");
+    return !positions.empty();
+  }
+
  private:
   const std::uint8_t* blob_;
   std::size_t blob_bytes_;
@@ -164,6 +214,8 @@ class SegmentPostingsCursor final : public BlockedCursorBase {
   std::shared_ptr<const void> pin_;
   std::vector<std::uint32_t> docs_scratch_;
   std::vector<std::uint32_t> tfs_scratch_;
+  std::vector<std::uint32_t> pos_docs_scratch_;
+  std::vector<std::uint32_t> pos_tfs_scratch_;
 };
 
 /// Already-decoded list behind the cursor interface. Blocks are synthetic
@@ -206,9 +258,33 @@ class DecodedPostingsCursor final : public BlockedCursorBase {
     cur_tfs_ = postings_->tfs.data() + begin;
   }
 
+  [[nodiscard]] bool load_block_positions(std::size_t block,
+                                          std::vector<std::uint32_t>& positions) override {
+    const auto& all = postings_->positions;
+    if (all.empty()) return false;
+    if (pos_block_starts_.empty()) {
+      // One pass over the tfs gives every block's start offset in the flat
+      // positions stream (posting i owns tfs[i] entries).
+      pos_block_starts_.assign(n_blocks_ + 1, 0);
+      std::uint64_t run = 0;
+      for (std::size_t i = 0; i < postings_->tfs.size(); ++i) {
+        run += postings_->tfs[i];
+        pos_block_starts_[i / kPostingsBlockSize + 1] = run;
+      }
+      HET_CHECK_MSG(pos_block_starts_[n_blocks_] == all.size(),
+                    "positional payload disagrees with list tfs");
+    }
+    positions.insert(
+        positions.end(),
+        all.begin() + static_cast<std::ptrdiff_t>(pos_block_starts_[block]),
+        all.begin() + static_cast<std::ptrdiff_t>(pos_block_starts_[block + 1]));
+    return true;
+  }
+
  private:
   std::shared_ptr<const QueryPostings> postings_;
   std::vector<std::uint32_t> max_tf_cache_;
+  std::vector<std::uint64_t> pos_block_starts_;
 };
 
 /// Borrowed memtable blocks behind the cursor interface. Nothing decodes
@@ -273,6 +349,9 @@ class ConcatPostingsCursor final : public PostingsCursor {
   }
   [[nodiscard]] std::uint32_t docid() const override { return parts_[cur_]->docid(); }
   [[nodiscard]] std::uint32_t tf() const override { return parts_[cur_]->tf(); }
+  [[nodiscard]] bool current_positions(std::vector<std::uint32_t>& out) override {
+    return parts_[cur_]->current_positions(out);
+  }
 
   void next() override {
     parts_[cur_]->next();

@@ -60,6 +60,19 @@ class PostingsCursor {
   /// Postings in the current block. Requires valid().
   [[nodiscard]] virtual std::uint32_t docs_in_block() const = 0;
 
+  /// Appends the current posting's term positions (absolute, ascending
+  /// within the document) to `out` and returns true; returns false when
+  /// the backend carries no positional payload for this list (then `out`
+  /// is untouched) — phrase/NEAR verification degrades to "no positions
+  /// available" instead of crashing. Decode is lazy and per block: the
+  /// first request inside a block decodes that block's positions once,
+  /// later postings in the same block slice the cached payload. Requires
+  /// positioned().
+  [[nodiscard]] virtual bool current_positions(std::vector<std::uint32_t>& out) {
+    (void)out;
+    return false;
+  }
+
   /// Total postings in the list (the term's document frequency).
   [[nodiscard]] virtual std::uint64_t size() const = 0;
   /// Largest doc id in the whole list.

@@ -93,6 +93,12 @@ Expected<InvertedIndex> InvertedIndex::open(const std::string& dir,
     } else if (blocks.error().code != ErrorCode::kNotFound) {
       return blocks.error();
     }
+    auto blooms = read_bloom_sidecar(idx.segment_->path(), idx.segment_->term_count());
+    if (blooms.has_value()) {
+      idx.blooms_ = std::move(blooms).value();
+    } else if (blooms.error().code != ErrorCode::kNotFound) {
+      return blooms.error();
+    }
     return idx;
   }
 
@@ -204,7 +210,8 @@ std::optional<QueryPostings> InvertedIndex::lookup(std::string_view term) const 
   return lookup_impl(term, /*positional=*/false);
 }
 
-std::unique_ptr<PostingsCursor> InvertedIndex::open_cursor(std::string_view term) const {
+std::unique_ptr<PostingsCursor> InvertedIndex::open_cursor(std::string_view term,
+                                                           bool with_positions) const {
   if (segment_ != nullptr && block_index_.has_value()) {
     ins_->lookups.add();
     const LatencyScope latency(ins_->lookup_micros);
@@ -223,14 +230,27 @@ std::unique_ptr<PostingsCursor> InvertedIndex::open_cursor(std::string_view term
                                /*pin=*/nullptr);
   }
   // No skip table loaded: serve the identical interface over a decoded
-  // list (lookup_impl does the lookup/miss/decode accounting).
-  auto decoded = lookup_impl(term, /*positional=*/false);
+  // list (lookup_impl does the lookup/miss/decode accounting). Positional
+  // cursors decode positions with the list.
+  auto decoded = lookup_impl(term, /*positional=*/with_positions);
   if (!decoded.has_value() || decoded->doc_ids.empty()) return nullptr;
   return make_decoded_cursor(std::make_shared<const QueryPostings>(std::move(decoded).value()));
 }
 
 std::optional<QueryPostings> InvertedIndex::lookup_positional(std::string_view term) const {
   return lookup_impl(term, /*positional=*/true);
+}
+
+BloomChain InvertedIndex::bloom_chain(std::string_view term) const {
+  BloomChain chain;
+  if (segment_ == nullptr || !blooms_.has_value()) return chain;
+  const auto ordinal = segment_->find(term);
+  if (!ordinal) return chain;
+  // One segment owns every doc of a batch index, so the single link covers
+  // the whole doc-id space — the filter was built over the full list and
+  // can answer for any candidate.
+  chain.add_link({0, 0xFFFFFFFFu, &*blooms_, *ordinal});
+  return chain;
 }
 
 std::optional<QueryPostings> InvertedIndex::lookup_range(std::string_view term,

@@ -24,6 +24,7 @@
 
 #include "dict/dictionary.hpp"
 #include "obs/metrics.hpp"
+#include "postings/bloom.hpp"
 #include "postings/run_file.hpp"
 #include "postings/segment.hpp"
 #include "util/error.hpp"
@@ -90,7 +91,11 @@ class InvertedIndex {
   /// with a loaded skip table this is a zero-copy blob cursor that decodes
   /// only the blocks it lands on; otherwise it wraps a decoded list. The
   /// cursor borrows the index — it must not outlive this object.
-  [[nodiscard]] std::unique_ptr<PostingsCursor> open_cursor(std::string_view term) const;
+  /// `with_positions` asks for current_positions() support: the segment
+  /// cursor serves positions natively (lazy per-block re-decode); the
+  /// decoded fallback then materializes the positional list up front.
+  [[nodiscard]] std::unique_ptr<PostingsCursor> open_cursor(
+      std::string_view term, bool with_positions = false) const;
 
   /// Like lookup() but also decodes in-document token positions (empty
   /// when the index was not built with record_positions).
@@ -126,6 +131,12 @@ class InvertedIndex {
   /// True when the block skip-table sidecar (`index.seg.bmx`) was loaded at
   /// open() — the precondition for Block-Max skipping over raw blobs.
   [[nodiscard]] bool has_block_index() const { return block_index_.has_value(); }
+  /// True when the Bloom sidecar (`index.seg.blm`) was loaded at open().
+  [[nodiscard]] bool has_blooms() const { return blooms_.has_value(); }
+  /// The term's Bloom rejection chain (postings/bloom.hpp): empty — never
+  /// rejects — when no sidecar was loaded or the term is unknown. The
+  /// chain borrows this index and must not outlive it.
+  [[nodiscard]] BloomChain bloom_chain(std::string_view term) const;
 
   /// True when serving from a compacted segment.
   [[nodiscard]] bool segment_backed() const { return segment_ != nullptr; }
@@ -159,6 +170,7 @@ class InvertedIndex {
   std::unique_ptr<SegmentReader> segment_;
   std::vector<std::uint32_t> max_tfs_;     // by term ordinal; empty = no sidecar
   std::optional<BlockIndex> block_index_;  // skip tables; nullopt = no sidecar
+  std::optional<BloomSidecar> blooms_;     // rejection filters; nullopt = no sidecar
 };
 
 }  // namespace hetindex

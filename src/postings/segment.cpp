@@ -5,6 +5,7 @@
 
 #include "codec/front_coding.hpp"
 #include "io/env.hpp"
+#include "postings/bloom.hpp"
 #include "postings/query.hpp"
 #include "util/binary_io.hpp"
 #include "util/check.hpp"
@@ -27,13 +28,14 @@ constexpr std::uint32_t kBlockIndexMagic = 0x584D4248;  // "HBMX"
 constexpr std::uint32_t kBlockIndexVersion = 1;
 constexpr std::size_t kBlockEntryBytes = 24;
 
-/// Removes a segment and both sidecars — the failure path of every writer
+/// Removes a segment and its sidecars — the failure path of every writer
 /// (a torn sidecar would be rejected by CRC, but leaving one next to a
 /// removed segment just confuses the next open).
 void remove_segment_outputs(const std::string& seg_path) {
   (void)io::env().remove_file(seg_path);
   (void)io::env().remove_file(max_tf_sidecar_path(seg_path));
   (void)io::env().remove_file(block_index_sidecar_path(seg_path));
+  (void)io::env().remove_file(bloom_sidecar_path(seg_path));
 }
 
 }  // namespace
@@ -706,6 +708,12 @@ Expected<SegmentMergeStats> merge_segments(
       return side.error();
     }
   }
+  // Bloom filters do NOT propagate through a byte-concatenation merge:
+  // each input's filters are sized to its own lists, and OR-ing unequal
+  // filters is meaningless. The merged segment serves without one
+  // (degrade: no rejection) until a rewrite merge rebuilds it; make sure
+  // no stale sidecar from a recycled path lingers.
+  (void)io::env().remove_file(bloom_sidecar_path(out_path));
   return stats;
 }
 
@@ -789,6 +797,13 @@ Expected<SegmentBuildStats> build_segment_from_runs(
   if (!bmx.has_value()) {
     remove_segment_outputs(seg_path);
     return bmx.error();
+  }
+  // Same decode pass (conceptually) feeds the Bloom sidecar: conjunctive
+  // rejection filters over each term's absolute doc ids.
+  auto blm = write_bloom_sidecar(seg_path, compute_blooms(reader.value()));
+  if (!blm.has_value()) {
+    remove_segment_outputs(seg_path);
+    return blm.error();
   }
   return stats;
 }

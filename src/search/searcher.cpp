@@ -8,6 +8,7 @@
 
 #include "live/tombstones.hpp"
 #include "postings/boolean_ops.hpp"
+#include "postings/cursor.hpp"
 #include "util/check.hpp"
 #include "util/timer.hpp"
 
@@ -24,6 +25,7 @@ struct Searcher::Instruments {
   obs::Counter& postings_misses;
   obs::Counter& stats_recomputes;
   obs::Counter& blocks_skipped;
+  obs::Counter& blooms_rejected;
   obs::Histo& total_micros;
   obs::Histo& lookup_micros;
   obs::Histo& score_micros;
@@ -37,6 +39,7 @@ struct Searcher::Instruments {
         postings_misses(m.counter("search_postings_cache_misses_total")),
         stats_recomputes(m.counter("search_stats_recomputes_total")),
         blocks_skipped(m.counter("search_blocks_skipped_total")),
+        blooms_rejected(m.counter("search_blooms_rejected_total")),
         total_micros(m.histogram("search_total_micros", 0.0, 16384.0, 64)),
         lookup_micros(m.histogram("search_lookup_micros", 0.0, 16384.0, 64)),
         score_micros(m.histogram("search_score_micros", 0.0, 16384.0, 64)) {}
@@ -54,18 +57,19 @@ std::string snapshot_key(std::uint64_t snapshot_id, std::string_view payload) {
 }
 
 /// Normalized query string: every request field that affects the answer,
-/// terms in given order (duplicates score twice, so order and multiplicity
-/// are part of the identity).
-std::string normalize_query(const QueryRequest& request) {
-  char params[80];
-  std::snprintf(params, sizeof(params), "%s|%zu|%.17g|%.17g|%d",
-                query_mode_name(request.mode), request.k, request.bm25.k1,
-                request.bm25.b, request.exhaustive ? 1 : 0);
+/// plus the canonical AST text (Query::to_string preserves operator
+/// structure, term order, and multiplicity — duplicates score twice, so
+/// they are part of the identity). The root operator is keyed explicitly
+/// because a single-child AND/OR prints as its bare child yet ranks by
+/// summed tf, not BM25 — the text alone would collide with the ranked form.
+std::string normalize_query(const Query& query, const QueryRequest& request) {
+  char params[64];
+  std::snprintf(params, sizeof(params), "%zu|%.17g|%.17g|%d|%d", request.k,
+                request.bm25.k1, request.bm25.b, request.exhaustive ? 1 : 0,
+                query.empty() ? -1 : static_cast<int>(query.root().op));
   std::string norm(params);
-  for (const auto& term : request.terms) {
-    norm += '\x1f';
-    norm += term;
-  }
+  norm += '\x1f';
+  norm += query.to_string();
   return norm;
 }
 
@@ -76,6 +80,17 @@ bool past(const std::optional<std::chrono::steady_clock::time_point>& deadline) 
 /// Driver docs between deadline checks in the cursor intersection (a clock
 /// read per doc would dominate small lists).
 constexpr std::uint64_t kIntersectDeadlineStride = 256;
+
+/// True when `root` executes on the cursor-intersection engine: a bare
+/// PHRASE/NEAR, or an AND whose operands are all plain terms or positional
+/// groups. Anything nesting OR/bag falls back to the decoded evaluator.
+bool flat_conjunction(const QueryNode& root) {
+  if (root.op == QueryOp::kPhrase || root.op == QueryOp::kNear) return true;
+  if (root.op != QueryOp::kAnd) return false;
+  return std::all_of(root.children.begin(), root.children.end(), [](const QueryNode& c) {
+    return c.op == QueryOp::kTerm || c.op == QueryOp::kPhrase || c.op == QueryOp::kNear;
+  });
+}
 
 }  // namespace
 
@@ -126,32 +141,16 @@ Expected<std::shared_ptr<Searcher>> Searcher::open(SearchSource source,
 }
 
 Searcher::Searcher(SearchSource source, SearcherOptions options)
-    : index_(source.index_),
+    : options_(options),
+      index_(source.index_),
       docs_(source.docs_),
       provider_(std::move(source.provider_)),
       metrics_(std::make_unique<obs::MetricsRegistry>()),
       ins_(std::make_unique<Instruments>(*metrics_)),
       postings_cache_(options.postings_cache_entries, options.cache_shards),
       result_cache_(options.result_cache_entries, options.cache_shards) {
-  // The deprecated shims route null sources here; keep their historical
-  // abort-on-bad-input contract (open() refuses the same inputs softly).
   HET_CHECK_MSG(!source.null_source_, "Searcher requires a non-null snapshot source");
 }
-
-// Deprecated shims: each binds the equivalent SearchSource. Defining a
-// [[deprecated]] function does not warn; calling one does.
-Searcher::Searcher(const InvertedIndex& index, const DocMap& docs,
-                   SearcherOptions options)
-    : Searcher(SearchSource::batch(index, docs), options) {}
-
-Searcher::Searcher(const InvertedIndex& index, SearcherOptions options)
-    : Searcher(SearchSource::batch(index), options) {}
-
-Searcher::Searcher(std::shared_ptr<const LiveSnapshot> snapshot, SearcherOptions options)
-    : Searcher(SearchSource::snapshot(std::move(snapshot)), options) {}
-
-Searcher::Searcher(SnapshotFn provider, SearcherOptions options)
-    : Searcher(SearchSource::live(std::move(provider)), options) {}
 
 Searcher::~Searcher() = default;
 
@@ -218,15 +217,263 @@ std::optional<std::uint32_t> Searcher::term_max_tf(
 }
 
 std::unique_ptr<PostingsCursor> Searcher::open_term_cursor(
+    const std::shared_ptr<const LiveSnapshot>& snap, const std::string& term,
+    bool with_positions) const {
+  return snap != nullptr ? snap->open_cursor(term, with_positions)
+                         : index_->open_cursor(term, with_positions);
+}
+
+BloomChain Searcher::term_bloom_chain(const std::shared_ptr<const LiveSnapshot>& snap,
+                                      const std::string& term) const {
+  if (!options_.use_bloom_filters) return {};
+  return snap != nullptr ? snap->bloom_chain(term) : index_->bloom_chain(term);
+}
+
+std::optional<QueryPostings> Searcher::lookup_positional(
     const std::shared_ptr<const LiveSnapshot>& snap, const std::string& term) const {
-  return snap != nullptr ? snap->open_cursor(term) : index_->open_cursor(term);
+  // LiveSnapshot::lookup always decodes positions when the parts carry
+  // them; the batch index has a dedicated positional entry point.
+  return snap != nullptr ? snap->lookup(term) : index_->lookup_positional(term);
+}
+
+/// Recursive decoded evaluator for nested trees — the general engine
+/// behind any shape the flat cursor path cannot take (OR roots, AND over
+/// OR groups, ...). Returns RAW doc/tf lists (tombstones filtered by the
+/// caller at ranking). tf semantics match query_ast.hpp: sums across
+/// boolean operands, match counts for positional groups.
+Expected<QueryPostings> Searcher::eval_node(
+    const QueryNode& node, const std::shared_ptr<const LiveSnapshot>& snap,
+    std::uint64_t snapshot_id,
+    const std::optional<std::chrono::steady_clock::time_point>& deadline,
+    bool& degraded) const {
+  switch (node.op) {
+    case QueryOp::kTerm: {
+      QueryPostings out;
+      const auto postings = fetch_postings(snap, snapshot_id, node.term);
+      if (postings != nullptr) {
+        out.doc_ids = postings->doc_ids;
+        out.tfs = postings->tfs;
+      }
+      return out;
+    }
+    case QueryOp::kBag:
+    case QueryOp::kOr: {
+      // Union, tfs summed on overlap. A deadline mid-fold leaves a partial
+      // union — a valid subset, flagged degraded.
+      QueryPostings acc;
+      bool first = true;
+      for (const auto& child : node.children) {
+        if (past(deadline)) {
+          degraded = true;
+          break;
+        }
+        auto part = eval_node(child, snap, snapshot_id, deadline, degraded);
+        if (!part.has_value()) return part.error();
+        if (first) {
+          acc = std::move(part).value();
+          first = false;
+        } else {
+          acc = postings_or(acc, part.value());
+        }
+      }
+      return acc;
+    }
+    case QueryOp::kAnd: {
+      QueryPostings acc;
+      bool first = true;
+      for (const auto& child : node.children) {
+        if (past(deadline)) {
+          // A prefix intersection is a SUPERSET of the truth — the one
+          // degradation shape that would hand out wrong docs. Return
+          // nothing instead (the empty set is always a valid subset).
+          acc.doc_ids.clear();
+          acc.tfs.clear();
+          degraded = true;
+          break;
+        }
+        auto part = eval_node(child, snap, snapshot_id, deadline, degraded);
+        if (!part.has_value()) return part.error();
+        if (first) {
+          acc = std::move(part).value();
+          first = false;
+        } else {
+          acc = postings_and(acc, part.value());
+        }
+        if (acc.doc_ids.empty()) break;  // settled: no doc can re-enter
+      }
+      return acc;
+    }
+    case QueryOp::kPhrase:
+    case QueryOp::kNear: {
+      std::vector<QueryPostings> lists(node.terms.size());
+      std::vector<const QueryPostings*> refs;
+      refs.reserve(node.terms.size());
+      for (std::size_t t = 0; t < node.terms.size(); ++t) {
+        auto looked_up = lookup_positional(snap, node.terms[t]);
+        if (!looked_up) return QueryPostings{};  // absent term: no matches
+        if (looked_up->positions.empty() && !looked_up->doc_ids.empty()) {
+          return Error{ErrorCode::kInvalidArgument,
+                       "phrase/NEAR query requires a positional index"};
+        }
+        lists[t] = std::move(*looked_up);
+        refs.push_back(&lists[t]);
+      }
+      return node.op == QueryOp::kPhrase ? phrase_join(refs)
+                                         : near_join(refs, node.window);
+    }
+  }
+  return QueryPostings{};
+}
+
+/// The conjunctive cursor engine: document-level intersection over every
+/// leaf term (rarest list drives, Bloom chains reject candidates before
+/// any follower seek), then positional verification of each PHRASE/NEAR
+/// constraint on the survivors only. Returns tombstone-filtered doc/tf
+/// pairs; tf = Σ plain-term tfs + Σ positional match counts.
+Expected<QueryPostings> Searcher::eval_conjunction(
+    const QueryNode& root, const std::shared_ptr<const LiveSnapshot>& snap,
+    const std::optional<std::chrono::steady_clock::time_point>& deadline,
+    const TombstoneSet* excluded, bool& degraded) const {
+  // Constraints: the AND's direct children, or the bare PHRASE/NEAR root.
+  std::vector<const QueryNode*> constraints;
+  if (root.op == QueryOp::kAnd) {
+    for (const auto& child : root.children) constraints.push_back(&child);
+  } else {
+    constraints.push_back(&root);
+  }
+  // Flat leaf terms (collect_terms() order) + each constraint's span.
+  struct Span {
+    std::size_t begin = 0;
+    std::size_t count = 0;
+  };
+  std::vector<std::string> terms;
+  std::vector<Span> spans(constraints.size());
+  bool positional = false;
+  for (std::size_t c = 0; c < constraints.size(); ++c) {
+    spans[c].begin = terms.size();
+    if (constraints[c]->op == QueryOp::kTerm) {
+      terms.push_back(constraints[c]->term);
+    } else {
+      positional = true;
+      terms.insert(terms.end(), constraints[c]->terms.begin(),
+                   constraints[c]->terms.end());
+    }
+    spans[c].count = terms.size() - spans[c].begin;
+  }
+
+  QueryPostings acc;
+  std::vector<std::unique_ptr<PostingsCursor>> cursors;
+  cursors.reserve(terms.size());
+  bool all_present = true;
+  for (const auto& term : terms) {
+    cursors.push_back(open_term_cursor(snap, term, positional));
+    if (cursors.back() == nullptr) all_present = false;
+  }
+  // Any absent term empties the whole conjunction outright (a null cursor
+  // covers both an unknown term and an empty list).
+  if (!all_present || cursors.empty()) return acc;
+
+  // Rarest list drives; followers answer seeks rarest-first so the
+  // cheapest refutation runs before the expensive common lists.
+  std::size_t driver_idx = 0;
+  for (std::size_t i = 1; i < cursors.size(); ++i) {
+    if (cursors[i]->size() < cursors[driver_idx]->size()) driver_idx = i;
+  }
+  std::vector<std::size_t> followers;
+  followers.reserve(cursors.size() - 1);
+  for (std::size_t i = 0; i < cursors.size(); ++i) {
+    if (i != driver_idx) followers.push_back(i);
+  }
+  std::sort(followers.begin(), followers.end(), [&](std::size_t a, std::size_t b) {
+    return cursors[a]->size() < cursors[b]->size();
+  });
+
+  // Bloom chains of the follower terms. The driver enumerates its own
+  // list, so its filter could never reject anything. Chains can only turn
+  // a would-be miss into a skipped seek (no false negatives), so results
+  // are bit-identical with filters off — only the rejected counter moves.
+  std::vector<BloomChain> chains(cursors.size());
+  for (const std::size_t i : followers) chains[i] = term_bloom_chain(snap, terms[i]);
+
+  PostingsCursor& driver = *cursors[driver_idx];
+  bool dead_end = false;  // some follower exhausted: no more matches
+  std::uint64_t steps = 0;
+  std::uint64_t rejected = 0;
+  DocTermPositions tp;
+  for (driver.seek(0); driver.valid() && !dead_end; driver.next()) {
+    if (++steps % kIntersectDeadlineStride == 0 && past(deadline)) {
+      // Prefix of the true result: a valid subset, flagged.
+      degraded = true;
+      break;
+    }
+    const std::uint32_t d = driver.docid();
+    if (excluded != nullptr && excluded->contains(d)) continue;
+    // Bloom rejection BEFORE any follower seek: one definite "absent"
+    // saves every remaining seek and the block decodes behind them.
+    bool maybe = true;
+    for (const std::size_t i : followers) {
+      if (!chains[i].may_contain(d)) {
+        maybe = false;
+        ++rejected;
+        break;
+      }
+    }
+    if (!maybe) continue;
+    bool all = true;
+    for (const std::size_t i : followers) {
+      cursors[i]->seek(d);
+      if (!cursors[i]->valid()) {
+        all = false;
+        dead_end = true;
+        break;
+      }
+      if (cursors[i]->docid() != d) {
+        all = false;
+        break;
+      }
+    }
+    if (!all) continue;
+    // Document-level intersection survived; verify the positional
+    // constraints on this candidate only and assemble the doc's tf.
+    std::uint32_t tf_sum = 0;
+    bool ok = true;
+    for (std::size_t c = 0; c < constraints.size() && ok; ++c) {
+      const Span span = spans[c];
+      if (constraints[c]->op == QueryOp::kTerm) {
+        tf_sum += cursors[span.begin]->tf();
+        continue;
+      }
+      tp.assign(span.count, {});
+      for (std::size_t j = 0; j < span.count; ++j) {
+        if (!cursors[span.begin + j]->current_positions(tp[j])) {
+          return Error{ErrorCode::kInvalidArgument,
+                       "phrase/NEAR query requires a positional index"};
+        }
+      }
+      const std::uint32_t count = constraints[c]->op == QueryOp::kPhrase
+                                      ? phrase_match_count(tp)
+                                      : near_match_count(tp, constraints[c]->window);
+      if (count == 0) ok = false;
+      tf_sum += count;
+    }
+    if (ok) {
+      acc.doc_ids.push_back(d);
+      acc.tfs.push_back(tf_sum);
+    }
+  }
+  std::uint64_t skipped = 0;
+  for (const auto& c : cursors) skipped += c->blocks_skipped();
+  ins_->blocks_skipped.add(skipped);
+  if (rejected != 0) ins_->blooms_rejected.add(rejected);
+  return acc;
 }
 
 Expected<QueryResponse> Searcher::search(
     const QueryRequest& request,
     std::optional<std::chrono::steady_clock::time_point> deadline) const {
   const WallTimer total_timer;
-  if (request.terms.empty()) {
+  const Query query = effective_query(request);
+  if (query.empty()) {
     return Error{ErrorCode::kInvalidArgument, "query has no terms"};
   }
   if (past(deadline)) {
@@ -244,13 +491,14 @@ Expected<QueryResponse> Searcher::search(
 
   QueryResponse response;
   response.snapshot_id = snapshot_id;
+  response.classified = query.query_class();
 
   // Scatter-stat sub-requests bypass the result cache entirely: the
   // injected global stats are not part of the cache key, so a cached
   // local-stats answer (or caching a global-stats one) would alias wrong
   // results across the two worlds.
   const bool cacheable = request.use_result_cache && request.scatter == nullptr;
-  const std::string norm = normalize_query(request);
+  const std::string norm = normalize_query(query, request);
   const std::string result_key = snapshot_key(snapshot_id, norm);
   if (cacheable) {
     if (auto cached = result_cache_.get(result_key)) {
@@ -264,183 +512,128 @@ Expected<QueryResponse> Searcher::search(
     ins_->result_misses.add();
   }
 
-  // Lookup stage. The cursor modes (pruned ranked, conjunctive) open one
-  // block-level cursor per term — lazy, zero-copy when a skip table is
-  // loaded, and deliberately outside the postings cache (caching a decoded
-  // list is exactly the work block skipping avoids). The decoded modes
-  // (exhaustive ranked, disjunctive) fetch full lists cache-first as
-  // before.
-  const bool cursor_mode = request.mode == QueryMode::kConjunctive ||
-                           (request.mode == QueryMode::kRanked && !request.exhaustive);
-  const WallTimer lookup_timer;
-  std::vector<std::shared_ptr<const QueryPostings>> lists;
-  std::vector<std::unique_ptr<PostingsCursor>> cursors;
-  if (cursor_mode) {
-    cursors.reserve(request.terms.size());
-    for (const auto& term : request.terms) {
-      cursors.push_back(open_term_cursor(snap, term));
+  const QueryNode& root = query.root();
+  if (root.op == QueryOp::kTerm || root.op == QueryOp::kBag) {
+    // Ranked bag-of-words: BM25 top-k over the leaf terms (a kBag root
+    // only ever holds kTerm children).
+    const std::vector<std::string> terms = query.collect_terms();
+    if (snap == nullptr && docs_ == nullptr) {
+      return Error{ErrorCode::kInvalidArgument,
+                   "ranked queries require a DocMap (BM25 needs document lengths)"};
     }
-  } else {
-    lists.reserve(request.terms.size());
-    for (const auto& term : request.terms) {
-      lists.push_back(fetch_postings(snap, snapshot_id, term));
+    // Router-injected global stats (ScatterStats) override the local
+    // collection view wherever N, df, or avgdl enters a score — document
+    // lengths stay local (each shard owns its docs). A term absent
+    // locally simply contributes nothing, exactly as in the union index.
+    const ScatterStats* scatter = request.scatter.get();
+    if (scatter != nullptr && scatter->term_dfs.size() != terms.size()) {
+      return Error{ErrorCode::kInvalidArgument,
+                   "scatter stats must carry one df per query term"};
     }
-  }
-  response.timings.lookup_seconds = lookup_timer.seconds();
-
-  // Score stage.
-  const WallTimer score_timer;
-  switch (request.mode) {
-    case QueryMode::kRanked: {
-      if (snap == nullptr && docs_ == nullptr) {
-        return Error{ErrorCode::kInvalidArgument,
-                     "ranked mode requires a DocMap (BM25 needs document lengths)"};
+    const auto stats = stats_for(snap, snapshot_id);
+    const std::uint64_t n_docs = scatter != nullptr ? scatter->n_docs : stats->n_docs;
+    const double avgdl =
+        scatter != nullptr ? std::max(scatter->avgdl, 1e-9) : stats->avgdl;
+    if (request.exhaustive) {
+      // Baseline engine: full decode cache-first, hash-map accumulation in
+      // query term order — the historical bm25_query.
+      const WallTimer lookup_timer;
+      std::vector<std::shared_ptr<const QueryPostings>> lists;
+      lists.reserve(terms.size());
+      for (const auto& term : terms) {
+        lists.push_back(fetch_postings(snap, snapshot_id, term));
       }
-      // Router-injected global stats (ScatterStats) override the local
-      // collection view wherever N, df, or avgdl enters a score — document
-      // lengths stay local (each shard owns its docs). A term absent
-      // locally simply contributes nothing, exactly as in the union index.
-      const ScatterStats* scatter = request.scatter.get();
-      if (scatter != nullptr && scatter->term_dfs.size() != request.terms.size()) {
-        return Error{ErrorCode::kInvalidArgument,
-                     "scatter stats must carry one df per request term"};
-      }
-      const auto stats = stats_for(snap, snapshot_id);
-      const std::uint64_t n_docs = scatter != nullptr ? scatter->n_docs : stats->n_docs;
-      const double avgdl =
-          scatter != nullptr ? std::max(scatter->avgdl, 1e-9) : stats->avgdl;
-      if (request.exhaustive) {
-        // Baseline engine: full decode, hash-map accumulation in request
-        // term order — the historical bm25_query, fed from the caches.
-        std::unordered_map<std::uint32_t, double> scores;
-        for (std::size_t t = 0; t < request.terms.size(); ++t) {
-          if (past(deadline)) {  // degrade between terms: coarse but exact
-            response.degradation = Degradation::kDeadlinePartial;
-            break;
-          }
-          const auto& postings = lists[t];
-          if (postings == nullptr || postings->doc_ids.empty()) continue;
-          const double idf = bm25_idf(
-              scatter != nullptr ? scatter->term_dfs[t] : postings->doc_ids.size(),
-              n_docs);
-          for (std::size_t i = 0; i < postings->doc_ids.size(); ++i) {
-            const std::uint32_t doc = postings->doc_ids[i];
-            if (excluded != nullptr && excluded->contains(doc)) continue;
-            const double tf = postings->tfs[i];
-            const double dl = stats->lengths.token_count(doc);
-            scores[doc] += bm25_contribution(idf, tf, dl, avgdl, request.bm25);
-          }
-        }
-        std::vector<ScoredDoc> ranked;
-        ranked.reserve(scores.size());
-        for (const auto& [doc, score] : scores) ranked.push_back({doc, score});
-        std::sort(ranked.begin(), ranked.end(),
-                  [](const ScoredDoc& a, const ScoredDoc& b) {
-                    if (a.score != b.score) return a.score > b.score;
-                    return a.doc_id < b.doc_id;
-                  });
-        if (ranked.size() > request.k) ranked.resize(request.k);
-        response.hits = std::move(ranked);
-      } else {
-        std::vector<TopkTermInput> inputs;
-        inputs.reserve(request.terms.size());
-        for (std::size_t t = 0; t < request.terms.size(); ++t) {
-          if (cursors[t] == nullptr) continue;
-          TopkTermInput input;
-          input.term_index = t;
-          // df from the cursor's skip data — the same integer the decoded
-          // list's length would give, so idf matches exhaustive exactly.
-          input.idf = bm25_idf(
-              scatter != nullptr ? scatter->term_dfs[t] : cursors[t]->size(), n_docs);
-          const auto max_tf = term_max_tf(snap, request.terms[t]);
-          // The bound pairs the (possibly global) idf with the local
-          // max_tf: contributions below use the same idf, so the bound
-          // still over-covers and pruning stays exact.
-          input.upper_bound = max_tf
-                                  ? bm25_upper_bound(input.idf, *max_tf, request.bm25)
-                                  : bm25_loose_bound(input.idf, request.bm25);
-          input.cursor = std::move(cursors[t]);
-          inputs.push_back(std::move(input));
-        }
-        auto topk = maxscore_topk(std::move(inputs), request.k, request.bm25,
-                                  stats->lengths, avgdl, deadline, excluded);
-        response.hits = std::move(topk.hits);
-        if (topk.degraded) response.degradation = Degradation::kDeadlinePartial;
-        ins_->blocks_skipped.add(topk.blocks_skipped);
-      }
-      break;
-    }
-    case QueryMode::kConjunctive: {
-      // Any absent term empties the intersection outright (a null cursor
-      // covers both an unknown term and an empty list).
-      const bool all_present = std::all_of(
-          cursors.begin(), cursors.end(), [](const auto& c) { return c != nullptr; });
-      if (all_present && !cursors.empty()) {
-        // Rarest-first: the smallest list drives; the others answer seeks,
-        // stepping over whole blocks between matches without decoding them.
-        std::vector<PostingsCursor*> ordered;
-        ordered.reserve(cursors.size());
-        for (const auto& c : cursors) ordered.push_back(c.get());
-        std::sort(ordered.begin(), ordered.end(),
-                  [](const PostingsCursor* a, const PostingsCursor* b) {
-                    return a->size() < b->size();
-                  });
-        QueryPostings acc;  // matched docs, tfs summed across terms
-        PostingsCursor& driver = *ordered.front();
-        bool dead_end = false;  // some follower exhausted: no more matches
-        std::uint64_t steps = 0;
-        for (driver.seek(0); driver.valid() && !dead_end; driver.next()) {
-          if (++steps % kIntersectDeadlineStride == 0 && past(deadline)) {
-            // Prefix of the true intersection: a valid subset, flagged.
-            response.degradation = Degradation::kDeadlinePartial;
-            break;
-          }
-          const std::uint32_t d = driver.docid();
-          if (excluded != nullptr && excluded->contains(d)) continue;
-          std::uint32_t tf_sum = driver.tf();
-          bool all = true;
-          for (std::size_t i = 1; i < ordered.size(); ++i) {
-            ordered[i]->seek(d);
-            if (!ordered[i]->valid()) {
-              all = false;
-              dead_end = true;
-              break;
-            }
-            if (ordered[i]->docid() != d) {
-              all = false;
-              break;
-            }
-            tf_sum += ordered[i]->tf();
-          }
-          if (all) {
-            acc.doc_ids.push_back(d);
-            acc.tfs.push_back(tf_sum);
-          }
-        }
-        response.hits = rank_by_tf(acc, request.k, /*excluded=*/nullptr);
-      }
-      std::uint64_t skipped = 0;
-      for (const auto& c : cursors) {
-        if (c != nullptr) skipped += c->blocks_skipped();
-      }
-      ins_->blocks_skipped.add(skipped);
-      break;
-    }
-    case QueryMode::kDisjunctive: {
-      QueryPostings acc;
-      for (const auto& p : lists) {
-        if (p == nullptr) continue;
-        if (past(deadline)) {  // partial union: a subset, flagged
+      response.timings.lookup_seconds = lookup_timer.seconds();
+      const WallTimer score_timer;
+      std::unordered_map<std::uint32_t, double> scores;
+      for (std::size_t t = 0; t < terms.size(); ++t) {
+        if (past(deadline)) {  // degrade between terms: coarse but exact
           response.degradation = Degradation::kDeadlinePartial;
           break;
         }
-        acc = acc.doc_ids.empty() ? *p : postings_or(acc, *p);
+        const auto& postings = lists[t];
+        if (postings == nullptr || postings->doc_ids.empty()) continue;
+        const double idf = bm25_idf(
+            scatter != nullptr ? scatter->term_dfs[t] : postings->doc_ids.size(),
+            n_docs);
+        for (std::size_t i = 0; i < postings->doc_ids.size(); ++i) {
+          const std::uint32_t doc = postings->doc_ids[i];
+          if (excluded != nullptr && excluded->contains(doc)) continue;
+          const double tf = postings->tfs[i];
+          const double dl = stats->lengths.token_count(doc);
+          scores[doc] += bm25_contribution(idf, tf, dl, avgdl, request.bm25);
+        }
       }
-      response.hits = rank_by_tf(acc, request.k, excluded);
-      break;
+      std::vector<ScoredDoc> ranked;
+      ranked.reserve(scores.size());
+      for (const auto& [doc, score] : scores) ranked.push_back({doc, score});
+      std::sort(ranked.begin(), ranked.end(), [](const ScoredDoc& a, const ScoredDoc& b) {
+        if (a.score != b.score) return a.score > b.score;
+        return a.doc_id < b.doc_id;
+      });
+      if (ranked.size() > request.k) ranked.resize(request.k);
+      response.hits = std::move(ranked);
+      response.timings.score_seconds = score_timer.seconds();
+    } else {
+      // Pruned engine: lazy block cursors (outside the postings cache —
+      // caching a decoded list is exactly the work block-max skipping
+      // avoids) driving MaxScore.
+      const WallTimer lookup_timer;
+      std::vector<std::unique_ptr<PostingsCursor>> cursors;
+      cursors.reserve(terms.size());
+      for (const auto& term : terms) {
+        cursors.push_back(open_term_cursor(snap, term));
+      }
+      response.timings.lookup_seconds = lookup_timer.seconds();
+      const WallTimer score_timer;
+      std::vector<TopkTermInput> inputs;
+      inputs.reserve(terms.size());
+      for (std::size_t t = 0; t < terms.size(); ++t) {
+        if (cursors[t] == nullptr) continue;
+        TopkTermInput input;
+        input.term_index = t;
+        // df from the cursor's skip data — the same integer the decoded
+        // list's length would give, so idf matches exhaustive exactly.
+        input.idf = bm25_idf(
+            scatter != nullptr ? scatter->term_dfs[t] : cursors[t]->size(), n_docs);
+        const auto max_tf = term_max_tf(snap, terms[t]);
+        // The bound pairs the (possibly global) idf with the local
+        // max_tf: contributions below use the same idf, so the bound
+        // still over-covers and pruning stays exact.
+        input.upper_bound = max_tf ? bm25_upper_bound(input.idf, *max_tf, request.bm25)
+                                   : bm25_loose_bound(input.idf, request.bm25);
+        input.cursor = std::move(cursors[t]);
+        inputs.push_back(std::move(input));
+      }
+      auto topk = maxscore_topk(std::move(inputs), request.k, request.bm25,
+                                stats->lengths, avgdl, deadline, excluded);
+      response.hits = std::move(topk.hits);
+      if (topk.degraded) response.degradation = Degradation::kDeadlinePartial;
+      ins_->blocks_skipped.add(topk.blocks_skipped);
+      response.timings.score_seconds = score_timer.seconds();
     }
+  } else if (flat_conjunction(root)) {
+    // AND / PHRASE / NEAR over plain terms and positional groups: the
+    // cursor-intersection engine with Bloom rejection and per-candidate
+    // positional verification. Tombstones filtered at the driver.
+    const WallTimer score_timer;
+    bool degraded = false;
+    auto acc = eval_conjunction(root, snap, deadline, excluded, degraded);
+    if (!acc.has_value()) return acc.error();
+    if (degraded) response.degradation = Degradation::kDeadlinePartial;
+    response.hits = rank_by_tf(acc.value(), request.k, /*excluded=*/nullptr);
+    response.timings.score_seconds = score_timer.seconds();
+  } else {
+    // General nested trees (OR roots, AND over OR groups, ...): the
+    // recursive decoded evaluator, ranked by (tf desc, doc id asc).
+    const WallTimer score_timer;
+    bool degraded = false;
+    auto acc = eval_node(root, snap, snapshot_id, deadline, degraded);
+    if (!acc.has_value()) return acc.error();
+    if (degraded) response.degradation = Degradation::kDeadlinePartial;
+    response.hits = rank_by_tf(acc.value(), request.k, excluded);
+    response.timings.score_seconds = score_timer.seconds();
   }
-  response.timings.score_seconds = score_timer.seconds();
   response.timings.total_seconds = total_timer.seconds();
 
   if (response.degraded()) ins_->degraded.add();

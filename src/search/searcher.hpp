@@ -2,9 +2,10 @@
 /// \file searcher.hpp
 /// The one query facade. A Searcher binds a corpus view — a batch
 /// InvertedIndex + DocMap, a pinned LiveSnapshot, or a provider that
-/// follows a live writer — and answers QueryRequests of every mode through
-/// the SearchBackend interface, sharing across requests everything the old
-/// free functions re-derived per call:
+/// follows a live writer — and answers QueryRequests of every Query AST
+/// shape (search/query_ast.hpp) through the SearchBackend interface,
+/// sharing across requests everything the old free functions re-derived
+/// per call:
 ///
 ///   collection stats   N and avgdl computed once per snapshot (guarded by
 ///                      a snapshot-id check, not per query — the
@@ -20,8 +21,8 @@
 ///
 /// Construction goes through one factory: `Searcher::open(SearchSource)`
 /// returning Expected — the SearchSource factories name the corpus view
-/// (`batch`, `snapshot`, `live`) and replace the former four constructor
-/// overloads, which remain as deprecated shims for one release.
+/// (`batch`, `snapshot`, `live`). The former constructor overloads (and
+/// their deprecation shims) are gone; open() is the only entry point.
 ///
 /// Snapshot changes invalidate nothing explicitly: keys embed the snapshot
 /// id, so stale entries simply stop being reachable and age out.
@@ -55,10 +56,6 @@ namespace hetindex {
 /// thread.
 using SnapshotFn = std::function<std::shared_ptr<const LiveSnapshot>()>;
 
-/// Deprecated spelling of SnapshotFn, kept one release for the former
-/// `Searcher(SnapshotProvider)` constructor's callers.
-using SnapshotProvider [[deprecated("use SnapshotFn / SearchSource::live")]] = SnapshotFn;
-
 /// Names the corpus view a Searcher serves. Value type handed to
 /// Searcher::open(); exactly one factory below applies.
 class SearchSource {
@@ -90,6 +87,12 @@ struct SearcherOptions {
   std::size_t postings_cache_entries = 4096;  ///< decoded lists retained
   std::size_t result_cache_entries = 1024;    ///< finished queries retained
   std::size_t cache_shards = 8;               ///< lock granularity of both caches
+  /// Test AND/PHRASE/NEAR candidates against per-list Bloom chains (`.blm`
+  /// sidecars) before seeking follower cursors. Filters are one-way exact,
+  /// so toggling this never changes results — only decode work (the
+  /// search_blooms_rejected_total counter; the equivalence suite diffs
+  /// on/off for bit-identity).
+  bool use_bloom_filters = true;
 };
 
 class Searcher : public SearchBackend {
@@ -102,19 +105,6 @@ class Searcher : public SearchBackend {
   /// ShardReplica) shares ownership.
   [[nodiscard]] static Expected<std::shared_ptr<Searcher>> open(
       SearchSource source, SearcherOptions options = {});
-
-  // Deprecated constructor shims, kept one release. They keep the historical
-  // abort-on-bad-input behaviour; new code goes through open(), which
-  // refuses structurally.
-  [[deprecated("use Searcher::open(SearchSource::batch(index, docs))")]]
-  Searcher(const InvertedIndex& index, const DocMap& docs, SearcherOptions options = {});
-  [[deprecated("use Searcher::open(SearchSource::batch(index))")]]
-  explicit Searcher(const InvertedIndex& index, SearcherOptions options = {});
-  [[deprecated("use Searcher::open(SearchSource::snapshot(snap))")]]
-  explicit Searcher(std::shared_ptr<const LiveSnapshot> snapshot,
-                    SearcherOptions options = {});
-  [[deprecated("use Searcher::open(SearchSource::live(provider))")]]
-  explicit Searcher(SnapshotFn provider, SearcherOptions options = {});
   ~Searcher() override;
 
   Searcher(const Searcher&) = delete;
@@ -124,8 +114,12 @@ class Searcher : public SearchBackend {
 
   /// Answers one request against an absolute deadline that may predate
   /// this call — SearchService passes the deadline computed at submit time
-  /// so queue wait counts against the budget. Errors: kInvalidArgument (no
-  /// terms, or malformed scatter stats), kDeadlineExceeded (expired on
+  /// so queue wait counts against the budget. The request's Query AST
+  /// (effective_query: `request.query`, falling back to the deprecated
+  /// terms/mode pair) picks the executor; the response's `classified`
+  /// reports the derived QueryClass. Errors: kInvalidArgument (empty
+  /// query, malformed scatter stats, phrase/NEAR over a non-positional
+  /// index, ranked without a DocMap), kDeadlineExceeded (expired on
   /// entry).
   [[nodiscard]] Expected<QueryResponse> search(
       const QueryRequest& request,
@@ -158,7 +152,28 @@ class Searcher : public SearchBackend {
   [[nodiscard]] std::optional<std::uint32_t> term_max_tf(
       const std::shared_ptr<const LiveSnapshot>& snap, const std::string& term) const;
   [[nodiscard]] std::unique_ptr<PostingsCursor> open_term_cursor(
+      const std::shared_ptr<const LiveSnapshot>& snap, const std::string& term,
+      bool with_positions = false) const;
+  /// The term's Bloom rejection chain over the bound view; empty (never
+  /// rejects) when filters are disabled by options or absent on disk.
+  [[nodiscard]] BloomChain term_bloom_chain(
       const std::shared_ptr<const LiveSnapshot>& snap, const std::string& term) const;
+  /// Positional lookup over the bound view (uncached — positional lists
+  /// are only pulled for the phrase/NEAR fallback evaluator).
+  [[nodiscard]] std::optional<QueryPostings> lookup_positional(
+      const std::shared_ptr<const LiveSnapshot>& snap, const std::string& term) const;
+  /// Recursive decoded evaluator for nested trees (see searcher.cpp).
+  [[nodiscard]] Expected<QueryPostings> eval_node(
+      const QueryNode& node, const std::shared_ptr<const LiveSnapshot>& snap,
+      std::uint64_t snapshot_id,
+      const std::optional<std::chrono::steady_clock::time_point>& deadline,
+      bool& degraded) const;
+  [[nodiscard]] Expected<QueryPostings> eval_conjunction(
+      const QueryNode& root, const std::shared_ptr<const LiveSnapshot>& snap,
+      const std::optional<std::chrono::steady_clock::time_point>& deadline,
+      const TombstoneSet* excluded, bool& degraded) const;
+
+  SearcherOptions options_;
 
   // Exactly one source is active: (index_, docs_) or provider_.
   const InvertedIndex* index_ = nullptr;

@@ -14,24 +14,31 @@
 #include <vector>
 
 #include "postings/ranking.hpp"
+#include "search/query_ast.hpp"
 
 namespace hetindex {
 
-/// How the terms combine.
+/// How the terms of the deprecated flat request form combine. Superseded
+/// by the Query AST (query_ast.hpp), whose root operator expresses the
+/// same three shapes plus phrase/proximity; kept one release so legacy
+/// QueryRequest::mode call sites keep compiling.
 enum class QueryMode {
   kRanked,       ///< BM25 top-k, any matching term contributes (default)
   kConjunctive,  ///< docs containing every term, ranked by summed tf
   kDisjunctive,  ///< docs containing any term, ranked by summed tf
 };
 
-/// Stable lowercase identifier for logs and CLI flags.
+/// Stable lowercase identifier for logs and CLI flags. Total: any
+/// out-of-range value (a stale serialized int, a miscast) reads as
+/// "unknown" instead of falling off the switch. Names match
+/// query_class_name() for the three classes both can express.
 constexpr const char* query_mode_name(QueryMode mode) {
   switch (mode) {
     case QueryMode::kRanked: return "ranked";
     case QueryMode::kConjunctive: return "conjunctive";
     case QueryMode::kDisjunctive: return "disjunctive";
+    default: return "unknown";
   }
-  return "unknown";
 }
 
 /// How complete a response is. PR 4 conflated every partial answer in one
@@ -65,14 +72,30 @@ constexpr const char* degradation_name(Degradation d) {
 struct ScatterStats {
   std::uint64_t n_docs = 0;            ///< live documents, cluster-wide
   double avgdl = 0;                    ///< global mean tokens per live doc
-  std::vector<std::uint64_t> term_dfs; ///< raw df per request term (parallel)
+  /// Raw df per query leaf term, parallel to Query::collect_terms() order
+  /// (for a legacy flat request that order equals the terms vector).
+  std::vector<std::uint64_t> term_dfs;
 };
 
-/// One query. Terms must already be normalized (see normalize_term);
-/// duplicates are honored, not deduplicated — a repeated term scores twice,
-/// matching the historical bm25_query behaviour.
+/// One query. The AST (`query`) is the request surface: build it with
+/// parse_query("fast \"inverted files\" AND gpu") or the Query factories.
+/// Leaf terms must already be normalized (parse_query normalizes for you;
+/// the factories don't — see normalize_term); duplicates are honored, not
+/// deduplicated — a repeated term scores twice, matching the historical
+/// bm25_query behaviour.
+// The pragma region silences the deprecation warnings GCC raises while
+// synthesizing QueryRequest's own special members (they copy the
+// deprecated fields); uses at call sites still warn.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 struct QueryRequest {
+  /// The structured query. When empty (default-constructed), backends fall
+  /// back to the deprecated terms/mode pair below via effective_query() —
+  /// a one-release shim.
+  Query query;
+  [[deprecated("build a Query AST (QueryRequest::query) instead")]]
   std::vector<std::string> terms;
+  [[deprecated("the Query AST root expresses the mode; see query_ast.hpp")]]
   QueryMode mode = QueryMode::kRanked;
   std::size_t k = 10;
   /// Execution budget; zero means no deadline. The clock starts when the
@@ -95,6 +118,7 @@ struct QueryRequest {
   /// part of the cache key, and a cached local-stats answer would be wrong.
   std::shared_ptr<const ScatterStats> scatter;
 };
+#pragma GCC diagnostic pop
 
 /// Where the wall time of one request went, in seconds.
 struct QueryTimings {
@@ -112,6 +136,11 @@ struct QueryResponse {
   /// responses are never cached.
   Degradation degradation = Degradation::kComplete;
   [[nodiscard]] bool degraded() const { return degradation != Degradation::kComplete; }
+  /// The class the query executed as (derived from the AST by the backend
+  /// that answered) — lets callers bucket latency per class without
+  /// re-deriving it from the request.
+  [[nodiscard]] QueryClass query_class() const { return classified; }
+  QueryClass classified = QueryClass::kRanked;  ///< set by the backend
   bool from_cache = false;  ///< served verbatim from the result cache
   /// Identity of the snapshot that answered (0 for a batch index; 0 for a
   /// cluster response, which merges many snapshots).

@@ -285,7 +285,7 @@ void expect_identical_rankings(const Searcher& searcher,
                                std::size_t k) {
   for (const auto& terms : queries) {
     QueryRequest fast;
-    fast.terms = terms;
+    fast.query = Query::bag(terms);
     fast.k = k;
     fast.use_result_cache = false;
     QueryRequest slow = fast;
@@ -483,7 +483,7 @@ TEST(BlockMax, SkipsBlocksOnPrunableWorkload) {
   const Searcher& searcher = *searcher_ptr;
 
   QueryRequest request;
-  request.terms = {normalize_term("rarebird"), normalize_term("common")};
+  request.query = Query::bag({normalize_term("rarebird"), normalize_term("common")});
   request.k = 1;
   request.use_result_cache = false;
   const auto pruned = searcher.search(request);
@@ -504,8 +504,7 @@ TEST(BlockMax, SkipsBlocksOnPrunableWorkload) {
   // The conjunctive cursor intersection skips the same way: the rare
   // driver makes the common follower leap whole blocks.
   QueryRequest conj;
-  conj.terms = request.terms;
-  conj.mode = QueryMode::kConjunctive;
+  conj.query = Query::conjunction({normalize_term("rarebird"), normalize_term("common")});
   conj.k = 5;
   ASSERT_TRUE(searcher.search(conj).has_value());
   EXPECT_GT(searcher.metrics().snapshot().counter("search_blocks_skipped_total"),

@@ -222,22 +222,23 @@ void twin_ingest(TwinStack& stack, std::size_t count, std::uint32_t seed) {
 
 TwinStack make_twins(PartitionStrategy strategy, std::uint32_t shards,
                      std::uint32_t replicas, std::uint32_t seed,
-                     std::size_t ingest = 10000) {
+                     std::size_t ingest = 10000, bool positional = false) {
   TwinStack stack;
   stack.corpus_dir = std::make_unique<TempDir>("corpus");
   stack.cluster_dir = std::make_unique<TempDir>("cluster");
   stack.union_dir = std::make_unique<TempDir>("union");
   stack.corpus = make_corpus(stack.corpus_dir->path(), 64 << 10, seed);
 
+  IndexWriterOptions wopts = twin_writer_options();
+  wopts.parser.record_positions = positional;
   ClusterOptions copts;
   copts.strategy = strategy;
   copts.shards = shards;
   copts.replicas = replicas;
   copts.block_docs = 8;  // small blocks so several land on every shard
-  copts.writer = twin_writer_options();
+  copts.writer = wopts;
   stack.cluster.emplace(Cluster::open(stack.cluster_dir->path(), copts).value());
-  stack.unioned.emplace(
-      IndexWriter::open(stack.union_dir->path(), twin_writer_options()).value());
+  stack.unioned.emplace(IndexWriter::open(stack.union_dir->path(), wopts).value());
 
   twin_ingest(stack, ingest, seed ^ 0x5EED);
   [&] {
@@ -260,18 +261,17 @@ void expect_bit_identical(const SearchBackend& router, const SearchBackend& orac
                           const std::vector<std::vector<std::string>>& queries,
                           std::optional<std::uint32_t> fanout) {
   struct Variant {
-    QueryMode mode;
+    Query (*make)(std::vector<std::string>);
     bool exhaustive;
   };
-  const Variant variants[] = {{QueryMode::kRanked, false},
-                              {QueryMode::kRanked, true},
-                              {QueryMode::kConjunctive, false},
-                              {QueryMode::kDisjunctive, false}};
+  const Variant variants[] = {{&Query::bag, false},
+                              {&Query::bag, true},
+                              {&Query::conjunction, false},
+                              {&Query::disjunction, false}};
   for (const auto& terms : queries) {
     for (const auto& v : variants) {
       QueryRequest request;
-      request.terms = terms;
-      request.mode = v.mode;
+      request.query = v.make(terms);
       request.exhaustive = v.exhaustive;
       request.k = 10;
       request.use_result_cache = false;
@@ -286,13 +286,15 @@ void expect_bit_identical(const SearchBackend& router, const SearchBackend& orac
         EXPECT_GE(a.value().shards_total, 1u);
       }
       EXPECT_EQ(a.value().shards_answered, a.value().shards_total);
+      const char* klass = query_class_name(request.query.query_class());
+      EXPECT_EQ(a.value().query_class(), request.query.query_class());
       ASSERT_EQ(a.value().hits.size(), b.value().hits.size())
-          << query_mode_name(v.mode) << (v.exhaustive ? "/exhaustive" : "");
+          << klass << (v.exhaustive ? "/exhaustive" : "");
       for (std::size_t i = 0; i < a.value().hits.size(); ++i) {
         EXPECT_EQ(a.value().hits[i].doc_id, b.value().hits[i].doc_id)
-            << query_mode_name(v.mode) << " rank " << i;
+            << klass << " rank " << i;
         EXPECT_EQ(a.value().hits[i].score, b.value().hits[i].score)
-            << query_mode_name(v.mode) << " rank " << i;
+            << klass << " rank " << i;
       }
     }
   }
@@ -327,6 +329,84 @@ TEST_P(ClusterEquivalence, BitIdenticalToUnionAcrossMutationsAndCompaction) {
   ASSERT_TRUE(stack.cluster->compact_now().has_value());
   ASSERT_TRUE(stack.unioned->compact_now().has_value());
   expect_bit_identical(*router, *oracle, queries, fanout);
+}
+
+TEST_P(ClusterEquivalence, PhraseAndNearBitIdenticalToUnionOracle) {
+  // Positional twins: every partition strategy must answer phrase and
+  // NEAR queries exactly like a single-node build of the union corpus —
+  // document/block shards verify locally (each shard holds its docs'
+  // positions whole), the term strategy fetches owner lists and verifies
+  // centrally at the router.
+  auto stack = make_twins(GetParam(), 3, 1, 0xFA5E, 10000, /*positional=*/true);
+  const auto router = stack.cluster->make_router();
+  const auto oracle =
+      Searcher::open(SearchSource::live(
+                         [w = &*stack.unioned] { return w->snapshot(); }))
+          .value();
+
+  // Operand pairs: adjacent tokens from real documents (likely matches)
+  // interleaved with random vocabulary draws (mostly misses).
+  std::mt19937 rng(0x9A5E);
+  const auto adjacent_pair = [&]() -> std::vector<std::string> {
+    for (int attempt = 0; attempt < 64; ++attempt) {
+      const auto& body = stack.corpus.docs[rng() % stack.corpus.docs.size()].body;
+      std::vector<std::string> tokens;
+      std::string token;
+      for (const char c : body) {
+        if (c == ' ' || c == '\n' || c == '\t') {
+          if (!token.empty()) tokens.push_back(std::move(token));
+          token.clear();
+        } else {
+          token += c;
+        }
+      }
+      if (!token.empty()) tokens.push_back(std::move(token));
+      if (tokens.size() < 2) continue;
+      const std::size_t at = rng() % (tokens.size() - 1);
+      const auto a = normalize_term(tokens[at]);
+      const auto b = normalize_term(tokens[at + 1]);
+      if (!a.empty() && !b.empty()) return {a, b};
+    }
+    return {stack.vocab[rng() % stack.vocab.size()],
+            stack.vocab[rng() % stack.vocab.size()]};
+  };
+
+  std::size_t matched = 0;
+  for (int i = 0; i < 36; ++i) {
+    std::vector<std::string> terms =
+        i % 2 == 0 ? adjacent_pair()
+                   : std::vector<std::string>{stack.vocab[rng() % stack.vocab.size()],
+                                              stack.vocab[rng() % stack.vocab.size()]};
+    Query query;
+    switch (i % 3) {
+      case 0: query = Query::phrase(terms); break;
+      case 1: query = Query::near(terms, 1 + i % 4); break;
+      default:
+        // Mixed conjunction: phrase constraint plus a plain term.
+        query = Query::and_of({Query::phrase(terms),
+                               Query::term(stack.vocab[rng() % stack.vocab.size()])});
+        break;
+    }
+    QueryRequest request;
+    request.query = query;
+    request.k = 20;
+    request.use_result_cache = false;
+    const auto a = router->search(request);
+    const auto b = oracle->search(request);
+    ASSERT_TRUE(a.has_value()) << a.error().to_string();
+    ASSERT_TRUE(b.has_value()) << b.error().to_string();
+    EXPECT_EQ(a.value().degradation, Degradation::kComplete);
+    EXPECT_EQ(a.value().query_class(), query.query_class());
+    ASSERT_EQ(a.value().hits.size(), b.value().hits.size()) << query.to_string();
+    for (std::size_t r = 0; r < a.value().hits.size(); ++r) {
+      EXPECT_EQ(a.value().hits[r].doc_id, b.value().hits[r].doc_id)
+          << query.to_string() << " rank " << r;
+      EXPECT_EQ(a.value().hits[r].score, b.value().hits[r].score)
+          << query.to_string() << " rank " << r;
+    }
+    matched += a.value().hits.size();
+  }
+  EXPECT_GT(matched, 0u);  // half the workload comes from real adjacencies
 }
 
 INSTANTIATE_TEST_SUITE_P(AllStrategies, ClusterEquivalence,
@@ -370,7 +450,7 @@ TEST(ClusterFailover, WholeShardOutageDegradesToShardPartialWithinDeadline) {
   stack.cluster->shard(0).replica(0).set_down(true);
 
   QueryRequest request;
-  request.terms = sample_queries(stack.vocab, 1, 31)[0];
+  request.query = Query::bag(sample_queries(stack.vocab, 1, 31)[0]);
   request.k = 10;
   request.use_result_cache = false;
   request.timeout = 500ms;
@@ -401,7 +481,7 @@ TEST(ClusterFailover, SheddingClassifiesShedPartialAndDemotes) {
   stack.cluster->shard(1).replica(0).force_shed(true);
 
   QueryRequest request;
-  request.terms = sample_queries(stack.vocab, 1, 41)[0];
+  request.query = Query::bag(sample_queries(stack.vocab, 1, 41)[0]);
   request.use_result_cache = false;
 
   for (int i = 0; i < 2; ++i) {  // two failures inside the window → demotion
@@ -420,7 +500,7 @@ TEST(ClusterRouter, RejectsCallerSuppliedScatterStats) {
   auto stack = make_twins(PartitionStrategy::kDocument, 2, 1, 0x5CA7);
   const auto router = stack.cluster->make_router();
   QueryRequest request;
-  request.terms = {stack.vocab.front()};
+  request.query = Query::term(stack.vocab.front());
   request.scatter = std::make_shared<ScatterStats>();
   const auto response = router->search(request);
   ASSERT_FALSE(response.has_value());
@@ -504,9 +584,10 @@ TEST(ClusterRace, RouterQueriesRaceLiveMutation) {
       std::mt19937 rng(200 + c);
       while (!done.load(std::memory_order_relaxed)) {
         QueryRequest request;
-        request.terms = queries[rng() % queries.size()];
+        request.query = rng() % 2 == 0
+                            ? Query::disjunction(queries[rng() % queries.size()])
+                            : Query::bag(queries[rng() % queries.size()]);
         request.use_result_cache = false;
-        if (rng() % 2 == 0) request.mode = QueryMode::kDisjunctive;
         const auto result = router->search(request);
         // Under concurrent mutation any well-formed outcome is legal; what
         // TSan is here for is the snapshot handoff between router fan-out

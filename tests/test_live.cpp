@@ -459,7 +459,7 @@ TEST(LiveMutable, MemtableDocsSearchableBeforeAnyFlush) {
   ASSERT_EQ(w.snapshot()->segment_count(), 0u);  // nothing hit disk yet
 
   QueryRequest req;
-  req.terms = {normalize_term("zebra")};
+  req.query = Query::term(normalize_term("zebra"));
   const auto resp = searcher.search(req);
   ASSERT_TRUE(resp.has_value());
   ASSERT_EQ(resp.value().hits.size(), 1u);
@@ -499,23 +499,27 @@ TEST(LiveMutable, DeleteHidesDocFromEveryModeAndTheResultCache) {
   const auto searcher_ptr =
       Searcher::open(SearchSource::live([&w] { return w.snapshot(); })).value();
   const Searcher& searcher = *searcher_ptr;
-  const auto run = [&](QueryMode mode, bool exhaustive) {
+  const auto run = [&](Query (*make)(std::vector<std::string>), bool exhaustive) {
     QueryRequest req;
-    req.terms = {normalize_term("apple"), normalize_term("banana")};
-    req.mode = mode;
+    req.query = make({normalize_term("apple"), normalize_term("banana")});
     req.exhaustive = exhaustive;
     auto resp = searcher.search(req);
     EXPECT_TRUE(resp.has_value());
     return std::move(resp).value();
   };
-  const std::vector<QueryMode> modes = {QueryMode::kRanked, QueryMode::kConjunctive,
-                                        QueryMode::kDisjunctive};
+  struct Mode {
+    const char* name;
+    Query (*make)(std::vector<std::string>);
+  };
+  const std::vector<Mode> modes = {{"bag", &Query::bag},
+                                   {"conjunction", &Query::conjunction},
+                                   {"disjunction", &Query::disjunction}};
   // Warm the result cache with every mode while all four docs are alive.
-  for (const auto mode : modes) {
-    const auto resp = run(mode, /*exhaustive=*/false);
+  for (const auto& mode : modes) {
+    const auto resp = run(mode.make, /*exhaustive=*/false);
     bool saw = false;
     for (const auto& hit : resp.hits) saw = saw || hit.doc_id == 1;
-    EXPECT_TRUE(saw) << query_mode_name(mode);
+    EXPECT_TRUE(saw) << mode.name;
   }
 
   // Delete a flushed doc and a memtable-only doc. Both must vanish from
@@ -524,13 +528,13 @@ TEST(LiveMutable, DeleteHidesDocFromEveryModeAndTheResultCache) {
   ASSERT_TRUE(w.delete_document(1).has_value());
   ASSERT_TRUE(w.delete_document(3).has_value());
   EXPECT_EQ(w.deleted_docs(), 2u);
-  for (const auto mode : modes) {
+  for (const auto& mode : modes) {
     for (const bool exhaustive : {false, true}) {
-      const auto resp = run(mode, exhaustive);
-      EXPECT_FALSE(resp.hits.empty()) << query_mode_name(mode);
+      const auto resp = run(mode.make, exhaustive);
+      EXPECT_FALSE(resp.hits.empty()) << mode.name;
       for (const auto& hit : resp.hits) {
-        EXPECT_NE(hit.doc_id, 1u) << query_mode_name(mode) << " ex=" << exhaustive;
-        EXPECT_NE(hit.doc_id, 3u) << query_mode_name(mode) << " ex=" << exhaustive;
+        EXPECT_NE(hit.doc_id, 1u) << mode.name << " ex=" << exhaustive;
+        EXPECT_NE(hit.doc_id, 3u) << mode.name << " ex=" << exhaustive;
       }
     }
   }
@@ -565,11 +569,11 @@ TEST(LiveMutable, UpdateReplacesDocumentUnderANewId) {
   const auto searcher_ptr = Searcher::open(SearchSource::snapshot(snap)).value();
   const Searcher& searcher = *searcher_ptr;
   QueryRequest req;
-  req.terms = {normalize_term("stale")};
+  req.query = Query::term(normalize_term("stale"));
   auto resp = searcher.search(req);
   ASSERT_TRUE(resp.has_value());
   EXPECT_TRUE(resp.value().hits.empty());
-  req.terms = {normalize_term("fresh")};
+  req.query = Query::term(normalize_term("fresh"));
   resp = searcher.search(req);
   ASSERT_TRUE(resp.has_value());
   ASSERT_EQ(resp.value().hits.size(), 1u);
@@ -650,23 +654,24 @@ TEST(LiveMutable, RandomizedAddDeleteUpdateMatchesBruteForce) {
     // ranked mode is additionally diffed exhaustive-vs-pruned.
     for (int q = 0; q < 3; ++q) {
       QueryRequest req;
-      req.terms = {normalize_term(vocab[rng() % vocab.size()]),
-                   normalize_term(vocab[rng() % vocab.size()])};
-      if (req.terms[0] == req.terms[1]) req.terms.pop_back();
+      std::vector<std::string> pair = {normalize_term(vocab[rng() % vocab.size()]),
+                                       normalize_term(vocab[rng() % vocab.size()])};
+      if (pair[0] == pair[1]) pair.pop_back();
       req.k = 1u << 20;  // everything: the whole ranking must match
       req.use_result_cache = false;
       for (const bool conjunctive : {true, false}) {
-        req.mode = conjunctive ? QueryMode::kConjunctive : QueryMode::kDisjunctive;
+        req.query = conjunctive ? Query::conjunction(pair) : Query::disjunction(pair);
         const auto resp = searcher.search(req);
         ASSERT_TRUE(resp.has_value());
-        const auto expected = brute_force_tf(ref, req.terms, conjunctive, req.k);
-        ASSERT_EQ(resp.value().hits.size(), expected.size()) << query_mode_name(req.mode);
+        const auto expected = brute_force_tf(ref, pair, conjunctive, req.k);
+        ASSERT_EQ(resp.value().hits.size(), expected.size())
+            << (conjunctive ? "conjunction" : "disjunction");
         for (std::size_t i = 0; i < expected.size(); ++i) {
           EXPECT_EQ(resp.value().hits[i].doc_id, expected[i].doc_id) << i;
           EXPECT_EQ(resp.value().hits[i].score, expected[i].score) << i;
         }
       }
-      req.mode = QueryMode::kRanked;
+      req.query = Query::bag(pair);
       req.k = 16;
       req.exhaustive = true;
       const auto exhaustive = searcher.search(req);
@@ -785,8 +790,8 @@ TEST(LiveMutable, ReclaimedIndexRanksBitIdenticallyToFreshBuildOfSurvivors) {
   std::mt19937 rng(7);
   for (int q = 0; q < 24; ++q) {
     QueryRequest req;
-    req.terms = {terms[rng() % terms.size()], terms[rng() % terms.size()],
-                 terms[rng() % terms.size()]};
+    req.query = Query::bag({terms[rng() % terms.size()], terms[rng() % terms.size()],
+                            terms[rng() % terms.size()]});
     req.k = 10;
     for (const bool exhaustive : {false, true}) {
       req.exhaustive = exhaustive;
@@ -848,8 +853,10 @@ TEST(LiveConcurrency, SearchesRaceDeletesFlushAndCompaction) {
       });
       if (terms.empty()) continue;
       QueryRequest req;
-      req.terms = {terms[rng() % terms.size()], terms[rng() % terms.size()]};
-      req.mode = rng() % 2 == 0 ? QueryMode::kRanked : QueryMode::kDisjunctive;
+      std::vector<std::string> pair = {terms[rng() % terms.size()],
+                                       terms[rng() % terms.size()]};
+      req.query = rng() % 2 == 0 ? Query::bag(std::move(pair))
+                                 : Query::disjunction(std::move(pair));
       const auto resp = searcher.search(req);
       EXPECT_TRUE(resp.has_value());
       answered.fetch_add(1, std::memory_order_relaxed);

@@ -132,8 +132,7 @@ TEST_F(QueryIndexFixture, ConjunctiveModeIntersects) {
   const auto searcher_ptr = Searcher::open(SearchSource::batch(index)).value();
   const Searcher& searcher = *searcher_ptr;
   QueryRequest request;
-  request.mode = QueryMode::kConjunctive;
-  request.terms = {normalize_term("apple"), normalize_term("banana")};
+  request.query = Query::conjunction({normalize_term("apple"), normalize_term("banana")});
   const auto r = searcher.search(request);
   ASSERT_TRUE(r.has_value());
   std::vector<std::uint32_t> docs;
@@ -141,8 +140,8 @@ TEST_F(QueryIndexFixture, ConjunctiveModeIntersects) {
   std::sort(docs.begin(), docs.end());
   EXPECT_EQ(docs, (std::vector<std::uint32_t>{0, 1}));
 
-  request.terms = {normalize_term("apple"), normalize_term("banana"),
-                   normalize_term("cherry")};
+  request.query = Query::conjunction({normalize_term("apple"), normalize_term("banana"),
+                                      normalize_term("cherry")});
   const auto r3 = searcher.search(request);
   ASSERT_TRUE(r3.has_value());
   ASSERT_EQ(r3.value().hits.size(), 1u);
@@ -154,13 +153,12 @@ TEST_F(QueryIndexFixture, ConjunctiveModeMissingTerm) {
   const auto searcher_ptr = Searcher::open(SearchSource::batch(index)).value();
   const Searcher& searcher = *searcher_ptr;
   QueryRequest request;
-  request.mode = QueryMode::kConjunctive;
-  request.terms = {normalize_term("apple"), "zzzznope"};
+  request.query = Query::conjunction({normalize_term("apple"), "zzzznope"});
   const auto r = searcher.search(request);
   ASSERT_TRUE(r.has_value());
   EXPECT_TRUE(r.value().hits.empty());  // any absent term empties the AND
 
-  request.terms = {};
+  request.query = Query();
   const auto empty = searcher.search(request);
   ASSERT_FALSE(empty.has_value());
   EXPECT_EQ(empty.error().code, ErrorCode::kInvalidArgument);

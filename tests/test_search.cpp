@@ -24,7 +24,7 @@ std::vector<ScoredDoc> ranked(const InvertedIndex& index, const DocMap& map,
   const auto searcher_ptr = Searcher::open(SearchSource::batch(index, map)).value();
   const Searcher& searcher = *searcher_ptr;
   QueryRequest request;
-  request.terms = std::move(terms);
+  request.query = Query::bag(std::move(terms));
   request.k = k;
   auto r = searcher.search(request);
   if (!r.has_value()) return {};
@@ -153,7 +153,8 @@ TEST_F(SearchFixture, UnknownTermsScoreNothing) {
   EXPECT_TRUE(ranked(index, map, {"zzzznope"}, 10).empty());
   // Termless requests are a caller error now, not a silent empty answer.
   const auto searcher = Searcher::open(SearchSource::batch(index, map)).value();
-  const auto r = searcher->search(QueryRequest{});
+  QueryRequest empty_request;
+  const auto r = searcher->search(empty_request);
   ASSERT_FALSE(r.has_value());
   EXPECT_EQ(r.error().code, ErrorCode::kInvalidArgument);
 }

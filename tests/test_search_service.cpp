@@ -98,7 +98,7 @@ void expect_identical_rankings(const Searcher& searcher,
                                std::size_t k) {
   for (const auto& terms : queries) {
     QueryRequest fast;
-    fast.terms = terms;
+    fast.query = Query::bag(terms);
     fast.k = k;
     fast.use_result_cache = false;
     QueryRequest slow = fast;
@@ -188,8 +188,7 @@ TEST_F(BatchServeFixture, ConjunctiveCursorsMatchDecodedIntersection) {
       joint = joint ? postings_and(*joint, p.value()) : std::move(p);
     }
     QueryRequest conj;
-    conj.terms = terms;
-    conj.mode = QueryMode::kConjunctive;
+    conj.query = Query::conjunction(terms);
     conj.k = static_cast<std::size_t>(index.term_count());  // no truncation
     const auto response = searcher.search(conj);
     ASSERT_TRUE(response.has_value());
@@ -251,7 +250,7 @@ TEST_F(BatchServeFixture, CollectionStatsComputedOncePerSnapshot) {
   const auto queries = sample_queries(batch_vocabulary(index), 25, 6);
   for (const auto& terms : queries) {
     QueryRequest request;
-    request.terms = terms;
+    request.query = Query::bag(terms);
     request.use_result_cache = false;
     ASSERT_TRUE(searcher.search(request).has_value());
   }
@@ -283,7 +282,7 @@ TEST(LiveServe, StatsRecomputeOnlyOnSnapshotChange) {
     return false;
   });
   QueryRequest request;
-  request.terms = {term};
+  request.query = Query::term(term);
   request.use_result_cache = false;
   for (int i = 0; i < 5; ++i) ASSERT_TRUE(searcher.search(request).has_value());
   EXPECT_EQ(searcher.metrics().snapshot().counter("search_stats_recomputes_total"), 1u);
@@ -313,8 +312,8 @@ TEST(LiveServe, ResultCacheHitsAndInvalidatesAcrossSnapshots) {
       Searcher::open(SearchSource::live([&w] { return w.snapshot(); })).value();
   const Searcher& searcher = *searcher_ptr;
   QueryRequest request;
-  request.terms = {"zebrasafari"};  // found only in the doc added later
-  request.mode = QueryMode::kDisjunctive;
+  // Found only in the doc added later.
+  request.query = Query::disjunction({"zebrasafari"});
 
   const auto miss = searcher.search(request);
   ASSERT_TRUE(miss.has_value());
@@ -356,8 +355,7 @@ TEST_F(BatchServeFixture, PostingsCacheServesRepeatedTerms) {
   QueryRequest request;
   // Disjunctive mode: a decoded mode — the cursor modes (pruned ranked,
   // conjunctive) deliberately bypass this cache.
-  request.mode = QueryMode::kDisjunctive;
-  request.terms = {batch_vocabulary(index).front(), "zzzznope"};
+  request.query = Query::disjunction({batch_vocabulary(index).front(), "zzzznope"});
   request.use_result_cache = false;  // isolate the postings cache
   ASSERT_TRUE(searcher.search(request).has_value());
   ASSERT_TRUE(searcher.search(request).has_value());
@@ -376,7 +374,7 @@ TEST_F(BatchServeFixture, ExpiredDeadlineRejectsBeforeExecution) {
   const auto searcher_ptr = Searcher::open(SearchSource::batch(index, docs)).value();
   const Searcher& searcher = *searcher_ptr;
   QueryRequest request;
-  request.terms = {batch_vocabulary(index).front()};
+  request.query = Query::term(batch_vocabulary(index).front());
   const auto result =
       searcher.search(request, std::chrono::steady_clock::now() - 1ms);
   ASSERT_FALSE(result.has_value());
@@ -390,9 +388,11 @@ TEST_F(BatchServeFixture, MidExecutionDeadlineDegradesAndSkipsCache) {
   const Searcher& searcher = *searcher_ptr;
   const auto vocab = batch_vocabulary(index);
   QueryRequest request;
+  std::vector<std::string> many_terms;
   for (std::size_t i = 0; i < 32 && i < vocab.size(); ++i) {
-    request.terms.push_back(vocab[i]);
+    many_terms.push_back(vocab[i]);
   }
+  request.query = Query::bag(std::move(many_terms));
   request.exhaustive = true;  // degrades between terms
   // A razor-thin deadline lands in one of three places depending on
   // timing; every landing must be handled. Retry until we see the
@@ -449,7 +449,7 @@ TEST(Admission, SaturatedQueueShedsAndQueuedDeadlineRejects) {
   SearchService service(std::move(searcher), service_opts);
 
   QueryRequest request;
-  request.terms = {term};
+  request.query = Query::term(term);
   auto blocked = service.submit(request);           // popped, blocks in provider
   while (service.queue_depth() != 0) std::this_thread::sleep_for(100us);
 
@@ -492,18 +492,17 @@ TEST(Facade, DoclessSearcherServesBooleanButRejectsRanked) {
   const Searcher& searcher = *searcher_ptr;  // no DocMap
 
   QueryRequest request;
-  request.terms = {batch_vocabulary(index).front()};
-  request.mode = QueryMode::kDisjunctive;
+  request.query = Query::disjunction({batch_vocabulary(index).front()});
   const auto boolean = searcher.search(request);
   ASSERT_TRUE(boolean.has_value());
   EXPECT_FALSE(boolean.value().hits.empty());
 
-  request.mode = QueryMode::kRanked;
+  request.query = Query::bag({batch_vocabulary(index).front()});
   const auto ranked = searcher.search(request);
   ASSERT_FALSE(ranked.has_value());
   EXPECT_EQ(ranked.error().code, ErrorCode::kInvalidArgument);
 
-  request.terms.clear();
+  request.query = Query();
   const auto empty = searcher.search(request);
   ASSERT_FALSE(empty.has_value());
   EXPECT_EQ(empty.error().code, ErrorCode::kInvalidArgument);
@@ -689,8 +688,13 @@ TEST(Concurrency, SearchesRaceLiveFlushAndCompaction) {
       std::mt19937 rng(100 + c);
       while (!done.load(std::memory_order_relaxed)) {
         QueryRequest request;
-        request.terms = {vocab[rng() % vocab.size()], vocab[rng() % vocab.size()]};
-        request.mode = static_cast<QueryMode>(rng() % 3);
+        std::vector<std::string> pair = {vocab[rng() % vocab.size()],
+                                         vocab[rng() % vocab.size()]};
+        switch (rng() % 3) {
+          case 0: request.query = Query::bag(std::move(pair)); break;
+          case 1: request.query = Query::conjunction(std::move(pair)); break;
+          default: request.query = Query::disjunction(std::move(pair)); break;
+        }
         request.k = 5;
         // Alternate direct facade calls and pooled submissions so both
         // paths race the writer.
