@@ -8,7 +8,10 @@
 #     writer, and the ShardRouter fan-out racing shard writers)
 #   - ASan+UBSan on the binary-format and serving tests (run files,
 #     segments, query path, MaxScore executor and caches) to catch
-#     overruns and UB in the decoders and the mmap reader
+#     overruns and UB in the decoders and the mmap reader. This tree is
+#     configured with HETINDEX_IO_URING=OFF so the Env-routed pread
+#     fallback of the ingest readahead path (io/async_reader.hpp) stays
+#     exercised under ASan even on io_uring-capable kernels
 #   - a fault-injection leg: the crash-consistency harness (trace-prefix
 #     replay of flush/delete/update/compaction commits + injected
 #     ENOSPC/EINTR/fsync faults, docs/DURABILITY.md) under ASan+UBSan,
@@ -23,7 +26,11 @@
 #     (ingest docs/s with and without concurrent memtable search load,
 #     docs/LIVE_INDEXING.md), and bench_cluster_scaling emits
 #     BENCH_cluster.json (router QPS/p99 vs shard count per partition
-#     strategy, docs/CLUSTER.md)
+#     strategy, docs/CLUSTER.md), and bench_build_presets emits
+#     BENCH_build.json (pinned-preset batch build: serialized vs readahead
+#     ingest read-phase throughput + bit-identity gate, EXPERIMENTS.md).
+#     The leg then fails if any BENCH_*.json carries a bench name that does
+#     not belong to its filename (stale-artifact guard)
 #
 # Each leg's wall-clock is reported in the summary at the end.
 #
@@ -63,18 +70,18 @@ if [[ "$run_tsan" == 1 ]]; then
   cmake -B build-tsan -S . -DHETINDEX_SANITIZE=thread \
         -DHETINDEX_BUILD_BENCH=OFF -DHETINDEX_BUILD_EXAMPLES=OFF \
         -DCMAKE_BUILD_TYPE=RelWithDebInfo
-  cmake --build build-tsan -j "$(nproc)" --target test_pipeline test_obs test_segment test_live test_search_service test_block_max test_query_ast test_cluster
-  ctest --test-dir build-tsan --output-on-failure -R '^(test_pipeline|test_obs|test_segment|test_live|test_search_service|test_block_max|test_query_ast|test_cluster)$'
+  cmake --build build-tsan -j "$(nproc)" --target test_pipeline test_obs test_segment test_live test_search_service test_block_max test_query_ast test_cluster test_parse test_ingest_faults
+  ctest --test-dir build-tsan --output-on-failure -R '^(test_pipeline|test_obs|test_segment|test_live|test_search_service|test_block_max|test_query_ast|test_cluster|test_parse|test_ingest_faults)$'
   leg_end "tsan"
 fi
 
 if [[ "$run_asan" == 1 ]]; then
   leg_begin
-  cmake -B build-asan -S . -DHETINDEX_SANITIZE=address \
+  cmake -B build-asan -S . -DHETINDEX_SANITIZE=address -DHETINDEX_IO_URING=OFF \
         -DHETINDEX_BUILD_BENCH=OFF -DHETINDEX_BUILD_EXAMPLES=OFF \
         -DCMAKE_BUILD_TYPE=RelWithDebInfo
-  cmake --build build-asan -j "$(nproc)" --target test_segment test_postings test_codec test_query_ops test_query_ast test_live test_search_service test_block_max test_cluster
-  ctest --test-dir build-asan --output-on-failure -R '^(test_segment|test_postings|test_codec|test_query_ops|test_query_ast|test_live|test_search_service|test_block_max|test_cluster)$'
+  cmake --build build-asan -j "$(nproc)" --target test_segment test_postings test_codec test_query_ops test_query_ast test_live test_search_service test_block_max test_cluster test_ingest_faults
+  ctest --test-dir build-asan --output-on-failure -R '^(test_segment|test_postings|test_codec|test_query_ops|test_query_ast|test_live|test_search_service|test_block_max|test_cluster|test_ingest_faults)$'
   leg_end "asan"
 fi
 
@@ -82,7 +89,7 @@ if [[ "$run_faults" == 1 ]]; then
   leg_begin
   # Reuses the ASan+UBSan tree: fault paths shake out lifetime bugs
   # (double-close, use-after-unmap) that a plain build would miss.
-  cmake -B build-asan -S . -DHETINDEX_SANITIZE=address \
+  cmake -B build-asan -S . -DHETINDEX_SANITIZE=address -DHETINDEX_IO_URING=OFF \
         -DHETINDEX_BUILD_BENCH=OFF -DHETINDEX_BUILD_EXAMPLES=OFF \
         -DCMAKE_BUILD_TYPE=RelWithDebInfo
   cmake --build build-asan -j "$(nproc)" --target test_crash_consistency
@@ -111,6 +118,29 @@ if [[ "$run_bench" == 1 ]]; then
   echo "bench leg: wrote BENCH_ingest.json"
   HETINDEX_BENCH_JSON="$PWD/BENCH_cluster.json" ./build/bench/bench_cluster_scaling
   echo "bench leg: wrote BENCH_cluster.json"
+  HETINDEX_BENCH_JSON="$PWD/BENCH_build.json" ./build/bench/bench_build_presets
+  echo "bench leg: wrote BENCH_build.json"
+
+  # Guard against stale artifacts: each BENCH_*.json must carry the bench
+  # name its producer stamps (a mismatch means a bench wrote to the wrong
+  # file, or a committed artifact predates a bench rename — both have
+  # happened). The mapping below is the single source of truth.
+  declare -A expected_bench=(
+    [BENCH_pruning.json]="block_pruning"
+    [BENCH_search.json]="search_qps"
+    [BENCH_ingest.json]="live_ingest"
+    [BENCH_cluster.json]="cluster_scaling"
+    [BENCH_build.json]="build"
+  )
+  for f in "${!expected_bench[@]}"; do
+    want="${expected_bench[$f]}"
+    got=$(sed -n 's/.*"bench": *"\([a-z_]*\)".*/\1/p' "$f" | head -1)
+    if [[ "$got" != "$want" ]]; then
+      echo "bench leg: FAIL — $f carries bench \"$got\", expected \"$want\" (stale artifact?)"
+      exit 1
+    fi
+  done
+  echo "bench leg: all BENCH_*.json bench fields match their filenames"
   leg_end "bench"
 fi
 

@@ -57,6 +57,16 @@ std::uint32_t container_header_doc_count(const std::uint8_t* file_bytes, std::si
   return r.u32();
 }
 
+Expected<std::uint32_t> container_try_header_doc_count(const std::uint8_t* file_bytes,
+                                                       std::size_t size) {
+  if (size < 8) return Error{ErrorCode::kCorrupt, "container file too small"};
+  ByteReader r(file_bytes, size);
+  if (r.u32() != kFileMagic) {
+    return Error{ErrorCode::kCorrupt, "not a hetindex container file"};
+  }
+  return r.u32();
+}
+
 std::vector<Document> container_decompress(const std::uint8_t* file_bytes, std::size_t size) {
   HET_CHECK_MSG(size >= 8, "container file too small");
   const auto docs = container_unpack(lz_decompress(file_bytes + 8, size - 8));

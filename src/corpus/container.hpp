@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "corpus/document.hpp"
+#include "util/error.hpp"
 
 namespace hetindex {
 
@@ -34,6 +35,12 @@ std::vector<Document> container_read(const std::string& path);
 /// decompression — the read scheduler needs it to assign doc-ID bases in
 /// file order).
 std::uint32_t container_header_doc_count(const std::uint8_t* file_bytes, std::size_t size);
+
+/// Non-aborting variant for the ingest path: kCorrupt instead of HET_CHECK
+/// when the buffer is too small or the magic is wrong, so a damaged file
+/// surfaces as a structured pipeline error rather than killing the process.
+Expected<std::uint32_t> container_try_header_doc_count(const std::uint8_t* file_bytes,
+                                                       std::size_t size);
 
 /// Decompresses an in-memory container file (header + LZ frame).
 std::vector<Document> container_decompress(const std::uint8_t* file_bytes, std::size_t size);

@@ -1,0 +1,542 @@
+#include "io/async_reader.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include "io/env.hpp"
+#include "util/timer.hpp"
+
+#if HETINDEX_IO_URING
+#include <fcntl.h>
+#include <linux/io_uring.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <unordered_map>
+#endif
+
+namespace hetindex::io {
+namespace {
+
+/// Chunk size of the Env-routed pread loop. Large enough that per-call
+/// overhead (and FaultEnv's per-call bookkeeping) is negligible, small
+/// enough that short-read clamps converge quickly.
+constexpr std::size_t kReadChunkBytes = 256u << 10;
+/// Consecutive transient failures tolerated per file before the read is a
+/// structured hard error. EINTR/EAGAIN/EIO bursts shorter than this are
+/// absorbed (and counted in io_retries_total).
+constexpr int kIngestReadRetries = 4;
+
+Error ingest_error(const std::string& path, int err) {
+  return Error{ErrorCode::kIo,
+               "ingest read failed: " + path + " (" + std::strerror(err) + ")"};
+}
+
+}  // namespace
+
+Expected<std::vector<std::uint8_t>> read_file_via_env(const std::string& path) {
+  auto fd_or = env().open_read(path);
+  if (!fd_or.has_value()) {
+    if (fd_or.error().code == ErrorCode::kUnsupported) return env().read_file(path);
+    return fd_or.error();
+  }
+  const int fd = fd_or.value();
+  struct FdCloser {
+    int fd;
+    ~FdCloser() { env().close_read(fd); }
+  } closer{fd};
+
+  auto size_or = env().fd_size(fd);
+  if (!size_or.has_value()) return size_or.error();
+  std::vector<std::uint8_t> data(static_cast<std::size_t>(size_or.value()));
+  std::size_t done = 0;
+  int consecutive_failures = 0;
+  while (done < data.size()) {
+    const std::size_t want = std::min(kReadChunkBytes, data.size() - done);
+    const long n = env().pread_some(fd, data.data() + done, want, done);
+    if (n < 0) {
+      const int err = errno;
+      const bool transient = err == EINTR || err == EAGAIN || err == EIO;
+      if (transient && ++consecutive_failures <= kIngestReadRetries) {
+        io_metrics().counter("io_retries_total").add();
+        continue;
+      }
+      return ingest_error(path, err);
+    }
+    if (n == 0) {
+      return Error{ErrorCode::kIo, "short read (file shrank?): " + path};
+    }
+    consecutive_failures = 0;
+    done += static_cast<std::size_t>(n);
+  }
+  return data;
+}
+
+// ------------------------------------------------------------ io_uring ring
+
+#if HETINDEX_IO_URING
+
+namespace {
+
+int sys_io_uring_setup(unsigned entries, io_uring_params* p) {
+  return static_cast<int>(syscall(__NR_io_uring_setup, entries, p));
+}
+
+int sys_io_uring_enter(int ring_fd, unsigned to_submit, unsigned min_complete,
+                       unsigned flags) {
+  return static_cast<int>(
+      syscall(__NR_io_uring_enter, ring_fd, to_submit, min_complete, flags, nullptr, 0));
+}
+
+/// One mmap'd raw ring (no liburing). Single submitter/reaper thread, so
+/// only the kernel-shared head/tail indices need atomic access.
+struct RawRing {
+  int ring_fd = -1;
+  unsigned entries = 0;
+  void* sq_ptr = nullptr;
+  std::size_t sq_bytes = 0;
+  void* cq_ptr = nullptr;  ///< == sq_ptr under IORING_FEAT_SINGLE_MMAP
+  std::size_t cq_bytes = 0;
+  io_uring_sqe* sqes = nullptr;
+  std::size_t sqes_bytes = 0;
+
+  unsigned* sq_head = nullptr;
+  unsigned* sq_tail = nullptr;
+  unsigned* sq_mask = nullptr;
+  unsigned* sq_array = nullptr;
+  unsigned* cq_head = nullptr;
+  unsigned* cq_tail = nullptr;
+  unsigned* cq_mask = nullptr;
+  io_uring_cqe* cqes = nullptr;
+
+  bool init(unsigned want_entries) {
+    io_uring_params params{};
+    ring_fd = sys_io_uring_setup(want_entries, &params);
+    if (ring_fd < 0) return false;
+    entries = params.sq_entries;
+
+    sq_bytes = params.sq_off.array + params.sq_entries * sizeof(unsigned);
+    cq_bytes = params.cq_off.cqes + params.cq_entries * sizeof(io_uring_cqe);
+    const bool single_mmap = (params.features & IORING_FEAT_SINGLE_MMAP) != 0;
+    if (single_mmap) sq_bytes = cq_bytes = std::max(sq_bytes, cq_bytes);
+
+    sq_ptr = ::mmap(nullptr, sq_bytes, PROT_READ | PROT_WRITE, MAP_SHARED | MAP_POPULATE,
+                    ring_fd, IORING_OFF_SQ_RING);
+    if (sq_ptr == MAP_FAILED) return fail();
+    if (single_mmap) {
+      cq_ptr = sq_ptr;
+    } else {
+      cq_ptr = ::mmap(nullptr, cq_bytes, PROT_READ | PROT_WRITE,
+                      MAP_SHARED | MAP_POPULATE, ring_fd, IORING_OFF_CQ_RING);
+      if (cq_ptr == MAP_FAILED) return fail();
+    }
+    sqes_bytes = params.sq_entries * sizeof(io_uring_sqe);
+    sqes = static_cast<io_uring_sqe*>(::mmap(nullptr, sqes_bytes, PROT_READ | PROT_WRITE,
+                                             MAP_SHARED | MAP_POPULATE, ring_fd,
+                                             IORING_OFF_SQES));
+    if (sqes == MAP_FAILED) return fail();
+
+    auto* sq = static_cast<std::uint8_t*>(sq_ptr);
+    sq_head = reinterpret_cast<unsigned*>(sq + params.sq_off.head);
+    sq_tail = reinterpret_cast<unsigned*>(sq + params.sq_off.tail);
+    sq_mask = reinterpret_cast<unsigned*>(sq + params.sq_off.ring_mask);
+    sq_array = reinterpret_cast<unsigned*>(sq + params.sq_off.array);
+    auto* cq = static_cast<std::uint8_t*>(cq_ptr);
+    cq_head = reinterpret_cast<unsigned*>(cq + params.cq_off.head);
+    cq_tail = reinterpret_cast<unsigned*>(cq + params.cq_off.tail);
+    cq_mask = reinterpret_cast<unsigned*>(cq + params.cq_off.ring_mask);
+    cqes = reinterpret_cast<io_uring_cqe*>(cq + params.cq_off.cqes);
+    return true;
+  }
+
+  bool fail() {
+    destroy();
+    return false;
+  }
+
+  void destroy() {
+    if (sqes != nullptr && sqes != MAP_FAILED) ::munmap(sqes, sqes_bytes);
+    if (cq_ptr != nullptr && cq_ptr != MAP_FAILED && cq_ptr != sq_ptr) {
+      ::munmap(cq_ptr, cq_bytes);
+    }
+    if (sq_ptr != nullptr && sq_ptr != MAP_FAILED) ::munmap(sq_ptr, sq_bytes);
+    if (ring_fd >= 0) ::close(ring_fd);
+    sqes = nullptr;
+    cq_ptr = sq_ptr = nullptr;
+    ring_fd = -1;
+  }
+
+  ~RawRing() { destroy(); }
+
+  /// Free submission slots (single submitter: relaxed tail, acquire head).
+  [[nodiscard]] unsigned sq_space() const {
+    const unsigned head = __atomic_load_n(sq_head, __ATOMIC_ACQUIRE);
+    return entries - (*sq_tail - head);
+  }
+
+  /// Queues one READ sqe (not yet visible to the kernel until push_tail).
+  void prep_read(int fd, void* buf, unsigned len, std::uint64_t offset,
+                 std::uint64_t user_data) {
+    const unsigned tail = *sq_tail;
+    const unsigned idx = tail & *sq_mask;
+    io_uring_sqe* sqe = &sqes[idx];
+    std::memset(sqe, 0, sizeof(*sqe));
+    sqe->opcode = IORING_OP_READ;
+    sqe->fd = fd;
+    sqe->addr = reinterpret_cast<std::uint64_t>(buf);
+    sqe->len = len;
+    sqe->off = offset;
+    sqe->user_data = user_data;
+    sq_array[idx] = idx;
+    __atomic_store_n(sq_tail, tail + 1, __ATOMIC_RELEASE);
+  }
+
+  /// Reaps completed cqes into `out`; returns how many.
+  template <typename Fn>
+  unsigned drain(Fn&& on_cqe) {
+    unsigned head = *cq_head;
+    const unsigned tail = __atomic_load_n(cq_tail, __ATOMIC_ACQUIRE);
+    unsigned n = 0;
+    while (head != tail) {
+      const io_uring_cqe& cqe = cqes[head & *cq_mask];
+      on_cqe(cqe);
+      ++head;
+      ++n;
+    }
+    __atomic_store_n(cq_head, head, __ATOMIC_RELEASE);
+    return n;
+  }
+};
+
+}  // namespace
+
+struct AsyncReader::UringState {
+  RawRing ring;
+};
+
+bool io_uring_available() {
+  static const bool available = [] {
+    RawRing probe;
+    return probe.init(2);
+  }();
+  return available;
+}
+
+#else  // !HETINDEX_IO_URING
+
+struct AsyncReader::UringState {};
+
+bool io_uring_available() { return false; }
+
+#endif
+
+// -------------------------------------------------------------- AsyncReader
+
+AsyncReader::AsyncReader(std::vector<std::string> files, AsyncReaderOptions options)
+    : files_(std::move(files)), opt_(options) {
+  opt_.prefetch_depth = std::max<std::size_t>(1, opt_.prefetch_depth);
+  opt_.batch_files = std::clamp<std::size_t>(opt_.batch_files, 1, opt_.prefetch_depth);
+  if (opt_.metrics != nullptr) {
+    inflight_gauge_ = &opt_.metrics->gauge("read_prefetch_inflight");
+    queue_wait_ = &opt_.metrics->time_counter("read_queue_wait_seconds_total");
+    uring_submits_ = &opt_.metrics->counter("io_uring_submits_total");
+  }
+
+  // Backend resolution: io_uring only when compiled in, runtime-usable and
+  // no Env override is installed — kernel-side reads are invisible to a
+  // FaultEnv (or any other seam consumer), so overrides force the pool.
+  const bool env_is_real = &env() == &real_env();
+  bool use_uring = false;
+#if HETINDEX_IO_URING
+  if (opt_.backend != ReadBackend::kThreadPool && env_is_real && io_uring_available()) {
+    ring_ = std::make_unique<UringState>();
+    unsigned entries = 2;
+    while (entries < opt_.prefetch_depth && entries < 128) entries <<= 1;
+    use_uring = ring_->ring.init(entries);
+    if (!use_uring) ring_.reset();
+  }
+#else
+  (void)env_is_real;
+#endif
+
+  if (use_uring) {
+    backend_ = ReadBackend::kIoUring;
+    workers_.emplace_back([this] { uring_loop(); });
+  } else {
+    backend_ = ReadBackend::kThreadPool;
+    const std::size_t n = std::min<std::size_t>(opt_.prefetch_depth, 8);
+    workers_.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) workers_.emplace_back([this] { pool_worker(); });
+  }
+}
+
+AsyncReader::~AsyncReader() {
+  {
+    std::scoped_lock lk(mu_);
+    cancelled_ = true;
+  }
+  worker_cv_.notify_all();
+  consumer_cv_.notify_all();
+  workers_.clear();  // joins
+}
+
+std::vector<std::uint64_t> AsyncReader::claim_batch(bool may_block,
+                                                    std::size_t in_flight) {
+  std::unique_lock lk(mu_);
+  const auto window_open = [&] {
+    return next_claim_ < files_.size() && !failed_ &&
+           next_claim_ - next_deliver_ < opt_.prefetch_depth;
+  };
+  if (may_block) {
+    worker_cv_.wait(lk, [&] {
+      return cancelled_ || failed_ || next_claim_ >= files_.size() || window_open();
+    });
+  }
+  std::vector<std::uint64_t> batch;
+  if (cancelled_) return batch;
+  while (batch.size() + in_flight < opt_.batch_files && window_open()) {
+    batch.push_back(next_claim_++);
+    if (inflight_gauge_ != nullptr) inflight_gauge_->add(1);
+  }
+  return batch;
+}
+
+void AsyncReader::publish(std::uint64_t seq, Slot slot) {
+  {
+    std::scoped_lock lk(mu_);
+    if (cancelled_) return;
+    if (slot.error.has_value()) failed_ = true;  // stop claiming new files
+    completed_.emplace(seq, std::move(slot));
+  }
+  consumer_cv_.notify_all();
+  worker_cv_.notify_all();
+}
+
+void AsyncReader::pool_worker() {
+  for (;;) {
+    const auto batch = claim_batch(/*may_block=*/true, /*in_flight=*/0);
+    if (batch.empty()) {
+      std::scoped_lock lk(mu_);
+      if (cancelled_ || failed_ || next_claim_ >= files_.size()) return;
+      continue;
+    }
+    for (const auto seq : batch) {
+      WallTimer timer;
+      auto data = read_file_via_env(files_[seq]);
+      Slot slot;
+      slot.read_seconds = timer.seconds();
+      if (data.has_value()) {
+        slot.bytes = std::move(data).value();
+      } else {
+        slot.error = data.error();
+      }
+      publish(seq, std::move(slot));
+    }
+  }
+}
+
+#if HETINDEX_IO_URING
+
+void AsyncReader::uring_loop() {
+  struct Inflight {
+    int fd = -1;
+    std::vector<std::uint8_t> buf;
+    std::uint64_t done = 0;  ///< bytes completed so far
+    int retries = 0;
+    WallTimer timer;
+  };
+  std::unordered_map<std::uint64_t, Inflight> inflight;
+  RawRing& ring = ring_->ring;
+  unsigned to_submit = 0;
+
+  const auto publish_error = [&](std::uint64_t seq, Inflight& r, Error e) {
+    if (r.fd >= 0) ::close(r.fd);
+    Slot slot;
+    slot.read_seconds = r.timer.seconds();
+    slot.error = std::move(e);
+    publish(seq, std::move(slot));
+  };
+
+  for (;;) {
+    // Claim new files while the ring has room; block only when idle.
+    const bool idle = inflight.empty() && to_submit == 0;
+    if (ring.sq_space() > 0) {
+      const auto batch = claim_batch(/*may_block=*/idle, inflight.size());
+      if (idle && batch.empty()) {
+        std::scoped_lock lk(mu_);
+        if (cancelled_ || failed_ || next_claim_ >= files_.size()) break;
+      }
+      for (const auto seq : batch) {
+        Inflight r;
+        r.fd = ::open(files_[seq].c_str(), O_RDONLY | O_CLOEXEC);
+        if (r.fd < 0) {
+          publish_error(seq, r, ingest_error(files_[seq], errno));
+          continue;
+        }
+        struct stat st {};
+        if (::fstat(r.fd, &st) != 0) {
+          publish_error(seq, r, ingest_error(files_[seq], errno));
+          continue;
+        }
+        r.buf.resize(static_cast<std::size_t>(st.st_size));
+        if (r.buf.empty()) {
+          ::close(r.fd);
+          Slot slot;
+          publish(seq, std::move(slot));
+          continue;
+        }
+        auto [it, inserted] = inflight.emplace(seq, std::move(r));
+        auto& entry = it->second;
+        const auto len = static_cast<unsigned>(
+            std::min<std::uint64_t>(entry.buf.size(), 1u << 30));
+        ring.prep_read(entry.fd, entry.buf.data(), len, 0, seq);
+        ++to_submit;
+        if (to_submit >= opt_.batch_files) break;
+      }
+    }
+
+    if (to_submit == 0 && inflight.empty()) continue;
+
+    // Submit the batch and wait for at least one completion.
+    const unsigned wait_for = inflight.empty() ? 0 : 1;
+    const int rc =
+        sys_io_uring_enter(ring.ring_fd, to_submit, wait_for, IORING_ENTER_GETEVENTS);
+    if (rc < 0 && errno != EINTR) {
+      // The ring itself failed — unrecoverable for this backend; surface a
+      // structured error on every in-flight file.
+      const Error e{ErrorCode::kIo,
+                    std::string("io_uring_enter failed: ") + std::strerror(errno)};
+      for (auto& [seq, r] : inflight) publish_error(seq, r, e);
+      inflight.clear();
+      break;
+    }
+    if (rc >= 0) {
+      if (to_submit > 0 && uring_submits_ != nullptr) uring_submits_->add(1);
+      to_submit = 0;
+    }
+
+    // Reap completions: short reads resubmit the remainder, transient
+    // errors retry bounded, everything else is a structured error.
+    ring.drain([&](const io_uring_cqe& cqe) {
+      const std::uint64_t seq = cqe.user_data;
+      auto it = inflight.find(seq);
+      if (it == inflight.end()) return;
+      Inflight& r = it->second;
+      const auto resubmit = [&] {
+        const auto len = static_cast<unsigned>(
+            std::min<std::uint64_t>(r.buf.size() - r.done, 1u << 30));
+        ring.prep_read(r.fd, r.buf.data() + r.done, len, r.done, seq);
+        ++to_submit;
+      };
+      if (cqe.res < 0) {
+        const int err = -cqe.res;
+        const bool transient = err == EINTR || err == EAGAIN || err == EIO;
+        if (transient && ++r.retries <= kIngestReadRetries) {
+          io_metrics().counter("io_retries_total").add();
+          resubmit();
+          return;
+        }
+        publish_error(seq, r, ingest_error(files_[seq], err));
+        inflight.erase(it);
+        return;
+      }
+      if (cqe.res == 0) {
+        publish_error(seq, r,
+                      Error{ErrorCode::kIo, "short read (file shrank?): " + files_[seq]});
+        inflight.erase(it);
+        return;
+      }
+      r.retries = 0;
+      r.done += static_cast<std::uint64_t>(cqe.res);
+      if (r.done < r.buf.size()) {
+        resubmit();
+        return;
+      }
+      ::close(r.fd);
+      Slot slot;
+      slot.read_seconds = r.timer.seconds();
+      slot.bytes = std::move(r.buf);
+      publish(seq, std::move(slot));
+      inflight.erase(it);
+    });
+
+    bool cancelled_now = false;
+    {
+      std::scoped_lock lk(mu_);
+      cancelled_now = cancelled_;
+    }
+    if (cancelled_now) {
+      // Cancellation: the kernel may still write into in-flight buffers, so
+      // drain every outstanding completion before freeing them.
+      while (!inflight.empty()) {
+        if (sys_io_uring_enter(ring.ring_fd, 0, 1, IORING_ENTER_GETEVENTS) < 0 &&
+            errno != EINTR) {
+          break;
+        }
+        ring.drain([&](const io_uring_cqe& cqe) {
+          auto it = inflight.find(cqe.user_data);
+          if (it == inflight.end()) return;
+          if (it->second.fd >= 0) ::close(it->second.fd);
+          inflight.erase(it);
+        });
+      }
+      break;
+    }
+  }
+
+  for (auto& [seq, r] : inflight) {
+    if (r.fd >= 0) ::close(r.fd);
+  }
+}
+
+#else
+
+void AsyncReader::uring_loop() {}
+
+#endif
+
+std::optional<Expected<FileRead>> AsyncReader::next() {
+  WallTimer wait_timer;
+  std::unique_lock lk(mu_);
+  consumer_cv_.wait(lk, [&] {
+    return cancelled_ || first_error_.has_value() || next_deliver_ >= files_.size() ||
+           completed_.count(next_deliver_) != 0;
+  });
+  if (first_error_.has_value()) return Expected<FileRead>(Error(*first_error_));
+  if (cancelled_ || next_deliver_ >= files_.size()) return std::nullopt;
+
+  const std::uint64_t seq = next_deliver_++;
+  auto it = completed_.find(seq);
+  Slot slot = std::move(it->second);
+  completed_.erase(it);
+  if (inflight_gauge_ != nullptr) inflight_gauge_->add(-1);
+  const double waited = wait_timer.seconds();
+  if (queue_wait_ != nullptr) queue_wait_->add(waited);
+
+  if (slot.error.has_value()) {
+    first_error_ = slot.error;
+    failed_ = true;
+    lk.unlock();
+    consumer_cv_.notify_all();
+    worker_cv_.notify_all();
+    return Expected<FileRead>(Error(*slot.error));
+  }
+  lk.unlock();
+  // The window just opened (and another consumer's seq may already be in
+  // completed_): wake both sides.
+  worker_cv_.notify_all();
+  consumer_cv_.notify_all();
+
+  FileRead out;
+  out.seq = seq;
+  out.bytes = std::move(slot.bytes);
+  out.read_seconds = slot.read_seconds;
+  out.queue_wait_seconds = waited;
+  return Expected<FileRead>(std::move(out));
+}
+
+}  // namespace hetindex::io

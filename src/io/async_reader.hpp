@@ -1,0 +1,149 @@
+#pragma once
+/// \file async_reader.hpp
+/// The prefetching ingest read path. AsyncReader turns a collection's file
+/// list into an ordered stream of whole-file buffers, keeping up to
+/// `prefetch_depth` files in flight so parsers never idle behind one
+/// blocking read (the §III.F "one at a time" scheduler generalized to a
+/// readahead window of configurable depth — depth 1 is the paper's
+/// serialized discipline, handled by ReadScheduler without this class).
+///
+/// Two backends:
+///  - io_uring (HETINDEX_IO_URING, Linux): a dedicated submission thread
+///    owns a raw io_uring (no liburing dependency) and batches
+///    IORING_OP_READ submissions `batch_files` at a time. Used only while
+///    the process-current Env is RealEnv — kernel-side reads cannot be seen
+///    by a FaultEnv override, so an installed override disables it.
+///  - thread pool (always available): `prefetch_depth` workers issue
+///    chunked preads through io::env() (open_read + pread_some), so fault
+///    injection and write tracing observe every ingest byte.
+///
+/// Delivery is strictly in collection order through a bounded completion
+/// queue: next() blocks until file `k` is ready even if `k+1` finished
+/// first, which is what keeps downstream doc-ID bases (and therefore
+/// postings) globally sorted. Read errors are structured, never aborts: a
+/// transient fault (EINTR, injected EIO burst) is retried a bounded number
+/// of times and counted in io_retries_total; a hard fault is delivered as
+/// an Error at its seq, after which the reader stops issuing new reads.
+///
+/// Metrics (registered on the caller-supplied registry, see
+/// docs/OBSERVABILITY.md): read_prefetch_inflight (gauge),
+/// read_queue_wait_seconds_total (consumer stall), io_uring_submits_total.
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "util/error.hpp"
+
+namespace hetindex::io {
+
+/// Which mechanism moves bytes from disk into the completion queue.
+enum class ReadBackend {
+  kAuto,        ///< io_uring when compiled in, runtime-usable and Env is real
+  kIoUring,     ///< force io_uring (falls back if unavailable)
+  kThreadPool,  ///< force the Env-routed pread worker pool
+};
+
+constexpr const char* read_backend_name(ReadBackend b) {
+  switch (b) {
+    case ReadBackend::kAuto: return "auto";
+    case ReadBackend::kIoUring: return "io_uring";
+    case ReadBackend::kThreadPool: return "thread_pool";
+  }
+  return "unknown";
+}
+
+/// True when this build carries the io_uring backend and the kernel accepts
+/// io_uring_setup(2) (probed once per process; seccomp or an old kernel
+/// turn it off at runtime even when compiled in).
+bool io_uring_available();
+
+struct AsyncReaderOptions {
+  /// Files in flight plus completed-but-unclaimed. Bounds buffered memory
+  /// at roughly depth × file size.
+  std::size_t prefetch_depth = 4;
+  /// Reads claimed/submitted per worker wake or io_uring_enter.
+  std::size_t batch_files = 2;
+  ReadBackend backend = ReadBackend::kAuto;
+  /// Registry for the prefetch instruments; nullptr disables them.
+  obs::MetricsRegistry* metrics = nullptr;
+};
+
+/// One completed whole-file read, delivered in collection order.
+struct FileRead {
+  std::uint64_t seq = 0;              ///< index into the file list
+  std::vector<std::uint8_t> bytes;    ///< full file contents
+  double read_seconds = 0;            ///< backend time spent reading this file
+  double queue_wait_seconds = 0;      ///< consumer time blocked in next()
+};
+
+/// Reads the whole file through the Env seam: open_read + chunked
+/// pread_some with bounded consecutive-failure retries on transient faults
+/// (EINTR, EAGAIN, injected EIO), each retry counted in io_retries_total.
+/// Platforms without fd-level reads fall back to Env::read_file.
+Expected<std::vector<std::uint8_t>> read_file_via_env(const std::string& path);
+
+class AsyncReader {
+ public:
+  explicit AsyncReader(std::vector<std::string> files, AsyncReaderOptions options = {});
+  ~AsyncReader();
+  AsyncReader(const AsyncReader&) = delete;
+  AsyncReader& operator=(const AsyncReader&) = delete;
+
+  /// Blocks for the next file in collection order. nullopt when the
+  /// collection is exhausted. A hard read error is delivered exactly once
+  /// at its seq; every later call returns the same error (the reader has
+  /// stopped claiming files).
+  std::optional<Expected<FileRead>> next();
+
+  /// The backend actually running (after auto/fallback resolution).
+  [[nodiscard]] ReadBackend backend() const { return backend_; }
+  [[nodiscard]] std::size_t file_count() const { return files_.size(); }
+
+ private:
+  struct Slot {
+    std::vector<std::uint8_t> bytes;
+    std::optional<Error> error;
+    double read_seconds = 0;
+  };
+  struct UringState;  // raw ring bookkeeping, io_uring builds only
+
+  void pool_worker();
+  void uring_loop();
+  /// Claims up to batch_files seqs inside the readahead window; empty when
+  /// the collection is exhausted, failed or cancelled. Blocks while the
+  /// window is full. `may_block` is false when the caller still has work in
+  /// flight and only wants opportunistic claims.
+  std::vector<std::uint64_t> claim_batch(bool may_block, std::size_t in_flight);
+  void publish(std::uint64_t seq, Slot slot);
+
+  std::vector<std::string> files_;
+  AsyncReaderOptions opt_;
+  ReadBackend backend_ = ReadBackend::kThreadPool;
+
+  std::mutex mu_;
+  std::condition_variable consumer_cv_;
+  std::condition_variable worker_cv_;
+  std::map<std::uint64_t, Slot> completed_;
+  std::uint64_t next_claim_ = 0;
+  std::uint64_t next_deliver_ = 0;
+  bool failed_ = false;     ///< a worker published an error; stop claiming
+  bool cancelled_ = false;  ///< destructor: unwind without draining
+  std::optional<Error> first_error_;  ///< sticky error returned after delivery
+
+  obs::Gauge* inflight_gauge_ = nullptr;
+  obs::TimeCounter* queue_wait_ = nullptr;
+  obs::Counter* uring_submits_ = nullptr;
+
+  std::unique_ptr<UringState> ring_;
+  std::vector<std::jthread> workers_;
+};
+
+}  // namespace hetindex::io

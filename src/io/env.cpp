@@ -1,5 +1,6 @@
 #include "io/env.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <cerrno>
 #include <cstring>
@@ -226,6 +227,44 @@ std::atomic<Env*> g_env_override{nullptr};
 
 }  // namespace
 
+// Base-class defaults for the fd-level ingest read hooks: plain POSIX
+// passthroughs shared by RealEnv and FaultEnv (FaultEnv's injections live in
+// pread_some, which both open paths funnel into).
+Expected<int> Env::open_read(const std::string& path) {
+#if HETINDEX_HAVE_POSIX_IO
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    const int err = errno;
+    if (err == ENOENT) return Error{ErrorCode::kNotFound, "no such file: " + path};
+    return io_error("cannot open file for reading", path, err);
+  }
+  return fd;
+#else
+  return Error{ErrorCode::kUnsupported, "fd-level reads unavailable: " + path};
+#endif
+}
+
+Expected<std::uint64_t> Env::fd_size(int fd) {
+#if HETINDEX_HAVE_POSIX_IO
+  struct stat st {};
+  if (::fstat(fd, &st) != 0) {
+    return io_error("cannot stat fd", std::to_string(fd), errno);
+  }
+  return static_cast<std::uint64_t>(st.st_size);
+#else
+  (void)fd;
+  return Error{ErrorCode::kUnsupported, "fd-level reads unavailable"};
+#endif
+}
+
+void Env::close_read(int fd) {
+#if HETINDEX_HAVE_POSIX_IO
+  if (fd >= 0) ::close(fd);
+#else
+  (void)fd;
+#endif
+}
+
 Env& real_env() {
   static RealEnv env;
   return env;
@@ -345,6 +384,11 @@ long FaultEnv::pread_some(int fd, void* buf, std::size_t n, std::uint64_t offset
   {
     std::lock_guard lk(mu_);
     const std::uint64_t call = ++preads_;
+    if (plan_.pread_eio_at != 0 && call >= plan_.pread_eio_at &&
+        call < plan_.pread_eio_at + std::max<std::uint64_t>(1, plan_.pread_eio_count)) {
+      errno = EIO;
+      return -1;
+    }
     if (plan_.pread_eintr_every != 0 && call % plan_.pread_eintr_every == 0) {
       errno = EINTR;
       return -1;

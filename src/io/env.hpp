@@ -52,10 +52,22 @@ class Env {
   [[nodiscard]] virtual bool file_exists(const std::string& path) = 0;
 
   /// ::pread semantics — may return a short count or -1 with errno set
-  /// (FaultEnv injects EINTR and short reads here).
+  /// (FaultEnv injects EINTR, short reads and EIO bursts here).
   virtual long pread_some(int fd, void* buf, std::size_t n, std::uint64_t offset) = 0;
   /// False forces MmapFile onto the pread fallback path.
   [[nodiscard]] virtual bool mmap_allowed() const { return true; }
+
+  // Fd-level read hooks behind the ingest readahead path (io/async_reader.hpp):
+  // the thread-pool backend reads open_read + fd_size + pread_some so fault
+  // injection sees every ingest byte. Defaults are POSIX-backed passthroughs
+  // (kUnsupported on non-POSIX platforms, which sends callers to read_file).
+
+  /// Opens `path` read-only for pread_some access. kNotFound when absent.
+  virtual Expected<int> open_read(const std::string& path);
+  /// Byte size of an open_read fd (fstat).
+  virtual Expected<std::uint64_t> fd_size(int fd);
+  /// Closes an open_read fd.
+  virtual void close_read(int fd);
 };
 
 /// The process-wide RealEnv singleton (POSIX-backed).
@@ -121,6 +133,12 @@ struct FaultPlan {
   std::uint64_t pread_eintr_every = 0;
   /// Clamp pread_some to at most this many bytes (0 = no clamp).
   std::uint64_t short_pread_bytes = 0;
+  /// Starting at the Nth pread_some (1-based), fail `pread_eio_count`
+  /// consecutive preads with EIO. A short burst is absorbed by the ingest
+  /// read path's bounded retries (counted in io_retries_total); a burst
+  /// longer than the retry budget surfaces as a structured hard kIo error.
+  std::uint64_t pread_eio_at = 0;
+  std::uint64_t pread_eio_count = 1;
   /// Refuse mmap so readers take the pread fallback path.
   bool deny_mmap = false;
 };

@@ -4,6 +4,7 @@
 #include <thread>
 
 #include "index/indexer.hpp"
+#include "io/env.hpp"
 #include "obs/metrics.hpp"
 #include "parse/read_scheduler.hpp"
 #include "pipeline/reorder_buffer.hpp"
@@ -198,12 +199,18 @@ PipelineReport PipelineEngine::build(const std::vector<std::string>& files) {
   }
 
   // ---- Parse stage: M parser threads feeding the sequence-ordered buffer.
-  ReadScheduler scheduler(files);
+  ReadSchedulerOptions read_options;
+  read_options.prefetch_depth = config_.read_prefetch_depth;
+  read_options.batch_files = config_.read_batch_files;
+  read_options.backend = config_.read_backend;
+  read_options.metrics = &metrics_;
+  ReadScheduler scheduler(files, read_options);
   ReorderBuffer<ParsedWork> buffer(
       std::max(config_.parsers + 1, config_.parsers * config_.buffers_per_parser),
       ins.reorder_probe);
   std::mutex parse_wall_mutex;
-  double parse_stage_wall = 0;  // max over parsers of their busy span
+  double parse_stage_wall = 0;     // max over parsers of their busy span
+  std::optional<Error> read_error; // first hard ingest failure (sticky)
 
   WallTimer stage_timer;
   std::vector<std::jthread> parser_threads;
@@ -212,30 +219,41 @@ PipelineReport PipelineEngine::build(const std::vector<std::string>& files) {
     parser_threads.emplace_back([&, p] {
       Parser parser(config_.parser);
       WallTimer busy;
-      while (auto read = scheduler.next()) {
+      for (;;) {
+        auto next = scheduler.next();
+        if (!next.has_value()) {
+          // Hard read failure: record the first one and wind down. The
+          // scheduler's sticky error drains the other parser threads the
+          // same way, so nobody aborts and nobody blocks.
+          std::scoped_lock lock(parse_wall_mutex);
+          if (!read_error.has_value()) read_error = next.error();
+          break;
+        }
+        if (!next.value().has_value()) break;  // collection exhausted
+        ScheduledRead read = *std::move(next).value();
         ParsedWork work;
-        work.doc_count = static_cast<std::uint32_t>(read->docs.size());
-        work.compressed_bytes = read->compressed_bytes;
-        work.uncompressed_bytes = read->uncompressed_bytes;
-        work.read_seconds = read->read_seconds;
-        work.decompress_seconds = read->decompress_seconds;
+        work.doc_count = static_cast<std::uint32_t>(read.docs.size());
+        work.compressed_bytes = read.compressed_bytes;
+        work.uncompressed_bytes = read.uncompressed_bytes;
+        work.read_seconds = read.read_seconds;
+        work.decompress_seconds = read.decompress_seconds;
         ins.files_read.add(1);
         ins.documents.add(work.doc_count);
         ins.source_bytes.add(work.uncompressed_bytes);
         ins.compressed_bytes.add(work.compressed_bytes);
-        ins.read_seconds.add(read->read_seconds);
-        ins.disk_wait_seconds.add(read->disk_wait_seconds);
-        ins.decompress_seconds.add(read->decompress_seconds);
-        work.urls.reserve(read->docs.size());
-        for (const auto& doc : read->docs) work.urls.push_back(doc.url);
+        ins.read_seconds.add(read.read_seconds);
+        ins.disk_wait_seconds.add(read.disk_wait_seconds);
+        ins.decompress_seconds.add(read.decompress_seconds);
+        work.urls.reserve(read.docs.size());
+        for (const auto& doc : read.docs) work.urls.push_back(doc.url);
         ParseTimes times;
         obs::StageSpan span(&ins.parse_seconds, &ins.run_parse);
-        work.block = parser.parse(read->docs, read->seq, static_cast<std::uint32_t>(p),
-                                  read->doc_id_base, &times);
+        work.block = parser.parse(read.docs, read.seq, static_cast<std::uint32_t>(p),
+                                  read.doc_id_base, &times);
         work.parse_seconds = span.stop();
         ins.tokens.add(work.block.tokens);
         ins.payload_bytes.add(work.block.payload_bytes());
-        if (!buffer.push(read->seq, std::move(work))) break;
+        if (!buffer.push(read.seq, std::move(work))) break;
       }
       std::scoped_lock lock(parse_wall_mutex);
       parse_stage_wall = std::max(parse_stage_wall, busy.seconds());
@@ -349,6 +367,23 @@ PipelineReport PipelineEngine::build(const std::vector<std::string>& files) {
   report.index_stage_seconds = index_stage_timer.seconds();
   closer.join();
   report.parse_stage_seconds = std::max(parse_stage_wall, stage_timer.seconds());
+  report.read_backend = scheduler.backend_name();
+  report.read_stall_seconds = scheduler.read_stall_seconds();
+
+  if (read_error.has_value()) {
+    // A hard ingest read error: the build is void. Already-flushed partial
+    // run files are removed so the output directory holds no stray
+    // artifacts, and the finalize stages (dictionary, doc map, merge,
+    // segment) are skipped — the caller gets a structured report.error
+    // instead of a process abort.
+    for (const auto& e : directory) {
+      (void)io::env().remove_file(config_.output_dir + "/" + e.file);
+    }
+    report.error = *read_error;
+    report.total_seconds = total_timer.seconds();
+    report.metrics = metrics_.snapshot();
+    return report;
+  }
 
   // ---- Dictionary combine + write (Table VI rows).
   std::vector<DictionaryEntry> entries;  // kept for the optional segment fold

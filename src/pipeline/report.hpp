@@ -7,6 +7,7 @@
 /// paper's 8-core + 2-GPU node to regenerate Fig. 10/11 and Tables IV/VI.
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -39,6 +40,20 @@ struct RunRecord {
 
 struct PipelineReport {
   PipelineConfig config;
+
+  /// Read mechanism the scheduler actually used after auto/fallback
+  /// resolution: "serial", "thread_pool" or "io_uring".
+  std::string read_backend;
+  /// Cumulative parser time blocked waiting for file bytes (the read-phase
+  /// stall the prefetcher exists to shrink; BENCH_build.json's read-phase
+  /// throughput is compressed_bytes / read_stall_seconds).
+  double read_stall_seconds = 0;
+  /// Set when the build failed after validation (e.g. a hard ingest read
+  /// error): partial run files are removed, aggregate fields cover only
+  /// the work completed before the failure. Check ok() before using the
+  /// output directory.
+  std::optional<Error> error;
+  [[nodiscard]] bool ok() const { return !error.has_value(); }
 
   // Table VI rows (measured on this host; see sim/ for platform-modelled
   // equivalents).

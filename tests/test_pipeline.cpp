@@ -237,7 +237,7 @@ TEST(CoreApi, NormalizeTermMatchesParsePath) {
   EXPECT_EQ(normalize_term("42"), "42");
 }
 
-TEST(CoreApi, VersionString) { EXPECT_EQ(version_string(), "1.6.0"); }
+TEST(CoreApi, VersionString) { EXPECT_EQ(version_string(), "1.7.0"); }
 
 }  // namespace
 }  // namespace hetindex
